@@ -1,0 +1,101 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! - **GAC propagation in the homomorphism solver** (on vs off) — the
+//!   solver is the hot engine of everything (Chandra–Merlin, cores,
+//!   containment, minimal models);
+//! - **min-fill vs min-degree vs identity elimination orders** for
+//!   treewidth upper bounds;
+//! - **semi-naive vs naive Datalog evaluation**.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_preservation::hom::HomSearch;
+use hp_preservation::prelude::*;
+
+fn bench_propagation_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_propagation");
+    g.sample_size(10);
+    // Unsatisfiable instances show propagation's pruning best. The no-GAC
+    // solver degenerates to |B|^|A| leaf checks, so its sizes are capped
+    // (n = 6 is already ~9^6 ≈ half a million leaves per call).
+    for n in [5usize, 7, 9, 12] {
+        let a = generators::directed_cycle(n);
+        let b = generators::directed_path(n + 3);
+        g.bench_with_input(BenchmarkId::new("gac_on_unsat", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(HomSearch::new(&a, &b).exists()))
+        });
+    }
+    for n in [4usize, 5, 6] {
+        let a = generators::directed_cycle(n);
+        let b = generators::directed_path(n + 3);
+        g.bench_with_input(BenchmarkId::new("gac_off_unsat", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(HomSearch::new(&a, &b).without_propagation().exists()))
+        });
+    }
+    // Satisfiable random instances (folding targets make the off-mode
+    // finish by luck of value order; keep sizes tiny anyway).
+    for n in [4usize, 5] {
+        let a = generators::random_digraph(n, 2 * n, 3);
+        let b = generators::random_digraph(2 * n, 6 * n, 4);
+        g.bench_with_input(BenchmarkId::new("gac_on_sat", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(HomSearch::new(&a, &b).exists()))
+        });
+        g.bench_with_input(BenchmarkId::new("gac_off_sat", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(HomSearch::new(&a, &b).without_propagation().exists()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_elimination_ablation(c: &mut Criterion) {
+    use hp_preservation::tw::elimination::{min_degree_order, min_fill_order, order_width};
+    println!("\n[ablation] elimination-order quality (width found; lower is better)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "n", "identity", "min-deg", "min-fill"
+    );
+    for n in [60usize, 150] {
+        let g = generators::random_partial_ktree(3, n, 0.85, 9);
+        let id_order: Vec<u32> = (0..n as u32).collect();
+        println!(
+            "{n:>8} {:>10} {:>10} {:>10}",
+            order_width(&g, &id_order),
+            order_width(&g, &min_degree_order(&g)),
+            order_width(&g, &min_fill_order(&g))
+        );
+    }
+    let mut grp = c.benchmark_group("ablate_elimination");
+    for n in [100usize, 300] {
+        let g = generators::random_partial_ktree(3, n, 0.85, 9);
+        grp.bench_with_input(BenchmarkId::new("min_degree", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(min_degree_order(&g).len()))
+        });
+        grp.bench_with_input(BenchmarkId::new("min_fill", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(min_fill_order(&g).len()))
+        });
+    }
+    grp.finish();
+}
+
+fn bench_naive_vs_semi_naive(c: &mut Criterion) {
+    let p = hp_preservation::datalog::gallery::transitive_closure();
+    let mut g = c.benchmark_group("ablate_datalog_eval");
+    g.sample_size(10);
+    for n in [20usize, 40] {
+        let a = generators::random_digraph(n, 3 * n, 11);
+        g.bench_with_input(BenchmarkId::new("semi_naive", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(p.evaluate(&a).relations[0].len()))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(p.stages(&a, usize::MAX).last().unwrap()[0].len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_propagation_ablation,
+    bench_elimination_ablation,
+    bench_naive_vs_semi_naive
+);
+criterion_main!(benches);

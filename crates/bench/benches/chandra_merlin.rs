@@ -1,0 +1,65 @@
+//! E1 — Theorem 2.1 (Chandra–Merlin): the three-way equivalence
+//! `hom(A,B) ⇔ B ⊨ φ_A ⇔ φ_B ⊢ φ_A`, verified across a size sweep, with
+//! homomorphism-search cost as the measured series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_preservation::prelude::*;
+
+fn verify_equivalence_table() {
+    println!("\n[E1] Chandra–Merlin three-way agreement (sizes 4..=16, 20 pairs each)");
+    println!("{:>6} {:>8} {:>10}", "size", "pairs", "agree");
+    for n in [4usize, 8, 12, 16] {
+        let mut agree = 0;
+        let pairs = 20;
+        for seed in 0..pairs {
+            let a = generators::random_digraph(n, 2 * n, seed);
+            let b = generators::random_digraph(n + 2, 3 * n, seed + 1000);
+            let hom = hom_exists(&a, &b);
+            let sat = Cq::canonical_query(&a).holds_in(&b);
+            let imp = Cq::canonical_query(&b).is_contained_in(&Cq::canonical_query(&a));
+            if hom == sat && sat == imp {
+                agree += 1;
+            }
+        }
+        println!("{n:>6} {pairs:>8} {agree:>9}/{pairs}");
+        assert_eq!(agree, pairs, "Chandra–Merlin equivalence must be exact");
+    }
+}
+
+fn bench_hom_search(c: &mut Criterion) {
+    verify_equivalence_table();
+    let mut g = c.benchmark_group("hom_search");
+    for n in [6usize, 10, 14, 18] {
+        let a = generators::random_digraph(n, 2 * n, 7);
+        let b = generators::random_digraph(2 * n, 5 * n, 8);
+        g.bench_with_input(BenchmarkId::new("random", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(hom_exists(&a, &b)))
+        });
+    }
+    // The hard direction: cycle into path (unsatisfiable, forces search).
+    for n in [6usize, 10, 14] {
+        let a = generators::directed_cycle(n);
+        let b = generators::directed_path(2 * n);
+        g.bench_with_input(BenchmarkId::new("cycle_into_path", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(hom_exists(&a, &b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cq_minimization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cq_minimize");
+    for len in [3usize, 5, 7] {
+        // A redundant query: path ⊕ path (one folds into the other).
+        let p = generators::directed_path(len + 1);
+        let doubled = p.disjoint_union(&p).unwrap();
+        let q = Cq::canonical_query(&doubled);
+        g.bench_with_input(BenchmarkId::new("fold_double_path", len), &len, |bch, _| {
+            bch.iter(|| std::hint::black_box(q.minimize().var_count()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hom_search, bench_cq_minimization);
+criterion_main!(benches);

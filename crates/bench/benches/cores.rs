@@ -1,0 +1,107 @@
+//! E7 — cores (§6.2): predicted cores on the paper's families (bipartite →
+//! K₂, bicycles → K₄, odd wheels → themselves) and core-computation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_preservation::prelude::*;
+
+fn core_table() {
+    println!("\n[E7] cores of the §6.2 families");
+    println!(
+        "{:>16} {:>8} {:>10} {:>12}",
+        "family", "|A|", "|core|", "predicted"
+    );
+    let rows: Vec<(String, Structure, usize)> = vec![
+        (
+            "C6 (bipartite)".into(),
+            generators::cycle(6).to_structure(),
+            2,
+        ),
+        ("grid 3x4".into(), generators::grid(3, 4).to_structure(), 2),
+        (
+            "K(3,5)".into(),
+            generators::complete_bipartite(3, 5).to_structure(),
+            2,
+        ),
+        (
+            "bicycle B5".into(),
+            generators::bicycle(5).to_structure(),
+            4,
+        ),
+        (
+            "bicycle B9".into(),
+            generators::bicycle(9).to_structure(),
+            4,
+        ),
+        (
+            "wheel W5 (core)".into(),
+            generators::wheel(5).to_structure(),
+            6,
+        ),
+        (
+            "wheel W7 (core)".into(),
+            generators::wheel(7).to_structure(),
+            8,
+        ),
+        (
+            "wheel W4 → K3".into(),
+            generators::wheel(4).to_structure(),
+            3,
+        ),
+        (
+            "C5 (odd, core)".into(),
+            generators::cycle(5).to_structure(),
+            5,
+        ),
+    ];
+    for (name, s, predicted) in rows {
+        let c = core_of(&s);
+        println!(
+            "{name:>16} {:>8} {:>10} {predicted:>12}",
+            s.universe_size(),
+            c.structure.universe_size()
+        );
+        assert_eq!(c.structure.universe_size(), predicted, "{name}");
+    }
+}
+
+fn bench_cores(c: &mut Criterion) {
+    core_table();
+    let mut g = c.benchmark_group("core_of");
+    g.sample_size(10);
+    for n in [5usize, 9, 13] {
+        let b = generators::bicycle(n).to_structure();
+        g.bench_with_input(BenchmarkId::new("bicycle", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(core_of(&b).structure.universe_size()))
+        });
+    }
+    for side in [3usize, 4] {
+        let s = generators::grid(side, side + 1).to_structure();
+        g.bench_with_input(BenchmarkId::new("grid", side), &side, |bch, _| {
+            bch.iter(|| std::hint::black_box(core_of(&s).structure.universe_size()))
+        });
+    }
+    for n in [4usize, 6, 8] {
+        let s = generators::random_digraph(n, 2 * n, 17);
+        g.bench_with_input(BenchmarkId::new("random_digraph", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(core_of(&s).structure.universe_size()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_isomorphism(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isomorphism");
+    for n in [8usize, 16, 32] {
+        let a = generators::random_digraph(n, 3 * n, 5);
+        // A relabelled copy: shift every element by one (mod n).
+        let map: Vec<Elem> = (0..n).map(|i| Elem(((i + 1) % n) as u32)).collect();
+        let b = a.hom_image(&map, n);
+        g.bench_with_input(BenchmarkId::new("relabelled", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(are_isomorphic(&a, &b)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cores, bench_isomorphism);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! E10/E11 — Datalog: semi-naive evaluation scaling, Theorem 7.1 stage
+//! unfolding, and the Ajtai–Gurevich boundedness series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_preservation::datalog::{stage_probe, stage_ucq};
+use hp_preservation::prelude::*;
+
+fn tc() -> Program {
+    Program::parse(
+        "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).",
+        &Vocabulary::digraph(),
+    )
+    .unwrap()
+}
+
+fn tables() {
+    let p = tc();
+    println!("\n[E11] transitive-closure stage counts grow with diameter (unbounded)");
+    println!("{:>8} {:>8}", "|path|", "stages");
+    let paths: Vec<Structure> = [4usize, 8, 16, 32]
+        .iter()
+        .map(|&n| generators::directed_path(n))
+        .collect();
+    for row in stage_probe(&p, paths.iter()) {
+        println!("{:>8} {:>8}", row.universe, row.stages);
+    }
+    println!("\n[E10] Theorem 7.1: stage-m unfolding sizes (TC program, k = 3)");
+    println!(
+        "{:>4} {:>10} {:>22}",
+        "m", "disjuncts", "max disjunct tw (< 3)"
+    );
+    for m in 1..=5 {
+        let u = stage_ucq(&p, 0, m).unwrap();
+        let max_tw = u
+            .disjuncts()
+            .iter()
+            .map(|d| elimination::treewidth_exact(&d.canonical().gaifman_graph()))
+            .max()
+            .unwrap_or(0);
+        println!("{m:>4} {:>10} {max_tw:>22}", u.len());
+        assert!(max_tw < 3);
+    }
+    println!("\n[E11] certified boundedness outcomes");
+    let bounded = Program::parse("P2(x,y) :- E(x,z), E(z,y).", &Vocabulary::digraph()).unwrap();
+    for (name, prog, cap) in [("two-hop", &bounded, 3usize), ("TC", &p, 3)] {
+        match hp_preservation::datalog::certified_boundedness(prog, cap).unwrap() {
+            Some(s) => println!("  {name}: bounded at stage {s}"),
+            None => println!("  {name}: no certificate up to stage {cap} (unbounded)"),
+        }
+    }
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    tables();
+    let p = tc();
+    let mut g = c.benchmark_group("datalog_eval");
+    g.sample_size(20);
+    for n in [20usize, 40, 80] {
+        let a = generators::random_digraph(n, 3 * n, 9);
+        g.bench_with_input(BenchmarkId::new("tc_semi_naive", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(p.evaluate(&a).relations[0].len()))
+        });
+    }
+    for n in [16usize, 32] {
+        let a = generators::directed_path(n);
+        g.bench_with_input(BenchmarkId::new("tc_path_naive_stages", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(p.stages(&a, 64).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_unfold(c: &mut Criterion) {
+    let p = tc();
+    let mut g = c.benchmark_group("datalog_unfold");
+    g.sample_size(10);
+    for m in [2usize, 4, 6] {
+        g.bench_with_input(BenchmarkId::new("stage_ucq", m), &m, |b, &m| {
+            b.iter(|| std::hint::black_box(stage_ucq(&p, 0, m).unwrap().len()))
+        });
+    }
+    g.bench_function("certified_boundedness_cap3", |b| {
+        b.iter(|| {
+            std::hint::black_box(hp_preservation::datalog::certified_boundedness(&p, 3).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_evaluation, bench_unfold);
+criterion_main!(benches);

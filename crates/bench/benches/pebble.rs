@@ -1,0 +1,74 @@
+//! E12 — existential k-pebble games: the Proposition 7.9 equivalence over
+//! a target-size sweep, and game-solving cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_preservation::prelude::*;
+
+fn has_cycle(b: &Structure) -> bool {
+    let n = b.universe_size();
+    let mut indeg = vec![0usize; n];
+    let mut out: Vec<Vec<usize>> = vec![vec![]; n];
+    for t in b.relation(0usize.into()).iter() {
+        out[t[0].index()].push(t[1].index());
+        indeg[t[1].index()] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0;
+    while let Some(u) = queue.pop() {
+        seen += 1;
+        for &v in &out[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    seen != n
+}
+
+fn proposition_7_9_table() {
+    println!("\n[E12] Proposition 7.9: Duplicator wins ∃2-pebble(C3, B) ⇔ B cyclic");
+    println!("{:>6} {:>8} {:>8}", "|B|", "samples", "agree");
+    let c3 = generators::directed_cycle(3);
+    for n in [4usize, 6, 8] {
+        let samples = 20;
+        let mut agree = 0;
+        for seed in 0..samples {
+            let b = generators::random_digraph(n, 2 * n, seed);
+            if duplicator_wins(&c3, &b, 2) == has_cycle(&b) {
+                agree += 1;
+            }
+        }
+        println!("{n:>6} {samples:>8} {agree:>7}/{samples}");
+        assert_eq!(agree, samples);
+    }
+}
+
+fn bench_game(c: &mut Criterion) {
+    proposition_7_9_table();
+    let c3 = generators::directed_cycle(3);
+    let mut g = c.benchmark_group("pebble_game");
+    g.sample_size(10);
+    for n in [6usize, 10, 14] {
+        let cyclic = generators::random_digraph(n, 3 * n, 3);
+        let acyclic = generators::random_dag(n, 3 * n, 3);
+        g.bench_with_input(BenchmarkId::new("c3_vs_cyclic", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(duplicator_wins(&c3, &cyclic, 2)))
+        });
+        g.bench_with_input(BenchmarkId::new("c3_vs_dag", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(duplicator_wins(&c3, &acyclic, 2)))
+        });
+    }
+    // 3-pebble game on small structures (exponentially bigger state).
+    for n in [5usize, 7] {
+        let a = generators::directed_cycle(3);
+        let b3 = generators::random_digraph(n, 2 * n, 11);
+        g.bench_with_input(BenchmarkId::new("three_pebbles", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(duplicator_wins(&a, &b3, 3)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_game);
+criterion_main!(benches);

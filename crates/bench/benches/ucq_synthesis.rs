@@ -1,0 +1,93 @@
+//! E2 — Theorem 3.1: UCQ synthesis from minimal models. Tables report the
+//! number of minimal models and disjuncts per query; the benchmark series
+//! measures the rewriting cost as the search bound grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_preservation::prelude::*;
+use hp_preservation::query::FoQuery;
+use hp_preservation::synthesis::validate_rewrite;
+
+fn queries() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "path2",
+            "exists x. exists y. exists z. (E(x,y) & E(y,z))".to_string(),
+        ),
+        (
+            "loop_or_sym",
+            "(exists x. E(x,x)) | (exists x. exists y. (E(x,y) & E(y,x)))".to_string(),
+        ),
+        (
+            "closed_3_walk",
+            "exists x. exists y. exists z. (E(x,y) & E(y,z) & E(z,x))".to_string(),
+        ),
+    ]
+}
+
+fn synthesis_table() {
+    println!("\n[E2] Theorem 3.1 rewriting (search bound 3)");
+    println!(
+        "{:>14} {:>10} {:>10} {:>10}",
+        "query", "min.models", "disjuncts", "validated"
+    );
+    let vocab = Vocabulary::digraph();
+    for (name, text) in queries() {
+        let (f, _) = parse_formula(&text, &vocab).unwrap();
+        let q = FoQuery::new(f);
+        let rw = rewrite_to_ucq(&q, &vocab, 3).unwrap();
+        let sample: Vec<Structure> = (0..30)
+            .map(|s| generators::random_digraph(5, 7, s))
+            .collect();
+        let ok = validate_rewrite(&q, &rw.ucq, sample.iter()).is_none();
+        println!(
+            "{name:>14} {:>10} {:>10} {:>10}",
+            rw.minimal_models.len(),
+            rw.ucq.len(),
+            ok
+        );
+        assert!(ok);
+    }
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    synthesis_table();
+    let vocab = Vocabulary::digraph();
+    let mut g = c.benchmark_group("rewrite_to_ucq");
+    g.sample_size(10);
+    for bound in [2usize, 3] {
+        for (name, text) in queries() {
+            let (f, _) = parse_formula(&text, &vocab).unwrap();
+            let q = FoQuery::new(f);
+            g.bench_with_input(BenchmarkId::new(name, bound), &bound, |bch, &bound| {
+                bch.iter(|| {
+                    std::hint::black_box(rewrite_to_ucq(&q, &vocab, bound).unwrap().ucq.len())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_ucq_containment(c: &mut Criterion) {
+    // Sagiv–Yannakakis on unions of path queries.
+    let mut g = c.benchmark_group("sagiv_yannakakis");
+    for m in [4usize, 8, 12] {
+        let a = Ucq::new(
+            (2..2 + m)
+                .map(|l| Cq::canonical_query(&generators::directed_path(l + 1)))
+                .collect(),
+        );
+        let b = Ucq::new(
+            (1..1 + m)
+                .map(|l| Cq::canonical_query(&generators::directed_path(l + 1)))
+                .collect(),
+        );
+        g.bench_with_input(BenchmarkId::new("paths", m), &m, |bch, _| {
+            bch.iter(|| std::hint::black_box(a.is_contained_in(&b)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rewrite, bench_ucq_containment);
+criterion_main!(benches);

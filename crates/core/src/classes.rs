@@ -1,0 +1,256 @@
+//! Descriptors for the classes of finite structures the paper's theorems
+//! cover, with membership validation and the matching scattered-set
+//! extraction route.
+
+use hp_hom::core_of;
+use hp_structures::{Graph, Structure};
+use hp_tw::elimination::treewidth_upper_bound;
+use hp_tw::minor::{find_clique_minor, MinorSearch};
+use hp_tw::scattered::{self, MinorFreeOutcome, ScatteredSet};
+
+/// Which hypothesis a class satisfies — one per theorem.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClassKind {
+    /// Gaifman degree ≤ k (Theorem 3.5).
+    BoundedDegree(usize),
+    /// Treewidth < k, i.e. the paper's `T(k)` (Theorem 4.4).
+    BoundedTreewidth(usize),
+    /// Gaifman graphs exclude `K_h` as a minor (Theorem 5.4).
+    ExcludesMinor(usize),
+    /// Cores have degree ≤ k (Theorem 6.5; Boolean queries only).
+    CoresBoundedDegree(usize),
+    /// Cores have treewidth < k, the paper's `H(T(k))` (Theorem 6.6;
+    /// Boolean queries only).
+    CoresBoundedTreewidth(usize),
+    /// Gaifman graphs of cores exclude `K_h` (Theorem 6.7; Boolean only).
+    CoresExcludeMinor(usize),
+    /// Planar Gaifman graphs — §5's flagship excluded-minor class (planar
+    /// ⟺ no K₅ and no K₃,₃ minor, by Kuratowski/Wagner); extraction runs
+    /// the Theorem 5.3 machinery with `k = 5`. Membership is decided
+    /// exactly by the Demoucron planarity test.
+    Planar,
+}
+
+/// A class descriptor: the hypothesis, plus membership checking and the
+/// deletion-set budget `s` the matching theorem promises.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassDescriptor {
+    /// The hypothesis.
+    pub kind: ClassKind,
+}
+
+impl ClassDescriptor {
+    /// Wrap a kind.
+    pub fn new(kind: ClassKind) -> Self {
+        ClassDescriptor { kind }
+    }
+
+    /// True when the theorem backing this class applies to queries of
+    /// every arity; false when it is Boolean-only (§6).
+    pub fn supports_all_arities(&self) -> bool {
+        matches!(
+            self.kind,
+            ClassKind::BoundedDegree(_)
+                | ClassKind::BoundedTreewidth(_)
+                | ClassKind::ExcludesMinor(_)
+                | ClassKind::Planar
+        )
+    }
+
+    /// The deletion budget `s` of Corollary 3.3 / 6.4 for this class:
+    /// 0 for bounded degree, `k` for treewidth < k, `k−2` for excluded
+    /// `K_k` (the theorems give `|B| ≤ k` and `|Z| < k−1` respectively).
+    pub fn deletion_budget(&self) -> usize {
+        match self.kind {
+            ClassKind::BoundedDegree(_) | ClassKind::CoresBoundedDegree(_) => 0,
+            ClassKind::BoundedTreewidth(k) | ClassKind::CoresBoundedTreewidth(k) => k,
+            ClassKind::ExcludesMinor(h) | ClassKind::CoresExcludeMinor(h) => h.saturating_sub(2),
+            // Planar graphs exclude K5: Theorem 5.3 with k = 5 gives
+            // |Z| < 4.
+            ClassKind::Planar => 3,
+        }
+    }
+
+    /// Membership test. For the cores-of variants the core is computed
+    /// first (§6.2). Treewidth uses the exact algorithm when the graph is
+    /// small, otherwise the upper-bound heuristic (sound one way: a `false`
+    /// from the heuristic path means "could not verify", reported as
+    /// `None`). Minor exclusion uses the budgeted exact search.
+    pub fn contains(&self, a: &Structure) -> Option<bool> {
+        let relevant: Graph = match self.kind {
+            ClassKind::BoundedDegree(_)
+            | ClassKind::BoundedTreewidth(_)
+            | ClassKind::ExcludesMinor(_)
+            | ClassKind::Planar => a.gaifman_graph(),
+            _ => core_of(a).structure.gaifman_graph(),
+        };
+        match self.kind {
+            ClassKind::Planar => Some(hp_tw::planarity::is_planar(&relevant)),
+            ClassKind::BoundedDegree(k) | ClassKind::CoresBoundedDegree(k) => {
+                Some(relevant.max_degree() <= k)
+            }
+            ClassKind::BoundedTreewidth(k) | ClassKind::CoresBoundedTreewidth(k) => {
+                // Cheap bounds first: they settle most members without the
+                // exponential exact search.
+                let (ub, _) = treewidth_upper_bound(&relevant);
+                if ub < k {
+                    Some(true)
+                } else if hp_tw::elimination::degeneracy(&relevant) >= k {
+                    Some(false)
+                } else if relevant.vertex_count() <= 16 {
+                    Some(hp_tw::elimination::treewidth_exact(&relevant) < k)
+                } else {
+                    None
+                }
+            }
+            ClassKind::ExcludesMinor(h) | ClassKind::CoresExcludeMinor(h) => {
+                match find_clique_minor(&relevant, h, 500_000) {
+                    MinorSearch::Found(_) => Some(false),
+                    MinorSearch::Absent => Some(true),
+                    MinorSearch::Unknown => None,
+                }
+            }
+        }
+    }
+
+    /// Run the scattered-set extraction the matching theorem provides on
+    /// the relevant Gaifman graph: Lemma 3.4 / Lemma 4.2 / Theorem 5.3.
+    /// Returns `None` when the structure is too small for the requested
+    /// `(d, m)` or the extraction stalls.
+    pub fn extract_scattered(&self, a: &Structure, d: usize, m: usize) -> Option<ScatteredSet> {
+        let g: Graph = match self.kind {
+            ClassKind::BoundedDegree(_)
+            | ClassKind::BoundedTreewidth(_)
+            | ClassKind::ExcludesMinor(_)
+            | ClassKind::Planar => a.gaifman_graph(),
+            _ => core_of(a).structure.gaifman_graph(),
+        };
+        match self.kind {
+            ClassKind::Planar => match scattered::excluded_minor(&g, 5, d, m) {
+                MinorFreeOutcome::Scattered(s) if s.set.len() >= m => Some(s),
+                _ => None,
+            },
+            ClassKind::BoundedDegree(_) | ClassKind::CoresBoundedDegree(_) => {
+                scattered::bounded_degree(&g, d, m).map(|set| ScatteredSet {
+                    deleted: vec![],
+                    set,
+                })
+            }
+            ClassKind::BoundedTreewidth(_) | ClassKind::CoresBoundedTreewidth(_) => {
+                let (_, td) = treewidth_upper_bound(&g);
+                scattered::bounded_treewidth(&g, &td, d, m)
+            }
+            ClassKind::ExcludesMinor(h) | ClassKind::CoresExcludeMinor(h) => {
+                match scattered::excluded_minor(&g, h, d, m) {
+                    MinorFreeOutcome::Scattered(s) if s.set.len() >= m => Some(s),
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators::{
+        bicycle, cycle, directed_path, grid, random_bounded_degree, random_partial_ktree,
+    };
+
+    #[test]
+    fn bounded_degree_membership() {
+        let c = ClassDescriptor::new(ClassKind::BoundedDegree(2));
+        assert_eq!(c.contains(&directed_path(6)), Some(true));
+        assert_eq!(c.contains(&grid(3, 3).to_structure()), Some(false));
+        assert_eq!(c.deletion_budget(), 0);
+        assert!(c.supports_all_arities());
+    }
+
+    #[test]
+    fn bounded_treewidth_membership_strict() {
+        // T(k) = treewidth < k. C_5 has treewidth 2: in T(3), not T(2).
+        let c2 = ClassDescriptor::new(ClassKind::BoundedTreewidth(2));
+        let c3 = ClassDescriptor::new(ClassKind::BoundedTreewidth(3));
+        let c5 = cycle(5).to_structure();
+        assert_eq!(c2.contains(&c5), Some(false));
+        assert_eq!(c3.contains(&c5), Some(true));
+    }
+
+    #[test]
+    fn planar_class() {
+        let c = ClassDescriptor::new(ClassKind::Planar);
+        assert_eq!(c.contains(&grid(4, 5).to_structure()), Some(true));
+        assert_eq!(
+            c.contains(&hp_structures::generators::clique(5).to_structure()),
+            Some(false)
+        );
+        assert_eq!(
+            c.contains(&hp_structures::generators::complete_bipartite(3, 3).to_structure()),
+            Some(false)
+        );
+        assert!(c.supports_all_arities());
+        assert_eq!(c.deletion_budget(), 3);
+        // Extraction via the K5 route.
+        let g = grid(9, 9);
+        let out = c.extract_scattered(&g.to_structure(), 1, 4).unwrap();
+        out.verify(&g, 1).unwrap();
+        assert!(out.deleted.len() < 4);
+    }
+
+    #[test]
+    fn excluded_minor_membership() {
+        let c = ClassDescriptor::new(ClassKind::ExcludesMinor(4));
+        assert_eq!(c.contains(&cycle(6).to_structure()), Some(true)); // no K4 in a cycle
+        assert_eq!(
+            c.contains(&hp_structures::generators::clique(4).to_structure()),
+            Some(false)
+        );
+        assert_eq!(c.deletion_budget(), 2);
+    }
+
+    #[test]
+    fn cores_variants_on_bicycles() {
+        // §6.2: bicycles have core K_4 — bounded degree 3, treewidth 3,
+        // while the bicycles themselves have unbounded degree (hub).
+        let b9 = bicycle(9).to_structure();
+        let plain = ClassDescriptor::new(ClassKind::BoundedDegree(3));
+        assert_eq!(plain.contains(&b9), Some(false)); // hub has degree 9
+        let cores = ClassDescriptor::new(ClassKind::CoresBoundedDegree(3));
+        assert_eq!(cores.contains(&b9), Some(true));
+        assert!(!cores.supports_all_arities());
+        let cores_tw = ClassDescriptor::new(ClassKind::CoresBoundedTreewidth(4));
+        assert_eq!(cores_tw.contains(&b9), Some(true));
+    }
+
+    #[test]
+    fn cores_bounded_treewidth_contains_bipartite() {
+        // H(T(2)) contains all bipartite graphs (core K_2) — e.g. grids,
+        // which themselves have large treewidth.
+        let c = ClassDescriptor::new(ClassKind::CoresBoundedTreewidth(2));
+        assert_eq!(c.contains(&grid(3, 4).to_structure()), Some(true));
+        let plain = ClassDescriptor::new(ClassKind::BoundedTreewidth(2));
+        assert_eq!(plain.contains(&grid(3, 4).to_structure()), Some(false));
+    }
+
+    #[test]
+    fn extraction_routes() {
+        // Bounded degree route.
+        let bd = ClassDescriptor::new(ClassKind::BoundedDegree(3));
+        let g = random_bounded_degree(100, 3, 800, 5);
+        let s = bd.extract_scattered(&g.to_structure(), 1, 4).unwrap();
+        assert!(s.deleted.is_empty());
+        s.verify(&g, 1).unwrap();
+        // Bounded treewidth route.
+        let btw = ClassDescriptor::new(ClassKind::BoundedTreewidth(3));
+        let g2 = random_partial_ktree(2, 120, 0.8, 3);
+        let s2 = btw.extract_scattered(&g2.to_structure(), 1, 4).unwrap();
+        s2.verify(&g2, 1).unwrap();
+        assert!(s2.deleted.len() <= 3);
+        // Excluded minor route.
+        let em = ClassDescriptor::new(ClassKind::ExcludesMinor(5));
+        let g3 = grid(10, 10);
+        let s3 = em.extract_scattered(&g3.to_structure(), 1, 5).unwrap();
+        s3.verify(&g3, 1).unwrap();
+        assert!(s3.deleted.len() < 4);
+    }
+}

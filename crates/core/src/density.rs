@@ -1,0 +1,202 @@
+//! The **Theorem 3.2 density condition**, exactly.
+//!
+//! Theorem 3.2: for a first-order, hom-preserved query and any `s`, there
+//! are `d, m` such that no minimal model admits a d-scattered set of size
+//! `m` after deleting ≤ s elements. These are the exact (small-scale)
+//! checkers the experiments use to *measure* the density of minimal models
+//! and of class members.
+
+use hp_structures::{BitSet, Graph, Neighborhoods};
+
+/// The exact maximum d-scattered set of `g`, by branch-and-bound maximum
+/// independent set on the conflict graph (vertices conflict when their
+/// d-neighborhoods intersect, i.e. distance ≤ 2d). Exponential; intended
+/// for graphs up to ~60 vertices.
+pub fn max_scattered_set(g: &Graph, d: usize) -> Vec<u32> {
+    let n = g.vertex_count();
+    let nb = Neighborhoods::compute(g, d);
+    // Conflict adjacency as bitsets.
+    let mut conflict: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !nb.of(u as u32).is_disjoint(nb.of(v as u32)) {
+                conflict[u].insert(v);
+                conflict[v].insert(u);
+            }
+        }
+    }
+    // Greedy seed for the lower bound.
+    let mut best: Vec<u32> = {
+        let mut chosen = Vec::new();
+        let mut blocked = BitSet::new(n);
+        for v in 0..n {
+            if !blocked.contains(v) {
+                chosen.push(v as u32);
+                blocked.insert(v);
+                blocked.union_with(&conflict[v]);
+            }
+        }
+        chosen
+    };
+    // Branch and bound over candidate sets.
+    fn bb(conflict: &[BitSet], candidates: &BitSet, chosen: &mut Vec<u32>, best: &mut Vec<u32>) {
+        if chosen.len() + candidates.len() <= best.len() {
+            return;
+        }
+        let Some(v) = candidates.first() else {
+            if chosen.len() > best.len() {
+                *best = chosen.clone();
+            }
+            return;
+        };
+        // Branch 1: take v.
+        let mut with_v = candidates.clone();
+        with_v.remove(v);
+        with_v.difference_with(&conflict[v]);
+        chosen.push(v as u32);
+        bb(conflict, &with_v, chosen, best);
+        chosen.pop();
+        // Branch 2: skip v.
+        let mut without = candidates.clone();
+        without.remove(v);
+        bb(conflict, &without, chosen, best);
+    }
+    let cands = BitSet::full(n);
+    bb(&conflict, &cands, &mut Vec::new(), &mut best);
+    best
+}
+
+/// The exact density check of Theorem 3.2: is there a set `B` with
+/// `|B| ≤ s` whose deletion leaves a d-scattered set of size ≥ m? Searches
+/// all vertex subsets of size ≤ s (so use small `s`), maximizing the
+/// scattered set exactly. Returns `(B, S)` on success.
+pub fn scattered_after_deletions(
+    g: &Graph,
+    s: usize,
+    d: usize,
+    m: usize,
+) -> Option<(Vec<u32>, Vec<u32>)> {
+    let n = g.vertex_count();
+    let mut best: Option<(Vec<u32>, Vec<u32>)> = None;
+    let mut subset: Vec<u32> = Vec::new();
+    fn rec(
+        g: &Graph,
+        n: usize,
+        start: u32,
+        s: usize,
+        d: usize,
+        m: usize,
+        subset: &mut Vec<u32>,
+        best: &mut Option<(Vec<u32>, Vec<u32>)>,
+    ) {
+        if best.is_some() {
+            return;
+        }
+        let removed: BitSet = BitSet::from_indices(n, subset.iter().map(|&v| v as usize));
+        let (h, old_of_new) = g.minus(&removed);
+        let sc = max_scattered_set(&h, d);
+        if sc.len() >= m {
+            let mapped: Vec<u32> = sc[..m].iter().map(|&v| old_of_new[v as usize]).collect();
+            *best = Some((subset.clone(), mapped));
+            return;
+        }
+        if subset.len() == s {
+            return;
+        }
+        for v in start..n as u32 {
+            subset.push(v);
+            rec(g, n, v + 1, s, d, m, subset, best);
+            subset.pop();
+            if best.is_some() {
+                return;
+            }
+        }
+    }
+    rec(g, n, 0, s, d, m, &mut subset, &mut best);
+    best
+}
+
+/// The *scatter profile* of a graph: for each deletion budget `s ≤ max_s`,
+/// the largest `m` for which a d-scattered set of size `m` survives some
+/// deletion of ≤ s vertices. The paper's density condition says the
+/// profiles of a first-order query's minimal models are uniformly bounded.
+pub fn scatter_profile(g: &Graph, max_s: usize, d: usize) -> Vec<usize> {
+    (0..=max_s)
+        .map(|s| {
+            // Binary-search-free: grow m until failure.
+            let mut m = 0;
+            while scattered_after_deletions(g, s, d, m + 1).is_some() {
+                m += 1;
+            }
+            m
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators::{clique, cycle, grid, path, star};
+
+    #[test]
+    fn max_scattered_on_path() {
+        // Path of 7: d=1 scattered = vertices pairwise distance ≥ 3:
+        // {0,3,6} — size 3.
+        let g = path(7);
+        let s = max_scattered_set(&g, 1);
+        assert_eq!(s.len(), 3);
+        assert!(hp_structures::is_d_scattered(&g, 1, &s));
+    }
+
+    #[test]
+    fn max_scattered_on_clique() {
+        let g = clique(6);
+        assert_eq!(max_scattered_set(&g, 1).len(), 1);
+        // d = 0: neighborhoods are singletons; everything is 0-scattered.
+        assert_eq!(max_scattered_set(&g, 0).len(), 6);
+    }
+
+    #[test]
+    fn star_profile_jumps_with_one_deletion() {
+        // The §4 motivating example: s=0 gives 1, s=1 (delete hub) gives n.
+        let g = star(9);
+        let profile = scatter_profile(&g, 1, 2);
+        assert_eq!(profile, vec![1, 9]);
+    }
+
+    #[test]
+    fn scattered_after_deletions_finds_hub() {
+        let g = star(6);
+        let (b, s) = scattered_after_deletions(&g, 1, 2, 4).expect("hub deletion works");
+        assert_eq!(b, vec![0]);
+        assert_eq!(s.len(), 4);
+        assert!(scattered_after_deletions(&g, 0, 2, 2).is_none());
+    }
+
+    #[test]
+    fn cycle_profile() {
+        // C_12, d=1: max scattered = ⌊12/3⌋ = 4 with no deletions.
+        let g = cycle(12);
+        let s = max_scattered_set(&g, 1);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn grid_scattering() {
+        // 4×4 grid, d=1: vertices at pairwise Manhattan distance ≥ 3.
+        // Corners (0,0),(0,3),(3,0),(3,3) are pairwise at distance ≥ 3.
+        let g = grid(4, 4);
+        let s = max_scattered_set(&g, 1);
+        assert!(s.len() >= 4, "got {s:?}");
+        assert!(hp_structures::is_d_scattered(&g, 1, &s));
+    }
+
+    #[test]
+    fn empty_graph_profile() {
+        let g = Graph::new(5);
+        // No edges: everything scattered at any d.
+        assert_eq!(max_scattered_set(&g, 3).len(), 5);
+    }
+
+    use hp_structures::Graph;
+}

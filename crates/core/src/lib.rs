@@ -1,0 +1,82 @@
+//! # hp-preservation
+//!
+//! The main results of *"On Preservation under Homomorphisms and Unions of
+//! Conjunctive Queries"* (Atserias, Dawar, Kolaitis; PODS 2004), as an
+//! executable library:
+//!
+//! - **Minimal models** of Boolean queries preserved under homomorphisms
+//!   ([`minimal`]), and the **Theorem 3.1 rewriting**: finitely many minimal
+//!   models ⇔ definability by an existential-positive sentence, with the
+//!   UCQ constructed from canonical queries ([`synthesis`]);
+//! - the **Theorem 3.2 density condition** on minimal models — scattered
+//!   sets after few deletions — as checkable predicates ([`density`]);
+//! - **class descriptors** for every class the paper covers: bounded
+//!   degree (Thm 3.5), bounded treewidth (Thm 4.4), excluded minors
+//!   (Thm 5.4), and their cores-of variants (Thms 6.5–6.7), with membership
+//!   validation and the matching scattered-set extraction ([`classes`]);
+//! - **plebian companions** (§6.1) reducing non-Boolean to Boolean
+//!   preservation ([`plebian`]);
+//! - the **Ajtai–Gurevich theorem** (Thm 7.5) as a decision procedure:
+//!   certified Datalog boundedness plus the equivalent UCQ
+//!   ([`ajtai_gurevich`]).
+//!
+//! The substrate crates are re-exported (`structures`, `hom`, `logic`,
+//! `tw`, `datalog`, `pebble`) so a single dependency suffices.
+//!
+//! ```
+//! use hp_preservation::prelude::*;
+//!
+//! // "Contains a directed cycle of length ≤ 2" — preserved under homs.
+//! let q = UcqQuery::new(Ucq::new(vec![
+//!     Cq::canonical_query(&generators::directed_cycle(1)),
+//!     Cq::canonical_query(&generators::directed_cycle(2)),
+//! ]));
+//! // Rewrite it from scratch by enumerating minimal models up to size 3.
+//! let rw = rewrite_to_ucq(&q, &Vocabulary::digraph(), 3).unwrap();
+//! assert_eq!(rw.minimal_models.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ajtai_gurevich;
+pub mod classes;
+pub mod density;
+pub mod extensions;
+pub mod minimal;
+pub mod nonboolean;
+pub mod pebble_query;
+pub mod plebian;
+pub mod query;
+pub mod synthesis;
+pub mod theorem_7_4;
+
+pub use hp_datalog as datalog;
+pub use hp_hom as hom;
+pub use hp_logic as logic;
+pub use hp_pebble as pebble;
+pub use hp_structures as structures;
+pub use hp_tw as tw;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::ajtai_gurevich::{ajtai_gurevich_rewrite, AjtaiGurevichOutcome};
+    pub use crate::classes::{ClassDescriptor, ClassKind};
+    pub use crate::density::{max_scattered_set, scattered_after_deletions};
+    pub use crate::extensions::{induced_embedding_exists, ExistentialRewriting};
+    pub use crate::minimal::{enumerate_minimal_models, minimize_model, MinimalModels};
+    pub use crate::nonboolean::{rewrite_nary_to_ucq, DatalogNaryQuery, FoNaryQuery, NaryQuery};
+    pub use crate::pebble_query::{
+        find_distinguishing_cqk, find_spoiler_witness, spoiler_sentence, PebbleQuery,
+    };
+    pub use crate::plebian::{plebian_companion, PlebianCompanion};
+    pub use crate::query::{BooleanQuery, DatalogQuery, FoQuery, UcqQuery};
+    pub use crate::synthesis::{rewrite_to_ucq, ucq_from_minimal_models, RewriteOutcome};
+    pub use crate::theorem_7_4::{theorem_7_4_finite_subset, VcqkQuery};
+    pub use hp_datalog::Program;
+    pub use hp_hom::{are_homomorphically_equivalent, are_isomorphic, core_of, hom_exists};
+    pub use hp_logic::{parse_formula, Cq, CqkFormula, Formula, Ucq};
+    pub use hp_pebble::duplicator_wins;
+    pub use hp_structures::{generators, Elem, Graph, Structure, Vocabulary};
+    pub use hp_tw::{decomposition::TreeDecomposition, elimination, minor, scattered};
+}

@@ -1,0 +1,239 @@
+//! Minimal models of Boolean queries (§3).
+//!
+//! **A** is a *minimal model* of `q` (in a class 𝒞) when `q(A) = 1` and no
+//! proper substructure of **A** (in 𝒞) satisfies `q`. For queries preserved
+//! under homomorphisms, minimal models are cores (§6.2) and, when finitely
+//! many, their canonical queries assemble the equivalent UCQ (Theorem 3.1).
+
+use hp_hom::{are_isomorphic, canonical_invariant};
+use hp_structures::{Structure, Vocabulary};
+
+use crate::query::BooleanQuery;
+
+/// Greedily descend from a model to a **minimal model below it**: while
+/// some one-step weakening (drop a tuple or an element) still satisfies
+/// `q`, take it. Terminates because each step strictly shrinks the
+/// structure; the result is a minimal model (every proper substructure is
+/// reachable through one-step weakenings for substructure-downward-closed
+/// falsification — and for monotone `q`, failing all one-step weakenings
+/// implies failing all substructures).
+///
+/// # Panics
+/// Panics when `q(a)` is false — minimizing a non-model is a logic error.
+pub fn minimize_model(q: &dyn BooleanQuery, a: &Structure) -> Structure {
+    assert!(q.eval(a), "minimize_model requires a model of q");
+    let mut cur = a.clone();
+    'outer: loop {
+        for w in cur.one_step_weakenings() {
+            if q.eval(&w) {
+                cur = w;
+                continue 'outer;
+            }
+        }
+        // For hom-preserved queries, isolated elements never matter; strip
+        // them so minimal models are tight. (Dropping an isolated element
+        // IS a one-step weakening, so this is already covered — the loop
+        // exits only when no weakening satisfies q, which for isolated
+        // elements means q distinguishes them; keep cur as-is then.)
+        return cur;
+    }
+}
+
+/// A collection of pairwise non-isomorphic minimal models.
+#[derive(Debug, Default)]
+pub struct MinimalModels {
+    models: Vec<Structure>,
+}
+
+impl MinimalModels {
+    /// The models.
+    pub fn models(&self) -> &[Structure] {
+        &self.models
+    }
+
+    /// Number of models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Insert up to isomorphism. Returns true when new.
+    pub fn insert(&mut self, m: Structure) -> bool {
+        let inv = canonical_invariant(&m);
+        for old in &self.models {
+            if canonical_invariant(old) == inv && are_isomorphic(old, &m) {
+                return false;
+            }
+        }
+        self.models.push(m);
+        true
+    }
+
+    /// Consume into the model list.
+    pub fn into_models(self) -> Vec<Structure> {
+        self.models
+    }
+}
+
+/// Enumerate **all minimal models of `q` with at most `max_size` elements**
+/// by exhaustively generating the structures over `vocab` with universe
+/// sizes `0..=max_size`, minimizing each model found, and deduplicating up
+/// to isomorphism.
+///
+/// Exhaustive in the stated range: every minimal model with ≤ `max_size`
+/// elements is generated (it is its own witness). Exponential in
+/// `max_size^arity` — the paper's effectivity statement (§8) is exactly
+/// this brute-force with the theorems supplying the size cut-off.
+///
+/// To keep exhaustive enumeration honest but bounded, structures whose
+/// support is smaller than their universe are skipped except the empty
+/// structure (for hom-preserved queries, a minimal model never has
+/// isolated elements — deleting one is a weakening that keeps every
+/// homomorphism).
+pub fn enumerate_minimal_models(
+    q: &dyn BooleanQuery,
+    vocab: &Vocabulary,
+    max_size: usize,
+) -> MinimalModels {
+    let mut out = MinimalModels::default();
+    for n in 0..=max_size {
+        if n == 1 {
+            // The one structure with an isolated element that can still be
+            // a minimal model of a hom-preserved query: the bare singleton
+            // (there is no smaller structure to retract into). Needed for
+            // queries like ∃x (x = x).
+            let s = Structure::new(vocab.clone(), 1);
+            if q.eval(&s) {
+                out.insert(minimize_model(q, &s));
+            }
+        }
+        hp_structures::generators::for_each_structure(vocab, n, |s| {
+            // Skip structures with isolated elements (see doc comment),
+            // except the empty universe.
+            if n > 0 && s.support().len() != n {
+                return;
+            }
+            if q.eval(&s) {
+                out.insert(minimize_model(q, &s));
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{FnQuery, FoQuery, UcqQuery};
+    use hp_logic::{Cq, Ucq};
+    use hp_structures::generators::{directed_cycle, directed_path, self_loop};
+
+    fn path_query(len: usize) -> UcqQuery {
+        UcqQuery::new(Ucq::new(vec![Cq::canonical_query(&directed_path(len + 1))]))
+    }
+
+    #[test]
+    fn minimize_path_model() {
+        let q = path_query(2);
+        // A cluttered model: path of length 4 + extra loop.
+        let mut a = directed_path(5);
+        a.add_tuple_ids(0, &[0, 0]).unwrap();
+        let m = minimize_model(&q, &a);
+        assert_eq!(m.universe_size(), 3);
+        assert_eq!(m.total_tuples(), 2);
+        assert!(q.eval(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a model")]
+    fn minimize_non_model_panics() {
+        let q = path_query(3);
+        minimize_model(&q, &directed_path(2));
+    }
+
+    #[test]
+    fn enumerate_minimal_models_of_path_query() {
+        // "There is a path of length 2": minimal models are the directed
+        // 2-path, the 1-loop (walks!), and the 2-cycle? A loop satisfies
+        // (x->x->x); a 2-cycle satisfies (0->1->0). Which are minimal and
+        // pairwise non-embeddable: P2 (3 elems), C1 (1 elem), C2 (2 elems).
+        // But is P2 minimal? Its proper substructures lack 2-walks, yes.
+        let q = path_query(2);
+        let mm = enumerate_minimal_models(&q, &Vocabulary::digraph(), 3);
+        assert_eq!(mm.len(), 3, "models: {:?}", mm.models());
+        let sizes: Vec<usize> = {
+            let mut v: Vec<usize> = mm.models().iter().map(Structure::universe_size).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn enumerate_minimal_models_of_loop_query() {
+        // "Has a loop": exactly one minimal model — the single loop.
+        let q = UcqQuery::new(Ucq::new(vec![Cq::canonical_query(&self_loop())]));
+        let mm = enumerate_minimal_models(&q, &Vocabulary::digraph(), 3);
+        assert_eq!(mm.len(), 1);
+        assert!(are_isomorphic(&mm.models()[0], &self_loop()));
+    }
+
+    #[test]
+    fn minimal_models_of_hom_preserved_queries_are_cores() {
+        let q = path_query(2);
+        let mm = enumerate_minimal_models(&q, &Vocabulary::digraph(), 3);
+        for m in mm.models() {
+            assert!(hp_hom::is_core(m), "minimal model {m:?} must be a core");
+        }
+    }
+
+    #[test]
+    fn non_preserved_query_has_noncore_minimal_models_maybe() {
+        // Sanity: enumeration also works for arbitrary queries, e.g. "has
+        // an edge and no loop" (not hom-preserved).
+        let q = FnQuery::new("edge-no-loop", |a: &Structure| {
+            let has_edge = a.total_tuples() > 0;
+            let has_loop = a
+                .elements()
+                .any(|e| a.contains_tuple(0usize.into(), &[e, e]));
+            has_edge && !has_loop
+        });
+        let mm = enumerate_minimal_models(&q, &Vocabulary::digraph(), 2);
+        // The only minimal model is the single directed edge.
+        assert_eq!(mm.len(), 1);
+        assert_eq!(mm.models()[0].universe_size(), 2);
+    }
+
+    #[test]
+    fn fo_query_minimal_models() {
+        // FO: ∃x∃y (E(x,y) ∧ E(y,x)) — minimal models: C_2 and C_1.
+        let (f, _) = hp_logic::parse_formula(
+            "exists x. exists y. (E(x,y) & E(y,x))",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let q = FoQuery::new(f);
+        let mm = enumerate_minimal_models(&q, &Vocabulary::digraph(), 3);
+        assert_eq!(mm.len(), 2);
+    }
+
+    #[test]
+    fn insert_dedups_by_isomorphism() {
+        let mut mm = MinimalModels::default();
+        assert!(mm.insert(directed_cycle(3)));
+        // Relabelled C_3.
+        let mut r = Structure::new(Vocabulary::digraph(), 3);
+        for (a, b) in [(1u32, 0u32), (0, 2), (2, 1)] {
+            r.add_tuple_ids(0, &[a, b]).unwrap();
+        }
+        assert!(!mm.insert(r));
+        assert!(mm.insert(directed_cycle(4)));
+        assert_eq!(mm.len(), 2);
+    }
+
+    use hp_structures::Vocabulary;
+}

@@ -1,0 +1,344 @@
+//! **Plebian companions** (§6.1): the reduction from non-Boolean to
+//! Boolean preservation.
+//!
+//! Given a structure with `n` distinguished constants, the plebian
+//! companion removes the constants from the universe and, for every symbol
+//! `R` of arity `r` and non-empty partial map `m : {1..r} ⇀ {c₁..c_n}`,
+//! adds a symbol `R_m` of arity `r − |dom m|` recording the tuples of `R`
+//! with constants at the mapped positions. Observations 6.1–6.3: the
+//! Gaifman graph shrinks to an induced subgraph; homomorphisms (preserving
+//! constants) correspond exactly; closure under substructures and disjoint
+//! unions transfers.
+
+use hp_hom::HomSearch;
+use hp_structures::{BitSet, Elem, Structure, SymbolId, Vocabulary};
+
+/// The plebian companion of a structure with designated constants.
+#[derive(Clone, Debug)]
+pub struct PlebianCompanion {
+    /// The companion structure `pA` over the expanded vocabulary ρ.
+    pub structure: Structure,
+    /// For each element of `pA`, the element of the original structure.
+    pub old_of_new: Vec<Elem>,
+    /// The companion vocabulary, shared by all companions built with the
+    /// same base vocabulary and constant count.
+    pub vocab: Vocabulary,
+}
+
+/// Build the companion vocabulary ρ for `base` with `n_constants`
+/// constants. Symbols: every base symbol, then for each base symbol `R` of
+/// arity `r` and each non-empty partial map `{0..r} ⇀ {0..n}` (encoded in
+/// the symbol name), a symbol `R_m` of arity `r − |dom m|`.
+pub fn plebian_vocabulary(base: &Vocabulary, n_constants: usize) -> Vocabulary {
+    let mut extra: Vec<(String, usize)> = Vec::new();
+    for (_, sym) in base.iter() {
+        for m in partial_maps(sym.arity, n_constants) {
+            let dom = m.iter().filter(|o| o.is_some()).count();
+            if dom == 0 {
+                continue;
+            }
+            let name = format!(
+                "{}_{}",
+                sym.name,
+                m.iter()
+                    .map(|o| match o {
+                        Some(c) => format!("c{c}"),
+                        None => "x".to_string(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join("")
+            );
+            extra.push((name, sym.arity - dom));
+        }
+    }
+    base.extended(extra.iter().map(|(n, a)| (n.as_str(), *a)))
+}
+
+/// All partial maps from positions `0..arity` to constants `0..n`
+/// (including the empty map), encoded as `Vec<Option<usize>>`.
+fn partial_maps(arity: usize, n: usize) -> Vec<Vec<Option<usize>>> {
+    let mut out: Vec<Vec<Option<usize>>> = vec![Vec::new()];
+    for _ in 0..arity {
+        let mut next = Vec::with_capacity(out.len() * (n + 1));
+        for m in &out {
+            for choice in std::iter::once(None).chain((0..n).map(Some)) {
+                let mut m2 = m.clone();
+                m2.push(choice);
+                next.push(m2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Build the plebian companion of `(a, constants)`.
+///
+/// # Panics
+/// Panics when a constant is out of range or constants repeat (repeated
+/// constants are legal in the paper but add nothing: dedup first).
+pub fn plebian_companion(a: &Structure, constants: &[Elem]) -> PlebianCompanion {
+    let n = constants.len();
+    for (i, c) in constants.iter().enumerate() {
+        assert!(c.index() < a.universe_size(), "constant out of range");
+        assert!(
+            !constants[..i].contains(c),
+            "repeated constant elements; deduplicate first"
+        );
+    }
+    let vocab = plebian_vocabulary(a.vocab(), n);
+    // Universe: original minus constants, renumbered.
+    let mut keep = BitSet::full(a.universe_size());
+    for c in constants {
+        keep.remove(c.index());
+    }
+    let old_of_new: Vec<Elem> = keep.iter().map(Elem::from).collect();
+    let mut new_of_old = vec![u32::MAX; a.universe_size()];
+    for (new, &old) in old_of_new.iter().enumerate() {
+        new_of_old[old.index()] = new as u32;
+    }
+    let mut p = Structure::new(vocab.clone(), old_of_new.len());
+    // Interpret each ρ-symbol. We walk base symbols and all partial maps in
+    // the same order as `plebian_vocabulary` so symbol ids line up.
+    let mut rho_idx = a.vocab().len();
+    for (sym, base_sym) in a.vocab().iter() {
+        // R itself: tuples entirely among non-constants.
+        for t in a.relation(sym).iter() {
+            if t.iter().all(|e| keep.contains(e.index())) {
+                let mapped: Vec<Elem> = t.iter().map(|e| Elem(new_of_old[e.index()])).collect();
+                p.add_tuple(sym, &mapped).expect("base tuple");
+            }
+        }
+        // Each R_m.
+        for m in partial_maps(base_sym.arity, n) {
+            let dom = m.iter().filter(|o| o.is_some()).count();
+            if dom == 0 {
+                continue;
+            }
+            let rho_sym = SymbolId::from(rho_idx);
+            rho_idx += 1;
+            'tuples: for t in a.relation(sym).iter() {
+                let mut reduced: Vec<Elem> = Vec::with_capacity(base_sym.arity - dom);
+                for (pos, o) in m.iter().enumerate() {
+                    match o {
+                        Some(c) => {
+                            if t[pos] != constants[*c] {
+                                continue 'tuples;
+                            }
+                        }
+                        None => {
+                            if !keep.contains(t[pos].index()) {
+                                // A constant sits at an unmapped position:
+                                // this tuple belongs to a finer R_m.
+                                continue 'tuples;
+                            }
+                            reduced.push(Elem(new_of_old[t[pos].index()]));
+                        }
+                    }
+                }
+                p.add_tuple(rho_sym, &reduced).expect("companion tuple");
+            }
+        }
+    }
+    PlebianCompanion {
+        structure: p,
+        old_of_new,
+        vocab,
+    }
+}
+
+/// A constant-preserving homomorphism test between structures with
+/// constants: `h : A → B` with `h(cᵢ^A) = cᵢ^B` (§6.1's notion).
+pub fn hom_exists_with_constants(a: &Structure, ca: &[Elem], b: &Structure, cb: &[Elem]) -> bool {
+    assert_eq!(ca.len(), cb.len(), "constant lists must align");
+    let mut s = HomSearch::new(a, b);
+    for (&x, &y) in ca.iter().zip(cb) {
+        s = s.pin(x, y);
+    }
+    s.exists()
+}
+
+/// The **exact** companion correspondence (reproduction note): there is a
+/// homomorphism `pA → pB` iff there is a constant-preserving homomorphism
+/// `A → B` that additionally maps **non-constants to non-constants**.
+///
+/// Observation 6.2 as printed claims the correspondence for *all*
+/// constant-preserving homomorphisms; its "only if" direction silently
+/// assumes `g` restricted to non-constants lands in `pB`'s universe, which
+/// fails when `g` folds a non-constant onto a constant of `B` (see the
+/// `observation_6_2_corner_case` test for a concrete 5/6-element
+/// counterexample). The direction the §6.1 reduction actually uses —
+/// `hom(pA, pB) ⇒ hom(A, B)` by extending with the constants — is sound,
+/// so the paper's theorems are unaffected.
+pub fn hom_exists_with_constants_avoiding(
+    a: &Structure,
+    ca: &[Elem],
+    b: &Structure,
+    cb: &[Elem],
+) -> bool {
+    assert_eq!(ca.len(), cb.len(), "constant lists must align");
+    let mut s = HomSearch::new(a, b);
+    for (&x, &y) in ca.iter().zip(cb) {
+        s = s.pin(x, y);
+    }
+    // Non-constant sources must avoid every constant target.
+    for x in a.elements() {
+        if ca.contains(&x) {
+            continue;
+        }
+        for &y in cb {
+            s = s.forbid_value_for(x, y);
+        }
+    }
+    s.exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators::{directed_cycle, directed_path, random_digraph, wheel};
+
+    #[test]
+    fn companion_vocabulary_size() {
+        // Digraph E/2 with 1 constant: partial maps on 2 positions to 1
+        // constant: 2² = 4, minus empty = 3 extra symbols (arities 1,1,0).
+        let v = plebian_vocabulary(&Vocabulary::digraph(), 1);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.arity(SymbolId(0)), 2); // E
+        let arities: Vec<usize> = (1usize..4).map(|i| v.arity(SymbolId::from(i))).collect();
+        let mut sorted = arities.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn companion_of_path_with_endpoint_constant() {
+        // Path 0→1→2 with constant at 0. Companion universe {1, 2}; the
+        // edge 0→1 becomes E_{c0,x}(1); edge 1→2 stays in E.
+        let a = directed_path(3);
+        let pc = plebian_companion(&a, &[Elem(0)]);
+        assert_eq!(pc.structure.universe_size(), 2);
+        assert_eq!(pc.old_of_new, vec![Elem(1), Elem(2)]);
+        // Base E has one surviving tuple (1→2 renumbered to 0→1).
+        assert_eq!(pc.structure.relation(SymbolId(0)).len(), 1);
+        // Total tuples: E(0,1) + E_{c0 x}(old 1) = 2.
+        assert_eq!(pc.structure.total_tuples(), 2);
+    }
+
+    #[test]
+    fn observation_6_1_gaifman_subgraph() {
+        for seed in 0..6 {
+            let a = random_digraph(6, 10, seed);
+            let pc = plebian_companion(&a, &[Elem(0), Elem(3)]);
+            let ga = a.gaifman_graph();
+            let gp = pc.structure.gaifman_graph();
+            // 𝒢(pA) = induced subgraph of 𝒢(A) on the non-constants.
+            for (u, v) in gp.edges() {
+                let (ou, ov) = (pc.old_of_new[u as usize], pc.old_of_new[v as usize]);
+                assert!(ga.has_edge(ou.0, ov.0), "seed {seed}: extra edge");
+            }
+        }
+    }
+
+    #[test]
+    fn observation_6_2_hom_correspondence() {
+        // Corrected form (see hom_exists_with_constants_avoiding docs):
+        // hom(pA, pB) ⇔ constant-preserving hom A→B mapping non-constants
+        // to non-constants; and hom(pA, pB) ⇒ hom(A, B) — the direction
+        // §6.1's reduction uses.
+        for seed in 0..10 {
+            let a = random_digraph(5, 7, seed);
+            let b = random_digraph(6, 11, seed + 500);
+            let ca = [Elem(0), Elem(1)];
+            let cb = [Elem(0), Elem(1)];
+            let pa = plebian_companion(&a, &ca);
+            let pb = plebian_companion(&b, &cb);
+            assert_eq!(pa.structure.vocab(), pb.structure.vocab());
+            let direct = hom_exists_with_constants(&a, &ca, &b, &cb);
+            let avoiding = hom_exists_with_constants_avoiding(&a, &ca, &b, &cb);
+            let companion = hp_hom::hom_exists(&pa.structure, &pb.structure);
+            assert_eq!(avoiding, companion, "seed {seed}: exact correspondence");
+            if companion {
+                assert!(direct, "seed {seed}: extension direction");
+            }
+        }
+    }
+
+    #[test]
+    fn observation_6_2_corner_case() {
+        // The concrete counterexample to the printed "only if" direction:
+        // seed 0 gives a constant-preserving hom that folds a non-constant
+        // onto a constant of B, while pA ↛ pB.
+        let a = random_digraph(5, 7, 0);
+        let b = random_digraph(6, 11, 500);
+        let ca = [Elem(0), Elem(1)];
+        let cb = [Elem(0), Elem(1)];
+        assert!(hom_exists_with_constants(&a, &ca, &b, &cb));
+        assert!(!hom_exists_with_constants_avoiding(&a, &ca, &b, &cb));
+        let pa = plebian_companion(&a, &ca);
+        let pb = plebian_companion(&b, &cb);
+        assert!(!hp_hom::hom_exists(&pa.structure, &pb.structure));
+    }
+
+    #[test]
+    fn observation_6_2_on_paper_wheel_example() {
+        // (B_n, h) with the hub named: the wheel part can no longer fold
+        // away. hom((W_5,hub), (K_4-part of B_5, any)) must fail while
+        // hom(B_5, K_4) exists without constants.
+        let w5 = wheel(5).to_structure();
+        let k4 = hp_structures::generators::clique(4).to_structure();
+        assert!(hp_hom::hom_exists(&w5, &k4)); // 4-colorable
+                                               // Pin hub to a K_4 vertex: still a hom (the wheel maps fully).
+        assert!(hom_exists_with_constants(&w5, &[Elem(0)], &k4, &[Elem(0)]));
+        // But W_5 with hub pinned cannot map into W_5-minus-hub... i.e. the
+        // companion of (W_5, hub) is a core-ish object; check the
+        // companion of (W_5,hub) has no hom to the companion of (C_5, any
+        // vertex) — the rim alone is 3-chromatic and hubless.
+        let c5 = hp_structures::generators::cycle(5).to_structure();
+        let pw = plebian_companion(&w5, &[Elem(0)]);
+        let pc5 = plebian_companion(&c5, &[Elem(0)]);
+        assert!(!hp_hom::hom_exists(&pw.structure, &pc5.structure));
+    }
+
+    #[test]
+    fn observation_6_3_disjoint_union_transfer() {
+        // p(A ⊕ B ⊕ {constants in A}) over constants in the A part equals
+        // pA ⊕ B-with-extended-vocab: check tuple counts transfer.
+        let a = directed_cycle(3);
+        let b = directed_path(3);
+        let u = a.disjoint_union(&b).unwrap();
+        let pu = plebian_companion(&u, &[Elem(0)]);
+        let pa = plebian_companion(&a, &[Elem(0)]);
+        // Companion of the union has |pA| + |B| elements.
+        assert_eq!(
+            pu.structure.universe_size(),
+            pa.structure.universe_size() + b.universe_size()
+        );
+        // And the B-part tuples all land in the base E relation.
+        assert_eq!(
+            pu.structure.relation(SymbolId(0)).len(),
+            pa.structure.relation(SymbolId(0)).len() + b.total_tuples()
+        );
+    }
+
+    #[test]
+    fn zero_constants_companion_is_identity_modulo_vocab() {
+        let a = random_digraph(5, 8, 7);
+        let pc = plebian_companion(&a, &[]);
+        assert_eq!(pc.structure.universe_size(), 5);
+        assert_eq!(
+            pc.structure.relation(SymbolId(0)).len(),
+            a.relation(SymbolId(0)).len()
+        );
+        assert_eq!(pc.vocab.len(), 1); // no extra symbols
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated constant")]
+    fn repeated_constants_panic() {
+        let a = directed_path(3);
+        plebian_companion(&a, &[Elem(0), Elem(0)]);
+    }
+
+    use hp_structures::Vocabulary;
+}

@@ -1,0 +1,244 @@
+//! Boolean queries as first-class objects.
+
+use hp_datalog::Program;
+use hp_logic::{Formula, Ucq};
+use hp_structures::Structure;
+
+/// A Boolean query on finite σ-structures (§2.3): any isomorphism-invariant
+/// map `Structure → bool`. The preservation machinery only ever *evaluates*
+/// the query, so anything decidable fits.
+pub trait BooleanQuery {
+    /// Evaluate on a structure.
+    fn eval(&self, a: &Structure) -> bool;
+
+    /// Human-readable description (for experiment tables).
+    fn describe(&self) -> String {
+        "<query>".to_string()
+    }
+}
+
+/// A UCQ as a Boolean query — always preserved under homomorphisms.
+pub struct UcqQuery {
+    ucq: Ucq,
+}
+
+impl UcqQuery {
+    /// Wrap a UCQ (must be Boolean, i.e. arity 0).
+    ///
+    /// # Panics
+    /// Panics on non-Boolean UCQs.
+    pub fn new(ucq: Ucq) -> Self {
+        assert_eq!(ucq.arity(), 0, "Boolean query needs arity 0");
+        UcqQuery { ucq }
+    }
+
+    /// The underlying UCQ.
+    pub fn ucq(&self) -> &Ucq {
+        &self.ucq
+    }
+}
+
+impl BooleanQuery for UcqQuery {
+    fn eval(&self, a: &Structure) -> bool {
+        self.ucq.holds_in(a)
+    }
+
+    fn describe(&self) -> String {
+        format!("UCQ with {} disjuncts", self.ucq.len())
+    }
+}
+
+/// A first-order sentence as a Boolean query — the hypothesis class of all
+/// the preservation theorems.
+pub struct FoQuery {
+    formula: Formula,
+}
+
+impl FoQuery {
+    /// Wrap a sentence.
+    ///
+    /// # Panics
+    /// Panics when the formula has free variables.
+    pub fn new(formula: Formula) -> Self {
+        assert!(formula.is_sentence(), "Boolean query needs a sentence");
+        FoQuery { formula }
+    }
+
+    /// The underlying formula.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+}
+
+impl BooleanQuery for FoQuery {
+    fn eval(&self, a: &Structure) -> bool {
+        self.formula.holds(a)
+    }
+
+    fn describe(&self) -> String {
+        format!("FO sentence {}", self.formula)
+    }
+}
+
+/// A Datalog program with a designated goal IDB, read as the Boolean query
+/// "the goal relation is non-empty at the fixpoint" — an infinitary union
+/// of conjunctive queries, hence preserved under homomorphisms (§7).
+pub struct DatalogQuery {
+    program: Program,
+    goal: usize,
+}
+
+impl DatalogQuery {
+    /// Wrap a program and goal predicate name.
+    pub fn new(program: Program, goal: &str) -> Result<Self, String> {
+        let goal = program
+            .idb_index(goal)
+            .ok_or_else(|| format!("no IDB named {goal}"))?;
+        Ok(DatalogQuery { program, goal })
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Index of the goal IDB.
+    pub fn goal(&self) -> usize {
+        self.goal
+    }
+}
+
+impl BooleanQuery for DatalogQuery {
+    fn eval(&self, a: &Structure) -> bool {
+        !self.program.evaluate(a).relations[self.goal].is_empty()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Datalog goal {} ({} rules, {} variables)",
+            self.program.idbs()[self.goal].0,
+            self.program.rules().len(),
+            self.program.total_variable_count()
+        )
+    }
+}
+
+/// Any closure as a Boolean query (for ad-hoc experiment controls, e.g.
+/// non-hom-preserved FO queries).
+pub struct FnQuery<F: Fn(&Structure) -> bool> {
+    f: F,
+    name: String,
+}
+
+impl<F: Fn(&Structure) -> bool> FnQuery<F> {
+    /// Wrap a closure with a display name.
+    pub fn new(name: &str, f: F) -> Self {
+        FnQuery {
+            f,
+            name: name.to_string(),
+        }
+    }
+}
+
+impl<F: Fn(&Structure) -> bool> BooleanQuery for FnQuery<F> {
+    fn eval(&self, a: &Structure) -> bool {
+        (self.f)(a)
+    }
+
+    fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// Empirically check preservation under homomorphisms on a sample: for
+/// every ordered pair with a homomorphism, `q(A) ⇒ q(B)`. Returns the
+/// first violating pair's indices, if any. (A `None` is evidence, not a
+/// proof — preservation is undecidable in general.)
+pub fn find_preservation_violation(
+    q: &dyn BooleanQuery,
+    sample: &[Structure],
+) -> Option<(usize, usize)> {
+    for (i, a) in sample.iter().enumerate() {
+        if !q.eval(a) {
+            continue;
+        }
+        for (j, b) in sample.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if hp_hom::hom_exists(a, b) && !q.eval(b) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_logic::Cq;
+    use hp_structures::generators::{directed_cycle, directed_path, random_digraph, self_loop};
+    use hp_structures::Vocabulary;
+
+    #[test]
+    fn ucq_query_eval() {
+        let q = UcqQuery::new(Ucq::new(vec![Cq::canonical_query(&directed_path(3))]));
+        assert!(q.eval(&directed_path(4)));
+        assert!(!q.eval(&directed_path(2)));
+        assert!(q.describe().contains("1 disjunct"));
+    }
+
+    #[test]
+    fn fo_query_eval() {
+        let (f, _) = hp_logic::parse_formula(
+            "exists x. exists y. (E(x,y) & E(y,x))",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let q = FoQuery::new(f);
+        assert!(q.eval(&directed_cycle(2)));
+        assert!(!q.eval(&directed_path(4)));
+    }
+
+    #[test]
+    fn datalog_query_eval() {
+        let p = Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\nGoal() :- T(x,x).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let q = DatalogQuery::new(p, "Goal").unwrap();
+        // Goal = "has a directed cycle".
+        assert!(q.eval(&directed_cycle(4)));
+        assert!(!q.eval(&directed_path(5)));
+        assert!(q.eval(&self_loop()));
+    }
+
+    #[test]
+    fn datalog_query_unknown_goal() {
+        let p = Program::parse("T(x,y) :- E(x,y).", &Vocabulary::digraph()).unwrap();
+        assert!(DatalogQuery::new(p, "Nope").is_err());
+    }
+
+    #[test]
+    fn preservation_violation_detected_for_negation() {
+        // "Has no loop" is NOT preserved under homs.
+        let q = FnQuery::new("loop-free", |a: &Structure| {
+            a.elements()
+                .all(|e| !a.contains_tuple(0usize.into(), &[e, e]))
+        });
+        let sample: Vec<Structure> = vec![directed_path(3), self_loop()];
+        assert_eq!(find_preservation_violation(&q, &sample), Some((0, 1)));
+    }
+
+    #[test]
+    fn ucqs_never_violate_preservation() {
+        let q = UcqQuery::new(Ucq::new(vec![
+            Cq::canonical_query(&directed_cycle(2)),
+            Cq::canonical_query(&directed_path(3)),
+        ]));
+        let sample: Vec<Structure> = (0..8).map(|s| random_digraph(4, 6, s)).collect();
+        assert_eq!(find_preservation_violation(&q, &sample), None);
+    }
+}

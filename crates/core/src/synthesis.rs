@@ -1,0 +1,177 @@
+//! **Theorem 3.1**: the equivalence between "finitely many minimal models"
+//! and "definable by an existential-positive sentence", in both directions
+//! and constructively.
+
+use hp_logic::{Cq, Ucq};
+use hp_structures::{Structure, Vocabulary};
+
+use crate::minimal::{enumerate_minimal_models, MinimalModels};
+use crate::query::BooleanQuery;
+
+/// Direction (1) ⇒ (2) of Theorem 3.1: the disjunction of the canonical
+/// conjunctive queries of the minimal models, minimized.
+pub fn ucq_from_minimal_models(models: &MinimalModels) -> Ucq {
+    Ucq::new(
+        models
+            .models()
+            .iter()
+            .map(Cq::canonical_query)
+            .collect::<Vec<_>>(),
+    )
+    .minimize()
+}
+
+/// Direction (2) ⇒ (1) of Theorem 3.1: from a defining UCQ, a bound on the
+/// size of every minimal model — the maximum canonical-structure size.
+/// (Every minimal model is a homomorphic image of some canonical
+/// structure.)
+pub fn minimal_model_size_bound(u: &Ucq) -> usize {
+    u.disjuncts().iter().map(Cq::var_count).max().unwrap_or(0)
+}
+
+/// The result of the effective rewriting procedure (§8).
+#[derive(Debug)]
+pub struct RewriteOutcome {
+    /// Pairwise non-isomorphic minimal models with ≤ `search_size`
+    /// elements.
+    pub minimal_models: Vec<Structure>,
+    /// The synthesized UCQ (disjunction of canonical queries, minimized).
+    pub ucq: Ucq,
+}
+
+/// The **effective procedure** the paper's §8 promises: given a Boolean
+/// query preserved under homomorphisms and a size bound (supplied by the
+/// theorems — Lemma 3.4 / 4.2 / Theorem 5.3 for the class at hand),
+/// enumerate the minimal models up to the bound and synthesize the
+/// equivalent UCQ.
+///
+/// The output is exactly equivalent to `q` on all structures whose minimal
+/// models fall within `search_size`; the preservation theorems guarantee
+/// that bound exists for first-order `q` on the classes they cover.
+pub fn rewrite_to_ucq(
+    q: &dyn BooleanQuery,
+    vocab: &Vocabulary,
+    search_size: usize,
+) -> Result<RewriteOutcome, String> {
+    let mm = enumerate_minimal_models(q, vocab, search_size);
+    let ucq = ucq_from_minimal_models(&mm);
+    Ok(RewriteOutcome {
+        minimal_models: mm.into_models(),
+        ucq,
+    })
+}
+
+/// Cross-validate a rewriting on a sample: the UCQ and the original query
+/// must agree on every structure. Returns the first disagreement.
+pub fn validate_rewrite<'a>(
+    q: &dyn BooleanQuery,
+    ucq: &Ucq,
+    sample: impl IntoIterator<Item = &'a Structure>,
+) -> Option<Structure> {
+    for a in sample {
+        if q.eval(a) != ucq.holds_in(a) {
+            return Some(a.clone());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{FoQuery, UcqQuery};
+    use hp_structures::generators::{directed_cycle, directed_path, random_digraph, self_loop};
+
+    #[test]
+    fn theorem_3_1_forward_for_path_query() {
+        // q = "path of length 2". Minimal models (≤ 3 elems): P2, C2, C1.
+        let q = UcqQuery::new(Ucq::new(vec![Cq::canonical_query(&directed_path(3))]));
+        let rw = rewrite_to_ucq(&q, &Vocabulary::digraph(), 3).unwrap();
+        assert_eq!(rw.minimal_models.len(), 3);
+        // The synthesized UCQ minimizes back to the single path disjunct:
+        // C1 → P2? hom(P2, C1) exists (fold into loop) so q_{C1} ⊑ q_{P2};
+        // minimization keeps only the weakest... Sagiv–Yannakakis keeps the
+        // containing disjunct P2.
+        assert_eq!(rw.ucq.len(), 1);
+        // Agreement on a sample.
+        let sample: Vec<Structure> = (0..20).map(|s| random_digraph(5, 6, s)).collect();
+        assert!(validate_rewrite(&q, &rw.ucq, sample.iter()).is_none());
+    }
+
+    #[test]
+    fn theorem_3_1_forward_for_union_query() {
+        // q = "loop or 2-cycle" — two incomparable minimal models... C1 and
+        // C2: hom(C1,C2)? needs a loop in C2: no. hom(C2,C1): 2-cycle into
+        // loop: yes! So q_{C1} ⊑ q_{C2}... wait q_{C2} holds in B iff
+        // hom(C2,B); hom(C2,C1) means q_{C2}(C1)... The UCQ minimization:
+        // disjunct q_{C2} contained in q_{C1}? q_{C2} ⊑ q_{C1} iff
+        // hom(C1, C2): false. q_{C1} ⊑ q_{C2} iff hom(C2, C1): true — the
+        // loop disjunct is subsumed by the 2-cycle disjunct!
+        let q = UcqQuery::new(Ucq::new(vec![
+            Cq::canonical_query(&self_loop()),
+            Cq::canonical_query(&directed_cycle(2)),
+        ]));
+        let rw = rewrite_to_ucq(&q, &Vocabulary::digraph(), 3).unwrap();
+        // Minimal models: C1 and C2 (C1 ⊆ nothing smaller; C2's proper
+        // substructures have no loop and no 2-cycle).
+        assert_eq!(rw.minimal_models.len(), 2);
+        assert_eq!(rw.ucq.len(), 1); // subsumption leaves the 2-cycle CQ
+        let sample: Vec<Structure> = (0..20).map(|s| random_digraph(4, 7, s + 99)).collect();
+        assert!(validate_rewrite(&q, &rw.ucq, sample.iter()).is_none());
+    }
+
+    #[test]
+    fn theorem_3_1_for_fo_query_preserved_under_homs() {
+        // FO but hom-preserved: ∃x∃y∃z (E(x,y) ∧ E(y,z) ∧ E(z,x)) — "has a
+        // closed 3-walk". Its rewriting from minimal models of size ≤ 3.
+        let (f, _) = hp_logic::parse_formula(
+            "exists x. exists y. exists z. (E(x,y) & E(y,z) & E(z,x))",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let q = FoQuery::new(f);
+        let rw = rewrite_to_ucq(&q, &Vocabulary::digraph(), 3).unwrap();
+        // Minimal models: C1 and C3 (a 2-cycle has no closed 3-walk —
+        // parity!, wait 0->1->0->1 is a closed walk of length... x=0,y=1,
+        // z=0: E(0,1),E(1,0),E(0,0)? no. So C2 is not a model; C3 and C1
+        // are).
+        assert_eq!(rw.minimal_models.len(), 2);
+        let sample: Vec<Structure> = (0..25).map(|s| random_digraph(4, 6, s)).collect();
+        assert!(validate_rewrite(&q, &rw.ucq, sample.iter()).is_none());
+    }
+
+    #[test]
+    fn backward_direction_size_bound() {
+        let u = Ucq::new(vec![
+            Cq::canonical_query(&directed_path(4)),
+            Cq::canonical_query(&directed_cycle(2)),
+        ]);
+        assert_eq!(minimal_model_size_bound(&u), 4);
+        // And indeed every minimal model of the UCQ query fits the bound.
+        let q = UcqQuery::new(u.clone());
+        let mm = enumerate_minimal_models(&q, &Vocabulary::digraph(), 3);
+        for m in mm.models() {
+            assert!(m.universe_size() <= 4);
+        }
+        assert_eq!(minimal_model_size_bound(&Ucq::empty(0)), 0);
+    }
+
+    #[test]
+    fn rewrite_of_unsatisfiable_query() {
+        let q = UcqQuery::new(Ucq::empty(0));
+        let rw = rewrite_to_ucq(&q, &Vocabulary::digraph(), 2).unwrap();
+        assert!(rw.minimal_models.is_empty());
+        assert!(rw.ucq.is_empty());
+    }
+
+    #[test]
+    fn validate_rewrite_catches_mismatch() {
+        let q = UcqQuery::new(Ucq::new(vec![Cq::canonical_query(&self_loop())]));
+        let wrong = Ucq::new(vec![Cq::canonical_query(&directed_path(2))]);
+        // A path has an edge but no loop: q false, wrong true.
+        let sample = vec![directed_path(2)];
+        assert!(validate_rewrite(&q, &wrong, sample.iter()).is_some());
+    }
+
+    use hp_structures::{Structure, Vocabulary};
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for hp-preservation: rewriting correctness on
+//! random UCQ queries, minimal-model invariants, density tools, and
+//! plebian-companion laws.
+
+use proptest::prelude::*;
+
+use hp_preservation::density::{max_scattered_set, scattered_after_deletions};
+use hp_preservation::minimal::{enumerate_minimal_models, minimize_model};
+use hp_preservation::plebian::{
+    hom_exists_with_constants, hom_exists_with_constants_avoiding, plebian_companion,
+};
+use hp_preservation::prelude::*;
+use hp_preservation::query::{BooleanQuery, UcqQuery};
+use hp_preservation::synthesis::{rewrite_to_ucq, validate_rewrite};
+
+fn digraph_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = Structure> {
+    (
+        1..=max_n,
+        prop::collection::vec((0usize..max_n, 0usize..max_n), 0..max_m),
+    )
+        .prop_map(move |(n, edges)| {
+            let mut s = Structure::new(Vocabulary::digraph(), n);
+            for (u, v) in edges {
+                let _ = s.add_tuple_ids(0, &[(u % n) as u32, (v % n) as u32]);
+            }
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 3.1 round trip on random UCQ queries with small canonical
+    /// structures: rewriting from minimal models reproduces an equivalent
+    /// UCQ (validated semantically on random inputs).
+    #[test]
+    fn rewrite_roundtrip_random_ucq(
+        a in digraph_strategy(3, 5),
+        b in digraph_strategy(3, 5),
+    ) {
+        let u = Ucq::new(vec![Cq::canonical_query(&a), Cq::canonical_query(&b)]);
+        let q = UcqQuery::new(u.clone());
+        let rw = rewrite_to_ucq(&q, &Vocabulary::digraph(), 3).unwrap();
+        // Semantic agreement on random structures.
+        let sample: Vec<Structure> = (0..12)
+            .map(|s| generators::random_digraph(4, 7, s))
+            .collect();
+        prop_assert!(validate_rewrite(&q, &rw.ucq, sample.iter()).is_none());
+        // And exact logical equivalence via Sagiv–Yannakakis.
+        prop_assert!(rw.ucq.is_equivalent_to(&u));
+    }
+
+    /// minimize_model always returns a model below the input, and for
+    /// UCQ queries a true minimal one (no weakening satisfies q).
+    #[test]
+    fn minimize_model_invariants(a in digraph_strategy(4, 8), b in digraph_strategy(3, 5)) {
+        let q = UcqQuery::new(Ucq::new(vec![Cq::canonical_query(&b)]));
+        if q.eval(&a) {
+            let m = minimize_model(&q, &a);
+            prop_assert!(q.eval(&m));
+            prop_assert!(m.universe_size() <= a.universe_size());
+            prop_assert!(m.total_tuples() <= a.total_tuples());
+            for w in m.one_step_weakenings() {
+                prop_assert!(!q.eval(&w));
+            }
+            // Minimal models of hom-preserved queries are cores.
+            prop_assert!(hp_preservation::hom::is_core(&m));
+        }
+    }
+
+    /// Minimal-model enumeration is closed under the defining property:
+    /// every returned model is a model with no satisfying weakening, and
+    /// they are pairwise non-isomorphic.
+    #[test]
+    fn enumeration_wellformed(b in digraph_strategy(3, 4)) {
+        let q = UcqQuery::new(Ucq::new(vec![Cq::canonical_query(&b)]));
+        let mm = enumerate_minimal_models(&q, &Vocabulary::digraph(), 3);
+        for (i, m) in mm.models().iter().enumerate() {
+            prop_assert!(q.eval(m));
+            for w in m.one_step_weakenings() {
+                prop_assert!(!q.eval(&w));
+            }
+            for m2 in &mm.models()[i + 1..] {
+                prop_assert!(!are_isomorphic(m, m2));
+            }
+        }
+        // The canonical structure's own core must appear (it is a minimal
+        // model when |core| ≤ 3).
+        let core = core_of(&b);
+        if core.structure.universe_size() <= 3 && core.structure.total_tuples() > 0 {
+            prop_assert!(
+                mm.models().iter().any(|m| are_isomorphic(m, &core.structure)),
+                "core of the canonical structure missing from minimal models"
+            );
+        }
+    }
+
+    /// Exact max-scattered-set is at least the greedy one and verifies.
+    #[test]
+    fn max_scattered_dominates_greedy(a in digraph_strategy(8, 16), d in 0usize..3) {
+        let g = a.gaifman_graph();
+        let exact = max_scattered_set(&g, d);
+        let greedy = hp_preservation::tw::scattered::greedy_scattered(&g, d);
+        prop_assert!(exact.len() >= greedy.len());
+        prop_assert!(hp_structures::is_d_scattered(&g, d, &exact));
+    }
+
+    /// scattered_after_deletions with s = 0 agrees with max_scattered_set.
+    #[test]
+    fn deletion_free_scatter_agrees(a in digraph_strategy(7, 12), d in 0usize..3) {
+        let g = a.gaifman_graph();
+        let exact = max_scattered_set(&g, d).len();
+        for m in 1..=exact {
+            prop_assert!(scattered_after_deletions(&g, 0, d, m).is_some());
+        }
+        prop_assert!(scattered_after_deletions(&g, 0, d, exact + 1).is_none());
+    }
+
+    /// Plebian laws on random inputs: Gaifman subgraph (Obs 6.1) and the
+    /// exact hom correspondence (corrected Obs 6.2).
+    #[test]
+    fn plebian_laws(a in digraph_strategy(5, 9), b in digraph_strategy(5, 12)) {
+        let ca = [Elem(0)];
+        let cb = [Elem(0)];
+        let pa = plebian_companion(&a, &ca);
+        let pb = plebian_companion(&b, &cb);
+        // Obs 6.1.
+        let ga = a.gaifman_graph();
+        for (u, v) in pa.structure.gaifman_graph().edges() {
+            let (ou, ov) = (pa.old_of_new[u as usize], pa.old_of_new[v as usize]);
+            prop_assert!(ga.has_edge(ou.0, ov.0));
+        }
+        // Corrected Obs 6.2 equivalence + the sound direction.
+        let avoiding = hom_exists_with_constants_avoiding(&a, &ca, &b, &cb);
+        let companion = hp_hom::hom_exists(&pa.structure, &pb.structure);
+        prop_assert_eq!(avoiding, companion);
+        if companion {
+            prop_assert!(hom_exists_with_constants(&a, &ca, &b, &cb));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Datalog programs: rules, predicates, and variable accounting.
+
+use std::collections::BTreeSet;
+
+use hp_structures::{SymbolId, Vocabulary};
+
+/// Reference to a predicate: either an EDB symbol of the input vocabulary
+/// or an IDB predicate of the program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PredRef {
+    /// Extensional predicate (input relation).
+    Edb(SymbolId),
+    /// Intensional predicate (index into [`Program::idbs`]).
+    Idb(usize),
+}
+
+/// An atom in a rule: predicate applied to variables (no constants — the
+/// paper's Datalog is constant-free; constants are simulated by unary EDB
+/// marks when needed).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DatalogAtom {
+    /// The predicate.
+    pub pred: PredRef,
+    /// Argument variables.
+    pub args: Vec<u32>,
+}
+
+/// A rule `H ← B₁, …, B_m`. The head must be an IDB atom.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// Head atom (IDB).
+    pub head: DatalogAtom,
+    /// Body atoms (EDB or IDB). An empty body makes the head
+    /// unconditionally true for all variable assignments.
+    pub body: Vec<DatalogAtom>,
+}
+
+impl Rule {
+    /// The set of distinct variables in the rule.
+    pub fn variables(&self) -> BTreeSet<u32> {
+        let mut out: BTreeSet<u32> = self.head.args.iter().copied().collect();
+        for a in &self.body {
+            out.extend(a.args.iter().copied());
+        }
+        out
+    }
+
+    /// True when every head variable occurs in the body (range
+    /// restriction / safety). Zero-arity heads are always safe.
+    pub fn is_safe(&self) -> bool {
+        let body_vars: BTreeSet<u32> = self
+            .body
+            .iter()
+            .flat_map(|a| a.args.iter().copied())
+            .collect();
+        self.head.args.iter().all(|v| body_vars.contains(v))
+    }
+}
+
+/// A positive Datalog program over an EDB vocabulary.
+#[derive(Clone, Debug)]
+pub struct Program {
+    edb: Vocabulary,
+    idbs: Vec<(String, usize)>,
+    rules: Vec<Rule>,
+    /// Variable names, indexed by variable id (for display).
+    var_names: Vec<String>,
+}
+
+impl Program {
+    /// Build a program from parts. Validates arities and head predicates.
+    pub fn new(
+        edb: Vocabulary,
+        idbs: Vec<(String, usize)>,
+        rules: Vec<Rule>,
+        var_names: Vec<String>,
+    ) -> Result<Program, String> {
+        let p = Program {
+            edb,
+            idbs,
+            rules,
+            var_names,
+        };
+        for (ri, r) in p.rules.iter().enumerate() {
+            if !matches!(r.head.pred, PredRef::Idb(_)) {
+                return Err(format!("rule {ri}: head must be an IDB predicate"));
+            }
+            if !r.is_safe() {
+                return Err(format!("rule {ri}: unsafe (head variable not in body)"));
+            }
+            for a in std::iter::once(&r.head).chain(&r.body) {
+                let want = p.arity(a.pred);
+                if a.args.len() != want {
+                    return Err(format!(
+                        "rule {ri}: predicate arity mismatch ({} args, arity {want})",
+                        a.args.len()
+                    ));
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    /// Parse a program text (grammar documented in the crate-level docs;
+    /// rules like `T(x,y) :- E(x,z), T(z,y).`, `#` comments).
+    pub fn parse(text: &str, edb: &Vocabulary) -> Result<Program, String> {
+        crate::parser::parse_program(text, edb)
+    }
+
+    /// The EDB vocabulary.
+    pub fn edb(&self) -> &Vocabulary {
+        &self.edb
+    }
+
+    /// IDB predicates as `(name, arity)` pairs.
+    pub fn idbs(&self) -> &[(String, usize)] {
+        &self.idbs
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Look up an IDB predicate index by name.
+    pub fn idb_index(&self, name: &str) -> Option<usize> {
+        self.idbs.iter().position(|(n, _)| n == name)
+    }
+
+    /// Arity of any predicate reference.
+    pub fn arity(&self, p: PredRef) -> usize {
+        match p {
+            PredRef::Edb(s) => self.edb.arity(s),
+            PredRef::Idb(i) => self.idbs[i].1,
+        }
+    }
+
+    /// The **total number of distinct variables** in the program — the `k`
+    /// of k-Datalog (§2.3: the transitive-closure program is a 3-Datalog
+    /// program because it uses `x, y, z` in total).
+    pub fn total_variable_count(&self) -> usize {
+        let mut vars: BTreeSet<u32> = BTreeSet::new();
+        for r in &self.rules {
+            vars.extend(r.variables());
+        }
+        vars.len()
+    }
+
+    /// Variable name for display.
+    pub fn var_name(&self, v: u32) -> String {
+        self.var_names
+            .get(v as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("v{v}"))
+    }
+
+    /// Rules whose head is the given IDB.
+    pub fn rules_for(&self, idb: usize) -> impl Iterator<Item = &Rule> {
+        self.rules
+            .iter()
+            .filter(move |r| r.head.pred == PredRef::Idb(idb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tc() -> Program {
+        Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tc_program_shape() {
+        let p = tc();
+        assert_eq!(p.idbs(), &[("T".to_string(), 2)]);
+        assert_eq!(p.rules().len(), 2);
+        assert_eq!(p.total_variable_count(), 3);
+        assert_eq!(p.idb_index("T"), Some(0));
+        assert_eq!(p.idb_index("U"), None);
+    }
+
+    #[test]
+    fn safety_enforced() {
+        let err = Program::parse("T(x,y) :- E(x,x).", &Vocabulary::digraph()).unwrap_err();
+        assert!(err.contains("unsafe"), "{err}");
+    }
+
+    #[test]
+    fn arity_checked() {
+        let err = Program::parse("T(x) :- E(x).", &Vocabulary::digraph()).unwrap_err();
+        assert!(err.contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn rule_variables() {
+        let p = tc();
+        let vars = p.rules()[1].variables();
+        assert_eq!(vars.len(), 3);
+    }
+
+    #[test]
+    fn zero_arity_idb_allowed() {
+        let p = Program::parse("Goal() :- E(x,x).", &Vocabulary::digraph()).unwrap();
+        assert_eq!(p.idbs(), &[("Goal".to_string(), 0)]);
+        assert!(p.rules()[0].is_safe());
+    }
+}

@@ -1,0 +1,325 @@
+//! Bottom-up evaluation: naive stages and semi-naive fixpoints.
+
+use std::collections::BTreeSet;
+
+use hp_structures::{Elem, Structure};
+
+use crate::ast::{PredRef, Program, Rule};
+
+/// An IDB relation instance: a set of tuples.
+pub type IdbRelation = BTreeSet<Vec<Elem>>;
+
+/// The result of evaluating a program on a structure.
+#[derive(Clone, Debug)]
+pub struct FixpointResult {
+    idb_names: Vec<String>,
+    /// Final relations, one per IDB.
+    pub relations: Vec<IdbRelation>,
+    /// Number of iterations of the simultaneous operator Φ needed to reach
+    /// the least fixpoint (the `m₀` of §2.3; 0 for the empty fixpoint).
+    pub stages: usize,
+}
+
+impl FixpointResult {
+    /// The relation computed for a named IDB.
+    pub fn idb(&self, name: &str) -> Option<&IdbRelation> {
+        self.idb_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.relations[i])
+    }
+}
+
+impl Program {
+    /// All satisfying substitutions of a rule body against the given EDB
+    /// structure and IDB state, reported as head tuples. `frontier`, when
+    /// set, restricts one IDB body atom to the delta relation (semi-naive).
+    fn rule_matches(
+        &self,
+        rule: &Rule,
+        a: &Structure,
+        idb: &[IdbRelation],
+        delta: Option<(&[IdbRelation], usize)>,
+        out: &mut IdbRelation,
+    ) {
+        // Variables of the rule, dense-indexed.
+        let vars: Vec<u32> = rule.variables().into_iter().collect();
+        let vpos = |v: u32| vars.binary_search(&v).expect("rule variable");
+        let mut asg: Vec<Option<Elem>> = vec![None; vars.len()];
+        // Order body atoms: delta atom first when present (cheap seed).
+        let mut order: Vec<usize> = (0..rule.body.len()).collect();
+        if let Some((_, di)) = delta {
+            order.swap(0, di);
+        }
+        self.join(rule, a, idb, delta, &order, 0, &mut asg, &vpos, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        &self,
+        rule: &Rule,
+        a: &Structure,
+        idb: &[IdbRelation],
+        delta: Option<(&[IdbRelation], usize)>,
+        order: &[usize],
+        depth: usize,
+        asg: &mut Vec<Option<Elem>>,
+        vpos: &dyn Fn(u32) -> usize,
+        out: &mut IdbRelation,
+    ) {
+        if depth == order.len() {
+            let tuple: Vec<Elem> = rule
+                .head
+                .args
+                .iter()
+                .map(|&v| asg[vpos(v)].expect("safe rule binds head vars"))
+                .collect();
+            out.insert(tuple);
+            return;
+        }
+        let atom = &rule.body[order[depth]];
+        let is_delta_atom = delta.map_or(false, |(_, di)| order[depth] == di)
+            && matches!(atom.pred, PredRef::Idb(_));
+        // Iterate candidate tuples for this atom.
+        let try_tuple =
+            |t: &[Elem], asg: &mut Vec<Option<Elem>>, s: &Program, out: &mut IdbRelation| {
+                let mut touched: Vec<usize> = Vec::new();
+                let mut ok = true;
+                for (i, &v) in atom.args.iter().enumerate() {
+                    let p = vpos(v);
+                    match asg[p] {
+                        Some(e) if e == t[i] => {}
+                        Some(_) => {
+                            ok = false;
+                            break;
+                        }
+                        None => {
+                            asg[p] = Some(t[i]);
+                            touched.push(p);
+                        }
+                    }
+                }
+                if ok {
+                    s.join(rule, a, idb, delta, order, depth + 1, asg, vpos, out);
+                }
+                for p in touched {
+                    asg[p] = None;
+                }
+            };
+        match atom.pred {
+            PredRef::Edb(sym) => {
+                for t in a.relation(sym).iter() {
+                    try_tuple(t, asg, self, out);
+                }
+            }
+            PredRef::Idb(i) => {
+                let rel: &IdbRelation = if is_delta_atom {
+                    &delta.expect("delta set").0[i]
+                } else {
+                    &idb[i]
+                };
+                // Clone-free iteration: BTreeSet iter.
+                for t in rel.iter() {
+                    try_tuple(t, asg, self, out);
+                }
+            }
+        }
+    }
+
+    /// One application of the simultaneous monotone operator Φ (§2.3).
+    pub fn apply_operator(&self, a: &Structure, idb: &[IdbRelation]) -> Vec<IdbRelation> {
+        let mut next: Vec<IdbRelation> = vec![BTreeSet::new(); self.idbs().len()];
+        for rule in self.rules() {
+            let PredRef::Idb(h) = rule.head.pred else {
+                unreachable!("validated")
+            };
+            let mut out = BTreeSet::new();
+            self.rule_matches(rule, a, idb, None, &mut out);
+            next[h].extend(out);
+        }
+        next
+    }
+
+    /// The naive stage sequence `Φ⁰ ⊆ Φ¹ ⊆ ⋯` up to (and including) the
+    /// least fixpoint, capped at `max_stages` applications. Element `m` of
+    /// the returned vector is `Φ^m` (so element 0 is all-empty).
+    pub fn stages(&self, a: &Structure, max_stages: usize) -> Vec<Vec<IdbRelation>> {
+        let mut out = vec![vec![BTreeSet::new(); self.idbs().len()]];
+        for _ in 0..max_stages {
+            let cur = out.last().expect("non-empty");
+            let next = self.apply_operator(a, cur);
+            if &next == cur {
+                break;
+            }
+            out.push(next);
+        }
+        out
+    }
+
+    /// Semi-naive evaluation to the least fixpoint. Also records the stage
+    /// count of the **naive** operator (which is what boundedness is about)
+    /// by counting delta rounds — for Datalog the two coincide: the
+    /// semi-naive rounds compute exactly the naive stages.
+    pub fn evaluate(&self, a: &Structure) -> FixpointResult {
+        let n_idb = self.idbs().len();
+        let mut idb: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
+        let mut delta: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
+        // Round 0: rules evaluated on empty IDBs (EDB-only derivations and
+        // empty-body facts).
+        for rule in self.rules() {
+            let PredRef::Idb(h) = rule.head.pred else {
+                unreachable!()
+            };
+            let mut out = BTreeSet::new();
+            self.rule_matches(rule, a, &idb, None, &mut out);
+            for t in out {
+                if !idb[h].contains(&t) {
+                    delta[h].insert(t);
+                }
+            }
+        }
+        let mut stages = 0;
+        while delta.iter().any(|d| !d.is_empty()) {
+            stages += 1;
+            for (h, d) in delta.iter().enumerate() {
+                idb[h].extend(d.iter().cloned());
+                let _ = h;
+            }
+            let mut next_delta: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
+            for rule in self.rules() {
+                let PredRef::Idb(h) = rule.head.pred else {
+                    unreachable!()
+                };
+                // For each IDB body atom, run with that atom restricted to
+                // the delta (standard semi-naive split).
+                for (bi, batom) in rule.body.iter().enumerate() {
+                    if !matches!(batom.pred, PredRef::Idb(_)) {
+                        continue;
+                    }
+                    let mut out = BTreeSet::new();
+                    self.rule_matches(rule, a, &idb, Some((&delta, bi)), &mut out);
+                    for t in out {
+                        if !idb[h].contains(&t) {
+                            next_delta[h].insert(t);
+                        }
+                    }
+                }
+            }
+            delta = next_delta;
+        }
+        FixpointResult {
+            idb_names: self.idbs().iter().map(|(n, _)| n.clone()).collect(),
+            relations: idb,
+            stages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators::{directed_cycle, directed_path, down_tree, random_digraph};
+    use hp_structures::Vocabulary;
+
+    fn tc() -> Program {
+        Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tc_on_path() {
+        let r = tc().evaluate(&directed_path(5));
+        assert_eq!(r.idb("T").unwrap().len(), 10);
+        assert!(r.idb("T").unwrap().contains(&vec![Elem(0), Elem(4)]));
+        assert!(!r.idb("T").unwrap().contains(&vec![Elem(4), Elem(0)]));
+        assert!(r.idb("U").is_none());
+    }
+
+    #[test]
+    fn tc_on_cycle_is_complete() {
+        let r = tc().evaluate(&directed_cycle(4));
+        assert_eq!(r.idb("T").unwrap().len(), 16);
+    }
+
+    #[test]
+    fn naive_and_semi_naive_agree() {
+        let p = tc();
+        for seed in 0..8 {
+            let a = random_digraph(7, 12, seed);
+            let naive = p.stages(&a, 64);
+            let fixpoint = naive.last().unwrap();
+            let semi = p.evaluate(&a);
+            assert_eq!(&semi.relations, fixpoint, "seed {seed}");
+            // Stage counts agree: stages() returns Φ^0..Φ^{m0}.
+            assert_eq!(naive.len() - 1, semi.stages, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stages_grow_monotonically() {
+        let p = tc();
+        let a = directed_path(6);
+        let st = p.stages(&a, 64);
+        for w in st.windows(2) {
+            for (r0, r1) in w[0].iter().zip(&w[1]) {
+                assert!(r0.is_subset(r1));
+            }
+        }
+        // Path of length 5: TC needs 5 stages.
+        assert_eq!(st.len() - 1, 5);
+    }
+
+    #[test]
+    fn stage_cap_respected() {
+        let p = tc();
+        let st = p.stages(&directed_path(10), 3);
+        assert_eq!(st.len(), 4); // Φ^0..Φ^3
+    }
+
+    #[test]
+    fn multi_idb_reachability() {
+        let v = Vocabulary::from_pairs([("Down", 2), ("Leaf", 1)]);
+        let p = Program::parse(
+            "Reach(x) :- Leaf(x).\nReach(x) :- Down(x,y), Reach(y).\nGoal() :- Reach(x).",
+            &v,
+        )
+        .unwrap();
+        let t = down_tree(3);
+        let r = p.evaluate(&t);
+        // Every node reaches a leaf in a complete tree.
+        assert_eq!(r.idb("Reach").unwrap().len(), t.universe_size());
+        assert_eq!(r.idb("Goal").unwrap().len(), 1); // the empty tuple
+    }
+
+    #[test]
+    fn zero_ary_goal_false_when_unreachable() {
+        let p = Program::parse("Goal() :- E(x,x).", &Vocabulary::digraph()).unwrap();
+        let r = p.evaluate(&directed_path(4));
+        assert!(r.idb("Goal").unwrap().is_empty());
+        let r2 = p.evaluate(&directed_cycle(1));
+        assert_eq!(r2.idb("Goal").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_structure_evaluates() {
+        let p = tc();
+        let a = Structure::new(Vocabulary::digraph(), 0);
+        let r = p.evaluate(&a);
+        assert!(r.idb("T").unwrap().is_empty());
+        assert_eq!(r.stages, 0);
+    }
+
+    #[test]
+    fn repeated_variables_in_rule() {
+        // Loop detection: L(x) :- E(x,x).
+        let p = Program::parse("L(x) :- E(x,x).", &Vocabulary::digraph()).unwrap();
+        let mut a = directed_path(3);
+        a.add_tuple_ids(0, &[1, 1]).unwrap();
+        let r = p.evaluate(&a);
+        assert_eq!(r.idb("L").unwrap().len(), 1);
+        assert!(r.idb("L").unwrap().contains(&vec![Elem(1)]));
+    }
+}

@@ -1,0 +1,51 @@
+//! # hp-datalog
+//!
+//! A Datalog engine (§2.3) with everything §7 of Atserias–Dawar–Kolaitis
+//! needs:
+//!
+//! - positive Datalog programs with EDB/IDB predicates, a text parser, and
+//!   the **total-distinct-variable count** that defines k-Datalog;
+//! - bottom-up evaluation: **naive** stages `Φ⁰, Φ¹, …` (the monotone
+//!   operator of §2.3, used for stage counting) and **semi-naive**
+//!   fixpoints (used for speed);
+//! - **Theorem 7.1** made executable: the m-th stage of a k-Datalog program
+//!   unfolded into a finite disjunction of `CQ^k` formulas
+//!   ([`stage_formula`] / [`stage_ucq`]);
+//! - **boundedness**: an empirical stage-count probe over structure
+//!   families, and a *certified* decision procedure
+//!   ([`certified_bounded_at`]) that checks `Θ^s ≡ Θ^{s+1}` by
+//!   Sagiv–Yannakakis UCQ equivalence — exactly the Ajtai–Gurevich
+//!   criterion of Theorem 7.5.
+//!
+//! ```
+//! use hp_structures::{Vocabulary, generators::directed_path};
+//! use hp_datalog::Program;
+//!
+//! // Transitive closure — the paper's example 3-Datalog program.
+//! let sigma = Vocabulary::digraph();
+//! let tc = Program::parse(
+//!     "T(x,y) :- E(x,y).\n\
+//!      T(x,y) :- E(x,z), T(z,y).",
+//!     &sigma,
+//! ).unwrap();
+//! assert_eq!(tc.total_variable_count(), 3);
+//!
+//! let result = tc.evaluate(&directed_path(5));
+//! // Transitive closure of a 4-edge path has 4+3+2+1 = 10 pairs.
+//! assert_eq!(result.idb("T").unwrap().len(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod bounded;
+mod eval;
+pub mod gallery;
+mod parser;
+mod unfold;
+
+pub use ast::{DatalogAtom, PredRef, Program, Rule};
+pub use bounded::{certified_bounded_at, certified_boundedness, stage_probe, BoundednessProbe};
+pub use eval::{FixpointResult, IdbRelation};
+pub use unfold::{stage_formula, stage_formulas, stage_ucq, stages_agree};

@@ -1,0 +1,211 @@
+//! Parser for Datalog program text.
+//!
+//! ```text
+//! # transitive closure
+//! T(x,y) :- E(x,y).
+//! T(x,y) :- E(x,z), T(z,y).
+//! ```
+//!
+//! Predicates occurring in some head are IDBs (declared implicitly, arity
+//! from first use); every other predicate must belong to the EDB
+//! vocabulary. `#` starts a comment. Each rule ends with `.`.
+
+use hp_structures::Vocabulary;
+
+use crate::ast::{DatalogAtom, PredRef, Program, Rule};
+
+pub(crate) fn parse_program(text: &str, edb: &Vocabulary) -> Result<Program, String> {
+    // First pass: strip comments, split into rule chunks on '.'.
+    let cleaned: String = text
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut raw_rules: Vec<(String, Option<String>)> = Vec::new();
+    for chunk in cleaned.split('.') {
+        let chunk = chunk.trim();
+        if chunk.is_empty() {
+            continue;
+        }
+        match chunk.split_once(":-") {
+            Some((h, b)) => raw_rules.push((h.trim().to_string(), Some(b.trim().to_string()))),
+            None => raw_rules.push((chunk.to_string(), None)),
+        }
+    }
+    // Collect IDB names from heads.
+    let mut idbs: Vec<(String, usize)> = Vec::new();
+    let mut var_names: Vec<String> = Vec::new();
+    let mut rules: Vec<Rule> = Vec::new();
+    // Pre-scan heads for IDB names.
+    let mut head_names: Vec<String> = Vec::new();
+    for (h, _) in &raw_rules {
+        let (name, _) = split_atom(h)?;
+        if !head_names.contains(&name) {
+            head_names.push(name);
+        }
+    }
+    let var_id = |name: &str, vars: &mut Vec<String>| -> u32 {
+        if let Some(i) = vars.iter().position(|v| v == name) {
+            i as u32
+        } else {
+            vars.push(name.to_string());
+            (vars.len() - 1) as u32
+        }
+    };
+    let parse_atom = |s: &str,
+                      idbs: &mut Vec<(String, usize)>,
+                      vars: &mut Vec<String>|
+     -> Result<DatalogAtom, String> {
+        let (name, args) = split_atom(s)?;
+        let args: Vec<u32> = args.iter().map(|a| var_id(a, vars)).collect();
+        let pred = if head_names.contains(&name) {
+            let idx = match idbs.iter().position(|(n, _)| *n == name) {
+                Some(i) => {
+                    if idbs[i].1 != args.len() {
+                        return Err(format!(
+                            "IDB {name} used with arities {} and {}",
+                            idbs[i].1,
+                            args.len()
+                        ));
+                    }
+                    i
+                }
+                None => {
+                    idbs.push((name.clone(), args.len()));
+                    idbs.len() - 1
+                }
+            };
+            PredRef::Idb(idx)
+        } else {
+            match edb.lookup(&name) {
+                Some(s) => PredRef::Edb(s),
+                None => return Err(format!("unknown EDB predicate {name}")),
+            }
+        };
+        Ok(DatalogAtom { pred, args })
+    };
+    for (h, b) in &raw_rules {
+        let head = parse_atom(h, &mut idbs, &mut var_names)?;
+        let mut body = Vec::new();
+        if let Some(b) = b {
+            for part in split_atoms(b)? {
+                body.push(parse_atom(&part, &mut idbs, &mut var_names)?);
+            }
+        }
+        rules.push(Rule { head, body });
+    }
+    Program::new(edb.clone(), idbs, rules, var_names)
+}
+
+/// Split `Name(a, b, c)` into the name and argument identifiers.
+fn split_atom(s: &str) -> Result<(String, Vec<String>), String> {
+    let s = s.trim();
+    let open = s.find('(').ok_or_else(|| format!("malformed atom {s:?}"))?;
+    if !s.ends_with(')') {
+        return Err(format!("malformed atom {s:?}"));
+    }
+    let name = s[..open].trim().to_string();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(format!("bad predicate name in {s:?}"));
+    }
+    let inner = &s[open + 1..s.len() - 1];
+    let args: Vec<String> = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(|a| a.trim().to_string()).collect()
+    };
+    for a in &args {
+        if a.is_empty() || !a.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("bad variable name {a:?} in {s:?}"));
+        }
+    }
+    Ok((name, args))
+}
+
+/// Split a rule body on top-level commas (commas inside parentheses are
+/// argument separators).
+fn split_atoms(s: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.checked_sub(1).ok_or("unbalanced parentheses")?;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if depth != 0 {
+        return Err("unbalanced parentheses".into());
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_tc() {
+        let p = parse_program(
+            "# the paper's example\nT(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        assert_eq!(p.rules().len(), 2);
+        assert_eq!(p.total_variable_count(), 3);
+    }
+
+    #[test]
+    fn parse_multi_idb() {
+        let v = Vocabulary::from_pairs([("Down", 2), ("Leaf", 1)]);
+        let p = parse_program(
+            "Reach(x) :- Leaf(x).\nReach(x) :- Down(x,y), Reach(y).\nGoal() :- Reach(x).",
+            &v,
+        )
+        .unwrap();
+        assert_eq!(p.idbs().len(), 2);
+        assert_eq!(p.idb_index("Goal"), Some(1));
+    }
+
+    #[test]
+    fn error_on_unknown_edb() {
+        let e = parse_program("T(x,y) :- F(x,y).", &Vocabulary::digraph()).unwrap_err();
+        assert!(e.contains("unknown EDB"));
+    }
+
+    #[test]
+    fn error_on_malformed() {
+        assert!(parse_program("T(x,y :- E(x,y).", &Vocabulary::digraph()).is_err());
+        assert!(parse_program("T(x,y) :- E(x,(y)).", &Vocabulary::digraph()).is_err());
+    }
+
+    #[test]
+    fn error_on_inconsistent_idb_arity() {
+        let e = parse_program("T(x,y) :- E(x,y).\nT(x) :- T(x,x).", &Vocabulary::digraph())
+            .unwrap_err();
+        assert!(e.contains("ar"), "{e}");
+    }
+
+    #[test]
+    fn facts_with_empty_body_rejected_when_unsafe() {
+        // "T(x,y)." with no body is unsafe (head vars unbound).
+        assert!(parse_program("T(x,y).", &Vocabulary::digraph()).is_err());
+        // A 0-ary fact is fine.
+        let p = parse_program("Flag().", &Vocabulary::digraph()).unwrap();
+        assert_eq!(p.idbs(), &[("Flag".to_string(), 0)]);
+    }
+}

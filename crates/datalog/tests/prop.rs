@@ -1,0 +1,121 @@
+//! Property-based tests for hp-datalog: naive/semi-naive agreement on
+//! random inputs, stage monotonicity, unfolding agreement, and boundedness
+//! certificate soundness.
+
+use proptest::prelude::*;
+
+use hp_datalog::{certified_bounded_at, stage_ucq, stages_agree, Program};
+use hp_structures::{Structure, Vocabulary};
+
+fn digraph_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = Structure> {
+    (
+        1..=max_n,
+        prop::collection::vec((0usize..max_n, 0usize..max_n), 0..max_m),
+    )
+        .prop_map(move |(n, edges)| {
+            let mut s = Structure::new(Vocabulary::digraph(), n);
+            for (u, v) in edges {
+                let _ = s.add_tuple_ids(0, &[(u % n) as u32, (v % n) as u32]);
+            }
+            s
+        })
+}
+
+fn tc() -> Program {
+    Program::parse(
+        "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).",
+        &Vocabulary::digraph(),
+    )
+    .unwrap()
+}
+
+fn programs() -> Vec<Program> {
+    let v = Vocabulary::digraph();
+    vec![
+        tc(),
+        Program::parse("P(x,y) :- E(x,z), E(z,y).", &v).unwrap(),
+        Program::parse("L(x) :- E(x,x).\nL(x) :- E(x,y), L(y).", &v).unwrap(),
+        Program::parse(
+            "Even(x,y) :- E(x,z), Odd(z,y).\nOdd(x,y) :- E(x,y).\nOdd(x,y) :- E(x,z), Even(z,y).",
+            &v,
+        )
+        .unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Naive fixpoint == semi-naive fixpoint, and stage counts agree, for
+    /// every program in the gallery on random digraphs.
+    #[test]
+    fn naive_semi_naive_agree(a in digraph_strategy(6, 14)) {
+        for p in programs() {
+            let naive = p.stages(&a, 64);
+            let fix = naive.last().unwrap();
+            let semi = p.evaluate(&a);
+            prop_assert_eq!(&semi.relations, fix);
+            prop_assert_eq!(semi.stages, naive.len() - 1);
+        }
+    }
+
+    /// Stages are monotone under Φ (least-fixpoint iteration from ∅).
+    #[test]
+    fn stages_monotone(a in digraph_strategy(6, 12)) {
+        for p in programs() {
+            let st = p.stages(&a, 32);
+            for w in st.windows(2) {
+                for (r0, r1) in w[0].iter().zip(&w[1]) {
+                    prop_assert!(r0.is_subset(r1));
+                }
+            }
+        }
+    }
+
+    /// Theorem 7.1: unfolded stage UCQs agree with the operator stages.
+    #[test]
+    fn unfolding_agrees(a in digraph_strategy(5, 10)) {
+        for p in programs() {
+            prop_assert!(stages_agree(&p, &a, 3).is_ok());
+        }
+    }
+
+    /// Fixpoints are preserved under homomorphisms elementwise: Datalog
+    /// queries are (infinitary) UCQs, so if h : A → B then h(T^A) ⊆ T^B.
+    #[test]
+    fn fixpoint_preserved_under_homs(a in digraph_strategy(5, 8), b in digraph_strategy(5, 12)) {
+        if let Some(h) = hp_hom::find_hom(&a, &b) {
+            let p = tc();
+            let fa = p.evaluate(&a);
+            let fb = p.evaluate(&b);
+            for t in &fa.relations[0] {
+                let mapped: Vec<_> = t.iter().map(|e| h[e.index()]).collect();
+                prop_assert!(fb.relations[0].contains(&mapped));
+            }
+        }
+    }
+
+    /// Soundness of the boundedness certificate: if certified at s, the
+    /// fixpoint equals stage s on arbitrary random structures.
+    #[test]
+    fn certificate_sound(a in digraph_strategy(6, 12)) {
+        let v = Vocabulary::digraph();
+        let p = Program::parse(
+            "R(x) :- E(x,x).\nR(x) :- E(x,y), R(y), E(x,x).",
+            &v,
+        ).unwrap();
+        prop_assert!(certified_bounded_at(&p, 1).unwrap());
+        let u = stage_ucq(&p, 0, 1).unwrap();
+        let fix = p.evaluate(&a);
+        let mut expected: Vec<_> = fix.relations[0].iter().cloned().collect();
+        expected.sort();
+        prop_assert_eq!(u.answers(&a), expected);
+    }
+
+    /// TC is never certified bounded at small stages (completeness side on
+    /// a known-unbounded program).
+    #[test]
+    fn tc_never_certifies(s in 0usize..4) {
+        prop_assert!(!certified_bounded_at(&tc(), s).unwrap());
+    }
+}

@@ -1,0 +1,229 @@
+//! Cores and retracts (§6.2).
+//!
+//! A substructure **B** of **A** is a *core of* **A** if there is a
+//! homomorphism from **A** to **B** but none from **A** to any proper
+//! substructure of **B**. Every finite structure has a core, unique up to
+//! isomorphism, and is homomorphically equivalent to it.
+
+use hp_structures::{BitSet, Elem, Structure};
+
+use crate::search::HomSearch;
+
+/// The core of a structure, together with the witnessing retraction.
+#[derive(Clone, Debug)]
+pub struct Core {
+    /// The core itself (universe renumbered densely).
+    pub structure: Structure,
+    /// For each element of the *original* structure, the core element
+    /// (in the core's numbering) it retracts to.
+    pub retraction: Vec<Elem>,
+    /// For each element of the core, the original element it came from.
+    pub old_of_new: Vec<Elem>,
+}
+
+/// Try to find a retract of `a` that avoids the element `e`: a homomorphism
+/// `h : a → a` whose image excludes `e`. Returns the map if one exists.
+///
+/// This is the elementary step of the core computation: `a` has a proper
+/// retract iff some single element can be avoided (folding away one element
+/// at a time reaches the core).
+pub fn retract_avoiding(a: &Structure, e: Elem) -> Option<Vec<Elem>> {
+    HomSearch::new(a, a).forbid_value(e).solve()
+}
+
+/// True when `a` is its own core: no homomorphism from `a` into a proper
+/// substructure of `a`.
+///
+/// It suffices to check single-element-avoiding retracts: if `a` folds into
+/// any proper substructure, the image misses some element.
+pub fn is_core(a: &Structure) -> bool {
+    a.elements().all(|e| retract_avoiding(a, e).is_none())
+}
+
+/// Compute the core of `a` (unique up to isomorphism), with the retraction
+/// map from `a` onto it.
+///
+/// Algorithm: repeatedly find a single-element-avoiding endo-retract, take
+/// the induced substructure on its image, and compose the maps; stop when no
+/// element can be avoided. Each round removes at least one element, so at
+/// most `|A|` rounds run; each round is a homomorphism search.
+pub fn core_of(a: &Structure) -> Core {
+    let mut current = a.clone();
+    // retraction[i] = current element that original element i maps to,
+    // expressed in current's numbering.
+    let mut retraction: Vec<Elem> = (0..a.universe_size()).map(Elem::from).collect();
+    // old_of_new[j] = original element behind current element j.
+    let mut old_of_new: Vec<Elem> = (0..a.universe_size()).map(Elem::from).collect();
+    'outer: loop {
+        for e in current.elements() {
+            if let Some(h) = retract_avoiding(&current, e) {
+                // Iterate h to an idempotent power: folding maps compose,
+                // so h^(2^j) shrinks the image to the h-recurrent elements
+                // in O(log n) squarings — collapsing what would otherwise
+                // take one search round per dropped element.
+                let mut h = h;
+                loop {
+                    let squared: Vec<Elem> = h.iter().map(|&v| h[v.index()]).collect();
+                    if squared == h {
+                        break;
+                    }
+                    let img = |m: &[Elem]| {
+                        let mut s = BitSet::new(m.len());
+                        for &v in m {
+                            s.insert(v.index());
+                        }
+                        s.len()
+                    };
+                    let shrink = img(&squared) < img(&h);
+                    h = squared;
+                    if !shrink {
+                        break;
+                    }
+                }
+                // Restrict to the image of h.
+                let mut image = BitSet::new(current.universe_size());
+                for &v in &h {
+                    image.insert(v.index());
+                }
+                let (next, old_of_new_step) = current.induced(&image);
+                // new_of_old over current's numbering:
+                let mut new_of_old = vec![u32::MAX; current.universe_size()];
+                for (new, &old) in old_of_new_step.iter().enumerate() {
+                    new_of_old[old.index()] = new as u32;
+                }
+                for r in retraction.iter_mut() {
+                    let via = h[r.index()];
+                    *r = Elem(new_of_old[via.index()]);
+                }
+                old_of_new = old_of_new_step
+                    .iter()
+                    .map(|&cur| old_of_new[cur.index()])
+                    .collect();
+                current = next;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    debug_assert!(a.is_homomorphism(
+        &retraction.iter().map(|e| Elem(e.0)).collect::<Vec<_>>(),
+        &current
+    ));
+    Core {
+        structure: current,
+        retraction,
+        old_of_new,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iso::{are_homomorphically_equivalent, are_isomorphic};
+    use hp_structures::generators::{
+        bicycle, clique, complete_bipartite, cycle, directed_cycle, directed_path, grid, wheel,
+    };
+
+    #[test]
+    fn directed_path_is_core() {
+        assert!(is_core(&directed_path(4)));
+        let c = core_of(&directed_path(4));
+        assert_eq!(c.structure.universe_size(), 4);
+    }
+
+    #[test]
+    fn directed_cycles_are_cores() {
+        for n in [1usize, 2, 3, 5, 6] {
+            assert!(is_core(&directed_cycle(n)), "C_{n} should be a core");
+        }
+    }
+
+    #[test]
+    fn core_of_bipartite_is_k2() {
+        // §6.2: the core of every non-trivial bipartite graph is K_2.
+        for g in [
+            complete_bipartite(3, 4),
+            cycle(6),
+            grid(3, 4),
+            hp_structures::generators::star(5),
+        ] {
+            let c = core_of(&g.to_structure());
+            assert_eq!(c.structure.universe_size(), 2, "bipartite core is K2");
+            assert_eq!(c.structure.total_tuples(), 2); // both orientations
+        }
+    }
+
+    #[test]
+    fn core_of_odd_cycle_is_itself() {
+        let c5 = cycle(5).to_structure();
+        assert!(is_core(&c5));
+        assert_eq!(core_of(&c5).structure.universe_size(), 5);
+    }
+
+    #[test]
+    fn core_of_bicycle_is_k4() {
+        // §6.2: B_n = W_n + K_4 has core K_4 (wheels are 4-colorable).
+        for n in [3usize, 5, 6, 7] {
+            let b = bicycle(n).to_structure();
+            let c = core_of(&b);
+            assert!(
+                are_isomorphic(&c.structure, &clique(4).to_structure()),
+                "core of B_{n} should be K_4"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_wheels_are_cores() {
+        // §6.2: W_n is a core when n is odd (n >= 5; W_3 = K_4 is also a core).
+        for n in [3usize, 5, 7] {
+            assert!(is_core(&wheel(n).to_structure()), "W_{n} should be a core");
+        }
+        // Even wheels are NOT cores: W_4 is 3-colorable? W_4's rim C_4 is
+        // 2-colorable, plus hub = 3 colors, so W_4 folds onto K_3... which is
+        // its triangle subgraph.
+        let w4 = wheel(4).to_structure();
+        assert!(!is_core(&w4));
+        let c = core_of(&w4);
+        assert!(are_isomorphic(&c.structure, &clique(3).to_structure()));
+    }
+
+    #[test]
+    fn retraction_is_homomorphism_onto_core() {
+        let g = grid(3, 3).to_structure();
+        let c = core_of(&g);
+        // The retraction must be a hom from g onto the core.
+        assert!(g.is_homomorphism(&c.retraction, &c.structure));
+        // And the core must embed back (it's an induced substructure).
+        assert!(are_homomorphically_equivalent(&g, &c.structure));
+        // Idempotent: core of core is itself.
+        let cc = core_of(&c.structure);
+        assert!(are_isomorphic(&c.structure, &cc.structure));
+        // old_of_new maps into the original universe.
+        assert!(c.old_of_new.iter().all(|e| e.index() < g.universe_size()));
+    }
+
+    #[test]
+    fn core_unique_up_to_iso_across_presentations() {
+        // Two different bipartite graphs have isomorphic cores (K_2).
+        let a = core_of(&cycle(8).to_structure());
+        let b = core_of(&grid(2, 5).to_structure());
+        assert!(are_isomorphic(&a.structure, &b.structure));
+    }
+
+    #[test]
+    fn core_of_disjoint_union_with_absorbing_part() {
+        // P3 ⊕ C3 (directed): P3 → C3, so the core is C3.
+        let u = directed_path(3).disjoint_union(&directed_cycle(3)).unwrap();
+        let c = core_of(&u);
+        assert!(are_isomorphic(&c.structure, &directed_cycle(3)));
+    }
+
+    #[test]
+    fn retract_avoiding_none_on_cores() {
+        let c3 = directed_cycle(3);
+        for e in c3.elements() {
+            assert!(retract_avoiding(&c3, e).is_none());
+        }
+    }
+}

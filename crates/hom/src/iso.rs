@@ -1,0 +1,196 @@
+//! Isomorphism and homomorphic equivalence.
+
+use hp_structures::Structure;
+
+use crate::search::{hom_exists, HomSearch};
+
+/// A cheap isomorphism-invariant fingerprint: universe size, per-relation
+/// tuple counts, and the sorted Gaifman degree sequence. Structures with
+/// different invariants are never isomorphic; equal invariants are only a
+/// candidate match.
+pub fn canonical_invariant(a: &Structure) -> (usize, Vec<usize>, Vec<usize>) {
+    let sizes: Vec<usize> = a.relations().map(|(_, r)| r.len()).collect();
+    let g = a.gaifman_graph();
+    let mut degs: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    degs.sort_unstable();
+    (a.universe_size(), sizes, degs)
+}
+
+/// Exact isomorphism test.
+///
+/// Uses the fact that between structures of equal universe size with equal
+/// per-relation tuple counts, every **injective homomorphism is an
+/// isomorphism**: an injective map sends distinct tuples to distinct tuples,
+/// so `|h(R^A)| = |R^A| = |R^B|` forces `h(R^A) = R^B`, i.e. `h` also
+/// reflects every relation.
+pub fn are_isomorphic(a: &Structure, b: &Structure) -> bool {
+    if a.vocab() != b.vocab() || canonical_invariant(a) != canonical_invariant(b) {
+        return false;
+    }
+    if a.universe_size() == 0 {
+        return true;
+    }
+    HomSearch::new(a, b).injective().exists()
+}
+
+/// Homomorphic equivalence (§2.1): homs both ways.
+pub fn are_homomorphically_equivalent(a: &Structure, b: &Structure) -> bool {
+    hom_exists(a, b) && hom_exists(b, a)
+}
+
+/// Count endomorphisms of `a` (up to `limit`). Every structure has at
+/// least the identity.
+pub fn endomorphism_count(a: &Structure, limit: usize) -> usize {
+    HomSearch::new(a, a).count(limit)
+}
+
+/// A structure is **rigid** when its only endomorphism is the identity.
+/// Rigid structures are cores (no proper retract exists when nothing moves
+/// at all).
+pub fn is_rigid(a: &Structure) -> bool {
+    endomorphism_count(a, 2) == 1
+}
+
+/// Isomorphism of **pointed structures** `(A, ā) ≅ (B, b̄)`: an isomorphism
+/// carrying the distinguished tuple pointwise. Used to deduplicate minimal
+/// models of non-Boolean queries.
+pub fn are_isomorphic_pointed(
+    a: &Structure,
+    pa: &[hp_structures::Elem],
+    b: &Structure,
+    pb: &[hp_structures::Elem],
+) -> bool {
+    if pa.len() != pb.len()
+        || a.vocab() != b.vocab()
+        || canonical_invariant(a) != canonical_invariant(b)
+    {
+        return false;
+    }
+    if a.universe_size() == 0 {
+        return true;
+    }
+    let mut s = HomSearch::new(a, b).injective();
+    for (&x, &y) in pa.iter().zip(pb) {
+        s = s.pin(x, y);
+    }
+    s.exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators::{
+        cycle, directed_cycle, directed_path, grid, path, transitive_tournament,
+    };
+    use hp_structures::{Structure, Vocabulary};
+
+    #[test]
+    fn iso_reflexive_and_relabeling() {
+        let c = directed_cycle(5);
+        assert!(are_isomorphic(&c, &c));
+        // Relabel the cycle: 0->2->4->1->3->0 is again a directed 5-cycle.
+        let mut r = Structure::new(Vocabulary::digraph(), 5);
+        let order = [0u32, 2, 4, 1, 3];
+        for i in 0..5 {
+            r.add_tuple_ids(0, &[order[i], order[(i + 1) % 5]]).unwrap();
+        }
+        assert!(are_isomorphic(&c, &r));
+    }
+
+    #[test]
+    fn non_iso_same_sizes() {
+        // C_6 vs two disjoint C_3's: same vertex count, same edge count,
+        // same degree sequence — but not isomorphic.
+        let c6 = directed_cycle(6);
+        let c3 = directed_cycle(3);
+        let cc = c3.disjoint_union(&c3).unwrap();
+        assert_eq!(canonical_invariant(&c6), canonical_invariant(&cc));
+        assert!(!are_isomorphic(&c6, &cc));
+    }
+
+    #[test]
+    fn invariant_rejects_quickly() {
+        let p = directed_path(4);
+        let t = transitive_tournament(4);
+        assert_ne!(canonical_invariant(&p), canonical_invariant(&t));
+        assert!(!are_isomorphic(&p, &t));
+    }
+
+    #[test]
+    fn undirected_iso() {
+        assert!(are_isomorphic(
+            &grid(2, 3).to_structure(),
+            &grid(3, 2).to_structure()
+        ));
+        assert!(!are_isomorphic(
+            &path(4).to_structure(),
+            &cycle(4).to_structure()
+        ));
+    }
+
+    #[test]
+    fn hom_equivalence_examples() {
+        // Directed paths: P_2 and P_5 are hom-equivalent? No: P_5 → P_2
+        // fails (length-4 walk needs 4 forward steps... actually P_5 → P_2
+        // cannot exist: a path of length 4 cannot fold into a path of length
+        // 1 because orientations force progress). C_6 ≈ C_3? No: C_3 ↛ C_6.
+        // Even undirected cycles C_4 and C_6 (as symmetric structures) are
+        // hom-equivalent to K_2.
+        let c4 = cycle(4).to_structure();
+        let c6 = cycle(6).to_structure();
+        assert!(are_homomorphically_equivalent(&c4, &c6));
+        let k2 = cycle(4); // placeholder to keep types; K2:
+        let _ = k2;
+        let k2 = hp_structures::generators::clique(2).to_structure();
+        assert!(are_homomorphically_equivalent(&c4, &k2));
+        // Odd cycle is NOT hom-equivalent to K_2 (not 2-colorable).
+        let c5 = cycle(5).to_structure();
+        assert!(!are_homomorphically_equivalent(&c5, &k2));
+    }
+
+    #[test]
+    fn rigidity_and_endomorphisms() {
+        // Directed paths are rigid: the unique source pins everything.
+        assert!(is_rigid(&directed_path(4)));
+        // Directed cycles have exactly n endomorphisms (the rotations).
+        for n in [3usize, 4, 5] {
+            assert_eq!(endomorphism_count(&directed_cycle(n), usize::MAX), n);
+            assert!(!is_rigid(&directed_cycle(n)));
+        }
+        // Rigid ⇒ core.
+        assert!(crate::core_impl::is_core(&directed_path(4)));
+    }
+
+    #[test]
+    fn pointed_isomorphism_respects_points() {
+        use hp_structures::Elem;
+        let c = directed_cycle(4);
+        // (C4, 0) ≅ (C4, 2) via rotation…
+        assert!(are_isomorphic_pointed(&c, &[Elem(0)], &c, &[Elem(2)]));
+        // …but the pair (0, 1) (adjacent) is not isomorphic to (0, 2)
+        // (opposite).
+        assert!(are_isomorphic_pointed(
+            &c,
+            &[Elem(0), Elem(1)],
+            &c,
+            &[Elem(2), Elem(3)]
+        ));
+        assert!(!are_isomorphic_pointed(
+            &c,
+            &[Elem(0), Elem(1)],
+            &c,
+            &[Elem(0), Elem(2)]
+        ));
+        // Arity mismatch.
+        assert!(!are_isomorphic_pointed(&c, &[Elem(0)], &c, &[]));
+    }
+
+    #[test]
+    fn empty_structures_isomorphic() {
+        let v = Vocabulary::digraph();
+        assert!(are_isomorphic(
+            &Structure::new(v.clone(), 0),
+            &Structure::new(v, 0)
+        ));
+    }
+}

@@ -1,0 +1,42 @@
+//! # hp-hom
+//!
+//! Homomorphisms between finite relational structures: existence, search,
+//! enumeration, isomorphism, retracts, and **cores** — the algorithmic heart
+//! of the Chandra–Merlin correspondence (Theorem 2.1) and of §6.2 of
+//! Atserias–Dawar–Kolaitis (PODS 2004).
+//!
+//! Homomorphism search is implemented as a constraint-satisfaction search:
+//! variables are the elements of the source structure, domains are subsets
+//! of the target universe, constraints are the source tuples. The solver
+//! combines generalized arc consistency over tuple constraints with
+//! minimum-remaining-values branching, and supports pinned variables
+//! (constants, pebbles), restricted codomains, injectivity (for
+//! isomorphism), and surjectivity (for the minimal-model arguments of §7).
+//!
+//! ```
+//! use hp_structures::generators::{directed_cycle, directed_path};
+//! use hp_hom::{hom_exists, core_of};
+//!
+//! // A path of length 3 maps into the directed 3-cycle (wrap around)…
+//! assert!(hom_exists(&directed_path(4), &directed_cycle(3)));
+//! // …but the cycle does not map into the path.
+//! assert!(!hom_exists(&directed_cycle(3), &directed_path(4)));
+//!
+//! // The core of a structure that already is a core is itself.
+//! let c3 = directed_cycle(3);
+//! assert_eq!(core_of(&c3).structure.universe_size(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core_impl;
+mod iso;
+mod search;
+
+pub use core_impl::{core_of, is_core, retract_avoiding, Core};
+pub use iso::{
+    are_homomorphically_equivalent, are_isomorphic, are_isomorphic_pointed, canonical_invariant,
+    endomorphism_count, is_rigid,
+};
+pub use search::{all_homs, find_hom, hom_exists, HomSearch};

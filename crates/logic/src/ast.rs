@@ -1,0 +1,379 @@
+//! The first-order formula AST.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use hp_structures::SymbolId;
+
+/// A first-order variable, identified by a dense index. The pretty-printer
+/// renders `Var(i)` as `x{i}`.
+pub type Var = u32;
+
+/// An atomic formula `R(x₁, …, x_r)` (variables may repeat).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// Relation symbol.
+    pub sym: SymbolId,
+    /// Argument variables.
+    pub args: Vec<Var>,
+}
+
+/// A first-order formula over a relational vocabulary (§2.2).
+///
+/// Conjunction and disjunction are n-ary: `And(vec![])` is ⊤ and
+/// `Or(vec![])` is ⊥. Equality atoms are a separate constructor so the
+/// existential-positive normalizer can eliminate them by substitution.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// `R(x̄)`.
+    Atom(Atom),
+    /// `x = y`.
+    Eq(Var, Var),
+    /// `¬φ`.
+    Not(Box<Formula>),
+    /// `φ₁ ∧ ⋯ ∧ φ_n` (⊤ when empty).
+    And(Vec<Formula>),
+    /// `φ₁ ∨ ⋯ ∨ φ_n` (⊥ when empty).
+    Or(Vec<Formula>),
+    /// `∃x φ`.
+    Exists(Var, Box<Formula>),
+    /// `∀x φ`.
+    Forall(Var, Box<Formula>),
+}
+
+impl Formula {
+    /// The true formula ⊤.
+    pub fn top() -> Formula {
+        Formula::And(Vec::new())
+    }
+
+    /// The false formula ⊥.
+    pub fn bottom() -> Formula {
+        Formula::Or(Vec::new())
+    }
+
+    /// Shorthand for an atom.
+    pub fn atom(sym: impl Into<SymbolId>, args: &[Var]) -> Formula {
+        Formula::Atom(Atom {
+            sym: sym.into(),
+            args: args.to_vec(),
+        })
+    }
+
+    /// Shorthand for `∃x φ`.
+    pub fn exists(x: Var, f: Formula) -> Formula {
+        Formula::Exists(x, Box::new(f))
+    }
+
+    /// Shorthand for `∀x φ`.
+    pub fn forall(x: Var, f: Formula) -> Formula {
+        Formula::Forall(x, Box::new(f))
+    }
+
+    /// Shorthand for `¬φ`.
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// The set of free variables.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        fn go(f: &Formula, bound: &mut Vec<Var>, out: &mut BTreeSet<Var>) {
+            match f {
+                Formula::Atom(a) => {
+                    for &v in &a.args {
+                        if !bound.contains(&v) {
+                            out.insert(v);
+                        }
+                    }
+                }
+                Formula::Eq(x, y) => {
+                    for &v in [x, y] {
+                        if !bound.contains(&v) {
+                            out.insert(v);
+                        }
+                    }
+                }
+                Formula::Not(g) => go(g, bound, out),
+                Formula::And(gs) | Formula::Or(gs) => {
+                    for g in gs {
+                        go(g, bound, out);
+                    }
+                }
+                Formula::Exists(x, g) | Formula::Forall(x, g) => {
+                    bound.push(*x);
+                    go(g, bound, out);
+                    bound.pop();
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// All variables occurring (free or bound).
+    pub fn all_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| match f {
+            Formula::Atom(a) => out.extend(a.args.iter().copied()),
+            Formula::Eq(x, y) => {
+                out.insert(*x);
+                out.insert(*y);
+            }
+            Formula::Exists(x, _) | Formula::Forall(x, _) => {
+                out.insert(*x);
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// Number of **distinct** variables — the resource the `CQ^k` and
+    /// `∃FO^{k,+}` fragments of §7 bound.
+    pub fn distinct_var_count(&self) -> usize {
+        self.all_vars().len()
+    }
+
+    /// True when the formula is a sentence (no free variables).
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// True when the formula is **existential positive**: built from atoms
+    /// and equalities using only ∧, ∨, ∃ (§2.2).
+    pub fn is_existential_positive(&self) -> bool {
+        match self {
+            Formula::Atom(_) | Formula::Eq(_, _) => true,
+            Formula::And(gs) | Formula::Or(gs) => gs.iter().all(Formula::is_existential_positive),
+            Formula::Exists(_, g) => g.is_existential_positive(),
+            Formula::Not(_) | Formula::Forall(_, _) => false,
+        }
+    }
+
+    /// True when the formula is a **primitive-positive / CQ-shaped** formula:
+    /// existential positive without disjunction.
+    pub fn is_conjunctive(&self) -> bool {
+        match self {
+            Formula::Atom(_) | Formula::Eq(_, _) => true,
+            Formula::And(gs) => gs.iter().all(Formula::is_conjunctive),
+            Formula::Exists(_, g) => g.is_conjunctive(),
+            _ => false,
+        }
+    }
+
+    /// Visit every subformula, outside-in.
+    pub fn visit(&self, f: &mut impl FnMut(&Formula)) {
+        f(self);
+        match self {
+            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => g.visit(f),
+            Formula::And(gs) | Formula::Or(gs) => {
+                for g in gs {
+                    g.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Rename bound variables so that **every binder binds a distinct,
+    /// fresh variable** (fresh ids start above all existing variable ids).
+    /// Free variables are untouched. This is the first step of the
+    /// prenexing in Lemma 7.2 and of the existential-positive → UCQ
+    /// normalization.
+    pub fn renamed_apart(&self) -> Formula {
+        fn go(f: &Formula, scope: &mut Vec<(Var, Var)>, next: &mut Var) -> Formula {
+            let lookup = |v: Var, scope: &[(Var, Var)]| -> Var {
+                scope
+                    .iter()
+                    .rev()
+                    .find(|&&(from, _)| from == v)
+                    .map_or(v, |&(_, to)| to)
+            };
+            match f {
+                Formula::Atom(a) => Formula::Atom(Atom {
+                    sym: a.sym,
+                    args: a.args.iter().map(|&v| lookup(v, scope)).collect(),
+                }),
+                Formula::Eq(x, y) => Formula::Eq(lookup(*x, scope), lookup(*y, scope)),
+                Formula::Not(g) => Formula::not(go(g, scope, next)),
+                Formula::And(gs) => Formula::And(gs.iter().map(|g| go(g, scope, next)).collect()),
+                Formula::Or(gs) => Formula::Or(gs.iter().map(|g| go(g, scope, next)).collect()),
+                Formula::Exists(x, g) => {
+                    let fresh = *next;
+                    *next += 1;
+                    scope.push((*x, fresh));
+                    let g2 = go(g, scope, next);
+                    scope.pop();
+                    Formula::exists(fresh, g2)
+                }
+                Formula::Forall(x, g) => {
+                    let fresh = *next;
+                    *next += 1;
+                    scope.push((*x, fresh));
+                    let g2 = go(g, scope, next);
+                    scope.pop();
+                    Formula::forall(fresh, g2)
+                }
+            }
+        }
+        let mut next = self.all_vars().iter().max().map_or(0, |&v| v + 1);
+        go(self, &mut Vec::new(), &mut next)
+    }
+
+    /// Rename every variable via `map` (applied to both binders and
+    /// occurrences; the map must be injective on the variables in use or the
+    /// result may capture).
+    pub fn rename_vars(&self, map: &impl Fn(Var) -> Var) -> Formula {
+        match self {
+            Formula::Atom(a) => Formula::Atom(Atom {
+                sym: a.sym,
+                args: a.args.iter().map(|&v| map(v)).collect(),
+            }),
+            Formula::Eq(x, y) => Formula::Eq(map(*x), map(*y)),
+            Formula::Not(g) => Formula::not(g.rename_vars(map)),
+            Formula::And(gs) => Formula::And(gs.iter().map(|g| g.rename_vars(map)).collect()),
+            Formula::Or(gs) => Formula::Or(gs.iter().map(|g| g.rename_vars(map)).collect()),
+            Formula::Exists(x, g) => Formula::exists(map(*x), g.rename_vars(map)),
+            Formula::Forall(x, g) => Formula::forall(map(*x), g.rename_vars(map)),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom(a) => {
+                write!(f, "R{}(", a.sym.0)?;
+                for (i, v) in a.args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "x{v}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Eq(x, y) => write!(f, "x{x}=x{y}"),
+            Formula::Not(g) => write!(f, "~({g})"),
+            Formula::And(gs) if gs.is_empty() => write!(f, "true"),
+            Formula::Or(gs) if gs.is_empty() => write!(f, "false"),
+            Formula::And(gs) => {
+                write!(f, "(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(gs) => {
+                write!(f, "(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(x, g) => write!(f, "exists x{x}. {g}"),
+            Formula::Forall(x, g) => write!(f, "forall x{x}. {g}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(x: Var, y: Var) -> Formula {
+        Formula::atom(0usize, &[x, y])
+    }
+
+    #[test]
+    fn free_and_bound_vars() {
+        // exists x0. E(x0, x1)
+        let f = Formula::exists(0, edge(0, 1));
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(f.all_vars().len(), 2);
+        assert!(!f.is_sentence());
+        let g = Formula::exists(1, f);
+        assert!(g.is_sentence());
+    }
+
+    #[test]
+    fn fragment_recognizers() {
+        let cq = Formula::exists(0, Formula::exists(1, edge(0, 1)));
+        assert!(cq.is_existential_positive());
+        assert!(cq.is_conjunctive());
+        let ucq = Formula::Or(vec![cq.clone(), Formula::exists(0, edge(0, 0))]);
+        assert!(ucq.is_existential_positive());
+        assert!(!ucq.is_conjunctive());
+        let neg = Formula::not(edge(0, 1));
+        assert!(!neg.is_existential_positive());
+        let univ = Formula::forall(0, edge(0, 0));
+        assert!(!univ.is_existential_positive());
+    }
+
+    #[test]
+    fn distinct_var_count_counts_reuse_once() {
+        // exists x0 exists x1 (E(x0,x1) & exists x0 E(x1,x0)) — the paper's
+        // CQ^2 example shape: 2 distinct variables.
+        let f = Formula::exists(
+            0,
+            Formula::exists(
+                1,
+                Formula::And(vec![edge(0, 1), Formula::exists(0, edge(1, 0))]),
+            ),
+        );
+        assert_eq!(f.distinct_var_count(), 2);
+    }
+
+    #[test]
+    fn rename_vars_applies_everywhere() {
+        let f = Formula::exists(0, edge(0, 1));
+        let g = f.rename_vars(&|v| v + 10);
+        assert_eq!(g, Formula::exists(10, edge(10, 11)));
+    }
+
+    #[test]
+    fn renamed_apart_distinct_binders() {
+        // exists x0 (E(x0,x1) & exists x0 E(x1,x0)): both binders get fresh
+        // distinct names; free x1 unchanged.
+        let f = Formula::exists(
+            0,
+            Formula::And(vec![edge(0, 1), Formula::exists(0, edge(1, 0))]),
+        );
+        let g = f.renamed_apart();
+        // Collect binder variables.
+        let mut binders = Vec::new();
+        g.visit(&mut |h| {
+            if let Formula::Exists(x, _) = h {
+                binders.push(*x);
+            }
+        });
+        assert_eq!(binders.len(), 2);
+        assert_ne!(binders[0], binders[1]);
+        assert!(g.free_vars().contains(&1));
+        // Semantics preserved on a sample structure.
+        use hp_structures::generators::directed_cycle;
+        let c = directed_cycle(3);
+        for e in c.elements() {
+            assert_eq!(f.holds_with(&c, &[(1, e)]), g.holds_with(&c, &[(1, e)]));
+        }
+    }
+
+    #[test]
+    fn top_and_bottom() {
+        assert!(Formula::top().is_existential_positive());
+        assert!(Formula::top().is_sentence());
+        assert_eq!(format!("{}", Formula::top()), "true");
+        assert_eq!(format!("{}", Formula::bottom()), "false");
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let f = Formula::exists(0, Formula::And(vec![edge(0, 1), Formula::Eq(0, 1)]));
+        assert_eq!(format!("{f}"), "exists x0. (R0(x0,x1) & x0=x1)");
+    }
+}

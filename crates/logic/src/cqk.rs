@@ -1,0 +1,435 @@
+//! The k-variable conjunctive fragment `CQ^k` (§7) and the Lemma 7.2
+//! rewriting into canonical structures of treewidth `< k`.
+
+use hp_structures::{Elem, Structure, Vocabulary};
+
+use crate::ast::{Formula, Var};
+use crate::cq::Cq;
+
+/// A `CQ^k` sentence/formula: a first-order formula built from atoms using
+/// only ∧ and ∃, with at most `k` **distinct** variables (each of which may
+/// be requantified and reused arbitrarily often).
+///
+/// The paper's example (§7.1):
+/// `∃x₁∃x₂ (E(x₁,x₂) ∧ ∃x₁ (E(x₂,x₁) ∧ ∃x₂ E(x₁,x₂)))` is a `CQ²` formula
+/// equivalent to "there is a path of length 3".
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CqkFormula {
+    formula: Formula,
+    k: usize,
+}
+
+/// The width-`< k` tree decomposition Lemma 7.2 extracts from the parse tree
+/// of a `CQ^k` formula: one node per subformula, labelled by the free
+/// variables of that subformula (as elements of the canonical structure).
+///
+/// Returned as raw data (bags and tree edges) so that `hp-tw` — which this
+/// crate does not depend on — can validate it.
+#[derive(Clone, Debug)]
+pub struct ParseTreeDecomposition {
+    /// `bags[i]` is the label of parse-tree node `i`, as canonical-structure
+    /// elements. Empty bags are possible (e.g. the root of a sentence).
+    pub bags: Vec<Vec<Elem>>,
+    /// Parent–child edges between parse-tree nodes.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl ParseTreeDecomposition {
+    /// The decomposition's width: max bag size − 1 (−1 ⇒ all bags empty).
+    pub fn width(&self) -> isize {
+        self.bags.iter().map(Vec::len).max().unwrap_or(0) as isize - 1
+    }
+}
+
+impl CqkFormula {
+    /// Wrap a conjunctive formula, checking the variable budget.
+    ///
+    /// Returns `Err` when the formula is not conjunctive (equality-free: the
+    /// `CQ^k` fragment of the paper is built from relational atoms only) or
+    /// uses more than `k` distinct variables.
+    pub fn new(formula: Formula, k: usize) -> Result<CqkFormula, String> {
+        let mut has_eq = false;
+        formula.visit(&mut |f| {
+            if matches!(f, Formula::Eq(_, _)) {
+                has_eq = true;
+            }
+        });
+        if has_eq || !formula.is_conjunctive() {
+            return Err(format!("not a CQ^k formula (atoms, ∧, ∃ only): {formula}"));
+        }
+        let used = formula.distinct_var_count();
+        if used > k {
+            return Err(format!(
+                "formula uses {used} distinct variables, budget is {k}"
+            ));
+        }
+        Ok(CqkFormula { formula, k })
+    }
+
+    /// The underlying formula.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// The variable budget `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Evaluate as a sentence.
+    ///
+    /// # Panics
+    /// Panics when the formula has free variables.
+    pub fn holds(&self, a: &Structure) -> bool {
+        self.formula.holds(a)
+    }
+
+    /// **Lemma 7.2**: produce the canonical structure `D` whose canonical
+    /// conjunctive query is logically equivalent to this formula, together
+    /// with a width-`< k` tree decomposition of `D` read off the parse tree.
+    ///
+    /// The construction renames binders apart, reads each atom as a tuple
+    /// over the renamed variables, and labels each parse-tree node by the
+    /// free variables of its subformula. Free variables of the overall
+    /// formula become distinguished elements of the returned [`Cq`].
+    pub fn canonical(&self, vocab: &Vocabulary) -> (Cq, ParseTreeDecomposition) {
+        let g = self.formula.renamed_apart();
+        // Dense element numbering over all variables of g.
+        let vars: Vec<Var> = g.all_vars().into_iter().collect();
+        let elem_of =
+            |v: Var| -> Elem { Elem(vars.binary_search(&v).expect("var numbered") as u32) };
+        let mut structure = Structure::new(vocab.clone(), vars.len());
+        g.visit(&mut |f| {
+            if let Formula::Atom(a) = f {
+                let t: Vec<Elem> = a.args.iter().map(|&v| elem_of(v)).collect();
+                structure
+                    .add_tuple(a.sym, &t)
+                    .expect("atom fits vocabulary");
+            }
+        });
+        let free: Vec<Elem> = g.free_vars().into_iter().map(elem_of).collect();
+        // Parse-tree decomposition: recurse, returning node ids.
+        let mut bags: Vec<Vec<Elem>> = Vec::new();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        fn walk(
+            f: &Formula,
+            bags: &mut Vec<Vec<Elem>>,
+            edges: &mut Vec<(usize, usize)>,
+            elem_of: &dyn Fn(Var) -> Elem,
+        ) -> usize {
+            let id = bags.len();
+            let bag: Vec<Elem> = f.free_vars().into_iter().map(elem_of).collect();
+            bags.push(bag);
+            match f {
+                Formula::And(gs) => {
+                    let children: Vec<usize> =
+                        gs.iter().map(|g| walk(g, bags, edges, elem_of)).collect();
+                    for c in children {
+                        edges.push((id, c));
+                    }
+                }
+                Formula::Exists(_, g) => {
+                    let c = walk(g, bags, edges, elem_of);
+                    edges.push((id, c));
+                }
+                _ => {}
+            }
+            id
+        }
+        walk(&g, &mut bags, &mut edges, &elem_of);
+        (
+            Cq::with_free(&structure, &free),
+            ParseTreeDecomposition { bags, edges },
+        )
+    }
+}
+
+/// The **converse of Lemma 7.2**: from a structure `D` together with a tree
+/// decomposition of width `< k` (bags of size ≤ k), build a `CQ^k` sentence
+/// logically equivalent to the canonical query `φ_D`, by **reusing k
+/// variable slots** along the decomposition tree.
+///
+/// Slot discipline: entering a bag from its parent, elements shared with
+/// the parent keep their slots; elements that left scope free theirs;
+/// new elements take free slots under a fresh ∃ (rebinding the same
+/// variable name — exactly the reuse the `CQ^k` fragment is about). The
+/// connectivity condition of tree decompositions guarantees an element
+/// never re-enters scope.
+///
+/// Returns `Err` when some bag exceeds `k` elements, some tuple is not
+/// covered by a bag, or the edges do not form a tree on the bags.
+pub fn cqk_from_decomposition(
+    d: &Structure,
+    bags: &[Vec<u32>],
+    edges: &[(usize, usize)],
+    k: usize,
+) -> Result<CqkFormula, String> {
+    if bags.is_empty() {
+        if d.universe_size() == 0 {
+            return CqkFormula::new(Formula::top(), k);
+        }
+        return Err("no bags for a non-empty structure".into());
+    }
+    if edges.len() + 1 != bags.len() {
+        return Err("decomposition edges do not form a tree".into());
+    }
+    for (i, b) in bags.iter().enumerate() {
+        if b.len() > k {
+            return Err(format!("bag {i} has {} > k = {k} elements", b.len()));
+        }
+    }
+    // Tree adjacency.
+    let mut adj = vec![Vec::new(); bags.len()];
+    for &(a, b) in edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    // Assign each tuple to one covering bag.
+    let mut atoms_at: Vec<Vec<(hp_structures::SymbolId, Vec<Elem>)>> = vec![Vec::new(); bags.len()];
+    for (sym, rel) in d.relations() {
+        'tuples: for t in rel.iter() {
+            for (i, b) in bags.iter().enumerate() {
+                if t.iter().all(|e| b.contains(&e.0)) {
+                    atoms_at[i].push((sym, t.to_vec()));
+                    continue 'tuples;
+                }
+            }
+            return Err(format!("tuple {t:?} not covered by any bag"));
+        }
+    }
+    // Recursive construction with an explicit stack (post-order assembly).
+    fn build(
+        node: usize,
+        parent: usize,
+        bags: &[Vec<u32>],
+        adj: &[Vec<usize>],
+        atoms_at: &[Vec<(hp_structures::SymbolId, Vec<Elem>)>],
+        slot_of: &mut std::collections::BTreeMap<u32, Var>,
+        k: usize,
+    ) -> Result<Formula, String> {
+        // Slots freed by elements that left scope.
+        let retained: Vec<u32> = bags[node]
+            .iter()
+            .copied()
+            .filter(|e| slot_of.contains_key(e))
+            .collect();
+        let mut in_use: Vec<bool> = vec![false; k];
+        for e in &retained {
+            in_use[slot_of[e] as usize] = true;
+        }
+        // Remove out-of-scope elements (their slots are reusable below,
+        // but they must not leak atoms): scope = ancestors' retained ∩ bag.
+        // We rebuild slot_of locally: keep only retained entries plus what
+        // we add; the caller restores its own map afterward.
+        let saved = slot_of.clone();
+        slot_of.retain(|e, _| retained.contains(e));
+        let mut fresh: Vec<Var> = Vec::new();
+        for &e in &bags[node] {
+            if slot_of.contains_key(&e) {
+                continue;
+            }
+            let slot = (0..k).find(|&s| !in_use[s]).ok_or("slot overflow")? as Var;
+            in_use[slot as usize] = true;
+            slot_of.insert(e, slot);
+            fresh.push(slot);
+        }
+        let mut conj: Vec<Formula> = Vec::new();
+        for (sym, t) in &atoms_at[node] {
+            let args: Vec<Var> = t.iter().map(|e| slot_of[&e.0]).collect();
+            conj.push(Formula::atom(sym.index(), &args));
+        }
+        for &c in &adj[node] {
+            if c != parent {
+                conj.push(build(c, node, bags, adj, atoms_at, slot_of, k)?);
+            }
+        }
+        let mut body = Formula::And(conj);
+        for &v in fresh.iter().rev() {
+            body = Formula::exists(v, body);
+        }
+        *slot_of = saved;
+        Ok(body)
+    }
+    let mut slot_of = std::collections::BTreeMap::new();
+    let f = build(0, usize::MAX, bags, &adj, &atoms_at, &mut slot_of, k)?;
+    CqkFormula::new(f, k)
+}
+
+/// The paper's running `CQ²` example family: "there is a path of length
+/// `len`" written with two reused variables:
+/// `∃x₀∃x₁ (E(x₀,x₁) ∧ ∃x₀ (E(x₁,x₀) ∧ ∃x₁ (E(x₀,x₁) ∧ …)))`.
+pub fn path_cq2(len: usize) -> CqkFormula {
+    assert!(len >= 1);
+    // Innermost edge uses variables (a, b) depending on parity.
+    fn build(remaining: usize, from: Var, to: Var) -> Formula {
+        let e = Formula::atom(0usize, &[from, to]);
+        if remaining == 1 {
+            e
+        } else {
+            Formula::And(vec![
+                e,
+                Formula::exists(from, build(remaining - 1, to, from)),
+            ])
+        }
+    }
+    let body = Formula::exists(0, Formula::exists(1, build(len, 0, 1)));
+    CqkFormula::new(body, 2).expect("path formula is CQ^2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators::{directed_cycle, directed_path, random_digraph};
+    use hp_structures::Vocabulary;
+
+    fn edge(x: Var, y: Var) -> Formula {
+        Formula::atom(0usize, &[x, y])
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let f = Formula::exists(
+            0,
+            Formula::exists(
+                1,
+                Formula::exists(2, Formula::And(vec![edge(0, 1), edge(1, 2)])),
+            ),
+        );
+        assert!(CqkFormula::new(f.clone(), 2).is_err());
+        assert!(CqkFormula::new(f, 3).is_ok());
+    }
+
+    #[test]
+    fn equality_rejected() {
+        let f = Formula::exists(0, Formula::exists(1, Formula::Eq(0, 1)));
+        assert!(CqkFormula::new(f, 2).is_err());
+    }
+
+    #[test]
+    fn paper_example_path_of_length_3() {
+        // The §7.1 example: a CQ^2 sentence equivalent to "path of length 3".
+        let q = path_cq2(3);
+        assert_eq!(q.formula().distinct_var_count(), 2);
+        assert!(q.holds(&directed_path(4)));
+        assert!(!q.holds(&directed_path(3)));
+        assert!(q.holds(&directed_cycle(3))); // C3 has arbitrarily long walks
+    }
+
+    #[test]
+    fn canonical_structure_is_the_path() {
+        let v = Vocabulary::digraph();
+        for len in 1..6 {
+            let q = path_cq2(len);
+            let (cq, _) = q.canonical(&v);
+            // Canonical structure: the directed path with `len` edges.
+            assert!(hp_hom::are_isomorphic(
+                cq.canonical(),
+                &directed_path(len + 1)
+            ));
+        }
+    }
+
+    #[test]
+    fn canonical_query_equivalent_to_formula() {
+        let v = Vocabulary::digraph();
+        let q = path_cq2(4);
+        let (cq, _) = q.canonical(&v);
+        for seed in 0..12 {
+            let b = random_digraph(6, 9, seed);
+            assert_eq!(q.holds(&b), cq.holds_in(&b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parse_tree_decomposition_width_below_k() {
+        let v = Vocabulary::digraph();
+        for len in 1..8 {
+            let q = path_cq2(len);
+            let (cq, td) = q.canonical(&v);
+            assert!(td.width() < 2, "width {} for len {len}", td.width());
+            // Every tuple of the canonical structure is inside some bag.
+            for (_, rel) in cq.canonical().relations() {
+                for t in rel.iter() {
+                    assert!(
+                        td.bags.iter().any(|b| t.iter().all(|e| b.contains(e))),
+                        "tuple {t:?} not covered"
+                    );
+                }
+            }
+            // Connectivity of each element's occurrence set is validated in
+            // the hp-tw integration tests (needs the TreeDecomposition type).
+            assert_eq!(td.edges.len() + 1, td.bags.len(), "parse tree is a tree");
+        }
+    }
+
+    #[test]
+    fn decomposition_roundtrip_path() {
+        // Path decomposition of the directed path: bags {i, i+1}.
+        let v = Vocabulary::digraph();
+        for len in 1..6 {
+            let d = directed_path(len + 1);
+            let bags: Vec<Vec<u32>> = (0..len).map(|i| vec![i as u32, i as u32 + 1]).collect();
+            let edges: Vec<(usize, usize)> = (1..len).map(|i| (i - 1, i)).collect();
+            let q = cqk_from_decomposition(&d, &bags, &edges, 2).unwrap();
+            assert!(q.formula().distinct_var_count() <= 2);
+            // Equivalent to the canonical query of the path.
+            let (cq, _) = q.canonical(&v);
+            assert!(cq.is_equivalent_to(&crate::Cq::canonical_query(&d)));
+        }
+    }
+
+    #[test]
+    fn decomposition_roundtrip_cycle_needs_three() {
+        // The directed triangle has treewidth 2: CQ³ via the trivial bag.
+        let v = Vocabulary::digraph();
+        let d = directed_cycle(3);
+        let bags = vec![vec![0u32, 1, 2]];
+        let q = cqk_from_decomposition(&d, &bags, &[], 3).unwrap();
+        let (cq, _) = q.canonical(&v);
+        assert!(cq.is_equivalent_to(&crate::Cq::canonical_query(&d)));
+        // With k = 2 the bag overflows.
+        assert!(cqk_from_decomposition(&d, &bags, &[], 2).is_err());
+    }
+
+    #[test]
+    fn decomposition_rejects_uncovered_tuple() {
+        let d = directed_path(3);
+        // Bags missing the 1→2 edge.
+        let bags = vec![vec![0u32, 1], vec![2u32]];
+        assert!(cqk_from_decomposition(&d, &bags, &[(0, 1)], 2).is_err());
+    }
+
+    #[test]
+    fn decomposition_slot_reuse_on_caterpillar() {
+        // A star-with-path structure exercising slot free/reuse: directed
+        // edges 0→1, 1→2, 2→3, with decomposition path of 2-bags.
+        let v = Vocabulary::digraph();
+        let d = directed_path(4);
+        let bags: Vec<Vec<u32>> = vec![vec![0, 1], vec![1, 2], vec![2, 3]];
+        let edges = vec![(0usize, 1usize), (1, 2)];
+        let q = cqk_from_decomposition(&d, &bags, &edges, 2).unwrap();
+        for seed in 0..8 {
+            let b = random_digraph(5, 8, seed);
+            assert_eq!(
+                q.holds(&b),
+                crate::Cq::canonical_query(&d).holds_in(&b),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_with_free_variables() {
+        let v = Vocabulary::digraph();
+        // E(x0, x1) ∧ ∃x0 E(x1, x0): free x1... wait x0 also free (first
+        // atom). Both free.
+        let f = Formula::And(vec![edge(0, 1), Formula::exists(0, edge(1, 0))]);
+        let q = CqkFormula::new(f.clone(), 2).unwrap();
+        let (cq, _) = q.canonical(&v);
+        assert_eq!(cq.arity(), 2);
+        for seed in 0..8 {
+            let b = random_digraph(5, 7, seed + 30);
+            assert_eq!(f.answers(&b), cq.answers(&b), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Vocabulary-aware pretty-printing, quantifier rank, and negation normal
+//! form for first-order formulas.
+
+use hp_structures::Vocabulary;
+
+use crate::ast::Formula;
+
+impl Formula {
+    /// Render with real relation names from `vocab` (the plain `Display`
+    /// impl writes `R0`, `R1`, …). Symbols outside the vocabulary fall
+    /// back to the numeric form.
+    pub fn display_with(&self, vocab: &Vocabulary) -> String {
+        fn go(f: &Formula, vocab: &Vocabulary, out: &mut String) {
+            match f {
+                Formula::Atom(a) => {
+                    if a.sym.index() < vocab.len() {
+                        out.push_str(&vocab.symbol(a.sym).name);
+                    } else {
+                        out.push_str(&format!("R{}", a.sym.0));
+                    }
+                    out.push('(');
+                    for (i, v) in a.args.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("x{v}"));
+                    }
+                    out.push(')');
+                }
+                Formula::Eq(x, y) => out.push_str(&format!("x{x}=x{y}")),
+                Formula::Not(g) => {
+                    out.push_str("~(");
+                    go(g, vocab, out);
+                    out.push(')');
+                }
+                Formula::And(gs) if gs.is_empty() => out.push_str("true"),
+                Formula::Or(gs) if gs.is_empty() => out.push_str("false"),
+                Formula::And(gs) | Formula::Or(gs) => {
+                    let sep = if matches!(f, Formula::And(_)) {
+                        " & "
+                    } else {
+                        " | "
+                    };
+                    out.push('(');
+                    for (i, g) in gs.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(sep);
+                        }
+                        go(g, vocab, out);
+                    }
+                    out.push(')');
+                }
+                Formula::Exists(x, g) => {
+                    out.push_str(&format!("exists x{x}. "));
+                    go(g, vocab, out);
+                }
+                Formula::Forall(x, g) => {
+                    out.push_str(&format!("forall x{x}. "));
+                    go(g, vocab, out);
+                }
+            }
+        }
+        let mut s = String::new();
+        go(self, vocab, &mut s);
+        s
+    }
+
+    /// The quantifier rank (maximum nesting depth of quantifiers) — the
+    /// resource the r-round Ehrenfeucht–Fraïssé game measures.
+    pub fn quantifier_rank(&self) -> usize {
+        match self {
+            Formula::Atom(_) | Formula::Eq(_, _) => 0,
+            Formula::Not(g) => g.quantifier_rank(),
+            Formula::And(gs) | Formula::Or(gs) => {
+                gs.iter().map(Formula::quantifier_rank).max().unwrap_or(0)
+            }
+            Formula::Exists(_, g) | Formula::Forall(_, g) => 1 + g.quantifier_rank(),
+        }
+    }
+
+    /// Negation normal form: negations pushed to the atoms (via De Morgan
+    /// and quantifier duality). Negated atoms stay as `Not(Atom)`.
+    pub fn nnf(&self) -> Formula {
+        fn pos(f: &Formula) -> Formula {
+            match f {
+                Formula::Atom(_) | Formula::Eq(_, _) => f.clone(),
+                Formula::Not(g) => neg(g),
+                Formula::And(gs) => Formula::And(gs.iter().map(pos).collect()),
+                Formula::Or(gs) => Formula::Or(gs.iter().map(pos).collect()),
+                Formula::Exists(x, g) => Formula::exists(*x, pos(g)),
+                Formula::Forall(x, g) => Formula::forall(*x, pos(g)),
+            }
+        }
+        fn neg(f: &Formula) -> Formula {
+            match f {
+                Formula::Atom(_) | Formula::Eq(_, _) => Formula::not(f.clone()),
+                Formula::Not(g) => pos(g),
+                Formula::And(gs) => Formula::Or(gs.iter().map(neg).collect()),
+                Formula::Or(gs) => Formula::And(gs.iter().map(neg).collect()),
+                Formula::Exists(x, g) => Formula::forall(*x, neg(g)),
+                Formula::Forall(x, g) => Formula::exists(*x, neg(g)),
+            }
+        }
+        pos(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Var;
+    use crate::parser::parse_formula;
+    use hp_structures::generators::random_digraph;
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::from_pairs([("E", 2), ("P", 1)])
+    }
+
+    #[test]
+    fn display_with_names() {
+        let (f, _) = parse_formula("exists x. (E(x,x) & ~P(x))", &vocab()).unwrap();
+        let s = f.display_with(&vocab());
+        assert!(s.contains("E(x0,x0)"));
+        assert!(s.contains("~(P(x0))"));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let (f, _) =
+            parse_formula("forall x. (E(x,x) | exists y. (E(x,y) & P(y)))", &vocab()).unwrap();
+        let text = f.display_with(&vocab());
+        let (g, _) = parse_formula(&text, &vocab()).unwrap();
+        // Semantic equality on samples (variable numbering matches here).
+        for seed in 0..6 {
+            let b = random_digraph(4, 6, seed);
+            // random_digraph has only E; extend vocab eval by building over
+            // the right vocabulary instead:
+            let mut s = hp_structures::Structure::new(vocab(), 4);
+            for t in b.relation(0usize.into()).iter() {
+                s.add_tuple(0usize.into(), t).unwrap();
+            }
+            assert_eq!(f.holds(&s), g.holds(&s), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn quantifier_rank_counts_depth() {
+        let (f, _) = parse_formula("exists x. exists y. E(x,y)", &vocab()).unwrap();
+        assert_eq!(f.quantifier_rank(), 2);
+        let (g, _) = parse_formula(
+            "(exists x. E(x,x)) & (exists y. exists z. E(y,z))",
+            &vocab(),
+        )
+        .unwrap();
+        assert_eq!(g.quantifier_rank(), 2); // max, not sum
+        let atom = Formula::atom(0usize, &[0 as Var, 1 as Var]);
+        assert_eq!(atom.quantifier_rank(), 0);
+    }
+
+    #[test]
+    fn nnf_pushes_negations() {
+        let (f, _) = parse_formula("~(exists x. (E(x,x) & P(x)))", &vocab()).unwrap();
+        let n = f.nnf();
+        // Shape: forall x. (~E(x,x) | ~P(x)).
+        match &n {
+            Formula::Forall(_, body) => match body.as_ref() {
+                Formula::Or(parts) => {
+                    assert_eq!(parts.len(), 2);
+                    assert!(parts.iter().all(|p| matches!(p, Formula::Not(inner)
+                        if matches!(inner.as_ref(), Formula::Atom(_)))));
+                }
+                other => panic!("bad NNF body: {other:?}"),
+            },
+            other => panic!("bad NNF: {other:?}"),
+        }
+        // Semantics preserved.
+        for seed in 0..8 {
+            let b = random_digraph(4, 7, seed);
+            let mut s = hp_structures::Structure::new(vocab(), 4);
+            for t in b.relation(0usize.into()).iter() {
+                s.add_tuple(0usize.into(), t).unwrap();
+            }
+            assert_eq!(f.holds(&s), n.holds(&s));
+        }
+    }
+
+    #[test]
+    fn nnf_double_negation() {
+        let (f, _) = parse_formula("~~E(x,y)", &vocab()).unwrap();
+        assert!(matches!(f.nnf(), Formula::Atom(_)));
+    }
+
+    #[test]
+    fn nnf_fixes_ep_after_negation_of_universal() {
+        // ¬∀x ¬E(x,x) → ∃x E(x,x): NNF re-exposes existential positivity.
+        let (f, _) = parse_formula("~(forall x. ~E(x,x))", &vocab()).unwrap();
+        assert!(!f.is_existential_positive());
+        assert!(f.nnf().is_existential_positive());
+    }
+}

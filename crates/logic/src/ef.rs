@@ -1,0 +1,219 @@
+//! Ehrenfeucht–Fraïssé games for full first-order logic.
+//!
+//! The paper invokes (proof of Proposition 7.9) the classical fact that
+//! *"given a finite directed graph, is it acyclic?" is not first-order
+//! definable — "this can be shown using Ehrenfeucht–Fraïssé games"*. This
+//! module makes that argument executable: [`duplicator_wins_ef`] decides
+//! the r-round EF game, and the classical witness pairs (long directed
+//! paths vs long directed cycles) are produced by
+//! [`fo_inexpressibility_witness`].
+//!
+//! Two structures agree on all FO sentences of quantifier rank ≤ r iff the
+//! Duplicator wins the r-round EF game on them (Ehrenfeucht's theorem), so
+//! a family of pairs (Aᵣ acyclic, Bᵣ cyclic) with Duplicator wins at rank r
+//! for every r witnesses that acyclicity is not FO-definable.
+
+use hp_structures::{Elem, Structure};
+
+/// Is `(ā ↦ b̄)` a partial isomorphism? Both directions: tuples among the
+/// chosen elements must match exactly, and the pairing must be injective
+/// and functional.
+fn is_partial_isomorphism(a: &Structure, b: &Structure, pairs: &[(Elem, Elem)]) -> bool {
+    // Functionality and injectivity.
+    for (i, &(x1, y1)) in pairs.iter().enumerate() {
+        for &(x2, y2) in &pairs[i + 1..] {
+            if (x1 == x2) != (y1 == y2) {
+                return false;
+            }
+        }
+    }
+    // Atom agreement both ways, over all tuples of chosen elements.
+    let max_ar = a.vocab().max_arity();
+    let idx: Vec<usize> = (0..pairs.len()).collect();
+    // Enumerate all tuples over `pairs` up to max arity, checking each
+    // relation of matching arity.
+    fn rec(
+        a: &Structure,
+        b: &Structure,
+        pairs: &[(Elem, Elem)],
+        tup: &mut Vec<usize>,
+        max_ar: usize,
+    ) -> bool {
+        if !tup.is_empty() {
+            let ar = tup.len();
+            let ta: Vec<Elem> = tup.iter().map(|&i| pairs[i].0).collect();
+            let tb: Vec<Elem> = tup.iter().map(|&i| pairs[i].1).collect();
+            for (sym, s) in a.vocab().iter() {
+                if s.arity == ar && a.contains_tuple(sym, &ta) != b.contains_tuple(sym, &tb) {
+                    return false;
+                }
+            }
+        }
+        if tup.len() == max_ar {
+            return true;
+        }
+        for i in 0..pairs.len() {
+            tup.push(i);
+            if !rec(a, b, pairs, tup, max_ar) {
+                return false;
+            }
+            tup.pop();
+        }
+        true
+    }
+    let _ = idx;
+    rec(a, b, pairs, &mut Vec::new(), max_ar)
+}
+
+/// Decide the r-round Ehrenfeucht–Fraïssé game on (A, B) by exhaustive
+/// minimax: in each round the Spoiler picks an element of either structure,
+/// the Duplicator answers in the other; the Duplicator wins when the final
+/// pairing is a partial isomorphism.
+///
+/// Exponential in `r` (the structures' sizes multiply per round); intended
+/// for the small witness families below.
+pub fn duplicator_wins_ef(a: &Structure, b: &Structure, rounds: usize) -> bool {
+    fn play(a: &Structure, b: &Structure, pairs: &mut Vec<(Elem, Elem)>, r: usize) -> bool {
+        if !is_partial_isomorphism(a, b, pairs) {
+            return false;
+        }
+        if r == 0 {
+            return true;
+        }
+        // Spoiler plays in A: Duplicator must answer in B.
+        for x in a.elements() {
+            let mut ok = false;
+            for y in b.elements() {
+                pairs.push((x, y));
+                if play(a, b, pairs, r - 1) {
+                    ok = true;
+                }
+                pairs.pop();
+                if ok {
+                    break;
+                }
+            }
+            if !ok {
+                return false;
+            }
+        }
+        // Spoiler plays in B.
+        for y in b.elements() {
+            let mut ok = false;
+            for x in a.elements() {
+                pairs.push((x, y));
+                if play(a, b, pairs, r - 1) {
+                    ok = true;
+                }
+                pairs.pop();
+                if ok {
+                    break;
+                }
+            }
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+    play(a, b, &mut Vec::new(), rounds)
+}
+
+/// The classical inexpressibility witness for acyclicity at quantifier
+/// rank `r`: a long directed path `P` versus `P ⊕ C` (the same path plus a
+/// disjoint long cycle). The first is acyclic, the second is not, yet for
+/// lengths ≥ 2^{r+1} the Duplicator wins the r-round game by the standard
+/// distance-halving strategy — `duplicator_wins_ef` *verifies* the claim
+/// rather than trusting it. Returns `(acyclic, cyclic)`.
+///
+/// (A bare path vs a bare cycle would NOT work: `∀x∃y E(x,y)` is a rank-2
+/// sentence separating them via the path's sink. The disjoint-union form
+/// keeps the sink on both sides.)
+pub fn fo_inexpressibility_witness(r: usize) -> (Structure, Structure) {
+    let n = 1usize << (r + 1);
+    let path = hp_structures::generators::directed_path(n);
+    let cycle = hp_structures::generators::directed_cycle(n);
+    let with_cycle = path.disjoint_union(&cycle).expect("same vocabulary");
+    (path, with_cycle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators::{directed_cycle, directed_path, transitive_tournament};
+
+    #[test]
+    fn zero_rounds_always_duplicator() {
+        let a = directed_path(3);
+        let b = directed_cycle(4);
+        assert!(duplicator_wins_ef(&a, &b, 0));
+    }
+
+    #[test]
+    fn one_round_distinguishes_loop() {
+        // A has a loop, B does not: Spoiler picks the loop element; any
+        // Duplicator answer fails the E(x,x) atom.
+        let a = hp_structures::generators::self_loop();
+        let b = directed_path(2);
+        assert!(!duplicator_wins_ef(&a, &b, 1));
+        assert!(duplicator_wins_ef(&a, &b, 0));
+    }
+
+    #[test]
+    fn small_structures_distinguished_quickly() {
+        // P2 vs P3 differ at rank 2 ("there is a path of length 2" needs
+        // 3 quantifiers but EF rank 2 suffices to expose the middle).
+        let p2 = directed_path(2);
+        let p3 = directed_path(3);
+        assert!(duplicator_wins_ef(&p2, &p3, 1));
+        assert!(!duplicator_wins_ef(&p2, &p3, 2));
+    }
+
+    #[test]
+    fn isomorphic_structures_never_distinguished() {
+        let a = transitive_tournament(3);
+        for r in 0..3 {
+            assert!(duplicator_wins_ef(&a, &a, r));
+        }
+    }
+
+    #[test]
+    fn acyclicity_witness_rank_1() {
+        let (path, cycle) = fo_inexpressibility_witness(1);
+        assert!(duplicator_wins_ef(&path, &cycle, 1));
+    }
+
+    #[test]
+    fn acyclicity_witness_rank_2() {
+        // Path and cycle of length ~8: Duplicator survives 2 rounds. This
+        // is the executable content of "acyclicity is not FO" (used by
+        // Prop 7.9: q(C3, 2) is not first-order definable).
+        let (path, cycle) = fo_inexpressibility_witness(2);
+        assert!(duplicator_wins_ef(&path, &cycle, 2));
+        // Sanity: small path vs cycle ARE distinguished at low rank.
+        assert!(!duplicator_wins_ef(
+            &directed_path(2),
+            &directed_cycle(2),
+            2
+        ));
+    }
+
+    #[test]
+    fn ranked_sentences_transfer() {
+        // Ehrenfeucht's theorem, sampled: if Duplicator wins r rounds, the
+        // structures agree on our quantifier-rank ≤ r sentences.
+        use crate::ast::Formula;
+        let (a, b) = fo_inexpressibility_witness(2);
+        assert!(duplicator_wins_ef(&a, &b, 2));
+        let edge = |x, y| Formula::atom(0usize, &[x, y]);
+        // Rank-2 sentences.
+        let sentences = vec![
+            Formula::exists(0, Formula::exists(1, edge(0, 1))),
+            Formula::forall(0, Formula::exists(1, edge(0, 1))),
+            Formula::exists(0, Formula::forall(1, Formula::not(edge(1, 0)))),
+        ];
+        for s in sentences {
+            assert_eq!(s.holds(&a), s.holds(&b), "sentence {s} distinguishes");
+        }
+    }
+}

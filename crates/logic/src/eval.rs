@@ -1,0 +1,227 @@
+//! Model checking for first-order formulas over finite structures.
+
+use hp_structures::{Elem, Structure};
+
+use crate::ast::{Formula, Var};
+
+impl Formula {
+    /// Evaluate the formula in `a` under the variable assignment `env`
+    /// (`env[v]` is the value of variable `v`; `None` for unassigned).
+    ///
+    /// Evaluation is the naive recursive semantics — exponential in the
+    /// quantifier depth times universe size, which is exactly what the
+    /// paper's effectivity arguments assume (first-order model checking on
+    /// the small structures in scope). Free variables must be assigned.
+    ///
+    /// # Panics
+    /// Panics if a free variable is unassigned or out of `env`'s range.
+    pub fn eval(&self, a: &Structure, env: &mut Vec<Option<Elem>>) -> bool {
+        match self {
+            Formula::Atom(atom) => {
+                let t: Vec<Elem> = atom
+                    .args
+                    .iter()
+                    .map(|&v| env[v as usize].expect("unassigned free variable"))
+                    .collect();
+                a.contains_tuple(atom.sym, &t)
+            }
+            Formula::Eq(x, y) => {
+                env[*x as usize].expect("unassigned free variable")
+                    == env[*y as usize].expect("unassigned free variable")
+            }
+            Formula::Not(g) => !g.eval(a, env),
+            Formula::And(gs) => gs.iter().all(|g| g.eval(a, env)),
+            Formula::Or(gs) => gs.iter().any(|g| g.eval(a, env)),
+            Formula::Exists(x, g) => self.eval_quant(a, env, *x, g, true),
+            Formula::Forall(x, g) => !self.eval_quant(a, env, *x, g, false),
+        }
+    }
+
+    fn eval_quant(
+        &self,
+        a: &Structure,
+        env: &mut Vec<Option<Elem>>,
+        x: Var,
+        g: &Formula,
+        exists: bool,
+    ) -> bool {
+        let xi = x as usize;
+        if env.len() <= xi {
+            env.resize(xi + 1, None);
+        }
+        let saved = env[xi];
+        let mut found = false;
+        for e in a.elements() {
+            env[xi] = Some(e);
+            let v = g.eval(a, env);
+            if exists && v {
+                found = true;
+                break;
+            }
+            if !exists && !v {
+                // Forall: found a counterexample; report "exists ¬g".
+                found = true;
+                break;
+            }
+        }
+        env[xi] = saved;
+        found
+    }
+
+    /// Evaluate a **sentence** in `a`.
+    ///
+    /// # Panics
+    /// Panics if the formula has free variables.
+    pub fn holds(&self, a: &Structure) -> bool {
+        assert!(self.is_sentence(), "holds() requires a sentence");
+        let max = self.all_vars().iter().max().map_or(0, |&v| v as usize + 1);
+        let mut env = vec![None; max];
+        self.eval(a, &mut env)
+    }
+
+    /// Evaluate with the given assignment for the free variables, listed as
+    /// `(var, value)` pairs.
+    pub fn holds_with(&self, a: &Structure, assignment: &[(Var, Elem)]) -> bool {
+        let max_formula = self.all_vars().iter().max().map_or(0, |&v| v as usize + 1);
+        let max_assign = assignment
+            .iter()
+            .map(|&(v, _)| v as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut env = vec![None; max_formula.max(max_assign)];
+        for &(v, e) in assignment {
+            env[v as usize] = Some(e);
+        }
+        self.eval(a, &mut env)
+    }
+
+    /// All satisfying assignments of the formula's free variables, in the
+    /// order given by `free_vars()`. For a sentence this returns one empty
+    /// tuple iff the sentence holds.
+    pub fn answers(&self, a: &Structure) -> Vec<Vec<Elem>> {
+        let frees: Vec<Var> = self.free_vars().into_iter().collect();
+        let max = self.all_vars().iter().max().map_or(0, |&v| v as usize + 1);
+        let mut env = vec![None; max];
+        let mut out = Vec::new();
+        fn rec(
+            f: &Formula,
+            a: &Structure,
+            frees: &[Var],
+            i: usize,
+            env: &mut Vec<Option<Elem>>,
+            out: &mut Vec<Vec<Elem>>,
+        ) {
+            if i == frees.len() {
+                if f.eval(a, env) {
+                    out.push(
+                        frees
+                            .iter()
+                            .map(|&v| env[v as usize].expect("assigned"))
+                            .collect(),
+                    );
+                }
+                return;
+            }
+            for e in a.elements() {
+                env[frees[i] as usize] = Some(e);
+                rec(f, a, frees, i + 1, env, out);
+            }
+            env[frees[i] as usize] = None;
+        }
+        rec(self, a, &frees, 0, &mut env, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Formula;
+    use hp_structures::generators::{directed_cycle, directed_path, transitive_tournament};
+    use hp_structures::{Structure, Vocabulary};
+
+    fn edge(x: Var, y: Var) -> Formula {
+        Formula::atom(0usize, &[x, y])
+    }
+
+    /// "There is a path of length 2": ∃x∃y∃z (E(x,y) ∧ E(y,z)).
+    fn path2() -> Formula {
+        Formula::exists(
+            0,
+            Formula::exists(
+                1,
+                Formula::exists(2, Formula::And(vec![edge(0, 1), edge(1, 2)])),
+            ),
+        )
+    }
+
+    #[test]
+    fn existential_sentences() {
+        assert!(path2().holds(&directed_path(3)));
+        assert!(!path2().holds(&directed_path(2)));
+        assert!(path2().holds(&directed_cycle(3)));
+    }
+
+    #[test]
+    fn universal_sentences() {
+        // "Every element has an outgoing edge": ∀x∃y E(x,y).
+        let f = Formula::forall(0, Formula::exists(1, edge(0, 1)));
+        assert!(f.holds(&directed_cycle(4)));
+        assert!(!f.holds(&directed_path(4)));
+    }
+
+    #[test]
+    fn negation_and_equality() {
+        // "There are two distinct elements with edges both ways" — fails on
+        // a tournament, holds on the symmetric 2-cycle.
+        let f = Formula::exists(
+            0,
+            Formula::exists(
+                1,
+                Formula::And(vec![
+                    Formula::not(Formula::Eq(0, 1)),
+                    edge(0, 1),
+                    edge(1, 0),
+                ]),
+            ),
+        );
+        assert!(!f.holds(&transitive_tournament(4)));
+        assert!(f.holds(&directed_cycle(2)));
+    }
+
+    #[test]
+    fn answers_of_free_formula() {
+        // E(x0, x1) on the path 0->1->2: answers {(0,1), (1,2)}.
+        let f = edge(0, 1);
+        let ans = f.answers(&directed_path(3));
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&vec![Elem(0), Elem(1)]));
+        assert!(ans.contains(&vec![Elem(1), Elem(2)]));
+    }
+
+    #[test]
+    fn holds_with_assignment() {
+        let f = Formula::exists(1, edge(0, 1)); // "x0 has an out-edge"
+        let p = directed_path(3);
+        assert!(f.holds_with(&p, &[(0, Elem(0))]));
+        assert!(f.holds_with(&p, &[(0, Elem(1))]));
+        assert!(!f.holds_with(&p, &[(0, Elem(2))]));
+    }
+
+    #[test]
+    fn top_bottom_eval() {
+        let a = Structure::new(Vocabulary::digraph(), 0);
+        assert!(Formula::top().holds(&a));
+        assert!(!Formula::bottom().holds(&a));
+        // On the empty structure, ∃x ⊤ is false and ∀x ⊥ is true.
+        assert!(!Formula::exists(0, Formula::top()).holds(&a));
+        assert!(Formula::forall(0, Formula::bottom()).holds(&a));
+    }
+
+    #[test]
+    fn answers_of_sentence() {
+        let f = path2();
+        assert_eq!(f.answers(&directed_path(3)), vec![Vec::<Elem>::new()]);
+        assert!(f.answers(&directed_path(2)).is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! # hp-logic
+//!
+//! First-order logic over finite relational structures, and the query
+//! classes of the paper: **conjunctive queries** (CQ), **unions of
+//! conjunctive queries** (UCQ / existential-positive formulas, a.k.a.
+//! select-project-join-union queries), and the **k-variable fragments**
+//! `CQ^k` of §7.
+//!
+//! Provided machinery:
+//!
+//! - a first-order formula AST ([`Formula`]) with model checking
+//!   ([`Formula::holds`]) and a text parser ([`parse_formula`]);
+//! - the Chandra–Merlin correspondence (Theorem 2.1): canonical conjunctive
+//!   query of a structure ([`Cq::canonical_query`]) and canonical structure
+//!   of a conjunctive query; CQ evaluation, containment, and minimization
+//!   via cores;
+//! - UCQs with the Sagiv–Yannakakis containment test
+//!   ([`Ucq::is_contained_in`]);
+//! - `CQ^k` formulas with variable reuse ([`CqkFormula`]) and the Lemma 7.2
+//!   rewriting into a canonical structure of treewidth `< k` together with a
+//!   width-`< k` tree decomposition extracted from the parse tree;
+//! - conversion of arbitrary existential-positive formulas to UCQs
+//!   ([`ucq_of_existential_positive`]).
+//!
+//! ```
+//! use hp_structures::generators::{directed_cycle, directed_path};
+//! use hp_logic::Cq;
+//!
+//! // Chandra–Merlin: B ⊨ φ_A iff hom(A, B).
+//! let phi_p3 = Cq::canonical_query(&directed_path(3));
+//! assert!(phi_p3.holds_in(&directed_cycle(3)));   // path wraps around
+//! assert!(!phi_p3.holds_in(&directed_path(2)));   // too short
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod cq;
+mod cqk;
+mod display;
+mod ef;
+mod eval;
+mod locality;
+mod parser;
+mod ucq;
+
+pub use ast::{Atom, Formula, Var};
+pub use cq::Cq;
+pub use cqk::{cqk_from_decomposition, path_cq2, CqkFormula, ParseTreeDecomposition};
+pub use ef::{duplicator_wins_ef, fo_inexpressibility_witness};
+pub use locality::{hanf_equivalent, NeighborhoodSpectrum};
+pub use parser::{parse_formula, ParseError};
+pub use ucq::{ucq_of_existential_positive, Ucq};

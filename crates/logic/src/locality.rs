@@ -1,0 +1,166 @@
+//! Hanf locality: the neighborhood-type machinery behind Gaifman's
+//! locality theorem, which the paper's Theorem 3.2 (Ajtai–Gurevich density
+//! lemma) is built on.
+//!
+//! **Hanf's theorem** (finite, bounded-degree form): if every
+//! d-neighborhood isomorphism type occurs the same number of times in `A`
+//! and `B` up to a threshold `t` (with `d = 3^r`, `t = r·size-bound`),
+//! then `A ≡_r B` (agreement on all FO sentences of quantifier rank ≤ r).
+//!
+//! This module computes neighborhood-type spectra and the induced
+//! sufficient condition, giving a *scalable* FO-equivalence test for
+//! bounded-degree structures that complements the exhaustive EF solver in
+//! [`crate::duplicator_wins_ef`].
+
+use hp_hom::are_isomorphic_pointed;
+use hp_structures::{Elem, Structure};
+
+/// The d-neighborhood **type spectrum** of a structure: representatives of
+/// the pointed-isomorphism classes of `(N_d(a), a)` with their counts.
+pub struct NeighborhoodSpectrum {
+    /// One representative pointed neighborhood per class.
+    pub types: Vec<(Structure, Elem)>,
+    /// `counts[i]` = number of elements whose pointed d-neighborhood is
+    /// isomorphic to `types[i]`.
+    pub counts: Vec<usize>,
+}
+
+impl NeighborhoodSpectrum {
+    /// Compute the spectrum of `a` at radius `d`.
+    pub fn compute(a: &Structure, d: usize) -> Self {
+        let mut types: Vec<(Structure, Elem)> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        for e in a.elements() {
+            let (nb, old_of_new) = a.neighborhood_substructure(e, d);
+            let center = Elem(
+                old_of_new
+                    .iter()
+                    .position(|&o| o == e)
+                    .expect("center in its own neighborhood") as u32,
+            );
+            let mut found = false;
+            for (i, (t, c)) in types.iter().enumerate() {
+                if are_isomorphic_pointed(t, &[*c], &nb, &[center]) {
+                    counts[i] += 1;
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                types.push((nb, center));
+                counts.push(1);
+            }
+        }
+        NeighborhoodSpectrum { types, counts }
+    }
+
+    /// Number of distinct types.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+}
+
+/// Hanf's sufficient condition: do `a` and `b` have the same
+/// d-neighborhood type spectrum, counting multiplicities only up to
+/// `threshold` (counts ≥ threshold are treated as "many")?
+///
+/// When this returns true with `d ≥ 3^r` and `threshold` large enough
+/// relative to `r` and the degree bound, `a` and `b` agree on all FO
+/// sentences of quantifier rank ≤ r.
+pub fn hanf_equivalent(a: &Structure, b: &Structure, d: usize, threshold: usize) -> bool {
+    let sa = NeighborhoodSpectrum::compute(a, d);
+    let sb = NeighborhoodSpectrum::compute(b, d);
+    let cap = |c: usize| c.min(threshold);
+    // Match every type of a against b.
+    let mut used = vec![false; sb.types.len()];
+    'types: for (i, (t, c)) in sa.types.iter().enumerate() {
+        for (j, (t2, c2)) in sb.types.iter().enumerate() {
+            if !used[j] && are_isomorphic_pointed(t, &[*c], t2, &[*c2]) {
+                if cap(sa.counts[i]) != cap(sb.counts[j]) {
+                    return false;
+                }
+                used[j] = true;
+                continue 'types;
+            }
+        }
+        return false; // type of a missing in b
+    }
+    // Types of b not present in a.
+    used.iter().all(|&u| u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ef::duplicator_wins_ef;
+    use hp_structures::generators::{directed_cycle, directed_path, random_bounded_degree};
+
+    #[test]
+    fn spectrum_of_path() {
+        // Directed path P5, d = 1: types are (source), (sink), (middle) —
+        // 3 types with counts 1, 1, 3.
+        let p = directed_path(5);
+        let s = NeighborhoodSpectrum::compute(&p, 1);
+        assert_eq!(s.type_count(), 3);
+        let mut counts = s.counts.clone();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 1, 3]);
+    }
+
+    #[test]
+    fn spectrum_of_cycle_is_homogeneous() {
+        let c = directed_cycle(6);
+        for d in 0..3 {
+            let s = NeighborhoodSpectrum::compute(&c, d);
+            assert_eq!(s.type_count(), 1, "d = {d}");
+            assert_eq!(s.counts[0], 6);
+        }
+    }
+
+    #[test]
+    fn hanf_separates_path_from_cycle() {
+        // Paths have source/sink types cycles lack.
+        assert!(!hanf_equivalent(
+            &directed_path(8),
+            &directed_cycle(8),
+            1,
+            3
+        ));
+    }
+
+    #[test]
+    fn hanf_confirms_the_ef_witness_family() {
+        // P_n vs P_n ⊕ C_n: the only differing types are the "middle"
+        // counts — with a small threshold the spectra agree, matching the
+        // EF-game result.
+        let n = 8;
+        let p = directed_path(n);
+        let pc = p.disjoint_union(&directed_cycle(n)).unwrap();
+        assert!(hanf_equivalent(&p, &pc, 1, 3));
+        assert!(duplicator_wins_ef(&p, &pc, 2));
+        // With an exact count (huge threshold) they differ, of course.
+        assert!(!hanf_equivalent(&p, &pc, 1, usize::MAX));
+    }
+
+    #[test]
+    fn hanf_reflexive_and_respects_size_types() {
+        let g = random_bounded_degree(30, 3, 200, 5).to_structure();
+        assert!(hanf_equivalent(&g, &g, 2, 4));
+        // Different degree profiles separate quickly.
+        let h = random_bounded_degree(30, 2, 200, 6).to_structure();
+        let _ = h; // spectra may or may not differ; just ensure it runs
+        let _ = hanf_equivalent(&g, &h, 1, 4);
+    }
+
+    #[test]
+    fn spectrum_radius_zero_counts_loops() {
+        // d = 0: pointed types distinguish loop vs no-loop elements only.
+        let mut a = directed_path(4);
+        a.add_tuple_ids(0, &[2, 2]).unwrap();
+        let s = NeighborhoodSpectrum::compute(&a, 0);
+        assert_eq!(s.type_count(), 2);
+        let mut counts = s.counts.clone();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 3]);
+    }
+}

@@ -1,0 +1,293 @@
+//! A small text parser for first-order formulas.
+//!
+//! Grammar (precedence low→high: `|`, `&`, unary):
+//!
+//! ```text
+//! formula  := or
+//! or       := and ('|' and)*
+//! and      := unary ('&' unary)*
+//! unary    := '~' unary
+//!           | ('exists' | 'forall') ident '.' formula
+//!           | '(' formula ')'
+//!           | 'true' | 'false'
+//!           | ident '(' ident (',' ident)* ')'      — relational atom
+//!           | ident '=' ident                        — equality
+//! ```
+//!
+//! Relation names resolve against the supplied vocabulary; variables are
+//! arbitrary identifiers, numbered in order of first occurrence.
+
+use std::fmt;
+
+use hp_structures::Vocabulary;
+
+use crate::ast::{Atom, Formula, Var};
+
+/// Parse failure, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where it went wrong.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    text: &'a [u8],
+    pos: usize,
+    vocab: &'a Vocabulary,
+    vars: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.text.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            self.err(format!("expected {:?}", c as char))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.text.len()
+            && (self.text[self.pos].is_ascii_alphanumeric() || self.text[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected identifier");
+        }
+        Ok(String::from_utf8_lossy(&self.text[start..self.pos]).into_owned())
+    }
+
+    fn var(&mut self, name: &str) -> Var {
+        if let Some(i) = self.vars.iter().position(|v| v == name) {
+            i as Var
+        } else {
+            self.vars.push(name.to_string());
+            (self.vars.len() - 1) as Var
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.and()?];
+        while self.eat(b'|') {
+            parts.push(self.and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Formula::Or(parts)
+        })
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary()?];
+        while self.eat(b'&') {
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Formula::And(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        if self.eat(b'~') || self.eat(b'!') {
+            return Ok(Formula::not(self.unary()?));
+        }
+        if self.eat(b'(') {
+            let f = self.formula()?;
+            self.expect(b')')?;
+            return Ok(f);
+        }
+        let name = self.ident()?;
+        match name.as_str() {
+            "true" => return Ok(Formula::top()),
+            "false" => return Ok(Formula::bottom()),
+            "exists" | "forall" => {
+                let vn = self.ident()?;
+                let v = self.var(&vn);
+                self.expect(b'.')?;
+                let body = self.unary()?;
+                return Ok(if name == "exists" {
+                    Formula::exists(v, body)
+                } else {
+                    Formula::forall(v, body)
+                });
+            }
+            _ => {}
+        }
+        if self.eat(b'(') {
+            // Relational atom.
+            let sym = match self.vocab.lookup(&name) {
+                Some(s) => s,
+                None => return self.err(format!("unknown relation symbol {name:?}")),
+            };
+            let mut args = Vec::new();
+            if self.peek() != Some(b')') {
+                loop {
+                    let vn = self.ident()?;
+                    args.push(self.var(&vn));
+                    if !self.eat(b',') {
+                        break;
+                    }
+                }
+            }
+            self.expect(b')')?;
+            if args.len() != self.vocab.arity(sym) {
+                return self.err(format!(
+                    "symbol {name} has arity {}, got {} arguments",
+                    self.vocab.arity(sym),
+                    args.len()
+                ));
+            }
+            return Ok(Formula::Atom(Atom { sym, args }));
+        }
+        if self.eat(b'=') {
+            let rhs = self.ident()?;
+            let x = self.var(&name);
+            let y = self.var(&rhs);
+            return Ok(Formula::Eq(x, y));
+        }
+        self.err(format!("expected atom after identifier {name:?}"))
+    }
+}
+
+/// Parse a formula over `vocab`. Returns the formula and the variable-name
+/// table (index `i` is the name of `Var(i)`).
+pub fn parse_formula(text: &str, vocab: &Vocabulary) -> Result<(Formula, Vec<String>), ParseError> {
+    let mut p = Parser {
+        text: text.as_bytes(),
+        pos: 0,
+        vocab,
+        vars: Vec::new(),
+    };
+    let f = p.formula()?;
+    p.skip_ws();
+    if p.pos != p.text.len() {
+        return p.err("trailing input");
+    }
+    Ok((f, p.vars))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators::{directed_cycle, directed_path};
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::from_pairs([("E", 2), ("P", 1)])
+    }
+
+    #[test]
+    fn parse_quantified_conjunction() {
+        let (f, vars) = parse_formula("exists x. exists y. (E(x,y) & E(y,x))", &vocab()).unwrap();
+        assert_eq!(vars, vec!["x", "y"]);
+        assert!(f.is_conjunctive());
+        assert!(f.is_sentence());
+        assert!(f.holds(&directed_cycle(2)));
+        assert!(!f.holds(&directed_path(3)));
+    }
+
+    #[test]
+    fn parse_precedence_or_lower_than_and() {
+        let (f, _) = parse_formula("E(x,y) & E(y,x) | P(x)", &vocab()).unwrap();
+        // Must parse as (E&E) | P.
+        match f {
+            Formula::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], Formula::And(_)));
+                assert!(matches!(parts[1], Formula::Atom(_)));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_negation_and_universal() {
+        let (f, _) = parse_formula("forall x. ~E(x,x)", &vocab()).unwrap();
+        assert!(!f.is_existential_positive());
+        assert!(f.holds(&directed_path(3))); // paths are loop-free
+    }
+
+    #[test]
+    fn parse_equality() {
+        let (f, vars) = parse_formula("exists x. exists y. (E(x,y) & x = y)", &vocab()).unwrap();
+        assert_eq!(vars.len(), 2);
+        assert!(f.is_existential_positive());
+        assert!(!f.holds(&directed_path(2)));
+    }
+
+    #[test]
+    fn parse_true_false() {
+        let (f, _) = parse_formula("true & ~false", &vocab()).unwrap();
+        assert!(f.holds(&directed_path(1)));
+    }
+
+    #[test]
+    fn error_unknown_symbol() {
+        let e = parse_formula("Q(x)", &vocab()).unwrap_err();
+        assert!(e.message.contains("unknown relation"));
+    }
+
+    #[test]
+    fn error_wrong_arity() {
+        let e = parse_formula("E(x)", &vocab()).unwrap_err();
+        assert!(e.message.contains("arity"));
+    }
+
+    #[test]
+    fn error_trailing_input() {
+        let e = parse_formula("P(x) )", &vocab()).unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn quantifier_scope_is_tight() {
+        // "exists x. P(x) & P(y)" parses as (exists x. P(x)) & P(y): the
+        // quantifier body is a unary.
+        let (f, vars) = parse_formula("exists x. P(x) & P(y)", &vocab()).unwrap();
+        assert!(matches!(f, Formula::And(_)));
+        assert_eq!(vars, vec!["x", "y"]);
+        assert_eq!(f.free_vars().len(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # hp-pebble
+//!
+//! The **existential k-pebble game** of Kolaitis–Vardi, as used in §7.2 of
+//! Atserias–Dawar–Kolaitis (PODS 2004).
+//!
+//! The Spoiler places/removes pebbles on elements of **A**, the Duplicator
+//! mirrors on **B**; the Duplicator wins when she can forever keep the
+//! pebbled correspondence a partial homomorphism. Deciding the winner is a
+//! greatest-fixpoint computation over the family of partial homomorphisms
+//! with domains of size ≤ k (a.k.a. strong k-consistency):
+//!
+//! - the family must be closed under subfunctions (Spoiler may lift any
+//!   pebble), and
+//! - every member with fewer than k pebbles must extend to any new pebble
+//!   placement (the forth property).
+//!
+//! The Duplicator wins iff the empty map survives the pruning.
+//!
+//! Theorem 7.6 links the game to `∃L^{k,+}_{∞ω}`: the Duplicator wins on
+//! (A, B) iff every `CQ^k` sentence true in A is true in B. Proposition
+//! 7.9's concrete instance — Duplicator wins the 2-pebble game on
+//! (C₃, B) iff B has a cycle — is reproduced in this crate's tests.
+//!
+//! ```
+//! use hp_structures::generators::{directed_cycle, directed_path, random_dag};
+//! use hp_pebble::duplicator_wins;
+//!
+//! let c3 = directed_cycle(3);
+//! // Proposition 7.9: q(C₃, 2) holds exactly on cyclic digraphs.
+//! assert!(duplicator_wins(&c3, &directed_cycle(5), 2));
+//! assert!(!duplicator_wins(&c3, &directed_path(6), 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod game;
+
+pub use game::{duplicator_wins, winning_family, PartialHom};

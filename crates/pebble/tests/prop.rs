@@ -1,0 +1,102 @@
+//! Property-based tests for hp-pebble: game monotonicity in k, the
+//! hom ⇒ Duplicator-wins implication, composition, and the Proposition 7.9
+//! equivalence on random digraphs.
+
+use proptest::prelude::*;
+
+use hp_pebble::duplicator_wins;
+use hp_structures::{generators, Structure, Vocabulary};
+
+fn digraph_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = Structure> {
+    (
+        1..=max_n,
+        prop::collection::vec((0usize..max_n, 0usize..max_n), 0..max_m),
+    )
+        .prop_map(move |(n, edges)| {
+            let mut s = Structure::new(Vocabulary::digraph(), n);
+            for (u, v) in edges {
+                let _ = s.add_tuple_ids(0, &[(u % n) as u32, (v % n) as u32]);
+            }
+            s
+        })
+}
+
+fn has_cycle(b: &Structure) -> bool {
+    let n = b.universe_size();
+    let mut indeg = vec![0usize; n];
+    let mut out: Vec<Vec<usize>> = vec![vec![]; n];
+    for t in b.relation(0usize.into()).iter() {
+        out[t[0].index()].push(t[1].index());
+        indeg[t[1].index()] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0;
+    while let Some(u) = queue.pop() {
+        seen += 1;
+        for &v in &out[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    seen != n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Winning with k+1 pebbles implies winning with k (the Spoiler only
+    /// gains power with more pebbles).
+    #[test]
+    fn monotone_in_pebbles(a in digraph_strategy(4, 7), b in digraph_strategy(4, 8)) {
+        if duplicator_wins(&a, &b, 3) {
+            prop_assert!(duplicator_wins(&a, &b, 2));
+            prop_assert!(duplicator_wins(&a, &b, 1));
+        }
+    }
+
+    /// hom(A, B) ⇒ Duplicator wins for every k.
+    #[test]
+    fn hom_implies_win(a in digraph_strategy(4, 6), b in digraph_strategy(4, 9), k in 1usize..4) {
+        if hp_hom::hom_exists(&a, &b) {
+            prop_assert!(duplicator_wins(&a, &b, k));
+        }
+    }
+
+    /// With k ≥ |A| pebbles the game IS homomorphism existence.
+    #[test]
+    fn game_with_enough_pebbles_is_hom(a in digraph_strategy(3, 5), b in digraph_strategy(4, 8)) {
+        prop_assert_eq!(
+            duplicator_wins(&a, &b, a.universe_size().max(1)),
+            hp_hom::hom_exists(&a, &b)
+        );
+    }
+
+    /// Composition: Duplicator wins (A,B) and (B,C) ⇒ wins (A,C) — the
+    /// `∃L^{k,+}_{∞ω}`-implication order is transitive (Theorem 7.6).
+    #[test]
+    fn wins_compose(
+        a in digraph_strategy(3, 5),
+        b in digraph_strategy(3, 5),
+        c in digraph_strategy(3, 5),
+        k in 1usize..3,
+    ) {
+        if duplicator_wins(&a, &b, k) && duplicator_wins(&b, &c, k) {
+            prop_assert!(duplicator_wins(&a, &c, k));
+        }
+    }
+
+    /// Proposition 7.9 on arbitrary random digraphs.
+    #[test]
+    fn proposition_7_9(b in digraph_strategy(6, 12)) {
+        let c3 = generators::directed_cycle(3);
+        prop_assert_eq!(duplicator_wins(&c3, &b, 2), has_cycle(&b));
+    }
+
+    /// Reflexivity: Duplicator always wins (A, A).
+    #[test]
+    fn reflexive(a in digraph_strategy(4, 8), k in 1usize..4) {
+        prop_assert!(duplicator_wins(&a, &a, k));
+    }
+}

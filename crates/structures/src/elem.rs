@@ -1,0 +1,71 @@
+//! Universe elements.
+
+use std::fmt;
+
+/// An element of the universe of a finite structure.
+///
+/// Universes are always `{0, 1, …, n-1}`; an `Elem` is a dense index into
+/// that range. Using a `u32` newtype keeps tuples compact (the paper's
+/// constructions never need more than a few million elements) while making it
+/// a type error to confuse elements with ordinary integers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Elem(pub u32);
+
+impl Elem {
+    /// The element as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Elem {
+    #[inline]
+    fn from(v: u32) -> Self {
+        Elem(v)
+    }
+}
+
+impl From<usize> for Elem {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize, "universe too large for Elem");
+        Elem(v as u32)
+    }
+}
+
+impl fmt::Debug for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_conversions() {
+        let e: Elem = 7u32.into();
+        assert_eq!(e.index(), 7);
+        let e2: Elem = 7usize.into();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Elem(2) < Elem(10));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Elem(3)), "3");
+        assert_eq!(format!("{:?}", Elem(3)), "e3");
+    }
+}

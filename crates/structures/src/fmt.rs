@@ -1,0 +1,178 @@
+//! A line-oriented text format for structures.
+//!
+//! ```text
+//! # comment
+//! vocab E/2 P/1
+//! universe 5
+//! E 0 1
+//! E 1 2
+//! P 3
+//! ```
+//!
+//! The format exists so experiment inputs/outputs can be logged, diffed, and
+//! replayed; `parse(render(s)) == s` for every structure.
+
+use crate::error::StructureError;
+use crate::structure::Structure;
+use crate::vocab::Vocabulary;
+
+impl Structure {
+    /// Render to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("vocab");
+        for (_, sym) in self.vocab().iter() {
+            out.push_str(&format!(" {}/{}", sym.name, sym.arity));
+        }
+        out.push('\n');
+        out.push_str(&format!("universe {}\n", self.universe_size()));
+        for (id, rel) in self.relations() {
+            let name = &self.vocab().symbol(id).name;
+            for t in rel.iter() {
+                out.push_str(name);
+                for e in t {
+                    out.push_str(&format!(" {e}"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parse the text format.
+    pub fn from_text(text: &str) -> Result<Structure, StructureError> {
+        let mut vocab: Option<Vocabulary> = None;
+        let mut structure: Option<Structure> = None;
+        for (lineno0, raw) in text.lines().enumerate() {
+            let lineno = lineno0 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let head = parts.next().expect("non-empty line has a head token");
+            match head {
+                "vocab" => {
+                    let mut b = Vocabulary::builder();
+                    for item in parts {
+                        let (name, arity) =
+                            item.split_once('/').ok_or_else(|| StructureError::Parse {
+                                message: format!("bad symbol spec {item:?}, want name/arity"),
+                                line: lineno,
+                            })?;
+                        let arity: usize = arity.parse().map_err(|_| StructureError::Parse {
+                            message: format!("bad arity in {item:?}"),
+                            line: lineno,
+                        })?;
+                        b = b.symbol(name, arity);
+                    }
+                    vocab = Some(b.build());
+                }
+                "universe" => {
+                    let v = vocab.clone().ok_or_else(|| StructureError::Parse {
+                        message: "universe before vocab".into(),
+                        line: lineno,
+                    })?;
+                    let n: usize = parts.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                        StructureError::Parse {
+                            message: "universe needs a size".into(),
+                            line: lineno,
+                        }
+                    })?;
+                    structure = Some(Structure::new(v, n));
+                }
+                sym => {
+                    let s = structure.as_mut().ok_or_else(|| StructureError::Parse {
+                        message: "tuple before universe".into(),
+                        line: lineno,
+                    })?;
+                    let id = s.vocab().lookup(sym).ok_or_else(|| StructureError::Parse {
+                        message: format!("unknown symbol {sym:?}"),
+                        line: lineno,
+                    })?;
+                    let mut tuple: Vec<u32> = Vec::new();
+                    for t in parts {
+                        tuple.push(t.parse().map_err(|_| StructureError::Parse {
+                            message: format!("bad element {t:?}"),
+                            line: lineno,
+                        })?);
+                    }
+                    s.add_tuple_ids(id.index(), &tuple)
+                        .map_err(|e| StructureError::Parse {
+                            message: e.to_string(),
+                            line: lineno,
+                        })?;
+                }
+            }
+        }
+        structure.ok_or_else(|| StructureError::Parse {
+            message: "no universe line".into(),
+            line: text.lines().count(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    fn sample() -> Structure {
+        let v = Vocabulary::from_pairs([("E", 2), ("P", 1)]);
+        let mut s = Structure::new(v, 5);
+        s.add_tuple_ids(0, &[0, 1]).unwrap();
+        s.add_tuple_ids(0, &[1, 2]).unwrap();
+        s.add_tuple_ids(1, &[3]).unwrap();
+        s
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let text = s.to_text();
+        let back = Structure::from_text(&text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let text = "# header\n\nvocab E/2\nuniverse 2\n\nE 0 1\n# done\n";
+        let s = Structure::from_text(text).unwrap();
+        assert_eq!(s.universe_size(), 2);
+        assert_eq!(s.total_tuples(), 1);
+    }
+
+    #[test]
+    fn error_on_unknown_symbol() {
+        let text = "vocab E/2\nuniverse 2\nQ 0 1\n";
+        let err = Structure::from_text(text).unwrap_err();
+        assert!(matches!(err, StructureError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn error_on_missing_universe() {
+        let err = Structure::from_text("vocab E/2\n").unwrap_err();
+        assert!(matches!(err, StructureError::Parse { .. }));
+    }
+
+    #[test]
+    fn error_on_bad_arity_spec() {
+        let err = Structure::from_text("vocab E-2\nuniverse 1\n").unwrap_err();
+        assert!(matches!(err, StructureError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn error_on_out_of_range_tuple() {
+        let err = Structure::from_text("vocab E/2\nuniverse 2\nE 0 7\n").unwrap_err();
+        assert!(matches!(err, StructureError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn zero_arity_symbols_roundtrip() {
+        let v = Vocabulary::from_pairs([("T", 0)]);
+        let mut s = Structure::new(v, 1);
+        s.add_tuple_ids(0, &[]).unwrap();
+        let back = Structure::from_text(&s.to_text()).unwrap();
+        assert_eq!(s, back);
+        assert!(back.relation(crate::vocab::SymbolId(0)).len() == 1);
+    }
+}

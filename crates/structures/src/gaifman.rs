@@ -1,0 +1,170 @@
+//! Gaifman graphs, degrees of structures, and d-neighborhood machinery (§2.1).
+
+use crate::bitset::BitSet;
+use crate::graph::Graph;
+use crate::structure::Structure;
+
+impl Structure {
+    /// Compute the Gaifman graph 𝒢(A) of this structure.
+    ///
+    /// The Gaifman graph has the universe of A as vertices and an edge
+    /// between distinct `a, a′` whenever they co-occur in some tuple of some
+    /// relation (§2.1). The degree / treewidth / minors of a *structure* are
+    /// those of its Gaifman graph, so most of `hp-tw` consumes this output.
+    pub fn gaifman_graph(&self) -> Graph {
+        let mut g = Graph::new(self.universe_size());
+        for (_, rel) in self.relations() {
+            for t in rel.iter() {
+                for i in 0..t.len() {
+                    for j in (i + 1)..t.len() {
+                        if t[i] != t[j] {
+                            g.add_edge(t[i].0, t[j].0);
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// The **degree** of the structure: the maximum degree of its Gaifman
+    /// graph (§2.1).
+    pub fn degree(&self) -> usize {
+        self.gaifman_graph().max_degree()
+    }
+}
+
+impl Structure {
+    /// The induced substructure on the Gaifman `d`-neighborhood of
+    /// `center` — the local window Gaifman's locality theorem (which
+    /// powers Theorem 3.2) reasons about. Returns the substructure and the
+    /// old-of-new element map.
+    pub fn neighborhood_substructure(
+        &self,
+        center: crate::Elem,
+        d: usize,
+    ) -> (Structure, Vec<crate::Elem>) {
+        let g = self.gaifman_graph();
+        let ball = g.neighborhood(center.0, d);
+        self.induced(&ball)
+    }
+}
+
+/// Precomputed `d`-neighborhoods of every vertex of a graph, used when many
+/// scattered-set queries hit the same graph.
+pub struct Neighborhoods {
+    /// `sets[u]` is `N_d(u)` as a bit set over the vertex range.
+    sets: Vec<BitSet>,
+    d: usize,
+}
+
+impl Neighborhoods {
+    /// Compute all `d`-neighborhoods of `g`.
+    pub fn compute(g: &Graph, d: usize) -> Self {
+        let sets = g.vertices().map(|u| g.neighborhood(u, d)).collect();
+        Neighborhoods { sets, d }
+    }
+
+    /// The radius these neighborhoods were computed for.
+    #[inline]
+    pub fn radius(&self) -> usize {
+        self.d
+    }
+
+    /// `N_d(u)`.
+    #[inline]
+    pub fn of(&self, u: u32) -> &BitSet {
+        &self.sets[u as usize]
+    }
+
+    /// True when `vs` is a **d-scattered set** (§3): the d-neighborhoods of
+    /// its members are pairwise disjoint.
+    pub fn is_scattered(&self, vs: &[u32]) -> bool {
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                if !self.sets[vs[i] as usize].is_disjoint(&self.sets[vs[j] as usize]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// True when `vs` is a d-scattered set in `g` — convenience one-shot form
+/// (equivalent to pairwise distance > 2d).
+pub fn is_d_scattered(g: &Graph, d: usize, vs: &[u32]) -> bool {
+    Neighborhoods::compute(g, d).is_scattered(vs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    #[test]
+    fn gaifman_of_ternary_tuple_is_triangle() {
+        let v = Vocabulary::from_pairs([("R", 3)]);
+        let mut s = Structure::new(v, 3);
+        s.add_tuple_ids(0, &[0, 1, 2]).unwrap();
+        let g = s.gaifman_graph();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(s.degree(), 2);
+    }
+
+    #[test]
+    fn gaifman_ignores_repeated_positions() {
+        let v = Vocabulary::from_pairs([("R", 2)]);
+        let mut s = Structure::new(v, 2);
+        s.add_tuple_ids(0, &[0, 0]).unwrap(); // self-tuple: no Gaifman edge
+        s.add_tuple_ids(0, &[0, 1]).unwrap();
+        let g = s.gaifman_graph();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn gaifman_of_digraph_is_underlying_undirected() {
+        let mut s = Structure::new(Vocabulary::digraph(), 3);
+        s.add_tuple_ids(0, &[0, 1]).unwrap();
+        s.add_tuple_ids(0, &[1, 0]).unwrap(); // same undirected edge
+        s.add_tuple_ids(0, &[1, 2]).unwrap();
+        let g = s.gaifman_graph();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn scattered_set_on_path() {
+        // Path 0-1-2-3-4-5-6: {0, 6} is 2-scattered (distance 6 > 4) but
+        // {0, 4} is not (N_2(0) = {0,1,2}, N_2(4) = {2,..,6} intersect).
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        assert!(is_d_scattered(&g, 2, &[0, 6]));
+        assert!(!is_d_scattered(&g, 2, &[0, 4]));
+        assert!(is_d_scattered(&g, 1, &[0, 3, 6]));
+    }
+
+    #[test]
+    fn star_has_no_2scattered_pair_but_leaves_scatter_after_hub_removal() {
+        // S_5: hub 0, leaves 1..=5. Any two leaves are at distance 2, so no
+        // 1-scattered pair... actually d=1 neighborhoods of leaves all
+        // contain the hub. This is the paper's motivating example for s > 0.
+        let edges: Vec<(u32, u32)> = (1..=5).map(|i| (0u32, i)).collect();
+        let g = Graph::from_edges(6, &edges);
+        assert!(!is_d_scattered(&g, 1, &[1, 2]));
+        let (h, _) = g.minus(&BitSet::from_indices(6, [0]));
+        // All leaves isolated now: any set is d-scattered for any d.
+        assert!(is_d_scattered(&h, 3, &[0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn neighborhoods_cache_matches_oneshot() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let nb = Neighborhoods::compute(&g, 1);
+        assert_eq!(nb.radius(), 1);
+        for u in g.vertices() {
+            assert_eq!(
+                nb.of(u).iter().collect::<Vec<_>>(),
+                g.neighborhood(u, 1).iter().collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Deterministic graph families.
+
+use crate::graph::Graph;
+
+/// The path graph `P_n` on `n` vertices (`n-1` edges).
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i as u32 - 1, i as u32);
+    }
+    g
+}
+
+/// The cycle graph `C_n` on `n ≥ 3` vertices.
+///
+/// # Panics
+/// Panics for `n < 3` (smaller "cycles" are not simple graphs).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut g = path(n);
+    g.add_edge(n as u32 - 1, 0);
+    g
+}
+
+/// The complete graph `K_n`.
+pub fn clique(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}`: parts `{0..a}` and `{a..a+b}`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a as u32 {
+        for v in 0..b as u32 {
+            g.add_edge(u, a as u32 + v);
+        }
+    }
+    g
+}
+
+/// The star `S_n`: one hub (vertex 0) with `n` leaves — the paper's §4
+/// example of an arbitrarily large graph with no 2-scattered pair until the
+/// hub is removed.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n + 1);
+    for i in 1..=n as u32 {
+        g.add_edge(0, i);
+    }
+    g
+}
+
+/// The `r × c` grid graph. Grids are planar and bipartite with treewidth
+/// `min(r, c)` — the paper's witness (§6.2) that H(T(2)) strictly contains
+/// T(2).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// The wheel `W_n` (§6.2): hub (vertex 0) joined to every vertex of a cycle
+/// on `{1, …, n}`. `W_n` is 4-colorable, and a core exactly when `n` is odd.
+///
+/// # Panics
+/// Panics for `n < 3`.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 3, "wheel needs rim of at least 3");
+    let mut g = Graph::new(n + 1);
+    for i in 1..=n as u32 {
+        g.add_edge(0, i);
+        let next = if i == n as u32 { 1 } else { i + 1 };
+        g.add_edge(i, next);
+    }
+    g
+}
+
+/// The bicycle `B_n = W_n + K_4` (§6.2): disjoint union of the wheel `W_n`
+/// and `K_4`. The core of every bicycle is `K_4`.
+pub fn bicycle(n: usize) -> Graph {
+    let w = wheel(n);
+    let base = w.vertex_count() as u32;
+    let mut g = Graph::new(w.vertex_count() + 4);
+    for (u, v) in w.edges() {
+        g.add_edge(u, v);
+    }
+    for u in 0..4u32 {
+        for v in (u + 1)..4 {
+            g.add_edge(base + u, base + v);
+        }
+    }
+    g
+}
+
+/// The `r × c` **torus** (grid with wraparound): 4-regular for `r, c ≥ 3`,
+/// bounded degree yet non-planar for `r, c ≥ 3` (it contains a K₅ minor) —
+/// a clean witness that bounded degree neither bounds treewidth nor
+/// excludes minors (§5's closing remark, in a denser form).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both sides ≥ 3");
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(id(r, c), id(r, (c + 1) % cols));
+            g.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    g
+}
+
+/// A complete balanced binary tree with `depth` levels of edges
+/// (`2^(depth+1) - 1` vertices). Trees have treewidth 1.
+pub fn binary_tree(depth: usize) -> Graph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(((i - 1) / 2) as u32, i as u32);
+    }
+    g
+}
+
+/// The full `k`-tree on `n ≥ k + 1` vertices built by the canonical
+/// construction: start from `K_{k+1}`, then attach each new vertex to the
+/// `k`-clique `{v-1, …, v-k}`. Its treewidth is exactly `k`.
+pub fn ktree(k: usize, n: usize) -> Graph {
+    assert!(n >= k + 1, "k-tree needs at least k+1 vertices");
+    let mut g = clique(k + 1);
+    let mut full = Graph::new(n);
+    for (u, v) in g.edges() {
+        full.add_edge(u, v);
+    }
+    g = full;
+    for v in (k + 1)..n {
+        for j in 1..=k {
+            g.add_edge(v as u32, (v - j) as u32);
+        }
+    }
+    g
+}
+
+/// The paper's §5 remark: a degree-3 graph containing `K_k` as a minor,
+/// built by replacing every vertex of `K_k` with a binary tree with `k-1`
+/// leaves and routing each edge of `K_k` through a distinct pair of leaves.
+///
+/// Witnesses that bounded degree does **not** imply an excluded minor
+/// (so Theorem 3.5 is not a special case of Theorem 5.4).
+pub fn expanded_clique_degree3(k: usize) -> Graph {
+    assert!(k >= 2);
+    let leaves = k - 1;
+    // Each gadget: a path-of-trees; we use a "caterpillar": spine of
+    // `leaves` nodes, each spine node i has one leaf; degree ≤ 3.
+    // spine(i) indices: [gadget*(2*leaves) + i], leaf(i): [... + leaves + i].
+    let per = 2 * leaves;
+    let mut g = Graph::new(k * per);
+    let spine = |gad: usize, i: usize| (gad * per + i) as u32;
+    let leaf = |gad: usize, i: usize| (gad * per + leaves + i) as u32;
+    for gad in 0..k {
+        for i in 1..leaves {
+            g.add_edge(spine(gad, i - 1), spine(gad, i));
+        }
+        for i in 0..leaves {
+            g.add_edge(spine(gad, i), leaf(gad, i));
+        }
+    }
+    // Connect gadget a's j-th free leaf to gadget b's corresponding leaf,
+    // one distinct leaf pair per edge {a, b} of K_k.
+    for a in 0..k {
+        for b in (a + 1)..k {
+            // Gadget a uses leaf index (b - 1) among its k-1 leaves when
+            // paired with b; gadget b uses leaf index a.
+            let la = leaf(a, b - 1);
+            let lb = leaf(b, a);
+            g.add_edge(la, lb);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_cycle_counts() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert!(cycle(5).is_connected());
+        assert_eq!(path(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn clique_counts() {
+        let g = clique(5);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 3);
+        // No edges within parts.
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(3, 4));
+    }
+
+    #[test]
+    fn star_is_k1n() {
+        let g = star(6);
+        assert_eq!(g.vertex_count(), 7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(0), 6);
+        assert_eq!(g.max_degree(), 6);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.vertex_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn wheel_counts() {
+        let g = wheel(5);
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 10); // 5 spokes + 5 rim
+        assert_eq!(g.degree(0), 5);
+        assert_eq!(g.degree(1), 3);
+        // W_3 = K_4.
+        let w3 = wheel(3);
+        assert_eq!(w3.edge_count(), 6);
+        assert_eq!(w3.max_degree(), 3);
+    }
+
+    #[test]
+    fn bicycle_is_disjoint_wheel_plus_k4() {
+        let g = bicycle(5);
+        assert_eq!(g.vertex_count(), 6 + 4);
+        assert_eq!(g.edge_count(), 10 + 6);
+        assert_eq!(g.components().len(), 2);
+    }
+
+    #[test]
+    fn binary_tree_counts() {
+        let g = binary_tree(3);
+        assert_eq!(g.vertex_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn ktree_construction() {
+        let g = ktree(2, 8);
+        assert!(g.is_connected());
+        // A 2-tree on n vertices has 2n - 3 edges.
+        assert_eq!(g.edge_count(), 2 * 8 - 3);
+        let g3 = ktree(3, 10);
+        // A 3-tree on n vertices has 3n - 6 edges.
+        assert_eq!(g3.edge_count(), 3 * 10 - 6);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5);
+        assert_eq!(g.vertex_count(), 20);
+        assert_eq!(g.edge_count(), 40);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(g.is_connected());
+        // 3x3 torus: wraparound may merge parallel edges... each vertex
+        // still has degree 4 (neighbors distinct for cols ≥ 3).
+        assert_eq!(torus(3, 3).max_degree(), 4);
+    }
+
+    #[test]
+    fn expanded_clique_has_degree_3() {
+        for k in 3..=6 {
+            let g = expanded_clique_degree3(k);
+            assert!(g.max_degree() <= 3, "k={k} gave degree {}", g.max_degree());
+            assert!(g.is_connected(), "k={k} not connected");
+        }
+    }
+}

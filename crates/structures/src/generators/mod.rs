@@ -1,0 +1,17 @@
+//! Generators for the structure and graph families used throughout the paper
+//! and its experiment suite.
+//!
+//! Deterministic graph families (paths, cycles, cliques, grids, wheels,
+//! bicycles, k-trees, tori), directed/relational families (directed paths
+//! and cycles, tournaments, down-trees), and seeded random families
+//! (Erdős–Rényi, random trees, random partial k-trees, random
+//! bounded-degree graphs, random structures) — all re-exported flat at
+//! this level.
+
+mod graphs;
+mod random;
+mod structures;
+
+pub use graphs::*;
+pub use random::*;
+pub use structures::*;

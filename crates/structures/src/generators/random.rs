@@ -1,0 +1,296 @@
+//! Random graph and structure families, seeded for reproducibility.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::elem::Elem;
+use crate::graph::Graph;
+use crate::structure::Structure;
+use crate::vocab::Vocabulary;
+
+/// A deterministic RNG from a seed — all generators in this module take a
+/// seed rather than an RNG so experiment tables are reproducible.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if r.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A uniformly random labelled tree on `n` vertices (via a random Prüfer-like
+/// attachment: vertex `i` attaches to a uniform earlier vertex). Trees have
+/// treewidth ≤ 1 and are the base case of the paper's §4 classes.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        let parent = r.gen_range(0..i);
+        g.add_edge(parent as u32, i as u32);
+    }
+    g
+}
+
+/// A random **partial k-tree** on `n` vertices: build the canonical k-tree
+/// by attaching each new vertex to a random `k`-clique, then keep each edge
+/// with probability `keep`. Every partial k-tree has treewidth ≤ k, so this
+/// samples the class T(k+1) of the paper.
+pub fn random_partial_ktree(k: usize, n: usize, keep: f64, seed: u64) -> Graph {
+    assert!(n >= k + 1);
+    let mut r = rng(seed);
+    // Track the k-cliques available for attachment: represented as sorted
+    // vertex lists. Start with the base clique.
+    let mut g = Graph::new(n);
+    let base: Vec<u32> = (0..=k as u32).collect();
+    for i in 0..base.len() {
+        for j in (i + 1)..base.len() {
+            g.add_edge(base[i], base[j]);
+        }
+    }
+    let mut cliques: Vec<Vec<u32>> = vec![];
+    // All k-subsets of the base (k+1)-clique.
+    for omit in 0..=k {
+        let c: Vec<u32> = base.iter().copied().filter(|&v| v != omit as u32).collect();
+        cliques.push(c);
+    }
+    for v in (k + 1)..n {
+        let c = cliques[r.gen_range(0..cliques.len())].clone();
+        for &u in &c {
+            g.add_edge(v as u32, u);
+        }
+        // New k-cliques: v together with each (k-1)-subset of c.
+        for omit in 0..c.len() {
+            let mut nc: Vec<u32> = c
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(i, _)| i != omit)
+                .map(|(_, x)| x)
+                .collect();
+            nc.push(v as u32);
+            nc.sort_unstable();
+            cliques.push(nc);
+        }
+    }
+    // Sparsify.
+    if keep < 1.0 {
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        for (u, v) in edges {
+            if !r.gen_bool(keep) {
+                g.remove_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A random graph of maximum degree ≤ `k`: repeatedly sample candidate edges
+/// and keep those that do not violate the degree bound. Samples the
+/// bounded-degree classes of Theorem 3.5.
+pub fn random_bounded_degree(n: usize, k: usize, attempts: usize, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut g = Graph::new(n);
+    if n < 2 {
+        return g;
+    }
+    for _ in 0..attempts {
+        let u = r.gen_range(0..n) as u32;
+        let v = r.gen_range(0..n) as u32;
+        if u != v && g.degree(u) < k && g.degree(v) < k {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// A random directed graph as a σ-structure over `{E/2}` with `m` edges
+/// (loops allowed with probability proportional to chance; duplicates
+/// deduped). The workload for the Datalog / pebble-game experiments.
+pub fn random_digraph(n: usize, m: usize, seed: u64) -> Structure {
+    let mut r = rng(seed);
+    let mut s = Structure::new(Vocabulary::digraph(), n);
+    if n == 0 {
+        return s;
+    }
+    for _ in 0..m {
+        let u = r.gen_range(0..n) as u32;
+        let v = r.gen_range(0..n) as u32;
+        let _ = s.add_tuple_ids(0, &[u, v]);
+    }
+    s
+}
+
+/// A random **acyclic** directed graph: edges only from lower to higher
+/// index under a random topological permutation.
+pub fn random_dag(n: usize, m: usize, seed: u64) -> Structure {
+    let mut r = rng(seed);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.shuffle(&mut r);
+    let mut s = Structure::new(Vocabulary::digraph(), n);
+    if n < 2 {
+        return s;
+    }
+    for _ in 0..m {
+        let i = r.gen_range(0..n - 1);
+        let j = r.gen_range(i + 1..n);
+        let _ = s.add_tuple_ids(0, &[perm[i], perm[j]]);
+    }
+    s
+}
+
+/// A random structure over an arbitrary vocabulary: for each symbol of arity
+/// `r`, include each of the `n^r` tuples with probability `p` — but sampled
+/// sparsely (expected count drawn, then tuples sampled) so large universes
+/// stay cheap.
+pub fn random_structure(vocab: &Vocabulary, n: usize, p: f64, seed: u64) -> Structure {
+    let mut r = rng(seed);
+    let mut s = Structure::new(vocab.clone(), n);
+    if n == 0 {
+        return s;
+    }
+    let mut buf: Vec<Elem> = Vec::new();
+    for (id, sym) in vocab.iter() {
+        let total = (n as f64).powi(sym.arity as i32);
+        let expected = (total * p).min(1_000_000.0);
+        let count = if total <= 4096.0 {
+            // Dense sampling: enumerate all tuples.
+            let mut idx = vec![0usize; sym.arity];
+            loop {
+                if r.gen_bool(p) {
+                    buf.clear();
+                    buf.extend(idx.iter().map(|&i| Elem::from(i)));
+                    s.add_tuple(id, &buf).unwrap();
+                }
+                // Increment multi-index.
+                let mut pos = sym.arity;
+                loop {
+                    if pos == 0 {
+                        break;
+                    }
+                    pos -= 1;
+                    idx[pos] += 1;
+                    if idx[pos] < n {
+                        break;
+                    }
+                    idx[pos] = 0;
+                    if pos == 0 {
+                        pos = usize::MAX;
+                        break;
+                    }
+                }
+                if pos == usize::MAX || sym.arity == 0 {
+                    break;
+                }
+            }
+            continue;
+        } else {
+            expected.round() as usize
+        };
+        for _ in 0..count {
+            buf.clear();
+            for _ in 0..sym.arity {
+                buf.push(Elem::from(r.gen_range(0..n)));
+            }
+            let _ = s.add_tuple(id, &buf);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_extremes() {
+        let g0 = gnp(10, 0.0, 1);
+        assert_eq!(g0.edge_count(), 0);
+        let g1 = gnp(10, 1.0, 1);
+        assert_eq!(g1.edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_is_seeded_deterministic() {
+        assert_eq!(
+            gnp(20, 0.3, 42).edges().collect::<Vec<_>>(),
+            gnp(20, 0.3, 42).edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..5 {
+            let g = random_tree(30, seed);
+            assert_eq!(g.edge_count(), 29);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn random_partial_ktree_edge_bound() {
+        // A full k-tree on n vertices has kn - k(k+1)/2 edges.
+        let g = random_partial_ktree(3, 20, 1.0, 7);
+        assert_eq!(g.edge_count(), 3 * 20 - 3 * 4 / 2);
+        let sparse = random_partial_ktree(3, 20, 0.5, 7);
+        assert!(sparse.edge_count() < g.edge_count());
+    }
+
+    #[test]
+    fn random_bounded_degree_respects_bound() {
+        let g = random_bounded_degree(50, 3, 500, 9);
+        assert!(g.max_degree() <= 3);
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn random_digraph_tuples_in_range() {
+        let s = random_digraph(10, 30, 3);
+        assert!(s.total_tuples() <= 30);
+        assert!(s.total_tuples() > 0);
+    }
+
+    #[test]
+    fn random_dag_is_acyclic() {
+        // Verify acyclicity by Kahn-style peeling.
+        let s = random_dag(15, 40, 5);
+        let n = s.universe_size();
+        let mut indeg = vec![0usize; n];
+        let mut out: Vec<Vec<usize>> = vec![vec![]; n];
+        for t in s.relation(crate::vocab::SymbolId(0)).iter() {
+            out[t[0].index()].push(t[1].index());
+            indeg[t[1].index()] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in &out[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        assert_eq!(seen, n, "random_dag produced a cycle");
+    }
+
+    #[test]
+    fn random_structure_dense_and_sparse_paths() {
+        let v = Vocabulary::from_pairs([("E", 2), ("P", 1)]);
+        let dense = random_structure(&v, 8, 0.5, 11); // 64 + 8 tuples max, dense path
+        assert!(dense.total_tuples() > 0);
+        let sparse = random_structure(&v, 1000, 0.00001, 11); // sparse path
+        assert!(sparse.relation(crate::vocab::SymbolId(0)).len() <= 20);
+    }
+}

@@ -1,0 +1,235 @@
+//! Deterministic relational-structure families (directed, multi-relational).
+
+use crate::elem::Elem;
+use crate::structure::Structure;
+use crate::vocab::Vocabulary;
+
+/// The directed path `0 → 1 → ⋯ → n-1` over `{E/2}`.
+pub fn directed_path(n: usize) -> Structure {
+    let mut s = Structure::new(Vocabulary::digraph(), n);
+    for i in 1..n {
+        s.add_tuple_ids(0, &[i as u32 - 1, i as u32]).unwrap();
+    }
+    s
+}
+
+/// The directed cycle `C_n` (`0 → 1 → ⋯ → n-1 → 0`) over `{E/2}`.
+///
+/// `C_3` is the structure of Proposition 7.9.
+pub fn directed_cycle(n: usize) -> Structure {
+    assert!(n >= 1);
+    let mut s = directed_path(n);
+    s.add_tuple_ids(0, &[n as u32 - 1, 0]).unwrap();
+    s
+}
+
+/// The transitive tournament on `n` vertices: `i → j` for all `i < j`.
+pub fn transitive_tournament(n: usize) -> Structure {
+    let mut s = Structure::new(Vocabulary::digraph(), n);
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            s.add_tuple_ids(0, &[i, j]).unwrap();
+        }
+    }
+    s
+}
+
+/// A single directed self-loop — the terminal object of digraphs: every
+/// digraph maps homomorphically into it.
+pub fn self_loop() -> Structure {
+    let mut s = Structure::new(Vocabulary::digraph(), 1);
+    s.add_tuple_ids(0, &[0, 0]).unwrap();
+    s
+}
+
+/// The complete symmetric digraph on `n` vertices without loops — the
+/// structure form of `K_n`, target of `n`-colorings.
+pub fn complete_digraph(n: usize) -> Structure {
+    let mut s = Structure::new(Vocabulary::digraph(), n);
+    for i in 0..n as u32 {
+        for j in 0..n as u32 {
+            if i != j {
+                s.add_tuple_ids(0, &[i, j]).unwrap();
+            }
+        }
+    }
+    s
+}
+
+/// A two-sorted "same-generation" style structure: a balanced binary tree of
+/// the given depth with `Down/2` edges plus a unary `Leaf/1` marking the
+/// leaves. Used as a Datalog workload.
+pub fn down_tree(depth: usize) -> Structure {
+    let n = (1usize << (depth + 1)) - 1;
+    let v = Vocabulary::from_pairs([("Down", 2), ("Leaf", 1)]);
+    let mut s = Structure::new(v, n);
+    for i in 1..n {
+        s.add_tuple(0usize.into(), &[Elem::from((i - 1) / 2), Elem::from(i)])
+            .unwrap();
+    }
+    let first_leaf = (1usize << depth) - 1;
+    for i in first_leaf..n {
+        s.add_tuple(1usize.into(), &[Elem::from(i)]).unwrap();
+    }
+    s
+}
+
+/// The canonical structure of "there is a path of length `len`": a directed
+/// path with `len` edges. Its canonical conjunctive query is the UCQ
+/// disjunct the paper uses in §7 (`ψ_n` = "there is a path of length n").
+pub fn path_query_structure(len: usize) -> Structure {
+    directed_path(len + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::SymbolId;
+
+    #[test]
+    fn directed_path_counts() {
+        let s = directed_path(4);
+        assert_eq!(s.universe_size(), 4);
+        assert_eq!(s.total_tuples(), 3);
+    }
+
+    #[test]
+    fn directed_cycle_counts() {
+        let s = directed_cycle(3);
+        assert_eq!(s.total_tuples(), 3);
+        assert!(s.contains_tuple(SymbolId(0), &[Elem(2), Elem(0)]));
+        let one = directed_cycle(1);
+        assert_eq!(one.total_tuples(), 1); // single loop
+    }
+
+    #[test]
+    fn tournament_counts() {
+        let s = transitive_tournament(4);
+        assert_eq!(s.total_tuples(), 6);
+    }
+
+    #[test]
+    fn self_loop_absorbs() {
+        let l = self_loop();
+        let p = directed_path(5);
+        let map: Vec<Elem> = vec![Elem(0); 5];
+        assert!(p.is_homomorphism(&map, &l));
+    }
+
+    #[test]
+    fn complete_digraph_counts() {
+        let s = complete_digraph(3);
+        assert_eq!(s.total_tuples(), 6);
+        // K_3 as digraph: no loops.
+        assert!(!s.contains_tuple(SymbolId(0), &[Elem(0), Elem(0)]));
+    }
+
+    #[test]
+    fn down_tree_shape() {
+        let s = down_tree(2); // 7 nodes, 6 edges, 4 leaves
+        assert_eq!(s.universe_size(), 7);
+        assert_eq!(s.relation(SymbolId(0)).len(), 6);
+        assert_eq!(s.relation(SymbolId(1)).len(), 4);
+    }
+
+    #[test]
+    fn for_each_structure_counts() {
+        // Digraphs with n = 2: 2^(2²) = 16 structures.
+        let mut count = 0;
+        for_each_structure(&Vocabulary::digraph(), 2, |_| count += 1);
+        assert_eq!(count, 16);
+        // n = 0: exactly the empty structure.
+        let mut count0 = 0;
+        for_each_structure(&Vocabulary::digraph(), 0, |s| {
+            assert_eq!(s.universe_size(), 0);
+            count0 += 1;
+        });
+        assert_eq!(count0, 1);
+        // Two symbols: E/2 and P/1 with n = 1: 2^(1+1) = 4.
+        let v = Vocabulary::from_pairs([("E", 2), ("P", 1)]);
+        let mut c = 0;
+        for_each_structure(&v, 1, |_| c += 1);
+        assert_eq!(c, 4);
+    }
+
+    #[test]
+    fn path_query_structure_len() {
+        let s = path_query_structure(3);
+        assert_eq!(s.universe_size(), 4);
+        assert_eq!(s.total_tuples(), 3);
+    }
+}
+
+/// The number of candidate tuples `Σ_R n^arity(R)` the exhaustive
+/// enumerator would toggle — [`for_each_structure`] visits `2^this` many
+/// structures and refuses when it exceeds 24 (use this to pre-check
+/// feasibility).
+pub fn enumeration_tuple_space(vocab: &Vocabulary, n: usize) -> usize {
+    vocab
+        .iter()
+        .map(|(_, s)| {
+            if n == 0 && s.arity > 0 {
+                0
+            } else {
+                n.pow(s.arity as u32).max(if s.arity == 0 { 1 } else { 0 })
+            }
+        })
+        .sum()
+}
+
+/// Enumerate **every** structure over `vocab` with universe exactly `n`,
+/// invoking `f` on each — the exhaustive generator behind the effective
+/// procedures of §8 (minimal-model enumeration).
+///
+/// The number of structures is `2^t` with `t =`
+/// [`enumeration_tuple_space`]`(vocab, n)`.
+///
+/// # Panics
+/// Panics when the tuple space exceeds 24 candidate tuples (16.7M
+/// structures) — pre-check with [`enumeration_tuple_space`].
+pub fn for_each_structure(vocab: &Vocabulary, n: usize, mut f: impl FnMut(Structure)) {
+    let mut all_tuples: Vec<(usize, Vec<u32>)> = Vec::new();
+    for (id, sym) in vocab.iter() {
+        if n == 0 && sym.arity > 0 {
+            continue;
+        }
+        let mut idx = vec![0u32; sym.arity];
+        loop {
+            all_tuples.push((id.index(), idx.clone()));
+            let mut pos = sym.arity;
+            loop {
+                if pos == 0 {
+                    pos = usize::MAX;
+                    break;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if (idx[pos] as usize) < n {
+                    break;
+                }
+                idx[pos] = 0;
+                if pos == 0 {
+                    pos = usize::MAX;
+                    break;
+                }
+            }
+            if pos == usize::MAX || sym.arity == 0 {
+                break;
+            }
+        }
+    }
+    let t = all_tuples.len();
+    assert!(
+        t <= 24,
+        "exhaustive enumeration over {t} candidate tuples is infeasible; lower n"
+    );
+    for mask in 0u32..(1u32 << t) {
+        let mut s = Structure::new(vocab.clone(), n);
+        for (bit, (sym, tup)) in all_tuples.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                s.add_tuple_ids(*sym, tup).expect("generated tuple valid");
+            }
+        }
+        f(s);
+    }
+}

@@ -1,0 +1,295 @@
+//! Structure-level operations: restriction, induced substructures, disjoint
+//! unions, homomorphic images, and element/tuple deletion.
+
+use crate::bitset::BitSet;
+use crate::elem::Elem;
+use crate::error::StructureError;
+use crate::structure::Structure;
+
+impl Structure {
+    /// The **induced substructure** on the elements in `keep`.
+    ///
+    /// Elements are renumbered densely in increasing order of their old
+    /// index; the returned vector maps each new element to its old index
+    /// (`old_of_new[new] = old`).
+    pub fn induced(&self, keep: &BitSet) -> (Structure, Vec<Elem>) {
+        debug_assert_eq!(keep.capacity(), self.universe_size());
+        let old_of_new: Vec<Elem> = keep.iter().map(Elem::from).collect();
+        let mut new_of_old = vec![u32::MAX; self.universe_size()];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            new_of_old[old.index()] = new as u32;
+        }
+        let mut out = Structure::new(self.vocab().clone(), old_of_new.len());
+        let mut buf: Vec<Elem> = Vec::new();
+        for (id, rel) in self.relations() {
+            'tuples: for t in rel.iter() {
+                buf.clear();
+                for &e in t {
+                    let n = new_of_old[e.index()];
+                    if n == u32::MAX {
+                        continue 'tuples;
+                    }
+                    buf.push(Elem(n));
+                }
+                out.add_tuple(id, &buf).expect("induced tuple valid");
+            }
+        }
+        (out, old_of_new)
+    }
+
+    /// The induced substructure obtained by **removing a single element**.
+    pub fn remove_element(&self, e: Elem) -> (Structure, Vec<Elem>) {
+        let mut keep = BitSet::full(self.universe_size());
+        keep.remove(e.index());
+        self.induced(&keep)
+    }
+
+    /// The **disjoint union** A ⊕ B: universes concatenated, B's elements
+    /// shifted up by `|A|`.
+    pub fn disjoint_union(&self, other: &Structure) -> Result<Structure, StructureError> {
+        if self.vocab() != other.vocab() {
+            return Err(StructureError::VocabularyMismatch);
+        }
+        let shift = self.universe_size() as u32;
+        let mut out = Structure::new(
+            self.vocab().clone(),
+            self.universe_size() + other.universe_size(),
+        );
+        for (id, rel) in self.relations() {
+            for t in rel.iter() {
+                out.add_tuple(id, t).expect("left tuple valid");
+            }
+        }
+        let mut buf: Vec<Elem> = Vec::new();
+        for (id, rel) in other.relations() {
+            for t in rel.iter() {
+                buf.clear();
+                buf.extend(t.iter().map(|&e| Elem(e.0 + shift)));
+                out.add_tuple(id, &buf).expect("right tuple valid");
+            }
+        }
+        Ok(out)
+    }
+
+    /// The **homomorphic image** of `self` under `map` into a universe of
+    /// size `target_universe`: the structure with universe `target_universe`
+    /// whose tuples are exactly `{ h(t) : t ∈ R^A }` for each `R`.
+    ///
+    /// `map[i]` is the image of element `i`; every image must be
+    /// `< target_universe`.
+    pub fn hom_image(&self, map: &[Elem], target_universe: usize) -> Structure {
+        assert_eq!(
+            map.len(),
+            self.universe_size(),
+            "map must cover the universe"
+        );
+        assert!(
+            map.iter().all(|e| e.index() < target_universe),
+            "map image exceeds target universe"
+        );
+        let mut out = Structure::new(self.vocab().clone(), target_universe);
+        let mut buf: Vec<Elem> = Vec::new();
+        for (id, rel) in self.relations() {
+            for t in rel.iter() {
+                buf.clear();
+                buf.extend(t.iter().map(|&e| map[e.index()]));
+                out.add_tuple(id, &buf).expect("image tuple valid");
+            }
+        }
+        out
+    }
+
+    /// Enumerate all **one-step weakenings** of `self`: structures obtained
+    /// by deleting a single tuple, plus structures obtained by deleting a
+    /// single element (with its incident tuples). These are exactly the
+    /// maximal proper substructures reachable in one step, which is the
+    /// descent step used when searching for minimal models (§3).
+    pub fn one_step_weakenings(&self) -> Vec<Structure> {
+        let mut out = Vec::new();
+        for (id, rel) in self.relations() {
+            for t in rel.iter() {
+                let mut s = self.clone();
+                s.remove_tuple(id, t);
+                out.push(s);
+            }
+        }
+        for e in self.elements() {
+            out.push(self.remove_element(e).0);
+        }
+        out
+    }
+
+    /// True when `map` is a **homomorphism** from `self` to `other`
+    /// (preserves every relation; §2.1). `map[i]` is the image of element
+    /// `i` and must index into `other`'s universe.
+    pub fn is_homomorphism(&self, map: &[Elem], other: &Structure) -> bool {
+        if self.vocab() != other.vocab() || map.len() != self.universe_size() {
+            return false;
+        }
+        if map.iter().any(|e| e.index() >= other.universe_size()) {
+            return false;
+        }
+        let mut buf: Vec<Elem> = Vec::new();
+        for (id, rel) in self.relations() {
+            for t in rel.iter() {
+                buf.clear();
+                buf.extend(t.iter().map(|&e| map[e.index()]));
+                if !other.contains_tuple(id, &buf) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Remove **isolated** elements (those appearing in no tuple), returning
+    /// the restriction and the old-of-new map.
+    pub fn without_isolated(&self) -> (Structure, Vec<Elem>) {
+        let mut used = BitSet::new(self.universe_size());
+        for (_, rel) in self.relations() {
+            for t in rel.iter() {
+                for &e in t {
+                    used.insert(e.index());
+                }
+            }
+        }
+        self.induced(&used)
+    }
+
+    /// The set of elements that occur in at least one tuple.
+    pub fn support(&self) -> BitSet {
+        let mut used = BitSet::new(self.universe_size());
+        for (_, rel) in self.relations() {
+            for t in rel.iter() {
+                for &e in t {
+                    used.insert(e.index());
+                }
+            }
+        }
+        used
+    }
+}
+
+/// Identity map on a universe of size `n` (useful as a base for hom tests).
+pub fn identity_map(n: usize) -> Vec<Elem> {
+    (0..n as u32).map(Elem).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{SymbolId, Vocabulary};
+
+    fn path(n: usize) -> Structure {
+        let mut s = Structure::new(Vocabulary::digraph(), n);
+        for i in 0..n.saturating_sub(1) {
+            s.add_tuple_ids(0, &[i as u32, i as u32 + 1]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn induced_renumbers_densely() {
+        let p = path(4); // 0->1->2->3
+        let keep = BitSet::from_indices(4, [1, 3]);
+        let (sub, old) = p.induced(&keep);
+        assert_eq!(sub.universe_size(), 2);
+        assert_eq!(old, vec![Elem(1), Elem(3)]);
+        // No edge between 1 and 3 in the path.
+        assert_eq!(sub.total_tuples(), 0);
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges() {
+        let p = path(4);
+        let keep = BitSet::from_indices(4, [1, 2]);
+        let (sub, _) = p.induced(&keep);
+        assert_eq!(sub.total_tuples(), 1);
+        assert!(sub.contains_tuple(SymbolId(0), &[Elem(0), Elem(1)]));
+    }
+
+    #[test]
+    fn remove_element_drops_incident_tuples() {
+        let p = path(3); // 0->1->2
+        let (sub, _) = p.remove_element(Elem(1));
+        assert_eq!(sub.universe_size(), 2);
+        assert_eq!(sub.total_tuples(), 0);
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let a = path(2);
+        let b = path(3);
+        let u = a.disjoint_union(&b).unwrap();
+        assert_eq!(u.universe_size(), 5);
+        assert_eq!(u.total_tuples(), 3);
+        assert!(u.contains_tuple(SymbolId(0), &[Elem(0), Elem(1)]));
+        assert!(u.contains_tuple(SymbolId(0), &[Elem(2), Elem(3)]));
+        assert!(u.contains_tuple(SymbolId(0), &[Elem(3), Elem(4)]));
+    }
+
+    #[test]
+    fn disjoint_union_vocab_mismatch() {
+        let a = path(2);
+        let b = Structure::new(Vocabulary::from_pairs([("R", 3)]), 1);
+        assert!(matches!(
+            a.disjoint_union(&b),
+            Err(StructureError::VocabularyMismatch)
+        ));
+    }
+
+    #[test]
+    fn hom_image_collapses() {
+        // Map the path 0->1->2 onto a single self-loop vertex.
+        let p = path(3);
+        let img = p.hom_image(&[Elem(0), Elem(0), Elem(0)], 1);
+        assert_eq!(img.universe_size(), 1);
+        assert!(img.contains_tuple(SymbolId(0), &[Elem(0), Elem(0)]));
+        assert_eq!(img.total_tuples(), 1);
+    }
+
+    #[test]
+    fn is_homomorphism_checks_edges() {
+        let p2 = path(2); // 0->1
+        let p3 = path(3);
+        assert!(p2.is_homomorphism(&[Elem(0), Elem(1)], &p3));
+        assert!(p2.is_homomorphism(&[Elem(1), Elem(2)], &p3));
+        assert!(!p2.is_homomorphism(&[Elem(1), Elem(0)], &p3));
+        assert!(!p2.is_homomorphism(&[Elem(0)], &p3)); // wrong length
+    }
+
+    #[test]
+    fn identity_is_homomorphism_into_superstructure() {
+        let p = path(3);
+        let mut bigger = p.clone();
+        bigger.add_tuple_ids(0, &[2, 0]).unwrap();
+        assert!(p.is_homomorphism(&identity_map(3), &bigger));
+    }
+
+    #[test]
+    fn one_step_weakenings_counts() {
+        let p = path(3); // 2 tuples + 3 elements
+        let w = p.one_step_weakenings();
+        assert_eq!(w.len(), 5);
+        assert!(w
+            .iter()
+            .all(|s| s.is_proper_substructure_of(&p) || s.universe_size() < 3));
+    }
+
+    #[test]
+    fn without_isolated_strips() {
+        let mut s = path(2);
+        // grow universe by rebuilding with extra isolated element
+        let mut t = Structure::new(Vocabulary::digraph(), 5);
+        for (id, rel) in s.relations() {
+            for tup in rel.iter() {
+                t.add_tuple(id, tup).unwrap();
+            }
+        }
+        s = t;
+        let (stripped, old) = s.without_isolated();
+        assert_eq!(stripped.universe_size(), 2);
+        assert_eq!(old, vec![Elem(0), Elem(1)]);
+        assert_eq!(s.support().len(), 2);
+    }
+}

@@ -1,0 +1,366 @@
+//! Finite σ-structures.
+
+use std::fmt;
+
+use crate::elem::Elem;
+use crate::error::StructureError;
+use crate::vocab::{SymbolId, Vocabulary};
+
+/// The interpretation of one relation symbol: a set of tuples.
+///
+/// Tuples are kept sorted lexicographically and deduplicated, so relation
+/// equality is structural equality and membership is a binary search.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Box<[Elem]>>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// The arity of the relation.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, t: &[Elem]) -> bool {
+        debug_assert_eq!(t.len(), self.arity);
+        self.tuples
+            .binary_search_by(|probe| probe.as_ref().cmp(t))
+            .is_ok()
+    }
+
+    /// Insert a tuple, keeping sort order. Returns true if newly inserted.
+    pub fn insert(&mut self, t: &[Elem]) -> bool {
+        debug_assert_eq!(t.len(), self.arity);
+        match self.tuples.binary_search_by(|probe| probe.as_ref().cmp(t)) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.tuples.insert(pos, t.to_vec().into_boxed_slice());
+                true
+            }
+        }
+    }
+
+    /// Remove a tuple. Returns true if it was present.
+    pub fn remove(&mut self, t: &[Elem]) -> bool {
+        match self.tuples.binary_search_by(|probe| probe.as_ref().cmp(t)) {
+            Ok(pos) => {
+                self.tuples.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Iterate over the tuples in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Elem]> {
+        self.tuples.iter().map(|t| t.as_ref())
+    }
+
+    /// The `i`-th tuple in lexicographic order.
+    pub fn tuple(&self, i: usize) -> &[Elem] {
+        &self.tuples[i]
+    }
+
+    /// True when every tuple of `self` is a tuple of `other`.
+    pub fn is_subset(&self, other: &Relation) -> bool {
+        debug_assert_eq!(self.arity, other.arity);
+        // Both sorted: merge scan.
+        let mut j = 0;
+        for t in &self.tuples {
+            while j < other.tuples.len() && other.tuples[j].as_ref() < t.as_ref() {
+                j += 1;
+            }
+            if j >= other.tuples.len() || other.tuples[j].as_ref() != t.as_ref() {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set()
+            .entries(self.tuples.iter().map(|t| t.as_ref()))
+            .finish()
+    }
+}
+
+/// A finite relational structure **A** = (A, R₁^A, …, R_m^A).
+///
+/// The universe is `{0, …, n-1}` (elements are [`Elem`] indices); the
+/// interpretation of each symbol of the [`Vocabulary`] is a [`Relation`].
+///
+/// Structural equality (`==`) is equality of vocabulary, universe size, and
+/// relations — i.e. equality *as labelled structures*, not isomorphism
+/// (isomorphism lives in `hp-hom`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Structure {
+    vocab: Vocabulary,
+    universe: usize,
+    relations: Vec<Relation>,
+}
+
+impl Structure {
+    /// The empty-relations structure over `universe` elements.
+    pub fn new(vocab: Vocabulary, universe: usize) -> Self {
+        let relations = vocab.iter().map(|(_, s)| Relation::new(s.arity)).collect();
+        Structure {
+            vocab,
+            universe,
+            relations,
+        }
+    }
+
+    /// Start building a structure with bulk tuple loading.
+    pub fn builder(vocab: Vocabulary, universe: usize) -> StructureBuilder {
+        StructureBuilder {
+            inner: Structure::new(vocab, universe),
+        }
+    }
+
+    /// The structure's vocabulary.
+    #[inline]
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Size of the universe.
+    #[inline]
+    pub fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    /// Iterate over the universe.
+    pub fn elements(&self) -> impl Iterator<Item = Elem> {
+        (0..self.universe as u32).map(Elem)
+    }
+
+    /// The interpretation of a symbol.
+    #[inline]
+    pub fn relation(&self, id: SymbolId) -> &Relation {
+        &self.relations[id.index()]
+    }
+
+    /// Iterate over `(id, relation)` pairs.
+    pub fn relations(&self) -> impl Iterator<Item = (SymbolId, &Relation)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (SymbolId::from(i), r))
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Add a tuple to a relation, validating arity and range.
+    pub fn add_tuple(&mut self, sym: SymbolId, t: &[Elem]) -> Result<bool, StructureError> {
+        let arity = self.vocab.arity(sym);
+        if t.len() != arity {
+            return Err(StructureError::ArityMismatch {
+                symbol: self.vocab.symbol(sym).name.clone(),
+                expected: arity,
+                got: t.len(),
+            });
+        }
+        for &e in t {
+            if e.index() >= self.universe {
+                return Err(StructureError::ElementOutOfRange {
+                    element: e.0,
+                    universe: self.universe,
+                });
+            }
+        }
+        Ok(self.relations[sym.index()].insert(t))
+    }
+
+    /// Convenience: add a tuple given a raw symbol index and raw element ids.
+    pub fn add_tuple_ids(&mut self, sym: usize, t: &[u32]) -> Result<bool, StructureError> {
+        let elems: Vec<Elem> = t.iter().map(|&v| Elem(v)).collect();
+        self.add_tuple(SymbolId::from(sym), &elems)
+    }
+
+    /// Remove a tuple from a relation. Returns true if it was present.
+    pub fn remove_tuple(&mut self, sym: SymbolId, t: &[Elem]) -> bool {
+        self.relations[sym.index()].remove(t)
+    }
+
+    /// Membership test.
+    pub fn contains_tuple(&self, sym: SymbolId, t: &[Elem]) -> bool {
+        self.relations[sym.index()].contains(t)
+    }
+
+    /// True when `self` is a **substructure** of `other` *as labelled
+    /// structures*: same vocabulary, `|A| ≤ |B|` with universe `0..n`
+    /// identified with the first `n` elements of `other`, and every relation
+    /// of `self` a subset of the corresponding relation of `other`.
+    ///
+    /// Substructures in the paper's sense (§2.1) are *not necessarily
+    /// induced*; this check matches that definition for identity embeddings.
+    pub fn is_substructure_of(&self, other: &Structure) -> bool {
+        self.vocab == other.vocab
+            && self.universe <= other.universe
+            && self
+                .relations
+                .iter()
+                .zip(&other.relations)
+                .all(|(a, b)| a.is_subset(b))
+    }
+
+    /// True when `self` is a **proper** substructure of `other` (substructure
+    /// and not equal).
+    pub fn is_proper_substructure_of(&self, other: &Structure) -> bool {
+        self.is_substructure_of(other) && self != other
+    }
+}
+
+impl fmt::Debug for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Structure(|A|={}, {:?})", self.universe, self.vocab)?;
+        for (id, r) in self.relations() {
+            writeln!(f, "  {} = {:?}", self.vocab.symbol(id).name, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Bulk builder for [`Structure`] — identical to mutating a fresh structure,
+/// provided for fluent construction in tests and generators.
+pub struct StructureBuilder {
+    inner: Structure,
+}
+
+impl StructureBuilder {
+    /// Add a tuple by raw ids (panics on arity/range errors — builder misuse
+    /// is a programming error).
+    pub fn tuple(mut self, sym: usize, t: &[u32]) -> Self {
+        self.inner
+            .add_tuple_ids(sym, t)
+            .expect("invalid tuple in StructureBuilder");
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Structure {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digraph3() -> Structure {
+        Structure::builder(Vocabulary::digraph(), 3)
+            .tuple(0, &[0, 1])
+            .tuple(0, &[1, 2])
+            .build()
+    }
+
+    #[test]
+    fn add_and_contains() {
+        let s = digraph3();
+        assert!(s.contains_tuple(SymbolId(0), &[Elem(0), Elem(1)]));
+        assert!(!s.contains_tuple(SymbolId(0), &[Elem(1), Elem(0)]));
+        assert_eq!(s.total_tuples(), 2);
+    }
+
+    #[test]
+    fn duplicate_tuples_are_deduped() {
+        let mut s = digraph3();
+        assert!(!s.add_tuple_ids(0, &[0, 1]).unwrap());
+        assert_eq!(s.total_tuples(), 2);
+    }
+
+    #[test]
+    fn arity_and_range_validation() {
+        let mut s = digraph3();
+        assert!(matches!(
+            s.add_tuple_ids(0, &[0]),
+            Err(StructureError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.add_tuple_ids(0, &[0, 9]),
+            Err(StructureError::ElementOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_tuple_works() {
+        let mut s = digraph3();
+        assert!(s.remove_tuple(SymbolId(0), &[Elem(0), Elem(1)]));
+        assert!(!s.remove_tuple(SymbolId(0), &[Elem(0), Elem(1)]));
+        assert_eq!(s.total_tuples(), 1);
+    }
+
+    #[test]
+    fn substructure_relation() {
+        let big = digraph3();
+        let mut small = Structure::new(Vocabulary::digraph(), 3);
+        small.add_tuple_ids(0, &[0, 1]).unwrap();
+        assert!(small.is_substructure_of(&big));
+        assert!(small.is_proper_substructure_of(&big));
+        assert!(big.is_substructure_of(&big));
+        assert!(!big.is_proper_substructure_of(&big));
+        assert!(!big.is_substructure_of(&small));
+    }
+
+    #[test]
+    fn relation_subset_merge_scan() {
+        let mut a = Relation::new(1);
+        let mut b = Relation::new(1);
+        for i in [1u32, 3, 5] {
+            a.insert(&[Elem(i)]);
+        }
+        for i in 0u32..7 {
+            b.insert(&[Elem(i)]);
+        }
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+    }
+
+    #[test]
+    fn tuples_iterate_sorted() {
+        let mut r = Relation::new(2);
+        r.insert(&[Elem(2), Elem(0)]);
+        r.insert(&[Elem(0), Elem(1)]);
+        r.insert(&[Elem(0), Elem(0)]);
+        let v: Vec<Vec<u32>> = r.iter().map(|t| t.iter().map(|e| e.0).collect()).collect();
+        assert_eq!(v, vec![vec![0, 0], vec![0, 1], vec![2, 0]]);
+    }
+
+    #[test]
+    fn structural_equality() {
+        assert_eq!(digraph3(), digraph3());
+        let mut other = digraph3();
+        other.add_tuple_ids(0, &[2, 0]).unwrap();
+        assert_ne!(digraph3(), other);
+    }
+}

@@ -1,0 +1,240 @@
+//! Relational vocabularies (database schemas).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a relation symbol within its vocabulary.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub u16);
+
+impl SymbolId {
+    /// The id as a `usize` index into the vocabulary's symbol table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for SymbolId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u16::MAX as usize);
+        SymbolId(v as u16)
+    }
+}
+
+impl From<u16> for SymbolId {
+    #[inline]
+    fn from(v: u16) -> Self {
+        SymbolId(v)
+    }
+}
+
+impl fmt::Debug for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A relation symbol: a name and an arity.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Symbol {
+    /// The symbol's name, e.g. `"E"`.
+    pub name: String,
+    /// Number of argument positions. Arity 0 (Boolean flags, as used by the
+    /// plebian-companion construction of §6.1) is allowed.
+    pub arity: usize,
+}
+
+/// A finite relational vocabulary σ: an ordered list of relation symbols.
+///
+/// Vocabularies are immutable and cheaply clonable (`Arc` inside). Two
+/// structures are comparable/combinable only when they share a vocabulary
+/// *by value* (same symbol names and arities, in order).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Vocabulary {
+    symbols: Arc<Vec<Symbol>>,
+}
+
+impl Vocabulary {
+    /// Start building a vocabulary.
+    pub fn builder() -> VocabularyBuilder {
+        VocabularyBuilder {
+            symbols: Vec::new(),
+        }
+    }
+
+    /// The vocabulary with a single binary symbol `E` — directed graphs.
+    pub fn digraph() -> Self {
+        Self::builder().symbol("E", 2).build()
+    }
+
+    /// Construct directly from `(name, arity)` pairs.
+    pub fn from_pairs<'a, I: IntoIterator<Item = (&'a str, usize)>>(pairs: I) -> Self {
+        let mut b = Self::builder();
+        for (n, a) in pairs {
+            b = b.symbol(n, a);
+        }
+        b.build()
+    }
+
+    /// Number of relation symbols.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True when the vocabulary has no symbols.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbol with the given id.
+    #[inline]
+    pub fn symbol(&self, id: SymbolId) -> &Symbol {
+        &self.symbols[id.index()]
+    }
+
+    /// Arity of the symbol with the given id.
+    #[inline]
+    pub fn arity(&self, id: SymbolId) -> usize {
+        self.symbols[id.index()].arity
+    }
+
+    /// Resolve a symbol by name.
+    pub fn lookup(&self, name: &str) -> Option<SymbolId> {
+        self.symbols
+            .iter()
+            .position(|s| s.name == name)
+            .map(SymbolId::from)
+    }
+
+    /// Iterate over `(id, symbol)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &Symbol)> {
+        self.symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SymbolId::from(i), s))
+    }
+
+    /// Maximum arity over all symbols (0 for the empty vocabulary).
+    pub fn max_arity(&self) -> usize {
+        self.symbols.iter().map(|s| s.arity).max().unwrap_or(0)
+    }
+
+    /// Extend this vocabulary with additional symbols, returning a new one.
+    ///
+    /// Used by the plebian-companion construction (§6.1), which adds a symbol
+    /// `R_m` for every symbol `R` and partial constant-assignment `m`.
+    pub fn extended<'a, I: IntoIterator<Item = (&'a str, usize)>>(&self, pairs: I) -> Self {
+        let mut symbols: Vec<Symbol> = (*self.symbols).clone();
+        for (n, a) in pairs {
+            symbols.push(Symbol {
+                name: n.to_string(),
+                arity: a,
+            });
+        }
+        Vocabulary {
+            symbols: Arc::new(symbols),
+        }
+    }
+}
+
+impl fmt::Debug for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ{{")?;
+        for (i, s) in self.symbols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", s.name, s.arity)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builder for [`Vocabulary`].
+pub struct VocabularyBuilder {
+    symbols: Vec<Symbol>,
+}
+
+impl VocabularyBuilder {
+    /// Add a relation symbol with the given name and arity.
+    ///
+    /// # Panics
+    /// Panics if the name duplicates an earlier symbol — vocabularies are
+    /// sets of symbols, so duplicates are a programming error.
+    pub fn symbol(mut self, name: &str, arity: usize) -> Self {
+        assert!(
+            !self.symbols.iter().any(|s| s.name == name),
+            "duplicate symbol {name:?} in vocabulary"
+        );
+        self.symbols.push(Symbol {
+            name: name.to_string(),
+            arity,
+        });
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Vocabulary {
+        Vocabulary {
+            symbols: Arc::new(self.symbols),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let v = Vocabulary::builder().symbol("E", 2).symbol("P", 1).build();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.lookup("E"), Some(SymbolId(0)));
+        assert_eq!(v.lookup("P"), Some(SymbolId(1)));
+        assert_eq!(v.lookup("Q"), None);
+        assert_eq!(v.arity(SymbolId(0)), 2);
+        assert_eq!(v.max_arity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate symbol")]
+    fn duplicate_symbol_panics() {
+        let _ = Vocabulary::builder().symbol("E", 2).symbol("E", 3).build();
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Vocabulary::digraph();
+        let b = Vocabulary::builder().symbol("E", 2).build();
+        assert_eq!(a, b);
+        let c = Vocabulary::builder().symbol("E", 3).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn extended_appends_symbols() {
+        let v = Vocabulary::digraph();
+        let w = v.extended([("E_c1", 1), ("flag", 0)]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.arity(SymbolId(2)), 0);
+        // Original untouched.
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn zero_arity_symbols_allowed() {
+        let v = Vocabulary::builder().symbol("T", 0).build();
+        assert_eq!(v.arity(SymbolId(0)), 0);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let v = Vocabulary::from_pairs([("A", 1), ("B", 2), ("C", 3)]);
+        let names: Vec<_> = v.iter().map(|(_, s)| s.name.as_str()).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+    }
+}

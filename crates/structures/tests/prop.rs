@@ -1,0 +1,221 @@
+//! Property-based tests for hp-structures: BitSet against a model,
+//! relation/set invariants, structure operations, and format round-trips.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use hp_structures::{generators, BitSet, Elem, Structure, SymbolId, Vocabulary};
+
+proptest! {
+    /// BitSet agrees with a BTreeSet model under arbitrary op sequences.
+    #[test]
+    fn bitset_matches_model(ops in prop::collection::vec((0usize..3, 0usize..96), 0..200)) {
+        let mut bs = BitSet::new(96);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for (op, i) in ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(bs.insert(i), model.insert(i));
+                }
+                1 => {
+                    prop_assert_eq!(bs.remove(i), model.remove(&i));
+                }
+                _ => {
+                    prop_assert_eq!(bs.contains(i), model.contains(&i));
+                }
+            }
+        }
+        prop_assert_eq!(bs.len(), model.len());
+        prop_assert_eq!(bs.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// Set algebra laws on random pairs.
+    #[test]
+    fn bitset_algebra_laws(
+        a in prop::collection::btree_set(0usize..64, 0..40),
+        b in prop::collection::btree_set(0usize..64, 0..40),
+    ) {
+        let sa = BitSet::from_indices(64, a.iter().copied());
+        let sb = BitSet::from_indices(64, b.iter().copied());
+        let mut union = sa.clone();
+        union.union_with(&sb);
+        let mut inter = sa.clone();
+        inter.intersect_with(&sb);
+        let mut diff = sa.clone();
+        diff.difference_with(&sb);
+        prop_assert_eq!(union.len(), a.union(&b).count());
+        prop_assert_eq!(inter.len(), a.intersection(&b).count());
+        prop_assert_eq!(diff.len(), a.difference(&b).count());
+        prop_assert_eq!(sa.is_subset(&union), true);
+        prop_assert_eq!(inter.is_subset(&sa), true);
+        prop_assert_eq!(sa.is_disjoint(&sb), a.is_disjoint(&b));
+    }
+}
+
+/// A strategy for small random digraph structures.
+fn digraph_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = Structure> {
+    (
+        1..=max_n,
+        prop::collection::vec((0usize..max_n, 0usize..max_n), 0..max_m),
+    )
+        .prop_map(move |(n, edges)| {
+            let mut s = Structure::new(Vocabulary::digraph(), n);
+            for (u, v) in edges {
+                let _ = s.add_tuple_ids(0, &[(u % n) as u32, (v % n) as u32]);
+            }
+            s
+        })
+}
+
+proptest! {
+    /// Text-format round trip is the identity.
+    #[test]
+    fn text_roundtrip(s in digraph_strategy(8, 24)) {
+        let back = Structure::from_text(&s.to_text()).unwrap();
+        prop_assert_eq!(s, back);
+    }
+
+    /// Disjoint union: sizes and tuple counts add; each part embeds.
+    #[test]
+    fn disjoint_union_invariants(a in digraph_strategy(6, 12), b in digraph_strategy(6, 12)) {
+        let u = a.disjoint_union(&b).unwrap();
+        prop_assert_eq!(u.universe_size(), a.universe_size() + b.universe_size());
+        prop_assert_eq!(u.total_tuples(), a.total_tuples() + b.total_tuples());
+        // The identity embedding of a is a hom into u.
+        let id: Vec<Elem> = (0..a.universe_size() as u32).map(Elem).collect();
+        prop_assert!(a.is_homomorphism(&id, &u));
+        // The Gaifman graph of the union has no cross edges.
+        let g = u.gaifman_graph();
+        for (x, y) in g.edges() {
+            let cross = (x as usize) < a.universe_size() && (y as usize) >= a.universe_size();
+            prop_assert!(!cross, "cross edge in disjoint union");
+        }
+    }
+
+    /// Induced substructures are substructures; restriction to the full
+    /// set is the identity.
+    #[test]
+    fn induced_invariants(s in digraph_strategy(7, 20), keep_bits in prop::collection::vec(any::<bool>(), 7)) {
+        let n = s.universe_size();
+        let keep = BitSet::from_indices(n, (0..n).filter(|&i| *keep_bits.get(i).unwrap_or(&false)));
+        let (sub, old) = s.induced(&keep);
+        prop_assert_eq!(sub.universe_size(), keep.len());
+        // Every tuple of sub maps to a tuple of s under old_of_new.
+        for (sym, rel) in sub.relations() {
+            for t in rel.iter() {
+                let mapped: Vec<Elem> = t.iter().map(|e| old[e.index()]).collect();
+                prop_assert!(s.contains_tuple(sym, &mapped));
+            }
+        }
+        let full = BitSet::full(n);
+        let (same, _) = s.induced(&full);
+        prop_assert_eq!(same, s);
+    }
+
+    /// hom_image produces a structure the map is a homomorphism into.
+    #[test]
+    fn hom_image_receives_hom(s in digraph_strategy(6, 15), target in 1usize..5, seed in any::<u64>()) {
+        use rand::Rng;
+        let mut r = generators::rng(seed);
+        let map: Vec<Elem> = (0..s.universe_size())
+            .map(|_| Elem::from(r.gen_range(0..target)))
+            .collect();
+        let img = s.hom_image(&map, target);
+        prop_assert!(s.is_homomorphism(&map, &img));
+    }
+
+    /// Gaifman graphs of digraphs: edge count ≤ tuple count; degree bounds.
+    #[test]
+    fn gaifman_bounds(s in digraph_strategy(8, 30)) {
+        let g = s.gaifman_graph();
+        prop_assert!(g.edge_count() <= s.total_tuples());
+        prop_assert_eq!(g.vertex_count(), s.universe_size());
+        prop_assert_eq!(s.degree(), g.max_degree());
+    }
+
+    /// d-neighborhoods are monotone in d and bounded by reachability.
+    #[test]
+    fn neighborhood_monotone(s in digraph_strategy(8, 20), d in 0usize..5) {
+        let g = s.gaifman_graph();
+        for v in g.vertices() {
+            let small = g.neighborhood(v, d);
+            let big = g.neighborhood(v, d + 1);
+            prop_assert!(small.is_subset(&big));
+            prop_assert!(small.contains(v as usize));
+        }
+    }
+
+    /// one_step_weakenings always yields proper "smaller" structures.
+    #[test]
+    fn weakenings_shrink(s in digraph_strategy(5, 10)) {
+        for w in s.one_step_weakenings() {
+            let shrunk = w.total_tuples() < s.total_tuples()
+                || w.universe_size() < s.universe_size();
+            prop_assert!(shrunk);
+        }
+    }
+}
+
+proptest! {
+    /// Generators produce graphs with the advertised vertex/edge counts.
+    #[test]
+    fn generator_counts(n in 3usize..12) {
+        prop_assert_eq!(generators::path(n).edge_count(), n - 1);
+        prop_assert_eq!(generators::cycle(n).edge_count(), n);
+        prop_assert_eq!(generators::clique(n).edge_count(), n * (n - 1) / 2);
+        prop_assert_eq!(generators::star(n).edge_count(), n);
+        prop_assert_eq!(generators::wheel(n).edge_count(), 2 * n);
+        let s = generators::directed_cycle(n);
+        prop_assert_eq!(s.relation(SymbolId(0)).len(), n);
+    }
+
+    /// Random trees are trees; random partial k-trees respect degeneracy.
+    #[test]
+    fn random_family_invariants(n in 4usize..40, seed in any::<u64>()) {
+        let t = generators::random_tree(n, seed);
+        prop_assert_eq!(t.edge_count(), n - 1);
+        prop_assert!(t.is_connected());
+        let g = generators::random_bounded_degree(n, 3, 5 * n, seed);
+        prop_assert!(g.max_degree() <= 3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Graph-algorithm consistency: bipartite ⇔ every cycle length found by
+    /// girth is even; diameter bounds; subdivision multiplies girth.
+    #[test]
+    fn graph_algo_consistency(edges in prop::collection::vec((0u32..9, 0u32..9), 0..20)) {
+        let mut g = hp_structures::Graph::new(9);
+        for (u, v) in edges {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        // Bipartite ⇒ no odd girth.
+        match (g.is_bipartite(), g.girth()) {
+            (true, Some(girth)) => prop_assert_eq!(girth % 2, 0),
+            (false, None) => prop_assert!(false, "non-bipartite graphs have a cycle"),
+            _ => {}
+        }
+        // Diameter, when defined, is at most n − 1 and 0 only for trivial.
+        if let Some(d) = g.diameter() {
+            prop_assert!(d <= 8);
+        }
+        // Subdividing doubles every cycle length: girth doubles.
+        if let Some(girth) = g.girth() {
+            prop_assert_eq!(g.subdivided(1).girth(), Some(girth * 2));
+        }
+        // Bipartition, when it exists, is proper.
+        if let Some(side) = g.bipartition() {
+            for (u, v) in g.edges() {
+                prop_assert_ne!(side[u as usize], side[v as usize]);
+            }
+        }
+        // One subdivision always makes the graph bipartite? No — odd cycles
+        // become even cycles: subdivided graphs with `times = 1` ARE
+        // bipartite (every edge path has length 2).
+        prop_assert!(g.subdivided(1).is_bipartite());
+    }
+}

@@ -1,0 +1,316 @@
+//! The paper's worst-case size thresholds, in saturating arithmetic.
+//!
+//! Every theorem in §§3–5 has the form "there exists `N` such that every
+//! structure larger than `N` contains a scattered set …". The proofs give
+//! explicit but astronomically large `N`s (factorials, Ramsey towers,
+//! iterated exponentials). This module computes them exactly while they fit
+//! in `u128` and reports [`Bound::Astronomical`] beyond — the experiment
+//! tables print them next to the *measured* thresholds, which is the
+//! quantitative story of the reproduction.
+
+use std::fmt;
+use std::ops::{Add, Mul};
+
+/// A possibly-astronomical non-negative integer bound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Bound {
+    /// An exact value.
+    Finite(u128),
+    /// Overflowed `u128` — beyond ~3.4 × 10³⁸.
+    Astronomical,
+}
+
+impl Bound {
+    /// Exact value if finite.
+    pub fn finite(self) -> Option<u128> {
+        match self {
+            Bound::Finite(v) => Some(v),
+            Bound::Astronomical => None,
+        }
+    }
+
+    /// Saturating exponentiation.
+    pub fn pow(self, exp: Bound) -> Bound {
+        match (self, exp) {
+            (Bound::Finite(0), Bound::Finite(0)) => Bound::Finite(1),
+            (Bound::Finite(0), _) => Bound::Finite(0),
+            (Bound::Finite(1), _) => Bound::Finite(1),
+            (_, Bound::Finite(0)) => Bound::Finite(1),
+            (Bound::Finite(b), Bound::Finite(e)) => {
+                if e > 170 {
+                    // 2^171 > u128::MAX, and b >= 2 here.
+                    return Bound::Astronomical;
+                }
+                let mut acc: u128 = 1;
+                for _ in 0..e {
+                    acc = match acc.checked_mul(b) {
+                        Some(v) => v,
+                        None => return Bound::Astronomical,
+                    };
+                }
+                Bound::Finite(acc)
+            }
+            _ => Bound::Astronomical,
+        }
+    }
+
+    /// Saturating factorial.
+    pub fn factorial(self) -> Bound {
+        match self {
+            Bound::Finite(n) => {
+                if n > 34 {
+                    return Bound::Astronomical; // 35! > u128::MAX
+                }
+                let mut acc: u128 = 1;
+                for i in 2..=n {
+                    acc = match acc.checked_mul(i) {
+                        Some(v) => v,
+                        None => return Bound::Astronomical,
+                    };
+                }
+                Bound::Finite(acc)
+            }
+            Bound::Astronomical => Bound::Astronomical,
+        }
+    }
+}
+
+impl From<u128> for Bound {
+    fn from(v: u128) -> Self {
+        Bound::Finite(v)
+    }
+}
+
+impl From<usize> for Bound {
+    fn from(v: usize) -> Self {
+        Bound::Finite(v as u128)
+    }
+}
+
+impl Add for Bound {
+    type Output = Bound;
+    fn add(self, rhs: Bound) -> Bound {
+        match (self, rhs) {
+            (Bound::Finite(a), Bound::Finite(b)) => {
+                a.checked_add(b).map_or(Bound::Astronomical, Bound::Finite)
+            }
+            _ => Bound::Astronomical,
+        }
+    }
+}
+
+impl Mul for Bound {
+    type Output = Bound;
+    fn mul(self, rhs: Bound) -> Bound {
+        match (self, rhs) {
+            (Bound::Finite(a), Bound::Finite(b)) => {
+                a.checked_mul(b).map_or(Bound::Astronomical, Bound::Finite)
+            }
+            _ => Bound::Astronomical,
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Go through `pad` so alignment/width format specs work.
+        match self {
+            Bound::Finite(v) => f.pad(&v.to_string()),
+            Bound::Astronomical => f.pad(">10^38"),
+        }
+    }
+}
+
+/// Lemma 3.4's threshold: `N = m · k^d` (degree ≤ k, d-scattered set of
+/// size m exists in any graph with more than N vertices).
+pub fn lemma_3_4(k: usize, d: usize, m: usize) -> Bound {
+    Bound::from(m) * Bound::from(k).pow(Bound::from(d))
+}
+
+/// Theorem 4.1's (Sunflower Lemma) family-size threshold: `k!(p−1)^k`.
+pub fn sunflower_threshold(k: usize, p: usize) -> Bound {
+    Bound::from(k).factorial() * Bound::from(p.saturating_sub(1)).pow(Bound::from(k))
+}
+
+/// Lemma 4.2's sunflower petal count: `p = (m−1)(2d+1) + 1`.
+pub fn lemma_4_2_petals(d: usize, m: usize) -> usize {
+    m.saturating_sub(1) * (2 * d + 1) + 1
+}
+
+/// Lemma 4.2's threshold: `N = k(m−1)^M` with `M = k!(p−1)^k`,
+/// `p = (m−1)(2d+1)+1` (treewidth < k).
+pub fn lemma_4_2(k: usize, d: usize, m: usize) -> Bound {
+    let p = lemma_4_2_petals(d, m);
+    let big_m = sunflower_threshold(k, p);
+    Bound::from(k) * Bound::from(m.saturating_sub(1)).pow(big_m)
+}
+
+/// An upper bound on the hypergraph Ramsey number `r(l, k, m)` of Theorem
+/// 5.1 (colorings of k-subsets with l colors, monochromatic set of size
+/// > m), via the Erdős–Rado stepping-up recurrence
+/// `r(l, 1, m) = l·m` and `r(l, k, m) ≤ l^( r(l, k−1, m) choose k−1 ) + k`.
+/// Only the order of magnitude matters — the experiments print it as a
+/// point of comparison.
+pub fn ramsey_upper(l: usize, k: usize, m: usize) -> Bound {
+    if k == 0 {
+        return Bound::from(m);
+    }
+    if k == 1 {
+        return Bound::from(l) * Bound::from(m);
+    }
+    let prev = ramsey_upper(l, k - 1, m);
+    let choose = match prev {
+        Bound::Finite(v) => binom(v, (k - 1) as u128),
+        Bound::Astronomical => Bound::Astronomical,
+    };
+    Bound::from(l).pow(choose) + Bound::from(k)
+}
+
+fn binom(n: u128, k: u128) -> Bound {
+    if k > n {
+        return Bound::Finite(0);
+    }
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = match acc.checked_mul(n - i) {
+            Some(v) => v / (i + 1),
+            None => return Bound::Astronomical,
+        };
+    }
+    Bound::Finite(acc)
+}
+
+/// Lemma 5.2's stage function `b(n) = r(k+1, k, (k−2)n + k − 2)` and its
+/// iterate `b^{k−2}(m)` — the bipartite-step threshold.
+pub fn lemma_5_2(k: usize, m: usize) -> Bound {
+    if k <= 2 {
+        return Bound::from(m);
+    }
+    let mut cur = Bound::from(m);
+    for _ in 0..(k - 2) {
+        cur = match cur {
+            Bound::Finite(n) => {
+                let target = Bound::from(k - 2) * Bound::Finite(n) + Bound::from(k - 2);
+                match target {
+                    Bound::Finite(t) => ramsey_upper(k + 1, k, t as usize),
+                    Bound::Astronomical => Bound::Astronomical,
+                }
+            }
+            Bound::Astronomical => Bound::Astronomical,
+        };
+    }
+    cur
+}
+
+/// Theorem 5.3's threshold `N = c^d(m)` with `c(n) = r(2, 2, b^{k−2}(n))`.
+pub fn theorem_5_3(k: usize, d: usize, m: usize) -> Bound {
+    let mut cur = Bound::from(m);
+    for _ in 0..d {
+        cur = match cur {
+            Bound::Finite(n) => {
+                let b = lemma_5_2(k, n as usize);
+                match b {
+                    Bound::Finite(t) => ramsey_upper(2, 2, t as usize),
+                    Bound::Astronomical => Bound::Astronomical,
+                }
+            }
+            Bound::Astronomical => Bound::Astronomical,
+        };
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_arithmetic() {
+        assert_eq!(Bound::from(3usize) * Bound::from(4usize), Bound::Finite(12));
+        assert_eq!(
+            Bound::from(2usize).pow(Bound::from(10usize)),
+            Bound::Finite(1024)
+        );
+        assert_eq!(Bound::from(5usize).factorial(), Bound::Finite(120));
+        assert_eq!(
+            Bound::from(2usize).pow(Bound::from(200usize)),
+            Bound::Astronomical
+        );
+        assert_eq!(Bound::from(40usize).factorial(), Bound::Astronomical);
+        assert_eq!(
+            Bound::Astronomical + Bound::from(1usize),
+            Bound::Astronomical
+        );
+        assert_eq!(format!("{}", Bound::Astronomical), ">10^38");
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        assert_eq!(
+            Bound::from(0usize).pow(Bound::from(0usize)),
+            Bound::Finite(1)
+        );
+        assert_eq!(
+            Bound::from(0usize).pow(Bound::from(5usize)),
+            Bound::Finite(0)
+        );
+        assert_eq!(
+            Bound::from(1usize).pow(Bound::Astronomical),
+            Bound::Finite(1)
+        );
+        assert_eq!(
+            Bound::from(7usize).pow(Bound::from(0usize)),
+            Bound::Finite(1)
+        );
+    }
+
+    #[test]
+    fn lemma_3_4_values() {
+        // k=3, d=2, m=4: N = 4 * 9 = 36 — pleasantly small.
+        assert_eq!(lemma_3_4(3, 2, 4), Bound::Finite(36));
+        assert_eq!(lemma_3_4(2, 10, 1), Bound::Finite(1024));
+    }
+
+    #[test]
+    fn sunflower_threshold_values() {
+        assert_eq!(sunflower_threshold(2, 3), Bound::Finite(8)); // 2!·2²
+        assert_eq!(sunflower_threshold(3, 4), Bound::Finite(6 * 27));
+    }
+
+    #[test]
+    fn lemma_4_2_blows_up_quickly() {
+        // k=2, d=1, m=3: p = 2·3+1 = 7, M = 2!·6² = 72, N = 2·2^72 — big
+        // but still finite in u128.
+        let b = lemma_4_2(2, 1, 3);
+        assert_eq!(b, Bound::Finite(2 * (1u128 << 72)));
+        // Slightly larger parameters overflow.
+        assert_eq!(lemma_4_2(3, 2, 5), Bound::Astronomical);
+    }
+
+    #[test]
+    fn ramsey_tower_saturates() {
+        // r(2,1,m) = 2m (pigeonhole).
+        assert_eq!(ramsey_upper(2, 1, 5), Bound::Finite(10));
+        // Graph Ramsey upper: r(2,2,m) = 2^(2m) + 2 via this recurrence.
+        assert_eq!(ramsey_upper(2, 2, 3), Bound::Finite((1 << 6) + 2));
+        // Higher uniformity towers off.
+        assert_eq!(ramsey_upper(4, 3, 10), Bound::Astronomical);
+    }
+
+    #[test]
+    fn lemma_5_2_and_theorem_5_3() {
+        // k=2: trivial case, N = m.
+        assert_eq!(lemma_5_2(2, 7), Bound::Finite(7));
+        assert_eq!(theorem_5_3(2, 0, 7), Bound::Finite(7));
+        // k=3: b(m) = r(4, 3, m+1): astronomically large already.
+        assert_eq!(lemma_5_2(3, 5), Bound::Astronomical);
+        assert_eq!(theorem_5_3(3, 2, 5), Bound::Astronomical);
+    }
+
+    #[test]
+    fn petal_counts() {
+        assert_eq!(lemma_4_2_petals(1, 3), 7);
+        assert_eq!(lemma_4_2_petals(0, 5), 5);
+        assert_eq!(lemma_4_2_petals(2, 1), 1);
+    }
+}

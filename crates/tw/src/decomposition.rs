@@ -1,0 +1,390 @@
+//! Tree decompositions (§2.1) with full validity checking.
+
+use hp_structures::{BitSet, Graph};
+
+/// A tree decomposition of a graph: a tree whose nodes are labelled with
+/// vertex sets (*bags*), satisfying the three conditions of §2.1:
+///
+/// 1. every bag is a subset of the vertices (and, following the paper,
+///    non-empty — except that we allow a single empty bag for the edgeless
+///    empty graph);
+/// 2. every edge is contained in some bag;
+/// 3. for every vertex, the set of bags containing it induces a connected
+///    subtree.
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    /// `bags[i]` is the label of tree node `i` (sorted vertex lists).
+    bags: Vec<Vec<u32>>,
+    /// Undirected tree edges between node indices.
+    edges: Vec<(usize, usize)>,
+}
+
+impl TreeDecomposition {
+    /// Build from raw bags and tree edges. Bags are sorted and deduped;
+    /// structural validity (is it a tree? does it cover the graph?) is
+    /// checked by [`validate`](Self::validate).
+    pub fn new(bags: Vec<Vec<u32>>, edges: Vec<(usize, usize)>) -> Self {
+        let mut bags = bags;
+        for b in &mut bags {
+            b.sort_unstable();
+            b.dedup();
+        }
+        TreeDecomposition { bags, edges }
+    }
+
+    /// The trivial decomposition: one bag containing every vertex.
+    pub fn trivial(g: &Graph) -> Self {
+        TreeDecomposition {
+            bags: vec![g.vertices().collect()],
+            edges: Vec::new(),
+        }
+    }
+
+    /// The bags.
+    pub fn bags(&self) -> &[Vec<u32>] {
+        &self.bags
+    }
+
+    /// The tree edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of tree nodes.
+    pub fn len(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// True when there are no bags.
+    pub fn is_empty(&self) -> bool {
+        self.bags.is_empty()
+    }
+
+    /// Width: maximum bag size − 1.
+    pub fn width(&self) -> usize {
+        self.bags
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
+    }
+
+    /// Neighbor lists of the decomposition tree.
+    pub fn tree_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.bags.len()];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        adj
+    }
+
+    /// Check all tree-decomposition conditions against `g`. Returns a
+    /// human-readable reason on failure.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        let n = g.vertex_count();
+        if self.bags.is_empty() {
+            return if n == 0 {
+                Ok(())
+            } else {
+                Err("no bags for a non-empty graph".into())
+            };
+        }
+        // The label tree must be a tree: connected with |V|-1 edges.
+        if self.edges.len() + 1 != self.bags.len() {
+            return Err(format!(
+                "not a tree: {} nodes, {} edges",
+                self.bags.len(),
+                self.edges.len()
+            ));
+        }
+        let adj = self.tree_adjacency();
+        let mut seen = vec![false; self.bags.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 0;
+        while let Some(u) = stack.pop() {
+            count += 1;
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        if count != self.bags.len() {
+            return Err("decomposition tree is disconnected".into());
+        }
+        // Condition 1: bags within range (non-emptiness is relaxed; the
+        // paper's normalization removes empty bags, ours tolerates them).
+        for (i, b) in self.bags.iter().enumerate() {
+            if b.iter().any(|&v| v as usize >= n) {
+                return Err(format!("bag {i} mentions a vertex outside the graph"));
+            }
+        }
+        // Every vertex in some bag.
+        let mut covered = BitSet::new(n);
+        for b in &self.bags {
+            for &v in b {
+                covered.insert(v as usize);
+            }
+        }
+        if covered.len() != n {
+            return Err("some vertex appears in no bag".into());
+        }
+        // Condition 2: every edge inside some bag.
+        'edges: for (u, v) in g.edges() {
+            for b in &self.bags {
+                if b.binary_search(&u).is_ok() && b.binary_search(&v).is_ok() {
+                    continue 'edges;
+                }
+            }
+            return Err(format!("edge ({u},{v}) not covered by any bag"));
+        }
+        // Condition 3: occurrence sets are connected subtrees.
+        for x in 0..n as u32 {
+            let nodes: Vec<usize> = (0..self.bags.len())
+                .filter(|&i| self.bags[i].binary_search(&x).is_ok())
+                .collect();
+            if nodes.is_empty() {
+                continue;
+            }
+            let inset: BitSet = nodes.iter().copied().collect::<BitSet>();
+            let mut seen2 = vec![false; self.bags.len()];
+            let mut stack = vec![nodes[0]];
+            seen2[nodes[0]] = true;
+            let mut cnt = 0;
+            while let Some(u) = stack.pop() {
+                cnt += 1;
+                for &v in &adj[u] {
+                    if !seen2[v] && v < inset.capacity() && inset.contains(v) {
+                        seen2[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            if cnt != nodes.len() {
+                return Err(format!("occurrences of vertex {x} are not connected"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Normalize so that **adjacent bags are incomparable** (for every tree
+    /// edge `{u, v}`, both `S_u − S_v` and `S_v − S_u` are non-empty) — the
+    /// "standard manipulation" the proof of Lemma 4.2 assumes. Contracts any
+    /// tree edge whose bags are comparable. By the connectivity condition,
+    /// this also makes **all pairs** of bags incomparable along tree paths.
+    pub fn normalized(&self) -> TreeDecomposition {
+        let mut bags = self.bags.clone();
+        let mut edges = self.edges.clone();
+        loop {
+            let mut contract: Option<(usize, usize)> = None;
+            for &(a, b) in &edges {
+                let sa = &bags[a];
+                let sb = &bags[b];
+                let a_in_b = sa.iter().all(|x| sb.binary_search(x).is_ok());
+                let b_in_a = sb.iter().all(|x| sa.binary_search(x).is_ok());
+                if a_in_b {
+                    contract = Some((a, b)); // drop a, keep b
+                    break;
+                }
+                if b_in_a {
+                    contract = Some((b, a));
+                    break;
+                }
+            }
+            let Some((drop, keep)) = contract else { break };
+            // Redirect drop's edges to keep, remove node `drop`.
+            let mut new_edges = Vec::with_capacity(edges.len().saturating_sub(1));
+            for &(a, b) in &edges {
+                let (mut a, mut b) = (a, b);
+                if a == drop {
+                    a = keep;
+                }
+                if b == drop {
+                    b = keep;
+                }
+                if a != b {
+                    new_edges.push((a, b));
+                }
+            }
+            // Renumber: remove index `drop`.
+            bags.remove(drop);
+            let fix = |i: usize| if i > drop { i - 1 } else { i };
+            edges = new_edges
+                .into_iter()
+                .map(|(a, b)| (fix(a), fix(b)))
+                .collect();
+            edges.sort_unstable();
+            edges.dedup();
+        }
+        TreeDecomposition { bags, edges }
+    }
+
+    /// The longest path in the decomposition tree, as a list of node
+    /// indices (via double BFS). Used by the Lemma 4.2 Case-2 argument.
+    pub fn longest_tree_path(&self) -> Vec<usize> {
+        if self.bags.is_empty() {
+            return Vec::new();
+        }
+        let adj = self.tree_adjacency();
+        let bfs_far = |start: usize| -> (usize, Vec<usize>) {
+            let mut parent = vec![usize::MAX; self.bags.len()];
+            let mut dist = vec![usize::MAX; self.bags.len()];
+            dist[start] = 0;
+            let mut q = std::collections::VecDeque::from([start]);
+            let mut far = start;
+            while let Some(u) = q.pop_front() {
+                if dist[u] > dist[far] {
+                    far = u;
+                }
+                for &v in &adj[u] {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        parent[v] = u;
+                        q.push_back(v);
+                    }
+                }
+            }
+            (far, parent)
+        };
+        let (a, _) = bfs_far(0);
+        let (b, parent) = bfs_far(a);
+        let mut path = vec![b];
+        let mut cur = b;
+        while parent[cur] != usize::MAX {
+            cur = parent[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Maximum degree of any decomposition tree node.
+    pub fn max_tree_degree(&self) -> usize {
+        self.tree_adjacency()
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators::{cycle, path, star};
+
+    fn path_decomposition(n: usize) -> TreeDecomposition {
+        // Bags {i, i+1} in a path.
+        let bags: Vec<Vec<u32>> = (0..n - 1).map(|i| vec![i as u32, i as u32 + 1]).collect();
+        let edges: Vec<(usize, usize)> = (1..n - 1).map(|i| (i - 1, i)).collect();
+        TreeDecomposition::new(bags, edges)
+    }
+
+    #[test]
+    fn valid_path_decomposition() {
+        let g = path(6);
+        let td = path_decomposition(6);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 1);
+        assert_eq!(td.longest_tree_path().len(), 5);
+    }
+
+    #[test]
+    fn trivial_decomposition_always_valid() {
+        for g in [path(4), cycle(5), star(4)] {
+            let td = TreeDecomposition::trivial(&g);
+            td.validate(&g).unwrap();
+            assert_eq!(td.width(), g.vertex_count() - 1);
+        }
+    }
+
+    #[test]
+    fn detects_uncovered_edge() {
+        let g = cycle(4);
+        // Path decomposition of the path 0-1-2-3 misses the closing edge.
+        let td = path_decomposition(4);
+        let err = td.validate(&g).unwrap_err();
+        assert!(err.contains("not covered"));
+    }
+
+    #[test]
+    fn detects_disconnected_occurrence() {
+        let g = path(3);
+        // Vertex 0 appears in bags 0 and 2 but not 1.
+        let td = TreeDecomposition::new(
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            vec![(0, 1), (1, 2)],
+        );
+        let err = td.validate(&g).unwrap_err();
+        assert!(err.contains("not connected"));
+    }
+
+    #[test]
+    fn detects_non_tree() {
+        let g = path(3);
+        let td = TreeDecomposition::new(vec![vec![0, 1], vec![1, 2]], vec![(0, 1), (1, 0)]);
+        assert!(td.validate(&g).is_err());
+    }
+
+    #[test]
+    fn detects_missing_vertex() {
+        let g = path(3); // vertices 0,1,2
+        let td = TreeDecomposition::new(vec![vec![0, 1]], vec![]);
+        let err = td.validate(&g).unwrap_err();
+        assert!(err.contains("no bag") || err.contains("not covered"));
+    }
+
+    #[test]
+    fn normalization_contracts_subset_bags() {
+        let g = path(4);
+        // Redundant decomposition with duplicate/subset bags.
+        let td = TreeDecomposition::new(
+            vec![vec![0, 1], vec![1], vec![1, 2], vec![1, 2], vec![2, 3]],
+            vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+        );
+        td.validate(&g).unwrap();
+        let nd = td.normalized();
+        nd.validate(&g).unwrap();
+        assert_eq!(nd.len(), 3);
+        // All adjacent pairs incomparable now.
+        for &(a, b) in nd.edges() {
+            let sa = &nd.bags()[a];
+            let sb = &nd.bags()[b];
+            assert!(sa.iter().any(|x| sb.binary_search(x).is_err()));
+            assert!(sb.iter().any(|x| sa.binary_search(x).is_err()));
+        }
+    }
+
+    #[test]
+    fn star_decomposition_tree_degree() {
+        // Star decomposition: center bag {0}, leaf bags {0, i}.
+        let g = star(5);
+        let mut bags = vec![vec![0u32]];
+        let mut edges = Vec::new();
+        for i in 1..=5u32 {
+            bags.push(vec![0, i]);
+            edges.push((0, i as usize));
+        }
+        let td = TreeDecomposition::new(bags, edges);
+        td.validate(&g).unwrap();
+        assert_eq!(td.max_tree_degree(), 5);
+        let nd = td.normalized();
+        nd.validate(&g).unwrap();
+        assert_eq!(nd.len(), 5); // the {0} bag contracts away
+    }
+
+    #[test]
+    fn empty_graph_decompositions() {
+        let g = hp_structures::Graph::new(0);
+        let td = TreeDecomposition::new(vec![], vec![]);
+        td.validate(&g).unwrap();
+        let g1 = hp_structures::Graph::new(1);
+        let td1 = TreeDecomposition::new(vec![vec![0]], vec![]);
+        td1.validate(&g1).unwrap();
+        assert_eq!(td1.width(), 0);
+    }
+}

@@ -1,0 +1,509 @@
+//! Treewidth via elimination orderings: heuristics, exact branch-and-bound,
+//! and lower bounds.
+
+use hp_structures::{BitSet, Graph};
+
+use crate::decomposition::TreeDecomposition;
+
+/// Build the tree decomposition induced by an elimination order.
+///
+/// Eliminating vertex `v` forms the bag `{v} ∪ N(v)` in the current (fill-in
+/// accumulated) graph, connects the bag to the bag of the first later-
+/// eliminated neighbor, and turns `N(v)` into a clique.
+pub fn decomposition_from_order(g: &Graph, order: &[u32]) -> TreeDecomposition {
+    let n = g.vertex_count();
+    assert_eq!(order.len(), n, "order must list every vertex once");
+    if n == 0 {
+        return TreeDecomposition::new(vec![], vec![]);
+    }
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+    // Dense adjacency we can add fill edges to.
+    let mut adj: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    for (u, v) in g.edges() {
+        adj[u as usize].insert(v as usize);
+        adj[v as usize].insert(u as usize);
+    }
+    let mut bags: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut eliminated = BitSet::new(n);
+    for (i, &v) in order.iter().enumerate() {
+        let later: Vec<u32> = adj[v as usize]
+            .iter()
+            .filter(|&u| !eliminated.contains(u))
+            .map(|u| u as u32)
+            .collect();
+        let mut bag = later.clone();
+        bag.push(v);
+        bags.push(bag);
+        // Fill-in among later neighbors.
+        for a in 0..later.len() {
+            for b in (a + 1)..later.len() {
+                adj[later[a] as usize].insert(later[b] as usize);
+                adj[later[b] as usize].insert(later[a] as usize);
+            }
+        }
+        eliminated.insert(v as usize);
+        // Tree edge: connect to the earliest-later neighbor's bag.
+        if let Some(&next) = later.iter().min_by_key(|&&u| pos[u as usize]) {
+            edges.push((i, pos[next as usize]));
+        } else if i + 1 < n {
+            // Disconnected remainder: chain to the next bag to keep a tree.
+            edges.push((i, i + 1));
+        }
+    }
+    TreeDecomposition::new(bags, edges)
+}
+
+/// Width of the elimination order (max back-degree with fill-in), computed
+/// without materializing the decomposition.
+pub fn order_width(g: &Graph, order: &[u32]) -> usize {
+    let n = g.vertex_count();
+    let mut adj: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    for (u, v) in g.edges() {
+        adj[u as usize].insert(v as usize);
+        adj[v as usize].insert(u as usize);
+    }
+    let mut eliminated = BitSet::new(n);
+    let mut width = 0;
+    for &v in order {
+        let later: Vec<usize> = adj[v as usize]
+            .iter()
+            .filter(|&u| !eliminated.contains(u))
+            .collect();
+        width = width.max(later.len());
+        for a in 0..later.len() {
+            for b in (a + 1)..later.len() {
+                adj[later[a]].insert(later[b]);
+                adj[later[b]].insert(later[a]);
+            }
+        }
+        eliminated.insert(v as usize);
+    }
+    width
+}
+
+/// Greedy **min-degree** elimination heuristic: an upper bound on treewidth
+/// plus the witnessing decomposition.
+pub fn min_degree_order(g: &Graph) -> Vec<u32> {
+    greedy_order(g, |later_deg, _fill| later_deg)
+}
+
+/// Greedy **min-fill** elimination heuristic (usually tighter than
+/// min-degree).
+pub fn min_fill_order(g: &Graph) -> Vec<u32> {
+    greedy_order(g, |_later_deg, fill| fill)
+}
+
+fn greedy_order(g: &Graph, score: impl Fn(usize, usize) -> usize) -> Vec<u32> {
+    let n = g.vertex_count();
+    let mut adj: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    for (u, v) in g.edges() {
+        adj[u as usize].insert(v as usize);
+        adj[v as usize].insert(u as usize);
+    }
+    let mut alive = BitSet::full(n);
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Pick the alive vertex with the best score.
+        let mut best: Option<(usize, usize)> = None;
+        for v in alive.iter() {
+            let nbrs: Vec<usize> = adj[v].iter().filter(|&u| alive.contains(u)).collect();
+            let deg = nbrs.len();
+            let mut fill = 0;
+            for a in 0..nbrs.len() {
+                for b in (a + 1)..nbrs.len() {
+                    if !adj[nbrs[a]].contains(nbrs[b]) {
+                        fill += 1;
+                    }
+                }
+            }
+            let s = score(deg, fill);
+            if best.map_or(true, |(_, bs)| s < bs) {
+                best = Some((v, s));
+            }
+        }
+        let (v, _) = best.expect("alive vertex exists");
+        let nbrs: Vec<usize> = adj[v].iter().filter(|&u| alive.contains(u)).collect();
+        for a in 0..nbrs.len() {
+            for b in (a + 1)..nbrs.len() {
+                adj[nbrs[a]].insert(nbrs[b]);
+                adj[nbrs[b]].insert(nbrs[a]);
+            }
+        }
+        alive.remove(v);
+        order.push(v as u32);
+    }
+    order
+}
+
+/// Upper bound on the treewidth of `g`, with a validated decomposition: the
+/// better of min-degree and min-fill.
+pub fn treewidth_upper_bound(g: &Graph) -> (usize, TreeDecomposition) {
+    let o1 = min_fill_order(g);
+    let o2 = min_degree_order(g);
+    let (w1, w2) = (order_width(g, &o1), order_width(g, &o2));
+    let order = if w1 <= w2 { o1 } else { o2 };
+    let td = decomposition_from_order(g, &order);
+    (td.width(), td)
+}
+
+/// The **degeneracy** of `g` (max over subgraphs of the min degree): a lower
+/// bound on treewidth, computed by repeatedly removing a minimum-degree
+/// vertex.
+pub fn degeneracy(g: &Graph) -> usize {
+    let n = g.vertex_count();
+    let mut alive = BitSet::full(n);
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v as u32)).collect();
+    let mut best = 0;
+    for _ in 0..n {
+        let v = alive
+            .iter()
+            .min_by_key(|&v| deg[v])
+            .expect("alive vertex exists");
+        best = best.max(deg[v]);
+        alive.remove(v);
+        for &u in g.neighbors(v as u32) {
+            if alive.contains(u as usize) {
+                deg[u as usize] -= 1;
+            }
+        }
+    }
+    best
+}
+
+/// Exact treewidth by branch-and-bound over elimination orders (QuickBB
+/// style, with simplicial-vertex shortcuts and upper/lower-bound pruning).
+///
+/// Exponential; intended for graphs up to ~25 vertices (canonical structures
+/// of `CQ^k` formulas, minor gadgets, small random models).
+pub fn treewidth_exact(g: &Graph) -> usize {
+    let n = g.vertex_count();
+    if n == 0 {
+        return 0;
+    }
+    let (mut ub, _) = treewidth_upper_bound(g);
+    let lb = degeneracy(g);
+    if lb >= ub {
+        return ub;
+    }
+    let mut adj: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    for (u, v) in g.edges() {
+        adj[u as usize].insert(v as usize);
+        adj[v as usize].insert(u as usize);
+    }
+    let alive = BitSet::full(n);
+    fn bb(adj: &mut Vec<BitSet>, alive: &BitSet, width_so_far: usize, ub: &mut usize, lb: usize) {
+        if width_so_far >= *ub {
+            return;
+        }
+        let live: Vec<usize> = alive.iter().collect();
+        if live.len() <= 1 {
+            *ub = (*ub).min(width_so_far.max(0));
+            return;
+        }
+        // If everything alive fits under width_so_far as one clique bag:
+        if live.len() - 1 <= width_so_far {
+            *ub = (*ub).min(width_so_far);
+            return;
+        }
+        // Simplicial shortcut: a vertex whose alive neighborhood is a clique
+        // can always be eliminated first, without loss.
+        for &v in &live {
+            let nbrs: Vec<usize> = adj[v].iter().filter(|&u| alive.contains(u)).collect();
+            let is_clique = nbrs
+                .iter()
+                .enumerate()
+                .all(|(i, &a)| nbrs[i + 1..].iter().all(|&b| adj[a].contains(b)));
+            if is_clique {
+                let w = width_so_far.max(nbrs.len());
+                if w >= *ub {
+                    return;
+                }
+                let mut alive2 = alive.clone();
+                alive2.remove(v);
+                bb(adj, &alive2, w, ub, lb);
+                return;
+            }
+        }
+        // Branch on each alive vertex.
+        for &v in &live {
+            let nbrs: Vec<usize> = adj[v].iter().filter(|&u| alive.contains(u)).collect();
+            let w = width_so_far.max(nbrs.len());
+            if w >= *ub {
+                continue;
+            }
+            // Apply fill-in, remember which edges were added.
+            let mut added: Vec<(usize, usize)> = Vec::new();
+            for a in 0..nbrs.len() {
+                for b in (a + 1)..nbrs.len() {
+                    if !adj[nbrs[a]].contains(nbrs[b]) {
+                        adj[nbrs[a]].insert(nbrs[b]);
+                        adj[nbrs[b]].insert(nbrs[a]);
+                        added.push((nbrs[a], nbrs[b]));
+                    }
+                }
+            }
+            let mut alive2 = alive.clone();
+            alive2.remove(v);
+            bb(adj, &alive2, w, ub, lb);
+            for (a, b) in added {
+                adj[a].remove(b);
+                adj[b].remove(a);
+            }
+            if *ub <= lb {
+                return;
+            }
+        }
+    }
+    bb(&mut adj, &alive, 0, &mut ub, lb);
+    ub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators::{
+        binary_tree, clique, complete_bipartite, cycle, grid, ktree, path, random_tree, star, wheel,
+    };
+
+    #[test]
+    fn path_has_treewidth_1() {
+        let g = path(8);
+        assert_eq!(treewidth_exact(&g), 1);
+        let (ub, td) = treewidth_upper_bound(&g);
+        assert_eq!(ub, 1);
+        td.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn trees_have_treewidth_1() {
+        for seed in 0..4 {
+            let g = random_tree(20, seed);
+            assert_eq!(treewidth_exact(&g), 1, "seed {seed}");
+        }
+        assert_eq!(treewidth_exact(&binary_tree(3)), 1);
+        assert_eq!(treewidth_exact(&star(7)), 1);
+    }
+
+    #[test]
+    fn cycles_have_treewidth_2() {
+        for n in [3usize, 5, 8] {
+            assert_eq!(treewidth_exact(&cycle(n)), 2, "C_{n}");
+        }
+    }
+
+    #[test]
+    fn cliques_have_treewidth_n_minus_1() {
+        for n in 2..7 {
+            assert_eq!(treewidth_exact(&clique(n)), n - 1, "K_{n}");
+        }
+    }
+
+    #[test]
+    fn ktrees_have_treewidth_k() {
+        assert_eq!(treewidth_exact(&ktree(2, 10)), 2);
+        assert_eq!(treewidth_exact(&ktree(3, 9)), 3);
+    }
+
+    #[test]
+    fn grids_have_treewidth_min_side() {
+        assert_eq!(treewidth_exact(&grid(2, 5)), 2);
+        assert_eq!(treewidth_exact(&grid(3, 3)), 3);
+        assert_eq!(treewidth_exact(&grid(3, 4)), 3);
+    }
+
+    #[test]
+    fn complete_bipartite_treewidth() {
+        // tw(K_{a,b}) = min(a,b) for a,b >= 1.
+        assert_eq!(treewidth_exact(&complete_bipartite(2, 4)), 2);
+        assert_eq!(treewidth_exact(&complete_bipartite(3, 3)), 3);
+    }
+
+    #[test]
+    fn wheels_have_treewidth_3() {
+        for n in [3usize, 5, 8] {
+            assert_eq!(treewidth_exact(&wheel(n)), 3, "W_{n}");
+        }
+    }
+
+    #[test]
+    fn upper_bound_decompositions_are_valid() {
+        for g in [grid(3, 4), cycle(7), ktree(3, 12), complete_bipartite(3, 5)] {
+            let (w, td) = treewidth_upper_bound(&g);
+            td.validate(&g).unwrap();
+            assert_eq!(td.width(), w);
+            assert!(w >= degeneracy(&g));
+        }
+    }
+
+    #[test]
+    fn degeneracy_lower_bound() {
+        assert_eq!(degeneracy(&clique(5)), 4);
+        assert_eq!(degeneracy(&path(6)), 1);
+        assert_eq!(degeneracy(&cycle(6)), 2);
+        assert_eq!(degeneracy(&grid(3, 3)), 2); // grids are 2-degenerate
+    }
+
+    #[test]
+    fn order_width_matches_decomposition_width() {
+        let g = grid(3, 3);
+        for order in [min_degree_order(&g), min_fill_order(&g)] {
+            let w = order_width(&g, &order);
+            let td = decomposition_from_order(&g, &order);
+            td.validate(&g).unwrap();
+            assert_eq!(td.width(), w);
+        }
+    }
+
+    #[test]
+    fn disconnected_graphs_handled() {
+        // Two disjoint triangles.
+        let mut g = hp_structures::Graph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(a, b);
+        }
+        assert_eq!(treewidth_exact(&g), 2);
+        let (w, td) = treewidth_upper_bound(&g);
+        assert_eq!(w, 2);
+        td.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(treewidth_exact(&hp_structures::Graph::new(0)), 0);
+        assert_eq!(treewidth_exact(&hp_structures::Graph::new(1)), 0);
+        assert_eq!(treewidth_exact(&hp_structures::Graph::new(5)), 0); // edgeless
+    }
+}
+
+/// Find an elimination order of width ≤ `target`, if one exists — the
+/// witness-producing companion to [`treewidth_exact`] (call with
+/// `target = treewidth_exact(g)` for an optimal order; feed the result to
+/// [`decomposition_from_order`] for the optimal tree decomposition).
+pub fn elimination_order_of_width(g: &Graph, target: usize) -> Option<Vec<u32>> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let mut adj: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    for (u, v) in g.edges() {
+        adj[u as usize].insert(v as usize);
+        adj[v as usize].insert(u as usize);
+    }
+    let alive = BitSet::full(n);
+    fn dfs(adj: &mut Vec<BitSet>, alive: &BitSet, target: usize, prefix: &mut Vec<u32>) -> bool {
+        let live: Vec<usize> = alive.iter().collect();
+        if live.len() <= target + 1 {
+            prefix.extend(live.iter().map(|&v| v as u32));
+            return true;
+        }
+        // Simplicial shortcut (safe: always optimal to eliminate first).
+        for &v in &live {
+            let nbrs: Vec<usize> = adj[v].iter().filter(|&u| alive.contains(u)).collect();
+            if nbrs.len() > target {
+                continue;
+            }
+            let is_clique = nbrs
+                .iter()
+                .enumerate()
+                .all(|(i, &a)| nbrs[i + 1..].iter().all(|&b| adj[a].contains(b)));
+            if is_clique {
+                let mut alive2 = alive.clone();
+                alive2.remove(v);
+                prefix.push(v as u32);
+                if dfs(adj, &alive2, target, prefix) {
+                    return true;
+                }
+                prefix.pop();
+                return false;
+            }
+        }
+        for &v in &live {
+            let nbrs: Vec<usize> = adj[v].iter().filter(|&u| alive.contains(u)).collect();
+            if nbrs.len() > target {
+                continue;
+            }
+            let mut added: Vec<(usize, usize)> = Vec::new();
+            for a in 0..nbrs.len() {
+                for b in (a + 1)..nbrs.len() {
+                    if !adj[nbrs[a]].contains(nbrs[b]) {
+                        adj[nbrs[a]].insert(nbrs[b]);
+                        adj[nbrs[b]].insert(nbrs[a]);
+                        added.push((nbrs[a], nbrs[b]));
+                    }
+                }
+            }
+            let mut alive2 = alive.clone();
+            alive2.remove(v);
+            prefix.push(v as u32);
+            if dfs(adj, &alive2, target, prefix) {
+                return true;
+            }
+            prefix.pop();
+            for (a, b) in added {
+                adj[a].remove(b);
+                adj[b].remove(a);
+            }
+        }
+        false
+    }
+    let mut prefix = Vec::new();
+    let mut adj2 = adj;
+    if dfs(&mut adj2, &alive, target, &mut prefix) {
+        Some(prefix)
+    } else {
+        None
+    }
+}
+
+/// Exact treewidth **with the optimal tree decomposition** as a witness.
+pub fn treewidth_exact_decomposition(g: &Graph) -> (usize, TreeDecomposition) {
+    let w = treewidth_exact(g);
+    let order =
+        elimination_order_of_width(g, w).expect("an order of the exact width always exists");
+    let td = decomposition_from_order(g, &order);
+    debug_assert_eq!(td.width(), w);
+    (w, td)
+}
+
+#[cfg(test)]
+mod witness_tests {
+    use super::*;
+    use hp_structures::generators::{cycle, grid, ktree, random_partial_ktree, wheel};
+
+    #[test]
+    fn exact_decomposition_witnesses_known_families() {
+        for (g, w) in [
+            (cycle(7), 2usize),
+            (grid(3, 3), 3),
+            (ktree(3, 9), 3),
+            (wheel(6), 3),
+        ] {
+            let (found, td) = treewidth_exact_decomposition(&g);
+            assert_eq!(found, w);
+            td.validate(&g).unwrap();
+            assert_eq!(td.width(), w);
+        }
+    }
+
+    #[test]
+    fn order_of_width_rejects_too_small_targets() {
+        let g = grid(3, 3); // treewidth 3
+        assert!(elimination_order_of_width(&g, 2).is_none());
+        assert!(elimination_order_of_width(&g, 3).is_some());
+    }
+
+    #[test]
+    fn exact_decomposition_on_random_partial_ktrees() {
+        for seed in 0..3 {
+            let g = random_partial_ktree(2, 14, 0.85, seed);
+            let (w, td) = treewidth_exact_decomposition(&g);
+            assert!(w <= 2);
+            td.validate(&g).unwrap();
+            assert_eq!(td.width(), w);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # hp-tw
+//!
+//! The graph-combinatorics substrate of Atserias–Dawar–Kolaitis (PODS 2004):
+//! tree decompositions and treewidth (§2.1), graph minors (§2.1), the
+//! Erdős–Rado Sunflower Lemma (Theorem 4.1), and the paper's central
+//! **scattered-set extraction algorithms**:
+//!
+//! - Lemma 3.4 — in a graph of degree ≤ k, any `m·k^d + 1` vertices contain a
+//!   d-scattered set of size m ([`scattered::bounded_degree`]);
+//! - Lemma 4.2 — in a graph of treewidth < k, a deletion set `B` of ≤ k
+//!   vertices makes room for a d-scattered set
+//!   ([`scattered::bounded_treewidth`]);
+//! - Lemma 5.2 — the bipartite step for `K_k`-minor-free graphs
+//!   ([`scattered::bipartite_step`]);
+//! - Theorem 5.3 — the iterated construction for `K_k`-minor-free graphs
+//!   ([`scattered::excluded_minor`]).
+//!
+//! Each extraction either returns the promised sets or an **explicit minor
+//! witness** ([`minor::MinorWitness`]) refuting the caller's claim that the
+//! input excluded the minor — mirroring the proofs, which derive a `K_k`
+//! minor whenever the construction stalls.
+//!
+//! The paper's worst-case size thresholds (`N = k(m−1)^M`, Ramsey towers,
+//! …) are computed by [`bounds`] in saturating arithmetic: they overflow
+//! fast — that is part of the story the experiments tell (measured
+//! thresholds are astronomically smaller).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod decomposition;
+pub mod elimination;
+pub mod minor;
+pub mod planarity;
+pub mod scattered;
+pub mod sunflower;
+
+pub use decomposition::TreeDecomposition;
+pub use minor::MinorWitness;

@@ -1,0 +1,405 @@
+//! Clique minors: witnesses, verification, and exact search (§2.1, §5).
+
+use hp_structures::{BitSet, Graph};
+
+/// An explicit witness that `K_h` is a minor of a graph: `h` *connected
+/// patches* (disjoint connected vertex sets, §2.1) that are pairwise joined
+/// by an edge.
+#[derive(Clone, Debug)]
+pub struct MinorWitness {
+    /// The branch sets, one per clique vertex.
+    pub patches: Vec<Vec<u32>>,
+}
+
+impl MinorWitness {
+    /// Number of clique vertices witnessed.
+    pub fn order(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// Check the witness against `g`: patches non-empty, disjoint,
+    /// connected, and pairwise adjacent.
+    pub fn verify(&self, g: &Graph) -> Result<(), String> {
+        let n = g.vertex_count();
+        let mut owner = vec![usize::MAX; n];
+        for (i, p) in self.patches.iter().enumerate() {
+            if p.is_empty() {
+                return Err(format!("patch {i} is empty"));
+            }
+            for &v in p {
+                if v as usize >= n {
+                    return Err(format!("patch {i} mentions vertex {v} outside the graph"));
+                }
+                if owner[v as usize] != usize::MAX {
+                    return Err(format!("vertex {v} appears in two patches"));
+                }
+                owner[v as usize] = i;
+            }
+        }
+        // Connectivity of each patch.
+        for (i, p) in self.patches.iter().enumerate() {
+            let inset: BitSet = p.iter().map(|&v| v as usize).collect::<BitSet>();
+            let mut seen = BitSet::new(n);
+            let mut stack = vec![p[0]];
+            seen.insert(p[0] as usize);
+            let mut cnt = 0;
+            while let Some(u) = stack.pop() {
+                cnt += 1;
+                for &w in g.neighbors(u) {
+                    if (w as usize) < inset.capacity()
+                        && inset.contains(w as usize)
+                        && seen.insert(w as usize)
+                    {
+                        stack.push(w);
+                    }
+                }
+            }
+            if cnt != p.len() {
+                return Err(format!("patch {i} is not connected"));
+            }
+        }
+        // Pairwise adjacency.
+        for i in 0..self.patches.len() {
+            for j in (i + 1)..self.patches.len() {
+                let adj = self.patches[i]
+                    .iter()
+                    .any(|&u| g.neighbors(u).iter().any(|&w| owner[w as usize] == j));
+                if !adj {
+                    return Err(format!("patches {i} and {j} are not adjacent"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of a bounded exact minor search.
+#[derive(Clone, Debug)]
+pub enum MinorSearch {
+    /// A verified witness was found.
+    Found(MinorWitness),
+    /// Exhaustive search proved there is no `K_h` minor.
+    Absent,
+    /// The node budget ran out before the search concluded.
+    Unknown,
+}
+
+impl MinorSearch {
+    /// True when a witness was found.
+    pub fn is_found(&self) -> bool {
+        matches!(self, MinorSearch::Found(_))
+    }
+
+    /// True when absence was proved.
+    pub fn is_absent(&self) -> bool {
+        matches!(self, MinorSearch::Absent)
+    }
+}
+
+/// Exact search for a `K_h` minor, with a branching-node budget.
+///
+/// The search enumerates seed sets `s₁ < ⋯ < s_h` (each seed the minimum
+/// vertex of its branch set, a symmetry reduction), then grows patches
+/// toward the first non-adjacent pair, pruning with a reachability check.
+/// Exponential in the worst case — use for small graphs and gadget
+/// cross-validation; the scattered-set constructions of §5 never *search*
+/// for minors, they only emit witnesses.
+pub fn find_clique_minor(g: &Graph, h: usize, budget: usize) -> MinorSearch {
+    if h == 0 {
+        return MinorSearch::Found(MinorWitness { patches: vec![] });
+    }
+    let n = g.vertex_count();
+    if h == 1 {
+        return if n > 0 {
+            MinorSearch::Found(MinorWitness {
+                patches: vec![vec![0]],
+            })
+        } else {
+            MinorSearch::Absent
+        };
+    }
+    if n < h {
+        return MinorSearch::Absent;
+    }
+    // Quick win: enough edges for K_h as a subgraph of small graphs is not
+    // required; just run the search.
+    let mut budget = budget;
+    let mut owner: Vec<usize> = vec![usize::MAX; n];
+    let mut patches: Vec<Vec<u32>> = Vec::new();
+    match grow(g, h, &mut patches, &mut owner, 0, &mut budget) {
+        Some(true) => {
+            let w = MinorWitness { patches };
+            debug_assert!(w.verify(g).is_ok());
+            MinorSearch::Found(w)
+        }
+        Some(false) => MinorSearch::Absent,
+        None => MinorSearch::Unknown,
+    }
+}
+
+/// Returns Some(true) on success, Some(false) on exhaustive failure, None on
+/// budget exhaustion.
+fn grow(
+    g: &Graph,
+    h: usize,
+    patches: &mut Vec<Vec<u32>>,
+    owner: &mut Vec<usize>,
+    min_seed: u32,
+    budget: &mut usize,
+) -> Option<bool> {
+    if *budget == 0 {
+        return None;
+    }
+    *budget -= 1;
+    // Seed remaining patches lazily: all seeds first (increasing), then fix
+    // adjacency.
+    if patches.len() < h {
+        let mut exhausted = true;
+        for v in min_seed..g.vertex_count() as u32 {
+            if owner[v as usize] != usize::MAX {
+                continue;
+            }
+            patches.push(vec![v]);
+            owner[v as usize] = patches.len() - 1;
+            match grow(g, h, patches, owner, v + 1, budget) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => {
+                    exhausted = false;
+                }
+            }
+            owner[v as usize] = usize::MAX;
+            patches.pop();
+        }
+        return if exhausted { Some(false) } else { None };
+    }
+    // All patches seeded: find the first non-adjacent pair.
+    let pair = first_nonadjacent_pair(g, patches, owner);
+    let Some((i, j)) = pair else {
+        return Some(true);
+    };
+    // Prune: i and j must be connectable through unassigned vertices.
+    if !connectable(g, patches, owner, i, j) {
+        return Some(false);
+    }
+    // Branch: grow patch i or patch j by one adjacent unassigned vertex.
+    let mut exhausted = true;
+    for &(p, q) in &[(i, j), (j, i)] {
+        let frontier: Vec<u32> = patches[p]
+            .iter()
+            .flat_map(|&u| g.neighbors(u).iter().copied())
+            .filter(|&w| owner[w as usize] == usize::MAX)
+            .collect();
+        let mut tried = BitSet::new(g.vertex_count());
+        for w in frontier {
+            if !tried.insert(w as usize) {
+                continue;
+            }
+            patches[p].push(w);
+            owner[w as usize] = p;
+            match grow(g, h, patches, owner, u32::MAX, budget) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => {
+                    exhausted = false;
+                }
+            }
+            owner[w as usize] = usize::MAX;
+            patches[p].pop();
+        }
+        let _ = q;
+    }
+    if exhausted {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn first_nonadjacent_pair(
+    g: &Graph,
+    patches: &[Vec<u32>],
+    owner: &[usize],
+) -> Option<(usize, usize)> {
+    let h = patches.len();
+    let mut adj = vec![vec![false; h]; h];
+    for (i, p) in patches.iter().enumerate() {
+        for &u in p {
+            for &w in g.neighbors(u) {
+                let o = owner[w as usize];
+                if o != usize::MAX && o != i {
+                    adj[i][o] = true;
+                    adj[o][i] = true;
+                }
+            }
+        }
+    }
+    for i in 0..h {
+        for j in (i + 1)..h {
+            if !adj[i][j] {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+/// Can patches `i` and `j` be joined via unassigned vertices (BFS from patch
+/// i through unassigned territory to a neighbor of patch j)?
+fn connectable(g: &Graph, patches: &[Vec<u32>], owner: &[usize], i: usize, j: usize) -> bool {
+    let n = g.vertex_count();
+    let mut seen = BitSet::new(n);
+    let mut stack: Vec<u32> = patches[i].clone();
+    for &v in &stack {
+        seen.insert(v as usize);
+    }
+    while let Some(u) = stack.pop() {
+        for &w in g.neighbors(u) {
+            let o = owner[w as usize];
+            if o == j {
+                return true;
+            }
+            if o == usize::MAX && seen.insert(w as usize) {
+                stack.push(w);
+            }
+        }
+    }
+    false
+}
+
+/// Convenience: does `g` contain a `K_h` minor? Panics on budget exhaustion
+/// — use [`find_clique_minor`] directly to handle `Unknown`.
+pub fn has_clique_minor(g: &Graph, h: usize) -> bool {
+    match find_clique_minor(g, h, 2_000_000) {
+        MinorSearch::Found(_) => true,
+        MinorSearch::Absent => false,
+        MinorSearch::Unknown => panic!("minor search budget exhausted; call find_clique_minor"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators::{
+        clique, complete_bipartite, cycle, expanded_clique_degree3, grid, ktree, path, star, wheel,
+    };
+
+    #[test]
+    fn clique_contains_itself() {
+        for h in 1..=5 {
+            assert!(has_clique_minor(&clique(5), h), "K_5 ⊇ K_{h} minor");
+        }
+        assert!(!has_clique_minor(&clique(5), 6));
+    }
+
+    #[test]
+    fn paths_and_trees_only_k2() {
+        assert!(has_clique_minor(&path(5), 2));
+        assert!(!has_clique_minor(&path(5), 3));
+        assert!(!has_clique_minor(&star(6), 3));
+    }
+
+    #[test]
+    fn cycles_have_k3_not_k4() {
+        assert!(has_clique_minor(&cycle(7), 3));
+        assert!(!has_clique_minor(&cycle(7), 4));
+    }
+
+    #[test]
+    fn paper_fact_kk_minor_of_complete_bipartite() {
+        // §2.1: K_k is a minor of K_{k-1,k-1}.
+        for k in 3..=5 {
+            assert!(
+                has_clique_minor(&complete_bipartite(k - 1, k - 1), k),
+                "K_{k} should be a minor of K_{{{},{}}}",
+                k - 1,
+                k - 1
+            );
+        }
+        // And K_{k+1} is not (treewidth of K_{a,a} is a).
+        assert!(!has_clique_minor(&complete_bipartite(3, 3), 5));
+    }
+
+    #[test]
+    fn grids_are_planar_no_k5() {
+        // Planar graphs exclude K_5; grids contain K_4 minors once big
+        // enough (2x2 block with a detour)? A 3x3 grid: K_4 minor exists?
+        // Planar 3-connected... 3x3 grid has a K_4 minor (contract a corner
+        // path). Check absence of K_5 on small grids exactly.
+        assert!(!has_clique_minor(&grid(3, 3), 5));
+        assert!(!has_clique_minor(&grid(2, 4), 4)); // outerplanar-ish strip: K4-free
+        assert!(has_clique_minor(&grid(3, 3), 4));
+    }
+
+    #[test]
+    fn wheel_has_k4() {
+        assert!(has_clique_minor(&wheel(5), 4));
+        assert!(!has_clique_minor(&wheel(5), 5));
+    }
+
+    #[test]
+    fn ktree_minors() {
+        // Treewidth k ⇒ no K_{k+2} minor; contains K_{k+1} subgraph.
+        let g = ktree(2, 8);
+        assert!(has_clique_minor(&g, 3));
+        assert!(!has_clique_minor(&g, 4));
+    }
+
+    #[test]
+    fn paper_remark_degree3_graph_with_kk_minor() {
+        // §5 closing remark: bounded degree does not exclude minors.
+        // (k = 5 also holds but needs a deeper search than unit tests allow;
+        // the benchmarks exercise it with a larger budget.)
+        for k in 3..=4 {
+            let g = expanded_clique_degree3(k);
+            assert!(g.max_degree() <= 3);
+            let r = find_clique_minor(&g, k, 5_000_000);
+            assert!(r.is_found(), "K_{k} minor should exist in the gadget");
+            if let MinorSearch::Found(w) = r {
+                w.verify(&g).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn witness_verification_rejects_bad_witnesses() {
+        let g = cycle(6);
+        // Overlapping patches.
+        let w = MinorWitness {
+            patches: vec![vec![0, 1], vec![1, 2]],
+        };
+        assert!(w.verify(&g).is_err());
+        // Disconnected patch.
+        let w = MinorWitness {
+            patches: vec![vec![0, 3], vec![1]],
+        };
+        assert!(w.verify(&g).is_err());
+        // Non-adjacent patches.
+        let w = MinorWitness {
+            patches: vec![vec![0], vec![3]],
+        };
+        assert!(w.verify(&g).is_err());
+        // A good witness.
+        let w = MinorWitness {
+            patches: vec![vec![0], vec![1, 2]],
+        };
+        w.verify(&g).unwrap();
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let g = grid(4, 4);
+        match find_clique_minor(&g, 5, 3) {
+            MinorSearch::Unknown => {}
+            other => panic!("tiny budget should exhaust, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let empty = hp_structures::Graph::new(0);
+        assert!(!has_clique_minor(&empty, 1));
+        assert!(has_clique_minor(&hp_structures::Graph::new(1), 1));
+        assert!(has_clique_minor(&path(2), 0));
+    }
+}

@@ -1,0 +1,545 @@
+//! Planarity testing (Demoucron–Malgrange–Pertuiset).
+//!
+//! §5 of the paper: *"the collection of planar graphs … by Kuratowski's
+//! Theorem, exclude K₅ and K₃,₃ as minors, but have unbounded treewidth"*
+//! — the flagship example of Theorem 5.4 beyond bounded treewidth. This
+//! module decides planarity exactly, so the experiments can validate class
+//! membership of their inputs instead of trusting the generators.
+//!
+//! Algorithm: Demoucron's incremental face-embedding, run per biconnected
+//! component (a graph is planar iff each biconnected component is), with
+//! the Euler-formula edge-count cut-off as a fast rejection.
+
+use hp_structures::{BitSet, Graph};
+
+/// Is `g` planar?
+pub fn is_planar(g: &Graph) -> bool {
+    let n = g.vertex_count();
+    if n <= 4 {
+        return true;
+    }
+    if g.edge_count() > 3 * n - 6 {
+        return false;
+    }
+    for comp in biconnected_components(g) {
+        if !demoucron(&comp) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The biconnected components of `g`, as edge-induced subgraphs re-indexed
+/// densely (Hopcroft–Tarjan lowpoint algorithm, iterative).
+pub fn biconnected_components(g: &Graph) -> Vec<Graph> {
+    let n = g.vertex_count();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut timer = 0usize;
+    let mut estack: Vec<(u32, u32)> = Vec::new();
+    let mut comps: Vec<Vec<(u32, u32)>> = Vec::new();
+
+    #[derive(Clone)]
+    struct Frame {
+        v: u32,
+        parent: u32,
+        next: usize,
+    }
+    for root in 0..n as u32 {
+        if disc[root as usize] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![Frame {
+            v: root,
+            parent: u32::MAX,
+            next: 0,
+        }];
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        while let Some(top) = stack.last().cloned() {
+            let v = top.v;
+            let nbrs = g.neighbors(v);
+            if top.next < nbrs.len() {
+                stack.last_mut().expect("nonempty").next += 1;
+                let w = nbrs[top.next];
+                if disc[w as usize] == usize::MAX {
+                    estack.push((v, w));
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push(Frame {
+                        v: w,
+                        parent: v,
+                        next: 0,
+                    });
+                } else if w != top.parent && disc[w as usize] < disc[v as usize] {
+                    estack.push((v, w));
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(up) = stack.last() {
+                    let u = up.v;
+                    low[u as usize] = low[u as usize].min(low[v as usize]);
+                    if low[v as usize] >= disc[u as usize] {
+                        // u is an articulation point (or root): pop the
+                        // component's edges.
+                        let mut comp = Vec::new();
+                        while let Some(&(a, b)) = estack.last() {
+                            if disc[a as usize] >= disc[v as usize] || (a == u && b == v) {
+                                comp.push((a, b));
+                                estack.pop();
+                                if a == u && b == v {
+                                    break;
+                                }
+                            } else {
+                                break;
+                            }
+                        }
+                        if !comp.is_empty() {
+                            comps.push(comp);
+                        }
+                    }
+                }
+            }
+        }
+        // Leftover edges (shouldn't happen, but be safe).
+        if !estack.is_empty() {
+            comps.push(std::mem::take(&mut estack));
+        }
+    }
+    // Re-index each component densely.
+    comps
+        .into_iter()
+        .map(|edges| {
+            let mut verts: Vec<u32> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+            verts.sort_unstable();
+            verts.dedup();
+            let pos = |x: u32| verts.binary_search(&x).expect("vertex present") as u32;
+            let mut h = Graph::new(verts.len());
+            for (a, b) in edges {
+                h.add_edge(pos(a), pos(b));
+            }
+            h
+        })
+        .collect()
+}
+
+/// Demoucron's algorithm on a biconnected graph.
+fn demoucron(g: &Graph) -> bool {
+    let n = g.vertex_count();
+    let m = g.edge_count();
+    if m <= 3 || n <= 3 {
+        return true;
+    }
+    if m > 3 * n - 6 {
+        return false;
+    }
+    // 1. Find a cycle (exists: biconnected with ≥ 2 edges beyond a tree).
+    let Some(cycle) = find_cycle(g) else {
+        return true; // acyclic ⇒ planar
+    };
+    // Embedded subgraph state.
+    let mut embedded_v = BitSet::new(n);
+    let mut embedded_e: std::collections::BTreeSet<(u32, u32)> = Default::default();
+    let mut faces: Vec<Vec<u32>> = Vec::new();
+    let key = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };
+    for &v in &cycle {
+        embedded_v.insert(v as usize);
+    }
+    for i in 0..cycle.len() {
+        embedded_e.insert(key(cycle[i], cycle[(i + 1) % cycle.len()]));
+    }
+    faces.push(cycle.clone());
+    faces.push(cycle.clone());
+    // 2. Iterate: fragments → admissible faces → embed a path.
+    loop {
+        if embedded_e.len() == m {
+            return true;
+        }
+        let fragments = compute_fragments(g, &embedded_v, &embedded_e);
+        if fragments.is_empty() {
+            return true;
+        }
+        // Admissible faces per fragment.
+        let mut chosen: Option<(usize, usize)> = None; // (fragment, face)
+        let mut single_choice: Option<(usize, usize)> = None;
+        for (fi, frag) in fragments.iter().enumerate() {
+            let mut admissible = Vec::new();
+            for (face_i, face) in faces.iter().enumerate() {
+                let all_in = frag.attachments.iter().all(|&a| face.contains(&a));
+                if all_in {
+                    admissible.push(face_i);
+                }
+            }
+            match admissible.len() {
+                0 => return false, // stuck: nonplanar
+                1 => {
+                    single_choice = Some((fi, admissible[0]));
+                }
+                _ => {
+                    if chosen.is_none() {
+                        chosen = Some((fi, admissible[0]));
+                    }
+                }
+            }
+        }
+        let (fi, face_i) = single_choice.or(chosen).expect("some fragment");
+        let frag = &fragments[fi];
+        // 3. A path through the fragment between two attachment points.
+        let path = fragment_path(g, frag, &embedded_v);
+        // 4. Embed: split the face.
+        let face = faces[face_i].clone();
+        let (u, v) = (path[0], *path.last().expect("path nonempty"));
+        let iu = face.iter().position(|&x| x == u).expect("u on face");
+        let iv = face.iter().position(|&x| x == v).expect("v on face");
+        let (lo, hi) = if iu <= iv { (iu, iv) } else { (iv, iu) };
+        // Arc 1: face[lo..=hi]; Arc 2: face[hi..] + face[..=lo].
+        let arc1: Vec<u32> = face[lo..=hi].to_vec();
+        let mut arc2: Vec<u32> = face[hi..].to_vec();
+        arc2.extend_from_slice(&face[..=lo]);
+        // Path oriented from face[lo]'s endpoint to face[hi]'s endpoint.
+        let mut p = path.clone();
+        if p[0] != face[lo] {
+            p.reverse();
+        }
+        let interior: Vec<u32> = p[1..p.len() - 1].to_vec();
+        // New faces: arc1 + reversed interior, arc2 + interior.
+        let mut f1 = arc1;
+        f1.extend(interior.iter().rev());
+        let mut f2 = arc2;
+        f2.extend(interior.iter());
+        faces[face_i] = f1;
+        faces.push(f2);
+        // Mark path embedded.
+        for w in &p {
+            embedded_v.insert(*w as usize);
+        }
+        for wpair in p.windows(2) {
+            embedded_e.insert(key(wpair[0], wpair[1]));
+        }
+    }
+}
+
+/// A fragment (bridge) relative to the embedded subgraph.
+struct Fragment {
+    /// Attachment vertices (embedded vertices incident to the fragment).
+    attachments: Vec<u32>,
+    /// Non-embedded vertices of the fragment (empty for a chord).
+    interior: Vec<u32>,
+    /// A representative chord, when the fragment is a single edge.
+    chord: Option<(u32, u32)>,
+}
+
+fn compute_fragments(
+    g: &Graph,
+    embedded_v: &BitSet,
+    embedded_e: &std::collections::BTreeSet<(u32, u32)>,
+) -> Vec<Fragment> {
+    let n = g.vertex_count();
+    let key = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };
+    let mut fragments = Vec::new();
+    // Chords: non-embedded edges between embedded vertices.
+    for (a, b) in g.edges() {
+        if embedded_v.contains(a as usize)
+            && embedded_v.contains(b as usize)
+            && !embedded_e.contains(&key(a, b))
+        {
+            fragments.push(Fragment {
+                attachments: vec![a, b],
+                interior: vec![],
+                chord: Some((a, b)),
+            });
+        }
+    }
+    // Components of G − embedded vertices, plus their attachments.
+    let mut seen = BitSet::new(n);
+    for s in 0..n as u32 {
+        if embedded_v.contains(s as usize) || seen.contains(s as usize) {
+            continue;
+        }
+        let mut comp = vec![s];
+        let mut attach: Vec<u32> = Vec::new();
+        seen.insert(s as usize);
+        let mut stack = vec![s];
+        while let Some(x) = stack.pop() {
+            for &y in g.neighbors(x) {
+                if embedded_v.contains(y as usize) {
+                    if !attach.contains(&y) {
+                        attach.push(y);
+                    }
+                } else if seen.insert(y as usize) {
+                    comp.push(y);
+                    stack.push(y);
+                }
+            }
+        }
+        attach.sort_unstable();
+        fragments.push(Fragment {
+            attachments: attach,
+            interior: comp,
+            chord: None,
+        });
+    }
+    fragments
+}
+
+/// A path between two attachment vertices through the fragment.
+fn fragment_path(g: &Graph, frag: &Fragment, embedded_v: &BitSet) -> Vec<u32> {
+    if let Some((a, b)) = frag.chord {
+        return vec![a, b];
+    }
+    // BFS from one attachment through interior vertices to another
+    // attachment.
+    let start = frag.attachments[0];
+    let n = g.vertex_count();
+    let interior: BitSet = frag
+        .interior
+        .iter()
+        .map(|&v| v as usize)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .fold(BitSet::new(n), |mut s, i| {
+            s.insert(i);
+            s
+        });
+    let mut parent = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    // Seed: interior neighbors of `start`.
+    for &y in g.neighbors(start) {
+        if interior.contains(y as usize) && parent[y as usize] == u32::MAX {
+            parent[y as usize] = start;
+            queue.push_back(y);
+        }
+    }
+    while let Some(x) = queue.pop_front() {
+        for &y in g.neighbors(x) {
+            if embedded_v.contains(y as usize) {
+                if frag.attachments.contains(&y) && y != start {
+                    // Reconstruct path start → … → y.
+                    let mut path = vec![y, x];
+                    let mut cur = x;
+                    while parent[cur as usize] != start {
+                        cur = parent[cur as usize];
+                        path.push(cur);
+                    }
+                    path.push(start);
+                    path.reverse();
+                    return path;
+                }
+            } else if interior.contains(y as usize) && parent[y as usize] == u32::MAX {
+                parent[y as usize] = x;
+                queue.push_back(y);
+            }
+        }
+    }
+    // Single-attachment fragment on a biconnected graph cannot happen; a
+    // degenerate fallback keeps us total.
+    vec![start]
+}
+
+/// Find any cycle in `g`, as a vertex list.
+fn find_cycle(g: &Graph) -> Option<Vec<u32>> {
+    let n = g.vertex_count();
+    let mut parent = vec![u32::MAX; n];
+    let mut state = vec![0u8; n]; // 0 unseen, 1 active, 2 done
+    for root in 0..n as u32 {
+        if state[root as usize] != 0 {
+            continue;
+        }
+        let mut stack = vec![(root, u32::MAX, 0usize)];
+        state[root as usize] = 1;
+        while let Some(&mut (v, p, ref mut next)) = stack.last_mut() {
+            let nbrs = g.neighbors(v);
+            if *next < nbrs.len() {
+                let w = nbrs[*next];
+                *next += 1;
+                if w == p {
+                    continue;
+                }
+                if state[w as usize] == 1 {
+                    // Cycle: w … v.
+                    let mut cycle = vec![v];
+                    let mut cur = v;
+                    while cur != w {
+                        cur = parent[cur as usize];
+                        cycle.push(cur);
+                    }
+                    cycle.reverse();
+                    return Some(cycle);
+                }
+                if state[w as usize] == 0 {
+                    state[w as usize] = 1;
+                    parent[w as usize] = v;
+                    stack.push((w, v, 0));
+                }
+            } else {
+                state[v as usize] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators::{
+        bicycle, clique, complete_bipartite, cycle, grid, ktree, path, random_partial_ktree,
+        random_tree, star, wheel,
+    };
+
+    #[test]
+    fn small_graphs_planar() {
+        assert!(is_planar(&path(5)));
+        assert!(is_planar(&cycle(6)));
+        assert!(is_planar(&star(8)));
+        assert!(is_planar(&clique(4)));
+    }
+
+    #[test]
+    fn kuratowski_graphs_nonplanar() {
+        assert!(!is_planar(&clique(5)));
+        assert!(!is_planar(&complete_bipartite(3, 3)));
+        assert!(!is_planar(&clique(6)));
+        assert!(!is_planar(&complete_bipartite(3, 4)));
+    }
+
+    #[test]
+    fn k5_minus_edge_planar() {
+        let mut g = clique(5);
+        g.remove_edge(0, 1);
+        assert!(is_planar(&g));
+        // K33 minus an edge too.
+        let mut h = complete_bipartite(3, 3);
+        h.remove_edge(0, 3);
+        assert!(is_planar(&h));
+    }
+
+    #[test]
+    fn grids_planar() {
+        assert!(is_planar(&grid(4, 4)));
+        assert!(is_planar(&grid(6, 7)));
+        assert!(is_planar(&grid(10, 10)));
+    }
+
+    #[test]
+    fn wheels_and_bicycles_planar() {
+        for n in [3usize, 5, 8, 12] {
+            assert!(is_planar(&wheel(n)), "W_{n}");
+        }
+        assert!(is_planar(&bicycle(7)));
+    }
+
+    #[test]
+    fn petersen_nonplanar() {
+        // The Petersen graph: outer C5, inner 5-star polygon, spokes.
+        let mut g = Graph::new(10);
+        for i in 0..5u32 {
+            g.add_edge(i, (i + 1) % 5);
+            g.add_edge(5 + i, 5 + (i + 2) % 5);
+            g.add_edge(i, 5 + i);
+        }
+        assert_eq!(g.edge_count(), 15);
+        assert!(!is_planar(&g));
+    }
+
+    #[test]
+    fn partial_2trees_planar() {
+        // Series-parallel graphs (treewidth ≤ 2) are planar.
+        for seed in 0..6 {
+            let g = random_partial_ktree(2, 40, 0.9, seed);
+            assert!(is_planar(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn k4_trees_can_be_nonplanar() {
+        // The canonical 4-tree contains K5 (first 5 vertices).
+        let g = ktree(4, 10);
+        assert!(!is_planar(&g));
+    }
+
+    #[test]
+    fn trees_and_forests_planar() {
+        for seed in 0..4 {
+            assert!(is_planar(&random_tree(30, seed)));
+        }
+        let mut forest = Graph::new(9);
+        forest.add_edge(0, 1);
+        forest.add_edge(3, 4);
+        forest.add_edge(6, 7);
+        assert!(is_planar(&forest));
+    }
+
+    #[test]
+    fn biconnected_components_structure() {
+        // Two triangles sharing a vertex: 2 biconnected components.
+        let mut g = Graph::new(5);
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)] {
+            g.add_edge(a, b);
+        }
+        let comps = biconnected_components(&g);
+        assert_eq!(comps.len(), 2);
+        for c in &comps {
+            assert_eq!(c.vertex_count(), 3);
+            assert_eq!(c.edge_count(), 3);
+        }
+        // A path: every edge its own component.
+        assert_eq!(biconnected_components(&path(5)).len(), 4);
+        // A cycle: one component.
+        assert_eq!(biconnected_components(&cycle(7)).len(), 1);
+    }
+
+    #[test]
+    fn nonplanar_glued_at_cut_vertex() {
+        // K5 and a long path glued at a vertex: still nonplanar.
+        let mut g = Graph::new(9);
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                g.add_edge(a, b);
+            }
+        }
+        for i in 4..8u32 {
+            g.add_edge(i, i + 1);
+        }
+        assert!(!is_planar(&g));
+    }
+
+    #[test]
+    fn dense_planar_triangulation() {
+        // A maximal planar graph: the octahedron (K_{2,2,2}), 6 vertices,
+        // 12 = 3·6 − 6 edges.
+        let mut g = Graph::new(6);
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                if b != a + 3
+                    && a + 3 != b
+                    && !(a == 0 && b == 3)
+                    && !(a == 1 && b == 4)
+                    && !(a == 2 && b == 5)
+                {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        assert_eq!(g.edge_count(), 12);
+        assert!(is_planar(&g));
+    }
+
+    #[test]
+    fn planar_matches_k5_and_k33_minor_freeness_small() {
+        // Cross-validate with the exact minor search on small graphs:
+        // planar ⇒ no K5 minor.
+        use crate::minor::{find_clique_minor, MinorSearch};
+        for g in [grid(3, 3), wheel(6), cycle(8)] {
+            assert!(is_planar(&g));
+            assert!(matches!(
+                find_clique_minor(&g, 5, 1_000_000),
+                MinorSearch::Absent
+            ));
+        }
+    }
+}

@@ -1,0 +1,721 @@
+//! Scattered-set extraction — the combinatorial engines of §§3–5.
+//!
+//! A set `S` of vertices is **d-scattered** in `G` when the d-neighborhoods
+//! of its members are pairwise disjoint (equivalently: pairwise distance
+//! > 2d). The paper's theorems all reduce to: *in every sufficiently large
+//! graph of the class, after deleting a small set `B`, a large d-scattered
+//! set exists.* Each function here implements one such extraction,
+//! returning the promised `(B, S)` — or, for the excluded-minor
+//! constructions, an explicit [`MinorWitness`] when the input turns out to
+//! contain the forbidden minor after all (mirroring the proofs, which
+//! derive a `K_k` minor whenever the construction stalls).
+
+use hp_structures::{BitSet, Graph, Neighborhoods};
+
+use crate::decomposition::TreeDecomposition;
+use crate::minor::MinorWitness;
+use crate::sunflower::find_sunflower;
+
+/// The outcome of a deletion-based extraction: the deleted set `B` and a
+/// d-scattered set `S` of `G − B`, **expressed in the original graph's
+/// vertex numbering**.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScatteredSet {
+    /// Deleted vertices (the paper's `B` or `Z`).
+    pub deleted: Vec<u32>,
+    /// The d-scattered set found in `G − deleted`.
+    pub set: Vec<u32>,
+}
+
+impl ScatteredSet {
+    /// Verify against the original graph: `set` must be d-scattered in
+    /// `G − deleted` and disjoint from `deleted`.
+    pub fn verify(&self, g: &Graph, d: usize) -> Result<(), String> {
+        let n = g.vertex_count();
+        let removed: BitSet = BitSet::from_indices(n, self.deleted.iter().map(|&v| v as usize));
+        for &v in &self.set {
+            if removed.contains(v as usize) {
+                return Err(format!("scattered vertex {v} was deleted"));
+            }
+        }
+        let (h, old_of_new) = g.minus(&removed);
+        let mut new_of_old = vec![u32::MAX; n];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            new_of_old[old as usize] = new as u32;
+        }
+        let mapped: Vec<u32> = self.set.iter().map(|&v| new_of_old[v as usize]).collect();
+        if !hp_structures::is_d_scattered(&h, d, &mapped) {
+            return Err("set is not d-scattered after deletion".into());
+        }
+        Ok(())
+    }
+}
+
+/// Greedy maximal d-scattered set (no deletions): scan vertices in order,
+/// keep those whose d-neighborhood avoids the 2d-neighborhoods of kept
+/// vertices. Linear-ish and effective on bounded-degree graphs.
+pub fn greedy_scattered(g: &Graph, d: usize) -> Vec<u32> {
+    let n = g.vertex_count();
+    let mut blocked = BitSet::new(n);
+    let mut out = Vec::new();
+    for v in g.vertices() {
+        if blocked.contains(v as usize) {
+            continue;
+        }
+        out.push(v);
+        // Block everything within distance 2d of v.
+        let nb = g.neighborhood(v, 2 * d);
+        blocked.union_with(&nb);
+    }
+    out
+}
+
+/// **Lemma 3.4** (bounded degree, `s = 0`): in a graph of maximum degree
+/// ≤ k with more than `m·k^d` vertices, a d-scattered set of size `m`
+/// exists. Returns the set found by the greedy sweep, or `None` if the
+/// greedy sweep finds fewer than `m` (possible only below the bound).
+pub fn bounded_degree(g: &Graph, d: usize, m: usize) -> Option<Vec<u32>> {
+    let s = greedy_scattered(g, d);
+    if s.len() >= m {
+        Some(s[..m].to_vec())
+    } else {
+        None
+    }
+}
+
+/// **Lemma 4.2** (treewidth < k): find a deletion set `B` with `|B| ≤ k`
+/// and a d-scattered set of size `m` in `G − B`.
+///
+/// Follows the proof on the *normalized* decomposition:
+///
+/// - **Case 1** — some decomposition-tree node has degree ≥ m: delete its
+///   bag; the remaining graph splits into ≥ m components, one vertex of
+///   each is d-scattered.
+/// - **Case 2** — the tree has a long path: the bags along it, by the
+///   Sunflower Lemma, contain `p = (m−1)(2d+1)+1` petals with common core
+///   `B`; picking one vertex from every `(2d+1)`-th petal yields a
+///   d-scattered set of `G − B` (Claim 4.3).
+///
+/// Both cases are attempted (Case 1 on the max-degree node; Case 2 on the
+/// longest tree path); returns `None` when neither yields `m` vertices —
+/// the paper guarantees success once `|V| > k(m−1)^M`, but in practice far
+/// smaller graphs succeed, which experiment E4 quantifies.
+pub fn bounded_treewidth(
+    g: &Graph,
+    td: &TreeDecomposition,
+    d: usize,
+    m: usize,
+) -> Option<ScatteredSet> {
+    let td = td.normalized();
+    if m == 0 {
+        return Some(ScatteredSet {
+            deleted: vec![],
+            set: vec![],
+        });
+    }
+    // ---- Case 1: high-degree tree node.
+    let adj = td.tree_adjacency();
+    if let Some(v) = (0..td.len()).max_by_key(|&v| adj[v].len()) {
+        if adj[v].len() >= m {
+            let deleted = td.bags()[v].clone();
+            let removed: BitSet =
+                BitSet::from_indices(g.vertex_count(), deleted.iter().map(|&x| x as usize));
+            let (h, old_of_new) = g.minus(&removed);
+            let comps = h.components();
+            if comps.len() >= m {
+                let set: Vec<u32> = comps
+                    .iter()
+                    .take(m)
+                    .map(|c| old_of_new[c[0] as usize])
+                    .collect();
+                let out = ScatteredSet { deleted, set };
+                debug_assert!(out.verify(g, d).is_ok());
+                return Some(out);
+            }
+        }
+    }
+    // ---- Case 2: sunflower along the longest tree path.
+    let path = td.longest_tree_path();
+    let family: Vec<Vec<u32>> = path.iter().map(|&i| td.bags()[i].clone()).collect();
+    let p = crate::bounds::lemma_4_2_petals(d, m);
+    let sf = find_sunflower(&family, p)?;
+    // Petals in path order.
+    let mut petals = sf.petals.clone();
+    petals.sort_unstable();
+    let core: Vec<u32> = sf.core.clone();
+    let removed: BitSet = BitSet::from_indices(g.vertex_count(), core.iter().map(|&x| x as usize));
+    // T_i = S_{u_i} − B must be non-empty (normalization guarantees bags
+    // pairwise incomparable, hence petal residuals non-empty).
+    let mut set = Vec::with_capacity(m);
+    let mut i = 0;
+    while set.len() < m && i < petals.len() {
+        let bag = &family[petals[i]];
+        if let Some(&x) = bag.iter().find(|&&x| !removed.contains(x as usize)) {
+            set.push(x);
+        }
+        i += 2 * d + 1;
+    }
+    if set.len() < m {
+        return None;
+    }
+    let out = ScatteredSet { deleted: core, set };
+    debug_assert!(out.verify(g, d).is_ok(), "Claim 4.3 violated");
+    Some(out)
+}
+
+/// The outcome of the §5 constructions: either the promised sets, or an
+/// explicit `K_k`-ish minor witness showing the input did not satisfy the
+/// hypothesis.
+#[derive(Clone, Debug)]
+pub enum MinorFreeOutcome {
+    /// Extraction succeeded.
+    Scattered(ScatteredSet),
+    /// The construction stalled and, exactly as in the proof, produced a
+    /// clique-minor witness (of the order recorded in the witness).
+    Minor(MinorWitness),
+}
+
+/// **Lemma 5.2** (bipartite step): given a bipartite graph
+/// `H = (A ∪ B, E ⊆ A × B)` presented as `g` with `side_a` marking the `A`
+/// side, and the promise that `H` has no `K_k` minor, find `A′ ⊆ A` with
+/// `|A′| ≥ m` and `B′ ⊆ B` with `|B′| < k−1` such that `A′ × B′ ⊆ E` and
+/// `A′` is 1-scattered in `H − B′`.
+///
+/// Implementation mirrors the proof's stage structure, replacing the
+/// Ramsey appeals with direct greedy searches (the Ramsey step only serves
+/// to *guarantee* one of the three cases fires; algorithmically we try the
+/// cases directly):
+///
+/// - **Case 1** — look for a large subset of `A` with pairwise no common
+///   neighbor outside `B′` (greedy): done.
+/// - **Case 3** — otherwise pick the vertex `z ∈ B − B′` covering the most
+///   of the current `A`-set, add it to `B′`, and restrict to its neighbors.
+/// - If `B′` would reach `k − 1` elements, the proof exhibits a
+///   `K_{k−1,k−1}` and hence a `K_k` minor: we return the bipartite clique
+///   witness instead.
+pub fn bipartite_step(g: &Graph, side_a: &BitSet, k: usize, m: usize) -> MinorFreeOutcome {
+    assert!(k >= 2, "K_1 exclusion is vacuous");
+    let mut a_cur: Vec<u32> = side_a.iter().map(|v| v as u32).collect();
+    let mut b_prime: Vec<u32> = Vec::new();
+    // The largest 1-scattered set seen over all absorption rounds, with the
+    // B′ it was scattered under.
+    let mut best_found: Option<ScatteredSet> = None;
+    loop {
+        // Case 1: greedy 1-scattered subset of a_cur in H − B'.
+        let mut chosen: Vec<u32> = Vec::new();
+        let mut blocked = BitSet::new(g.vertex_count());
+        for &a in &a_cur {
+            if blocked.contains(a as usize) {
+                continue;
+            }
+            chosen.push(a);
+            // Block A-vertices sharing a neighbor with `a` outside B'.
+            for &b in g.neighbors(a) {
+                if b_prime.contains(&b) {
+                    continue;
+                }
+                blocked.insert(b as usize);
+                for &a2 in g.neighbors(b) {
+                    blocked.insert(a2 as usize);
+                }
+            }
+        }
+        if chosen.len() >= m {
+            chosen.truncate(m);
+            let out = ScatteredSet {
+                deleted: b_prime,
+                set: chosen,
+            };
+            return MinorFreeOutcome::Scattered(out);
+        }
+        if best_found
+            .as_ref()
+            .map_or(true, |b| chosen.len() > b.set.len())
+        {
+            best_found = Some(ScatteredSet {
+                deleted: b_prime.clone(),
+                set: chosen.clone(),
+            });
+        }
+        // Case 3: absorb the most popular remaining B-vertex.
+        let mut best: Option<(u32, usize)> = None;
+        let a_set: BitSet =
+            BitSet::from_indices(g.vertex_count(), a_cur.iter().map(|&v| v as usize));
+        let mut seen_b = BitSet::new(g.vertex_count());
+        for &a in &a_cur {
+            for &b in g.neighbors(a) {
+                if b_prime.contains(&b) || !seen_b.insert(b as usize) {
+                    continue;
+                }
+                let cnt = g
+                    .neighbors(b)
+                    .iter()
+                    .filter(|&&x| a_set.contains(x as usize))
+                    .count();
+                if best.map_or(true, |(_, c)| cnt > c) {
+                    best = Some((b, cnt));
+                }
+            }
+        }
+        let Some((z, cnt)) = best else {
+            // No B-vertices left at all: a_cur is vacuously 1-scattered.
+            if a_cur.len() > best_found.as_ref().map_or(0, |b| b.set.len()) {
+                best_found = Some(ScatteredSet {
+                    deleted: b_prime,
+                    set: a_cur,
+                });
+            }
+            return MinorFreeOutcome::Scattered(best_found.expect("recorded"));
+        };
+        if cnt < 2 || a_cur.len() < 2 {
+            // Cannot shrink usefully; return the best set seen (the caller
+            // checks sizes against the paper bound).
+            return MinorFreeOutcome::Scattered(best_found.expect("recorded"));
+        }
+        b_prime.push(z);
+        a_cur.retain(|&a| g.has_edge(a, z));
+        if b_prime.len() >= k - 1 && a_cur.len() >= k - 1 {
+            // K_{k−1,k−1} found: b_prime × a_cur ⊆ E. Emit the K_k witness
+            // via the §2.1 matching-contraction construction: patches are
+            // {b_i, a_i} pairs for i < k−2, plus the two leftovers.
+            let mut patches: Vec<Vec<u32>> = Vec::new();
+            for i in 0..(k - 2) {
+                patches.push(vec![b_prime[i], a_cur[i]]);
+            }
+            patches.push(vec![b_prime[k - 2]]);
+            patches.push(vec![a_cur[k - 2]]);
+            let w = MinorWitness { patches };
+            debug_assert!(w.verify(g).is_ok(), "K_{{k-1,k-1}} contraction failed");
+            return MinorFreeOutcome::Minor(w);
+        }
+    }
+}
+
+/// **Theorem 5.3** (excluded minor): in a graph with no `K_k` minor, find
+/// `Z` with `|Z| < k−1` and a d-scattered set `S` of size ≥ m in `G − Z`.
+///
+/// The proof's d-stage iteration, with each Ramsey appeal replaced by a
+/// greedy search and each "contradiction" branch emitting the clique-minor
+/// witness the proof constructs at that point:
+///
+/// - stage i holds an i-scattered set `S_i` of `G − Z_i`;
+/// - the i-neighborhood intersection graph on `S_i` either has a big clique
+///   (→ `K_k` minor witness from the neighborhood patches) or a big
+///   independent set `I` (greedy);
+/// - the bipartite graph between `I`'s neighborhoods and their outside
+///   neighbors goes through [`bipartite_step`], upgrading `I` to an
+///   (i+1)-scattered set after deleting `B′ ⊆ Z`.
+pub fn excluded_minor(g: &Graph, k: usize, d: usize, m: usize) -> MinorFreeOutcome {
+    assert!(k >= 2);
+    let n = g.vertex_count();
+    let mut z: Vec<u32> = Vec::new();
+    let mut s: Vec<u32> = g.vertices().collect();
+    for stage in 0..d {
+        let i = stage; // S is currently i-scattered in G − Z.
+        let removed: BitSet = BitSet::from_indices(n, z.iter().map(|&v| v as usize));
+        let (h, old_of_new) = g.minus(&removed);
+        let mut new_of_old = vec![u32::MAX; n];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            new_of_old[old as usize] = new as u32;
+        }
+        // i-neighborhoods (in G − Z) of the current S.
+        let s_h: Vec<u32> = s
+            .iter()
+            .map(|&v| new_of_old[v as usize])
+            .filter(|&v| v != u32::MAX)
+            .collect();
+        let nbhd = Neighborhoods::compute(&h, i);
+        // Independent set in the neighborhood-intersection-or-adjacency
+        // graph (greedy): keep u if N_i(u) ∪ its boundary avoids all kept
+        // neighborhoods — i.e. kept neighborhoods pairwise non-adjacent.
+        let mut kept: Vec<u32> = Vec::new();
+        let mut blocked_region = BitSet::new(h.vertex_count());
+        for &u in &s_h {
+            let nu = nbhd.of(u);
+            // Check: nu and its 1-boundary must avoid every kept
+            // neighborhood; equivalently N_{i+1}(u) ∩ kept-neighborhoods=∅.
+            let nu1 = h.neighborhood(u, i + 1);
+            if nu1.is_disjoint(&blocked_region) {
+                kept.push(u);
+                blocked_region.union_with(nu);
+            } else {
+                let _ = nu;
+            }
+        }
+        // (The clique branch of the Ramsey dichotomy: if the greedy
+        // independent set is small because neighborhoods massively overlap,
+        // the paper finds a K_k minor among the patches. We detect the
+        // specific situation the bipartite step reports instead.)
+        if kept.len() < m {
+            // Not enough material; the input was too small (or minor-laden
+            // in a way the bipartite step will expose next round). Report
+            // the largest d-scattered subset of the survivors so the
+            // promise ("the returned set is d-scattered in G − Z") holds
+            // even on under-sized inputs.
+            let set = filter_d_scattered(&h, &kept, d)
+                .into_iter()
+                .map(|u| old_of_new[u as usize])
+                .collect();
+            return MinorFreeOutcome::Scattered(ScatteredSet { deleted: z, set });
+        }
+        // Bipartite graph: A = kept (as neighborhood super-vertices),
+        // B = outside neighbors of those neighborhoods. Build it explicitly
+        // as a graph on h's vertices: A-side uses the *center* u as the
+        // representative; edges u–b when b is adjacent to N_i(u).
+        let mut bip = Graph::new(h.vertex_count());
+        let mut a_side = BitSet::new(h.vertex_count());
+        for &u in &kept {
+            a_side.insert(u as usize);
+            let nu = nbhd.of(u);
+            for x in nu.iter() {
+                for &b in h.neighbors(x as u32) {
+                    if !nu.contains(b as usize) {
+                        bip.add_edge(u, b);
+                    }
+                }
+            }
+        }
+        // Intermediate stages keep as many survivors as possible; only
+        // the final stage may stop at the target m.
+        let stage_target = if stage + 1 == d { m } else { usize::MAX };
+        match bipartite_step(&bip, &a_side, k, stage_target) {
+            MinorFreeOutcome::Scattered(ss) => {
+                // Map back: deleted B' are h-vertices → original ids.
+                for &b in &ss.deleted {
+                    z.push(old_of_new[b as usize]);
+                }
+                s = ss.set.iter().map(|&u| old_of_new[u as usize]).collect();
+                if z.len() >= k - 1 {
+                    // The accumulated Z is adjacent to every neighborhood:
+                    // the proof's closing K_{k−1,k−1} argument. Build the
+                    // witness in the ORIGINAL graph: patches = i-neighbor-
+                    // hoods of k−1 survivors (+ their centers), paired with
+                    // the Z elements via the matching contraction.
+                    if let Some(w) = closing_minor_witness(g, &z, &s, i + 1, k) {
+                        return MinorFreeOutcome::Minor(w);
+                    }
+                    // Couldn't assemble the witness (can happen when Z
+                    // accumulated across stages without full adjacency —
+                    // our greedy deviates from the proof's exact sets);
+                    // fall through and report the scattered set anyway.
+                }
+            }
+            MinorFreeOutcome::Minor(w) => {
+                // Witness is in `bip`'s coordinates = h's coordinates;
+                // translate to original ids. Its edges exist in `bip`, not
+                // necessarily in g — expand each bip-edge patch through the
+                // neighborhood structure: patch {u, b} means b adjacent to
+                // N_i(u), so take the whole N_i(u) ∪ {b} as the patch.
+                let mut patches = Vec::new();
+                for p in &w.patches {
+                    let mut patch = BitSet::new(h.vertex_count());
+                    for &v in p {
+                        if a_side.contains(v as usize) {
+                            patch.union_with(nbhd.of(v));
+                        } else {
+                            patch.insert(v as usize);
+                        }
+                    }
+                    patches.push(patch.iter().map(|x| old_of_new[x]).collect::<Vec<u32>>());
+                }
+                let w2 = MinorWitness { patches };
+                if w2.verify(g).is_ok() {
+                    return MinorFreeOutcome::Minor(w2);
+                }
+                // Witness didn't survive translation (greedy drift): stop
+                // with the largest d-scattered subset of the survivors.
+                let set = filter_d_scattered(&h, &kept, d)
+                    .into_iter()
+                    .map(|u| old_of_new[u as usize])
+                    .collect();
+                return MinorFreeOutcome::Scattered(ScatteredSet { deleted: z, set });
+            }
+        }
+    }
+    if s.len() > m {
+        s.truncate(m);
+    }
+    MinorFreeOutcome::Scattered(ScatteredSet { deleted: z, set: s })
+}
+
+/// Greedily filter `candidates` down to a d-scattered subset of `g`.
+fn filter_d_scattered(g: &Graph, candidates: &[u32], d: usize) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    let mut blocked = BitSet::new(g.vertex_count());
+    for &v in candidates {
+        if blocked.contains(v as usize) {
+            continue;
+        }
+        out.push(v);
+        blocked.union_with(&g.neighborhood(v, 2 * d));
+    }
+    out
+}
+
+/// Assemble the proof's closing `K_{k−1,k−1} ⇒ K_k` witness: `k−1`
+/// neighborhood patches around survivors, each adjacent to all of `z`.
+fn closing_minor_witness(
+    g: &Graph,
+    z: &[u32],
+    survivors: &[u32],
+    radius: usize,
+    k: usize,
+) -> Option<MinorWitness> {
+    if z.len() < k - 1 || survivors.len() < k - 1 {
+        return None;
+    }
+    let removed: BitSet = BitSet::from_indices(g.vertex_count(), z.iter().map(|&v| v as usize));
+    let (h, old_of_new) = g.minus(&removed);
+    let mut new_of_old = vec![u32::MAX; g.vertex_count()];
+    for (new, &old) in old_of_new.iter().enumerate() {
+        new_of_old[old as usize] = new as u32;
+    }
+    // Patches: neighborhoods of the first k−1 survivors (in G − Z),
+    // translated back; sides paired by the matching contraction.
+    let mut a_patches: Vec<Vec<u32>> = Vec::new();
+    for &sv in survivors.iter().take(k - 1) {
+        let c = new_of_old[sv as usize];
+        if c == u32::MAX {
+            return None;
+        }
+        let nb = h.neighborhood(c, radius);
+        a_patches.push(nb.iter().map(|x| old_of_new[x]).collect());
+    }
+    let mut patches: Vec<Vec<u32>> = Vec::new();
+    for i in 0..(k - 2) {
+        let mut p = a_patches[i].clone();
+        p.push(z[i]);
+        patches.push(p);
+    }
+    patches.push(a_patches[k - 2].clone());
+    patches.push(vec![z[k - 2]]);
+    let w = MinorWitness { patches };
+    w.verify(g).ok().map(|_| w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::treewidth_upper_bound;
+    use hp_structures::generators::{
+        complete_bipartite, cycle, grid, ktree, path, random_bounded_degree, random_partial_ktree,
+        random_tree, star,
+    };
+
+    #[test]
+    fn greedy_scattered_on_path() {
+        // Path of 13 vertices, d=1: greedy takes 0, 3, 6, 9, 12.
+        let g = path(13);
+        let s = greedy_scattered(&g, 1);
+        assert_eq!(s, vec![0, 3, 6, 9, 12]);
+        assert!(hp_structures::is_d_scattered(&g, 1, &s));
+    }
+
+    #[test]
+    fn lemma_3_4_bounded_degree() {
+        // Degree ≤ 3 graphs above the bound always yield the set.
+        for seed in 0..5 {
+            let g = random_bounded_degree(200, 3, 2000, seed);
+            let (d, m) = (2, 4);
+            // Paper bound: m·k^d = 36 < 200 vertices, guaranteed.
+            let s = bounded_degree(&g, d, m).expect("above the Lemma 3.4 bound");
+            assert_eq!(s.len(), m);
+            assert!(hp_structures::is_d_scattered(&g, d, &s));
+        }
+    }
+
+    #[test]
+    fn star_needs_deletion() {
+        // The paper's motivating example: S_n has no 2-scattered pair, but
+        // deleting the hub scatters everything. Lemma 4.2 with the obvious
+        // star decomposition must delete the hub.
+        let g = star(30);
+        let mut bags = vec![vec![0u32]];
+        let mut edges = Vec::new();
+        for i in 1..=30u32 {
+            bags.push(vec![0, i]);
+            edges.push((0, i as usize));
+        }
+        let td = TreeDecomposition::new(bags, edges);
+        td.validate(&g).unwrap();
+        let out = bounded_treewidth(&g, &td, 2, 5).expect("star case");
+        assert!(out.deleted.contains(&0), "must delete the hub");
+        assert_eq!(out.set.len(), 5);
+        out.verify(&g, 2).unwrap();
+    }
+
+    #[test]
+    fn long_path_uses_sunflower_case() {
+        let g = path(100);
+        let bags: Vec<Vec<u32>> = (0..99).map(|i| vec![i as u32, i as u32 + 1]).collect();
+        let edges: Vec<(usize, usize)> = (1..99).map(|i| (i - 1, i)).collect();
+        let td = TreeDecomposition::new(bags, edges);
+        let out = bounded_treewidth(&g, &td, 2, 6).expect("long path scatters");
+        assert!(out.deleted.len() <= 2); // k = 2 for width-1 decompositions
+        assert!(out.set.len() == 6);
+        out.verify(&g, 2).unwrap();
+    }
+
+    #[test]
+    fn lemma_4_2_on_random_partial_ktrees() {
+        for seed in 0..4 {
+            let g = random_partial_ktree(2, 150, 0.7, seed);
+            let (w, td) = treewidth_upper_bound(&g);
+            assert!(w <= 2);
+            if let Some(out) = bounded_treewidth(&g, &td, 1, 4) {
+                assert!(out.deleted.len() <= w + 1, "deleted {:?}", out.deleted);
+                out.verify(&g, 1).unwrap();
+            } else {
+                panic!("150-vertex partial 2-tree should scatter (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_2_on_random_trees() {
+        for seed in 0..5 {
+            let g = random_tree(120, seed);
+            let (_, td) = treewidth_upper_bound(&g);
+            let out = bounded_treewidth(&g, &td, 1, 5)
+                .unwrap_or_else(|| panic!("tree of 120 vertices, seed {seed}"));
+            assert!(out.deleted.len() <= 2);
+            out.verify(&g, 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn bipartite_step_on_minor_free_input() {
+        // A perfect matching n×n: no K_3 minor (it's a forest), so the step
+        // with k=3 must succeed with B' empty-ish.
+        let n = 10;
+        let mut g = Graph::new(2 * n);
+        for i in 0..n as u32 {
+            g.add_edge(i, n as u32 + i);
+        }
+        let a: BitSet = BitSet::from_indices(2 * n, 0..n);
+        match bipartite_step(&g, &a, 3, 5) {
+            MinorFreeOutcome::Scattered(ss) => {
+                assert!(ss.deleted.len() < 2);
+                assert!(ss.set.len() >= 5);
+                ss.verify(&g, 1).unwrap();
+            }
+            MinorFreeOutcome::Minor(_) => panic!("matching has no K_3 minor"),
+        }
+    }
+
+    #[test]
+    fn bipartite_step_with_universal_vertex() {
+        // A on the left, single universal b: all of A shares b; the step
+        // must put b into B' and then A is 1-scattered.
+        let n = 12;
+        let mut g = Graph::new(n + 1);
+        for i in 0..n as u32 {
+            g.add_edge(i, n as u32);
+        }
+        let a: BitSet = BitSet::from_indices(n + 1, 0..n);
+        match bipartite_step(&g, &a, 4, 8) {
+            MinorFreeOutcome::Scattered(ss) => {
+                assert_eq!(ss.deleted, vec![n as u32]);
+                assert!(ss.set.len() >= 8);
+                ss.verify(&g, 1).unwrap();
+            }
+            MinorFreeOutcome::Minor(_) => panic!("star has no K_4 minor"),
+        }
+    }
+
+    #[test]
+    fn bipartite_step_detects_dense_minor() {
+        // K_{3,3} with k = 4 (K_4 ≼ K_{3,3}): the step must report a minor
+        // witness rather than fabricate a scattered set.
+        let g = complete_bipartite(4, 4);
+        let a: BitSet = BitSet::from_indices(8, 0..4);
+        match bipartite_step(&g, &a, 4, 4) {
+            MinorFreeOutcome::Minor(w) => {
+                assert_eq!(w.order(), 4);
+                w.verify(&g).unwrap();
+            }
+            MinorFreeOutcome::Scattered(ss) => {
+                panic!("expected K_4 witness, got scattered {ss:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_5_3_on_grids() {
+        // Grids are planar ⇒ no K_5 minor. d=1, m=6 on a 12×12 grid.
+        let g = grid(12, 12);
+        match excluded_minor(&g, 5, 1, 6) {
+            MinorFreeOutcome::Scattered(ss) => {
+                assert!(ss.deleted.len() < 4, "|Z| must stay < k−1");
+                assert!(ss.set.len() >= 6, "got {}", ss.set.len());
+                ss.verify(&g, 1).unwrap();
+            }
+            MinorFreeOutcome::Minor(w) => {
+                panic!("grid is K_5-minor-free but got witness {w:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_5_3_deeper_scatter_on_grid() {
+        let g = grid(16, 16);
+        match excluded_minor(&g, 5, 2, 4) {
+            MinorFreeOutcome::Scattered(ss) => {
+                assert!(ss.set.len() >= 4, "got {}", ss.set.len());
+                ss.verify(&g, 2).unwrap();
+            }
+            MinorFreeOutcome::Minor(w) => panic!("unexpected witness {w:?}"),
+        }
+    }
+
+    #[test]
+    fn theorem_5_3_trees_scatter_easily() {
+        for seed in 0..3 {
+            let g = random_tree(150, seed);
+            match excluded_minor(&g, 3, 1, 6) {
+                MinorFreeOutcome::Scattered(ss) => {
+                    assert!(ss.deleted.len() < 2);
+                    assert!(ss.set.len() >= 6);
+                    ss.verify(&g, 1).unwrap();
+                }
+                MinorFreeOutcome::Minor(w) => panic!("tree has no K_3 minor: {w:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scattered_set_verify_rejects_bad() {
+        let g = cycle(6);
+        let bad = ScatteredSet {
+            deleted: vec![],
+            set: vec![0, 1],
+        };
+        assert!(bad.verify(&g, 1).is_err());
+        let deleted_overlap = ScatteredSet {
+            deleted: vec![0],
+            set: vec![0, 3],
+        };
+        assert!(deleted_overlap.verify(&g, 1).is_err());
+        let good = ScatteredSet {
+            deleted: vec![],
+            set: vec![0, 3],
+        };
+        good.verify(&g, 1).unwrap();
+    }
+
+    #[test]
+    fn ktree_scattering_with_deletion() {
+        let g = ktree(3, 80);
+        let (w, td) = treewidth_upper_bound(&g);
+        assert_eq!(w, 3);
+        // The canonical 3-tree is "path-like": its decomposition has a long
+        // path, so Lemma 4.2 should fire with |B| ≤ 4.
+        if let Some(out) = bounded_treewidth(&g, &td, 1, 3) {
+            assert!(out.deleted.len() <= 4);
+            out.verify(&g, 1).unwrap();
+        }
+        // (None is acceptable for small m only if the sunflower misses —
+        // assert it actually succeeded:)
+        assert!(bounded_treewidth(&g, &td, 1, 3).is_some());
+    }
+}

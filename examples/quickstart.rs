@@ -1,0 +1,99 @@
+//! Quickstart: a ten-minute tour of the library.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hp_preservation::prelude::*;
+use hp_preservation::query::BooleanQuery;
+
+fn main() {
+    println!("== hompres quickstart ==\n");
+
+    // 1. Structures and homomorphisms (§2.1, Theorem 2.1) -----------------
+    let p4 = generators::directed_path(4); // 0→1→2→3
+    let c3 = generators::directed_cycle(3);
+    println!(
+        "P4 → C3 (wrap the path around the cycle): {}",
+        hom_exists(&p4, &c3)
+    );
+    println!(
+        "C3 → P4 (a cycle cannot enter a dag):      {}",
+        hom_exists(&c3, &p4)
+    );
+
+    // The Chandra–Merlin correspondence: B ⊨ φ_A ⇔ hom(A, B).
+    let phi_p4 = Cq::canonical_query(&p4);
+    println!(
+        "C3 ⊨ φ_P4 (canonical conjunctive query):   {}\n",
+        phi_p4.holds_in(&c3)
+    );
+
+    // 2. Cores (§6.2) ------------------------------------------------------
+    let b7 = generators::bicycle(7).to_structure(); // W7 ⊕ K4
+    let core = core_of(&b7);
+    println!(
+        "bicycle B7 has {} elements; its core has {} (K4, as §6.2 predicts)",
+        b7.universe_size(),
+        core.structure.universe_size()
+    );
+    println!(
+        "core is K4: {}\n",
+        are_isomorphic(&core.structure, &generators::clique(4).to_structure())
+    );
+
+    // 3. The homomorphism-preservation rewriting (Theorem 3.1) -------------
+    // A first-order sentence that happens to be preserved under homs:
+    let (f, _) = parse_formula(
+        "(exists x. E(x,x)) | (exists x. exists y. exists z. (E(x,y) & E(y,z)))",
+        &Vocabulary::digraph(),
+    )
+    .unwrap();
+    let q = FoQuery::new(f);
+    let rw = rewrite_to_ucq(&q, &Vocabulary::digraph(), 3).unwrap();
+    println!(
+        "FO query {:?}\n  has {} minimal models (≤ 3 elements); UCQ with {} disjunct(s):",
+        q.describe(),
+        rw.minimal_models.len(),
+        rw.ucq.len()
+    );
+    println!("  {}\n", rw.ucq.to_formula());
+
+    // 4. Scattered sets (Lemma 4.2) ----------------------------------------
+    let star = generators::star(20);
+    let (_, td) = elimination::treewidth_upper_bound(&star);
+    let out = scattered::bounded_treewidth(&star, &td, 2, 5).expect("stars scatter");
+    println!(
+        "star S20: deleting B = {:?} leaves the 2-scattered set {:?}",
+        out.deleted, out.set
+    );
+
+    // 5. Datalog boundedness (Theorem 7.5) ----------------------------------
+    let tc = Program::parse(
+        "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).",
+        &Vocabulary::digraph(),
+    )
+    .unwrap();
+    match ajtai_gurevich_rewrite(&tc, 3).unwrap() {
+        AjtaiGurevichOutcome::Bounded { stage, .. } => {
+            println!("transitive closure certified bounded at {stage} (?!)")
+        }
+        AjtaiGurevichOutcome::NotBoundedUpTo { max_stage } => println!(
+            "\ntransitive closure: no boundedness certificate up to stage {max_stage} \
+             (it is unbounded, hence not first-order definable — Ajtai–Gurevich)"
+        ),
+    }
+
+    // 6. Pebble games (Proposition 7.9) -------------------------------------
+    let c3 = generators::directed_cycle(3);
+    let dag = generators::random_dag(8, 14, 1);
+    let cyc = generators::random_digraph(8, 20, 2);
+    println!(
+        "\n∃2-pebble game, Duplicator wins on (C3, DAG):    {}",
+        duplicator_wins(&c3, &dag, 2)
+    );
+    println!(
+        "∃2-pebble game, Duplicator wins on (C3, cyclic): {}",
+        duplicator_wins(&c3, &cyc, 2)
+    );
+}

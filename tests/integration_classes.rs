@@ -1,0 +1,205 @@
+//! Integration tests for the class-level machinery: measured extraction
+//! thresholds vs the paper's worst-case bounds, the §6.1 non-Boolean →
+//! Boolean reduction end-to-end, and the cores-of-class variants.
+
+use hp_preservation::plebian::{
+    hom_exists_with_constants, hom_exists_with_constants_avoiding, plebian_companion,
+};
+use hp_preservation::prelude::*;
+use hp_preservation::tw::bounds::{self, Bound};
+
+/// Paper bound vs measured need (the quantitative heart of E3/E4): the
+/// Lemma 3.4 bound is tight-ish, the Lemma 4.2 bound is astronomically
+/// loose — our extraction succeeds on graphs many orders of magnitude
+/// smaller.
+#[test]
+fn measured_thresholds_beat_paper_bounds() {
+    // Lemma 3.4 (k=3, d=2, m=4): bound 36; greedy succeeds at ~36.
+    assert_eq!(bounds::lemma_3_4(3, 2, 4), Bound::Finite(36));
+    let g = generators::random_bounded_degree(40, 3, 400, 1);
+    assert!(scattered::bounded_degree(&g, 2, 4).is_some());
+    // Lemma 4.2 (k=2, d=1, m=3): paper bound 2·2^72 ≈ 9.4·10²¹; a
+    // 30-vertex tree already succeeds.
+    let paper = bounds::lemma_4_2(2, 1, 3);
+    assert_eq!(paper, Bound::Finite(2 * (1u128 << 72)));
+    let t = generators::random_tree(30, 7);
+    let (_, td) = elimination::treewidth_upper_bound(&t);
+    let out = scattered::bounded_treewidth(&t, &td, 1, 3).expect("30 ≪ 10²¹");
+    out.verify(&t, 1).unwrap();
+    // Theorem 5.3 (k=5, d=1): the bound is beyond u128 entirely; a 100-
+    // vertex grid succeeds.
+    assert_eq!(bounds::theorem_5_3(5, 1, 5), Bound::Astronomical);
+    let g10 = generators::grid(10, 10);
+    match scattered::excluded_minor(&g10, 5, 1, 5) {
+        scattered::MinorFreeOutcome::Scattered(s) => {
+            assert!(s.set.len() >= 5);
+            s.verify(&g10, 1).unwrap();
+        }
+        scattered::MinorFreeOutcome::Minor(w) => panic!("grid gave minor {w:?}"),
+    }
+}
+
+/// The §6.1 reduction end-to-end for a unary query: rewrite the Boolean
+/// plebian query and pull the answer back to the non-Boolean original.
+#[test]
+fn non_boolean_reduction_via_plebian_companions() {
+    // Unary query q(x) = "x lies on a directed cycle of length ≤ 2" —
+    // preserved under homomorphisms as a unary query.
+    let v = Vocabulary::digraph();
+    let (f, _) = parse_formula("E(x,x) | exists y. (E(x,y) & E(y,x))", &v).unwrap();
+    assert!(f.is_existential_positive());
+    let frees: Vec<_> = f.free_vars().into_iter().collect();
+    assert_eq!(frees.len(), 1);
+    // Direct answers on a test structure.
+    let mut a = generators::directed_cycle(2)
+        .disjoint_union(&generators::directed_path(3))
+        .unwrap();
+    a.add_tuple_ids(0, &[4, 4]).unwrap(); // loop at the path's end
+    let direct: Vec<Vec<Elem>> = f.answers(&a);
+    // Via the reduction: for each candidate constant value c, q'(A, c) is
+    // Boolean on the expansion; evaluate through the plebian companion by
+    // translating the formula — here we use the semantic route: q'(A,c) =
+    // f holds with x := c, and check the companion is constructible and
+    // hom-compatible for each c.
+    let mut via_reduction: Vec<Vec<Elem>> = Vec::new();
+    for c in a.elements() {
+        if f.holds_with(&a, &[(frees[0], c)]) {
+            via_reduction.push(vec![c]);
+        }
+        // Companion exists and its Gaifman graph is an induced subgraph
+        // (Observation 6.1).
+        let pc = plebian_companion(&a, &[c]);
+        assert_eq!(pc.structure.universe_size(), a.universe_size() - 1);
+    }
+    assert_eq!(direct, via_reduction);
+}
+
+/// Observation 6.2 in its corrected, exact form on structured inputs.
+#[test]
+fn companion_hom_correspondence_structured() {
+    // Wheels with the hub as constant, mapping into cliques.
+    let w5 = generators::wheel(5).to_structure();
+    let k4 = generators::clique(4).to_structure();
+    for target_c in 0..4u32 {
+        let direct = hom_exists_with_constants(&w5, &[Elem(0)], &k4, &[Elem(target_c)]);
+        let avoiding = hom_exists_with_constants_avoiding(&w5, &[Elem(0)], &k4, &[Elem(target_c)]);
+        let pa = plebian_companion(&w5, &[Elem(0)]);
+        let pb = plebian_companion(&k4, &[Elem(target_c)]);
+        let companion = hom_exists(&pa.structure, &pb.structure);
+        assert_eq!(avoiding, companion);
+        // Here the rim (odd cycle C5) must 3-color into K4 minus the hub
+        // image — possible, so all three agree and are true.
+        assert!(direct && avoiding && companion);
+    }
+}
+
+/// H(T(k)) strictly contains T(k) (§6.2): grids are in H(T(2)) \ T(2), and
+/// the cores-of extraction route still works on them.
+#[test]
+fn cores_of_class_strictly_larger() {
+    let grid = generators::grid(4, 5).to_structure();
+    let t2 = ClassDescriptor::new(ClassKind::BoundedTreewidth(2));
+    let ht2 = ClassDescriptor::new(ClassKind::CoresBoundedTreewidth(2));
+    assert_eq!(t2.contains(&grid), Some(false));
+    assert_eq!(ht2.contains(&grid), Some(true));
+    // The cores-route extraction operates on the core (K2): tiny, so the
+    // promised scattered sets are trivial/absent — exactly why Theorem 6.6
+    // constrains *query rewriting* (Boolean queries on the class have few
+    // minimal models) rather than scattering the members themselves.
+    let core = core_of(&grid);
+    assert_eq!(core.structure.universe_size(), 2);
+}
+
+/// Boolean rewriting over a cores-bounded class: the bicycle class (§6.2)
+/// has unbounded degree but bounded-degree cores, and Boolean hom-preserved
+/// queries rewrite with minimal models drawn from the cores.
+#[test]
+fn boolean_rewriting_on_bicycle_class() {
+    // q = "contains a triangle" (symmetric): UCQ with canonical K3.
+    let k3 = generators::clique(3).to_structure();
+    let q = UcqQuery::new(Ucq::new(vec![Cq::canonical_query(&k3)]));
+    use hp_preservation::query::BooleanQuery;
+    // Every bicycle satisfies q (K4 part), and q's value is determined by
+    // the core.
+    for n in [5usize, 6, 9] {
+        let b = generators::bicycle(n).to_structure();
+        assert!(q.eval(&b));
+        let c = core_of(&b);
+        assert_eq!(q.eval(&c.structure), q.eval(&b));
+    }
+    // The rewriting's minimal models over unrestricted digraph structures:
+    // the triangle itself and the self-loop (K3 folds onto a loop).
+    let mm = hp_preservation::minimal::enumerate_minimal_models(&q, &Vocabulary::digraph(), 3);
+    assert_eq!(mm.len(), 2, "{:?}", mm.models());
+    assert!(mm.models().iter().any(|m| are_isomorphic(m, &k3)));
+    assert!(mm
+        .models()
+        .iter()
+        .any(|m| are_isomorphic(m, &generators::directed_cycle(1))));
+}
+
+/// Degree-3 graphs with K_k minors (§5's closing remark): bounded degree
+/// and excluded minors are incomparable hypotheses.
+#[test]
+fn bounded_degree_does_not_exclude_minors() {
+    // k = 3 keeps the exact minor search inside the class descriptor's
+    // default budget; the k = 4, 5 gadgets are exercised in hp-tw's own
+    // tests and benches with larger budgets.
+    let g = generators::expanded_clique_degree3(3);
+    assert!(g.max_degree() <= 3);
+    let s = g.to_structure();
+    let bd = ClassDescriptor::new(ClassKind::BoundedDegree(3));
+    assert_eq!(bd.contains(&s), Some(true));
+    let em = ClassDescriptor::new(ClassKind::ExcludesMinor(3));
+    assert_eq!(em.contains(&s), Some(false));
+}
+
+/// The torus: 4-regular (bounded degree) yet non-planar with a K₅ minor —
+/// the §5 closing remark in its densest form, cross-validating the
+/// planarity tester, the minor search, and the class descriptors.
+#[test]
+fn torus_separates_degree_from_minors() {
+    let g = generators::torus(5, 5);
+    assert_eq!(g.max_degree(), 4);
+    assert!(!hp_preservation::tw::planarity::is_planar(&g));
+    let s = g.to_structure();
+    let bd = ClassDescriptor::new(ClassKind::BoundedDegree(4));
+    assert_eq!(bd.contains(&s), Some(true));
+    let planar = ClassDescriptor::new(ClassKind::Planar);
+    assert_eq!(planar.contains(&s), Some(false));
+    // Bounded-degree extraction still works (Theorem 3.5 needs no minor
+    // hypothesis).
+    let big = generators::torus(12, 12).to_structure();
+    let out = bd.extract_scattered(&big, 2, 4).expect("Lemma 3.4 applies");
+    out.verify(&generators::torus(12, 12), 2).unwrap();
+}
+
+/// Subdivision preserves clique minors (topological-minor sanity):
+/// a subdivided K₄ has max degree 3 but keeps its K₄ minor, and stays
+/// non-outerplanar; a subdivided K₅ stays non-planar.
+#[test]
+fn subdivided_cliques_keep_minors() {
+    use hp_preservation::tw::minor::{find_clique_minor, MinorSearch};
+    let k4sub = generators::clique(4).subdivided(2);
+    assert_eq!(k4sub.max_degree(), 3);
+    assert!(matches!(
+        find_clique_minor(&k4sub, 4, 2_000_000),
+        MinorSearch::Found(_)
+    ));
+    let k5sub = generators::clique(5).subdivided(1);
+    assert!(!hp_preservation::tw::planarity::is_planar(&k5sub));
+}
+
+/// Structure text-format round trips through the whole pipeline: parse,
+/// evaluate, rewrite, render.
+#[test]
+fn text_format_pipeline() {
+    let text = "vocab E/2\nuniverse 4\nE 0 1\nE 1 2\nE 2 3\nE 3 0\n";
+    let a = Structure::from_text(text).unwrap();
+    assert!(are_isomorphic(&a, &generators::directed_cycle(4)));
+    let back = Structure::from_text(&a.to_text()).unwrap();
+    assert_eq!(a, back);
+    // And it behaves identically through a query.
+    let q = Cq::canonical_query(&generators::directed_path(4));
+    assert!(q.holds_in(&a));
+}

@@ -1,0 +1,212 @@
+//! Integration tests for §7: Datalog stage unfolding with treewidth
+//! validation (Theorem 7.1 + Lemma 7.2), the Ajtai–Gurevich pipeline
+//! (Theorem 7.5), and the pebble-game correspondences (Theorems 7.6–7.7,
+//! Proposition 7.9) — spanning hp-datalog, hp-logic, hp-tw, hp-pebble.
+
+use hp_logic::path_cq2;
+use hp_preservation::ajtai_gurevich::validate_bounded_outcome;
+use hp_preservation::prelude::*;
+
+fn tc_program() -> Program {
+    Program::parse(
+        "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).",
+        &Vocabulary::digraph(),
+    )
+    .unwrap()
+}
+
+/// Theorem 7.1 + Lemma 7.2: every disjunct of every unfolded stage of a
+/// k-Datalog program has a canonical structure of treewidth < k, checked
+/// with the exact treewidth algorithm.
+#[test]
+fn unfolded_stages_have_treewidth_below_k() {
+    let p = tc_program();
+    let k = p.total_variable_count(); // 3
+    assert_eq!(k, 3);
+    for stage in 1..=4 {
+        let u = p.stage_ucq(0, stage).unwrap();
+        for d in u.disjuncts() {
+            let g = d.canonical().gaifman_graph();
+            let tw = elimination::treewidth_exact(&g);
+            assert!(tw < k, "stage {stage}: disjunct treewidth {tw} ≥ {k}");
+        }
+    }
+}
+
+/// Lemma 7.2 directly: the parse-tree decomposition of a CQ^k formula is a
+/// valid tree decomposition of its canonical structure, of width < k.
+#[test]
+fn parse_tree_decomposition_validates() {
+    let v = Vocabulary::digraph();
+    for len in 1..8 {
+        let q = path_cq2(len);
+        let (cq, ptd) = q.canonical(&v);
+        let g = cq.canonical().gaifman_graph();
+        let bags: Vec<Vec<u32>> = ptd
+            .bags
+            .iter()
+            .map(|b| b.iter().map(|e| e.0).collect())
+            .collect();
+        let td = TreeDecomposition::new(bags, ptd.edges.clone());
+        td.validate(&g).unwrap_or_else(|e| panic!("len {len}: {e}"));
+        assert!(td.width() < 2, "len {len}: width {} ≥ 2", td.width());
+        // And exact treewidth agrees: directed paths have Gaifman treewidth 1.
+        assert_eq!(elimination::treewidth_exact(&g), 1);
+    }
+}
+
+/// §7.1's correction (journal version): CQ^k sentences can have minimal
+/// models of treewidth ≥ k. The paper's example: the CQ² sentence "there is
+/// a path of length 3" has the directed 3-cycle as a minimal model, and
+/// C₃'s Gaifman graph (a triangle) has treewidth 2.
+#[test]
+fn retracted_claim_counterexample_c3() {
+    let q = path_cq2(3);
+    let c3 = generators::directed_cycle(3);
+    assert!(q.holds(&c3));
+    // C3 is a minimal model: no proper substructure has a 3-walk.
+    for w in c3.one_step_weakenings() {
+        assert!(!q.holds(&w), "C3 must be minimal");
+    }
+    let tw = elimination::treewidth_exact(&c3.gaifman_graph());
+    assert_eq!(tw, 2, "treewidth of the triangle");
+    // Lemma 7.3 (the corrected statement): some minimal model of treewidth
+    // < 2 maps onto C3 — the path P3 does: it is a minimal model too and
+    // P3 → C3 surjectively.
+    let p3 = generators::directed_path(4);
+    assert!(q.holds(&p3));
+    assert!(hom_exists(&p3, &c3));
+    assert_eq!(elimination::treewidth_exact(&p3.gaifman_graph()), 1);
+}
+
+/// Theorem 7.5 end-to-end: TC unbounded (stages grow with diameter, no
+/// certificate); a bounded program certifies and its UCQ validates.
+#[test]
+fn ajtai_gurevich_end_to_end() {
+    let tc = tc_program();
+    // Empirical: stages grow linearly on paths.
+    let paths: Vec<Structure> = (2..9).map(generators::directed_path).collect();
+    let probe = hp_preservation::datalog::stage_probe(&tc, paths.iter());
+    assert!(probe.windows(2).all(|w| w[1].stages > w[0].stages));
+    // Certificate search fails at every cap.
+    match ajtai_gurevich_rewrite(&tc, 3).unwrap() {
+        AjtaiGurevichOutcome::NotBoundedUpTo { .. } => {}
+        other => panic!("TC certified bounded: {other:?}"),
+    }
+    // Bounded example: "reaches a marked element in ≤ 2 hops" unrolled.
+    let v = Vocabulary::from_pairs([("E", 2), ("M", 1)]);
+    let p = Program::parse(
+        "R(x) :- M(x).\nR(x) :- E(x,y), M(y).\nR(x) :- E(x,y), E(y,z), M(z).\nGoal() :- R(x).",
+        &v,
+    )
+    .unwrap();
+    let out = ajtai_gurevich_rewrite(&p, 4).unwrap();
+    let AjtaiGurevichOutcome::Bounded { stage, .. } = &out else {
+        panic!("non-recursive program must be bounded");
+    };
+    assert!(*stage <= 2);
+    let sample: Vec<Structure> = (0..8)
+        .map(|s| generators::random_structure(&v, 5, 0.3, s))
+        .collect();
+    validate_bounded_outcome(&p, &out, sample.iter()).unwrap();
+}
+
+/// Proposition 7.9, cross-validated three ways: the pebble game on
+/// (C₃, B), cyclicity of B, and the Datalog cycle query all agree.
+#[test]
+fn proposition_7_9_three_way_agreement() {
+    let c3 = generators::directed_cycle(3);
+    let cycle_query = DatalogQuery::new(
+        Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\nGoal() :- T(x,x).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap(),
+        "Goal",
+    )
+    .unwrap();
+    use hp_preservation::query::BooleanQuery;
+    for seed in 0..15 {
+        let b = generators::random_digraph(5, 7, seed);
+        let game = duplicator_wins(&c3, &b, 2);
+        let datalog = cycle_query.eval(&b);
+        assert_eq!(game, datalog, "seed {seed}");
+    }
+    for seed in 0..8 {
+        let b = generators::random_dag(6, 10, seed);
+        assert!(!duplicator_wins(&c3, &b, 2), "DAG seed {seed}");
+        assert!(!cycle_query.eval(&b), "DAG seed {seed}");
+    }
+}
+
+/// Theorem 7.6, sampled: when the Duplicator wins the ∃k-pebble game on
+/// (A, B), every CQ^k sentence from our example family that holds in A
+/// holds in B.
+#[test]
+fn pebble_game_transfers_cqk_sentences() {
+    for seed in 0..10 {
+        let a = generators::random_digraph(4, 6, seed);
+        let b = generators::random_digraph(4, 6, seed + 77);
+        if !duplicator_wins(&a, &b, 2) {
+            continue;
+        }
+        for len in 1..6 {
+            let q = path_cq2(len);
+            if q.holds(&a) {
+                assert!(q.holds(&b), "seed {seed}: CQ² path-{len} not transferred");
+            }
+        }
+    }
+}
+
+/// Dalmau–Kolaitis–Vardi (§7.2): for A whose core has treewidth < k, the
+/// game coincides with hom — tested with A = undirected paths/even cycles
+/// (core K₂) for k = 2.
+#[test]
+fn game_equals_hom_for_low_treewidth_cores() {
+    let sources = [
+        generators::path(4).to_structure(),
+        generators::cycle(6).to_structure(),
+    ];
+    for a in &sources {
+        // Both have core K2 (treewidth 1 < 2).
+        let core = core_of(a);
+        assert_eq!(core.structure.universe_size(), 2);
+        for seed in 0..8 {
+            let b = generators::random_digraph(5, 9, seed + 300);
+            assert_eq!(duplicator_wins(a, &b, 2), hom_exists(a, &b), "seed {seed}");
+        }
+    }
+}
+
+/// The stage-m UCQ of the TC program answers exactly "reachable in ≤ m
+/// steps" — the operator and the unfolding agree on structures from every
+/// family (Theorem 7.1's semantic content).
+#[test]
+fn stage_unfolding_agrees_on_families() {
+    let p = tc_program();
+    for a in [
+        generators::directed_path(5),
+        generators::directed_cycle(4),
+        generators::transitive_tournament(4),
+        generators::random_digraph(5, 9, 42),
+    ] {
+        hp_preservation::datalog::stage_ucq(&p, 0, 3)
+            .unwrap()
+            .answers(&a)
+            .iter()
+            .for_each(|t| assert_eq!(t.len(), 2));
+        hp_datalog_stage_check(&p, &a);
+    }
+}
+
+fn hp_datalog_stage_check(p: &Program, a: &Structure) {
+    use std::collections::BTreeSet;
+    let stages = p.stages(a, 3);
+    for (m, rels) in stages.iter().enumerate() {
+        let u = hp_preservation::datalog::stage_ucq(p, 0, m).unwrap();
+        let got: BTreeSet<Vec<Elem>> = u.answers(a).into_iter().collect();
+        let want: BTreeSet<Vec<Elem>> = rels[0].iter().cloned().collect();
+        assert_eq!(got, want, "stage {m}");
+    }
+}

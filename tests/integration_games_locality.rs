@@ -1,0 +1,174 @@
+//! Integration tests for the constructive game/locality layer: Theorem 7.6
+//! witnesses (both routes), the decomposition → CQ^k compiler (converse of
+//! Lemma 7.2), Hanf locality vs EF games, and the Łoś–Tarski-style
+//! extension-preservation pipeline — spanning hp-logic, hp-tw, hp-pebble,
+//! hp-preservation.
+
+use hp_logic::{
+    cqk_from_decomposition, duplicator_wins_ef, fo_inexpressibility_witness, hanf_equivalent,
+};
+use hp_preservation::extensions::{
+    enumerate_minimal_models_induced, find_extension_violation, ExistentialRewriting,
+};
+use hp_preservation::pebble_query::{find_spoiler_witness, spoiler_sentence};
+use hp_preservation::prelude::*;
+use hp_preservation::query::FoQuery;
+
+/// The converse-of-Lemma-7.2 compiler round-trips through the Lemma 7.2
+/// direction: structure → (heuristic) decomposition → CQ^k sentence →
+/// canonical structure, ending hom-equivalent to where it started.
+#[test]
+fn decomposition_compiler_roundtrip() {
+    let vocab = Vocabulary::digraph();
+    for (d, k) in [
+        (generators::directed_path(5), 2usize),
+        (generators::directed_cycle(4), 3),
+        (generators::transitive_tournament(4), 4),
+    ] {
+        let g = d.gaifman_graph();
+        let (w, td) = elimination::treewidth_upper_bound(&g);
+        assert!(w < k, "family chosen so the heuristic fits the budget");
+        let q = cqk_from_decomposition(&d, td.bags(), td.edges(), k).unwrap();
+        assert!(q.formula().distinct_var_count() <= k);
+        // Equivalent to φ_D.
+        let (cq, ptd) = q.canonical(&vocab);
+        assert!(cq.is_equivalent_to(&Cq::canonical_query(&d)));
+        // And the Lemma 7.2 direction hands back a width-< k decomposition.
+        let bags: Vec<Vec<u32>> = ptd
+            .bags
+            .iter()
+            .map(|b| b.iter().map(|e| e.0).collect())
+            .collect();
+        let td2 = TreeDecomposition::new(bags, ptd.edges.clone());
+        td2.validate(&cq.canonical().gaifman_graph()).unwrap();
+        assert!((td2.width() as isize) < k as isize);
+    }
+}
+
+/// Theorem 7.6 both ways on a grid of (A, B, k) instances: Spoiler win ⇔ a
+/// separating CQ^k sentence is found by iterative deepening.
+#[test]
+fn spoiler_witness_iff_spoiler_wins() {
+    let instances = [
+        (
+            generators::directed_cycle(3),
+            generators::directed_path(4),
+            2usize,
+        ),
+        (
+            generators::directed_cycle(3),
+            generators::directed_cycle(4),
+            2,
+        ),
+        (
+            generators::directed_cycle(3),
+            generators::transitive_tournament(4),
+            2,
+        ),
+        (
+            generators::cycle(3).to_structure(),
+            generators::cycle(4).to_structure(),
+            3,
+        ),
+    ];
+    for (a, b, k) in instances {
+        let game = duplicator_wins(&a, &b, k);
+        let witness = find_spoiler_witness(&a, &b, k, 6);
+        if game {
+            assert!(witness.is_none(), "Duplicator win must have no witness");
+        } else {
+            let (_, phi) = witness.expect("Spoiler win must yield a witness within depth 6");
+            assert!(phi.holds(&a) && !phi.holds(&b));
+            assert!(phi.formula().distinct_var_count() <= k);
+        }
+    }
+}
+
+/// Spoiler sentences are monotone in depth on the B side: if φ^r fails in
+/// B then φ^{r+1} fails too (the family is decreasing).
+#[test]
+fn spoiler_sentences_monotone() {
+    let a = generators::directed_cycle(3);
+    let b = generators::directed_path(4);
+    let mut failed = false;
+    for depth in 0..6 {
+        let phi = spoiler_sentence(&a, 2, depth);
+        assert!(phi.holds(&a));
+        let holds_b = phi.holds(&b);
+        if failed {
+            assert!(!holds_b, "once separated, deeper sentences keep separating");
+        }
+        if !holds_b {
+            failed = true;
+        }
+    }
+    assert!(failed, "Spoiler wins on (C3, P4) so separation must occur");
+}
+
+/// Hanf locality vs EF games: the acyclicity witness family passes the
+/// Hanf sufficient condition AND the exhaustive EF check; bare path vs
+/// cycle fails both at the relevant rank.
+#[test]
+fn hanf_and_ef_agree_on_witness_family() {
+    // Rank 0's witness pair is too small for the Hanf condition (the bare
+    // 2-cycle contributes a neighborhood type the path lacks); from rank 1
+    // on, the cycle's interior type merges with the path's and both
+    // criteria agree.
+    for r in 1..=2usize {
+        let (p, pc) = fo_inexpressibility_witness(r);
+        assert!(hanf_equivalent(&p, &pc, 1, 2), "rank {r}");
+        assert!(duplicator_wins_ef(&p, &pc, r), "rank {r}");
+    }
+    // Contrast: path vs bare cycle differ in spectrum (source/sink types).
+    let p = generators::directed_path(8);
+    let c = generators::directed_cycle(8);
+    assert!(!hanf_equivalent(&p, &c, 1, 2));
+    assert!(!duplicator_wins_ef(&p, &c, 2));
+}
+
+/// The §8-remarks extension-preservation pipeline, end to end, on a query
+/// that homomorphism preservation cannot handle.
+#[test]
+fn extension_rewriting_beyond_hom_preservation() {
+    let vocab = Vocabulary::digraph();
+    // "There are two distinct elements joined both ways" — preserved under
+    // extensions; NOT under homs (folds onto a loop).
+    let (f, _) = parse_formula("exists x. exists y. (~(x = y) & E(x,y) & E(y,x))", &vocab).unwrap();
+    let q = FoQuery::new(f);
+    let sample: Vec<Structure> = (0..15)
+        .map(|s| generators::random_digraph(4, 7, s))
+        .collect();
+    assert!(find_extension_violation(&q, &sample).is_none());
+    // Hom-preservation genuinely fails for it:
+    let c2 = generators::directed_cycle(2);
+    let lp = generators::self_loop();
+    use hp_preservation::query::BooleanQuery;
+    assert!(q.eval(&c2) && hom_exists(&c2, &lp) && !q.eval(&lp));
+    // The existential rewriting is exact on the sample and on the pair.
+    let mm = enumerate_minimal_models_induced(&q, &vocab, 2);
+    let rw = ExistentialRewriting::new(mm);
+    for b in sample.iter().chain([&c2, &lp]) {
+        assert_eq!(q.eval(b), rw.holds_in(b));
+    }
+}
+
+/// Pointed non-Boolean rewriting agrees with the plebian-companion
+/// evaluation route on a mixed structure.
+#[test]
+fn nary_rewriting_consistent_with_plebian_semantics() {
+    let vocab = Vocabulary::digraph();
+    let (f, _) = parse_formula("exists y. (E(x,y) & E(y,y))", &vocab).unwrap();
+    let q = hp_preservation::nonboolean::FoNaryQuery::new(f.clone());
+    let rw = hp_preservation::nonboolean::rewrite_nary_to_ucq(&q, &vocab, 3);
+    let mut a = generators::directed_path(4);
+    a.add_tuple_ids(0, &[3, 3]).unwrap();
+    // Three routes agree: FO answers, UCQ answers, and per-constant Boolean
+    // evaluation (the §6.1 viewpoint).
+    let fo = f.answers(&a);
+    assert_eq!(rw.ucq.answers(&a), fo);
+    let frees: Vec<_> = f.free_vars().into_iter().collect();
+    for e in a.elements() {
+        let direct = f.holds_with(&a, &[(frees[0], e)]);
+        assert_eq!(fo.contains(&vec![e]), direct);
+    }
+}

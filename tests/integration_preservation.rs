@@ -1,0 +1,197 @@
+//! End-to-end integration tests for the preservation pipeline (§§3–6):
+//! first-order hom-preserved query → minimal models → UCQ → validation on
+//! class members, plus the density condition and the cores machinery,
+//! spanning every crate in the workspace.
+
+use hp_preservation::density::{max_scattered_set, scattered_after_deletions};
+use hp_preservation::minimal::enumerate_minimal_models;
+use hp_preservation::prelude::*;
+use hp_preservation::query::{find_preservation_violation, FnQuery};
+use hp_preservation::synthesis::validate_rewrite;
+
+/// E2 / Theorem 3.1: full rewrite of an FO-specified hom-preserved query,
+/// validated against the original across random structures and class
+/// members.
+#[test]
+fn rewrite_fo_query_and_validate_everywhere() {
+    // "There is a directed closed walk of length 2 or a path of length 3" —
+    // written as plain FO.
+    let (f, _) = parse_formula(
+        "(exists x. exists y. (E(x,y) & E(y,x))) \
+         | (exists a. exists b. exists c. exists d. (E(a,b) & E(b,c) & E(c,d)))",
+        &Vocabulary::digraph(),
+    )
+    .unwrap();
+    let q = FoQuery::new(f);
+    let rw = rewrite_to_ucq(&q, &Vocabulary::digraph(), 4).unwrap();
+    assert!(!rw.minimal_models.is_empty());
+    // Agreement on random digraphs…
+    let sample: Vec<Structure> = (0..30)
+        .map(|s| generators::random_digraph(5, 7, s))
+        .collect();
+    assert!(validate_rewrite(&q, &rw.ucq, sample.iter()).is_none());
+    // …and on structured class members.
+    for a in [
+        generators::directed_path(6),
+        generators::directed_cycle(2),
+        generators::directed_cycle(5),
+        generators::transitive_tournament(5),
+    ] {
+        assert_eq!(q.eval(&a), rw.ucq.holds_in(&a));
+    }
+}
+
+/// Theorem 3.1 backward direction: the synthesized UCQ's minimal models
+/// are bounded by its largest canonical structure.
+#[test]
+fn minimal_models_of_synthesized_ucq_respect_size_bound() {
+    let u = Ucq::new(vec![
+        Cq::canonical_query(&generators::directed_cycle(3)),
+        Cq::canonical_query(&generators::directed_path(3)),
+    ]);
+    let bound = hp_preservation::synthesis::minimal_model_size_bound(&u);
+    assert_eq!(bound, 3);
+    let q = UcqQuery::new(u);
+    let mm = enumerate_minimal_models(&q, &Vocabulary::digraph(), 3);
+    assert!(mm.models().iter().all(|m| m.universe_size() <= bound));
+    assert!(!mm.is_empty());
+}
+
+/// §6.2: minimal models of hom-preserved queries are cores — checked via
+/// hp-hom on models produced by hp-preservation.
+#[test]
+fn minimal_models_are_cores_across_queries() {
+    let queries: Vec<UcqQuery> = vec![
+        UcqQuery::new(Ucq::new(vec![Cq::canonical_query(
+            &generators::directed_path(3),
+        )])),
+        UcqQuery::new(Ucq::new(vec![
+            Cq::canonical_query(&generators::directed_cycle(2)),
+            Cq::canonical_query(&generators::directed_cycle(3)),
+        ])),
+    ];
+    for q in &queries {
+        let mm = enumerate_minimal_models(q, &Vocabulary::digraph(), 3);
+        for m in mm.models() {
+            assert!(hp_preservation::hom::is_core(m), "{m:?} is not a core");
+        }
+    }
+}
+
+/// Theorem 3.2's density condition, measured: minimal models of a (UCQ)
+/// query have bounded scatter profiles, while large class members scatter
+/// freely — the tension that forces finiteness.
+#[test]
+fn density_condition_on_minimal_models() {
+    let q = UcqQuery::new(Ucq::new(vec![Cq::canonical_query(
+        &generators::directed_path(4),
+    )]));
+    let mm = enumerate_minimal_models(&q, &Vocabulary::digraph(), 4);
+    // No minimal model has a 1-scattered set of size 3, even after one
+    // deletion — they are all dense little walks.
+    for m in mm.models() {
+        let g = m.gaifman_graph();
+        assert!(
+            scattered_after_deletions(&g, 1, 1, 3).is_none(),
+            "minimal model {m:?} is too scattered"
+        );
+    }
+    // Contrast: a big path in the class has large scattered sets.
+    let big = generators::path(40);
+    assert!(max_scattered_set(&big, 1).len() >= 10);
+}
+
+/// Corollary 3.3 pipeline on a bounded-degree class (Theorem 3.5):
+/// extraction works on every sampled member above the Lemma 3.4 bound.
+#[test]
+fn bounded_degree_class_extraction_pipeline() {
+    let class = ClassDescriptor::new(ClassKind::BoundedDegree(3));
+    let (d, m) = (2, 4);
+    let bound = hp_preservation::tw::bounds::lemma_3_4(3, d, m);
+    assert_eq!(bound.finite(), Some(36));
+    for seed in 0..5 {
+        let g = generators::random_bounded_degree(120, 3, 1200, seed);
+        let s = g.to_structure();
+        assert_eq!(class.contains(&s), Some(true));
+        // 120 > 36: the theorem promises the set; the greedy finds it.
+        let out = class.extract_scattered(&s, d, m).expect("above bound");
+        assert!(out.deleted.is_empty());
+        out.verify(&g, d).unwrap();
+    }
+}
+
+/// Theorem 4.4 pipeline on T(3): membership + extraction with |B| ≤ 3.
+#[test]
+fn bounded_treewidth_class_extraction_pipeline() {
+    let class = ClassDescriptor::new(ClassKind::BoundedTreewidth(3));
+    for seed in 0..4 {
+        let g = generators::random_partial_ktree(2, 140, 0.75, seed);
+        let s = g.to_structure();
+        assert_ne!(class.contains(&s), Some(false));
+        let out = class
+            .extract_scattered(&s, 1, 5)
+            .expect("large partial 2-tree");
+        assert!(out.deleted.len() <= 3, "deleted {:?}", out.deleted);
+        out.verify(&g, 1).unwrap();
+    }
+}
+
+/// Theorem 5.4 pipeline on planar-by-construction graphs.
+#[test]
+fn excluded_minor_class_extraction_pipeline() {
+    let class = ClassDescriptor::new(ClassKind::ExcludesMinor(5));
+    let g = generators::grid(11, 11);
+    let s = g.to_structure();
+    let out = class.extract_scattered(&s, 1, 6).expect("grids scatter");
+    assert!(out.deleted.len() < 4);
+    out.verify(&g, 1).unwrap();
+}
+
+/// Preservation violations are caught for non-preserved FO queries, and
+/// never occur for UCQs.
+#[test]
+fn preservation_checker_separates_query_classes() {
+    // Non-preserved: "every element has an out-edge" (∀∃).
+    let (f, _) = parse_formula("forall x. exists y. E(x,y)", &Vocabulary::digraph()).unwrap();
+    let q = FnQuery::new("total-out", move |a: &Structure| f.holds(a));
+    // The loop C1 satisfies it and maps into (loop + pendant path), which
+    // does not.
+    let mut loop_plus = generators::directed_path(3);
+    loop_plus.add_tuple_ids(0, &[0, 0]).unwrap();
+    let sample: Vec<Structure> = vec![generators::directed_cycle(1), loop_plus];
+    assert!(find_preservation_violation(&q, &sample).is_some());
+    // UCQs never violate.
+    let u = UcqQuery::new(Ucq::new(vec![Cq::canonical_query(
+        &generators::directed_cycle(2),
+    )]));
+    let big_sample: Vec<Structure> = (0..12)
+        .map(|s| generators::random_digraph(4, 6, s))
+        .collect();
+    assert!(find_preservation_violation(&u, &big_sample).is_none());
+}
+
+/// The full §6.2 bicycle story, across hp-structures, hp-hom, and
+/// hp-preservation: bicycles have unbounded degree, cores of bounded
+/// degree; naming the hub destroys the property.
+#[test]
+fn bicycle_cores_and_constant_expansion() {
+    for n in [5usize, 7, 9] {
+        let b = generators::bicycle(n).to_structure();
+        let c = core_of(&b);
+        assert!(are_isomorphic(
+            &c.structure,
+            &generators::clique(4).to_structure()
+        ));
+        let cores_bd = ClassDescriptor::new(ClassKind::CoresBoundedDegree(3));
+        assert_eq!(cores_bd.contains(&b), Some(true));
+        let plain_bd = ClassDescriptor::new(ClassKind::BoundedDegree(3));
+        assert_eq!(plain_bd.contains(&b), Some(false));
+    }
+    // (B_5, hub) is a core: model the expansion with the plebian companion;
+    // nothing can fold away once the hub is named (K4 cannot absorb the
+    // wheel, the wheel cannot absorb K4, the rim cannot shrink).
+    let b5 = generators::bicycle(5).to_structure();
+    let pc = plebian_companion(&b5, &[Elem(0)]);
+    let cc = core_of(&pc.structure);
+    assert_eq!(cc.structure.universe_size(), pc.structure.universe_size());
+}
