@@ -1,0 +1,285 @@
+//! Offline drop-in shim for the subset of `proptest` 1.x used by this
+//! workspace: the [`proptest!`] macro, `prop_assert*` macros, range /
+//! tuple / collection / recursive strategies, `any::<T>()`, and
+//! [`prelude::ProptestConfig`].
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the real `proptest` cannot be vendored. This shim keeps the property
+//! tests running as *deterministic randomized tests*: each test derives a
+//! fixed seed from its own name and runs `cases` random inputs through
+//! the body. There is no shrinking — a failure reports the case number
+//! and the failed assertion instead of a minimized input.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`, `btree_set`).
+pub mod collection {
+    use std::collections::BTreeSet;
+
+    use crate::strategy::{SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size drawn from
+    /// `len` (the generated set may be smaller when elements collide).
+    pub fn btree_set<S: Strategy>(element: S, len: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.len.sample(rng);
+            let mut out = BTreeSet::new();
+            // Cap the attempts: small element domains may not have n
+            // distinct values at all.
+            for _ in 0..(8 * n + 8) {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// `any::<T>()` support for primitive types.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T` (uniform over the whole domain).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// See [`any`].
+    #[derive(Clone, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Everything a `proptest`-style test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of the real crate's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+
+    /// Per-block test configuration (`#![proptest_config(..)]`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// The test macro: runs each body over `cases` random inputs drawn from
+/// the given strategies, with a per-test deterministic seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::prelude::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed for `{}`: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{}\n  both: {:?}", format!($($fmt)*), l);
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

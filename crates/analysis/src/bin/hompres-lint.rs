@@ -1,0 +1,149 @@
+//! `hompres-lint`: lint Datalog programs and first-order formulas with
+//! the `hp-analysis` pass pipeline.
+//!
+//! ```text
+//! hompres-lint [OPTIONS] [FILE...]
+//!
+//!   FILE              .fo files are parsed as formulas, everything else
+//!                     as Datalog. Vocabulary comes from a `# edb:` /
+//!                     `# vocab:` pragma, then --edb, then {E/2}.
+//!   --gallery         also lint every built-in gallery program
+//!   --edb SPEC        default EDB vocabulary, e.g. "E/2, M/1"
+//!   --deny-warnings   exit non-zero on warnings too
+//!   --quiet           print only the per-input summary lines
+//!   --list-passes     print the registered passes and their codes
+//! ```
+//!
+//! Exit status: 0 when no input produced an error (or, with
+//! `--deny-warnings`, a warning); 1 otherwise; 2 on usage errors.
+
+use std::process::ExitCode;
+
+use hp_analysis::{
+    lint_datalog_source, lint_formula_source, parse_vocab_spec, Analyzer, Diagnostics, Severity,
+};
+use hp_datalog::gallery;
+use hp_structures::Vocabulary;
+
+struct Options {
+    gallery: bool,
+    deny_warnings: bool,
+    quiet: bool,
+    list_passes: bool,
+    edb: Option<Vocabulary>,
+    files: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: hompres-lint [--gallery] [--edb SPEC] [--deny-warnings] [--quiet] \
+     [--list-passes] [FILE...]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        gallery: false,
+        deny_warnings: false,
+        quiet: false,
+        list_passes: false,
+        edb: None,
+        files: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--gallery" => o.gallery = true,
+            "--deny-warnings" => o.deny_warnings = true,
+            "--quiet" => o.quiet = true,
+            "--list-passes" => o.list_passes = true,
+            "--edb" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--edb needs a SPEC argument")?;
+                o.edb = Some(parse_vocab_spec(spec)?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            f if f.starts_with("--") => return Err(format!("unknown flag {f}")),
+            f => o.files.push(f.to_string()),
+        }
+        i += 1;
+    }
+    if !o.gallery && !o.list_passes && o.files.is_empty() {
+        return Err("no inputs (give FILEs or --gallery)".to_string());
+    }
+    Ok(o)
+}
+
+/// Report one input's diagnostics; returns whether it fails the build.
+fn report(name: &str, source: Option<&str>, ds: &Diagnostics, o: &Options) -> bool {
+    if !o.quiet && !ds.is_empty() {
+        print!("{}", ds.render(name, source));
+    }
+    println!("{name}: {}", ds.totals());
+    ds.has_errors() || (o.deny_warnings && ds.count(Severity::Warning) > 0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("hompres-lint: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if o.list_passes {
+        for p in Analyzer::default_pipeline().passes() {
+            let codes: Vec<&str> = p.codes().iter().map(|c| c.as_str()).collect();
+            println!("{:<16} {}", p.name(), codes.join(", "));
+        }
+        if o.files.is_empty() && !o.gallery {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    let mut failed = false;
+
+    for path in &o.files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("hompres-lint: cannot read {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let ds = if path.ends_with(".fo") {
+            lint_formula_source(&text, o.edb.as_ref())
+        } else {
+            lint_datalog_source(&text, o.edb.as_ref())
+        };
+        failed |= report(path, Some(&text), &ds, &o);
+    }
+
+    if o.gallery {
+        let analyzer = Analyzer::default_pipeline();
+        let programs = [
+            ("gallery::transitive_closure", gallery::transitive_closure()),
+            ("gallery::cycle_detection", gallery::cycle_detection()),
+            ("gallery::reach_leaf", gallery::reach_leaf()),
+            ("gallery::same_generation", gallery::same_generation()),
+            ("gallery::two_hop", gallery::two_hop()),
+            ("gallery::absorbed_recursion", gallery::absorbed_recursion()),
+            ("gallery::bounded_reach(3)", gallery::bounded_reach(3)),
+        ];
+        for (name, p) in programs {
+            let ds = analyzer.analyze_program(&p);
+            failed |= report(name, None, &ds, &o);
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,659 @@
+//! The analysis passes over Datalog programs.
+//!
+//! Validation passes (HP003–HP005) mirror `Program::new` exactly, but
+//! report *every* violation instead of stopping at the first, and run over
+//! raw [`ProgramFacts`] so rejected programs can be diagnosed too.
+//! Hygiene passes (HP006, HP007, HP013) warn about suspicious-but-valid
+//! programs. Classification passes (HP008, HP009, HP012) emit notes
+//! connecting the program to the paper's theory: recursion shape,
+//! Datalog(k) membership, and the treewidth < k correspondence of
+//! Theorem 7.1.
+
+use std::collections::BTreeSet;
+
+use hp_datalog::PredRef;
+use hp_structures::Graph;
+use hp_tw::elimination::treewidth_upper_bound;
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+use crate::facts::ProgramFacts;
+use crate::pass::Pass;
+
+/// HP005: every rule head must be an IDB atom.
+pub struct HeadPass;
+
+impl Pass for HeadPass {
+    fn name(&self) -> &'static str {
+        "head-is-idb"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp005]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        for (ri, r) in facts.rules.iter().enumerate() {
+            if !matches!(r.head.pred, PredRef::Idb(_)) {
+                out.push(Diagnostic::new(
+                    Code::Hp005,
+                    format!(
+                        "rule head {} is an EDB predicate; heads must be IDBs",
+                        facts.pred_name(r.head.pred)
+                    ),
+                    facts.rule_span(ri),
+                ));
+            }
+        }
+    }
+}
+
+/// HP004: range restriction (§2.3) — every head variable must occur in
+/// the body.
+pub struct SafetyPass;
+
+impl Pass for SafetyPass {
+    fn name(&self) -> &'static str {
+        "safety"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp004]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        for (ri, r) in facts.rules.iter().enumerate() {
+            let body_vars: BTreeSet<u32> =
+                r.body.iter().flat_map(|a| a.args.iter().copied()).collect();
+            let unbound: Vec<String> = r
+                .head
+                .args
+                .iter()
+                .filter(|v| !body_vars.contains(v))
+                .map(|&v| facts.var_name(v))
+                .collect();
+            if !unbound.is_empty() {
+                out.push(Diagnostic::new(
+                    Code::Hp004,
+                    format!(
+                        "unsafe rule: head variable{} {} not bound in the body \
+                         (range restriction, §2.3)",
+                        if unbound.len() == 1 { "" } else { "s" },
+                        unbound.join(", ")
+                    ),
+                    facts.rule_span(ri),
+                ));
+            }
+        }
+    }
+}
+
+/// HP003: every atom's argument count must match its predicate's declared
+/// arity.
+pub struct ArityPass;
+
+impl Pass for ArityPass {
+    fn name(&self) -> &'static str {
+        "arity"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp003]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        for (ri, r) in facts.rules.iter().enumerate() {
+            for a in std::iter::once(&r.head).chain(&r.body) {
+                let Some(want) = facts.arity(a.pred) else {
+                    continue;
+                };
+                if a.args.len() != want {
+                    out.push(Diagnostic::new(
+                        Code::Hp003,
+                        format!(
+                            "predicate {} declared with arity {} but used with {} argument{}",
+                            facts.pred_name(a.pred),
+                            want,
+                            a.args.len(),
+                            if a.args.len() == 1 { "" } else { "s" }
+                        ),
+                        facts.rule_span(ri),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// HP006: an IDB that is neither the goal nor referenced by any rule body
+/// does no work. Only fires when a goal is designated — without one,
+/// body-unused IDBs are treated as the program's outputs.
+pub struct UnusedIdbPass;
+
+impl Pass for UnusedIdbPass {
+    fn name(&self) -> &'static str {
+        "unused-idb"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp006]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        let Some(goal) = facts.goal else { return };
+        let mut used = vec![false; facts.idbs.len()];
+        for r in &facts.rules {
+            for a in &r.body {
+                if let PredRef::Idb(i) = a.pred {
+                    if i < used.len() {
+                        used[i] = true;
+                    }
+                }
+            }
+        }
+        for (i, (name, _)) in facts.idbs.iter().enumerate() {
+            if i != goal && !used[i] {
+                out.push(Diagnostic::new(
+                    Code::Hp006,
+                    format!("IDB {name} is neither the goal nor used in any rule body"),
+                    crate::diag::Span::default(),
+                ));
+            }
+        }
+    }
+}
+
+/// HP007: a rule whose head the goal does not (transitively) depend on
+/// cannot change the goal relation — positive Datalog is monotone, and no
+/// derivation of the goal can use such a rule. These rules can be removed
+/// by [`crate::dce::eliminate_dead_rules`] without changing the goal's
+/// fixpoint.
+pub struct DeadRulePass;
+
+impl Pass for DeadRulePass {
+    fn name(&self) -> &'static str {
+        "dead-rule"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp007]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        let Some(useful) = facts.useful_idbs() else {
+            return;
+        };
+        for (ri, r) in facts.rules.iter().enumerate() {
+            let PredRef::Idb(h) = r.head.pred else {
+                continue;
+            };
+            if h < facts.idbs.len() && !useful.contains(&h) {
+                out.push(Diagnostic::new(
+                    Code::Hp007,
+                    format!(
+                        "rule for {} cannot contribute to the goal {} and can be removed",
+                        facts.pred_name(r.head.pred),
+                        facts.idbs[facts.goal.expect("useful implies goal")].0
+                    ),
+                    facts.rule_span(ri),
+                ));
+            }
+        }
+    }
+}
+
+/// HP013: syntactically identical rules (same head and body atoms in the
+/// same order) are redundant.
+pub struct DuplicateRulePass;
+
+impl Pass for DuplicateRulePass {
+    fn name(&self) -> &'static str {
+        "duplicate-rule"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp013]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        for ri in 0..facts.rules.len() {
+            if let Some(prev) = facts.rules[..ri].iter().position(|r| *r == facts.rules[ri]) {
+                out.push(Diagnostic::new(
+                    Code::Hp013,
+                    format!("rule duplicates rule {prev}"),
+                    facts.rule_span(ri),
+                ));
+            }
+        }
+    }
+}
+
+/// HP008: recursion classification over the IDB dependency graph —
+/// nonrecursive programs unfold into a single UCQ; linear recursion keeps
+/// each rule to one recursive body atom; anything else is general.
+pub struct RecursionPass;
+
+/// The three recursion classes HP008 distinguishes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecursionClass {
+    /// No IDB depends on itself, even transitively.
+    Nonrecursive,
+    /// Recursive, but every rule body has at most one atom from the
+    /// head's own recursive component.
+    Linear,
+    /// Some rule has two or more recursive body atoms.
+    General,
+}
+
+/// Classify the recursion shape of a program.
+pub fn recursion_class(facts: &ProgramFacts) -> RecursionClass {
+    let deps = facts.idb_dependencies();
+    let n = deps.len();
+    // reach[i] = set of IDBs reachable from i via one or more edges.
+    let mut reach: Vec<BTreeSet<usize>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<usize> = deps[i].iter().copied().collect();
+        while let Some(j) = stack.pop() {
+            if seen.insert(j) {
+                stack.extend(deps[j].iter().copied());
+            }
+        }
+        reach.push(seen);
+    }
+    let recursive: BTreeSet<usize> = (0..n).filter(|&i| reach[i].contains(&i)).collect();
+    if recursive.is_empty() {
+        return RecursionClass::Nonrecursive;
+    }
+    // Same strongly connected (recursive) component: mutual reachability.
+    let same_scc = |a: usize, b: usize| a == b || (reach[a].contains(&b) && reach[b].contains(&a));
+    for r in &facts.rules {
+        let PredRef::Idb(h) = r.head.pred else {
+            continue;
+        };
+        if h >= n || !recursive.contains(&h) {
+            continue;
+        }
+        let rec_atoms = r
+            .body
+            .iter()
+            .filter(|a| matches!(a.pred, PredRef::Idb(i) if i < n && same_scc(h, i)))
+            .count();
+        if rec_atoms > 1 {
+            return RecursionClass::General;
+        }
+    }
+    RecursionClass::Linear
+}
+
+impl Pass for RecursionPass {
+    fn name(&self) -> &'static str {
+        "recursion"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp008]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        if facts.rules.is_empty() {
+            return;
+        }
+        let msg = match recursion_class(facts) {
+            RecursionClass::Nonrecursive => format!(
+                "nonrecursive program: the fixpoint is reached within {} stage{} and the \
+                 goal unfolds into a single UCQ (stage_ucq)",
+                facts.idbs.len(),
+                if facts.idbs.len() == 1 { "" } else { "s" }
+            ),
+            RecursionClass::Linear => {
+                "linear recursion: every rule has at most one recursive body atom".to_string()
+            }
+            RecursionClass::General => {
+                "general recursion: some rule has two or more recursive body atoms".to_string()
+            }
+        };
+        out.push(Diagnostic::new(
+            Code::Hp008,
+            msg,
+            crate::diag::Span::default(),
+        ));
+    }
+}
+
+/// HP009: the total distinct-variable count `k` makes this a k-Datalog
+/// program; by Theorem 7.1 every stage of a k-Datalog program is a union
+/// of `CQ^k` queries, whose canonical structures have treewidth < k.
+pub struct VarCountPass;
+
+impl Pass for VarCountPass {
+    fn name(&self) -> &'static str {
+        "var-count"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp009]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        if facts.rules.is_empty() {
+            return;
+        }
+        let k = facts.total_variable_count();
+        let max_rule = facts
+            .rules
+            .iter()
+            .map(|r| r.variables().len())
+            .max()
+            .unwrap_or(0);
+        out.push(Diagnostic::new(
+            Code::Hp009,
+            format!(
+                "{k}-Datalog program ({k} distinct variables in total, at most {max_rule} \
+                 per rule): every stage is a union of CQ^{k} queries, so stage canonical \
+                 structures have treewidth < {k} (Theorem 7.1)"
+            ),
+            crate::diag::Span::default(),
+        ));
+    }
+}
+
+/// HP012: an upper bound on the treewidth of each rule body's Gaifman
+/// graph (variables as vertices, co-occurrence in an atom as edges). The
+/// maximum over rules lower-bounds how far the Theorem 7.1 budget
+/// (treewidth < k) is actually used.
+pub struct RuleTreewidthPass;
+
+/// Treewidth upper bound of one rule's body Gaifman graph, or `None` for
+/// empty bodies.
+pub fn rule_body_treewidth(rule: &hp_datalog::Rule) -> Option<usize> {
+    if rule.body.is_empty() {
+        return None;
+    }
+    let vars: Vec<u32> = rule.variables().into_iter().collect();
+    let pos = |v: u32| vars.binary_search(&v).expect("rule variable") as u32;
+    let mut g = Graph::new(vars.len());
+    for a in &rule.body {
+        for (i, &u) in a.args.iter().enumerate() {
+            for &v in &a.args[i + 1..] {
+                if u != v {
+                    g.add_edge(pos(u), pos(v));
+                }
+            }
+        }
+    }
+    Some(treewidth_upper_bound(&g).0)
+}
+
+impl Pass for RuleTreewidthPass {
+    fn name(&self) -> &'static str {
+        "rule-treewidth"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp012]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        let best = facts
+            .rules
+            .iter()
+            .enumerate()
+            .filter_map(|(ri, r)| rule_body_treewidth(r).map(|w| (w, ri)))
+            .max();
+        let Some((w, ri)) = best else { return };
+        let k = facts.total_variable_count();
+        out.push(Diagnostic::new(
+            Code::Hp012,
+            format!(
+                "maximum rule-body treewidth is at most {w} (rule {ri}); the k-Datalog \
+                 budget allows treewidth up to {}",
+                k.saturating_sub(1)
+            ),
+            crate::diag::Span::default(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use crate::pass::Analyzer;
+    use hp_datalog::{gallery, DatalogAtom, Program, Rule};
+    use hp_structures::Vocabulary;
+
+    fn facts(text: &str) -> ProgramFacts {
+        ProgramFacts::of_program(&Program::parse(text, &Vocabulary::digraph()).unwrap())
+    }
+
+    fn run(pass: &dyn Pass, f: &ProgramFacts) -> Diagnostics {
+        let mut out = Diagnostics::new();
+        pass.run(f, &mut out);
+        out
+    }
+
+    // --- HP004 (safety) ---
+
+    #[test]
+    fn hp004_fires_on_unsafe_rule() {
+        // Build raw facts directly: Program::parse would reject this.
+        let edb = Vocabulary::digraph();
+        let e = edb.lookup("E").unwrap();
+        let f = ProgramFacts::from_parts(
+            edb,
+            vec![("T".to_string(), 2)],
+            vec![Rule {
+                head: DatalogAtom {
+                    pred: PredRef::Idb(0),
+                    args: vec![0, 1],
+                },
+                body: vec![DatalogAtom {
+                    pred: PredRef::Edb(e),
+                    args: vec![0, 0],
+                }],
+            }],
+            vec!["x".to_string(), "y".to_string()],
+        );
+        let ds = run(&SafetyPass, &f);
+        assert_eq!(ds.len(), 1);
+        assert!(ds.contains(Code::Hp004));
+        assert!(ds.iter().next().unwrap().message.contains('y'));
+        assert_eq!(ds.iter().next().unwrap().span.rule, Some(0));
+    }
+
+    #[test]
+    fn hp004_silent_on_safe_program() {
+        assert!(run(&SafetyPass, &facts("T(x,y) :- E(x,y).")).is_empty());
+    }
+
+    // --- HP005 (head is IDB) ---
+
+    #[test]
+    fn hp005_fires_on_edb_head() {
+        let edb = Vocabulary::digraph();
+        let e = edb.lookup("E").unwrap();
+        let f = ProgramFacts::from_parts(
+            edb,
+            vec![],
+            vec![Rule {
+                head: DatalogAtom {
+                    pred: PredRef::Edb(e),
+                    args: vec![0, 1],
+                },
+                body: vec![DatalogAtom {
+                    pred: PredRef::Edb(e),
+                    args: vec![0, 1],
+                }],
+            }],
+            vec!["x".to_string(), "y".to_string()],
+        );
+        let ds = run(&HeadPass, &f);
+        assert!(ds.contains(Code::Hp005));
+    }
+
+    #[test]
+    fn hp005_silent_on_idb_heads() {
+        assert!(run(&HeadPass, &facts("T(x,y) :- E(x,y).")).is_empty());
+    }
+
+    // --- HP003 (arity) ---
+
+    #[test]
+    fn hp003_fires_on_arity_mismatch() {
+        let edb = Vocabulary::digraph();
+        let e = edb.lookup("E").unwrap();
+        let f = ProgramFacts::from_parts(
+            edb,
+            vec![("T".to_string(), 2)],
+            vec![Rule {
+                head: DatalogAtom {
+                    pred: PredRef::Idb(0),
+                    args: vec![0],
+                },
+                body: vec![DatalogAtom {
+                    pred: PredRef::Edb(e),
+                    args: vec![0, 1, 1],
+                }],
+            }],
+            vec!["x".to_string(), "y".to_string()],
+        );
+        let ds = run(&ArityPass, &f);
+        // Both the head (T/2 with 1 arg) and the body (E/2 with 3 args).
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().all(|d| d.code == Code::Hp003));
+    }
+
+    #[test]
+    fn hp003_silent_on_correct_arities() {
+        assert!(run(&ArityPass, &facts("T(x,y) :- E(x,y), T(y,x).")).is_empty());
+    }
+
+    // --- HP006 (unused IDB) ---
+
+    #[test]
+    fn hp006_fires_on_unused_idb_with_goal() {
+        let f = facts("T(x,y) :- E(x,y).\nU(x,y) :- E(y,x).\nGoal() :- T(x,x).");
+        let ds = run(&UnusedIdbPass, &f);
+        // T appears in Goal's body; U appears in no body and is not the goal.
+        assert_eq!(ds.len(), 1, "{}", ds.render("t", None));
+        assert!(ds.iter().next().unwrap().message.contains('U'));
+        assert_eq!(ds.iter().next().unwrap().severity, Severity::Warning);
+    }
+
+    #[test]
+    fn hp006_silent_without_goal() {
+        // No Goal: T is an output, not unused.
+        assert!(run(&UnusedIdbPass, &facts("T(x,y) :- E(x,y).")).is_empty());
+    }
+
+    // --- HP007 (dead rule) ---
+
+    #[test]
+    fn hp007_fires_on_goal_unreachable_rule() {
+        let f = facts(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\nU(x) :- T(x,x).\nGoal() :- T(x,x).",
+        );
+        let ds = run(&DeadRulePass, &f);
+        assert_eq!(ds.len(), 1, "{}", ds.render("t", None));
+        let d = ds.iter().next().unwrap();
+        assert_eq!(d.code, Code::Hp007);
+        assert_eq!(d.span.rule, Some(2));
+        assert_eq!(d.span.line, Some(3));
+    }
+
+    #[test]
+    fn hp007_silent_when_all_rules_feed_goal() {
+        let ds = run(
+            &DeadRulePass,
+            &facts("T(x,y) :- E(x,y).\nGoal() :- T(x,x)."),
+        );
+        assert!(ds.is_empty());
+    }
+
+    // --- HP013 (duplicate rule) ---
+
+    #[test]
+    fn hp013_fires_on_duplicate() {
+        let f = facts("T(x,y) :- E(x,y).\nT(x,y) :- E(x,y).");
+        let ds = run(&DuplicateRulePass, &f);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.iter().next().unwrap().span.rule, Some(1));
+    }
+
+    #[test]
+    fn hp013_silent_on_distinct_rules() {
+        assert!(run(
+            &DuplicateRulePass,
+            &facts("T(x,y) :- E(x,y).\nT(x,y) :- E(y,x).")
+        )
+        .is_empty());
+    }
+
+    // --- HP008 (recursion classification) ---
+
+    #[test]
+    fn hp008_classifies_gallery() {
+        assert_eq!(
+            recursion_class(&ProgramFacts::of_program(&gallery::transitive_closure())),
+            RecursionClass::Linear
+        );
+        assert_eq!(
+            recursion_class(&ProgramFacts::of_program(&gallery::two_hop())),
+            RecursionClass::Nonrecursive
+        );
+        assert_eq!(
+            recursion_class(&ProgramFacts::of_program(&gallery::same_generation())),
+            RecursionClass::Linear
+        );
+    }
+
+    #[test]
+    fn hp008_general_recursion_detected() {
+        // Doubly-recursive transitive closure.
+        let f = facts("T(x,y) :- E(x,y).\nT(x,y) :- T(x,z), T(z,y).");
+        assert_eq!(recursion_class(&f), RecursionClass::General);
+        let ds = run(&RecursionPass, &f);
+        assert!(ds.contains(Code::Hp008));
+        assert!(ds.iter().next().unwrap().message.contains("general"));
+    }
+
+    #[test]
+    fn hp008_nonrecursive_mentions_ucq_unfolding() {
+        let ds = run(&RecursionPass, &facts("P2(x,y) :- E(x,z), E(z,y)."));
+        assert!(ds.iter().next().unwrap().message.contains("UCQ"));
+    }
+
+    // --- HP009 (Datalog(k)) ---
+
+    #[test]
+    fn hp009_reports_k() {
+        let ds = run(
+            &VarCountPass,
+            &ProgramFacts::of_program(&gallery::transitive_closure()),
+        );
+        let d = ds.iter().next().unwrap();
+        assert_eq!(d.code, Code::Hp009);
+        assert_eq!(d.severity, Severity::Note);
+        assert!(d.message.contains("3-Datalog"), "{}", d.message);
+        assert!(d.message.contains("treewidth < 3"), "{}", d.message);
+    }
+
+    #[test]
+    fn hp009_silent_on_empty_program() {
+        let f = ProgramFacts::from_parts(Vocabulary::digraph(), vec![], vec![], vec![]);
+        assert!(run(&VarCountPass, &f).is_empty());
+    }
+
+    // --- HP012 (rule-body treewidth) ---
+
+    #[test]
+    fn hp012_bounds_rule_treewidth() {
+        // Path-shaped body: treewidth 1.
+        let f = facts("P2(x,y) :- E(x,z), E(z,y).");
+        assert_eq!(rule_body_treewidth(&f.rules[0]), Some(1));
+        let ds = run(&RuleTreewidthPass, &f);
+        let d = ds.iter().next().unwrap();
+        assert!(d.message.contains("at most 1"), "{}", d.message);
+    }
+
+    #[test]
+    fn hp012_triangle_body_has_treewidth_2() {
+        let f = facts("Tri() :- E(x,y), E(y,z), E(z,x).");
+        assert_eq!(rule_body_treewidth(&f.rules[0]), Some(2));
+    }
+
+    // --- pipeline smoke ---
+
+    #[test]
+    fn pipeline_is_ordered_by_source_position() {
+        let a = Analyzer::default_pipeline();
+        let f = facts("T(x,y) :- E(x,y).\nU(x) :- T(x,x).\nV(x) :- T(x,x).\nGoal() :- T(x,x).");
+        let ds = a.run_on(&f);
+        // Two dead rules (U, V) + two unused IDBs + notes.
+        let dead: Vec<_> = ds.iter().filter(|d| d.code == Code::Hp007).collect();
+        assert_eq!(dead.len(), 2);
+        assert!(dead[0].span.rule < dead[1].span.rule);
+    }
+}

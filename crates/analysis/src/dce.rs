@@ -1,0 +1,120 @@
+//! Certified dead-rule elimination.
+//!
+//! A rule whose head predicate the goal does not transitively depend on
+//! cannot occur in any derivation of a goal fact: positive Datalog proofs
+//! are trees whose internal nodes are rules for predicates the root
+//! (goal) depends on. Removing such rules therefore leaves the goal's
+//! least-fixpoint relation unchanged on **every** input structure. The
+//! property test in `tests/properties.rs` checks exactly this invariant
+//! on random programs and random structures.
+
+use std::collections::BTreeSet;
+
+use hp_datalog::{PredRef, Program};
+
+use crate::facts::ProgramFacts;
+
+/// The result of dead-rule elimination.
+#[derive(Clone, Debug)]
+pub struct DeadRuleElimination {
+    /// The program restricted to rules that can contribute to the goal.
+    pub program: Program,
+    /// Original indices of the removed rules (ascending).
+    pub removed: Vec<usize>,
+}
+
+/// Remove every rule that cannot contribute to the IDB named `goal`.
+/// Returns `None` when the program has no IDB of that name. The kept
+/// rules retain their source lines; IDB indices are unchanged (unused
+/// IDBs simply end up with no rules and hence empty relations).
+pub fn eliminate_dead_rules(p: &Program, goal: &str) -> Option<DeadRuleElimination> {
+    let g = p.idb_index(goal)?;
+    let mut facts = ProgramFacts::of_program(p);
+    facts.goal = Some(g);
+    let useful: BTreeSet<usize> = facts.useful_idbs()?;
+    let mut kept = Vec::new();
+    let mut kept_lines = Vec::new();
+    let mut removed = Vec::new();
+    for (ri, r) in p.rules().iter().enumerate() {
+        let keep = match r.head.pred {
+            PredRef::Idb(h) => useful.contains(&h),
+            PredRef::Edb(_) => true, // invalid anyway; leave for validation
+        };
+        if keep {
+            kept.push(r.clone());
+            kept_lines.push(p.rule_line(ri));
+        } else {
+            removed.push(ri);
+        }
+    }
+    let var_names = (0..facts.var_names.len() as u32)
+        .map(|v| p.var_name(v))
+        .collect();
+    let program = Program::new_with_lines(
+        p.edb().clone(),
+        p.idbs().to_vec(),
+        kept,
+        var_names,
+        kept_lines,
+    )
+    .expect("kept rules of a valid program remain valid");
+    Some(DeadRuleElimination { program, removed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators;
+    use hp_structures::Vocabulary;
+
+    #[test]
+    fn removes_exactly_the_dead_rules() {
+        let p = Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\nU(x) :- T(x,x).\nGoal() :- T(x,x).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let out = eliminate_dead_rules(&p, "Goal").unwrap();
+        assert_eq!(out.removed, vec![2]);
+        assert_eq!(out.program.rules().len(), 3);
+        // Source lines survive for kept rules.
+        assert_eq!(out.program.rule_line(2), Some(4));
+    }
+
+    #[test]
+    fn goal_fixpoint_is_preserved() {
+        let p = Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\nU(x) :- T(x,x).\nGoal() :- T(x,x).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let out = eliminate_dead_rules(&p, "Goal").unwrap();
+        for a in [
+            generators::directed_path(5),
+            generators::directed_cycle(4),
+            generators::directed_cycle(1),
+        ] {
+            let before = p.evaluate(&a);
+            let after = out.program.evaluate(&a);
+            assert_eq!(before.idb("Goal"), after.idb("Goal"));
+        }
+    }
+
+    #[test]
+    fn unknown_goal_yields_none() {
+        let p = Program::parse("T(x,y) :- E(x,y).", &Vocabulary::digraph()).unwrap();
+        assert!(eliminate_dead_rules(&p, "Goal").is_none());
+    }
+
+    #[test]
+    fn clean_program_loses_nothing() {
+        let p = Program::parse(
+            "T(x,y) :- E(x,y).\nGoal() :- T(x,x).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let out = eliminate_dead_rules(&p, "Goal").unwrap();
+        assert!(out.removed.is_empty());
+        assert_eq!(out.program.rules().len(), 2);
+    }
+}

@@ -1,0 +1,469 @@
+//! The diagnostics core: stable `HP0xx` codes, severities, source spans,
+//! and a terminal renderer with source excerpts.
+//!
+//! Every diagnostic the analyzer emits carries one of the codes below.
+//! Codes are *stable*: tests, CI greps, and downstream tooling key on them,
+//! so a code is never reused for a different condition.
+
+use std::fmt;
+
+use hp_datalog::{DatalogError, DatalogErrorKind, DatalogSpan};
+use hp_logic::ParseError;
+
+/// A stable diagnostic code. The numeric part never changes meaning.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Code {
+    /// Datalog syntax error (malformed atom, bad name, unbalanced parens).
+    Hp001,
+    /// Body predicate is neither an IDB nor in the EDB vocabulary.
+    Hp002,
+    /// Predicate used with the wrong number of arguments.
+    Hp003,
+    /// Unsafe rule: a head variable does not occur in the body (§2.3
+    /// range restriction).
+    Hp004,
+    /// Rule head is not an IDB predicate.
+    Hp005,
+    /// IDB predicate is neither the goal nor used in any rule body.
+    Hp006,
+    /// Rule cannot contribute to the goal predicate (dead rule).
+    Hp007,
+    /// Recursion classification (nonrecursive / linear / general).
+    Hp008,
+    /// Datalog(k) membership: total distinct-variable count and the
+    /// treewidth < k correspondence of Theorem 7.1.
+    Hp009,
+    /// Formula is not existential-positive, so preservation under
+    /// homomorphisms is not syntactically guaranteed (Theorem 2.2).
+    Hp010,
+    /// First-order formula syntax error.
+    Hp011,
+    /// Treewidth upper bound for a CQ / UCQ canonical structure or a
+    /// rule body.
+    Hp012,
+    /// Rule is a syntactic duplicate of an earlier rule.
+    Hp013,
+}
+
+impl Code {
+    /// Every code, in numeric order (for the documentation table).
+    pub const ALL: [Code; 13] = [
+        Code::Hp001,
+        Code::Hp002,
+        Code::Hp003,
+        Code::Hp004,
+        Code::Hp005,
+        Code::Hp006,
+        Code::Hp007,
+        Code::Hp008,
+        Code::Hp009,
+        Code::Hp010,
+        Code::Hp011,
+        Code::Hp012,
+        Code::Hp013,
+    ];
+
+    /// The stable textual form, e.g. `"HP004"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Hp001 => "HP001",
+            Code::Hp002 => "HP002",
+            Code::Hp003 => "HP003",
+            Code::Hp004 => "HP004",
+            Code::Hp005 => "HP005",
+            Code::Hp006 => "HP006",
+            Code::Hp007 => "HP007",
+            Code::Hp008 => "HP008",
+            Code::Hp009 => "HP009",
+            Code::Hp010 => "HP010",
+            Code::Hp011 => "HP011",
+            Code::Hp012 => "HP012",
+            Code::Hp013 => "HP013",
+        }
+    }
+
+    /// One-line summary used in the documentation table.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::Hp001 => "Datalog syntax error",
+            Code::Hp002 => "unknown EDB predicate",
+            Code::Hp003 => "predicate arity mismatch",
+            Code::Hp004 => "unsafe rule (range restriction violated)",
+            Code::Hp005 => "rule head is not an IDB",
+            Code::Hp006 => "unused IDB predicate",
+            Code::Hp007 => "rule cannot contribute to the goal",
+            Code::Hp008 => "recursion classification",
+            Code::Hp009 => "Datalog(k) membership / variable budget",
+            Code::Hp010 => "formula is not existential-positive",
+            Code::Hp011 => "formula syntax error",
+            Code::Hp012 => "treewidth upper bound",
+            Code::Hp013 => "duplicate rule",
+        }
+    }
+
+    /// The severity this code is reported at.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Code::Hp001 | Code::Hp002 | Code::Hp003 | Code::Hp004 | Code::Hp005 => Severity::Error,
+            Code::Hp006 | Code::Hp007 | Code::Hp013 => Severity::Warning,
+            Code::Hp008 | Code::Hp009 | Code::Hp012 => Severity::Note,
+            Code::Hp010 | Code::Hp011 => Severity::Error,
+        }
+    }
+
+    /// The code a structured [`DatalogError`] maps onto.
+    pub fn of_datalog(kind: &DatalogErrorKind) -> Code {
+        match kind {
+            DatalogErrorKind::MalformedAtom { .. }
+            | DatalogErrorKind::BadPredicateName { .. }
+            | DatalogErrorKind::BadVariableName { .. }
+            | DatalogErrorKind::UnbalancedParens => Code::Hp001,
+            DatalogErrorKind::UnknownEdb { .. } => Code::Hp002,
+            DatalogErrorKind::IdbArityConflict { .. } | DatalogErrorKind::ArityMismatch { .. } => {
+                Code::Hp003
+            }
+            DatalogErrorKind::UnsafeRule { .. } => Code::Hp004,
+            DatalogErrorKind::HeadNotIdb => Code::Hp005,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Severity {
+    /// Informational — the analysis has something to say, not to complain
+    /// about.
+    Note,
+    /// Suspicious but not invalid.
+    Warning,
+    /// The input is rejected.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used by the renderer.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Where a diagnostic points: a 1-based source line (with optional 1-based
+/// column for formula inputs) and/or a 0-based rule index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// 1-based source line, when the input came from text.
+    pub line: Option<usize>,
+    /// 1-based column, when known (formula parse errors).
+    pub col: Option<usize>,
+    /// 0-based rule index, for Datalog inputs.
+    pub rule: Option<usize>,
+}
+
+impl Span {
+    /// A span pointing at a rule index.
+    pub fn rule(rule: usize) -> Span {
+        Span {
+            rule: Some(rule),
+            ..Span::default()
+        }
+    }
+
+    /// A span pointing at a source line.
+    pub fn line(line: usize) -> Span {
+        Span {
+            line: Some(line),
+            ..Span::default()
+        }
+    }
+}
+
+impl From<DatalogSpan> for Span {
+    fn from(s: DatalogSpan) -> Span {
+        Span {
+            line: s.line,
+            col: None,
+            rule: s.rule,
+        }
+    }
+}
+
+/// A single finding: code, severity, human message, and position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Error / Warning / Note.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Where it points.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic at the code's default severity.
+    pub fn new(code: Code, message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Map a structured Datalog parse/validation error onto its code.
+    pub fn from_datalog(e: &DatalogError) -> Diagnostic {
+        Diagnostic::new(Code::of_datalog(&e.kind), e.kind_message(), e.span.into())
+    }
+
+    /// Map a first-order formula parse error onto HP011, translating the
+    /// byte offset into a 1-based line/column pair against `source`.
+    /// Errors at end-of-input back up over trailing whitespace so they
+    /// point at the line where text actually stops.
+    pub fn from_formula_parse(e: &ParseError, source: &str) -> Diagnostic {
+        let offset = e.offset.min(source.len()).min(source.trim_end().len());
+        let (line, col) = line_col(source, offset);
+        Diagnostic::new(
+            Code::Hp011,
+            e.message.clone(),
+            Span {
+                line: Some(line),
+                col: Some(col),
+                rule: None,
+            },
+        )
+    }
+}
+
+/// 1-based (line, column) of a byte offset in `source`.
+fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(source.len());
+    let before = &source[..offset];
+    let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let col = before.rfind('\n').map(|p| offset - p).unwrap_or(offset + 1);
+    (line, col)
+}
+
+/// Extension trait rendering a [`DatalogError`]'s kind without its span
+/// prefix (the diagnostic carries the span separately).
+trait KindMessage {
+    fn kind_message(&self) -> String;
+}
+
+impl KindMessage for DatalogError {
+    fn kind_message(&self) -> String {
+        // `DatalogError`'s Display prefixes the span; strip it by
+        // formatting a copy with the span cleared.
+        let mut e = self.clone();
+        e.span = DatalogSpan::default();
+        e.to_string()
+    }
+}
+
+/// An ordered collection of diagnostics with counting and rendering.
+#[derive(Clone, Debug, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// Append one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Append all diagnostics from another collection.
+    pub fn extend_from(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// Iterate the diagnostics.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing was reported.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of diagnostics at the given severity.
+    pub fn count(&self, s: Severity) -> usize {
+        self.items.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// True when any diagnostic is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// True when some diagnostic carries the given code.
+    pub fn contains(&self, code: Code) -> bool {
+        self.items.iter().any(|d| d.code == code)
+    }
+
+    /// Sort by (line, rule, code) so output order follows the source.
+    pub fn sort(&mut self) {
+        self.items
+            .sort_by_key(|d| (d.span.line, d.span.rule, d.code));
+    }
+
+    /// Render for a terminal. `source` (when available) supplies the
+    /// excerpt lines; `name` labels the input (a file path, or a gallery
+    /// program name).
+    pub fn render(&self, name: &str, source: Option<&str>) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&format!(
+                "{}[{}]: {}\n",
+                d.severity.label(),
+                d.code,
+                d.message
+            ));
+            let mut loc = format!("  --> {name}");
+            if let Some(l) = d.span.line {
+                loc.push_str(&format!(":{l}"));
+                if let Some(c) = d.span.col {
+                    loc.push_str(&format!(":{c}"));
+                }
+            }
+            if let Some(r) = d.span.rule {
+                loc.push_str(&format!(" (rule {r})"));
+            }
+            out.push_str(&loc);
+            out.push('\n');
+            if let (Some(line), Some(src)) = (d.span.line, source) {
+                if let Some(text) = src.lines().nth(line - 1) {
+                    let gutter = line.to_string().len().max(2);
+                    out.push_str(&format!("{:>gutter$} |\n", ""));
+                    out.push_str(&format!("{line:>gutter$} | {text}\n"));
+                    if let Some(col) = d.span.col {
+                        out.push_str(&format!("{:>gutter$} | {:>col$}\n", "", "^"));
+                    } else {
+                        out.push_str(&format!("{:>gutter$} |\n", ""));
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One-line totals, e.g. `2 errors, 1 warning, 3 notes`.
+    pub fn totals(&self) -> String {
+        let plural = |n: usize, w: &str| {
+            if n == 1 {
+                format!("1 {w}")
+            } else {
+                format!("{n} {w}s")
+            }
+        };
+        format!(
+            "{}, {}, {}",
+            plural(self.count(Severity::Error), "error"),
+            plural(self.count(Severity::Warning), "warning"),
+            plural(self.count(Severity::Note), "note")
+        )
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(Code::Hp001.as_str(), "HP001");
+        assert_eq!(Code::Hp013.as_str(), "HP013");
+        assert_eq!(Code::ALL.len(), 13);
+        for (i, c) in Code::ALL.iter().enumerate() {
+            assert_eq!(c.as_str(), format!("HP{:03}", i + 1));
+        }
+    }
+
+    #[test]
+    fn datalog_error_mapping() {
+        assert_eq!(
+            Code::of_datalog(&DatalogErrorKind::UnsafeRule {
+                var: "y".to_string()
+            }),
+            Code::Hp004
+        );
+        assert_eq!(Code::of_datalog(&DatalogErrorKind::HeadNotIdb), Code::Hp005);
+        assert_eq!(
+            Code::of_datalog(&DatalogErrorKind::UnknownEdb {
+                name: "F".to_string()
+            }),
+            Code::Hp002
+        );
+    }
+
+    #[test]
+    fn line_col_from_offset() {
+        let src = "ab\ncde\nf";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 5), (2, 3));
+        assert_eq!(line_col(src, 7), (3, 1));
+        // Past-the-end offsets clamp.
+        assert_eq!(line_col(src, 99), (3, 2));
+    }
+
+    #[test]
+    fn render_includes_excerpt_and_code() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::new(
+            Code::Hp004,
+            "unsafe rule (head variable q not in body)",
+            Span {
+                line: Some(2),
+                col: None,
+                rule: Some(1),
+            },
+        ));
+        let r = ds.render("demo.dl", Some("T(x,y) :- E(x,y).\nT(x,q) :- E(x,x)."));
+        assert!(r.contains("error[HP004]"), "{r}");
+        assert!(r.contains("demo.dl:2 (rule 1)"), "{r}");
+        assert!(r.contains("T(x,q) :- E(x,x)."), "{r}");
+    }
+
+    #[test]
+    fn totals_pluralize() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::new(Code::Hp004, "x", Span::default()));
+        ds.push(Diagnostic::new(Code::Hp008, "y", Span::default()));
+        ds.push(Diagnostic::new(Code::Hp009, "z", Span::default()));
+        assert_eq!(ds.totals(), "1 error, 0 warnings, 2 notes");
+        assert!(ds.has_errors());
+        assert_eq!(ds.count(Severity::Note), 2);
+    }
+}

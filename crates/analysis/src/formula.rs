@@ -1,0 +1,208 @@
+//! Static analysis of first-order formulas and CQ/UCQ intermediate
+//! representations.
+//!
+//! The headline check is syntactic existential-positivity (HP010): by
+//! Theorem 2.2 an ∃⁺FO sentence is preserved under homomorphisms, so a
+//! formula failing the check loses the paper's guarantee. Existential-
+//! positive formulas are additionally lowered to their UCQ form and each
+//! disjunct's canonical structure gets a treewidth upper bound (HP012) —
+//! the quantity Theorem 4.4 and §7 trade against the variable budget.
+
+use hp_logic::{parse_formula, ucq_of_existential_positive, Cq, Formula};
+use hp_structures::Vocabulary;
+use hp_tw::elimination::treewidth_upper_bound;
+
+use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+
+/// Analyze a parsed formula against a vocabulary.
+pub fn analyze_formula(f: &Formula, vocab: &Vocabulary) -> Diagnostics {
+    let mut out = Diagnostics::new();
+    if !f.is_existential_positive() {
+        let offenders = offending_connectives(f);
+        out.push(Diagnostic::new(
+            Code::Hp010,
+            format!(
+                "formula is not existential-positive ({} present): preservation under \
+                 homomorphisms is not syntactically guaranteed (Theorem 2.2)",
+                offenders.join(", ")
+            ),
+            Span::default(),
+        ));
+        return out;
+    }
+    let k = f.distinct_var_count();
+    out.push(Diagnostic::new(
+        Code::Hp009,
+        format!(
+            "existential-positive formula with {k} distinct variable{} (∃FO^{k} fragment); \
+             preserved under homomorphisms (Theorem 2.2)",
+            if k == 1 { "" } else { "s" }
+        ),
+        Span::default(),
+    ));
+    if f.is_conjunctive() {
+        if let Ok(cq) = Cq::from_formula(f, vocab) {
+            let (w, _) = treewidth_upper_bound(&cq.canonical().gaifman_graph());
+            out.push(Diagnostic::new(
+                Code::Hp012,
+                format!(
+                    "conjunctive query: canonical structure has {} element{} and \
+                     treewidth at most {w}",
+                    cq.var_count(),
+                    if cq.var_count() == 1 { "" } else { "s" }
+                ),
+                Span::default(),
+            ));
+        }
+    } else if let Ok(ucq) = ucq_of_existential_positive(f, vocab) {
+        let w = ucq
+            .disjuncts()
+            .iter()
+            .map(|cq| treewidth_upper_bound(&cq.canonical().gaifman_graph()).0)
+            .max()
+            .unwrap_or(0);
+        out.push(Diagnostic::new(
+            Code::Hp012,
+            format!(
+                "union of {} conjunctive quer{}: maximum canonical-structure treewidth \
+                 is at most {w}",
+                ucq.len(),
+                if ucq.len() == 1 { "y" } else { "ies" }
+            ),
+            Span::default(),
+        ));
+    }
+    out
+}
+
+/// Parse `text` and analyze the result; parse errors become HP011
+/// diagnostics with line/column positions.
+pub fn analyze_formula_source(text: &str, vocab: &Vocabulary) -> (Option<Formula>, Diagnostics) {
+    match parse_formula(text, vocab) {
+        Ok((f, _)) => {
+            let ds = analyze_formula(&f, vocab);
+            (Some(f), ds)
+        }
+        Err(e) => {
+            let mut ds = Diagnostics::new();
+            ds.push(Diagnostic::from_formula_parse(&e, text));
+            (None, ds)
+        }
+    }
+}
+
+/// The distinct non-∃⁺ connectives occurring in `f`, for the HP010
+/// message.
+fn offending_connectives(f: &Formula) -> Vec<&'static str> {
+    let mut has_not = false;
+    let mut has_forall = false;
+    f.visit(&mut |g| match g {
+        Formula::Not(_) => has_not = true,
+        Formula::Forall(_, _) => has_forall = true,
+        _ => {}
+    });
+    let mut out = Vec::new();
+    if has_not {
+        out.push("negation");
+    }
+    if has_forall {
+        out.push("universal quantifier");
+    }
+    if out.is_empty() {
+        out.push("non-∃⁺ connective");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v() -> Vocabulary {
+        Vocabulary::digraph()
+    }
+
+    // --- HP010 ---
+
+    #[test]
+    fn hp010_fires_on_negation() {
+        let (f, _) = parse_formula("~E(x,y)", &v()).unwrap();
+        let ds = analyze_formula(&f, &v());
+        assert!(ds.has_errors());
+        assert!(ds.contains(Code::Hp010));
+        assert!(ds.iter().next().unwrap().message.contains("negation"));
+    }
+
+    #[test]
+    fn hp010_fires_on_universal() {
+        let (f, _) = parse_formula("forall x. E(x,x)", &v()).unwrap();
+        let ds = analyze_formula(&f, &v());
+        assert!(ds.contains(Code::Hp010));
+        assert!(ds
+            .iter()
+            .next()
+            .unwrap()
+            .message
+            .contains("universal quantifier"));
+    }
+
+    #[test]
+    fn hp010_silent_on_existential_positive() {
+        let (f, _) = parse_formula("exists x. exists y. E(x,y) & E(y,x)", &v()).unwrap();
+        let ds = analyze_formula(&f, &v());
+        assert!(!ds.contains(Code::Hp010));
+        assert!(!ds.has_errors());
+    }
+
+    // --- HP009 on formulas ---
+
+    #[test]
+    fn hp009_counts_distinct_variables() {
+        let (f, _) = parse_formula("exists x. exists y. E(x,y)", &v()).unwrap();
+        let ds = analyze_formula(&f, &v());
+        let d = ds.iter().find(|d| d.code == Code::Hp009).unwrap();
+        assert!(d.message.contains("2 distinct variables"), "{}", d.message);
+    }
+
+    // --- HP012 on CQ / UCQ ---
+
+    #[test]
+    fn hp012_bounds_cq_treewidth() {
+        // A path of length 2: treewidth 1.
+        let (f, _) = parse_formula("exists x. exists y. exists z. E(x,y) & E(y,z)", &v()).unwrap();
+        let ds = analyze_formula(&f, &v());
+        let d = ds.iter().find(|d| d.code == Code::Hp012).unwrap();
+        assert!(d.message.contains("treewidth at most 1"), "{}", d.message);
+    }
+
+    #[test]
+    fn hp012_bounds_ucq_disjuncts() {
+        let (f, _) = parse_formula(
+            "(exists x. E(x,x)) | (exists x. exists y. E(x,y) & E(y,x))",
+            &v(),
+        )
+        .unwrap();
+        let ds = analyze_formula(&f, &v());
+        let d = ds.iter().find(|d| d.code == Code::Hp012).unwrap();
+        assert!(d.message.contains("union of 2"), "{}", d.message);
+    }
+
+    // --- HP011 ---
+
+    #[test]
+    fn hp011_reports_line_and_column() {
+        let (f, ds) = analyze_formula_source("exists x.\n  E(x,", &v());
+        assert!(f.is_none());
+        assert!(ds.contains(Code::Hp011));
+        let d = ds.iter().next().unwrap();
+        assert_eq!(d.span.line, Some(2));
+        assert!(d.span.col.is_some());
+    }
+
+    #[test]
+    fn hp011_silent_on_valid_formula() {
+        let (f, ds) = analyze_formula_source("exists x. E(x,x)", &v());
+        assert!(f.is_some());
+        assert!(!ds.contains(Code::Hp011));
+    }
+}

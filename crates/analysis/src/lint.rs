@@ -1,0 +1,211 @@
+//! Source-file linting: pragma handling and the entry points shared by
+//! the `hompres-lint` binary and the test suite.
+//!
+//! A lintable file declares its vocabulary in a comment pragma:
+//!
+//! ```text
+//! # edb: E/2, M/1
+//! T(x,y) :- E(x,y).
+//! ```
+//!
+//! Formula files (`.fo`) use the same syntax with `# vocab:` (or
+//! `# edb:`); their comment lines are blanked out — not removed — before
+//! parsing, so byte offsets in parse errors still map to the original
+//! source.
+
+use hp_structures::Vocabulary;
+
+use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+use crate::formula::analyze_formula_source;
+use crate::pass::Analyzer;
+
+/// Parse a vocabulary spec like `E/2, M/1`.
+pub fn parse_vocab_spec(spec: &str) -> Result<Vocabulary, String> {
+    let mut pairs: Vec<(String, usize)> = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, arity) = part
+            .split_once('/')
+            .ok_or_else(|| format!("bad vocabulary entry {part:?} (want Name/arity)"))?;
+        let name = name.trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("bad predicate name {name:?}"));
+        }
+        let arity: usize = arity
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad arity in {part:?}"))?;
+        pairs.push((name.to_string(), arity));
+    }
+    if pairs.is_empty() {
+        return Err("empty vocabulary spec".to_string());
+    }
+    Ok(Vocabulary::from_pairs(
+        pairs.iter().map(|(n, a)| (n.as_str(), *a)),
+    ))
+}
+
+/// Extract the `# edb:` / `# vocab:` pragma from a source text, with the
+/// 1-based line it sits on.
+fn find_pragma(text: &str) -> Option<(usize, &str)> {
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        for prefix in ["# edb:", "#edb:", "# vocab:", "#vocab:"] {
+            if let Some(rest) = t.strip_prefix(prefix) {
+                return Some((i + 1, rest.trim()));
+            }
+        }
+    }
+    None
+}
+
+/// Resolve the vocabulary for a source text: the pragma wins, then the
+/// caller's default, then the digraph vocabulary `{E/2}`. A malformed
+/// pragma is reported as HP001.
+fn resolve_vocab(text: &str, default: Option<&Vocabulary>, out: &mut Diagnostics) -> Vocabulary {
+    match find_pragma(text) {
+        Some((line, spec)) => match parse_vocab_spec(spec) {
+            Ok(v) => v,
+            Err(msg) => {
+                out.push(Diagnostic::new(
+                    Code::Hp001,
+                    format!("bad vocabulary pragma: {msg}"),
+                    Span::line(line),
+                ));
+                default.cloned().unwrap_or_else(Vocabulary::digraph)
+            }
+        },
+        None => default.cloned().unwrap_or_else(Vocabulary::digraph),
+    }
+}
+
+/// Lint a Datalog source text. The EDB vocabulary comes from the
+/// `# edb:` pragma, then `default`, then `{E/2}`.
+pub fn lint_datalog_source(text: &str, default: Option<&Vocabulary>) -> Diagnostics {
+    let mut out = Diagnostics::new();
+    let vocab = resolve_vocab(text, default, &mut out);
+    if out.has_errors() {
+        return out;
+    }
+    let (_, ds) = Analyzer::default_pipeline().analyze_source(text, &vocab);
+    out.extend_from(ds);
+    out
+}
+
+/// Lint a formula source text. `#` comments are blanked (offset-
+/// preserving) before parsing; the vocabulary resolves as for Datalog.
+pub fn lint_formula_source(text: &str, default: Option<&Vocabulary>) -> Diagnostics {
+    let mut out = Diagnostics::new();
+    let vocab = resolve_vocab(text, default, &mut out);
+    if out.has_errors() {
+        return out;
+    }
+    let blanked = blank_comments(text);
+    if blanked.trim().is_empty() {
+        out.push(Diagnostic::new(
+            Code::Hp011,
+            "no formula found (file is empty or all comments)",
+            Span::default(),
+        ));
+        return out;
+    }
+    let (_, ds) = analyze_formula_source(&blanked, &vocab);
+    out.extend_from(ds);
+    out
+}
+
+/// Replace every `#`-to-end-of-line comment with spaces, keeping byte
+/// offsets (and hence error line/column positions) identical.
+fn blank_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for (i, line) in text.split('\n').enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        match line.find('#') {
+            Some(p) => {
+                out.push_str(&line[..p]);
+                // Blank byte-for-byte so error offsets stay aligned even
+                // when comments contain multi-byte characters.
+                out.extend(std::iter::repeat_n(' ', line[p..].len()));
+            }
+            None => out.push_str(line),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_spec_roundtrip() {
+        let v = parse_vocab_spec("Down/2, Leaf/1").unwrap();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.arity(v.lookup("Down").unwrap()), 2);
+        assert_eq!(v.arity(v.lookup("Leaf").unwrap()), 1);
+        assert!(parse_vocab_spec("E-2").is_err());
+        assert!(parse_vocab_spec("").is_err());
+        assert!(parse_vocab_spec("E/two").is_err());
+    }
+
+    #[test]
+    fn pragma_overrides_default() {
+        let ds = lint_datalog_source(
+            "# edb: Down/2, Leaf/1\nReach(x) :- Leaf(x).\nReach(x) :- Down(x,y), Reach(y).",
+            None,
+        );
+        assert!(!ds.has_errors(), "{}", ds.render("t", None));
+    }
+
+    #[test]
+    fn missing_pragma_defaults_to_digraph() {
+        let ds = lint_datalog_source("T(x,y) :- E(x,y).", None);
+        assert!(!ds.has_errors());
+    }
+
+    #[test]
+    fn bad_pragma_is_hp001() {
+        let ds = lint_datalog_source("# edb: E-2\nT(x,y) :- E(x,y).", None);
+        assert!(ds.contains(Code::Hp001));
+        assert_eq!(ds.iter().next().unwrap().span.line, Some(1));
+    }
+
+    #[test]
+    fn formula_lint_accepts_commented_file() {
+        let ds = lint_formula_source(
+            "# vocab: E/2\n# a 2-cycle\nexists x. exists y. E(x,y) & E(y,x)\n",
+            None,
+        );
+        assert!(!ds.has_errors(), "{}", ds.render("t", None));
+        assert!(ds.contains(Code::Hp009));
+    }
+
+    #[test]
+    fn formula_parse_error_points_into_original_lines() {
+        let ds = lint_formula_source("# vocab: E/2\nexists x. E(x,\n", None);
+        assert!(ds.contains(Code::Hp011));
+        let d = ds.iter().find(|d| d.code == Code::Hp011).unwrap();
+        assert_eq!(d.span.line, Some(2));
+    }
+
+    #[test]
+    fn empty_formula_file_is_reported() {
+        let ds = lint_formula_source("# vocab: E/2\n# nothing here\n", None);
+        assert!(ds.contains(Code::Hp011));
+    }
+
+    #[test]
+    fn blank_comments_preserves_offsets() {
+        let t = "ab # comment\ncd";
+        let b = blank_comments(t);
+        assert_eq!(b.len(), t.len());
+        assert!(b.starts_with("ab "));
+        assert!(b.ends_with("\ncd"));
+        assert!(!b.contains('#'));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the analyzer:
+//!
+//! 1. **Dead-rule elimination is certified**: on random programs and
+//!    random structures, removing goal-unreachable rules never changes
+//!    the goal's fixpoint relation.
+//! 2. **Analyzer/constructor agreement**: every program `Program::new`
+//!    accepts lints without Error diagnostics, and every rejected program
+//!    maps to the matching `HP0xx` code at the same rule.
+
+use hp_analysis::{eliminate_dead_rules, Analyzer, Code, ProgramFacts};
+use hp_datalog::{DatalogAtom, PredRef, Program, Rule};
+use hp_structures::{Elem, Structure, Vocabulary};
+use proptest::prelude::*;
+
+/// A pool of rules over the digraph EDB with IDBs `T/2`, `U/1`, `V/1`,
+/// `Goal/0`. Subsets of the pool (always including a Goal rule) form
+/// valid programs with varied dependency structure: some subsets make
+/// `U`/`V` feed the goal, others leave them dead.
+fn rule_pool() -> Vec<&'static str> {
+    vec![
+        "T(x,y) :- E(x,y).",
+        "T(x,y) :- E(x,z), T(z,y).",
+        "T(x,y) :- T(x,z), T(z,y).",
+        "U(x) :- T(x,x).",
+        "U(x) :- E(x,y), U(y).",
+        "V(x) :- E(x,x).",
+        "V(x) :- U(x), T(x,x).",
+        "Goal() :- T(x,x).",
+        "Goal() :- U(x), V(x).",
+    ]
+}
+
+/// Assemble a program text from pool indices (deduplicated, ordered).
+/// The base rules for `T`, `U`, `V` and the first Goal rule are always
+/// included so every IDB referenced in a body has a defining rule (the
+/// parser would otherwise read it as an unknown EDB).
+fn program_from_indices(picks: &[usize]) -> Program {
+    let pool = rule_pool();
+    let mut chosen: Vec<usize> = picks.iter().map(|&i| i % pool.len()).collect();
+    chosen.extend([0, 3, 5, 7]);
+    chosen.sort_unstable();
+    chosen.dedup();
+    let text: String = chosen
+        .iter()
+        .map(|&i| pool[i])
+        .collect::<Vec<_>>()
+        .join("\n");
+    Program::parse(&text, &Vocabulary::digraph()).expect("pool rules are valid")
+}
+
+/// A digraph structure from a list of (u, v) byte pairs on `n` elements.
+fn structure_from_edges(n: usize, edges: &[(u8, u8)]) -> Structure {
+    let vocab = Vocabulary::digraph();
+    let e = vocab.lookup("E").unwrap();
+    let mut s = Structure::new(vocab, n);
+    for &(u, v) in edges {
+        let (u, v) = (u as usize % n, v as usize % n);
+        s.add_tuple(e, &[Elem(u as u32), Elem(v as u32)]).unwrap();
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Certified dead-rule elimination: the goal relation of the pruned
+    /// program equals the original's on arbitrary structures, and the
+    /// pruned program triggers no HP007 diagnostics itself.
+    #[test]
+    fn dead_rule_elimination_preserves_goal_fixpoint(
+        picks in prop::collection::vec(0usize..9, 0..6),
+        edges in prop::collection::vec((0u8..6, 0u8..6), 0..14),
+        n in 1usize..6,
+    ) {
+        let p = program_from_indices(&picks);
+        let out = eliminate_dead_rules(&p, "Goal").expect("Goal always present");
+        let a = structure_from_edges(n, &edges);
+        let before = p.evaluate(&a);
+        let after = out.program.evaluate(&a);
+        prop_assert_eq!(before.idb("Goal"), after.idb("Goal"));
+        // Elimination is complete: no dead rules remain afterwards.
+        let ds = Analyzer::default_pipeline().analyze_program(&out.program);
+        prop_assert!(!ds.contains(Code::Hp007), "{}", ds.render("pruned", None));
+        // And it removed exactly the rules HP007 flagged on the original.
+        let flagged: Vec<usize> = Analyzer::default_pipeline()
+            .analyze_program(&p)
+            .iter()
+            .filter(|d| d.code == Code::Hp007)
+            .filter_map(|d| d.span.rule)
+            .collect();
+        prop_assert_eq!(flagged, out.removed);
+    }
+
+    /// Programs accepted by `Program::new` produce no Error diagnostics.
+    #[test]
+    fn accepted_programs_lint_clean(
+        picks in prop::collection::vec(0usize..9, 0..7),
+    ) {
+        let p = program_from_indices(&picks);
+        let ds = Analyzer::default_pipeline().analyze_program(&p);
+        prop_assert!(!ds.has_errors(), "{}", ds.render("accepted", None));
+    }
+
+    /// Programs rejected by `Program::new` map to the matching HP code:
+    /// whatever structured error the constructor reports, the analyzer
+    /// reports the same code as an Error at the same rule.
+    #[test]
+    fn rejected_programs_map_to_specific_codes(
+        shapes in prop::collection::vec(
+            // (head_pred, head_nargs, body_pred, body_nargs) with preds
+            // drawn loosely so arity/safety/head violations all occur.
+            (0usize..3, 0usize..4, 0usize..3, 0usize..4),
+            1..5,
+        ),
+    ) {
+        let edb = Vocabulary::digraph();
+        let e = edb.lookup("E").unwrap();
+        let idbs = vec![("T".to_string(), 2), ("Goal".to_string(), 0)];
+        let pred_of = |i: usize| match i {
+            0 => PredRef::Edb(e),
+            1 => PredRef::Idb(0),
+            _ => PredRef::Idb(1),
+        };
+        let rules: Vec<Rule> = shapes
+            .iter()
+            .map(|&(hp, hn, bp, bn)| Rule {
+                head: DatalogAtom {
+                    pred: pred_of(hp),
+                    // Head args drawn from {0,1}; body args from {2,3,...}
+                    // with overlap only at 0 — so unsafe heads happen.
+                    args: (0..hn as u32).collect(),
+                },
+                body: vec![DatalogAtom {
+                    pred: pred_of(bp),
+                    args: (0..bn as u32).collect(),
+                }],
+            })
+            .collect();
+        let var_names: Vec<String> = (0..4).map(|v| format!("x{v}")).collect();
+        let verdict = Program::new(
+            edb.clone(),
+            idbs.clone(),
+            rules.clone(),
+            var_names.clone(),
+        );
+        let facts = ProgramFacts::from_parts(edb, idbs, rules, var_names);
+        let ds = Analyzer::default_pipeline().run_on(&facts);
+        match verdict {
+            Ok(_) => prop_assert!(!ds.has_errors(), "{}", ds.render("t", None)),
+            Err(err) => {
+                let code = Code::of_datalog(&err.kind);
+                let hit = ds.iter().any(|d| {
+                    d.code == code
+                        && d.severity == hp_analysis::Severity::Error
+                        && d.span.rule == err.span.rule
+                });
+                prop_assert!(
+                    hit,
+                    "constructor said {:?} (rule {:?}), analyzer said:\n{}",
+                    err.kind,
+                    err.span.rule,
+                    ds.render("t", None)
+                );
+            }
+        }
+    }
+}

@@ -1,1 +1,4 @@
 //! Benchmark-only crate; see the `benches/` directory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -29,6 +29,7 @@ pub fn max_scattered_set(g: &Graph, d: usize) -> Vec<u32> {
     let mut best: Vec<u32> = {
         let mut chosen = Vec::new();
         let mut blocked = BitSet::new(n);
+        #[allow(clippy::needless_range_loop)] // v is both index and vertex id
         for v in 0..n {
             if !blocked.contains(v) {
                 chosen.push(v as u32);
@@ -79,6 +80,7 @@ pub fn scattered_after_deletions(
     let n = g.vertex_count();
     let mut best: Option<(Vec<u32>, Vec<u32>)> = None;
     let mut subset: Vec<u32> = Vec::new();
+    #[allow(clippy::too_many_arguments)] // explicit DFS state beats a struct here
     fn rec(
         g: &Graph,
         n: usize,

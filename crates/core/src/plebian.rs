@@ -266,15 +266,21 @@ mod tests {
 
     #[test]
     fn observation_6_2_corner_case() {
-        // The concrete counterexample to the printed "only if" direction:
-        // seed 0 gives a constant-preserving hom that folds a non-constant
-        // onto a constant of B, while pA ↛ pB.
-        let a = random_digraph(5, 7, 0);
-        let b = random_digraph(6, 11, 500);
+        // A counterexample to the printed "only if" direction: some pair
+        // admits a constant-preserving hom that folds a non-constant onto a
+        // constant of B, while pA ↛ pB. Search a seed range for a witness
+        // rather than pinning one seed, so the test does not depend on a
+        // particular RNG stream.
         let ca = [Elem(0), Elem(1)];
         let cb = [Elem(0), Elem(1)];
-        assert!(hom_exists_with_constants(&a, &ca, &b, &cb));
-        assert!(!hom_exists_with_constants_avoiding(&a, &ca, &b, &cb));
+        let witness = (0u64..200).find_map(|seed| {
+            let a = random_digraph(5, 7, seed);
+            let b = random_digraph(6, 11, seed + 500);
+            (hom_exists_with_constants(&a, &ca, &b, &cb)
+                && !hom_exists_with_constants_avoiding(&a, &ca, &b, &cb))
+            .then_some((a, b))
+        });
+        let (a, b) = witness.expect("no corner-case witness in seed range");
         let pa = plebian_companion(&a, &ca);
         let pb = plebian_companion(&b, &cb);
         assert!(!hp_hom::hom_exists(&pa.structure, &pb.structure));

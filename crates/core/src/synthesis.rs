@@ -169,7 +169,7 @@ mod tests {
         let q = UcqQuery::new(Ucq::new(vec![Cq::canonical_query(&self_loop())]));
         let wrong = Ucq::new(vec![Cq::canonical_query(&directed_path(2))]);
         // A path has an edge but no loop: q false, wrong true.
-        let sample = vec![directed_path(2)];
+        let sample = [directed_path(2)];
         assert!(validate_rewrite(&q, &wrong, sample.iter()).is_some());
     }
 

@@ -4,6 +4,8 @@ use std::collections::BTreeSet;
 
 use hp_structures::{SymbolId, Vocabulary};
 
+use crate::error::{DatalogError, DatalogErrorKind, DatalogSpan};
+
 /// Reference to a predicate: either an EDB symbol of the input vocabulary
 /// or an IDB predicate of the program.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,6 +67,8 @@ pub struct Program {
     rules: Vec<Rule>,
     /// Variable names, indexed by variable id (for display).
     var_names: Vec<String>,
+    /// 1-based source line of each rule, when parsed from text.
+    rule_lines: Vec<Option<usize>>,
 }
 
 impl Program {
@@ -74,26 +78,65 @@ impl Program {
         idbs: Vec<(String, usize)>,
         rules: Vec<Rule>,
         var_names: Vec<String>,
-    ) -> Result<Program, String> {
+    ) -> Result<Program, DatalogError> {
+        let lines = vec![None; rules.len()];
+        Program::new_with_lines(edb, idbs, rules, var_names, lines)
+    }
+
+    /// Like [`Program::new`], but records the 1-based source line of each
+    /// rule so validation errors (and later static-analysis diagnostics)
+    /// can point back into the source text. `rule_lines` must be aligned
+    /// with `rules`.
+    pub fn new_with_lines(
+        edb: Vocabulary,
+        idbs: Vec<(String, usize)>,
+        rules: Vec<Rule>,
+        var_names: Vec<String>,
+        rule_lines: Vec<Option<usize>>,
+    ) -> Result<Program, DatalogError> {
+        assert_eq!(rules.len(), rule_lines.len(), "rule_lines misaligned");
         let p = Program {
             edb,
             idbs,
             rules,
             var_names,
+            rule_lines,
         };
         for (ri, r) in p.rules.iter().enumerate() {
+            let span = DatalogSpan {
+                line: p.rule_lines[ri],
+                rule: Some(ri),
+            };
             if !matches!(r.head.pred, PredRef::Idb(_)) {
-                return Err(format!("rule {ri}: head must be an IDB predicate"));
+                return Err(DatalogError::new(DatalogErrorKind::HeadNotIdb, span));
             }
             if !r.is_safe() {
-                return Err(format!("rule {ri}: unsafe (head variable not in body)"));
+                let body_vars: BTreeSet<u32> =
+                    r.body.iter().flat_map(|a| a.args.iter().copied()).collect();
+                let unbound = r
+                    .head
+                    .args
+                    .iter()
+                    .find(|v| !body_vars.contains(v))
+                    .copied()
+                    .unwrap_or(0);
+                return Err(DatalogError::new(
+                    DatalogErrorKind::UnsafeRule {
+                        var: p.var_name(unbound),
+                    },
+                    span,
+                ));
             }
             for a in std::iter::once(&r.head).chain(&r.body) {
                 let want = p.arity(a.pred);
                 if a.args.len() != want {
-                    return Err(format!(
-                        "rule {ri}: predicate arity mismatch ({} args, arity {want})",
-                        a.args.len()
+                    return Err(DatalogError::new(
+                        DatalogErrorKind::ArityMismatch {
+                            pred: p.pred_name(a.pred),
+                            expected: want,
+                            got: a.args.len(),
+                        },
+                        span,
                     ));
                 }
             }
@@ -102,8 +145,9 @@ impl Program {
     }
 
     /// Parse a program text (grammar documented in the crate-level docs;
-    /// rules like `T(x,y) :- E(x,z), T(z,y).`, `#` comments).
-    pub fn parse(text: &str, edb: &Vocabulary) -> Result<Program, String> {
+    /// rules like `T(x,y) :- E(x,z), T(z,y).`, `#` comments). Errors carry
+    /// the 1-based source line they occurred on.
+    pub fn parse(text: &str, edb: &Vocabulary) -> Result<Program, DatalogError> {
         crate::parser::parse_program(text, edb)
     }
 
@@ -133,6 +177,20 @@ impl Program {
             PredRef::Edb(s) => self.edb.arity(s),
             PredRef::Idb(i) => self.idbs[i].1,
         }
+    }
+
+    /// Display name of any predicate reference.
+    pub fn pred_name(&self, p: PredRef) -> String {
+        match p {
+            PredRef::Edb(s) => self.edb.symbol(s).name.clone(),
+            PredRef::Idb(i) => self.idbs[i].0.clone(),
+        }
+    }
+
+    /// 1-based source line of rule `ri`, when the program was parsed from
+    /// text (`None` for API-built programs).
+    pub fn rule_line(&self, ri: usize) -> Option<usize> {
+        self.rule_lines.get(ri).copied().flatten()
     }
 
     /// The **total number of distinct variables** in the program — the `k`
@@ -187,13 +245,48 @@ mod tests {
     #[test]
     fn safety_enforced() {
         let err = Program::parse("T(x,y) :- E(x,x).", &Vocabulary::digraph()).unwrap_err();
-        assert!(err.contains("unsafe"), "{err}");
+        assert!(
+            matches!(err.kind, DatalogErrorKind::UnsafeRule { ref var } if var == "y"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("unsafe"), "{err}");
+        assert_eq!(err.span.rule, Some(0));
+        assert_eq!(err.span.line, Some(1));
     }
 
     #[test]
     fn arity_checked() {
         let err = Program::parse("T(x) :- E(x).", &Vocabulary::digraph()).unwrap_err();
-        assert!(err.contains("arity"), "{err}");
+        assert!(
+            matches!(
+                err.kind,
+                DatalogErrorKind::ArityMismatch {
+                    expected: 2,
+                    got: 1,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn api_built_program_has_no_lines() {
+        let p = tc();
+        // tc() is parsed, so its rules do carry lines.
+        assert_eq!(p.rule_line(0), Some(1));
+        assert_eq!(p.rule_line(1), Some(2));
+        // An API-built clone via Program::new has none.
+        let q = Program::new(
+            p.edb().clone(),
+            p.idbs().to_vec(),
+            p.rules().to_vec(),
+            (0..3).map(|v| p.var_name(v)).collect(),
+        )
+        .unwrap();
+        assert_eq!(q.rule_line(0), None);
+        assert_eq!(q.rule_line(7), None);
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Structured errors for Datalog parsing and program validation.
+//!
+//! Every error carries a [`DatalogSpan`]: the 1-based source line when the
+//! program came from text (mirroring `StructureError::Parse` in
+//! `hp-structures`), and the 0-based rule index when the offending rule is
+//! known. The static-analysis layer (`hp-analysis`) maps these onto its
+//! stable `HP0xx` diagnostic codes without re-parsing the message text.
+
+use std::fmt;
+
+/// Where in the source a Datalog error points. Both fields are optional:
+/// programs built through the [`crate::Program::new`] API have no source
+/// text, and lexical errors may precede rule assembly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DatalogSpan {
+    /// 1-based line in the source text, when parsed from text.
+    pub line: Option<usize>,
+    /// 0-based index of the offending rule, when known.
+    pub rule: Option<usize>,
+}
+
+impl DatalogSpan {
+    /// A span pointing at a rule index only.
+    pub fn rule(rule: usize) -> DatalogSpan {
+        DatalogSpan {
+            line: None,
+            rule: Some(rule),
+        }
+    }
+
+    /// A span pointing at a source line only.
+    pub fn line(line: usize) -> DatalogSpan {
+        DatalogSpan {
+            line: Some(line),
+            rule: None,
+        }
+    }
+}
+
+/// What went wrong.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DatalogErrorKind {
+    /// An atom was not of the form `Name(args)`.
+    MalformedAtom {
+        /// The offending source fragment.
+        text: String,
+    },
+    /// A predicate name contained invalid characters or was empty.
+    BadPredicateName {
+        /// The offending source fragment.
+        text: String,
+    },
+    /// A variable name contained invalid characters or was empty.
+    BadVariableName {
+        /// The offending variable token.
+        name: String,
+        /// The atom it occurred in.
+        atom: String,
+    },
+    /// Parentheses did not balance inside a rule body.
+    UnbalancedParens,
+    /// A body predicate is neither an IDB (head name) nor in the EDB
+    /// vocabulary.
+    UnknownEdb {
+        /// The unresolved predicate name.
+        name: String,
+    },
+    /// An IDB predicate was used with two different arities.
+    IdbArityConflict {
+        /// The IDB predicate name.
+        name: String,
+        /// Arity at first use.
+        first: usize,
+        /// Conflicting arity at a later use.
+        second: usize,
+    },
+    /// An atom's argument count differs from its predicate's declared arity.
+    ArityMismatch {
+        /// The predicate name.
+        pred: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// A rule is unsafe: a head variable does not occur in the body
+    /// (violates range restriction, §2.3).
+    UnsafeRule {
+        /// Display name of the unbound head variable.
+        var: String,
+    },
+    /// A rule's head predicate is not an IDB.
+    HeadNotIdb,
+}
+
+/// A Datalog parse or validation error with source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DatalogError {
+    /// What went wrong.
+    pub kind: DatalogErrorKind,
+    /// Where it went wrong.
+    pub span: DatalogSpan,
+}
+
+impl DatalogError {
+    /// Build an error with the given kind and span.
+    pub fn new(kind: DatalogErrorKind, span: DatalogSpan) -> DatalogError {
+        DatalogError { kind, span }
+    }
+
+    /// Attach a source line if none is present yet.
+    pub fn with_line(mut self, line: usize) -> DatalogError {
+        self.span.line.get_or_insert(line);
+        self
+    }
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.span.line, self.span.rule) {
+            (Some(l), Some(r)) => write!(f, "line {l}, rule {r}: ")?,
+            (Some(l), None) => write!(f, "line {l}: ")?,
+            (None, Some(r)) => write!(f, "rule {r}: ")?,
+            (None, None) => {}
+        }
+        match &self.kind {
+            DatalogErrorKind::MalformedAtom { text } => write!(f, "malformed atom {text:?}"),
+            DatalogErrorKind::BadPredicateName { text } => {
+                write!(f, "bad predicate name in {text:?}")
+            }
+            DatalogErrorKind::BadVariableName { name, atom } => {
+                write!(f, "bad variable name {name:?} in {atom:?}")
+            }
+            DatalogErrorKind::UnbalancedParens => write!(f, "unbalanced parentheses"),
+            DatalogErrorKind::UnknownEdb { name } => write!(f, "unknown EDB predicate {name}"),
+            DatalogErrorKind::IdbArityConflict {
+                name,
+                first,
+                second,
+            } => write!(f, "IDB {name} used with arities {first} and {second}"),
+            DatalogErrorKind::ArityMismatch {
+                pred,
+                expected,
+                got,
+            } => write!(
+                f,
+                "predicate arity mismatch for {pred} ({got} args, arity {expected})"
+            ),
+            DatalogErrorKind::UnsafeRule { var } => {
+                write!(f, "unsafe rule (head variable {var} not in body)")
+            }
+            DatalogErrorKind::HeadNotIdb => write!(f, "head must be an IDB predicate"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}

@@ -78,8 +78,8 @@ impl Program {
             return;
         }
         let atom = &rule.body[order[depth]];
-        let is_delta_atom = delta.map_or(false, |(_, di)| order[depth] == di)
-            && matches!(atom.pred, PredRef::Idb(_));
+        let is_delta_atom =
+            delta.is_some_and(|(_, di)| order[depth] == di) && matches!(atom.pred, PredRef::Idb(_));
         // Iterate candidate tuples for this atom.
         let try_tuple =
             |t: &[Elem], asg: &mut Vec<Option<Elem>>, s: &Program, out: &mut IdbRelation| {

@@ -40,6 +40,7 @@
 
 mod ast;
 mod bounded;
+mod error;
 mod eval;
 pub mod gallery;
 mod parser;
@@ -47,5 +48,6 @@ mod unfold;
 
 pub use ast::{DatalogAtom, PredRef, Program, Rule};
 pub use bounded::{certified_bounded_at, certified_boundedness, stage_probe, BoundednessProbe};
+pub use error::{DatalogError, DatalogErrorKind, DatalogSpan};
 pub use eval::{FixpointResult, IdbRelation};
 pub use unfold::{stage_formula, stage_formulas, stage_ucq, stages_agree};

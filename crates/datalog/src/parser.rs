@@ -9,37 +9,35 @@
 //! Predicates occurring in some head are IDBs (declared implicitly, arity
 //! from first use); every other predicate must belong to the EDB
 //! vocabulary. `#` starts a comment. Each rule ends with `.`.
+//!
+//! The parser tracks the 1-based source line on which each rule starts, so
+//! every [`DatalogError`] points back into the original text (comments and
+//! blank lines included), not into a concatenated, comment-stripped copy.
 
 use hp_structures::Vocabulary;
 
 use crate::ast::{DatalogAtom, PredRef, Program, Rule};
+use crate::error::{DatalogError, DatalogErrorKind, DatalogSpan};
 
-pub(crate) fn parse_program(text: &str, edb: &Vocabulary) -> Result<Program, String> {
-    // First pass: strip comments, split into rule chunks on '.'.
-    let cleaned: String = text
-        .lines()
-        .map(|l| l.split('#').next().unwrap_or(""))
-        .collect::<Vec<_>>()
-        .join("\n");
-    let mut raw_rules: Vec<(String, Option<String>)> = Vec::new();
-    for chunk in cleaned.split('.') {
-        let chunk = chunk.trim();
-        if chunk.is_empty() {
-            continue;
-        }
-        match chunk.split_once(":-") {
-            Some((h, b)) => raw_rules.push((h.trim().to_string(), Some(b.trim().to_string()))),
-            None => raw_rules.push((chunk.to_string(), None)),
-        }
-    }
+/// A raw rule chunk: head text, optional body text, and the 1-based line
+/// on which the rule's first non-whitespace character sits.
+struct RawRule {
+    head: String,
+    body: Option<String>,
+    line: usize,
+}
+
+pub(crate) fn parse_program(text: &str, edb: &Vocabulary) -> Result<Program, DatalogError> {
+    let raw_rules = split_rules(text)?;
     // Collect IDB names from heads.
     let mut idbs: Vec<(String, usize)> = Vec::new();
     let mut var_names: Vec<String> = Vec::new();
     let mut rules: Vec<Rule> = Vec::new();
+    let mut rule_lines: Vec<Option<usize>> = Vec::new();
     // Pre-scan heads for IDB names.
     let mut head_names: Vec<String> = Vec::new();
-    for (h, _) in &raw_rules {
-        let (name, _) = split_atom(h)?;
+    for r in &raw_rules {
+        let (name, _) = split_atom(&r.head).map_err(|e| e.with_line(r.line))?;
         if !head_names.contains(&name) {
             head_names.push(name);
         }
@@ -55,17 +53,20 @@ pub(crate) fn parse_program(text: &str, edb: &Vocabulary) -> Result<Program, Str
     let parse_atom = |s: &str,
                       idbs: &mut Vec<(String, usize)>,
                       vars: &mut Vec<String>|
-     -> Result<DatalogAtom, String> {
+     -> Result<DatalogAtom, DatalogError> {
         let (name, args) = split_atom(s)?;
         let args: Vec<u32> = args.iter().map(|a| var_id(a, vars)).collect();
         let pred = if head_names.contains(&name) {
             let idx = match idbs.iter().position(|(n, _)| *n == name) {
                 Some(i) => {
                     if idbs[i].1 != args.len() {
-                        return Err(format!(
-                            "IDB {name} used with arities {} and {}",
-                            idbs[i].1,
-                            args.len()
+                        return Err(DatalogError::new(
+                            DatalogErrorKind::IdbArityConflict {
+                                name,
+                                first: idbs[i].1,
+                                second: args.len(),
+                            },
+                            DatalogSpan::default(),
                         ));
                     }
                     i
@@ -79,34 +80,104 @@ pub(crate) fn parse_program(text: &str, edb: &Vocabulary) -> Result<Program, Str
         } else {
             match edb.lookup(&name) {
                 Some(s) => PredRef::Edb(s),
-                None => return Err(format!("unknown EDB predicate {name}")),
+                None => {
+                    return Err(DatalogError::new(
+                        DatalogErrorKind::UnknownEdb { name },
+                        DatalogSpan::default(),
+                    ))
+                }
             }
         };
         Ok(DatalogAtom { pred, args })
     };
-    for (h, b) in &raw_rules {
-        let head = parse_atom(h, &mut idbs, &mut var_names)?;
+    for r in &raw_rules {
+        let head =
+            parse_atom(&r.head, &mut idbs, &mut var_names).map_err(|e| e.with_line(r.line))?;
         let mut body = Vec::new();
-        if let Some(b) = b {
-            for part in split_atoms(b)? {
-                body.push(parse_atom(&part, &mut idbs, &mut var_names)?);
+        if let Some(b) = &r.body {
+            for part in split_atoms(b).map_err(|e| e.with_line(r.line))? {
+                body.push(
+                    parse_atom(&part, &mut idbs, &mut var_names)
+                        .map_err(|e| e.with_line(r.line))?,
+                );
             }
         }
         rules.push(Rule { head, body });
+        rule_lines.push(Some(r.line));
     }
-    Program::new(edb.clone(), idbs, rules, var_names)
+    Program::new_with_lines(edb.clone(), idbs, rules, var_names, rule_lines.clone()).map_err(|e| {
+        match e.span.rule {
+            Some(ri) => match rule_lines.get(ri).copied().flatten() {
+                Some(line) => e.with_line(line),
+                None => e,
+            },
+            None => e,
+        }
+    })
+}
+
+/// First pass: strip comments, split into rule chunks on `.`, remembering
+/// the 1-based line each chunk starts on.
+fn split_rules(text: &str) -> Result<Vec<RawRule>, DatalogError> {
+    let mut out: Vec<RawRule> = Vec::new();
+    let mut cur = String::new();
+    let mut cur_line = 1usize;
+    let push_chunk = |chunk: &str, line: usize, out: &mut Vec<RawRule>| {
+        let chunk = chunk.trim();
+        if chunk.is_empty() {
+            return;
+        }
+        match chunk.split_once(":-") {
+            Some((h, b)) => out.push(RawRule {
+                head: h.trim().to_string(),
+                body: Some(b.trim().to_string()),
+                line,
+            }),
+            None => out.push(RawRule {
+                head: chunk.to_string(),
+                body: None,
+                line,
+            }),
+        }
+    };
+    for (i, raw_line) in text.lines().enumerate() {
+        let code = raw_line.split('#').next().unwrap_or("");
+        for c in code.chars() {
+            if c == '.' {
+                push_chunk(&cur, cur_line, &mut out);
+                cur.clear();
+            } else {
+                if !c.is_whitespace() && cur.trim().is_empty() {
+                    cur_line = i + 1;
+                }
+                cur.push(c);
+            }
+        }
+        cur.push('\n');
+    }
+    push_chunk(&cur, cur_line, &mut out);
+    Ok(out)
 }
 
 /// Split `Name(a, b, c)` into the name and argument identifiers.
-fn split_atom(s: &str) -> Result<(String, Vec<String>), String> {
+fn split_atom(s: &str) -> Result<(String, Vec<String>), DatalogError> {
+    let err = |kind| DatalogError::new(kind, DatalogSpan::default());
     let s = s.trim();
-    let open = s.find('(').ok_or_else(|| format!("malformed atom {s:?}"))?;
+    let open = s.find('(').ok_or_else(|| {
+        err(DatalogErrorKind::MalformedAtom {
+            text: s.to_string(),
+        })
+    })?;
     if !s.ends_with(')') {
-        return Err(format!("malformed atom {s:?}"));
+        return Err(err(DatalogErrorKind::MalformedAtom {
+            text: s.to_string(),
+        }));
     }
     let name = s[..open].trim().to_string();
     if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-        return Err(format!("bad predicate name in {s:?}"));
+        return Err(err(DatalogErrorKind::BadPredicateName {
+            text: s.to_string(),
+        }));
     }
     let inner = &s[open + 1..s.len() - 1];
     let args: Vec<String> = if inner.trim().is_empty() {
@@ -116,7 +187,10 @@ fn split_atom(s: &str) -> Result<(String, Vec<String>), String> {
     };
     for a in &args {
         if a.is_empty() || !a.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-            return Err(format!("bad variable name {a:?} in {s:?}"));
+            return Err(err(DatalogErrorKind::BadVariableName {
+                name: a.clone(),
+                atom: s.to_string(),
+            }));
         }
     }
     Ok((name, args))
@@ -124,7 +198,9 @@ fn split_atom(s: &str) -> Result<(String, Vec<String>), String> {
 
 /// Split a rule body on top-level commas (commas inside parentheses are
 /// argument separators).
-fn split_atoms(s: &str) -> Result<Vec<String>, String> {
+fn split_atoms(s: &str) -> Result<Vec<String>, DatalogError> {
+    let unbalanced =
+        || DatalogError::new(DatalogErrorKind::UnbalancedParens, DatalogSpan::default());
     let mut out = Vec::new();
     let mut depth = 0usize;
     let mut cur = String::new();
@@ -135,7 +211,7 @@ fn split_atoms(s: &str) -> Result<Vec<String>, String> {
                 cur.push(c);
             }
             ')' => {
-                depth = depth.checked_sub(1).ok_or("unbalanced parentheses")?;
+                depth = depth.checked_sub(1).ok_or_else(unbalanced)?;
                 cur.push(c);
             }
             ',' if depth == 0 => {
@@ -146,7 +222,7 @@ fn split_atoms(s: &str) -> Result<Vec<String>, String> {
         }
     }
     if depth != 0 {
-        return Err("unbalanced parentheses".into());
+        return Err(unbalanced());
     }
     if !cur.trim().is_empty() {
         out.push(cur.trim().to_string());
@@ -157,6 +233,7 @@ fn split_atoms(s: &str) -> Result<Vec<String>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::DatalogErrorKind;
 
     #[test]
     fn parse_tc() {
@@ -167,6 +244,9 @@ mod tests {
         .unwrap();
         assert_eq!(p.rules().len(), 2);
         assert_eq!(p.total_variable_count(), 3);
+        // Lines are 1-based and skip the comment line.
+        assert_eq!(p.rule_line(0), Some(2));
+        assert_eq!(p.rule_line(1), Some(3));
     }
 
     #[test]
@@ -184,7 +264,8 @@ mod tests {
     #[test]
     fn error_on_unknown_edb() {
         let e = parse_program("T(x,y) :- F(x,y).", &Vocabulary::digraph()).unwrap_err();
-        assert!(e.contains("unknown EDB"));
+        assert!(matches!(e.kind, DatalogErrorKind::UnknownEdb { ref name } if name == "F"));
+        assert_eq!(e.span.line, Some(1));
     }
 
     #[test]
@@ -197,7 +278,18 @@ mod tests {
     fn error_on_inconsistent_idb_arity() {
         let e = parse_program("T(x,y) :- E(x,y).\nT(x) :- T(x,x).", &Vocabulary::digraph())
             .unwrap_err();
-        assert!(e.contains("ar"), "{e}");
+        assert!(
+            matches!(
+                e.kind,
+                DatalogErrorKind::IdbArityConflict {
+                    first: 2,
+                    second: 1,
+                    ..
+                }
+            ),
+            "{e}"
+        );
+        assert_eq!(e.span.line, Some(2));
     }
 
     #[test]
@@ -207,5 +299,33 @@ mod tests {
         // A 0-ary fact is fine.
         let p = parse_program("Flag().", &Vocabulary::digraph()).unwrap();
         assert_eq!(p.idbs(), &[("Flag".to_string(), 0)]);
+    }
+
+    #[test]
+    fn error_lines_point_into_original_text() {
+        // Comments, blank lines, and a multi-line rule before the bad one:
+        // the error must name the line of the offending rule in the
+        // original text, not in a stripped/joined copy.
+        let text = "# header comment\n\nT(x,y) :- E(x,y).\nT(x,y) :-\n    E(x,z),\n    T(z,y).\n\n# another comment\nT(x,w) :- Q(x,w).";
+        let e = parse_program(text, &Vocabulary::digraph()).unwrap_err();
+        assert!(matches!(e.kind, DatalogErrorKind::UnknownEdb { ref name } if name == "Q"));
+        assert_eq!(e.span.line, Some(9));
+    }
+
+    #[test]
+    fn multiline_rule_line_is_first_line() {
+        let text = "T(x,y) :- E(x,y).\nT(x,y) :-\n    E(x,z),\n    T(z,y).";
+        let p = parse_program(text, &Vocabulary::digraph()).unwrap();
+        assert_eq!(p.rule_line(0), Some(1));
+        assert_eq!(p.rule_line(1), Some(2));
+    }
+
+    #[test]
+    fn unsafe_rule_error_carries_line_and_rule() {
+        let text = "T(x,y) :- E(x,y).\n\nT(x,q) :- E(x,x).";
+        let e = parse_program(text, &Vocabulary::digraph()).unwrap_err();
+        assert!(matches!(e.kind, DatalogErrorKind::UnsafeRule { ref var } if var == "q"));
+        assert_eq!(e.span.rule, Some(1));
+        assert_eq!(e.span.line, Some(3));
     }
 }

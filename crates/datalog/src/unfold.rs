@@ -151,9 +151,9 @@ pub fn stage_ucq(p: &Program, idb: usize, m: usize) -> Result<Ucq, String> {
 pub fn stages_agree(p: &Program, a: &hp_structures::Structure, m: usize) -> Result<(), String> {
     let stages = p.stages(a, m);
     for (stage_idx, rels) in stages.iter().enumerate() {
-        for idb in 0..p.idbs().len() {
+        for (idb, rel) in rels.iter().enumerate().take(p.idbs().len()) {
             let u = stage_ucq(p, idb, stage_idx)?;
-            let mut expected: Vec<Vec<Elem>> = rels[idb].iter().cloned().collect();
+            let mut expected: Vec<Vec<Elem>> = rel.iter().cloned().collect();
             expected.sort();
             let got = u.answers(a);
             if got != expected {

@@ -236,10 +236,10 @@ impl<'a> HomSearch<'a> {
                 // constraints this means the target's flag is false.
                 return false;
             }
-            for j in 0..r {
+            for (j, sup) in support.iter().enumerate().take(r) {
                 let var = c.vars[j] as usize;
                 let before = domains[var].len();
-                domains[var].intersect_with(&support[j]);
+                domains[var].intersect_with(sup);
                 let after = domains[var].len();
                 if after == 0 {
                     return false;
@@ -259,7 +259,7 @@ impl<'a> HomSearch<'a> {
 
     fn search(
         &self,
-        domains: &mut Vec<BitSet>,
+        domains: &mut [BitSet],
         remaining: &mut usize,
         on_solution: &mut dyn FnMut(&[Elem]),
     ) {
@@ -282,7 +282,7 @@ impl<'a> HomSearch<'a> {
         let mut best: Option<(usize, usize)> = None;
         for (v, d) in domains.iter().enumerate() {
             let s = d.len();
-            if s > 1 && best.map_or(true, |(_, bs)| s < bs) {
+            if s > 1 && best.is_none_or(|(_, bs)| s < bs) {
                 best = Some((v, s));
             }
         }
@@ -335,7 +335,7 @@ impl<'a> HomSearch<'a> {
         let mut values: Vec<usize> = domains[var].iter().filter(|&v| used.contains(v)).collect();
         values.extend(domains[var].iter().filter(|&v| !used.contains(v)));
         for v in values {
-            let mut child: Vec<BitSet> = domains.clone();
+            let mut child: Vec<BitSet> = domains.to_vec();
             child[var].clear();
             child[var].insert(v);
             if self.injective {

@@ -71,6 +71,7 @@ impl Formula {
     }
 
     /// Shorthand for `¬φ`.
+    #[allow(clippy::should_implement_trait)] // constructor, not an operator
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }

@@ -403,7 +403,6 @@ mod tests {
     fn decomposition_slot_reuse_on_caterpillar() {
         // A star-with-path structure exercising slot free/reuse: directed
         // edges 0→1, 1→2, 2→3, with decomposition path of 2-bags.
-        let v = Vocabulary::digraph();
         let d = directed_path(4);
         let bags: Vec<Vec<u32>> = vec![vec![0, 1], vec![1, 2], vec![2, 3]];
         let edges = vec![(0usize, 1usize), (1, 2)];

@@ -166,9 +166,9 @@ impl Ucq {
             }
             let mut next = arity;
             let mut exist_vars = Vec::new();
-            for e in 0..n {
-                if var_of_elem[e].is_none() {
-                    var_of_elem[e] = Some(next);
+            for v in var_of_elem.iter_mut().take(n) {
+                if v.is_none() {
+                    *v = Some(next);
                     exist_vars.push(next);
                     next += 1;
                 }

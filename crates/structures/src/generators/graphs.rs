@@ -139,7 +139,7 @@ pub fn binary_tree(depth: usize) -> Graph {
 /// construction: start from `K_{k+1}`, then attach each new vertex to the
 /// `k`-clique `{v-1, …, v-k}`. Its treewidth is exactly `k`.
 pub fn ktree(k: usize, n: usize) -> Graph {
-    assert!(n >= k + 1, "k-tree needs at least k+1 vertices");
+    assert!(n > k, "k-tree needs at least k+1 vertices");
     let mut g = clique(k + 1);
     let mut full = Graph::new(n);
     for (u, v) in g.edges() {

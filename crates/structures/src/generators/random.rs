@@ -47,7 +47,7 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
 /// with probability `keep`. Every partial k-tree has treewidth ≤ k, so this
 /// samples the class T(k+1) of the paper.
 pub fn random_partial_ktree(k: usize, n: usize, keep: f64, seed: u64) -> Graph {
-    assert!(n >= k + 1);
+    assert!(n > k);
     let mut r = rng(seed);
     // Track the k-cliques available for attachment: represented as sorted
     // vertex lists. Start with the base clique.

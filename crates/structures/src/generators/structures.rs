@@ -81,6 +81,80 @@ pub fn path_query_structure(len: usize) -> Structure {
     directed_path(len + 1)
 }
 
+/// The number of candidate tuples `Σ_R n^arity(R)` the exhaustive
+/// enumerator would toggle — [`for_each_structure`] visits `2^this` many
+/// structures and refuses when it exceeds 24 (use this to pre-check
+/// feasibility).
+pub fn enumeration_tuple_space(vocab: &Vocabulary, n: usize) -> usize {
+    vocab
+        .iter()
+        .map(|(_, s)| {
+            if n == 0 && s.arity > 0 {
+                0
+            } else {
+                n.pow(s.arity as u32).max(if s.arity == 0 { 1 } else { 0 })
+            }
+        })
+        .sum()
+}
+
+/// Enumerate **every** structure over `vocab` with universe exactly `n`,
+/// invoking `f` on each — the exhaustive generator behind the effective
+/// procedures of §8 (minimal-model enumeration).
+///
+/// The number of structures is `2^t` with `t =`
+/// [`enumeration_tuple_space`]`(vocab, n)`.
+///
+/// # Panics
+/// Panics when the tuple space exceeds 24 candidate tuples (16.7M
+/// structures) — pre-check with [`enumeration_tuple_space`].
+pub fn for_each_structure(vocab: &Vocabulary, n: usize, mut f: impl FnMut(Structure)) {
+    let mut all_tuples: Vec<(usize, Vec<u32>)> = Vec::new();
+    for (id, sym) in vocab.iter() {
+        if n == 0 && sym.arity > 0 {
+            continue;
+        }
+        let mut idx = vec![0u32; sym.arity];
+        loop {
+            all_tuples.push((id.index(), idx.clone()));
+            let mut pos = sym.arity;
+            loop {
+                if pos == 0 {
+                    pos = usize::MAX;
+                    break;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if (idx[pos] as usize) < n {
+                    break;
+                }
+                idx[pos] = 0;
+                if pos == 0 {
+                    pos = usize::MAX;
+                    break;
+                }
+            }
+            if pos == usize::MAX || sym.arity == 0 {
+                break;
+            }
+        }
+    }
+    let t = all_tuples.len();
+    assert!(
+        t <= 24,
+        "exhaustive enumeration over {t} candidate tuples is infeasible; lower n"
+    );
+    for mask in 0u32..(1u32 << t) {
+        let mut s = Structure::new(vocab.clone(), n);
+        for (bit, (sym, tup)) in all_tuples.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                s.add_tuple_ids(*sym, tup).expect("generated tuple valid");
+            }
+        }
+        f(s);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,79 +231,5 @@ mod tests {
         let s = path_query_structure(3);
         assert_eq!(s.universe_size(), 4);
         assert_eq!(s.total_tuples(), 3);
-    }
-}
-
-/// The number of candidate tuples `Σ_R n^arity(R)` the exhaustive
-/// enumerator would toggle — [`for_each_structure`] visits `2^this` many
-/// structures and refuses when it exceeds 24 (use this to pre-check
-/// feasibility).
-pub fn enumeration_tuple_space(vocab: &Vocabulary, n: usize) -> usize {
-    vocab
-        .iter()
-        .map(|(_, s)| {
-            if n == 0 && s.arity > 0 {
-                0
-            } else {
-                n.pow(s.arity as u32).max(if s.arity == 0 { 1 } else { 0 })
-            }
-        })
-        .sum()
-}
-
-/// Enumerate **every** structure over `vocab` with universe exactly `n`,
-/// invoking `f` on each — the exhaustive generator behind the effective
-/// procedures of §8 (minimal-model enumeration).
-///
-/// The number of structures is `2^t` with `t =`
-/// [`enumeration_tuple_space`]`(vocab, n)`.
-///
-/// # Panics
-/// Panics when the tuple space exceeds 24 candidate tuples (16.7M
-/// structures) — pre-check with [`enumeration_tuple_space`].
-pub fn for_each_structure(vocab: &Vocabulary, n: usize, mut f: impl FnMut(Structure)) {
-    let mut all_tuples: Vec<(usize, Vec<u32>)> = Vec::new();
-    for (id, sym) in vocab.iter() {
-        if n == 0 && sym.arity > 0 {
-            continue;
-        }
-        let mut idx = vec![0u32; sym.arity];
-        loop {
-            all_tuples.push((id.index(), idx.clone()));
-            let mut pos = sym.arity;
-            loop {
-                if pos == 0 {
-                    pos = usize::MAX;
-                    break;
-                }
-                pos -= 1;
-                idx[pos] += 1;
-                if (idx[pos] as usize) < n {
-                    break;
-                }
-                idx[pos] = 0;
-                if pos == 0 {
-                    pos = usize::MAX;
-                    break;
-                }
-            }
-            if pos == usize::MAX || sym.arity == 0 {
-                break;
-            }
-        }
-    }
-    let t = all_tuples.len();
-    assert!(
-        t <= 24,
-        "exhaustive enumeration over {t} candidate tuples is infeasible; lower n"
-    );
-    for mask in 0u32..(1u32 << t) {
-        let mut s = Structure::new(vocab.clone(), n);
-        for (bit, (sym, tup)) in all_tuples.iter().enumerate() {
-            if mask & (1 << bit) != 0 {
-                s.add_tuple_ids(*sym, tup).expect("generated tuple valid");
-            }
-        }
-        f(s);
     }
 }

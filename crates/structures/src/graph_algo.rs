@@ -57,7 +57,7 @@ impl Graph {
                     } else if parent[u as usize] != v {
                         // Cycle through s of length dist[u] + dist[v] + 1.
                         let len = (dist[u as usize] + dist[v as usize] + 1) as usize;
-                        if best.map_or(true, |b| len < b) {
+                        if best.is_none_or(|b| len < b) {
                             best = Some(len);
                         }
                     }

@@ -147,7 +147,7 @@ pub fn lemma_4_2(k: usize, d: usize, m: usize) -> Bound {
 
 /// An upper bound on the hypergraph Ramsey number `r(l, k, m)` of Theorem
 /// 5.1 (colorings of k-subsets with l colors, monochromatic set of size
-/// > m), via the Erdős–Rado stepping-up recurrence
+/// exceeding m), via the Erdős–Rado stepping-up recurrence
 /// `r(l, 1, m) = l·m` and `r(l, k, m) ≤ l^( r(l, k−1, m) choose k−1 ) + k`.
 /// Only the order of magnitude matters — the experiments print it as a
 /// point of comparison.

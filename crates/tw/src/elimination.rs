@@ -121,7 +121,7 @@ fn greedy_order(g: &Graph, score: impl Fn(usize, usize) -> usize) -> Vec<u32> {
                 }
             }
             let s = score(deg, fill);
-            if best.map_or(true, |(_, bs)| s < bs) {
+            if best.is_none_or(|(_, bs)| s < bs) {
                 best = Some((v, s));
             }
         }
@@ -201,7 +201,7 @@ pub fn treewidth_exact(g: &Graph) -> usize {
         }
         let live: Vec<usize> = alive.iter().collect();
         if live.len() <= 1 {
-            *ub = (*ub).min(width_so_far.max(0));
+            *ub = (*ub).min(width_so_far);
             return;
         }
         // If everything alive fits under width_so_far as one clique bag:

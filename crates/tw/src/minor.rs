@@ -234,6 +234,7 @@ fn first_nonadjacent_pair(
             }
         }
     }
+    #[allow(clippy::needless_range_loop)] // symmetric pair scan reads best as indices
     for i in 0..h {
         for j in (i + 1)..h {
             if !adj[i][j] {

@@ -2,7 +2,7 @@
 //!
 //! A set `S` of vertices is **d-scattered** in `G` when the d-neighborhoods
 //! of its members are pairwise disjoint (equivalently: pairwise distance
-//! > 2d). The paper's theorems all reduce to: *in every sufficiently large
+//! exceeding 2d). The paper's theorems all reduce to: *in every sufficiently large
 //! graph of the class, after deleting a small set `B`, a large d-scattered
 //! set exists.* Each function here implements one such extraction,
 //! returning the promised `(B, S)` — or, for the excluded-minor
@@ -230,7 +230,7 @@ pub fn bipartite_step(g: &Graph, side_a: &BitSet, k: usize, m: usize) -> MinorFr
         }
         if best_found
             .as_ref()
-            .map_or(true, |b| chosen.len() > b.set.len())
+            .is_none_or(|b| chosen.len() > b.set.len())
         {
             best_found = Some(ScatteredSet {
                 deleted: b_prime.clone(),
@@ -252,7 +252,7 @@ pub fn bipartite_step(g: &Graph, side_a: &BitSet, k: usize, m: usize) -> MinorFr
                     .iter()
                     .filter(|&&x| a_set.contains(x as usize))
                     .count();
-                if best.map_or(true, |(_, c)| cnt > c) {
+                if best.is_none_or(|(_, c)| cnt > c) {
                     best = Some((b, cnt));
                 }
             }

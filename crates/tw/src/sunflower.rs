@@ -117,7 +117,7 @@ fn find_rec(
     let mut best: Option<(u32, usize)> = None;
     for &x in &used {
         let cnt = live.iter().filter(|&&i| residual(i).contains(&x)).count();
-        if best.map_or(true, |(_, c)| cnt > c) {
+        if best.is_none_or(|(_, c)| cnt > c) {
             best = Some((x, cnt));
         }
     }
