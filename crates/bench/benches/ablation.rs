@@ -86,7 +86,11 @@ fn bench_naive_vs_semi_naive(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(p.evaluate(&a).relations[0].len()))
         });
         g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(p.stages(&a, usize::MAX).last().unwrap()[0].len()))
+            b.iter(|| {
+                let seq = p.stages(&a, usize::MAX);
+                assert!(seq.converged);
+                std::hint::black_box(seq.last()[0].len())
+            })
         });
     }
     g.finish();

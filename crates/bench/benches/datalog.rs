@@ -1,5 +1,7 @@
-//! E10/E11 — Datalog: semi-naive evaluation scaling, Theorem 7.1 stage
-//! unfolding, and the Ajtai–Gurevich boundedness series.
+//! E10/E11/E-scale — Datalog: semi-naive evaluation scaling (seed scan
+//! joins vs. indexed joins vs. sharded parallel rounds on large random
+//! EDBs), Theorem 7.1 stage unfolding, and the Ajtai–Gurevich boundedness
+//! series.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hp_preservation::datalog::{stage_probe, stage_ucq};
@@ -11,6 +13,43 @@ fn tc() -> Program {
         &Vocabulary::digraph(),
     )
     .unwrap()
+}
+
+/// Single-source reachability over a marked-source vocabulary — the
+/// linear-output workload that scales to 10⁴-element EDBs (transitive
+/// closure's quadratic output would dominate the measurement there).
+fn reach_program() -> Program {
+    let v = Vocabulary::from_pairs([("E", 2), ("S", 1)]);
+    Program::parse("R(x) :- S(x).\nR(y) :- R(x), E(x,y).", &v).unwrap()
+}
+
+/// Deterministic xorshift64* stream so the large random-EDB families need
+/// no RNG dependency and are identical on every run.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// `n` elements, `m` random directed edges, element 0 marked as the source.
+fn random_reach_structure(n: usize, m: usize, seed: u64) -> Structure {
+    let v = Vocabulary::from_pairs([("E", 2), ("S", 1)]);
+    let mut rng = XorShift(seed | 1);
+    let mut a = Structure::new(v, n);
+    a.add_tuple_ids(1, &[0]).unwrap();
+    for _ in 0..m {
+        let u = (rng.next() % n as u64) as u32;
+        let w = (rng.next() % n as u64) as u32;
+        let _ = a.add_tuple_ids(0, &[u, w]);
+    }
+    a
 }
 
 fn tables() {
@@ -64,8 +103,75 @@ fn bench_evaluation(c: &mut Criterion) {
     for n in [16usize, 32] {
         let a = generators::directed_path(n);
         g.bench_with_input(BenchmarkId::new("tc_path_naive_stages", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(p.stages(&a, 64).len()))
+            b.iter(|| std::hint::black_box(p.stages(&a, 64).stages.len()))
         });
+    }
+    g.finish();
+}
+
+/// E-scale: the seed scan evaluator vs. the indexed engine vs. sharded
+/// parallel rounds, on path/cycle/random-digraph families from 10² to 10⁴
+/// elements. All three paths are verified to produce identical relations
+/// before timing.
+fn bench_scale(c: &mut Criterion) {
+    let sharded = EvalConfig::new().with_threads(4);
+    let mut g = c.benchmark_group("datalog_scale");
+    g.sample_size(10);
+
+    let tc = tc();
+    let tc_families: Vec<(&str, Vec<Structure>)> = vec![
+        (
+            "path_tc",
+            [128usize, 512]
+                .iter()
+                .map(|&n| generators::directed_path(n))
+                .collect(),
+        ),
+        (
+            "cycle_tc",
+            [64usize, 256]
+                .iter()
+                .map(|&n| generators::directed_cycle(n))
+                .collect(),
+        ),
+    ];
+    let reach = reach_program();
+    let reach_inputs: Vec<Structure> = [100usize, 1_000, 10_000]
+        .iter()
+        .map(|&n| random_reach_structure(n, 4 * n, 0xE5CA1E))
+        .collect();
+    let all: Vec<(&str, &Program, Vec<Structure>)> = tc_families
+        .iter()
+        .map(|(name, f)| (*name, &tc, f.clone()))
+        .chain(std::iter::once(("random_reach", &reach, reach_inputs)))
+        .collect();
+
+    for (family, p, inputs) in all {
+        for a in &inputs {
+            let n = a.universe_size();
+            let expect = p.evaluate_reference(a);
+            assert_eq!(p.evaluate(a).relations, expect.relations, "{family}/{n}");
+            assert_eq!(
+                p.evaluate_with(a, &sharded).relations,
+                expect.relations,
+                "{family}/{n}"
+            );
+            g.bench_with_input(BenchmarkId::new(format!("{family}_seed"), n), &n, |b, _| {
+                b.iter(|| std::hint::black_box(p.evaluate_reference(a).relations[0].len()))
+            });
+            g.bench_with_input(
+                BenchmarkId::new(format!("{family}_indexed"), n),
+                &n,
+                |b, _| b.iter(|| std::hint::black_box(p.evaluate(a).relations[0].len())),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("{family}_sharded4"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| std::hint::black_box(p.evaluate_with(a, &sharded).relations[0].len()))
+                },
+            );
+        }
     }
     g.finish();
 }
@@ -87,5 +193,5 @@ fn bench_unfold(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_evaluation, bench_unfold);
+criterion_group!(benches, bench_evaluation, bench_scale, bench_unfold);
 criterion_main!(benches);

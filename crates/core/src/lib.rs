@@ -75,7 +75,7 @@ pub mod prelude {
     pub use crate::synthesis::{rewrite_to_ucq, ucq_from_minimal_models, RewriteOutcome};
     pub use crate::theorem_7_4::{theorem_7_4_finite_subset, VcqkQuery};
     pub use hp_analysis::{Analyzer, Code, Diagnostics};
-    pub use hp_datalog::Program;
+    pub use hp_datalog::{EvalConfig, Program};
     pub use hp_hom::{are_homomorphically_equivalent, are_isomorphic, core_of, hom_exists};
     pub use hp_logic::{parse_formula, Cq, CqkFormula, Formula, Ucq};
     pub use hp_pebble::duplicator_wins;

@@ -31,6 +31,9 @@ pub struct BoundednessProbe {
 }
 
 /// Run the program on each structure and record the stage counts.
+///
+/// Uses uncapped evaluation, so every recorded count is a true `m₀` (the
+/// fixpoint is always reached — never a cap artefact).
 pub fn stage_probe<'a, I: IntoIterator<Item = &'a Structure>>(
     p: &Program,
     structures: I,
@@ -39,6 +42,7 @@ pub fn stage_probe<'a, I: IntoIterator<Item = &'a Structure>>(
         .into_iter()
         .map(|a| {
             let r = p.evaluate(a);
+            debug_assert!(r.converged, "uncapped evaluation reaches the fixpoint");
             BoundednessProbe {
                 universe: a.universe_size(),
                 stages: r.stages,

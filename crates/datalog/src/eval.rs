@@ -1,23 +1,112 @@
-//! Bottom-up evaluation: naive stages and semi-naive fixpoints.
+//! Bottom-up evaluation: naive stages and indexed, optionally sharded,
+//! semi-naive fixpoints.
+//!
+//! The engine has two data paths:
+//!
+//! - **naive stages** ([`Program::stages`], [`Program::apply_operator`]) —
+//!   scan-based recomputation of every stage, kept oracle-simple in
+//!   [`crate::reference`]; returns a [`StageSequence`] that says whether
+//!   the least fixpoint was actually verified within the cap;
+//! - **semi-naive fixpoints** ([`Program::evaluate`] /
+//!   [`Program::evaluate_with`]) — delta rounds driven through precomputed
+//!   join plans ([`crate::plan`]) and per-predicate hash indexes
+//!   ([`crate::index`]). With [`EvalConfig::threads`] > 1 each round's
+//!   `(rule × delta atom × delta shard)` work items run on a hand-rolled
+//!   scoped worker pool; rounds are barriers and every derived tuple lands
+//!   in an ordered set, so the result — relations *and* stage counts — is
+//!   bit-identical to the sequential evaluator for every thread count.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use hp_structures::{Elem, Structure};
 
-use crate::ast::{PredRef, Program, Rule};
+use crate::ast::{PredRef, Program};
+use crate::index::IndexPool;
+use crate::plan::{JoinStep, ProgramPlan, RulePlan};
 
 /// An IDB relation instance: a set of tuples.
 pub type IdbRelation = BTreeSet<Vec<Elem>>;
 
+/// Configuration for [`Program::evaluate_with`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalConfig {
+    /// Worker threads for the sharded semi-naive rounds. `1` (the default)
+    /// evaluates on the calling thread; `0` uses the machine's available
+    /// parallelism. Rounds seeded by few tuples skip the pool (spawn cost
+    /// would dominate). Results are **bit-identical** for every setting.
+    pub threads: usize,
+    /// Cap on the number of Φ rounds, `None` (the default) to run to the
+    /// least fixpoint. When the cap stops evaluation early the result
+    /// carries the relations of stage Φ^cap and
+    /// [`FixpointResult::converged`] is `false`.
+    pub max_stages: Option<usize>,
+    /// Rounds seeded by fewer tuples than this run on the calling thread
+    /// even when `threads > 1` (worker spawn would cost more than the
+    /// round's joins). Set to `0` to force every round onto the pool —
+    /// results are identical either way, only wall-clock changes.
+    pub parallel_min_seed: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> EvalConfig {
+        EvalConfig {
+            threads: 1,
+            max_stages: None,
+            parallel_min_seed: PARALLEL_MIN_SEED,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// The default configuration: sequential, uncapped.
+    pub fn new() -> EvalConfig {
+        EvalConfig::default()
+    }
+
+    /// Set the worker-thread count (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> EvalConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Cap the number of Φ rounds.
+    pub fn with_max_stages(mut self, max_stages: usize) -> EvalConfig {
+        self.max_stages = Some(max_stages);
+        self
+    }
+
+    /// Set the minimum seed-tuple count below which a round stays on the
+    /// calling thread (`0` forces every round onto the pool).
+    pub fn with_parallel_min_seed(mut self, parallel_min_seed: usize) -> EvalConfig {
+        self.parallel_min_seed = parallel_min_seed;
+        self
+    }
+
+    fn worker_count(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
 /// The result of evaluating a program on a structure.
 #[derive(Clone, Debug)]
 pub struct FixpointResult {
-    idb_names: Vec<String>,
+    pub(crate) idb_names: Vec<String>,
     /// Final relations, one per IDB.
     pub relations: Vec<IdbRelation>,
-    /// Number of iterations of the simultaneous operator Φ needed to reach
-    /// the least fixpoint (the `m₀` of §2.3; 0 for the empty fixpoint).
+    /// Number of iterations of the simultaneous operator Φ performed (the
+    /// `m₀` of §2.3 when `converged`; 0 for the empty fixpoint).
     pub stages: usize,
+    /// True when `relations` is the least fixpoint. Always true for
+    /// uncapped evaluation; false when [`EvalConfig::max_stages`] stopped
+    /// the rounds before the fixpoint was reached.
+    pub converged: bool,
 }
 
 impl FixpointResult {
@@ -30,189 +119,342 @@ impl FixpointResult {
     }
 }
 
+/// The naive stage sequence `Φ⁰ ⊆ Φ¹ ⊆ ⋯` of [`Program::stages`], together
+/// with whether the least fixpoint was verified.
+///
+/// The seed API returned a bare `Vec` that silently truncated at the cap —
+/// a capped prefix was indistinguishable from a converged sequence, so a
+/// wrong `m₀` could feed boundedness claims (Theorem 7.5 reasons about the
+/// true least fixpoint). `converged` makes the distinction explicit; audit
+/// any use of [`StageSequence::last`] against it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSequence {
+    /// Element `m` is `Φ^m` (element 0 is all-empty), up to and including
+    /// the last computed stage.
+    pub stages: Vec<Vec<IdbRelation>>,
+    /// True when `Φ^{m+1} = Φ^m` was **observed** for the final element —
+    /// i.e. the sequence provably reached the least fixpoint. False when
+    /// the cap stopped iteration first (the final element may or may not be
+    /// the fixpoint; it was never checked).
+    pub converged: bool,
+}
+
+impl StageSequence {
+    /// The last computed stage — the least fixpoint iff
+    /// [`StageSequence::converged`].
+    pub fn last(&self) -> &[IdbRelation] {
+        self.stages.last().expect("stage 0 always present")
+    }
+
+    /// Number of operator applications performed (the `m₀` of §2.3 when
+    /// converged).
+    pub fn applications(&self) -> usize {
+        self.stages.len() - 1
+    }
+}
+
+/// A unit of per-round work: one rule, optionally seeded by one IDB body
+/// atom reading the delta, restricted to one shard `(chunk, of)` of that
+/// seed scan.
+type WorkItem = (usize, Option<usize>, (usize, usize));
+
+/// Default for [`EvalConfig::parallel_min_seed`]: below ~2k seed tuples a
+/// round's joins are cheaper than spawning workers. The choice is a
+/// function of deterministic state (the delta sizes), and both paths
+/// compute identical ordered sets, so adaptivity cannot perturb results.
+const PARALLEL_MIN_SEED: usize = 2048;
+
+fn round_workers(workers: usize, min_seed: usize, seed_tuples: usize) -> usize {
+    if seed_tuples < min_seed {
+        1
+    } else {
+        workers
+    }
+}
+
+/// Shared read-only state for one round's work items.
+struct JoinCtx<'a> {
+    a: &'a Structure,
+    idb: &'a [IdbRelation],
+    delta: &'a [IdbRelation],
+    pool: &'a IndexPool,
+}
+
 impl Program {
-    /// All satisfying substitutions of a rule body against the given EDB
-    /// structure and IDB state, reported as head tuples. `frontier`, when
-    /// set, restricts one IDB body atom to the delta relation (semi-naive).
-    fn rule_matches(
-        &self,
-        rule: &Rule,
-        a: &Structure,
-        idb: &[IdbRelation],
-        delta: Option<(&[IdbRelation], usize)>,
-        out: &mut IdbRelation,
-    ) {
-        // Variables of the rule, dense-indexed.
-        let vars: Vec<u32> = rule.variables().into_iter().collect();
-        let vpos = |v: u32| vars.binary_search(&v).expect("rule variable");
-        let mut asg: Vec<Option<Elem>> = vec![None; vars.len()];
-        // Order body atoms: delta atom first when present (cheap seed).
-        let mut order: Vec<usize> = (0..rule.body.len()).collect();
-        if let Some((_, di)) = delta {
-            order.swap(0, di);
-        }
-        self.join(rule, a, idb, delta, &order, 0, &mut asg, &vpos, out);
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn join(
-        &self,
-        rule: &Rule,
-        a: &Structure,
-        idb: &[IdbRelation],
-        delta: Option<(&[IdbRelation], usize)>,
-        order: &[usize],
-        depth: usize,
-        asg: &mut Vec<Option<Elem>>,
-        vpos: &dyn Fn(u32) -> usize,
-        out: &mut IdbRelation,
-    ) {
-        if depth == order.len() {
-            let tuple: Vec<Elem> = rule
-                .head
-                .args
-                .iter()
-                .map(|&v| asg[vpos(v)].expect("safe rule binds head vars"))
-                .collect();
-            out.insert(tuple);
-            return;
-        }
-        let atom = &rule.body[order[depth]];
-        let is_delta_atom =
-            delta.is_some_and(|(_, di)| order[depth] == di) && matches!(atom.pred, PredRef::Idb(_));
-        // Iterate candidate tuples for this atom.
-        let try_tuple =
-            |t: &[Elem], asg: &mut Vec<Option<Elem>>, s: &Program, out: &mut IdbRelation| {
-                let mut touched: Vec<usize> = Vec::new();
-                let mut ok = true;
-                for (i, &v) in atom.args.iter().enumerate() {
-                    let p = vpos(v);
-                    match asg[p] {
-                        Some(e) if e == t[i] => {}
-                        Some(_) => {
-                            ok = false;
-                            break;
-                        }
-                        None => {
-                            asg[p] = Some(t[i]);
-                            touched.push(p);
-                        }
-                    }
-                }
-                if ok {
-                    s.join(rule, a, idb, delta, order, depth + 1, asg, vpos, out);
-                }
-                for p in touched {
-                    asg[p] = None;
-                }
-            };
-        match atom.pred {
-            PredRef::Edb(sym) => {
-                for t in a.relation(sym).iter() {
-                    try_tuple(t, asg, self, out);
-                }
-            }
-            PredRef::Idb(i) => {
-                let rel: &IdbRelation = if is_delta_atom {
-                    &delta.expect("delta set").0[i]
-                } else {
-                    &idb[i]
-                };
-                // Clone-free iteration: BTreeSet iter.
-                for t in rel.iter() {
-                    try_tuple(t, asg, self, out);
-                }
-            }
-        }
-    }
-
     /// One application of the simultaneous monotone operator Φ (§2.3).
     pub fn apply_operator(&self, a: &Structure, idb: &[IdbRelation]) -> Vec<IdbRelation> {
-        let mut next: Vec<IdbRelation> = vec![BTreeSet::new(); self.idbs().len()];
-        for rule in self.rules() {
-            let PredRef::Idb(h) = rule.head.pred else {
-                unreachable!("validated")
-            };
-            let mut out = BTreeSet::new();
-            self.rule_matches(rule, a, idb, None, &mut out);
-            next[h].extend(out);
-        }
-        next
+        self.apply_operator_with(&ProgramPlan::new(self), a, idb)
     }
 
-    /// The naive stage sequence `Φ⁰ ⊆ Φ¹ ⊆ ⋯` up to (and including) the
-    /// least fixpoint, capped at `max_stages` applications. Element `m` of
-    /// the returned vector is `Φ^m` (so element 0 is all-empty).
-    pub fn stages(&self, a: &Structure, max_stages: usize) -> Vec<Vec<IdbRelation>> {
-        let mut out = vec![vec![BTreeSet::new(); self.idbs().len()]];
+    /// The naive stage sequence `Φ⁰ ⊆ Φ¹ ⊆ ⋯`, capped at `max_stages`
+    /// applications. The result says whether the least fixpoint was reached
+    /// within the cap — a capped prefix no longer masquerades as `Φ^{m₀}`.
+    pub fn stages(&self, a: &Structure, max_stages: usize) -> StageSequence {
+        let plan = ProgramPlan::new(self);
+        let mut stages = vec![vec![BTreeSet::new(); self.idbs().len()]];
+        let mut converged = false;
         for _ in 0..max_stages {
-            let cur = out.last().expect("non-empty");
-            let next = self.apply_operator(a, cur);
+            let cur = stages.last().expect("non-empty");
+            let next = self.apply_operator_with(&plan, a, cur);
             if &next == cur {
+                converged = true;
                 break;
             }
-            out.push(next);
+            stages.push(next);
         }
-        out
+        StageSequence { stages, converged }
     }
 
-    /// Semi-naive evaluation to the least fixpoint. Also records the stage
-    /// count of the **naive** operator (which is what boundedness is about)
-    /// by counting delta rounds — for Datalog the two coincide: the
-    /// semi-naive rounds compute exactly the naive stages.
+    /// Semi-naive evaluation to the least fixpoint with the default
+    /// configuration (sequential, uncapped). Also records the stage count
+    /// of the **naive** operator (which is what boundedness is about) by
+    /// counting delta rounds — for Datalog the two coincide: the semi-naive
+    /// rounds compute exactly the naive stages.
     pub fn evaluate(&self, a: &Structure) -> FixpointResult {
+        self.evaluate_with(a, &EvalConfig::default())
+    }
+
+    /// Semi-naive evaluation through the indexed join core, with optional
+    /// sharded parallel rounds and an optional stage cap. See
+    /// [`EvalConfig`]; results are bit-identical across thread counts.
+    pub fn evaluate_with(&self, a: &Structure, cfg: &EvalConfig) -> FixpointResult {
+        let plan = ProgramPlan::new(self);
+        let workers = cfg.worker_count().max(1);
+        let chunks = workers;
         let n_idb = self.idbs().len();
         let mut idb: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
         let mut delta: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
-        // Round 0: rules evaluated on empty IDBs (EDB-only derivations and
-        // empty-body facts).
-        for rule in self.rules() {
-            let PredRef::Idb(h) = rule.head.pred else {
-                unreachable!()
+        let mut pool = IndexPool::new(&plan, a);
+        // Round 0: every rule against the empty IDBs (EDB-only derivations
+        // and empty-body facts). Everything derived is new.
+        {
+            let items: Vec<WorkItem> = (0..plan.rules.len())
+                .flat_map(|ri| (0..chunks).map(move |c| (ri, None, (c, chunks))))
+                .collect();
+            let ctx = JoinCtx {
+                a,
+                idb: &idb,
+                delta: &delta,
+                pool: &pool,
             };
-            let mut out = BTreeSet::new();
-            self.rule_matches(rule, a, &idb, None, &mut out);
-            for t in out {
-                if !idb[h].contains(&t) {
-                    delta[h].insert(t);
-                }
+            let edb_tuples: usize = a.relations().map(|(_, r)| r.len()).sum();
+            let w = round_workers(workers, cfg.parallel_min_seed, edb_tuples);
+            for (h, out) in run_round(&plan, &ctx, &items, w) {
+                delta[h].extend(out);
             }
         }
         let mut stages = 0;
-        while delta.iter().any(|d| !d.is_empty()) {
-            stages += 1;
-            for (h, d) in delta.iter().enumerate() {
-                idb[h].extend(d.iter().cloned());
-                let _ = h;
+        let converged = loop {
+            if delta.iter().all(|d| d.is_empty()) {
+                break true;
             }
+            if cfg.max_stages.is_some_and(|cap| stages >= cap) {
+                break false;
+            }
+            stages += 1;
+            pool.absorb(&plan, &delta);
+            for (acc, d) in idb.iter_mut().zip(&delta) {
+                acc.extend(d.iter().cloned());
+            }
+            // One work item per (rule, IDB body atom, delta shard): the
+            // standard semi-naive split, sharded for the pool.
+            let items: Vec<WorkItem> = plan
+                .rules
+                .iter()
+                .enumerate()
+                .flat_map(|(ri, rp)| {
+                    rp.idb_atoms
+                        .iter()
+                        .flat_map(move |&bi| (0..chunks).map(move |c| (ri, Some(bi), (c, chunks))))
+                })
+                .collect();
+            let ctx = JoinCtx {
+                a,
+                idb: &idb,
+                delta: &delta,
+                pool: &pool,
+            };
+            let delta_tuples: usize = delta.iter().map(BTreeSet::len).sum();
+            let w = round_workers(workers, cfg.parallel_min_seed, delta_tuples);
+            let results = run_round(&plan, &ctx, &items, w);
             let mut next_delta: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
-            for rule in self.rules() {
-                let PredRef::Idb(h) = rule.head.pred else {
-                    unreachable!()
-                };
-                // For each IDB body atom, run with that atom restricted to
-                // the delta (standard semi-naive split).
-                for (bi, batom) in rule.body.iter().enumerate() {
-                    if !matches!(batom.pred, PredRef::Idb(_)) {
-                        continue;
-                    }
-                    let mut out = BTreeSet::new();
-                    self.rule_matches(rule, a, &idb, Some((&delta, bi)), &mut out);
-                    for t in out {
-                        if !idb[h].contains(&t) {
-                            next_delta[h].insert(t);
-                        }
+            for (h, out) in results {
+                for t in out {
+                    if !idb[h].contains(&t) {
+                        next_delta[h].insert(t);
                     }
                 }
             }
             delta = next_delta;
-        }
+        };
         FixpointResult {
             idb_names: self.idbs().iter().map(|(n, _)| n.clone()).collect(),
             relations: idb,
             stages,
+            converged,
         }
     }
+}
+
+/// Run one round's work items, sequentially or on the scoped pool, and
+/// return each item's `(head IDB, derived tuples)`. Items are independent
+/// and the per-item outputs are ordered sets, so the merge is deterministic
+/// regardless of scheduling.
+fn run_round(
+    plan: &ProgramPlan,
+    ctx: &JoinCtx<'_>,
+    items: &[WorkItem],
+    workers: usize,
+) -> Vec<(usize, IdbRelation)> {
+    let run_one = |&(ri, delta_atom, chunk): &WorkItem| -> (usize, IdbRelation) {
+        let rp = &plan.rules[ri];
+        let mut out = IdbRelation::new();
+        run_item(ctx, rp, delta_atom, chunk, &mut out);
+        (rp.head, out)
+    };
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(run_one).collect();
+    }
+    // Hand-rolled scoped pool: workers pull item indices from an atomic
+    // cursor (cheap dynamic load balancing) and stash `(index, result)`
+    // pairs; results are re-ordered by item index afterwards so the round
+    // is deterministic by construction.
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, (usize, IdbRelation))>> =
+        Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(items.len()) {
+            s.spawn(|| {
+                let mut local: Vec<(usize, (usize, IdbRelation))> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, run_one(&items[i])));
+                }
+                collected
+                    .lock()
+                    .expect("no worker panics while holding the results lock")
+                    .extend(local);
+            });
+        }
+    });
+    let mut results = collected
+        .into_inner()
+        .expect("workers joined without panicking");
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Evaluate one work item: all satisfying substitutions of the rule along
+/// the precomputed join order for its seeding variant, with the seed scan
+/// restricted to the item's shard.
+fn run_item(
+    ctx: &JoinCtx<'_>,
+    rp: &RulePlan,
+    delta_atom: Option<usize>,
+    chunk: (usize, usize),
+    out: &mut IdbRelation,
+) {
+    let steps = match delta_atom {
+        None => &rp.seed_order,
+        Some(d) => rp.delta_orders[d]
+            .as_ref()
+            .expect("delta atom is an IDB atom"),
+    };
+    let mut asg = vec![Elem(0); rp.var_count];
+    join(ctx, rp, steps, delta_atom, chunk, 0, &mut asg, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join(
+    ctx: &JoinCtx<'_>,
+    rp: &RulePlan,
+    steps: &[JoinStep],
+    delta_atom: Option<usize>,
+    chunk: (usize, usize),
+    depth: usize,
+    asg: &mut Vec<Elem>,
+    out: &mut IdbRelation,
+) {
+    if depth == steps.len() {
+        let tuple: Vec<Elem> = rp.head_args.iter().map(|&s| asg[s]).collect();
+        out.insert(tuple);
+        return;
+    }
+    let step = &steps[depth];
+    if let Some(spec) = step.index {
+        // Hash probe on exactly the bound positions; candidates satisfy the
+        // bound equalities by construction of the key.
+        let key: Vec<Elem> = step.bound.iter().map(|&(_, s)| asg[s]).collect();
+        for t in ctx.pool.get(spec).probe(&key) {
+            advance(ctx, rp, steps, delta_atom, chunk, depth, asg, out, t, false);
+        }
+        return;
+    }
+    // Scan path: the whole relation (nothing bound, or this is the delta
+    // atom). The seed scan at depth 0 is the sharding point: each work item
+    // visits only its residue class of the scan.
+    let (shard, of) = if depth == 0 { chunk } else { (0, 1) };
+    let atom = &rp.atoms[step.atom];
+    match atom.pred {
+        PredRef::Edb(sym) => {
+            for (i, t) in ctx.a.relation(sym).iter().enumerate() {
+                if i % of == shard {
+                    advance(ctx, rp, steps, delta_atom, chunk, depth, asg, out, t, true);
+                }
+            }
+        }
+        PredRef::Idb(p) => {
+            let rel: &IdbRelation = if delta_atom == Some(step.atom) {
+                &ctx.delta[p]
+            } else {
+                &ctx.idb[p]
+            };
+            for (i, t) in rel.iter().enumerate() {
+                if i % of == shard {
+                    advance(ctx, rp, steps, delta_atom, chunk, depth, asg, out, t, true);
+                }
+            }
+        }
+    }
+}
+
+/// Check one candidate tuple against the step's repeat (and, for scans,
+/// bound) constraints, bind its fresh variables, and recurse. No rollback
+/// is needed: the plan statically guarantees deeper steps only read slots
+/// bound on their prefix.
+#[allow(clippy::too_many_arguments)]
+fn advance(
+    ctx: &JoinCtx<'_>,
+    rp: &RulePlan,
+    steps: &[JoinStep],
+    delta_atom: Option<usize>,
+    chunk: (usize, usize),
+    depth: usize,
+    asg: &mut Vec<Elem>,
+    out: &mut IdbRelation,
+    t: &[Elem],
+    check_bound: bool,
+) {
+    let step = &steps[depth];
+    if check_bound {
+        for &(i, s) in &step.bound {
+            if t[i] != asg[s] {
+                return;
+            }
+        }
+    }
+    for &(i, j) in &step.repeats {
+        if t[i] != t[j] {
+            return;
+        }
+    }
+    for &(i, s) in &step.binds {
+        asg[s] = t[i];
+    }
+    join(ctx, rp, steps, delta_atom, chunk, depth + 1, asg, out);
 }
 
 #[cfg(test)]
@@ -236,6 +478,7 @@ mod tests {
         assert!(r.idb("T").unwrap().contains(&vec![Elem(0), Elem(4)]));
         assert!(!r.idb("T").unwrap().contains(&vec![Elem(4), Elem(0)]));
         assert!(r.idb("U").is_none());
+        assert!(r.converged);
     }
 
     #[test]
@@ -250,11 +493,11 @@ mod tests {
         for seed in 0..8 {
             let a = random_digraph(7, 12, seed);
             let naive = p.stages(&a, 64);
-            let fixpoint = naive.last().unwrap();
+            assert!(naive.converged, "seed {seed}");
             let semi = p.evaluate(&a);
-            assert_eq!(&semi.relations, fixpoint, "seed {seed}");
+            assert_eq!(&semi.relations[..], naive.last(), "seed {seed}");
             // Stage counts agree: stages() returns Φ^0..Φ^{m0}.
-            assert_eq!(naive.len() - 1, semi.stages, "seed {seed}");
+            assert_eq!(naive.applications(), semi.stages, "seed {seed}");
         }
     }
 
@@ -263,20 +506,48 @@ mod tests {
         let p = tc();
         let a = directed_path(6);
         let st = p.stages(&a, 64);
-        for w in st.windows(2) {
+        for w in st.stages.windows(2) {
             for (r0, r1) in w[0].iter().zip(&w[1]) {
                 assert!(r0.is_subset(r1));
             }
         }
-        // Path of length 5: TC needs 5 stages.
-        assert_eq!(st.len() - 1, 5);
+        // Path of length 5: TC needs 5 stages, verified as the fixpoint.
+        assert_eq!(st.applications(), 5);
+        assert!(st.converged);
     }
 
     #[test]
-    fn stage_cap_respected() {
+    fn stage_cap_is_not_silent() {
         let p = tc();
+        // The old failure shape: TC of a 9-edge path needs 9 stages; a cap
+        // of 3 used to hand back Φ^0..Φ^3 looking exactly like a converged
+        // sequence. Now the truncation is explicit.
         let st = p.stages(&directed_path(10), 3);
-        assert_eq!(st.len(), 4); // Φ^0..Φ^3
+        assert_eq!(st.stages.len(), 4); // Φ^0..Φ^3
+        assert!(!st.converged, "cap hit must not report convergence");
+        // Exactly at the fixpoint the equality check still runs: cap 9
+        // computes Φ^9 but cannot verify it, cap 10 proves it.
+        assert!(!p.stages(&directed_path(10), 9).converged);
+        let verified = p.stages(&directed_path(10), 10);
+        assert!(verified.converged);
+        assert_eq!(verified.applications(), 9);
+    }
+
+    #[test]
+    fn capped_evaluate_reports_non_convergence() {
+        let p = tc();
+        let a = directed_path(8);
+        let full = p.evaluate(&a);
+        assert!(full.converged);
+        assert_eq!(full.stages, 7);
+        for cap in 0..=7 {
+            let r = p.evaluate_with(&a, &EvalConfig::new().with_max_stages(cap));
+            assert_eq!(r.converged, cap >= 7, "cap {cap}");
+            assert_eq!(r.stages, cap.min(7), "cap {cap}");
+            // Capped relations are exactly the naive stage Φ^cap.
+            let naive = p.stages(&a, cap);
+            assert_eq!(&r.relations[..], naive.last(), "cap {cap}");
+        }
     }
 
     #[test]
@@ -310,6 +581,7 @@ mod tests {
         let r = p.evaluate(&a);
         assert!(r.idb("T").unwrap().is_empty());
         assert_eq!(r.stages, 0);
+        assert!(r.converged);
     }
 
     #[test]
@@ -321,5 +593,69 @@ mod tests {
         let r = p.evaluate(&a);
         assert_eq!(r.idb("L").unwrap().len(), 1);
         assert!(r.idb("L").unwrap().contains(&vec![Elem(1)]));
+    }
+
+    #[test]
+    fn nonlinear_rule_with_duplicate_idb_atoms() {
+        // Nonlinear TC: both body atoms are the same IDB predicate, so each
+        // round runs two delta variants of the same rule.
+        let p = Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- T(x,z), T(z,y).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let a = directed_path(6);
+        let r = p.evaluate(&a);
+        assert_eq!(r.idb("T").unwrap().len(), 15);
+        let naive = p.stages(&a, 16);
+        assert!(naive.converged);
+        assert_eq!(&r.relations[..], naive.last());
+        // Nonlinear TC doubles the frontier distance per round: the 5-edge
+        // path converges in 4 rounds, not 5 — and semi-naive delta rounds
+        // count exactly the naive stages.
+        assert_eq!(r.stages, naive.applications());
+        assert_eq!(r.stages, 4);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical() {
+        let programs = [
+            tc(),
+            Program::parse(
+                "T(x,y) :- E(x,y).\nT(x,y) :- T(x,z), T(z,y).",
+                &Vocabulary::digraph(),
+            )
+            .unwrap(),
+            Program::parse("Goal() :- E(x,y), E(y,x).", &Vocabulary::digraph()).unwrap(),
+        ];
+        for p in &programs {
+            for seed in 0..4 {
+                let a = random_digraph(12, 30, seed);
+                let sequential = p.evaluate(&a);
+                for threads in [2usize, 4, 0] {
+                    // min_seed 0 forces every round onto the pool — the
+                    // structures here are far below the adaptive threshold.
+                    let cfg = EvalConfig::new()
+                        .with_threads(threads)
+                        .with_parallel_min_seed(0);
+                    let par = p.evaluate_with(&a, &cfg);
+                    assert_eq!(par.relations, sequential.relations, "threads {threads}");
+                    assert_eq!(par.stages, sequential.stages, "threads {threads}");
+                    assert_eq!(par.converged, sequential.converged);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_evaluator_agrees_with_indexed() {
+        let p = tc();
+        for seed in 0..6 {
+            let a = random_digraph(9, 20, seed);
+            let reference = p.evaluate_reference(&a);
+            let indexed = p.evaluate(&a);
+            assert_eq!(reference.relations, indexed.relations, "seed {seed}");
+            assert_eq!(reference.stages, indexed.stages, "seed {seed}");
+        }
     }
 }

@@ -1,0 +1,146 @@
+//! Per-predicate hash indexes keyed on bound argument positions.
+//!
+//! The [`ProgramPlan`](crate::plan::ProgramPlan) knows, statically, every
+//! `(predicate, bound positions)` combination the join orders probe. An
+//! [`IndexPool`] materializes one [`TupleIndex`] per such spec: EDB indexes
+//! are built once per evaluation (the input structure never changes), IDB
+//! indexes grow **incrementally** — each delta round folds exactly the
+//! newly derived tuples in, so maintaining them costs `O(Σ|Δ|)` over the
+//! whole fixpoint instead of `O(rounds × |IDB|)` rebuilds.
+
+use std::collections::HashMap;
+
+use hp_structures::{Elem, Structure};
+
+use crate::ast::PredRef;
+use crate::eval::IdbRelation;
+use crate::plan::ProgramPlan;
+
+/// A hash index over one relation: key = the tuple projected to
+/// `key_positions`, value = every tuple with that key.
+#[derive(Clone, Debug)]
+pub(crate) struct TupleIndex {
+    key_positions: Vec<usize>,
+    map: HashMap<Vec<Elem>, Vec<Vec<Elem>>>,
+}
+
+impl TupleIndex {
+    fn new(key_positions: Vec<usize>) -> TupleIndex {
+        TupleIndex {
+            key_positions,
+            map: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, t: &[Elem]) {
+        let key: Vec<Elem> = self.key_positions.iter().map(|&p| t[p]).collect();
+        self.map.entry(key).or_default().push(t.to_vec());
+    }
+
+    /// All tuples whose projection to the key positions equals `key`.
+    pub fn probe(&self, key: &[Elem]) -> &[Vec<Elem>] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// All indexes one evaluation needs, aligned with
+/// [`ProgramPlan::index_specs`].
+pub(crate) struct IndexPool {
+    indexes: Vec<TupleIndex>,
+}
+
+impl IndexPool {
+    /// Build the pool: EDB indexes are filled from the input structure,
+    /// IDB indexes start empty (mirroring the empty stage Φ⁰).
+    pub fn new(plan: &ProgramPlan, a: &Structure) -> IndexPool {
+        let mut indexes: Vec<TupleIndex> = plan
+            .index_specs
+            .iter()
+            .map(|s| TupleIndex::new(s.key_positions.clone()))
+            .collect();
+        for (idx, spec) in plan.index_specs.iter().enumerate() {
+            if let PredRef::Edb(sym) = spec.pred {
+                for t in a.relation(sym).iter() {
+                    indexes[idx].insert(t);
+                }
+            }
+        }
+        IndexPool { indexes }
+    }
+
+    /// Fold one round's newly derived tuples into the IDB indexes, which
+    /// then mirror `idb ∪ delta`. Call exactly once per delta round, right
+    /// when the delta is merged into the accumulated relations.
+    pub fn absorb(&mut self, plan: &ProgramPlan, delta: &[IdbRelation]) {
+        for (idx, spec) in plan.index_specs.iter().enumerate() {
+            if let PredRef::Idb(i) = spec.pred {
+                for t in &delta[i] {
+                    self.indexes[idx].insert(t);
+                }
+            }
+        }
+    }
+
+    /// The index for spec `idx`.
+    pub fn get(&self, idx: usize) -> &TupleIndex {
+        &self.indexes[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Program;
+    use hp_structures::generators::directed_path;
+    use hp_structures::Vocabulary;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn edb_index_probes_by_position() {
+        let p = Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let plan = ProgramPlan::new(&p);
+        let a = directed_path(4);
+        let pool = IndexPool::new(&plan, &a);
+        // The TC delta order probes E on its second position; edges into
+        // element 2 = {(1,2)}.
+        let spec = plan
+            .index_specs
+            .iter()
+            .position(|s| matches!(s.pred, PredRef::Edb(_)) && s.key_positions == vec![1])
+            .expect("E indexed on position 1");
+        let hits = pool.get(spec).probe(&[Elem(2)]);
+        assert_eq!(hits, [vec![Elem(1), Elem(2)]]);
+        assert!(pool.get(spec).probe(&[Elem(0)]).is_empty());
+    }
+
+    #[test]
+    fn idb_indexes_absorb_deltas_incrementally() {
+        let p = Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- T(x,z), T(z,y).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let plan = ProgramPlan::new(&p);
+        let a = directed_path(3);
+        let mut pool = IndexPool::new(&plan, &a);
+        let spec = plan
+            .index_specs
+            .iter()
+            .position(|s| matches!(s.pred, PredRef::Idb(0)))
+            .expect("T is indexed (nonlinear rule)");
+        assert!(pool.get(spec).probe(&[Elem(1)]).is_empty());
+        let mut delta: Vec<IdbRelation> = vec![BTreeSet::new()];
+        delta[0].insert(vec![Elem(0), Elem(1)]);
+        pool.absorb(&plan, &delta);
+        delta[0].clear();
+        delta[0].insert(vec![Elem(2), Elem(1)]);
+        pool.absorb(&plan, &delta);
+        let key = plan.index_specs[spec].key_positions.clone();
+        let probe_key = if key == vec![0] { Elem(0) } else { Elem(1) };
+        assert!(!pool.get(spec).probe(&[probe_key]).is_empty());
+    }
+}

@@ -6,8 +6,11 @@
 //! - positive Datalog programs with EDB/IDB predicates, a text parser, and
 //!   the **total-distinct-variable count** that defines k-Datalog;
 //! - bottom-up evaluation: **naive** stages `Φ⁰, Φ¹, …` (the monotone
-//!   operator of §2.3, used for stage counting) and **semi-naive**
-//!   fixpoints (used for speed);
+//!   operator of §2.3, used for stage counting — with explicit convergence
+//!   reporting, see [`StageSequence`]) and **semi-naive** fixpoints driven
+//!   through precomputed join plans and per-predicate hash indexes, with
+//!   optional sharded parallel delta rounds ([`EvalConfig`]) that are
+//!   bit-identical to sequential evaluation;
 //! - **Theorem 7.1** made executable: the m-th stage of a k-Datalog program
 //!   unfolded into a finite disjunction of `CQ^k` formulas
 //!   ([`stage_formula`] / [`stage_ucq`]);
@@ -43,11 +46,14 @@ mod bounded;
 mod error;
 mod eval;
 pub mod gallery;
+mod index;
 mod parser;
+mod plan;
+mod reference;
 mod unfold;
 
 pub use ast::{DatalogAtom, PredRef, Program, Rule};
 pub use bounded::{certified_bounded_at, certified_boundedness, stage_probe, BoundednessProbe};
 pub use error::{DatalogError, DatalogErrorKind, DatalogSpan};
-pub use eval::{FixpointResult, IdbRelation};
+pub use eval::{EvalConfig, FixpointResult, IdbRelation, StageSequence};
 pub use unfold::{stage_formula, stage_formulas, stage_ucq, stages_agree};

@@ -1,0 +1,299 @@
+//! Precomputed join plans: dense per-rule variable numbering, atom join
+//! orders chosen by bound-variable selectivity, and the hash-index key
+//! specifications those orders probe.
+//!
+//! The seed evaluator recomputed `rule.variables()` (and a fresh
+//! binary-search closure over it) on **every** `rule_matches` invocation of
+//! every delta round. A [`ProgramPlan`] hoists all of that: it is built once
+//! per evaluation and shared — immutably, so also across worker threads —
+//! by every round.
+//!
+//! For each rule we precompute one join order per "seeding" variant: the
+//! naive variant (no atom restricted to a delta, used by round 0 and the
+//! naive operator) and one variant per IDB body atom (the semi-naive work
+//! items, where that occurrence reads the delta relation and is scanned
+//! first). Orders are greedy: after the seed, repeatedly pick the atom with
+//! the most argument positions over already-bound variables (ties prefer
+//! EDB atoms, then source order), so each step can be answered by a hash
+//! index keyed on exactly those bound positions.
+
+use std::cmp::Reverse;
+
+use crate::ast::{PredRef, Program, Rule};
+
+/// Key specification for one hash index: a predicate together with the
+/// sorted tuple positions the key is drawn from. Interned per program so
+/// equal specs across rules share one physical index.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) struct IndexSpec {
+    /// Indexed predicate.
+    pub pred: PredRef,
+    /// Sorted tuple positions forming the key.
+    pub key_positions: Vec<usize>,
+}
+
+/// One body atom with its arguments renumbered to dense rule-local slots.
+#[derive(Clone, Debug)]
+pub(crate) struct AtomPlan {
+    /// The predicate.
+    pub pred: PredRef,
+    /// Dense variable slot of each argument position.
+    pub args: Vec<usize>,
+}
+
+/// One step of a join order: which atom to join next and how each of its
+/// argument positions behaves at that point of the order.
+#[derive(Clone, Debug)]
+pub(crate) struct JoinStep {
+    /// Body atom index this step joins.
+    pub atom: usize,
+    /// `(argument position, slot)` pairs whose variable is already bound by
+    /// earlier steps, in argument-position order — these form the probe key.
+    pub bound: Vec<(usize, usize)>,
+    /// `(argument position, slot)` pairs binding a variable for the first
+    /// time.
+    pub binds: Vec<(usize, usize)>,
+    /// `(later, earlier)` argument positions carrying the same — hitherto
+    /// unbound — variable within this atom: candidate tuples must agree.
+    pub repeats: Vec<(usize, usize)>,
+    /// Index into [`ProgramPlan::index_specs`] to probe with the values of
+    /// `bound`, or `None` to scan the whole relation (nothing bound yet, or
+    /// the step reads a delta relation).
+    pub index: Option<usize>,
+}
+
+/// Everything the join core needs to know about one rule, precomputed.
+#[derive(Clone, Debug)]
+pub(crate) struct RulePlan {
+    /// IDB index of the head predicate.
+    pub head: usize,
+    /// Dense slot of each head argument.
+    pub head_args: Vec<usize>,
+    /// Number of dense variable slots in the rule.
+    pub var_count: usize,
+    /// Body atoms with dense argument slots.
+    pub atoms: Vec<AtomPlan>,
+    /// Join order when no atom is restricted to a delta (round 0, naive Φ).
+    pub seed_order: Vec<JoinStep>,
+    /// Join order seeded by each body atom as the delta atom, aligned with
+    /// `atoms`; `None` for EDB atoms.
+    pub delta_orders: Vec<Option<Vec<JoinStep>>>,
+    /// Body atom indices that are IDB atoms — the semi-naive work items.
+    pub idb_atoms: Vec<usize>,
+}
+
+/// Per-program metadata for the indexed join core: one [`RulePlan`] per
+/// rule plus the interned set of index specs the orders probe.
+#[derive(Clone, Debug)]
+pub(crate) struct ProgramPlan {
+    /// Rule plans, aligned with [`Program::rules`].
+    pub rules: Vec<RulePlan>,
+    /// Interned index-key specs referenced by [`JoinStep::index`].
+    pub index_specs: Vec<IndexSpec>,
+}
+
+impl ProgramPlan {
+    /// Build the plan for a validated program.
+    pub fn new(p: &Program) -> ProgramPlan {
+        let mut index_specs: Vec<IndexSpec> = Vec::new();
+        let rules = p
+            .rules()
+            .iter()
+            .map(|r| RulePlan::new(r, &mut index_specs))
+            .collect();
+        ProgramPlan { rules, index_specs }
+    }
+}
+
+impl RulePlan {
+    fn new(rule: &Rule, specs: &mut Vec<IndexSpec>) -> RulePlan {
+        let vars: Vec<u32> = rule.variables().into_iter().collect();
+        let slot = |v: u32| vars.binary_search(&v).expect("rule variable");
+        let atoms: Vec<AtomPlan> = rule
+            .body
+            .iter()
+            .map(|a| AtomPlan {
+                pred: a.pred,
+                args: a.args.iter().map(|&v| slot(v)).collect(),
+            })
+            .collect();
+        let PredRef::Idb(head) = rule.head.pred else {
+            unreachable!("validated: rule heads are IDB atoms")
+        };
+        let idb_atoms: Vec<usize> = atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a.pred, PredRef::Idb(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let seed_order = plan_steps(&atoms, vars.len(), None, specs);
+        let delta_orders = (0..atoms.len())
+            .map(|i| {
+                idb_atoms
+                    .contains(&i)
+                    .then(|| plan_steps(&atoms, vars.len(), Some(i), specs))
+            })
+            .collect();
+        RulePlan {
+            head,
+            head_args: rule.head.args.iter().map(|&v| slot(v)).collect(),
+            var_count: vars.len(),
+            atoms,
+            seed_order,
+            delta_orders,
+            idb_atoms,
+        }
+    }
+}
+
+/// Choose a greedy join order seeded by `seed` (the delta atom, scanned
+/// first) and derive the per-step classification and index specs.
+fn plan_steps(
+    atoms: &[AtomPlan],
+    var_count: usize,
+    seed: Option<usize>,
+    specs: &mut Vec<IndexSpec>,
+) -> Vec<JoinStep> {
+    let mut order: Vec<usize> = Vec::new();
+    let mut used = vec![false; atoms.len()];
+    let mut bound_var = vec![false; var_count];
+    if let Some(s) = seed {
+        used[s] = true;
+        order.push(s);
+        for &v in &atoms[s].args {
+            bound_var[v] = true;
+        }
+    }
+    while order.len() < atoms.len() {
+        let next = (0..atoms.len())
+            .filter(|&ai| !used[ai])
+            .max_by_key(|&ai| {
+                let bound = atoms[ai].args.iter().filter(|&&s| bound_var[s]).count();
+                (
+                    bound,
+                    matches!(atoms[ai].pred, PredRef::Edb(_)),
+                    Reverse(ai),
+                )
+            })
+            .expect("unused atom remains");
+        used[next] = true;
+        order.push(next);
+        for &v in &atoms[next].args {
+            bound_var[v] = true;
+        }
+    }
+    // Derive the step classifications along the chosen order.
+    let mut bound_var = vec![false; var_count];
+    order
+        .iter()
+        .map(|&ai| {
+            let atom = &atoms[ai];
+            let mut bound = Vec::new();
+            let mut binds: Vec<(usize, usize)> = Vec::new();
+            let mut repeats = Vec::new();
+            for (i, &s) in atom.args.iter().enumerate() {
+                if bound_var[s] {
+                    bound.push((i, s));
+                } else if let Some(&(j, _)) = binds.iter().find(|&&(_, t)| t == s) {
+                    repeats.push((i, j));
+                } else {
+                    binds.push((i, s));
+                }
+            }
+            for &(_, s) in &binds {
+                bound_var[s] = true;
+            }
+            // The delta atom (always at depth 0) reads the per-round delta
+            // relation, which is scanned, never indexed; any other step with
+            // at least one bound position probes a hash index on exactly
+            // those positions.
+            let reads_delta = seed == Some(ai);
+            let index = (!bound.is_empty() && !reads_delta)
+                .then(|| intern(specs, atom.pred, bound.iter().map(|&(i, _)| i).collect()));
+            JoinStep {
+                atom: ai,
+                bound,
+                binds,
+                repeats,
+                index,
+            }
+        })
+        .collect()
+}
+
+fn intern(specs: &mut Vec<IndexSpec>, pred: PredRef, key_positions: Vec<usize>) -> usize {
+    if let Some(i) = specs
+        .iter()
+        .position(|s| s.pred == pred && s.key_positions == key_positions)
+    {
+        i
+    } else {
+        specs.push(IndexSpec {
+            pred,
+            key_positions,
+        });
+        specs.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::Vocabulary;
+
+    fn tc() -> Program {
+        Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tc_plan_shape() {
+        let plan = ProgramPlan::new(&tc());
+        assert_eq!(plan.rules.len(), 2);
+        let r1 = &plan.rules[1];
+        assert_eq!(r1.var_count, 3);
+        assert_eq!(r1.idb_atoms, vec![1]);
+        // Delta order for the T(z,y) atom: T first, then E probed on its
+        // second position (z bound).
+        let steps = r1.delta_orders[1].as_ref().unwrap();
+        assert_eq!(steps[0].atom, 1);
+        assert!(steps[0].index.is_none());
+        assert_eq!(steps[1].atom, 0);
+        let spec = &plan.index_specs[steps[1].index.unwrap()];
+        assert_eq!(spec.key_positions, vec![1]);
+    }
+
+    #[test]
+    fn repeated_variable_within_atom_is_a_repeat_check() {
+        let p = Program::parse("L(x) :- E(x,x).", &Vocabulary::digraph()).unwrap();
+        let plan = ProgramPlan::new(&p);
+        let step = &plan.rules[0].seed_order[0];
+        assert_eq!(step.binds, vec![(0, 0)]);
+        assert_eq!(step.repeats, vec![(1, 0)]);
+        assert!(step.bound.is_empty());
+        assert!(step.index.is_none());
+    }
+
+    #[test]
+    fn specs_are_interned_across_rules() {
+        // Both rules probe E on position 1 after seeding from the IDB atom;
+        // the spec is shared.
+        let p = Program::parse(
+            "A(x) :- E(x,x).\nA(x) :- E(x,y), A(y).\nB(x) :- E(x,y), B(y).\nB(x) :- E(x,x).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let plan = ProgramPlan::new(&p);
+        let probe_specs: Vec<usize> = plan
+            .rules
+            .iter()
+            .flat_map(|r| r.delta_orders.iter().flatten())
+            .flat_map(|steps| steps.iter().filter_map(|s| s.index))
+            .collect();
+        assert!(!probe_specs.is_empty());
+        assert!(probe_specs.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,190 @@
+//! Scan-based reference evaluation.
+//!
+//! This module preserves the original nested full-relation-scan join —
+//! deliberately unindexed and single-threaded — for three jobs:
+//!
+//! 1. the **naive** operator Φ behind [`Program::apply_operator`] and
+//!    [`Program::stages`], where oracle-grade simplicity matters more than
+//!    speed (stage sequences are probed on small structures);
+//! 2. [`Program::evaluate_reference`], the seed semi-naive evaluator that
+//!    the differential tests compare the indexed/sharded engine against
+//!    (an independent implementation, not a configuration of the new one);
+//! 3. the `seed` rows of the E-scale benchmark table in EXPERIMENTS.md.
+//!
+//! Unlike the seed code, the scan join still runs off the precomputed
+//! [`ProgramPlan`] dense variable numbering — `rule.variables()` and its
+//! binary-search closure are no longer rebuilt per `rule_matches` call.
+
+use std::collections::BTreeSet;
+
+use hp_structures::{Elem, Structure};
+
+use crate::ast::{PredRef, Program};
+use crate::eval::{FixpointResult, IdbRelation};
+use crate::plan::{ProgramPlan, RulePlan};
+
+/// All satisfying substitutions of a rule body, by exhaustive scans.
+/// `delta`, when set, restricts body atom `di` to the delta relations.
+pub(crate) fn scan_matches(
+    rp: &RulePlan,
+    a: &Structure,
+    idb: &[IdbRelation],
+    delta: Option<(&[IdbRelation], usize)>,
+    out: &mut IdbRelation,
+) {
+    // Order body atoms: delta atom first when present (cheap seed), source
+    // order otherwise — exactly the seed evaluator's behaviour.
+    let mut order: Vec<usize> = (0..rp.atoms.len()).collect();
+    if let Some((_, di)) = delta {
+        order.swap(0, di);
+    }
+    let mut asg: Vec<Option<Elem>> = vec![None; rp.var_count];
+    scan_join(rp, a, idb, delta, &order, 0, &mut asg, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_join(
+    rp: &RulePlan,
+    a: &Structure,
+    idb: &[IdbRelation],
+    delta: Option<(&[IdbRelation], usize)>,
+    order: &[usize],
+    depth: usize,
+    asg: &mut Vec<Option<Elem>>,
+    out: &mut IdbRelation,
+) {
+    if depth == order.len() {
+        let tuple: Vec<Elem> = rp
+            .head_args
+            .iter()
+            .map(|&s| asg[s].expect("safe rule binds head vars"))
+            .collect();
+        out.insert(tuple);
+        return;
+    }
+    let ai = order[depth];
+    let atom = &rp.atoms[ai];
+    match atom.pred {
+        PredRef::Edb(sym) => {
+            for t in a.relation(sym).iter() {
+                scan_try(rp, a, idb, delta, order, depth, asg, out, t);
+            }
+        }
+        PredRef::Idb(i) => {
+            let rel: &IdbRelation = match delta {
+                Some((d, di)) if di == ai => &d[i],
+                _ => &idb[i],
+            };
+            for t in rel.iter() {
+                scan_try(rp, a, idb, delta, order, depth, asg, out, t);
+            }
+        }
+    }
+}
+
+/// Unify one candidate tuple against the current assignment, recursing on
+/// success and rolling the touched slots back afterwards.
+#[allow(clippy::too_many_arguments)]
+fn scan_try(
+    rp: &RulePlan,
+    a: &Structure,
+    idb: &[IdbRelation],
+    delta: Option<(&[IdbRelation], usize)>,
+    order: &[usize],
+    depth: usize,
+    asg: &mut Vec<Option<Elem>>,
+    out: &mut IdbRelation,
+    t: &[Elem],
+) {
+    let atom = &rp.atoms[order[depth]];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut ok = true;
+    for (i, &s) in atom.args.iter().enumerate() {
+        match asg[s] {
+            Some(e) if e == t[i] => {}
+            Some(_) => {
+                ok = false;
+                break;
+            }
+            None => {
+                asg[s] = Some(t[i]);
+                touched.push(s);
+            }
+        }
+    }
+    if ok {
+        scan_join(rp, a, idb, delta, order, depth + 1, asg, out);
+    }
+    for s in touched {
+        asg[s] = None;
+    }
+}
+
+impl Program {
+    /// One application of Φ driven by a prebuilt plan (shared across the
+    /// stages of [`Program::stages`]).
+    pub(crate) fn apply_operator_with(
+        &self,
+        plan: &ProgramPlan,
+        a: &Structure,
+        idb: &[IdbRelation],
+    ) -> Vec<IdbRelation> {
+        let mut next: Vec<IdbRelation> = vec![BTreeSet::new(); self.idbs().len()];
+        for rp in &plan.rules {
+            let mut out = BTreeSet::new();
+            scan_matches(rp, a, idb, None, &mut out);
+            next[rp.head].extend(out);
+        }
+        next
+    }
+
+    /// The seed scan-based semi-naive evaluator, retained as the
+    /// independent reference implementation: no indexes, no sharding, whole
+    /// relations scanned per join step.
+    ///
+    /// Use [`Program::evaluate`] (or [`Program::evaluate_with`]) for real
+    /// workloads; this exists so differential tests and the E-scale
+    /// benchmarks can compare the optimized engine against the algorithm it
+    /// replaced. Always runs to the least fixpoint.
+    pub fn evaluate_reference(&self, a: &Structure) -> FixpointResult {
+        let plan = ProgramPlan::new(self);
+        let n_idb = self.idbs().len();
+        let mut idb: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
+        let mut delta: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
+        // Round 0: rules evaluated on empty IDBs (EDB-only derivations and
+        // empty-body facts).
+        for rp in &plan.rules {
+            let mut out = BTreeSet::new();
+            scan_matches(rp, a, &idb, None, &mut out);
+            delta[rp.head].extend(out);
+        }
+        let mut stages = 0;
+        while delta.iter().any(|d| !d.is_empty()) {
+            stages += 1;
+            for (acc, d) in idb.iter_mut().zip(&delta) {
+                acc.extend(d.iter().cloned());
+            }
+            let mut next_delta: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
+            for rp in &plan.rules {
+                // For each IDB body atom, run with that atom restricted to
+                // the delta (standard semi-naive split).
+                for &bi in &rp.idb_atoms {
+                    let mut out = BTreeSet::new();
+                    scan_matches(rp, a, &idb, Some((&delta, bi)), &mut out);
+                    for t in out {
+                        if !idb[rp.head].contains(&t) {
+                            next_delta[rp.head].insert(t);
+                        }
+                    }
+                }
+            }
+            delta = next_delta;
+        }
+        FixpointResult {
+            idb_names: self.idbs().iter().map(|(n, _)| n.clone()).collect(),
+            relations: idb,
+            stages,
+            converged: true,
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Differential tests for the evaluator stack: the naive stage oracle
+//! ([`Program::stages`]), the scan-based seed evaluator
+//! ([`Program::evaluate_reference`]), and the indexed semi-naive engine
+//! ([`Program::evaluate_with`]) at every thread count in {1, 2, 4} must
+//! agree **bit for bit** — relations *and* stage counts — on random
+//! programs and random structures, including rules with duplicate IDB body
+//! atoms, repeated variables, and 0-ary heads.
+
+use proptest::prelude::*;
+
+use hp_datalog::{DatalogAtom, EvalConfig, PredRef, Program, Rule};
+use hp_structures::{Structure, Vocabulary};
+
+/// IDB signature used by the random programs: `A/1`, `B/2`, `G/0`.
+fn idb_signature() -> Vec<(String, usize)> {
+    vec![
+        ("A".to_string(), 1),
+        ("B".to_string(), 2),
+        ("G".to_string(), 0),
+    ]
+}
+
+fn digraph_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = Structure> {
+    (
+        1..=max_n,
+        prop::collection::vec((0usize..max_n, 0usize..max_n), 0..max_m),
+    )
+        .prop_map(move |(n, edges)| {
+            let mut s = Structure::new(Vocabulary::digraph(), n);
+            for (u, v) in edges {
+                let _ = s.add_tuple_ids(0, &[(u % n) as u32, (v % n) as u32]);
+            }
+            s
+        })
+}
+
+/// Raw atom descriptor: predicate choice 0..4 (E, A, B, G) plus two
+/// variable candidates; the arity decides how many are used.
+type RawAtom = (usize, (u32, u32));
+
+/// Build a *valid* program from raw rule descriptors: head variables are
+/// remapped onto body variables (safety by construction), and heads whose
+/// body binds nothing collapse to the 0-ary `G`.
+fn build_program(raw_rules: Vec<(usize, (u32, u32), Vec<RawAtom>)>) -> Program {
+    let vocab = Vocabulary::digraph();
+    let arities = [2usize, 1, 2, 0]; // E, A, B, G
+    let mut rules = Vec::new();
+    for (head_choice, head_vars, raw_body) in raw_rules {
+        let mut body = Vec::new();
+        let mut body_vars: Vec<u32> = Vec::new();
+        for (pred_choice, (v0, v1)) in raw_body {
+            let pred_choice = pred_choice % 4;
+            let args: Vec<u32> = [v0 % 4, v1 % 4][..arities[pred_choice]].to_vec();
+            body_vars.extend(&args);
+            let pred = if pred_choice == 0 {
+                PredRef::Edb(0usize.into())
+            } else {
+                PredRef::Idb(pred_choice - 1)
+            };
+            body.push(DatalogAtom { pred, args });
+        }
+        body_vars.sort_unstable();
+        body_vars.dedup();
+        // 0..3 picks A, B, or G; bodies that bind no variable force G.
+        let head_idb = if body_vars.is_empty() {
+            2
+        } else {
+            head_choice % 3
+        };
+        let head_arity = [1usize, 2, 0][head_idb];
+        let args: Vec<u32> = [head_vars.0, head_vars.1][..head_arity]
+            .iter()
+            .map(|&v| body_vars[v as usize % body_vars.len()])
+            .collect();
+        rules.push(Rule {
+            head: DatalogAtom {
+                pred: PredRef::Idb(head_idb),
+                args,
+            },
+            body,
+        });
+    }
+    Program::new(vocab, idb_signature(), rules, Vec::new()).expect("repaired rules are valid")
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    prop::collection::vec(
+        (
+            0usize..3,
+            (0u32..4, 0u32..4),
+            prop::collection::vec((0usize..4, (0u32..4, 0u32..4)), 1..4),
+        ),
+        1..5,
+    )
+    .prop_map(build_program)
+}
+
+/// Hand-picked programs covering the shapes the ISSUE calls out
+/// explicitly: duplicate IDB body atoms, repeated variables, 0-ary heads,
+/// mutual recursion, and nonlinear recursion.
+fn gallery() -> Vec<Program> {
+    let v = Vocabulary::digraph();
+    [
+        // Linear and nonlinear transitive closure (nonlinear = duplicate
+        // IDB predicate in one body).
+        "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).",
+        "T(x,y) :- E(x,y).\nT(x,y) :- T(x,z), T(z,y).",
+        // Literally duplicated IDB body atom plus a repeated variable.
+        "A(x) :- E(x,x).\nB(x,y) :- A(x), A(x), E(x,y).",
+        // 0-ary head fed by recursion.
+        "A(x) :- E(x,x).\nA(x) :- E(x,y), A(y).\nG() :- A(x).",
+        // Mutual recursion.
+        "Even(x,y) :- E(x,z), Odd(z,y).\nOdd(x,y) :- E(x,y).\nOdd(x,y) :- E(x,z), Even(z,y).",
+        // Cartesian-ish rule: disconnected body atoms.
+        "B(x,y) :- E(x,x), E(y,y).",
+    ]
+    .iter()
+    .map(|text| Program::parse(text, &v).unwrap())
+    .collect()
+}
+
+/// The heart of the differential suite: every evaluator and every thread
+/// count agrees with the naive stage oracle on `a`.
+fn assert_all_agree(p: &Program, a: &Structure) -> Result<(), TestCaseError> {
+    let naive = p.stages(a, 64);
+    prop_assert!(naive.converged, "oracle must converge within 64 stages");
+    let reference = p.evaluate_reference(a);
+    prop_assert_eq!(&reference.relations[..], naive.last());
+    prop_assert_eq!(reference.stages, naive.applications());
+    prop_assert!(reference.converged);
+    for threads in [1usize, 2, 4] {
+        // min_seed 0 keeps the pool engaged even on these tiny structures.
+        let cfg = EvalConfig::new()
+            .with_threads(threads)
+            .with_parallel_min_seed(0);
+        let r = p.evaluate_with(a, &cfg);
+        prop_assert_eq!(&r.relations, &reference.relations, "threads {}", threads);
+        prop_assert_eq!(r.stages, reference.stages, "threads {}", threads);
+        prop_assert!(r.converged);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random programs × random structures: naive oracle, scan reference,
+    /// and the indexed engine at 1/2/4 threads are bit-identical.
+    #[test]
+    fn random_programs_agree(p in program_strategy(), a in digraph_strategy(6, 16)) {
+        assert_all_agree(&p, &a)?;
+    }
+
+    /// The hand-picked shape gallery on random structures.
+    #[test]
+    fn gallery_programs_agree(a in digraph_strategy(7, 18)) {
+        for p in gallery() {
+            assert_all_agree(&p, &a)?;
+        }
+    }
+}
+
+/// Larger fixed structures so the parallel path actually distributes work
+/// over non-trivial delta shards (the proptest structures are tiny).
+#[test]
+fn parallel_shards_agree_on_large_digraphs() {
+    use hp_structures::generators::random_digraph;
+    let programs = gallery();
+    for seed in [3u64, 17, 40] {
+        let a = random_digraph(40, 140, seed);
+        for p in &programs {
+            let reference = p.evaluate_reference(&a);
+            for threads in [1usize, 2, 4] {
+                let cfg = EvalConfig::new()
+                    .with_threads(threads)
+                    .with_parallel_min_seed(0);
+                let r = p.evaluate_with(&a, &cfg);
+                assert_eq!(r.relations, reference.relations, "threads {threads}");
+                assert_eq!(r.stages, reference.stages, "threads {threads}");
+            }
+        }
+    }
+}
+
+/// The old failure shape, demonstrated: a capped stage sequence used to be
+/// indistinguishable from a converged one. `converged` now tells them
+/// apart, and capped `evaluate_with` agrees.
+#[test]
+fn capped_runs_surface_non_convergence() {
+    let p = Program::parse(
+        "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).",
+        &Vocabulary::digraph(),
+    )
+    .unwrap();
+    let a = hp_structures::generators::directed_path(12);
+    let capped = p.stages(&a, 4);
+    let full = p.stages(&a, 64);
+    // Pre-fix, both of these looked like "the" stage sequence.
+    assert!(!capped.converged);
+    assert!(full.converged);
+    assert_ne!(capped.last(), full.last());
+    let r = p.evaluate_with(&a, &EvalConfig::new().with_max_stages(4));
+    assert!(!r.converged);
+    assert_eq!(&r.relations[..], capped.last());
+}

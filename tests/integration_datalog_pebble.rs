@@ -202,7 +202,9 @@ fn stage_unfolding_agrees_on_families() {
 
 fn hp_datalog_stage_check(p: &Program, a: &Structure) {
     use std::collections::BTreeSet;
-    let stages = p.stages(a, 3);
+    // A deliberately capped prefix (each stage is checked against its own
+    // unfolding), so convergence of the sequence is not required.
+    let stages = p.stages(a, 3).stages;
     for (m, rels) in stages.iter().enumerate() {
         let u = hp_preservation::datalog::stage_ucq(p, 0, m).unwrap();
         let got: BTreeSet<Vec<Elem>> = u.answers(a).into_iter().collect();
