@@ -1,5 +1,5 @@
 //! `hompres-lint`: lint Datalog programs and first-order formulas with
-//! the `hp-analysis` pass pipeline.
+//! the `hp-analysis` pass pipeline, and apply its certified rewrites.
 //!
 //! ```text
 //! hompres-lint [OPTIONS] [FILE...]
@@ -12,31 +12,55 @@
 //!   --deny-warnings   exit non-zero on warnings too
 //!   --quiet           print only the per-input summary lines
 //!   --list-passes     print the registered passes and their codes
+//!   --format FMT      "text" (default) or "json": one JSON object per
+//!                     input with code/severity/span/message fields
+//!   --boundedness     opt in to the HP014 budgeted boundedness
+//!                     certification (Theorem 7.5)
+//!   --max-stage N     HP014 stage cap (default 4)
+//!   --budget-ms N     HP014 wall-clock budget in milliseconds
+//!                     (default 5000; 0 means unlimited)
+//!   --fix             rewrite .dl FILEs in place: remove dead rules
+//!                     (HP007) and duplicate rules (HP013); certified to
+//!                     preserve the goal fixpoint, and idempotent
 //! ```
 //!
 //! Exit status: 0 when no input produced an error (or, with
 //! `--deny-warnings`, a warning); 1 otherwise; 2 on usage errors.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use hp_analysis::{
-    lint_datalog_source, lint_formula_source, parse_vocab_spec, Analyzer, Diagnostics, Severity,
+    fix_source, lint_datalog_source_with, lint_formula_source, parse_vocab_spec, Analyzer,
+    Diagnostics, Severity,
 };
-use hp_datalog::gallery;
+use hp_datalog::{gallery, BoundednessBudget};
 use hp_structures::Vocabulary;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Options {
     gallery: bool,
     deny_warnings: bool,
     quiet: bool,
     list_passes: bool,
+    format: Format,
+    boundedness: bool,
+    max_stage: usize,
+    budget_ms: u64,
+    fix: bool,
     edb: Option<Vocabulary>,
     files: Vec<String>,
 }
 
 fn usage() -> &'static str {
     "usage: hompres-lint [--gallery] [--edb SPEC] [--deny-warnings] [--quiet] \
-     [--list-passes] [FILE...]"
+     [--list-passes] [--format text|json] [--boundedness] [--max-stage N] \
+     [--budget-ms N] [--fix] [FILE...]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -45,6 +69,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         deny_warnings: false,
         quiet: false,
         list_passes: false,
+        format: Format::Text,
+        boundedness: false,
+        max_stage: 4,
+        budget_ms: 5000,
+        fix: false,
         edb: None,
         files: Vec::new(),
     };
@@ -55,6 +84,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--deny-warnings" => o.deny_warnings = true,
             "--quiet" => o.quiet = true,
             "--list-passes" => o.list_passes = true,
+            "--boundedness" => o.boundedness = true,
+            "--fix" => o.fix = true,
+            "--format" => {
+                i += 1;
+                o.format = match args.get(i).map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some(f) => return Err(format!("unknown format {f} (want text or json)")),
+                    None => return Err("--format needs an argument".to_string()),
+                };
+            }
+            "--max-stage" => {
+                i += 1;
+                let n = args.get(i).ok_or("--max-stage needs an argument")?;
+                o.max_stage = n.parse().map_err(|_| format!("bad stage cap {n:?}"))?;
+            }
+            "--budget-ms" => {
+                i += 1;
+                let n = args.get(i).ok_or("--budget-ms needs an argument")?;
+                o.budget_ms = n.parse().map_err(|_| format!("bad budget {n:?}"))?;
+            }
             "--edb" => {
                 i += 1;
                 let spec = args.get(i).ok_or("--edb needs a SPEC argument")?;
@@ -66,19 +116,116 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         i += 1;
     }
+    if o.fix && o.gallery {
+        return Err("--fix works on FILEs, not --gallery (gallery programs are built in)".into());
+    }
+    if o.fix && o.files.iter().any(|f| f.ends_with(".fo")) {
+        return Err("--fix applies to Datalog files only, not .fo formulas".into());
+    }
     if !o.gallery && !o.list_passes && o.files.is_empty() {
         return Err("no inputs (give FILEs or --gallery)".to_string());
     }
     Ok(o)
 }
 
-/// Report one input's diagnostics; returns whether it fails the build.
-fn report(name: &str, source: Option<&str>, ds: &Diagnostics, o: &Options) -> bool {
-    if !o.quiet && !ds.is_empty() {
-        print!("{}", ds.render(name, source));
+fn budget(o: &Options) -> BoundednessBudget {
+    let b = BoundednessBudget::stages(o.max_stage);
+    if o.budget_ms == 0 {
+        b
+    } else {
+        b.with_time_limit(Duration::from_millis(o.budget_ms))
     }
-    println!("{name}: {}", ds.totals());
+}
+
+/// Report one input's diagnostics; returns whether it fails the build.
+fn report(
+    name: &str,
+    source: Option<&str>,
+    ds: &Diagnostics,
+    o: &Options,
+    json: &mut Vec<String>,
+) -> bool {
+    match o.format {
+        Format::Text => {
+            if !o.quiet && !ds.is_empty() {
+                print!("{}", ds.render(name, source));
+            }
+            println!("{name}: {}", ds.totals());
+        }
+        Format::Json => json.push(ds.to_json(name)),
+    }
     ds.has_errors() || (o.deny_warnings && ds.count(Severity::Warning) > 0)
+}
+
+/// Apply the certified rewrites to one file in place; returns whether the
+/// run failed (parse or I/O error).
+fn fix_file(path: &str, o: &Options, json: &mut Vec<String>) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hompres-lint: cannot read {path}: {e}");
+            return true;
+        }
+    };
+    let out = match fix_source(&text, o.edb.as_ref()) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("hompres-lint: cannot fix {path}: {e}");
+            return true;
+        }
+    };
+    if out.changed() {
+        if let Err(e) = std::fs::write(path, &out.fixed) {
+            eprintln!("hompres-lint: cannot write {path}: {e}");
+            return true;
+        }
+    }
+    match o.format {
+        Format::Text => {
+            if !o.quiet {
+                for r in &out.removed {
+                    let at = r.line.map_or(String::new(), |l| format!(":{l}"));
+                    println!(
+                        "{path}{at}: removed rule {} for {} [{}]",
+                        r.rule, r.head, r.code
+                    );
+                }
+            }
+            println!(
+                "{path}: {}",
+                if out.changed() {
+                    format!(
+                        "fixed ({} rule{} removed)",
+                        out.removed.len(),
+                        if out.removed.len() == 1 { "" } else { "s" }
+                    )
+                } else {
+                    "clean".to_string()
+                }
+            );
+        }
+        Format::Json => {
+            let items: Vec<String> = out
+                .removed
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"rule\": {}, \"line\": {}, \"head\": \"{}\", \"code\": \"{}\"}}",
+                        r.rule,
+                        r.line.map_or("null".to_string(), |l| l.to_string()),
+                        r.head,
+                        r.code
+                    )
+                })
+                .collect();
+            json.push(format!(
+                "{{\"input\": \"{path}\", \"changed\": {}, \"removed\": [{}]}}",
+                out.changed(),
+                items.join(", ")
+            ));
+        }
+    }
+    false
 }
 
 fn main() -> ExitCode {
@@ -95,8 +242,14 @@ fn main() -> ExitCode {
         }
     };
 
+    let analyzer = if o.boundedness {
+        Analyzer::with_boundedness(budget(&o))
+    } else {
+        Analyzer::default_pipeline()
+    };
+
     if o.list_passes {
-        for p in Analyzer::default_pipeline().passes() {
+        for p in analyzer.passes() {
             let codes: Vec<&str> = p.codes().iter().map(|c| c.as_str()).collect();
             println!("{:<16} {}", p.name(), codes.join(", "));
         }
@@ -106,8 +259,13 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
+    let mut json: Vec<String> = Vec::new();
 
     for path in &o.files {
+        if o.fix {
+            failed |= fix_file(path, &o, &mut json);
+            continue;
+        }
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
@@ -119,13 +277,12 @@ fn main() -> ExitCode {
         let ds = if path.ends_with(".fo") {
             lint_formula_source(&text, o.edb.as_ref())
         } else {
-            lint_datalog_source(&text, o.edb.as_ref())
+            lint_datalog_source_with(&text, o.edb.as_ref(), &analyzer)
         };
-        failed |= report(path, Some(&text), &ds, &o);
+        failed |= report(path, Some(&text), &ds, &o, &mut json);
     }
 
     if o.gallery {
-        let analyzer = Analyzer::default_pipeline();
         let programs = [
             ("gallery::transitive_closure", gallery::transitive_closure()),
             ("gallery::cycle_detection", gallery::cycle_detection()),
@@ -137,8 +294,12 @@ fn main() -> ExitCode {
         ];
         for (name, p) in programs {
             let ds = analyzer.analyze_program(&p);
-            failed |= report(name, None, &ds, &o);
+            failed |= report(name, None, &ds, &o, &mut json);
         }
+    }
+
+    if o.format == Format::Json {
+        println!("[{}]", json.join(",\n "));
     }
 
     if failed {

@@ -3,21 +3,28 @@
 //! Validation passes (HP003–HP005) mirror `Program::new` exactly, but
 //! report *every* violation instead of stopping at the first, and run over
 //! raw [`ProgramFacts`] so rejected programs can be diagnosed too.
-//! Hygiene passes (HP006, HP007, HP013) warn about suspicious-but-valid
-//! programs. Classification passes (HP008, HP009, HP012) emit notes
-//! connecting the program to the paper's theory: recursion shape,
+//! Hygiene passes (HP006, HP007, HP013, HP015) warn about
+//! suspicious-but-valid programs; the demand- and derivability-based ones
+//! are instances of the [dataflow framework](crate::dataflow) over the
+//! [predicate dependency graph](crate::pdg). Classification passes
+//! (HP008, HP009, HP012, HP016) emit notes connecting the program to the
+//! paper's theory: recursion shape (per strongly connected component),
 //! Datalog(k) membership, and the treewidth < k correspondence of
-//! Theorem 7.1.
+//! Theorem 7.1. The opt-in [`BoundednessPass`] (HP014) runs the certified
+//! boundedness search of Theorem 7.5 under a stage/wall-clock budget.
 
 use std::collections::BTreeSet;
+use std::time::Duration;
 
-use hp_datalog::PredRef;
+use hp_datalog::{BoundednessBudget, BoundednessVerdict, PredRef, Program};
 use hp_structures::Graph;
 use hp_tw::elimination::treewidth_upper_bound;
 
-use crate::diag::{Code, Diagnostic, Diagnostics};
+use crate::dataflow::{possibly_nonempty, relevant_preds};
+use crate::diag::{Code, Diagnostic, Diagnostics, Severity};
 use crate::facts::ProgramFacts;
 use crate::pass::Pass;
+use crate::pdg::Pdg;
 
 /// HP005: every rule head must be an IDB atom.
 pub struct HeadPass;
@@ -118,9 +125,11 @@ impl Pass for ArityPass {
     }
 }
 
-/// HP006: an IDB that is neither the goal nor referenced by any rule body
-/// does no work. Only fires when a goal is designated — without one,
-/// body-unused IDBs are treated as the program's outputs.
+/// HP006: an IDB the goal does not (transitively) depend on does no work.
+/// Implemented as the backward [`Relevance`](crate::dataflow::Relevance)
+/// demand analysis, so it also catches predicates that *are* referenced —
+/// but only by other irrelevant rules. Only fires when a goal is
+/// designated; without one, every IDB is treated as a program output.
 pub struct UnusedIdbPass;
 
 impl Pass for UnusedIdbPass {
@@ -131,22 +140,20 @@ impl Pass for UnusedIdbPass {
         &[Code::Hp006]
     }
     fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
-        let Some(goal) = facts.goal else { return };
-        let mut used = vec![false; facts.idbs.len()];
-        for r in &facts.rules {
-            for a in &r.body {
-                if let PredRef::Idb(i) = a.pred {
-                    if i < used.len() {
-                        used[i] = true;
-                    }
-                }
-            }
-        }
+        let pdg = Pdg::new(facts);
+        let Some(rel) = relevant_preds(facts, &pdg) else {
+            return;
+        };
+        let goal = facts.goal.expect("relevance implies goal");
         for (i, (name, _)) in facts.idbs.iter().enumerate() {
-            if i != goal && !used[i] {
+            if !rel[i] {
                 out.push(Diagnostic::new(
                     Code::Hp006,
-                    format!("IDB {name} is neither the goal nor used in any rule body"),
+                    format!(
+                        "IDB {name} cannot influence the goal {}: it is unreachable \
+                         in the predicate dependency graph",
+                        facts.idbs[goal].0
+                    ),
                     crate::diag::Span::default(),
                 ));
             }
@@ -157,8 +164,9 @@ impl Pass for UnusedIdbPass {
 /// HP007: a rule whose head the goal does not (transitively) depend on
 /// cannot change the goal relation — positive Datalog is monotone, and no
 /// derivation of the goal can use such a rule. These rules can be removed
-/// by [`crate::dce::eliminate_dead_rules`] without changing the goal's
-/// fixpoint.
+/// by [`crate::dce::eliminate_dead_rules`] or `hompres-lint --fix`
+/// ([`crate::fix`]) without changing the goal's fixpoint. The relevant
+/// set comes from the same demand analysis as HP006.
 pub struct DeadRulePass;
 
 impl Pass for DeadRulePass {
@@ -169,22 +177,55 @@ impl Pass for DeadRulePass {
         &[Code::Hp007]
     }
     fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
-        let Some(useful) = facts.useful_idbs() else {
+        let pdg = Pdg::new(facts);
+        let Some(rel) = relevant_preds(facts, &pdg) else {
             return;
         };
         for (ri, r) in facts.rules.iter().enumerate() {
             let PredRef::Idb(h) = r.head.pred else {
                 continue;
             };
-            if h < facts.idbs.len() && !useful.contains(&h) {
+            if h < facts.idbs.len() && !rel[h] {
                 out.push(Diagnostic::new(
                     Code::Hp007,
                     format!(
                         "rule for {} cannot contribute to the goal {} and can be removed",
                         facts.pred_name(r.head.pred),
-                        facts.idbs[facts.goal.expect("useful implies goal")].0
+                        facts.idbs[facts.goal.expect("relevance implies goal")].0
                     ),
                     facts.rule_span(ri),
+                ));
+            }
+        }
+    }
+}
+
+/// HP015: an IDB that is empty on **every** input structure. The forward
+/// [`PossiblyNonempty`](crate::dataflow::PossiblyNonempty) derivability
+/// analysis is exact here: a predicate it cannot derive on the 1-element
+/// structure with all EDB relations full is underivable everywhere, and
+/// conversely. The classic instance is recursion with no base case.
+pub struct EmptinessPass;
+
+impl Pass for EmptinessPass {
+    fn name(&self) -> &'static str {
+        "guaranteed-empty"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp015]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        let pdg = Pdg::new(facts);
+        let nonempty = possibly_nonempty(facts, &pdg);
+        for (i, (name, _)) in facts.idbs.iter().enumerate() {
+            if !nonempty[i] {
+                out.push(Diagnostic::new(
+                    Code::Hp015,
+                    format!(
+                        "IDB {name} is empty on every input structure: its rules have \
+                         no derivable base case"
+                    ),
+                    crate::diag::Span::default(),
                 ));
             }
         }
@@ -232,45 +273,23 @@ pub enum RecursionClass {
     General,
 }
 
-/// Classify the recursion shape of a program.
+/// Classify the recursion shape of a program from its [`Pdg`]: the
+/// maximum [recursion width](Pdg::scc_recursion_width) over recursive
+/// strongly connected components decides between linear (width 1) and
+/// general (width ≥ 2) recursion.
 pub fn recursion_class(facts: &ProgramFacts) -> RecursionClass {
-    let deps = facts.idb_dependencies();
-    let n = deps.len();
-    // reach[i] = set of IDBs reachable from i via one or more edges.
-    let mut reach: Vec<BTreeSet<usize>> = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut seen = BTreeSet::new();
-        let mut stack: Vec<usize> = deps[i].iter().copied().collect();
-        while let Some(j) = stack.pop() {
-            if seen.insert(j) {
-                stack.extend(deps[j].iter().copied());
-            }
-        }
-        reach.push(seen);
-    }
-    let recursive: BTreeSet<usize> = (0..n).filter(|&i| reach[i].contains(&i)).collect();
-    if recursive.is_empty() {
-        return RecursionClass::Nonrecursive;
-    }
-    // Same strongly connected (recursive) component: mutual reachability.
-    let same_scc = |a: usize, b: usize| a == b || (reach[a].contains(&b) && reach[b].contains(&a));
-    for r in &facts.rules {
-        let PredRef::Idb(h) = r.head.pred else {
-            continue;
-        };
-        if h >= n || !recursive.contains(&h) {
-            continue;
-        }
-        let rec_atoms = r
-            .body
-            .iter()
-            .filter(|a| matches!(a.pred, PredRef::Idb(i) if i < n && same_scc(h, i)))
-            .count();
-        if rec_atoms > 1 {
-            return RecursionClass::General;
+    let pdg = Pdg::new(facts);
+    let mut width = 0usize;
+    for s in 0..pdg.scc_count() {
+        if pdg.is_recursive_scc(s) {
+            width = width.max(pdg.scc_recursion_width(facts, s));
         }
     }
-    RecursionClass::Linear
+    match width {
+        0 => RecursionClass::Nonrecursive,
+        1 => RecursionClass::Linear,
+        _ => RecursionClass::General,
+    }
 }
 
 impl Pass for RecursionPass {
@@ -303,6 +322,156 @@ impl Pass for RecursionPass {
             msg,
             crate::diag::Span::default(),
         ));
+    }
+}
+
+/// HP016: per-SCC recursion structure. Where HP008 gives one whole-program
+/// verdict, this pass names each recursive component of the predicate
+/// dependency graph and its [recursion width](Pdg::scc_recursion_width) —
+/// the maximum number of same-component body atoms in any of its rules
+/// (1 = linear, ≥ 2 = general).
+pub struct SccWidthPass;
+
+impl Pass for SccWidthPass {
+    fn name(&self) -> &'static str {
+        "scc-width"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp016]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        let pdg = Pdg::new(facts);
+        for s in 0..pdg.scc_count() {
+            if !pdg.is_recursive_scc(s) {
+                continue;
+            }
+            let names: Vec<&str> = pdg
+                .scc_members(s)
+                .iter()
+                .filter_map(|&p| facts.idbs.get(p).map(|(n, _)| n.as_str()))
+                .collect();
+            let w = pdg.scc_recursion_width(facts, s);
+            out.push(Diagnostic::new(
+                Code::Hp016,
+                format!(
+                    "recursive component {{{}}} has recursion width {w} ({})",
+                    names.join(", "),
+                    if w <= 1 { "linear" } else { "general" },
+                ),
+                crate::diag::Span::default(),
+            ));
+        }
+    }
+}
+
+/// HP014 (opt-in): budgeted boundedness certification. Runs the certified
+/// search of [`hp_datalog::certify_boundedness`] — `Θ^s ≡ Θ^{s+1}` by
+/// Sagiv–Yannakakis UCQ equivalence — under a stage cap and wall-clock
+/// limit. A *recursive* program certified bounded at stage `s` is, by
+/// Theorem 7.5, equivalent to its stage-`s` UCQ unfolding: the recursion
+/// is unnecessary, and the pass warns with the witnessing UCQ size.
+///
+/// Not part of [`Analyzer::default_pipeline`](crate::Analyzer): the
+/// search is worst-case expensive (UCQ equivalence is a homomorphism
+/// search per disjunct pair) and a *correctly* bounded recursive program
+/// is a legitimate style, so the warning is reserved for
+/// `hompres-lint --boundedness` and
+/// [`Analyzer::with_boundedness`](crate::Analyzer::with_boundedness).
+pub struct BoundednessPass {
+    budget: BoundednessBudget,
+}
+
+impl BoundednessPass {
+    /// A pass with an explicit budget.
+    pub fn new(budget: BoundednessBudget) -> BoundednessPass {
+        BoundednessPass { budget }
+    }
+}
+
+impl Default for BoundednessPass {
+    /// Stage cap 4, wall-clock limit 5 s — enough to certify every bounded
+    /// gallery program while keeping the lint interactive.
+    fn default() -> BoundednessPass {
+        BoundednessPass::new(BoundednessBudget::stages(4).with_time_limit(Duration::from_secs(5)))
+    }
+}
+
+impl Pass for BoundednessPass {
+    fn name(&self) -> &'static str {
+        "boundedness"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp014]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        if recursion_class(facts) == RecursionClass::Nonrecursive {
+            // Nonrecursive programs are trivially bounded; HP008 already
+            // reports their UCQ unfolding.
+            return;
+        }
+        // The certified search needs a validated program; raw facts that
+        // fail validation already carry HP003–HP005 errors.
+        let Ok(p) = Program::new(
+            facts.edb.clone(),
+            facts.idbs.clone(),
+            facts.rules.clone(),
+            facts.var_names.clone(),
+        ) else {
+            return;
+        };
+        let p = match facts.goal {
+            Some(g) => match p.with_goal(&facts.idbs[g].0) {
+                Ok(p) => p,
+                Err(_) => return,
+            },
+            None => p,
+        };
+        match hp_datalog::certify_boundedness(&p, &self.budget) {
+            Ok(BoundednessVerdict::Certified {
+                stage,
+                ucq_disjuncts,
+            }) => {
+                out.push(Diagnostic::new(
+                    Code::Hp014,
+                    format!(
+                        "certified bounded at stage {stage}: by Theorem 7.5 the program is \
+                         equivalent to its stage-{stage} UCQ unfolding ({ucq_disjuncts} \
+                         conjunctive quer{}) — the recursion is unnecessary",
+                        if ucq_disjuncts == 1 { "y" } else { "ies" },
+                    ),
+                    crate::diag::Span::default(),
+                ));
+            }
+            Ok(BoundednessVerdict::NotCertified { max_stage }) => {
+                out.push(Diagnostic {
+                    code: Code::Hp014,
+                    severity: Severity::Note,
+                    message: format!(
+                        "not certified bounded within {max_stage} stage{}; the program may \
+                         be unbounded (transitive closure never stabilizes) or the cap may \
+                         be too low",
+                        if max_stage == 1 { "" } else { "s" },
+                    ),
+                    span: crate::diag::Span::default(),
+                });
+            }
+            Ok(BoundednessVerdict::BudgetExhausted {
+                next_stage,
+                elapsed,
+            }) => {
+                out.push(Diagnostic {
+                    code: Code::Hp014,
+                    severity: Severity::Note,
+                    message: format!(
+                        "boundedness search stopped before stage {next_stage} after \
+                         {} ms (wall-clock budget exhausted); no verdict",
+                        elapsed.as_millis(),
+                    ),
+                    span: crate::diag::Span::default(),
+                });
+            }
+            Err(_) => {}
+        }
     }
 }
 
@@ -642,6 +811,122 @@ mod tests {
     fn hp012_triangle_body_has_treewidth_2() {
         let f = facts("Tri() :- E(x,y), E(y,z), E(z,x).");
         assert_eq!(rule_body_treewidth(&f.rules[0]), Some(2));
+    }
+
+    // --- HP006 sharpening: transitive irrelevance ---
+
+    #[test]
+    fn hp006_fires_transitively() {
+        // W is referenced — but only by the dead U, so demand analysis
+        // flags both (the old body-usage check missed W).
+        let f =
+            facts("T(x,y) :- E(x,y).\nW(x) :- E(x,x).\nU(x) :- W(x), T(x,x).\nGoal() :- T(x,x).");
+        let ds = run(&UnusedIdbPass, &f);
+        assert_eq!(ds.len(), 2, "{}", ds.render("t", None));
+        let msgs: Vec<&str> = ds.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.starts_with("IDB W")));
+        assert!(msgs.iter().any(|m| m.starts_with("IDB U")));
+    }
+
+    // --- HP015 (guaranteed emptiness) ---
+
+    #[test]
+    fn hp015_fires_on_recursion_without_base_case() {
+        // P and Q feed each other with no base case; Goal inherits their
+        // emptiness.
+        let f = facts("P(x) :- E(x,y), Q(y).\nQ(x) :- P(x).\nGoal() :- P(x).");
+        let ds = run(&EmptinessPass, &f);
+        assert_eq!(ds.len(), 3, "{}", ds.render("t", None));
+        assert!(ds.iter().all(|d| d.code == Code::Hp015));
+        assert!(ds.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn hp015_silent_when_every_idb_is_derivable() {
+        let f = facts("T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\nGoal() :- T(x,x).");
+        assert!(run(&EmptinessPass, &f).is_empty());
+    }
+
+    // --- HP016 (per-SCC recursion width) ---
+
+    #[test]
+    fn hp016_reports_each_recursive_component() {
+        let f = facts(
+            "Ev(x) :- E(x,x).\nEv(x) :- E(x,y), Od(y).\nOd(x) :- E(x,y), Ev(y).\n\
+             D(x,y) :- E(x,y).\nD(x,y) :- D(x,z), D(z,y).",
+        );
+        let ds = run(&SccWidthPass, &f);
+        assert_eq!(ds.len(), 2, "{}", ds.render("t", None));
+        let msgs: Vec<&str> = ds.iter().map(|d| d.message.as_str()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("{Ev, Od}") && m.contains("width 1") && m.contains("linear")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("{D}") && m.contains("width 2") && m.contains("general")),
+            "{msgs:?}"
+        );
+        assert!(ds.iter().all(|d| d.severity == Severity::Note));
+    }
+
+    #[test]
+    fn hp016_silent_on_nonrecursive_programs() {
+        assert!(run(&SccWidthPass, &facts("P2(x,y) :- E(x,z), E(z,y).")).is_empty());
+    }
+
+    // --- HP014 (budgeted boundedness, opt-in) ---
+
+    #[test]
+    fn hp014_certifies_bounded_recursion_with_stage_and_ucq_size() {
+        // Recursive but bounded: the recursive rule is absorbed (§7).
+        let f = ProgramFacts::of_program(&gallery::absorbed_recursion());
+        let pass = BoundednessPass::new(hp_datalog::BoundednessBudget::stages(3));
+        let ds = run(&pass, &f);
+        assert_eq!(ds.len(), 1, "{}", ds.render("t", None));
+        let d = ds.iter().next().unwrap();
+        assert_eq!(d.code, Code::Hp014);
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(
+            d.message.contains("certified bounded at stage"),
+            "{}",
+            d.message
+        );
+        assert!(d.message.contains("Theorem 7.5"), "{}", d.message);
+        assert!(d.message.contains("UCQ unfolding"), "{}", d.message);
+    }
+
+    #[test]
+    fn hp014_does_not_warn_on_unbounded_recursion() {
+        // Transitive closure is unbounded: no warning, only the
+        // not-certified note.
+        let f = ProgramFacts::of_program(&gallery::transitive_closure());
+        let pass = BoundednessPass::new(hp_datalog::BoundednessBudget::stages(2));
+        let ds = run(&pass, &f);
+        assert_eq!(ds.len(), 1);
+        let d = ds.iter().next().unwrap();
+        assert_eq!(d.severity, Severity::Note);
+        assert!(d.message.contains("not certified"), "{}", d.message);
+    }
+
+    #[test]
+    fn hp014_skips_nonrecursive_programs() {
+        let f = ProgramFacts::of_program(&gallery::two_hop());
+        let ds = run(&BoundednessPass::default(), &f);
+        assert!(ds.is_empty(), "{}", ds.render("t", None));
+    }
+
+    #[test]
+    fn hp014_respects_the_wall_clock_budget() {
+        let f = ProgramFacts::of_program(&gallery::transitive_closure());
+        let budget =
+            hp_datalog::BoundednessBudget::stages(64).with_time_limit(std::time::Duration::ZERO);
+        let ds = run(&BoundednessPass::new(budget), &f);
+        assert_eq!(ds.len(), 1);
+        let d = ds.iter().next().unwrap();
+        assert_eq!(d.severity, Severity::Note);
+        assert!(d.message.contains("budget exhausted"), "{}", d.message);
     }
 
     // --- pipeline smoke ---

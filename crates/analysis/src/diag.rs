@@ -43,11 +43,21 @@ pub enum Code {
     Hp012,
     /// Rule is a syntactic duplicate of an earlier rule.
     Hp013,
+    /// Program certified bounded at stage `s` within the analysis budget:
+    /// by Theorem 7.5 it is equivalent to its stage-`s` UCQ unfolding, so
+    /// any recursion it contains is unnecessary.
+    Hp014,
+    /// IDB predicate is guaranteed empty on every input structure (its
+    /// rules can never fire, on any EDB).
+    Hp015,
+    /// Per-SCC recursion-width classification of the predicate dependency
+    /// graph (refines the whole-program HP008 class).
+    Hp016,
 }
 
 impl Code {
     /// Every code, in numeric order (for the documentation table).
-    pub const ALL: [Code; 13] = [
+    pub const ALL: [Code; 16] = [
         Code::Hp001,
         Code::Hp002,
         Code::Hp003,
@@ -61,6 +71,9 @@ impl Code {
         Code::Hp011,
         Code::Hp012,
         Code::Hp013,
+        Code::Hp014,
+        Code::Hp015,
+        Code::Hp016,
     ];
 
     /// The stable textual form, e.g. `"HP004"`.
@@ -79,6 +92,9 @@ impl Code {
             Code::Hp011 => "HP011",
             Code::Hp012 => "HP012",
             Code::Hp013 => "HP013",
+            Code::Hp014 => "HP014",
+            Code::Hp015 => "HP015",
+            Code::Hp016 => "HP016",
         }
     }
 
@@ -98,6 +114,9 @@ impl Code {
             Code::Hp011 => "formula syntax error",
             Code::Hp012 => "treewidth upper bound",
             Code::Hp013 => "duplicate rule",
+            Code::Hp014 => "certified bounded — UCQ-equivalent (Thm 7.5), recursion unnecessary",
+            Code::Hp015 => "IDB is guaranteed empty on every input",
+            Code::Hp016 => "per-SCC recursion width",
         }
     }
 
@@ -105,8 +124,10 @@ impl Code {
     pub fn default_severity(self) -> Severity {
         match self {
             Code::Hp001 | Code::Hp002 | Code::Hp003 | Code::Hp004 | Code::Hp005 => Severity::Error,
-            Code::Hp006 | Code::Hp007 | Code::Hp013 => Severity::Warning,
-            Code::Hp008 | Code::Hp009 | Code::Hp012 => Severity::Note,
+            Code::Hp006 | Code::Hp007 | Code::Hp013 | Code::Hp014 | Code::Hp015 => {
+                Severity::Warning
+            }
+            Code::Hp008 | Code::Hp009 | Code::Hp012 | Code::Hp016 => Severity::Note,
             Code::Hp010 | Code::Hp011 => Severity::Error,
         }
     }
@@ -124,6 +145,9 @@ impl Code {
             }
             DatalogErrorKind::UnsafeRule { .. } => Code::Hp004,
             DatalogErrorKind::HeadNotIdb => Code::Hp005,
+            DatalogErrorKind::BadGoalPragma { .. } | DatalogErrorKind::UnknownGoal { .. } => {
+                Code::Hp001
+            }
         }
     }
 }
@@ -243,6 +267,42 @@ impl Diagnostic {
             },
         )
     }
+}
+
+impl Diagnostic {
+    /// Render as a JSON object (see [`Diagnostics::to_json`]).
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<usize>| v.map_or("null".to_string(), |n| n.to_string());
+        format!(
+            "{{\"code\": \"{}\", \"severity\": \"{}\", \"message\": {}, \
+             \"line\": {}, \"col\": {}, \"rule\": {}}}",
+            self.code,
+            self.severity.label(),
+            json_string(&self.message),
+            opt(self.span.line),
+            opt(self.span.col),
+            opt(self.span.rule)
+        )
+    }
+}
+
+/// Quote and escape a string per RFC 8259.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// 1-based (line, column) of a byte offset in `source`.
@@ -369,6 +429,38 @@ impl Diagnostics {
         out
     }
 
+    /// Render as a JSON object for machine consumption
+    /// (`hompres-lint --format json`):
+    ///
+    /// ```json
+    /// {"input": "f.dl",
+    ///  "diagnostics": [{"code": "HP007", "severity": "warning",
+    ///                   "message": "...", "line": 3, "col": null,
+    ///                   "rule": 2}],
+    ///  "errors": 0, "warnings": 1, "notes": 0}
+    /// ```
+    ///
+    /// Hand-rolled (the workspace takes no serialization dependency);
+    /// strings are escaped per RFC 8259.
+    pub fn to_json(&self, input: &str) -> String {
+        let mut out = String::from("{\"input\": ");
+        out.push_str(&json_string(input));
+        out.push_str(", \"diagnostics\": [");
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&d.to_json());
+        }
+        out.push_str(&format!(
+            "], \"errors\": {}, \"warnings\": {}, \"notes\": {}}}",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Note)
+        ));
+        out
+    }
+
     /// One-line totals, e.g. `2 errors, 1 warning, 3 notes`.
     pub fn totals(&self) -> String {
         let plural = |n: usize, w: &str| {
@@ -400,10 +492,34 @@ mod tests {
     use super::*;
 
     #[test]
+    fn json_rendering_escapes_and_structures() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::new(
+            Code::Hp007,
+            "rule for \"U\" can be\nremoved",
+            Span {
+                line: Some(3),
+                col: None,
+                rule: Some(2),
+            },
+        ));
+        let j = ds.to_json("dir/it's.dl");
+        assert!(j.starts_with("{\"input\": \"dir/it's.dl\""), "{j}");
+        assert!(j.contains("\"code\": \"HP007\""), "{j}");
+        assert!(j.contains("\"severity\": \"warning\""), "{j}");
+        assert!(j.contains("\\\"U\\\" can be\\nremoved"), "{j}");
+        assert!(j.contains("\"line\": 3, \"col\": null, \"rule\": 2"), "{j}");
+        assert!(
+            j.ends_with("\"errors\": 0, \"warnings\": 1, \"notes\": 0}"),
+            "{j}"
+        );
+    }
+
+    #[test]
     fn codes_are_stable_strings() {
         assert_eq!(Code::Hp001.as_str(), "HP001");
-        assert_eq!(Code::Hp013.as_str(), "HP013");
-        assert_eq!(Code::ALL.len(), 13);
+        assert_eq!(Code::Hp016.as_str(), "HP016");
+        assert_eq!(Code::ALL.len(), 16);
         for (i, c) in Code::ALL.iter().enumerate() {
             assert_eq!(c.as_str(), format!("HP{:03}", i + 1));
         }

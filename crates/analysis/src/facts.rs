@@ -38,8 +38,9 @@ pub struct ProgramFacts {
 pub const GOAL_NAME: &str = "Goal";
 
 impl ProgramFacts {
-    /// Extract facts from a validated program. The goal is the IDB named
-    /// `Goal`, if any.
+    /// Extract facts from a validated program. The goal is the program's
+    /// designated goal: the one named by a `# goal:` pragma when present,
+    /// else the IDB named `Goal`, if any.
     pub fn of_program(p: &Program) -> ProgramFacts {
         let max_var = p
             .rules()
@@ -54,7 +55,7 @@ impl ProgramFacts {
             rules: p.rules().to_vec(),
             var_names: (0..max_var as u32).map(|v| p.var_name(v)).collect(),
             rule_lines: (0..p.rules().len()).map(|ri| p.rule_line(ri)).collect(),
-            goal: p.idb_index(GOAL_NAME),
+            goal: p.goal_index(),
         }
     }
 

@@ -1,0 +1,410 @@
+//! The certified rewrite engine behind `hompres-lint --fix`.
+//!
+//! Three rewrites, each of which provably preserves the goal's
+//! least-fixpoint relation on **every** input structure (and, for
+//! programs without a designated goal, every IDB's relation):
+//!
+//! - **dead-rule elimination** (discharges HP007): a rule whose head the
+//!   goal is not [demand-reachable](crate::dataflow::Relevance) from
+//!   cannot occur in any derivation tree of a goal fact;
+//! - **duplicate-rule removal** (discharges HP013): Datalog has set
+//!   semantics, so a rule syntactically identical to an earlier kept rule
+//!   contributes nothing;
+//! - **goal-unreachable-predicate pruning** (discharges HP006): once dead
+//!   rules are gone, IDB predicates the goal does not depend on have no
+//!   rules left; [`fix_program`] drops them from the IDB list entirely
+//!   (remapping indices), and [`fix_source`] drops them with their rules.
+//!
+//! The rewrites are *certified* in two senses: the proofs above are
+//! mechanical consequences of monotonicity (derivation trees only use
+//! rules for predicates the root depends on), and `tests/properties.rs`
+//! differential-tests every rewrite against the independent
+//! [`evaluate_reference`](hp_datalog::Program::evaluate_reference) oracle
+//! on random programs and random EDB structures.
+//!
+//! One pass reaches a fixpoint: removing a dead or duplicate rule never
+//! makes another rule newly dead (relevance is computed from kept heads,
+//! which don't change) or newly duplicated. [`fix_source`] is therefore
+//! idempotent — running it on its own output changes nothing — and the CI
+//! exercises exactly that on the gallery fixtures.
+
+use hp_datalog::{rule_byte_ranges, PredRef, Program, Rule};
+use hp_structures::Vocabulary;
+
+use crate::dataflow::relevant_preds;
+use crate::diag::Code;
+use crate::facts::ProgramFacts;
+use crate::lint::{find_pragma, parse_vocab_spec};
+use crate::pdg::Pdg;
+
+/// One rule deleted by a certified rewrite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemovedRule {
+    /// Index of the rule in the original program (rule order = source
+    /// order).
+    pub rule: usize,
+    /// 1-based source line of the rule, when known.
+    pub line: Option<usize>,
+    /// Head predicate name, for messages.
+    pub head: String,
+    /// The diagnostic the removal discharges (HP007 or HP013).
+    pub code: Code,
+}
+
+/// Result of [`fix_program`]: the rewritten program plus a record of what
+/// the rewrites did.
+#[derive(Clone, Debug)]
+pub struct ProgramFix {
+    /// The fixed program. Its goal designation (pragma or default name)
+    /// is carried over from the input.
+    pub program: Program,
+    /// Rules removed, in ascending original index.
+    pub removed: Vec<RemovedRule>,
+    /// Names of IDB predicates pruned from the program (each had no
+    /// live rules and was unreachable from the goal).
+    pub pruned_idbs: Vec<String>,
+}
+
+impl ProgramFix {
+    /// Did any rewrite fire?
+    pub fn changed(&self) -> bool {
+        !self.removed.is_empty() || !self.pruned_idbs.is_empty()
+    }
+}
+
+/// Result of [`fix_source`]: the rewritten source text plus the removal
+/// record.
+#[derive(Clone, Debug)]
+pub struct FixOutcome {
+    /// The fixed source. Comments, pragmas, and all kept rules survive
+    /// byte-for-byte; only removed rules (and lines they leave entirely
+    /// blank) are deleted.
+    pub fixed: String,
+    /// Rules removed, in ascending original index.
+    pub removed: Vec<RemovedRule>,
+}
+
+impl FixOutcome {
+    /// Did any rewrite fire?
+    pub fn changed(&self) -> bool {
+        !self.removed.is_empty()
+    }
+}
+
+/// Decide, per rule, whether a certified rewrite removes it and which
+/// diagnostic that discharges. Dead rules are marked first; duplicates
+/// are then detected among the *kept* rules only, so the surviving copy
+/// of a duplicated rule is always the earliest kept one.
+fn removal_plan(facts: &ProgramFacts, pdg: &Pdg) -> Vec<Option<Code>> {
+    let n = facts.rules.len();
+    let mut plan: Vec<Option<Code>> = vec![None; n];
+    if let Some(rel) = relevant_preds(facts, pdg) {
+        for (ri, r) in facts.rules.iter().enumerate() {
+            if let PredRef::Idb(h) = r.head.pred {
+                if h < rel.len() && !rel[h] {
+                    plan[ri] = Some(Code::Hp007);
+                }
+            }
+        }
+    }
+    for ri in 0..n {
+        if plan[ri].is_some() {
+            continue;
+        }
+        let dup = facts.rules[..ri]
+            .iter()
+            .enumerate()
+            .any(|(rj, r)| plan[rj].is_none() && *r == facts.rules[ri]);
+        if dup {
+            plan[ri] = Some(Code::Hp013);
+        }
+    }
+    plan
+}
+
+fn removed_of_plan(facts: &ProgramFacts, plan: &[Option<Code>]) -> Vec<RemovedRule> {
+    plan.iter()
+        .enumerate()
+        .filter_map(|(ri, c)| {
+            c.map(|code| RemovedRule {
+                rule: ri,
+                line: facts.rule_lines.get(ri).copied().flatten(),
+                head: facts.pred_name(facts.rules[ri].head.pred),
+                code,
+            })
+        })
+        .collect()
+}
+
+/// Apply all certified rewrites to a validated program.
+///
+/// The returned program computes the same relation for the goal (for
+/// goal-less programs: for every IDB) as `p` on every input structure.
+/// IDB indices may shift when predicates are pruned; look predicates up
+/// by name in the result.
+pub fn fix_program(p: &Program) -> ProgramFix {
+    let facts = ProgramFacts::of_program(p);
+    let pdg = Pdg::new(&facts);
+    let plan = removal_plan(&facts, &pdg);
+    let removed = removed_of_plan(&facts, &plan);
+
+    // Which IDBs survive: all of them without a goal, otherwise exactly
+    // the goal-relevant ones (kept rules can only mention those).
+    let keep_idb: Vec<bool> = match relevant_preds(&facts, &pdg) {
+        Some(rel) => rel,
+        None => vec![true; facts.idbs.len()],
+    };
+    let mut remap: Vec<Option<usize>> = vec![None; facts.idbs.len()];
+    let mut kept_idbs: Vec<(String, usize)> = Vec::new();
+    let mut pruned_idbs: Vec<String> = Vec::new();
+    for (i, (name, arity)) in facts.idbs.iter().enumerate() {
+        if keep_idb[i] {
+            remap[i] = Some(kept_idbs.len());
+            kept_idbs.push((name.clone(), *arity));
+        } else {
+            pruned_idbs.push(name.clone());
+        }
+    }
+
+    let remap_ref = |pr: PredRef| match pr {
+        PredRef::Edb(s) => PredRef::Edb(s),
+        PredRef::Idb(i) => PredRef::Idb(remap[i].expect("kept rules only mention kept IDBs")),
+    };
+    let mut kept_rules: Vec<Rule> = Vec::new();
+    let mut kept_lines: Vec<Option<usize>> = Vec::new();
+    for (ri, r) in facts.rules.iter().enumerate() {
+        if plan[ri].is_some() {
+            continue;
+        }
+        let mut r = r.clone();
+        r.head.pred = remap_ref(r.head.pred);
+        for a in &mut r.body {
+            a.pred = remap_ref(a.pred);
+        }
+        kept_rules.push(r);
+        kept_lines.push(facts.rule_lines.get(ri).copied().flatten());
+    }
+
+    let program = Program::new_with_lines(
+        facts.edb.clone(),
+        kept_idbs,
+        kept_rules,
+        facts.var_names.clone(),
+        kept_lines,
+    )
+    .expect("kept rules of a valid program remain valid");
+    let program = match facts.goal {
+        Some(g) => program
+            .with_goal(&facts.idbs[g].0)
+            .expect("the goal is always relevant, hence kept"),
+        None => program,
+    };
+    ProgramFix {
+        program,
+        removed,
+        pruned_idbs,
+    }
+}
+
+/// Apply all certified rewrites to a Datalog source text, in place.
+///
+/// The vocabulary resolves exactly as in [`crate::lint`]: `# edb:`
+/// pragma, then `default`, then the digraph vocabulary `{E/2}`. Returns
+/// an error (instead of a partial fix) when the text does not parse —
+/// `--fix` never touches a file it cannot fully analyze.
+///
+/// The rewrite deletes the byte ranges of removed rules (via
+/// [`rule_byte_ranges`]) and then drops any line left with nothing but
+/// whitespace; comments, pragmas, and kept rules are preserved
+/// byte-for-byte, so the output is stable under re-fixing.
+pub fn fix_source(text: &str, default: Option<&Vocabulary>) -> Result<FixOutcome, String> {
+    let vocab = match find_pragma(text) {
+        Some((line, spec)) => parse_vocab_spec(spec)
+            .map_err(|e| format!("bad vocabulary pragma on line {line}: {e}"))?,
+        None => default.cloned().unwrap_or_else(Vocabulary::digraph),
+    };
+    let program = Program::parse(text, &vocab).map_err(|e| e.to_string())?;
+    let facts = ProgramFacts::of_program(&program);
+    let pdg = Pdg::new(&facts);
+    let plan = removal_plan(&facts, &pdg);
+    let removed = removed_of_plan(&facts, &plan);
+    if removed.is_empty() {
+        return Ok(FixOutcome {
+            fixed: text.to_string(),
+            removed,
+        });
+    }
+
+    let ranges = rule_byte_ranges(text);
+    if ranges.len() != facts.rules.len() {
+        return Err(format!(
+            "internal error: {} rule spans for {} rules",
+            ranges.len(),
+            facts.rules.len()
+        ));
+    }
+    let mut mask = vec![false; text.len()];
+    for (ri, range) in ranges.iter().enumerate() {
+        if plan[ri].is_some() {
+            mask[range.clone()].fill(true);
+        }
+    }
+    // Drop lines a removal leaves entirely blank (but keep lines that
+    // retain a comment or another rule).
+    let mut pos = 0;
+    for line in text.split_inclusive('\n') {
+        let end = pos + line.len();
+        let touched = mask[pos..end].iter().any(|&m| m);
+        let blank = line
+            .char_indices()
+            .all(|(off, c)| mask[pos + off] || c.is_whitespace());
+        if touched && blank {
+            mask[pos..end].fill(true);
+        }
+        pos = end;
+    }
+    // Reassemble the kept byte runs. Rule ranges and line ranges are both
+    // char-aligned, so every run boundary is a char boundary.
+    let mut fixed = String::with_capacity(text.len());
+    let mut run_start = None;
+    for (i, &m) in mask.iter().enumerate() {
+        match (m, run_start) {
+            (false, None) => run_start = Some(i),
+            (true, Some(s)) => {
+                fixed.push_str(&text[s..i]);
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = run_start {
+        fixed.push_str(&text[s..]);
+    }
+    Ok(FixOutcome { fixed, removed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::generators;
+
+    const DIRTY: &str = "T(x,y) :- E(x,y).\n\
+                         T(x,y) :- E(x,z), T(z,y).\n\
+                         T(x,y) :- E(x,y).\n\
+                         U(x) :- T(x,x).\n\
+                         Goal() :- T(x,x).\n";
+
+    #[test]
+    fn fix_program_removes_dupes_and_dead_rules_and_prunes() {
+        let p = Program::parse(DIRTY, &Vocabulary::digraph()).unwrap();
+        let fix = fix_program(&p);
+        assert!(fix.changed());
+        let codes: Vec<(usize, Code)> = fix.removed.iter().map(|r| (r.rule, r.code)).collect();
+        assert_eq!(codes, vec![(2, Code::Hp013), (3, Code::Hp007)]);
+        assert_eq!(fix.pruned_idbs, vec!["U".to_string()]);
+        assert_eq!(fix.program.rules().len(), 3);
+        assert!(fix.program.idb_index("U").is_none());
+        assert_eq!(fix.program.goal_name(), Some("Goal"));
+        // Goal fixpoint preserved on a few concrete structures.
+        for a in [
+            generators::directed_path(5),
+            generators::directed_cycle(4),
+            generators::directed_cycle(1),
+        ] {
+            assert_eq!(
+                p.evaluate(&a).idb("Goal"),
+                fix.program.evaluate(&a).idb("Goal")
+            );
+        }
+    }
+
+    #[test]
+    fn fix_program_without_goal_only_removes_duplicates() {
+        let p = Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,y).\nU(x) :- T(x,x).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let fix = fix_program(&p);
+        assert_eq!(fix.removed.len(), 1);
+        assert_eq!(fix.removed[0].code, Code::Hp013);
+        assert!(fix.pruned_idbs.is_empty());
+        assert_eq!(fix.program.rules().len(), 2);
+        assert!(fix.program.idb_index("U").is_some());
+    }
+
+    #[test]
+    fn fix_source_preserves_comments_and_pragmas() {
+        let text = "# edb: E/2\n# transitive closure, with junk\nT(x,y) :- E(x,y).\n\
+                    T(x,y) :- E(x,z), T(z,y).\nU(x) :- T(x,x). # dead\nGoal() :- T(x,x).\n";
+        let out = fix_source(text, None).unwrap();
+        assert!(out.changed());
+        assert!(out.fixed.contains("# edb: E/2"));
+        assert!(out.fixed.contains("# transitive closure, with junk"));
+        assert!(out.fixed.contains("# dead"), "{}", out.fixed);
+        assert!(!out.fixed.contains("U(x)"));
+        // The fixed text parses and keeps the goal fixpoint.
+        let before = Program::parse(text, &Vocabulary::digraph()).unwrap();
+        let after = Program::parse(&out.fixed, &Vocabulary::digraph()).unwrap();
+        let a = generators::directed_cycle(3);
+        assert_eq!(
+            before.evaluate(&a).idb("Goal"),
+            after.evaluate(&a).idb("Goal")
+        );
+    }
+
+    #[test]
+    fn fix_source_is_idempotent() {
+        let out = fix_source(DIRTY, None).unwrap();
+        assert!(out.changed());
+        let again = fix_source(&out.fixed, None).unwrap();
+        assert!(!again.changed());
+        assert_eq!(again.fixed, out.fixed);
+    }
+
+    #[test]
+    fn fix_source_drops_blanked_lines_only() {
+        let out = fix_source(DIRTY, None).unwrap();
+        // The two removed rules each occupied a full line; both lines go.
+        assert_eq!(out.fixed.lines().count(), 3);
+        assert!(!out.fixed.contains("U(x)"));
+    }
+
+    #[test]
+    fn fix_source_rejects_unparsable_input() {
+        assert!(fix_source("T(x,y) :- E(x,", None).is_err());
+        assert!(fix_source("# edb: E-2\nT(x,y) :- E(x,y).", None).is_err());
+    }
+
+    #[test]
+    fn fix_source_honours_goal_pragma() {
+        // With the pragma, Reach is the goal and Extra is dead; without
+        // it, nothing is removable.
+        let text = "# goal: Reach\nReach(x,y) :- E(x,y).\nExtra(x) :- Reach(x,x).\n";
+        let out = fix_source(text, None).unwrap();
+        assert_eq!(out.removed.len(), 1);
+        assert_eq!(out.removed[0].head, "Extra");
+        let no_pragma = "Reach(x,y) :- E(x,y).\nExtra(x) :- Reach(x,x).\n";
+        assert!(!fix_source(no_pragma, None).unwrap().changed());
+    }
+
+    #[test]
+    fn clean_source_is_untouched() {
+        let text = "T(x,y) :- E(x,y).\nGoal() :- T(x,x).\n";
+        let out = fix_source(text, None).unwrap();
+        assert!(!out.changed());
+        assert_eq!(out.fixed, text);
+    }
+
+    #[test]
+    fn multiline_rule_removal_takes_all_its_lines() {
+        let text = "T(x,y) :- E(x,y).\nT(x,y) :-\n    E(x,z),\n    T(z,y).\n\
+                    Dead(x) :-\n    T(x,x).\nGoal() :- T(x,x).\n";
+        let out = fix_source(text, None).unwrap();
+        assert_eq!(out.removed.len(), 1);
+        assert!(!out.fixed.contains("Dead"));
+        assert!(out.fixed.contains("    T(z,y)."));
+        let after = Program::parse(&out.fixed, &Vocabulary::digraph()).unwrap();
+        assert_eq!(after.rules().len(), 3);
+    }
+}

@@ -40,17 +40,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dataflow;
 pub mod datalog_passes;
 pub mod dce;
 pub mod diag;
 pub mod facts;
+pub mod fix;
 pub mod formula;
 pub mod lint;
 pub mod pass;
+pub mod pdg;
 
+pub use dataflow::{
+    possibly_nonempty, relevant_preds, solve, stage_bounds, DataflowAnalysis, Direction,
+    JoinSemiLattice, StageBound,
+};
 pub use dce::{eliminate_dead_rules, DeadRuleElimination};
 pub use diag::{Code, Diagnostic, Diagnostics, Severity, Span};
 pub use facts::ProgramFacts;
+pub use fix::{fix_program, fix_source, FixOutcome, ProgramFix, RemovedRule};
 pub use formula::{analyze_formula, analyze_formula_source};
-pub use lint::{lint_datalog_source, lint_formula_source, parse_vocab_spec};
+pub use lint::{
+    lint_datalog_source, lint_datalog_source_with, lint_formula_source, parse_vocab_spec,
+};
 pub use pass::{Analyzer, Pass};
+pub use pdg::Pdg;

@@ -50,7 +50,7 @@ pub fn parse_vocab_spec(spec: &str) -> Result<Vocabulary, String> {
 
 /// Extract the `# edb:` / `# vocab:` pragma from a source text, with the
 /// 1-based line it sits on.
-fn find_pragma(text: &str) -> Option<(usize, &str)> {
+pub(crate) fn find_pragma(text: &str) -> Option<(usize, &str)> {
     for (i, line) in text.lines().enumerate() {
         let t = line.trim();
         for prefix in ["# edb:", "#edb:", "# vocab:", "#vocab:"] {
@@ -85,12 +85,22 @@ fn resolve_vocab(text: &str, default: Option<&Vocabulary>, out: &mut Diagnostics
 /// Lint a Datalog source text. The EDB vocabulary comes from the
 /// `# edb:` pragma, then `default`, then `{E/2}`.
 pub fn lint_datalog_source(text: &str, default: Option<&Vocabulary>) -> Diagnostics {
+    lint_datalog_source_with(text, default, &Analyzer::default_pipeline())
+}
+
+/// Like [`lint_datalog_source`], but with a caller-chosen pipeline —
+/// the hook `hompres-lint --boundedness` uses to opt in to HP014.
+pub fn lint_datalog_source_with(
+    text: &str,
+    default: Option<&Vocabulary>,
+    analyzer: &Analyzer,
+) -> Diagnostics {
     let mut out = Diagnostics::new();
     let vocab = resolve_vocab(text, default, &mut out);
     if out.has_errors() {
         return out;
     }
-    let (_, ds) = Analyzer::default_pipeline().analyze_source(text, &vocab);
+    let (_, ds) = analyzer.analyze_source(text, &vocab);
     out.extend_from(ds);
     out
 }

@@ -31,8 +31,10 @@ impl Analyzer {
     }
 
     /// The full default pipeline: validation (HP002–HP005), hygiene
-    /// (HP006, HP007, HP013), and classification notes (HP008, HP009,
-    /// HP012), in that order.
+    /// (HP006, HP007, HP013, HP015), and classification notes (HP008,
+    /// HP009, HP012, HP016), in that order. The budgeted boundedness
+    /// check (HP014) is **not** included — opt in with
+    /// [`Analyzer::with_boundedness`].
     pub fn default_pipeline() -> Analyzer {
         use crate::datalog_passes::*;
         Analyzer::new()
@@ -42,9 +44,19 @@ impl Analyzer {
             .with_pass(Box::new(UnusedIdbPass))
             .with_pass(Box::new(DeadRulePass))
             .with_pass(Box::new(DuplicateRulePass))
+            .with_pass(Box::new(EmptinessPass))
             .with_pass(Box::new(RecursionPass))
+            .with_pass(Box::new(SccWidthPass))
             .with_pass(Box::new(VarCountPass))
             .with_pass(Box::new(RuleTreewidthPass))
+    }
+
+    /// The default pipeline plus the opt-in budgeted boundedness
+    /// certification pass (HP014, Theorem 7.5) with the given budget.
+    pub fn with_boundedness(budget: hp_datalog::BoundednessBudget) -> Analyzer {
+        Analyzer::default_pipeline().with_pass(Box::new(
+            crate::datalog_passes::BoundednessPass::new(budget),
+        ))
     }
 
     /// Append a pass to the pipeline.
@@ -116,9 +128,16 @@ mod tests {
             Code::Hp009,
             Code::Hp012,
             Code::Hp013,
+            Code::Hp015,
+            Code::Hp016,
         ] {
             assert!(covered.contains(&c), "no pass emits {c}");
         }
+        // HP014 is opt-in, not part of the default pipeline.
+        assert!(!covered.contains(&Code::Hp014));
+        let b = Analyzer::with_boundedness(hp_datalog::BoundednessBudget::stages(2));
+        let covered: Vec<Code> = b.passes().flat_map(|p| p.codes().iter().copied()).collect();
+        assert!(covered.contains(&Code::Hp014));
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! The predicate dependency graph (PDG) with its SCC condensation — the
+//! substrate every program-level analysis pass runs over.
+//!
+//! Nodes are the program's IDB predicates; there is an edge `h → q`
+//! whenever some rule with head `h` mentions `q` in its body ("`h`
+//! depends on `q`"). The graph is condensed into strongly connected
+//! components by an iterative Tarjan walk; components come out in
+//! **topological order with dependencies first**, which is exactly the
+//! evaluation order a forward dataflow analysis wants (and, reversed, the
+//! order a backward one wants). Recursion lives entirely inside the
+//! recursive SCCs, so per-SCC questions — is this component recursive,
+//! how many same-component atoms does its widest rule carry — localize
+//! the HP008/HP016 classifications the paper's §7 reasons about.
+
+use std::collections::BTreeSet;
+
+use hp_datalog::PredRef;
+
+use crate::facts::ProgramFacts;
+
+/// The predicate dependency graph of a program, with rule cross-indexes
+/// and the SCC condensation precomputed.
+#[derive(Clone, Debug)]
+pub struct Pdg {
+    /// `deps[h]` = IDB indices occurring in bodies of rules with head `h`.
+    deps: Vec<BTreeSet<usize>>,
+    /// Reverse edges: `dependents[q]` = heads whose rules mention `q`.
+    dependents: Vec<BTreeSet<usize>>,
+    /// `rules_of[h]` = indices of rules whose head is IDB `h`.
+    rules_of: Vec<Vec<usize>>,
+    /// `rules_using[q]` = indices of rules with an IDB-`q` body atom.
+    rules_using: Vec<Vec<usize>>,
+    /// SCC index of each predicate. SCC indices are topological:
+    /// dependencies always live in an SCC with a **smaller or equal**
+    /// index, with equality exactly for same-component edges.
+    scc_of: Vec<usize>,
+    /// Members of each SCC, in topological order (dependencies first).
+    sccs: Vec<Vec<usize>>,
+}
+
+impl Pdg {
+    /// Build the graph and its condensation from program facts.
+    /// Out-of-range IDB indices (possible in raw, unvalidated facts) are
+    /// ignored, matching the robustness contract of [`ProgramFacts`].
+    pub fn new(facts: &ProgramFacts) -> Pdg {
+        let n = facts.idbs.len();
+        let mut deps = vec![BTreeSet::new(); n];
+        let mut dependents = vec![BTreeSet::new(); n];
+        let mut rules_of = vec![Vec::new(); n];
+        let mut rules_using = vec![Vec::new(); n];
+        for (ri, r) in facts.rules.iter().enumerate() {
+            let PredRef::Idb(h) = r.head.pred else {
+                continue;
+            };
+            if h >= n {
+                continue;
+            }
+            rules_of[h].push(ri);
+            let mut used_here: BTreeSet<usize> = BTreeSet::new();
+            for a in &r.body {
+                if let PredRef::Idb(q) = a.pred {
+                    if q < n {
+                        deps[h].insert(q);
+                        dependents[q].insert(h);
+                        used_here.insert(q);
+                    }
+                }
+            }
+            for q in used_here {
+                rules_using[q].push(ri);
+            }
+        }
+        let (scc_of, sccs) = tarjan_sccs(&deps);
+        Pdg {
+            deps,
+            dependents,
+            rules_of,
+            rules_using,
+            scc_of,
+            sccs,
+        }
+    }
+
+    /// Number of predicates (nodes).
+    pub fn num_preds(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// IDB predicates the given predicate's rules depend on.
+    pub fn deps(&self, p: usize) -> &BTreeSet<usize> {
+        &self.deps[p]
+    }
+
+    /// IDB predicates whose rules mention `p` in a body.
+    pub fn dependents(&self, p: usize) -> &BTreeSet<usize> {
+        &self.dependents[p]
+    }
+
+    /// Indices of rules whose head is `p`.
+    pub fn rules_of(&self, p: usize) -> &[usize] {
+        &self.rules_of[p]
+    }
+
+    /// Indices of rules with an IDB-`p` body atom.
+    pub fn rules_using(&self, p: usize) -> &[usize] {
+        &self.rules_using[p]
+    }
+
+    /// Number of strongly connected components.
+    pub fn scc_count(&self) -> usize {
+        self.sccs.len()
+    }
+
+    /// SCC index of a predicate. Indices are topological: every
+    /// dependency of `p` outside its own SCC has a strictly smaller SCC
+    /// index.
+    pub fn scc_of(&self, p: usize) -> usize {
+        self.scc_of[p]
+    }
+
+    /// Members of an SCC (ascending predicate indices).
+    pub fn scc_members(&self, s: usize) -> &[usize] {
+        &self.sccs[s]
+    }
+
+    /// All SCCs in topological order, dependencies first.
+    pub fn sccs(&self) -> impl Iterator<Item = &[usize]> {
+        self.sccs.iter().map(|m| m.as_slice())
+    }
+
+    /// True when the SCC contains a cycle: more than one member, or a
+    /// single member with a self-loop. Exactly the recursive components.
+    pub fn is_recursive_scc(&self, s: usize) -> bool {
+        let m = &self.sccs[s];
+        m.len() > 1 || self.deps[m[0]].contains(&m[0])
+    }
+
+    /// True when predicate `p` is (transitively) recursive, i.e. lives in
+    /// a recursive SCC.
+    pub fn is_recursive_pred(&self, p: usize) -> bool {
+        self.is_recursive_scc(self.scc_of[p])
+    }
+
+    /// The **recursion width** of an SCC: the maximum, over rules whose
+    /// head lies in the SCC, of the number of body atoms whose predicate
+    /// also lies in the SCC. Width 0 means nonrecursive, 1 linear
+    /// recursion, ≥ 2 nonlinear (the doubly recursive transitive closure
+    /// has width 2). Refines the whole-program HP008 class per component.
+    pub fn scc_recursion_width(&self, facts: &ProgramFacts, s: usize) -> usize {
+        let mut width = 0;
+        for &p in &self.sccs[s] {
+            for &ri in &self.rules_of[p] {
+                let w = facts.rules[ri]
+                    .body
+                    .iter()
+                    .filter(
+                        |a| matches!(a.pred, PredRef::Idb(q) if q < self.scc_of.len() && self.scc_of[q] == s),
+                    )
+                    .count();
+                width = width.max(w);
+            }
+        }
+        width
+    }
+
+    /// Predicates reachable from `start` by following dependency edges
+    /// (`backward = false`: what does `start` depend on?) or dependent
+    /// edges (`backward = true`: what depends on `start`?). Includes the
+    /// start set itself.
+    pub fn reachable(
+        &self,
+        start: impl IntoIterator<Item = usize>,
+        backward: bool,
+    ) -> BTreeSet<usize> {
+        let edges = if backward {
+            &self.dependents
+        } else {
+            &self.deps
+        };
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<usize> = start.into_iter().filter(|&p| p < edges.len()).collect();
+        while let Some(p) = stack.pop() {
+            if seen.insert(p) {
+                stack.extend(edges[p].iter().copied());
+            }
+        }
+        seen
+    }
+}
+
+/// Iterative Tarjan SCC. Returns `(scc_of, sccs)` with components
+/// numbered in topological order, dependencies first — Tarjan finishes a
+/// component only after every component it can reach, so the natural
+/// emission order is already the one we want.
+fn tarjan_sccs(deps: &[BTreeSet<usize>]) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let n = deps.len();
+    const UNSEEN: usize = usize::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut scc_of = vec![0usize; n];
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS frames: (node, iterator position into deps[node]).
+    for root in 0..n {
+        if index[root] != UNSEEN {
+            continue;
+        }
+        let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        frames.push((root, deps[root].iter().copied().collect(), 0));
+        while !frames.is_empty() {
+            let top = frames.len() - 1;
+            let v = frames[top].0;
+            if frames[top].2 < frames[top].1.len() {
+                let w = frames[top].1[frames[top].2];
+                frames[top].2 += 1;
+                if index[w] == UNSEEN {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, deps[w].iter().copied().collect(), 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w] = false;
+                        scc_of[w] = sccs.len();
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.sort_unstable();
+                    sccs.push(members);
+                }
+            }
+        }
+    }
+    (scc_of, sccs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_datalog::{gallery, Program};
+    use hp_structures::Vocabulary;
+
+    fn facts(text: &str) -> ProgramFacts {
+        ProgramFacts::of_program(&Program::parse(text, &Vocabulary::digraph()).unwrap())
+    }
+
+    #[test]
+    fn tc_is_one_recursive_scc() {
+        let f = ProgramFacts::of_program(&gallery::transitive_closure());
+        let g = Pdg::new(&f);
+        assert_eq!(g.num_preds(), 1);
+        assert_eq!(g.scc_count(), 1);
+        assert!(g.is_recursive_scc(0));
+        assert_eq!(g.scc_recursion_width(&f, 0), 1);
+    }
+
+    #[test]
+    fn doubly_recursive_tc_has_width_two() {
+        let f = facts("T(x,y) :- E(x,y).\nT(x,y) :- T(x,z), T(z,y).");
+        let g = Pdg::new(&f);
+        assert_eq!(g.scc_recursion_width(&f, g.scc_of(0)), 2);
+    }
+
+    #[test]
+    fn condensation_is_topological() {
+        // Goal -> U -> T, T recursive; Goal and U nonrecursive.
+        let f =
+            facts("T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\nU(x) :- T(x,x).\nGoal() :- U(x).");
+        let g = Pdg::new(&f);
+        assert_eq!(g.scc_count(), 3);
+        let (t, u, goal) = (0, 1, 2);
+        assert!(g.scc_of(t) < g.scc_of(u));
+        assert!(g.scc_of(u) < g.scc_of(goal));
+        assert!(g.is_recursive_scc(g.scc_of(t)));
+        assert!(!g.is_recursive_scc(g.scc_of(u)));
+        assert_eq!(g.scc_recursion_width(&f, g.scc_of(u)), 0);
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_scc() {
+        let f = facts(
+            "Even(x,y) :- E(x,z), Odd(z,y).\nOdd(x,y) :- E(x,y).\nOdd(x,y) :- E(x,z), Even(z,y).",
+        );
+        let g = Pdg::new(&f);
+        assert_eq!(g.scc_count(), 1);
+        assert_eq!(g.scc_members(0), &[0, 1]);
+        assert!(g.is_recursive_scc(0));
+        assert_eq!(g.scc_recursion_width(&f, 0), 1);
+    }
+
+    #[test]
+    fn reachability_both_directions() {
+        let f = facts("T(x,y) :- E(x,y).\nU(x) :- T(x,x).\nV(x) :- E(x,x).\nGoal() :- U(x).");
+        let g = Pdg::new(&f);
+        let (t, u, v, goal) = (0, 1, 2, 3);
+        let fwd = g.reachable([goal], false);
+        assert!(fwd.contains(&t) && fwd.contains(&u) && fwd.contains(&goal));
+        assert!(!fwd.contains(&v));
+        let bwd = g.reachable([t], true);
+        assert_eq!(bwd, BTreeSet::from([t, u, goal]));
+    }
+
+    #[test]
+    fn rule_cross_indexes() {
+        let f = facts("T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\nGoal() :- T(x,x).");
+        let g = Pdg::new(&f);
+        assert_eq!(g.rules_of(0), &[0, 1]);
+        assert_eq!(g.rules_of(1), &[2]);
+        assert_eq!(g.rules_using(0), &[1, 2]);
+        assert!(g.rules_using(1).is_empty());
+        assert_eq!(g.dependents(0), &BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn empty_program_graph() {
+        let f = ProgramFacts::from_parts(Vocabulary::digraph(), vec![], vec![], vec![]);
+        let g = Pdg::new(&f);
+        assert_eq!(g.num_preds(), 0);
+        assert_eq!(g.scc_count(), 0);
+        assert!(g.reachable([], false).is_empty());
+    }
+}

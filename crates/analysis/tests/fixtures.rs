@@ -1,0 +1,151 @@
+//! Expect-header-driven tests over the committed lint fixtures in
+//! `examples/lint/`.
+//!
+//! Every `.dl` fixture self-describes its expected diagnostics in
+//! comment headers, so each new HP code keeps a *positive* fixture (a
+//! file that triggers it) and a *negative* one (a file that provably
+//! does not) in the repository:
+//!
+//! ```text
+//! # expect: HP016            — code must be reported (any severity)
+//! # expect-not: HP015        — code must not be reported at all
+//! # expect-warn: HP014       — code must be reported as warning/error
+//! # expect-no-warn: HP014    — code must not reach warning severity
+//! ```
+//!
+//! Fixtures are linted with the boundedness pass enabled (stage cap 4,
+//! no wall-clock limit — deterministic), so HP014 expectations are
+//! checkable too.
+
+use std::path::{Path, PathBuf};
+
+use hp_analysis::{lint_datalog_source_with, Analyzer, Code, Severity};
+use hp_datalog::BoundednessBudget;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/lint")
+}
+
+fn dl_fixtures(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("fixture dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            dl_fixtures(&path, out);
+        } else if path.extension().is_some_and(|e| e == "dl") {
+            out.push(path);
+        }
+    }
+}
+
+fn parse_codes(list: &str) -> Vec<Code> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            *Code::ALL
+                .iter()
+                .find(|c| c.as_str() == s)
+                .unwrap_or_else(|| panic!("unknown code {s:?} in expect header"))
+        })
+        .collect()
+}
+
+struct Expectations {
+    present: Vec<Code>,
+    absent: Vec<Code>,
+    warns: Vec<Code>,
+    no_warns: Vec<Code>,
+}
+
+fn parse_expectations(text: &str) -> Expectations {
+    let mut e = Expectations {
+        present: Vec::new(),
+        absent: Vec::new(),
+        warns: Vec::new(),
+        no_warns: Vec::new(),
+    };
+    for line in text.lines() {
+        let t = line.trim();
+        // Longest prefixes first: "# expect:" is a prefix of none of the
+        // others, but "# expect-no-warn:" must not be eaten by a shorter
+        // match.
+        if let Some(rest) = t.strip_prefix("# expect-no-warn:") {
+            e.no_warns.extend(parse_codes(rest));
+        } else if let Some(rest) = t.strip_prefix("# expect-warn:") {
+            e.warns.extend(parse_codes(rest));
+        } else if let Some(rest) = t.strip_prefix("# expect-not:") {
+            e.absent.extend(parse_codes(rest));
+        } else if let Some(rest) = t.strip_prefix("# expect:") {
+            e.present.extend(parse_codes(rest));
+        }
+    }
+    e
+}
+
+#[test]
+fn every_dl_fixture_meets_its_expect_headers() {
+    let mut paths = Vec::new();
+    dl_fixtures(&fixture_root(), &mut paths);
+    paths.sort();
+    assert!(
+        paths.len() >= 8,
+        "expected the committed fixture set, found {paths:?}"
+    );
+    let analyzer = Analyzer::with_boundedness(BoundednessBudget::stages(4));
+    let mut checked = 0usize;
+    for path in &paths {
+        let name = path.display().to_string();
+        let text = std::fs::read_to_string(path).expect("fixture readable");
+        let e = parse_expectations(&text);
+        let total = e.present.len() + e.absent.len() + e.warns.len() + e.no_warns.len();
+        assert!(total > 0, "{name}: fixture has no expect headers");
+        let ds = lint_datalog_source_with(&text, None, &analyzer);
+        let rendered = ds.render(&name, Some(&text));
+        for c in e.present.iter().chain(&e.warns) {
+            assert!(ds.contains(*c), "{name}: expected {c}\n{rendered}");
+        }
+        for c in &e.absent {
+            assert!(!ds.contains(*c), "{name}: expected no {c}\n{rendered}");
+        }
+        for c in &e.warns {
+            assert!(
+                ds.iter()
+                    .any(|d| d.code == *c && d.severity >= Severity::Warning),
+                "{name}: expected {c} at warning severity\n{rendered}"
+            );
+        }
+        for c in &e.no_warns {
+            assert!(
+                !ds.iter()
+                    .any(|d| d.code == *c && d.severity >= Severity::Warning),
+                "{name}: expected {c} to stay below warning severity\n{rendered}"
+            );
+        }
+        checked += total;
+    }
+    assert!(checked >= 20, "suspiciously few expectations: {checked}");
+}
+
+/// The new codes each keep a positive and a negative fixture: some file
+/// expects the code, some other file excludes it (or caps its severity).
+#[test]
+fn new_codes_have_positive_and_negative_fixtures() {
+    let mut paths = Vec::new();
+    dl_fixtures(&fixture_root(), &mut paths);
+    let all: Vec<Expectations> = paths
+        .iter()
+        .map(|p| parse_expectations(&std::fs::read_to_string(p).expect("fixture readable")))
+        .collect();
+    for c in [Code::Hp014, Code::Hp015, Code::Hp016] {
+        assert!(
+            all.iter()
+                .any(|e| e.present.contains(&c) || e.warns.contains(&c)),
+            "no positive fixture for {c}"
+        );
+        assert!(
+            all.iter()
+                .any(|e| e.absent.contains(&c) || e.no_warns.contains(&c)),
+            "no negative fixture for {c}"
+        );
+    }
+}

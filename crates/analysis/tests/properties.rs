@@ -6,8 +6,13 @@
 //! 2. **Analyzer/constructor agreement**: every program `Program::new`
 //!    accepts lints without Error diagnostics, and every rejected program
 //!    maps to the matching `HP0xx` code at the same rule.
+//! 3. **The `--fix` engine is certified**: both the AST-level
+//!    [`fix_program`] and the source-level [`fix_source`] preserve the
+//!    goal fixpoint on random programs and random EDB structures —
+//!    checked differentially against the independent `evaluate_reference`
+//!    oracle — and both are idempotent.
 
-use hp_analysis::{eliminate_dead_rules, Analyzer, Code, ProgramFacts};
+use hp_analysis::{eliminate_dead_rules, fix_program, fix_source, Analyzer, Code, ProgramFacts};
 use hp_datalog::{DatalogAtom, PredRef, Program, Rule};
 use hp_structures::{Elem, Structure, Vocabulary};
 use proptest::prelude::*;
@@ -48,6 +53,16 @@ fn program_from_indices(picks: &[usize]) -> Program {
     Program::parse(&text, &Vocabulary::digraph()).expect("pool rules are valid")
 }
 
+/// Like [`program_from_indices`], but keeps the raw text and does *not*
+/// deduplicate picks — duplicate rules are exactly what the HP013 rewrite
+/// needs to see.
+fn program_text_from_indices(picks: &[usize]) -> String {
+    let pool = rule_pool();
+    let mut lines: Vec<&str> = vec![pool[0], pool[3], pool[5], pool[7]];
+    lines.extend(picks.iter().map(|&i| pool[i % pool.len()]));
+    lines.join("\n")
+}
+
 /// A digraph structure from a list of (u, v) byte pairs on `n` elements.
 fn structure_from_edges(n: usize, edges: &[(u8, u8)]) -> Structure {
     let vocab = Vocabulary::digraph();
@@ -61,7 +76,7 @@ fn structure_from_edges(n: usize, edges: &[(u8, u8)]) -> Structure {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// Certified dead-rule elimination: the goal relation of the pruned
     /// program equals the original's on arbitrary structures, and the
@@ -99,6 +114,63 @@ proptest! {
         let p = program_from_indices(&picks);
         let ds = Analyzer::default_pipeline().analyze_program(&p);
         prop_assert!(!ds.has_errors(), "{}", ds.render("accepted", None));
+    }
+
+    /// `fix_program` is certified: the fixed program computes the same
+    /// goal relation as the original on arbitrary EDB structures, under
+    /// the independent reference evaluator. Fixing is also complete
+    /// (no HP006/HP007/HP013 remain) and idempotent.
+    #[test]
+    fn fix_program_preserves_goal_fixpoint_against_reference(
+        picks in prop::collection::vec(0usize..9, 0..8),
+        edges in prop::collection::vec((0u8..6, 0u8..6), 0..14),
+        n in 1usize..6,
+    ) {
+        let text = program_text_from_indices(&picks);
+        let p = Program::parse(&text, &Vocabulary::digraph()).expect("pool rules are valid");
+        let fix = fix_program(&p);
+        let a = structure_from_edges(n, &edges);
+        let before = p.evaluate_reference(&a);
+        let after = fix.program.evaluate_reference(&a);
+        prop_assert_eq!(before.idb("Goal"), after.idb("Goal"));
+        // The fixed program is clean of everything the rewrites discharge.
+        let ds = Analyzer::default_pipeline().analyze_program(&fix.program);
+        for c in [Code::Hp006, Code::Hp007, Code::Hp013] {
+            prop_assert!(!ds.contains(c), "{}", ds.render("fixed", None));
+        }
+        // Idempotent: a second fix has nothing left to do.
+        prop_assert!(!fix_program(&fix.program).changed());
+    }
+
+    /// `fix_source` agrees with `fix_program` on what to remove, its
+    /// output re-parses to a program with the same goal fixpoint (again
+    /// differentially against the reference evaluator), and re-fixing the
+    /// fixed text is the identity.
+    #[test]
+    fn fix_source_is_certified_and_idempotent(
+        picks in prop::collection::vec(0usize..9, 0..8),
+        edges in prop::collection::vec((0u8..6, 0u8..6), 0..14),
+        n in 1usize..6,
+    ) {
+        let text = program_text_from_indices(&picks);
+        let vocab = Vocabulary::digraph();
+        let out = fix_source(&text, Some(&vocab)).expect("pool text parses");
+        let p = Program::parse(&text, &vocab).unwrap();
+        let q = Program::parse(&out.fixed, &vocab).expect("fixed text parses");
+        let a = structure_from_edges(n, &edges);
+        let before = p.evaluate_reference(&a);
+        let after = q.evaluate_reference(&a);
+        prop_assert_eq!(before.idb("Goal"), after.idb("Goal"));
+        // Source-level and AST-level fixing remove the same rules for the
+        // same reasons.
+        let fixp = fix_program(&p);
+        let by_source: Vec<(usize, Code)> = out.removed.iter().map(|r| (r.rule, r.code)).collect();
+        let by_ast: Vec<(usize, Code)> = fixp.removed.iter().map(|r| (r.rule, r.code)).collect();
+        prop_assert_eq!(by_source, by_ast);
+        // Idempotent on the text level, byte for byte.
+        let again = fix_source(&out.fixed, Some(&vocab)).unwrap();
+        prop_assert!(!again.changed());
+        prop_assert_eq!(&again.fixed, &out.fixed);
     }
 
     /// Programs rejected by `Program::new` map to the matching HP code:

@@ -69,7 +69,15 @@ pub struct Program {
     var_names: Vec<String>,
     /// 1-based source line of each rule, when parsed from text.
     rule_lines: Vec<Option<usize>>,
+    /// Index of the designated goal IDB, when one exists: set by a
+    /// `# goal: Name` pragma when parsed from text, otherwise the IDB
+    /// named [`DEFAULT_GOAL_NAME`] by convention.
+    goal: Option<usize>,
 }
+
+/// The IDB name treated as the goal when no `# goal:` pragma designates
+/// one explicitly.
+pub const DEFAULT_GOAL_NAME: &str = "Goal";
 
 impl Program {
     /// Build a program from parts. Validates arities and head predicates.
@@ -95,12 +103,14 @@ impl Program {
         rule_lines: Vec<Option<usize>>,
     ) -> Result<Program, DatalogError> {
         assert_eq!(rules.len(), rule_lines.len(), "rule_lines misaligned");
+        let goal = idbs.iter().position(|(n, _)| n == DEFAULT_GOAL_NAME);
         let p = Program {
             edb,
             idbs,
             rules,
             var_names,
             rule_lines,
+            goal,
         };
         for (ri, r) in p.rules.iter().enumerate() {
             let span = DatalogSpan {
@@ -169,6 +179,36 @@ impl Program {
     /// Look up an IDB predicate index by name.
     pub fn idb_index(&self, name: &str) -> Option<usize> {
         self.idbs.iter().position(|(n, _)| n == name)
+    }
+
+    /// Index of the designated goal IDB: the predicate named by a
+    /// `# goal:` pragma when the program was parsed from text, otherwise
+    /// the IDB named `Goal` when one exists.
+    pub fn goal_index(&self) -> Option<usize> {
+        self.goal
+    }
+
+    /// Name of the designated goal IDB, when one exists.
+    pub fn goal_name(&self) -> Option<&str> {
+        self.goal.map(|g| self.idbs[g].0.as_str())
+    }
+
+    /// Designate the IDB named `name` as the program's goal (the API
+    /// counterpart of the `# goal:` pragma). Errors when no IDB of that
+    /// name exists.
+    pub fn with_goal(mut self, name: &str) -> Result<Program, DatalogError> {
+        match self.idb_index(name) {
+            Some(i) => {
+                self.goal = Some(i);
+                Ok(self)
+            }
+            None => Err(DatalogError::new(
+                DatalogErrorKind::UnknownGoal {
+                    name: name.to_string(),
+                },
+                DatalogSpan::default(),
+            )),
+        }
     }
 
     /// Arity of any predicate reference.

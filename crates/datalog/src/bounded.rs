@@ -16,6 +16,8 @@
 //!   `m ≥ s`, this certifies boundedness at `s` *on all finite structures*
 //!   — the decidable criterion behind Theorem 7.5.
 
+use std::time::{Duration, Instant};
+
 use hp_structures::Structure;
 
 use crate::ast::Program;
@@ -76,6 +78,121 @@ pub fn certified_boundedness(p: &Program, max_s: usize) -> Result<Option<usize>,
         }
     }
     Ok(None)
+}
+
+/// A resource cap for [`certify_boundedness`]: UCQ equivalence is
+/// NP-hard-squared (containment both ways, each a homomorphism search per
+/// disjunct pair), and unfolding sizes can grow with the stage, so callers
+/// — analysis passes above all — must be able to bound both the stage
+/// search and the wall-clock spend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundednessBudget {
+    /// Highest stage `s` to test (inclusive).
+    pub max_stage: usize,
+    /// Wall-clock limit for the whole search, `None` for unlimited. The
+    /// deadline is checked between per-IDB equivalence tests, so a single
+    /// UCQ-equivalence call can overshoot — the budget bounds when the
+    /// search *stops trying*, not the worst-case overshoot of one test.
+    pub time_limit: Option<Duration>,
+}
+
+impl BoundednessBudget {
+    /// A stage-only budget with no time limit.
+    pub fn stages(max_stage: usize) -> BoundednessBudget {
+        BoundednessBudget {
+            max_stage,
+            time_limit: None,
+        }
+    }
+
+    /// Attach a wall-clock limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> BoundednessBudget {
+        self.time_limit = Some(limit);
+        self
+    }
+}
+
+/// Outcome of a budgeted boundedness search ([`certify_boundedness`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundednessVerdict {
+    /// `Θ^s ≡ Θ^{s+1}` for every IDB: the program is bounded at stage
+    /// `stage` on all finite structures, hence (Theorem 7.5) equivalent to
+    /// the stage-`stage` UCQ unfolding, whose size is reported.
+    Certified {
+        /// The least certified stage within the budget.
+        stage: usize,
+        /// Disjunct count of the witnessing UCQ: the goal IDB's stage
+        /// unfolding when a goal is designated, else the sum over all
+        /// IDBs.
+        ucq_disjuncts: usize,
+    },
+    /// Every stage `0..=max_stage` was tested and none certified. The
+    /// program may be unbounded (like transitive closure) or bounded only
+    /// beyond the cap.
+    NotCertified {
+        /// The inclusive cap that was exhausted.
+        max_stage: usize,
+    },
+    /// The wall-clock limit expired before the stage search finished.
+    BudgetExhausted {
+        /// Stages `0..next_stage` were fully tested (and not certified);
+        /// the search stopped before completing stage `next_stage`.
+        next_stage: usize,
+        /// Time actually spent.
+        elapsed: Duration,
+    },
+}
+
+/// Budgeted version of [`certified_boundedness`]: search for the least
+/// certified stage under a [`BoundednessBudget`], never giving a wrong
+/// answer — when the budget runs out the verdict says so instead of
+/// guessing. This is the hook the `hp-analysis` boundedness pass (HP014)
+/// calls.
+pub fn certify_boundedness(
+    p: &Program,
+    budget: &BoundednessBudget,
+) -> Result<BoundednessVerdict, String> {
+    let start = Instant::now();
+    let out_of_time = |start: Instant| match budget.time_limit {
+        Some(limit) => start.elapsed() >= limit,
+        None => false,
+    };
+    for s in 0..=budget.max_stage {
+        let mut certified = true;
+        for idb in 0..p.idbs().len() {
+            if out_of_time(start) {
+                return Ok(BoundednessVerdict::BudgetExhausted {
+                    next_stage: s,
+                    elapsed: start.elapsed(),
+                });
+            }
+            let a = stage_ucq(p, idb, s)?;
+            let b = stage_ucq(p, idb, s + 1)?;
+            if !a.is_equivalent_to(&b) {
+                certified = false;
+                break;
+            }
+        }
+        if certified {
+            let ucq_disjuncts = match p.goal_index() {
+                Some(g) => stage_ucq(p, g, s)?.len(),
+                None => {
+                    let mut total = 0;
+                    for idb in 0..p.idbs().len() {
+                        total += stage_ucq(p, idb, s)?.len();
+                    }
+                    total
+                }
+            };
+            return Ok(BoundednessVerdict::Certified {
+                stage: s,
+                ucq_disjuncts,
+            });
+        }
+    }
+    Ok(BoundednessVerdict::NotCertified {
+        max_stage: budget.max_stage,
+    })
 }
 
 #[cfg(test)]
@@ -168,5 +285,125 @@ mod tests {
         let paths: Vec<Structure> = (3..9).map(directed_path).collect();
         let probe = stage_probe(&p, paths.iter());
         assert!(probe.iter().all(|r| r.stages <= 1), "{probe:?}");
+    }
+
+    // --- edge cases and the budgeted search ---
+
+    #[test]
+    fn empty_program_is_bounded_at_zero() {
+        let p = Program::new(Vocabulary::digraph(), vec![], vec![], vec![]).unwrap();
+        assert_eq!(certified_boundedness(&p, 2).unwrap(), Some(0));
+        assert_eq!(
+            certify_boundedness(&p, &BoundednessBudget::stages(2)).unwrap(),
+            BoundednessVerdict::Certified {
+                stage: 0,
+                ucq_disjuncts: 0
+            }
+        );
+        // And the probe is trivially flat.
+        let probe = stage_probe(&p, [directed_path(3)].iter());
+        assert_eq!(
+            probe,
+            vec![BoundednessProbe {
+                universe: 3,
+                stages: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn goal_only_program_is_bounded_at_one() {
+        // A single 0-ary goal rule: Θ¹ = ∃x E(x,x) = Θ².
+        let p = Program::parse("Goal() :- E(x,x).", &Vocabulary::digraph()).unwrap();
+        assert_eq!(certified_boundedness(&p, 2).unwrap(), Some(1));
+        let v = certify_boundedness(&p, &BoundednessBudget::stages(2)).unwrap();
+        assert_eq!(
+            v,
+            BoundednessVerdict::Certified {
+                stage: 1,
+                ucq_disjuncts: 1
+            }
+        );
+    }
+
+    #[test]
+    fn zero_stage_verdict_carries_empty_witness() {
+        // Both IDBs provably empty: certified at s = 0 with Θ⁰ = ⊥ (an
+        // empty UCQ).
+        let p = Program::parse("A(x,y) :- E(x,y), B(y).\nB(x) :- A(x,x), B(x).", {
+            &Vocabulary::digraph()
+        })
+        .unwrap();
+        assert_eq!(
+            certify_boundedness(&p, &BoundednessBudget::stages(2)).unwrap(),
+            BoundednessVerdict::Certified {
+                stage: 0,
+                ucq_disjuncts: 0
+            }
+        );
+    }
+
+    #[test]
+    fn probe_underestimates_certified_stage() {
+        // bounded_reach(2) is certified bounded at stage 2 (R stabilizes at
+        // 1, Goal needs one more application), but on mark-free structures
+        // no rule ever fires, so every empirical count is below the
+        // certified stage: the probe alone would under-report the bound.
+        let p = crate::gallery::bounded_reach(2);
+        assert_eq!(certified_boundedness(&p, 3).unwrap(), Some(2));
+        let vocab = p.edb().clone();
+        let markless: Vec<Structure> = (2..7)
+            .map(|n| {
+                let mut s = Structure::new(vocab.clone(), n);
+                let e = vocab.lookup("E").unwrap();
+                for i in 0..n - 1 {
+                    s.add_tuple(
+                        e,
+                        &[
+                            hp_structures::Elem(i as u32),
+                            hp_structures::Elem(i as u32 + 1),
+                        ],
+                    )
+                    .unwrap();
+                }
+                s
+            })
+            .collect();
+        let probe = stage_probe(&p, markless.iter());
+        let empirical_max = probe.iter().map(|r| r.stages).max().unwrap();
+        assert!(
+            empirical_max < 2,
+            "mark-free probe must undershoot the certified stage: {probe:?}"
+        );
+    }
+
+    #[test]
+    fn zero_time_budget_is_exhausted_not_wrong() {
+        let p = tc();
+        let budget = BoundednessBudget::stages(4).with_time_limit(Duration::ZERO);
+        match certify_boundedness(&p, &budget).unwrap() {
+            BoundednessVerdict::BudgetExhausted { next_stage, .. } => {
+                assert_eq!(next_stage, 0);
+            }
+            v => panic!("expected BudgetExhausted, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_search() {
+        let p = tc();
+        let budget = BoundednessBudget::stages(3).with_time_limit(Duration::from_secs(120));
+        assert_eq!(
+            certify_boundedness(&p, &budget).unwrap(),
+            BoundednessVerdict::NotCertified { max_stage: 3 }
+        );
+        let q = Program::parse("P2(x,y) :- E(x,z), E(z,y).", &Vocabulary::digraph()).unwrap();
+        assert_eq!(
+            certify_boundedness(&q, &BoundednessBudget::stages(3)).unwrap(),
+            BoundednessVerdict::Certified {
+                stage: 1,
+                ucq_disjuncts: 1
+            }
+        );
     }
 }

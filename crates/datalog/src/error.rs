@@ -91,6 +91,17 @@ pub enum DatalogErrorKind {
     },
     /// A rule's head predicate is not an IDB.
     HeadNotIdb,
+    /// A `# goal:` pragma did not name a single well-formed predicate.
+    BadGoalPragma {
+        /// The offending pragma payload.
+        text: String,
+    },
+    /// A `# goal:` pragma (or [`crate::Program::with_goal`]) named a
+    /// predicate that is not an IDB of the program.
+    UnknownGoal {
+        /// The unresolved goal predicate name.
+        name: String,
+    },
 }
 
 /// A Datalog parse or validation error with source position.
@@ -150,6 +161,12 @@ impl fmt::Display for DatalogError {
                 write!(f, "unsafe rule (head variable {var} not in body)")
             }
             DatalogErrorKind::HeadNotIdb => write!(f, "head must be an IDB predicate"),
+            DatalogErrorKind::BadGoalPragma { text } => {
+                write!(f, "bad goal pragma {text:?} (want `# goal: Name`)")
+            }
+            DatalogErrorKind::UnknownGoal { name } => {
+                write!(f, "goal predicate {name} is not an IDB of the program")
+            }
         }
     }
 }

@@ -98,6 +98,7 @@ impl EvalConfig {
 #[derive(Clone, Debug)]
 pub struct FixpointResult {
     pub(crate) idb_names: Vec<String>,
+    pub(crate) goal: Option<usize>,
     /// Final relations, one per IDB.
     pub relations: Vec<IdbRelation>,
     /// Number of iterations of the simultaneous operator Φ performed (the
@@ -116,6 +117,12 @@ impl FixpointResult {
             .iter()
             .position(|n| n == name)
             .map(|i| &self.relations[i])
+    }
+
+    /// The relation of the program's designated goal IDB (`# goal:`
+    /// pragma, or the IDB named `Goal` by convention), when one exists.
+    pub fn goal(&self) -> Option<&IdbRelation> {
+        self.goal.map(|g| &self.relations[g])
     }
 }
 
@@ -289,6 +296,7 @@ impl Program {
         };
         FixpointResult {
             idb_names: self.idbs().iter().map(|(n, _)| n.clone()).collect(),
+            goal: self.goal_index(),
             relations: idb,
             stages,
             converged,

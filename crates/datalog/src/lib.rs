@@ -52,8 +52,12 @@ mod plan;
 mod reference;
 mod unfold;
 
-pub use ast::{DatalogAtom, PredRef, Program, Rule};
-pub use bounded::{certified_bounded_at, certified_boundedness, stage_probe, BoundednessProbe};
+pub use ast::{DatalogAtom, PredRef, Program, Rule, DEFAULT_GOAL_NAME};
+pub use bounded::{
+    certified_bounded_at, certified_boundedness, certify_boundedness, stage_probe,
+    BoundednessBudget, BoundednessProbe, BoundednessVerdict,
+};
 pub use error::{DatalogError, DatalogErrorKind, DatalogSpan};
 pub use eval::{EvalConfig, FixpointResult, IdbRelation, StageSequence};
+pub use parser::rule_byte_ranges;
 pub use unfold::{stage_formula, stage_formulas, stage_ucq, stages_agree};

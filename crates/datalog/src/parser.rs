@@ -27,7 +27,43 @@ struct RawRule {
     line: usize,
 }
 
+/// Extract the first `# goal:` pragma from the text: the 1-based line it
+/// sits on and its payload. The pragma is a comment to the rule splitter,
+/// so it never interferes with rule parsing.
+pub(crate) fn find_goal_pragma(text: &str) -> Option<(usize, &str)> {
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        for prefix in ["# goal:", "#goal:"] {
+            if let Some(rest) = t.strip_prefix(prefix) {
+                return Some((i + 1, rest.trim()));
+            }
+        }
+    }
+    None
+}
+
+/// Validate a goal pragma payload as a bare predicate name.
+fn parse_goal_pragma(payload: &str, line: usize) -> Result<String, DatalogError> {
+    if payload.is_empty()
+        || !payload
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return Err(DatalogError::new(
+            DatalogErrorKind::BadGoalPragma {
+                text: payload.to_string(),
+            },
+            DatalogSpan::line(line),
+        ));
+    }
+    Ok(payload.to_string())
+}
+
 pub(crate) fn parse_program(text: &str, edb: &Vocabulary) -> Result<Program, DatalogError> {
+    let goal_pragma = match find_goal_pragma(text) {
+        Some((line, payload)) => Some((line, parse_goal_pragma(payload, line)?)),
+        None => None,
+    };
     let raw_rules = split_rules(text)?;
     // Collect IDB names from heads.
     let mut idbs: Vec<(String, usize)> = Vec::new();
@@ -105,15 +141,48 @@ pub(crate) fn parse_program(text: &str, edb: &Vocabulary) -> Result<Program, Dat
         rules.push(Rule { head, body });
         rule_lines.push(Some(r.line));
     }
-    Program::new_with_lines(edb.clone(), idbs, rules, var_names, rule_lines.clone()).map_err(|e| {
-        match e.span.rule {
+    let p = Program::new_with_lines(edb.clone(), idbs, rules, var_names, rule_lines.clone())
+        .map_err(|e| match e.span.rule {
             Some(ri) => match rule_lines.get(ri).copied().flatten() {
                 Some(line) => e.with_line(line),
                 None => e,
             },
             None => e,
+        })?;
+    match goal_pragma {
+        Some((line, name)) => p.with_goal(&name).map_err(|e| e.with_line(line)),
+        None => Ok(p),
+    }
+}
+
+/// Byte ranges of the rule chunks of a program text, in rule order. Range
+/// `i` starts at the first non-whitespace byte of rule `i` and ends just
+/// past its terminating `.` — comments and blank lines between rules are
+/// not covered. This is the hook source-rewriting tools (`hompres-lint
+/// --fix`) use to delete exactly the text of a rule, and it tracks the
+/// parser's own chunking (same comment and `.` handling), so range `i`
+/// always corresponds to `Program::rules()[i]` when the text parses.
+pub fn rule_byte_ranges(text: &str) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    let mut pos = 0usize;
+    for raw_line in text.split_inclusive('\n') {
+        let code_len = raw_line.find('#').unwrap_or(raw_line.len());
+        for (off, c) in raw_line.char_indices() {
+            if off >= code_len {
+                break;
+            }
+            if c == '.' {
+                if let Some(s) = start.take() {
+                    out.push(s..pos + off + 1);
+                }
+            } else if !c.is_whitespace() && start.is_none() {
+                start = Some(pos + off);
+            }
         }
-    })
+        pos += raw_line.len();
+    }
+    out
 }
 
 /// First pass: strip comments, split into rule chunks on `.`, remembering
@@ -318,6 +387,72 @@ mod tests {
         let p = parse_program(text, &Vocabulary::digraph()).unwrap();
         assert_eq!(p.rule_line(0), Some(1));
         assert_eq!(p.rule_line(1), Some(2));
+    }
+
+    #[test]
+    fn goal_pragma_designates_the_goal() {
+        let v = Vocabulary::from_pairs([("Down", 2), ("Leaf", 1)]);
+        let p = parse_program(
+            "# goal: Reach\nReach(x) :- Leaf(x).\nReach(x) :- Down(x,y), Reach(y).",
+            &v,
+        )
+        .unwrap();
+        assert_eq!(p.goal_name(), Some("Reach"));
+        assert_eq!(p.goal_index(), p.idb_index("Reach"));
+    }
+
+    #[test]
+    fn goal_defaults_to_conventional_name_without_pragma() {
+        let p = parse_program(
+            "T(x,y) :- E(x,y).\nGoal() :- T(x,x).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        assert_eq!(p.goal_name(), Some("Goal"));
+        let q = parse_program("T(x,y) :- E(x,y).", &Vocabulary::digraph()).unwrap();
+        assert_eq!(q.goal_index(), None);
+    }
+
+    #[test]
+    fn goal_pragma_overrides_conventional_name() {
+        let p = parse_program(
+            "# goal: T\nT(x,y) :- E(x,y).\nGoal() :- T(x,x).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        assert_eq!(p.goal_name(), Some("T"));
+    }
+
+    #[test]
+    fn malformed_goal_pragma_error_carries_span() {
+        // Payload with a space is not a predicate name; the error must
+        // point at the pragma's own line in the original text.
+        let text = "# a comment\n\n# goal: Reach quickly\nT(x,y) :- E(x,y).";
+        let e = parse_program(text, &Vocabulary::digraph()).unwrap_err();
+        assert!(
+            matches!(e.kind, DatalogErrorKind::BadGoalPragma { ref text } if text == "Reach quickly"),
+            "{e}"
+        );
+        assert_eq!(e.span.line, Some(3));
+        assert_eq!(e.span.rule, None);
+        // An empty payload is malformed too.
+        let e = parse_program("# goal:\nT(x,y) :- E(x,y).", &Vocabulary::digraph()).unwrap_err();
+        assert!(
+            matches!(e.kind, DatalogErrorKind::BadGoalPragma { .. }),
+            "{e}"
+        );
+        assert_eq!(e.span.line, Some(1));
+    }
+
+    #[test]
+    fn unknown_goal_pragma_error_carries_span() {
+        let text = "T(x,y) :- E(x,y).\n# goal: Missing";
+        let e = parse_program(text, &Vocabulary::digraph()).unwrap_err();
+        assert!(
+            matches!(e.kind, DatalogErrorKind::UnknownGoal { ref name } if name == "Missing"),
+            "{e}"
+        );
+        assert_eq!(e.span.line, Some(2));
     }
 
     #[test]

@@ -182,6 +182,7 @@ impl Program {
         }
         FixpointResult {
             idb_names: self.idbs().iter().map(|(n, _)| n.clone()).collect(),
+            goal: self.goal_index(),
             relations: idb,
             stages,
             converged: true,
