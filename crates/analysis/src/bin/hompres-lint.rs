@@ -19,6 +19,8 @@
 //!   --max-stage N     HP014 stage cap (default 4)
 //!   --budget-ms N     HP014 wall-clock budget in milliseconds
 //!                     (default 5000; 0 means unlimited)
+//!   --fuel N          HP014 fuel budget: equivalence tests attempted
+//!                     (default unlimited; 0 means unlimited)
 //!   --fix             rewrite .dl FILEs in place: remove dead rules
 //!                     (HP007) and duplicate rules (HP013); certified to
 //!                     preserve the goal fixpoint, and idempotent
@@ -34,7 +36,8 @@ use hp_analysis::{
     fix_source, lint_datalog_source_with, lint_formula_source, parse_vocab_spec, Analyzer,
     Diagnostics, Severity,
 };
-use hp_datalog::{gallery, BoundednessBudget};
+use hp_datalog::gallery;
+use hp_guard::Budget;
 use hp_structures::Vocabulary;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -52,6 +55,7 @@ struct Options {
     boundedness: bool,
     max_stage: usize,
     budget_ms: u64,
+    fuel: u64,
     fix: bool,
     edb: Option<Vocabulary>,
     files: Vec<String>,
@@ -60,7 +64,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: hompres-lint [--gallery] [--edb SPEC] [--deny-warnings] [--quiet] \
      [--list-passes] [--format text|json] [--boundedness] [--max-stage N] \
-     [--budget-ms N] [--fix] [FILE...]"
+     [--budget-ms N] [--fuel N] [--fix] [FILE...]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -73,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         boundedness: false,
         max_stage: 4,
         budget_ms: 5000,
+        fuel: 0,
         fix: false,
         edb: None,
         files: Vec::new(),
@@ -105,6 +110,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let n = args.get(i).ok_or("--budget-ms needs an argument")?;
                 o.budget_ms = n.parse().map_err(|_| format!("bad budget {n:?}"))?;
             }
+            "--fuel" => {
+                i += 1;
+                let n = args.get(i).ok_or("--fuel needs an argument")?;
+                o.fuel = n.parse().map_err(|_| format!("bad fuel {n:?}"))?;
+            }
             "--edb" => {
                 i += 1;
                 let spec = args.get(i).ok_or("--edb needs a SPEC argument")?;
@@ -128,13 +138,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
-fn budget(o: &Options) -> BoundednessBudget {
-    let b = BoundednessBudget::stages(o.max_stage);
-    if o.budget_ms == 0 {
-        b
-    } else {
-        b.with_time_limit(Duration::from_millis(o.budget_ms))
+/// Map the CLI flags onto the shared [`Budget`]: `--budget-ms` is the
+/// wall-clock limit, `--fuel` the fuel limit (0 = unlimited for both).
+fn budget(o: &Options) -> Budget {
+    let mut b = Budget::unlimited();
+    if o.budget_ms != 0 {
+        b = b.with_wall_clock(Duration::from_millis(o.budget_ms));
     }
+    if o.fuel != 0 {
+        b = b.with_fuel(o.fuel);
+    }
+    b
 }
 
 /// Report one input's diagnostics; returns whether it fails the build.
@@ -243,7 +257,7 @@ fn main() -> ExitCode {
     };
 
     let analyzer = if o.boundedness {
-        Analyzer::with_boundedness(budget(&o))
+        Analyzer::with_boundedness(o.max_stage, budget(&o))
     } else {
         Analyzer::default_pipeline()
     };

@@ -16,7 +16,8 @@
 use std::collections::BTreeSet;
 use std::time::Duration;
 
-use hp_datalog::{BoundednessBudget, BoundednessVerdict, PredRef, Program};
+use hp_datalog::{BoundednessVerdict, PredRef, Program};
+use hp_guard::Budget;
 use hp_structures::Graph;
 use hp_tw::elimination::treewidth_upper_bound;
 
@@ -378,13 +379,15 @@ impl Pass for SccWidthPass {
 /// `hompres-lint --boundedness` and
 /// [`Analyzer::with_boundedness`](crate::Analyzer::with_boundedness).
 pub struct BoundednessPass {
-    budget: BoundednessBudget,
+    max_stage: usize,
+    budget: Budget,
 }
 
 impl BoundednessPass {
-    /// A pass with an explicit budget.
-    pub fn new(budget: BoundednessBudget) -> BoundednessPass {
-        BoundednessPass { budget }
+    /// A pass with an explicit stage cap and shared resource budget
+    /// (wall-clock, fuel, and/or cooperative interrupt).
+    pub fn new(max_stage: usize, budget: Budget) -> BoundednessPass {
+        BoundednessPass { max_stage, budget }
     }
 }
 
@@ -392,7 +395,7 @@ impl Default for BoundednessPass {
     /// Stage cap 4, wall-clock limit 5 s — enough to certify every bounded
     /// gallery program while keeping the lint interactive.
     fn default() -> BoundednessPass {
-        BoundednessPass::new(BoundednessBudget::stages(4).with_time_limit(Duration::from_secs(5)))
+        BoundednessPass::new(4, Budget::wall_clock(Duration::from_secs(5)))
     }
 }
 
@@ -426,7 +429,7 @@ impl Pass for BoundednessPass {
             },
             None => p,
         };
-        match hp_datalog::certify_boundedness(&p, &self.budget) {
+        match hp_datalog::certify_boundedness(&p, self.max_stage, &self.budget) {
             Ok(BoundednessVerdict::Certified {
                 stage,
                 ucq_disjuncts,
@@ -457,6 +460,8 @@ impl Pass for BoundednessPass {
             }
             Ok(BoundednessVerdict::BudgetExhausted {
                 next_stage,
+                resource,
+                fuel_spent,
                 elapsed,
             }) => {
                 out.push(Diagnostic {
@@ -464,7 +469,8 @@ impl Pass for BoundednessPass {
                     severity: Severity::Note,
                     message: format!(
                         "boundedness search stopped before stage {next_stage} after \
-                         {} ms (wall-clock budget exhausted); no verdict",
+                         {} ms ({resource} budget exhausted, {fuel_spent} fuel spent); \
+                         no verdict",
                         elapsed.as_millis(),
                     ),
                     span: crate::diag::Span::default(),
@@ -882,7 +888,7 @@ mod tests {
     fn hp014_certifies_bounded_recursion_with_stage_and_ucq_size() {
         // Recursive but bounded: the recursive rule is absorbed (§7).
         let f = ProgramFacts::of_program(&gallery::absorbed_recursion());
-        let pass = BoundednessPass::new(hp_datalog::BoundednessBudget::stages(3));
+        let pass = BoundednessPass::new(3, Budget::unlimited());
         let ds = run(&pass, &f);
         assert_eq!(ds.len(), 1, "{}", ds.render("t", None));
         let d = ds.iter().next().unwrap();
@@ -902,7 +908,7 @@ mod tests {
         // Transitive closure is unbounded: no warning, only the
         // not-certified note.
         let f = ProgramFacts::of_program(&gallery::transitive_closure());
-        let pass = BoundednessPass::new(hp_datalog::BoundednessBudget::stages(2));
+        let pass = BoundednessPass::new(2, Budget::unlimited());
         let ds = run(&pass, &f);
         assert_eq!(ds.len(), 1);
         let d = ds.iter().next().unwrap();
@@ -920,13 +926,28 @@ mod tests {
     #[test]
     fn hp014_respects_the_wall_clock_budget() {
         let f = ProgramFacts::of_program(&gallery::transitive_closure());
-        let budget =
-            hp_datalog::BoundednessBudget::stages(64).with_time_limit(std::time::Duration::ZERO);
-        let ds = run(&BoundednessPass::new(budget), &f);
+        let pass = BoundednessPass::new(64, Budget::wall_clock(std::time::Duration::ZERO));
+        let ds = run(&pass, &f);
         assert_eq!(ds.len(), 1);
         let d = ds.iter().next().unwrap();
         assert_eq!(d.severity, Severity::Note);
-        assert!(d.message.contains("budget exhausted"), "{}", d.message);
+        assert!(
+            d.message.contains("wall-clock budget exhausted"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn hp014_reports_fuel_exhaustion_with_spend() {
+        let f = ProgramFacts::of_program(&gallery::transitive_closure());
+        let pass = BoundednessPass::new(64, Budget::fuel(1));
+        let ds = run(&pass, &f);
+        assert_eq!(ds.len(), 1);
+        let d = ds.iter().next().unwrap();
+        assert_eq!(d.severity, Severity::Note);
+        assert!(d.message.contains("fuel budget exhausted"), "{}", d.message);
+        assert!(d.message.contains("1 fuel spent"), "{}", d.message);
     }
 
     // --- pipeline smoke ---

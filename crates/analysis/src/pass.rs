@@ -52,10 +52,12 @@ impl Analyzer {
     }
 
     /// The default pipeline plus the opt-in budgeted boundedness
-    /// certification pass (HP014, Theorem 7.5) with the given budget.
-    pub fn with_boundedness(budget: hp_datalog::BoundednessBudget) -> Analyzer {
+    /// certification pass (HP014, Theorem 7.5) with the given stage cap
+    /// and shared resource budget ([`hp_guard::Budget`]: wall-clock, fuel,
+    /// and/or cooperative interrupt).
+    pub fn with_boundedness(max_stage: usize, budget: hp_guard::Budget) -> Analyzer {
         Analyzer::default_pipeline().with_pass(Box::new(
-            crate::datalog_passes::BoundednessPass::new(budget),
+            crate::datalog_passes::BoundednessPass::new(max_stage, budget),
         ))
     }
 
@@ -135,7 +137,7 @@ mod tests {
         }
         // HP014 is opt-in, not part of the default pipeline.
         assert!(!covered.contains(&Code::Hp014));
-        let b = Analyzer::with_boundedness(hp_datalog::BoundednessBudget::stages(2));
+        let b = Analyzer::with_boundedness(2, hp_guard::Budget::unlimited());
         let covered: Vec<Code> = b.passes().flat_map(|p| p.codes().iter().copied()).collect();
         assert!(covered.contains(&Code::Hp014));
     }

@@ -20,7 +20,7 @@
 use std::path::{Path, PathBuf};
 
 use hp_analysis::{lint_datalog_source_with, Analyzer, Code, Severity};
-use hp_datalog::BoundednessBudget;
+use hp_guard::Budget;
 
 fn fixture_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/lint")
@@ -91,7 +91,7 @@ fn every_dl_fixture_meets_its_expect_headers() {
         paths.len() >= 8,
         "expected the committed fixture set, found {paths:?}"
     );
-    let analyzer = Analyzer::with_boundedness(BoundednessBudget::stages(4));
+    let analyzer = Analyzer::with_boundedness(4, Budget::unlimited());
     let mut checked = 0usize;
     for path in &paths {
         let name = path.display().to_string();

@@ -53,6 +53,7 @@ pub mod theorem_7_4;
 
 pub use hp_analysis as analysis;
 pub use hp_datalog as datalog;
+pub use hp_guard as guard;
 pub use hp_hom as hom;
 pub use hp_logic as logic;
 pub use hp_pebble as pebble;
@@ -65,17 +66,25 @@ pub mod prelude {
     pub use crate::classes::{ClassDescriptor, ClassKind};
     pub use crate::density::{max_scattered_set, scattered_after_deletions};
     pub use crate::extensions::{induced_embedding_exists, ExistentialRewriting};
-    pub use crate::minimal::{enumerate_minimal_models, minimize_model, MinimalModels};
+    pub use crate::minimal::{
+        enumerate_minimal_models, enumerate_minimal_models_with_budget, minimize_model,
+        MinimalModels,
+    };
     pub use crate::nonboolean::{rewrite_nary_to_ucq, DatalogNaryQuery, FoNaryQuery, NaryQuery};
     pub use crate::pebble_query::{
         find_distinguishing_cqk, find_spoiler_witness, spoiler_sentence, PebbleQuery,
     };
     pub use crate::plebian::{plebian_companion, PlebianCompanion};
     pub use crate::query::{BooleanQuery, DatalogQuery, FoQuery, UcqQuery};
-    pub use crate::synthesis::{rewrite_to_ucq, ucq_from_minimal_models, RewriteOutcome};
-    pub use crate::theorem_7_4::{theorem_7_4_finite_subset, VcqkQuery};
+    pub use crate::synthesis::{
+        rewrite_to_ucq, rewrite_to_ucq_with_budget, ucq_from_minimal_models, RewriteOutcome,
+    };
+    pub use crate::theorem_7_4::{
+        theorem_7_4_finite_subset, theorem_7_4_finite_subset_with_budget, VcqkQuery,
+    };
     pub use hp_analysis::{Analyzer, Code, Diagnostics};
     pub use hp_datalog::{EvalConfig, Program};
+    pub use hp_guard::{Budget, Budgeted, Exhausted, Interrupt, Resource};
     pub use hp_hom::{are_homomorphically_equivalent, are_isomorphic, core_of, hom_exists};
     pub use hp_logic::{parse_formula, Cq, CqkFormula, Formula, Ucq};
     pub use hp_pebble::duplicator_wins;

@@ -5,6 +5,7 @@
 //! under homomorphisms, minimal models are cores (§6.2) and, when finitely
 //! many, their canonical queries assemble the equivalent UCQ (Theorem 3.1).
 
+use hp_guard::{Budget, Budgeted};
 use hp_hom::{are_isomorphic, canonical_invariant};
 use hp_structures::{Structure, Vocabulary};
 
@@ -99,6 +100,25 @@ pub fn enumerate_minimal_models(
     vocab: &Vocabulary,
     max_size: usize,
 ) -> MinimalModels {
+    enumerate_minimal_models_with_budget(q, vocab, max_size, &Budget::unlimited())
+        .unwrap_or_else(|_| unreachable!("an unlimited budget cannot exhaust"))
+}
+
+/// Budgeted [`enumerate_minimal_models`]: the exhaustive sweep charges one
+/// fuel unit per candidate structure examined, shared with the wall-clock
+/// deadline and cooperative interrupt of `budget`.
+///
+/// On exhaustion the partial is the minimal models confirmed **so far** —
+/// every one is a genuine minimal model (minimality only references smaller
+/// substructures, which the sweep already covered or the minimizer checks
+/// directly), but the list may be incomplete.
+pub fn enumerate_minimal_models_with_budget(
+    q: &dyn BooleanQuery,
+    vocab: &Vocabulary,
+    max_size: usize,
+    budget: &Budget,
+) -> Budgeted<MinimalModels, MinimalModels> {
+    let mut gauge = budget.gauge();
     let mut out = MinimalModels::default();
     for n in 0..=max_size {
         if n == 1 {
@@ -106,23 +126,33 @@ pub fn enumerate_minimal_models(
             // a minimal model of a hom-preserved query: the bare singleton
             // (there is no smaller structure to retract into). Needed for
             // queries like ∃x (x = x).
+            if let Err(stop) = gauge.tick(1) {
+                return Err(stop.with_partial(out));
+            }
             let s = Structure::new(vocab.clone(), 1);
             if q.eval(&s) {
                 out.insert(minimize_model(q, &s));
             }
         }
-        hp_structures::generators::for_each_structure(vocab, n, |s| {
+        let interrupted = hp_structures::generators::try_for_each_structure(vocab, n, |s| {
+            if let Err(stop) = gauge.tick(1) {
+                return std::ops::ControlFlow::Break(stop);
+            }
             // Skip structures with isolated elements (see doc comment),
             // except the empty universe.
             if n > 0 && s.support().len() != n {
-                return;
+                return std::ops::ControlFlow::Continue(());
             }
             if q.eval(&s) {
                 out.insert(minimize_model(q, &s));
             }
+            std::ops::ControlFlow::Continue(())
         });
+        if let Some(stop) = interrupted {
+            return Err(stop.with_partial(out));
+        }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -219,6 +249,33 @@ mod tests {
         let q = FoQuery::new(f);
         let mm = enumerate_minimal_models(&q, &Vocabulary::digraph(), 3);
         assert_eq!(mm.len(), 2);
+    }
+
+    #[test]
+    fn budgeted_enumeration_partials_are_minimal_models() {
+        use hp_guard::{Budget, Resource};
+        let q = path_query(2);
+        let full = enumerate_minimal_models(&q, &Vocabulary::digraph(), 3);
+        // Large enough budget: identical result.
+        let ok = enumerate_minimal_models_with_budget(
+            &q,
+            &Vocabulary::digraph(),
+            3,
+            &Budget::fuel(1_000_000),
+        )
+        .unwrap();
+        assert_eq!(ok.len(), full.len());
+        // Tiny budget: exhaustion with a partial whose members are all
+        // genuine minimal models (each is found via minimize_model).
+        let e =
+            enumerate_minimal_models_with_budget(&q, &Vocabulary::digraph(), 3, &Budget::fuel(20))
+                .expect_err("20 fuel cannot sweep all digraphs up to size 3");
+        assert_eq!(e.resource, Resource::Fuel);
+        assert!(e.partial.len() <= full.len());
+        for m in e.partial.models() {
+            assert!(q.eval(m));
+            assert!(full.models().iter().any(|f| are_isomorphic(f, m)));
+        }
     }
 
     #[test]

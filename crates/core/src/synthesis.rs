@@ -2,10 +2,13 @@
 //! and "definable by an existential-positive sentence", in both directions
 //! and constructively.
 
+use hp_guard::{Budget, Budgeted};
 use hp_logic::{Cq, Ucq};
 use hp_structures::{Structure, Vocabulary};
 
-use crate::minimal::{enumerate_minimal_models, MinimalModels};
+use crate::minimal::{
+    enumerate_minimal_models, enumerate_minimal_models_with_budget, MinimalModels,
+};
 use crate::query::BooleanQuery;
 
 /// Direction (1) ⇒ (2) of Theorem 3.1: the disjunction of the canonical
@@ -59,6 +62,30 @@ pub fn rewrite_to_ucq(
         minimal_models: mm.into_models(),
         ucq,
     })
+}
+
+/// Budgeted [`rewrite_to_ucq`]: the minimal-model sweep charges the shared
+/// budget (one fuel unit per candidate structure). On exhaustion the
+/// partial is a [`RewriteOutcome`] built from the minimal models found so
+/// far — its UCQ is a sound **under-approximation** of `q` (every disjunct
+/// implies `q`), just possibly missing disjuncts the unswept candidates
+/// would have contributed.
+pub fn rewrite_to_ucq_with_budget(
+    q: &dyn BooleanQuery,
+    vocab: &Vocabulary,
+    search_size: usize,
+    budget: &Budget,
+) -> Budgeted<RewriteOutcome, RewriteOutcome> {
+    let outcome = |mm: MinimalModels| {
+        let ucq = ucq_from_minimal_models(&mm);
+        RewriteOutcome {
+            minimal_models: mm.into_models(),
+            ucq,
+        }
+    };
+    enumerate_minimal_models_with_budget(q, vocab, search_size, budget)
+        .map(outcome)
+        .map_err(|e| e.map_partial(outcome))
 }
 
 /// Cross-validate a rewriting on a sample: the UCQ and the original query

@@ -7,10 +7,11 @@
 //! model `Dᵢ` a disjunct `θᵢ ∈ Φ` with `Dᵢ ⊨ θᵢ`; the finite subset
 //! `Ψ = {θᵢ}` satisfies `⋁Ψ ≡ ⋁Φ`.
 
+use hp_guard::{Budget, Budgeted};
 use hp_logic::{CqkFormula, Ucq};
 use hp_structures::{Structure, Vocabulary};
 
-use crate::minimal::enumerate_minimal_models;
+use crate::minimal::enumerate_minimal_models_with_budget;
 use crate::query::BooleanQuery;
 
 /// The query `⋁Φ` for a (here: finite, standing in for a recursively
@@ -74,27 +75,49 @@ pub fn theorem_7_4_finite_subset(
     vocab: &Vocabulary,
     search_size: usize,
 ) -> Theorem74Outcome {
-    let mm = enumerate_minimal_models(q, vocab, search_size);
-    let mut kept: Vec<usize> = Vec::new();
-    for d in mm.models() {
-        // D ⊨ ⋁Φ, so some disjunct holds (footnote 1 of the paper); pick
-        // the first.
-        let theta = q
-            .formulas
-            .iter()
-            .position(|f| f.holds(d))
-            .expect("a minimal model satisfies some disjunct");
-        if !kept.contains(&theta) {
-            kept.push(theta);
+    theorem_7_4_finite_subset_with_budget(q, vocab, search_size, &Budget::unlimited())
+        .unwrap_or_else(|_| unreachable!("an unlimited budget cannot exhaust"))
+}
+
+/// Budgeted [`theorem_7_4_finite_subset`]: the minimal-model sweep charges
+/// the shared budget (one fuel unit per candidate structure). On exhaustion
+/// the partial is the outcome over the minimal models found so far — its
+/// `kept` set is a sound subset of the full `Ψ` (indices only ever get
+/// added as more minimal models surface).
+// The Err variant is deliberately heavy: exhaustion carries the partial
+// outcome over the minimal models found so far.
+#[allow(clippy::result_large_err)]
+pub fn theorem_7_4_finite_subset_with_budget(
+    q: &VcqkQuery,
+    vocab: &Vocabulary,
+    search_size: usize,
+    budget: &Budget,
+) -> Budgeted<Theorem74Outcome, Theorem74Outcome> {
+    let outcome = |mm: crate::minimal::MinimalModels| {
+        let mut kept: Vec<usize> = Vec::new();
+        for d in mm.models() {
+            // D ⊨ ⋁Φ, so some disjunct holds (footnote 1 of the paper);
+            // pick the first.
+            let theta = q
+                .formulas
+                .iter()
+                .position(|f| f.holds(d))
+                .expect("a minimal model satisfies some disjunct");
+            if !kept.contains(&theta) {
+                kept.push(theta);
+            }
         }
-    }
-    kept.sort_unstable();
-    let canonical_ucq = crate::synthesis::ucq_from_minimal_models(&mm);
-    Theorem74Outcome {
-        kept,
-        minimal_models: mm.into_models(),
-        canonical_ucq,
-    }
+        kept.sort_unstable();
+        let canonical_ucq = crate::synthesis::ucq_from_minimal_models(&mm);
+        Theorem74Outcome {
+            kept,
+            minimal_models: mm.into_models(),
+            canonical_ucq,
+        }
+    };
+    enumerate_minimal_models_with_budget(q, vocab, search_size, budget)
+        .map(outcome)
+        .map_err(|e| e.map_partial(outcome))
 }
 
 #[cfg(test)]

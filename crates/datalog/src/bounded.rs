@@ -16,8 +16,9 @@
 //!   `m ≥ s`, this certifies boundedness at `s` *on all finite structures*
 //!   — the decidable criterion behind Theorem 7.5.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use hp_guard::{Budget, Resource};
 use hp_structures::Structure;
 
 use crate::ast::Program;
@@ -80,38 +81,6 @@ pub fn certified_boundedness(p: &Program, max_s: usize) -> Result<Option<usize>,
     Ok(None)
 }
 
-/// A resource cap for [`certify_boundedness`]: UCQ equivalence is
-/// NP-hard-squared (containment both ways, each a homomorphism search per
-/// disjunct pair), and unfolding sizes can grow with the stage, so callers
-/// — analysis passes above all — must be able to bound both the stage
-/// search and the wall-clock spend.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct BoundednessBudget {
-    /// Highest stage `s` to test (inclusive).
-    pub max_stage: usize,
-    /// Wall-clock limit for the whole search, `None` for unlimited. The
-    /// deadline is checked between per-IDB equivalence tests, so a single
-    /// UCQ-equivalence call can overshoot — the budget bounds when the
-    /// search *stops trying*, not the worst-case overshoot of one test.
-    pub time_limit: Option<Duration>,
-}
-
-impl BoundednessBudget {
-    /// A stage-only budget with no time limit.
-    pub fn stages(max_stage: usize) -> BoundednessBudget {
-        BoundednessBudget {
-            max_stage,
-            time_limit: None,
-        }
-    }
-
-    /// Attach a wall-clock limit.
-    pub fn with_time_limit(mut self, limit: Duration) -> BoundednessBudget {
-        self.time_limit = Some(limit);
-        self
-    }
-}
-
 /// Outcome of a budgeted boundedness search ([`certify_boundedness`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BoundednessVerdict {
@@ -133,37 +102,49 @@ pub enum BoundednessVerdict {
         /// The inclusive cap that was exhausted.
         max_stage: usize,
     },
-    /// The wall-clock limit expired before the stage search finished.
+    /// The budget ran out before the stage search finished.
     BudgetExhausted {
         /// Stages `0..next_stage` were fully tested (and not certified);
         /// the search stopped before completing stage `next_stage`.
         next_stage: usize,
+        /// Which resource ran out (fuel, wall-clock, or interrupt).
+        resource: Resource,
+        /// Fuel charged before the stop: one unit per per-IDB
+        /// UCQ-equivalence test performed.
+        fuel_spent: u64,
         /// Time actually spent.
         elapsed: Duration,
     },
 }
 
 /// Budgeted version of [`certified_boundedness`]: search for the least
-/// certified stage under a [`BoundednessBudget`], never giving a wrong
-/// answer — when the budget runs out the verdict says so instead of
-/// guessing. This is the hook the `hp-analysis` boundedness pass (HP014)
+/// certified stage `s ≤ max_stage` under a shared [`hp_guard::Budget`],
+/// never giving a wrong answer — when the budget runs out the verdict says
+/// which resource and how much fuel was spent instead of guessing. Fuel is
+/// charged one unit per per-IDB UCQ-equivalence test (the NP-hard-squared
+/// inner step); the wall clock and interrupt token are polled between
+/// tests, so a single equivalence call can overshoot — the budget bounds
+/// when the search *stops trying*, not the worst-case overshoot of one
+/// test. This is the hook the `hp-analysis` boundedness pass (HP014)
 /// calls.
 pub fn certify_boundedness(
     p: &Program,
-    budget: &BoundednessBudget,
+    max_stage: usize,
+    budget: &Budget,
 ) -> Result<BoundednessVerdict, String> {
-    let start = Instant::now();
-    let out_of_time = |start: Instant| match budget.time_limit {
-        Some(limit) => start.elapsed() >= limit,
-        None => false,
-    };
-    for s in 0..=budget.max_stage {
+    let mut gauge = budget.gauge();
+    for s in 0..=max_stage {
         let mut certified = true;
         for idb in 0..p.idbs().len() {
-            if out_of_time(start) {
+            // Charge the test about to run and poll the clock/interrupt:
+            // exhaustion is reported *before* starting another NP-hard
+            // equivalence check, never after one that certified a stage.
+            if let Some(stop) = gauge.check().err().or_else(|| gauge.tick(1).err()) {
                 return Ok(BoundednessVerdict::BudgetExhausted {
                     next_stage: s,
-                    elapsed: start.elapsed(),
+                    resource: stop.resource,
+                    fuel_spent: stop.spent,
+                    elapsed: stop.elapsed,
                 });
             }
             let a = stage_ucq(p, idb, s)?;
@@ -190,9 +171,7 @@ pub fn certify_boundedness(
             });
         }
     }
-    Ok(BoundednessVerdict::NotCertified {
-        max_stage: budget.max_stage,
-    })
+    Ok(BoundednessVerdict::NotCertified { max_stage })
 }
 
 #[cfg(test)]
@@ -294,7 +273,7 @@ mod tests {
         let p = Program::new(Vocabulary::digraph(), vec![], vec![], vec![]).unwrap();
         assert_eq!(certified_boundedness(&p, 2).unwrap(), Some(0));
         assert_eq!(
-            certify_boundedness(&p, &BoundednessBudget::stages(2)).unwrap(),
+            certify_boundedness(&p, 2, &Budget::unlimited()).unwrap(),
             BoundednessVerdict::Certified {
                 stage: 0,
                 ucq_disjuncts: 0
@@ -316,7 +295,7 @@ mod tests {
         // A single 0-ary goal rule: Θ¹ = ∃x E(x,x) = Θ².
         let p = Program::parse("Goal() :- E(x,x).", &Vocabulary::digraph()).unwrap();
         assert_eq!(certified_boundedness(&p, 2).unwrap(), Some(1));
-        let v = certify_boundedness(&p, &BoundednessBudget::stages(2)).unwrap();
+        let v = certify_boundedness(&p, 2, &Budget::unlimited()).unwrap();
         assert_eq!(
             v,
             BoundednessVerdict::Certified {
@@ -335,7 +314,7 @@ mod tests {
         })
         .unwrap();
         assert_eq!(
-            certify_boundedness(&p, &BoundednessBudget::stages(2)).unwrap(),
+            certify_boundedness(&p, 2, &Budget::unlimited()).unwrap(),
             BoundednessVerdict::Certified {
                 stage: 0,
                 ucq_disjuncts: 0
@@ -380,10 +359,17 @@ mod tests {
     #[test]
     fn zero_time_budget_is_exhausted_not_wrong() {
         let p = tc();
-        let budget = BoundednessBudget::stages(4).with_time_limit(Duration::ZERO);
-        match certify_boundedness(&p, &budget).unwrap() {
-            BoundednessVerdict::BudgetExhausted { next_stage, .. } => {
+        let budget = Budget::wall_clock(Duration::ZERO);
+        match certify_boundedness(&p, 4, &budget).unwrap() {
+            BoundednessVerdict::BudgetExhausted {
+                next_stage,
+                resource,
+                fuel_spent,
+                ..
+            } => {
                 assert_eq!(next_stage, 0);
+                assert_eq!(resource, Resource::Time);
+                assert_eq!(fuel_spent, 0);
             }
             v => panic!("expected BudgetExhausted, got {v:?}"),
         }
@@ -392,14 +378,14 @@ mod tests {
     #[test]
     fn generous_budget_matches_unbudgeted_search() {
         let p = tc();
-        let budget = BoundednessBudget::stages(3).with_time_limit(Duration::from_secs(120));
+        let budget = Budget::wall_clock(Duration::from_secs(120));
         assert_eq!(
-            certify_boundedness(&p, &budget).unwrap(),
+            certify_boundedness(&p, 3, &budget).unwrap(),
             BoundednessVerdict::NotCertified { max_stage: 3 }
         );
         let q = Program::parse("P2(x,y) :- E(x,z), E(z,y).", &Vocabulary::digraph()).unwrap();
         assert_eq!(
-            certify_boundedness(&q, &BoundednessBudget::stages(3)).unwrap(),
+            certify_boundedness(&q, 3, &Budget::unlimited()).unwrap(),
             BoundednessVerdict::Certified {
                 stage: 1,
                 ucq_disjuncts: 1

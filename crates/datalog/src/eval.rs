@@ -17,9 +17,11 @@
 //!   bit-identical to the sequential evaluator for every thread count.
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use hp_guard::{Budget, Budgeted, Gauge, GaugeState};
 use hp_structures::{Elem, Structure};
 
 use crate::ast::{PredRef, Program};
@@ -108,6 +110,11 @@ pub struct FixpointResult {
     /// uncapped evaluation; false when [`EvalConfig::max_stages`] stopped
     /// the rounds before the fixpoint was reached.
     pub converged: bool,
+    /// Human-readable notes about degraded-mode events during evaluation —
+    /// today, worker-panic recoveries in the sharded pool (the round was
+    /// recomputed on the calling thread and evaluation continued
+    /// single-threaded). Empty on a clean run.
+    pub diagnostics: Vec<String>,
 }
 
 impl FixpointResult {
@@ -187,6 +194,35 @@ struct JoinCtx<'a> {
     pool: &'a IndexPool,
 }
 
+/// A resumable snapshot of a budgeted semi-naive evaluation, returned as
+/// the `partial` of an exhausted [`Program::evaluate_budgeted`] /
+/// [`Program::resume_budgeted`] run.
+///
+/// The snapshot is taken at a **round boundary**: [`EvalCheckpoint::partial`]
+/// holds the relations after `partial.stages` delta rounds (with
+/// `converged == false`), and the pending delta plus the fuel position are
+/// kept privately so [`Program::resume_budgeted`] can continue the very
+/// same computation. Resuming with extra fuel `f2` after exhausting `f1`
+/// lands at exactly the state of a single `f1 + f2` run (see
+/// [`hp_guard::Budget::resume`]).
+#[derive(Clone, Debug)]
+pub struct EvalCheckpoint {
+    /// The best-effort partial result: relations of stage Φ^{stages}, with
+    /// [`FixpointResult::converged`] `false`.
+    pub partial: FixpointResult,
+    delta: Vec<IdbRelation>,
+    fuel: GaugeState,
+}
+
+impl EvalCheckpoint {
+    /// Cumulative fuel charged when the snapshot was taken (one unit per
+    /// round plus one per tuple newly derived in it, across all runs of a
+    /// resume chain).
+    pub fn fuel_spent(&self) -> u64 {
+        self.fuel.spent
+    }
+}
+
 impl Program {
     /// One application of the simultaneous monotone operator Φ (§2.3).
     pub fn apply_operator(&self, a: &Structure, idb: &[IdbRelation]) -> Vec<IdbRelation> {
@@ -225,38 +261,144 @@ impl Program {
     /// sharded parallel rounds and an optional stage cap. See
     /// [`EvalConfig`]; results are bit-identical across thread counts.
     pub fn evaluate_with(&self, a: &Structure, cfg: &EvalConfig) -> FixpointResult {
+        self.fixpoint(a, cfg, Budget::unlimited().gauge(), None)
+            .unwrap_or_else(|_| unreachable!("an unlimited budget cannot exhaust"))
+    }
+
+    /// Budgeted semi-naive evaluation: like [`Program::evaluate_with`] but
+    /// charged against `budget` — one fuel unit per round plus one per
+    /// tuple newly derived in it, checked at round boundaries (so fuel
+    /// stops are deterministic and bit-identical across thread counts; the
+    /// wall clock and interrupt token are also polled there). On
+    /// exhaustion the [`EvalCheckpoint`] partial holds the relations of
+    /// the last completed round and can be handed to
+    /// [`Program::resume_budgeted`].
+    // The large Err variants below are the point of the budgeted API:
+    // exhaustion carries a full checkpoint so callers can resume.
+    #[allow(clippy::result_large_err)]
+    pub fn evaluate_budgeted(
+        &self,
+        a: &Structure,
+        cfg: &EvalConfig,
+        budget: &Budget,
+    ) -> Budgeted<FixpointResult, EvalCheckpoint> {
+        self.fixpoint(a, cfg, budget.gauge(), None)
+    }
+
+    /// Continue an exhausted [`Program::evaluate_budgeted`] run from its
+    /// checkpoint with a fresh allowance. The checkpoint must come from
+    /// the same program and structure. Fuel accounting is cumulative
+    /// (`budget`'s fuel is added on top of the prior limit), so a run
+    /// split as `f1` then `f2` stops at exactly the same rounds — and
+    /// reaches the same fixpoint — as a single `f1 + f2` run.
+    #[allow(clippy::result_large_err)]
+    pub fn resume_budgeted(
+        &self,
+        a: &Structure,
+        cfg: &EvalConfig,
+        checkpoint: EvalCheckpoint,
+        budget: &Budget,
+    ) -> Budgeted<FixpointResult, EvalCheckpoint> {
+        let gauge = budget.resume(checkpoint.fuel);
+        self.fixpoint(a, cfg, gauge, Some(checkpoint))
+    }
+
+    /// The shared semi-naive engine behind the budgeted and unbudgeted
+    /// entry points: delta rounds charged against `gauge`, optionally
+    /// continuing from a checkpoint taken at a round boundary.
+    #[allow(clippy::result_large_err)]
+    fn fixpoint(
+        &self,
+        a: &Structure,
+        cfg: &EvalConfig,
+        mut gauge: Gauge,
+        resume: Option<EvalCheckpoint>,
+    ) -> Budgeted<FixpointResult, EvalCheckpoint> {
         let plan = ProgramPlan::new(self);
         let workers = cfg.worker_count().max(1);
         let chunks = workers;
         let n_idb = self.idbs().len();
-        let mut idb: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
-        let mut delta: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
         let mut pool = IndexPool::new(&plan, a);
-        // Round 0: every rule against the empty IDBs (EDB-only derivations
-        // and empty-body facts). Everything derived is new.
-        {
-            let items: Vec<WorkItem> = (0..plan.rules.len())
-                .flat_map(|ri| (0..chunks).map(move |c| (ri, None, (c, chunks))))
-                .collect();
-            let ctx = JoinCtx {
-                a,
-                idb: &idb,
-                delta: &delta,
-                pool: &pool,
-            };
-            let edb_tuples: usize = a.relations().map(|(_, r)| r.len()).sum();
-            let w = round_workers(workers, cfg.parallel_min_seed, edb_tuples);
-            for (h, out) in run_round(&plan, &ctx, &items, w) {
-                delta[h].extend(out);
+        // A worker panic degrades the rest of the evaluation to the
+        // calling thread; the diagnostics record every such recovery.
+        let mut degraded = false;
+        let mut diagnostics: Vec<String> = Vec::new();
+        let checkpoint = |idb: Vec<IdbRelation>,
+                          delta: Vec<IdbRelation>,
+                          stages: usize,
+                          diagnostics: Vec<String>,
+                          fuel: GaugeState| {
+            EvalCheckpoint {
+                partial: FixpointResult {
+                    idb_names: self.idbs().iter().map(|(n, _)| n.clone()).collect(),
+                    goal: self.goal_index(),
+                    relations: idb,
+                    stages,
+                    converged: false,
+                    diagnostics,
+                },
+                delta,
+                fuel,
             }
-        }
-        let mut stages = 0;
+        };
+        let (mut idb, mut delta, mut stages) = match resume {
+            Some(cp) => {
+                assert_eq!(
+                    cp.partial.relations.len(),
+                    n_idb,
+                    "resume requires a checkpoint from the same program"
+                );
+                // The fresh indexes must already contain the merged IDB
+                // tuples; the pending delta is absorbed by the loop below
+                // exactly as in an uninterrupted run.
+                pool.absorb(&plan, &cp.partial.relations);
+                diagnostics = cp.partial.diagnostics;
+                degraded = !diagnostics.is_empty();
+                (cp.partial.relations, cp.delta, cp.partial.stages)
+            }
+            None => {
+                // Round 0: every rule against the empty IDBs (EDB-only
+                // derivations and empty-body facts). Everything derived is
+                // new.
+                let idb: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
+                let mut delta: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
+                let items: Vec<WorkItem> = (0..plan.rules.len())
+                    .flat_map(|ri| (0..chunks).map(move |c| (ri, None, (c, chunks))))
+                    .collect();
+                let ctx = JoinCtx {
+                    a,
+                    idb: &idb,
+                    delta: &delta,
+                    pool: &pool,
+                };
+                let edb_tuples: usize = a.relations().map(|(_, r)| r.len()).sum();
+                let w = round_workers(workers, cfg.parallel_min_seed, edb_tuples);
+                let (results, recovered) = run_round(&plan, &ctx, &items, w);
+                if recovered {
+                    degraded = true;
+                    diagnostics.push(recovery_note(0));
+                }
+                for (h, out) in results {
+                    delta[h].extend(out);
+                }
+                let derived: u64 = delta.iter().map(|d| d.len() as u64).sum();
+                if let Err(stop) = gauge.tick(1 + derived) {
+                    let fuel = stop.state();
+                    return Err(stop.with_partial(checkpoint(idb, delta, 0, diagnostics, fuel)));
+                }
+                (idb, delta, 0)
+            }
+        };
         let converged = loop {
             if delta.iter().all(|d| d.is_empty()) {
                 break true;
             }
             if cfg.max_stages.is_some_and(|cap| stages >= cap) {
                 break false;
+            }
+            if let Err(stop) = gauge.check() {
+                let fuel = stop.state();
+                return Err(stop.with_partial(checkpoint(idb, delta, stages, diagnostics, fuel)));
             }
             stages += 1;
             pool.absorb(&plan, &delta);
@@ -282,8 +424,16 @@ impl Program {
                 pool: &pool,
             };
             let delta_tuples: usize = delta.iter().map(BTreeSet::len).sum();
-            let w = round_workers(workers, cfg.parallel_min_seed, delta_tuples);
-            let results = run_round(&plan, &ctx, &items, w);
+            let w = if degraded {
+                1
+            } else {
+                round_workers(workers, cfg.parallel_min_seed, delta_tuples)
+            };
+            let (results, recovered) = run_round(&plan, &ctx, &items, w);
+            if recovered {
+                degraded = true;
+                diagnostics.push(recovery_note(stages));
+            }
             let mut next_delta: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
             for (h, out) in results {
                 for t in out {
@@ -293,27 +443,54 @@ impl Program {
                 }
             }
             delta = next_delta;
+            let derived: u64 = delta.iter().map(|d| d.len() as u64).sum();
+            if let Err(stop) = gauge.tick(1 + derived) {
+                let fuel = stop.state();
+                return Err(stop.with_partial(checkpoint(idb, delta, stages, diagnostics, fuel)));
+            }
         };
-        FixpointResult {
+        Ok(FixpointResult {
             idb_names: self.idbs().iter().map(|(n, _)| n.clone()).collect(),
             goal: self.goal_index(),
             relations: idb,
             stages,
             converged,
-        }
+            diagnostics,
+        })
     }
 }
 
+/// The diagnostic recorded when a pool worker panicked during `round` and
+/// the round was recomputed on the calling thread.
+fn recovery_note(round: usize) -> String {
+    format!(
+        "round {round}: a pool worker panicked; the round's parallel results were \
+         discarded and recomputed on the calling thread, and evaluation \
+         continued single-threaded"
+    )
+}
+
 /// Run one round's work items, sequentially or on the scoped pool, and
-/// return each item's `(head IDB, derived tuples)`. Items are independent
-/// and the per-item outputs are ordered sets, so the merge is deterministic
+/// return each item's `(head IDB, derived tuples)` plus whether a worker
+/// panic forced a sequential recovery. Items are independent and the
+/// per-item outputs are ordered sets, so the merge is deterministic
 /// regardless of scheduling.
+///
+/// Panic isolation: every item runs behind its own `catch_unwind`
+/// boundary, so a panicking item can neither unwind through the scope
+/// (which would abort the process from a worker) nor stall siblings at
+/// the round barrier — the remaining workers drain and join normally.
+/// When any item panicked, the round's parallel results are discarded
+/// wholesale and the full item list is recomputed on the calling thread:
+/// items are pure functions of the immutable round context, so the rerun
+/// observes no state from the abandoned pass, and the returned tuples are
+/// bit-identical to what an all-sequential evaluation produces.
 fn run_round(
     plan: &ProgramPlan,
     ctx: &JoinCtx<'_>,
     items: &[WorkItem],
     workers: usize,
-) -> Vec<(usize, IdbRelation)> {
+) -> (Vec<(usize, IdbRelation)>, bool) {
     let run_one = |&(ri, delta_atom, chunk): &WorkItem| -> (usize, IdbRelation) {
         let rp = &plan.rules[ri];
         let mut out = IdbRelation::new();
@@ -321,13 +498,14 @@ fn run_round(
         (rp.head, out)
     };
     if workers <= 1 || items.len() <= 1 {
-        return items.iter().map(run_one).collect();
+        return (items.iter().map(run_one).collect(), false);
     }
     // Hand-rolled scoped pool: workers pull item indices from an atomic
     // cursor (cheap dynamic load balancing) and stash `(index, result)`
     // pairs; results are re-ordered by item index afterwards so the round
     // is deterministic by construction.
     let cursor = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
     let collected: Mutex<Vec<(usize, (usize, IdbRelation))>> =
         Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|s| {
@@ -339,20 +517,39 @@ fn run_round(
                     if i >= items.len() {
                         break;
                     }
-                    local.push((i, run_one(&items[i])));
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        #[cfg(feature = "fault-inject")]
+                        if hp_guard::fault::should_panic("datalog.worker", i as u64) {
+                            panic!("fault injection: forced worker panic at item {i}");
+                        }
+                        run_one(&items[i])
+                    }));
+                    match result {
+                        Ok(r) => local.push((i, r)),
+                        Err(_) => {
+                            // This round is void; stop pulling work and let
+                            // the caller recover sequentially.
+                            panicked.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
                 }
+                // Tolerate a poisoned results lock: the Vec under it is
+                // still well-formed, and on the recovery path it is
+                // discarded anyway.
                 collected
                     .lock()
-                    .expect("no worker panics while holding the results lock")
+                    .unwrap_or_else(|e| e.into_inner())
                     .extend(local);
             });
         }
     });
-    let mut results = collected
-        .into_inner()
-        .expect("workers joined without panicking");
+    if panicked.load(Ordering::Relaxed) {
+        return (items.iter().map(run_one).collect(), true);
+    }
+    let mut results = collected.into_inner().unwrap_or_else(|e| e.into_inner());
     results.sort_by_key(|&(i, _)| i);
-    results.into_iter().map(|(_, r)| r).collect()
+    (results.into_iter().map(|(_, r)| r).collect(), false)
 }
 
 /// Evaluate one work item: all satisfying substitutions of the rule along
@@ -653,6 +850,100 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn budgeted_exhaustion_checkpoints_and_resumes_to_fixpoint() {
+        let p = tc();
+        let a = directed_path(8);
+        let full = p.evaluate(&a);
+        let cfg = EvalConfig::new();
+        let e = p
+            .evaluate_budgeted(&a, &cfg, &Budget::fuel(3))
+            .expect_err("3 fuel cannot finish TC on a 7-edge path");
+        assert_eq!(e.resource, hp_guard::Resource::Fuel);
+        assert!(!e.partial.partial.converged);
+        assert!(e.partial.fuel_spent() >= 3);
+        // Every checkpointed relation is a subset of the true fixpoint.
+        for (partial, fixed) in e.partial.partial.relations.iter().zip(&full.relations) {
+            assert!(partial.is_subset(fixed));
+        }
+        let r = p
+            .resume_budgeted(&a, &cfg, e.partial, &Budget::unlimited())
+            .expect("unlimited resume reaches the fixpoint");
+        assert_eq!(r.relations, full.relations);
+        assert_eq!(r.stages, full.stages);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn fuel_split_equals_straight_run() {
+        // Budget monotonicity at the engine level: for every split point,
+        // f1 then f2 lands exactly where a single f1+f2 run lands.
+        let p = tc();
+        let a = directed_path(9);
+        let cfg = EvalConfig::new();
+        for f1 in 1..28u64 {
+            for f2 in [1u64, 4, 17, 200] {
+                let straight = p.evaluate_budgeted(&a, &cfg, &Budget::fuel(f1 + f2));
+                let split = match p.evaluate_budgeted(&a, &cfg, &Budget::fuel(f1)) {
+                    Ok(r) => Ok(r),
+                    Err(e) => p.resume_budgeted(&a, &cfg, e.partial, &Budget::fuel(f2)),
+                };
+                match (straight, split) {
+                    (Ok(s), Ok(t)) => {
+                        assert_eq!(s.relations, t.relations, "f1={f1} f2={f2}");
+                        assert_eq!(s.stages, t.stages, "f1={f1} f2={f2}");
+                    }
+                    (Err(s), Err(t)) => {
+                        let (s, t) = (s.partial, t.partial);
+                        assert_eq!(s.partial.relations, t.partial.relations, "f1={f1} f2={f2}");
+                        assert_eq!(s.partial.stages, t.partial.stages, "f1={f1} f2={f2}");
+                        assert_eq!(s.delta, t.delta, "f1={f1} f2={f2}");
+                        assert_eq!(s.fuel, t.fuel, "f1={f1} f2={f2}");
+                    }
+                    (s, t) => panic!(
+                        "split and straight runs disagree on exhaustion for f1={f1} f2={f2}: \
+                         straight ok={} split ok={}",
+                        s.is_ok(),
+                        t.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_fuel_stops_are_thread_count_independent() {
+        let p = tc();
+        let a = random_digraph(12, 30, 1);
+        let sequential_cfg = EvalConfig::new();
+        let parallel_cfg = EvalConfig::new().with_threads(4).with_parallel_min_seed(0);
+        for fuel in [1u64, 5, 20, 100] {
+            let s = p.evaluate_budgeted(&a, &sequential_cfg, &Budget::fuel(fuel));
+            let t = p.evaluate_budgeted(&a, &parallel_cfg, &Budget::fuel(fuel));
+            match (s, t) {
+                (Ok(s), Ok(t)) => assert_eq!(s.relations, t.relations, "fuel {fuel}"),
+                (Err(s), Err(t)) => {
+                    assert_eq!(
+                        s.partial.partial.relations, t.partial.partial.relations,
+                        "fuel {fuel}"
+                    );
+                    assert_eq!(
+                        s.partial.fuel_spent(),
+                        t.partial.fuel_spent(),
+                        "fuel {fuel}"
+                    );
+                }
+                _ => panic!("fuel stop depends on thread count at fuel {fuel}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_runs_carry_no_diagnostics() {
+        let r = tc().evaluate(&directed_path(5));
+        assert!(r.diagnostics.is_empty());
     }
 
     #[test]

@@ -55,9 +55,12 @@ mod unfold;
 pub use ast::{DatalogAtom, PredRef, Program, Rule, DEFAULT_GOAL_NAME};
 pub use bounded::{
     certified_bounded_at, certified_boundedness, certify_boundedness, stage_probe,
-    BoundednessBudget, BoundednessProbe, BoundednessVerdict,
+    BoundednessProbe, BoundednessVerdict,
 };
 pub use error::{DatalogError, DatalogErrorKind, DatalogSpan};
-pub use eval::{EvalConfig, FixpointResult, IdbRelation, StageSequence};
+pub use eval::{EvalCheckpoint, EvalConfig, FixpointResult, IdbRelation, StageSequence};
 pub use parser::rule_byte_ranges;
-pub use unfold::{stage_formula, stage_formulas, stage_ucq, stages_agree};
+pub use unfold::{
+    stage_formula, stage_formulas, stage_formulas_with_budget, stage_ucq, stage_ucq_with_budget,
+    stages_agree,
+};

@@ -186,6 +186,7 @@ impl Program {
             relations: idb,
             stages,
             converged: true,
+            diagnostics: Vec::new(),
         }
     }
 }

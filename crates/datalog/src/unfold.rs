@@ -8,6 +8,7 @@
 //! reused, exactly as in the `CQ^k` fragment — which
 //! [`hp_logic::ucq_of_existential_positive`] then flattens to a UCQ.
 
+use hp_guard::{Budget, Budgeted, Gauge, Stop};
 use hp_logic::{ucq_of_existential_positive, Formula, Ucq};
 use hp_structures::Elem;
 
@@ -43,13 +44,70 @@ pub fn stage_formula(p: &Program, idb: usize, m: usize) -> Formula {
 /// Stage-`m` formulas of **all** IDBs at once (dynamic programming over
 /// stages).
 pub fn stage_formulas(p: &Program, m: usize) -> Vec<Formula> {
-    let mut prev: Vec<Formula> = (0..p.idbs().len()).map(|_| Formula::bottom()).collect();
-    for _ in 0..m {
-        prev = (0..p.idbs().len())
-            .map(|i| stage_step(p, i, &prev))
-            .collect();
+    let mut gauge = Budget::unlimited().gauge();
+    match stage_formulas_gauged(p, m, &mut gauge) {
+        Ok(fs) => fs,
+        Err(_) => unreachable!("an unlimited budget cannot exhaust"),
     }
-    prev
+}
+
+/// Budgeted form of [`stage_formulas`]: unfolding sizes can grow with the
+/// stage for non-linear recursions, so the iterated substitution charges
+/// one fuel unit per `(IDB, stage)` unfolding step and polls the wall
+/// clock / interrupt token between stages. The partial carries
+/// `(m', formulas)` for the last fully-unfolded stage `m' < m` — a valid
+/// Theorem 7.1 unfolding in its own right, just of an earlier stage.
+pub fn stage_formulas_with_budget(
+    p: &Program,
+    m: usize,
+    budget: &Budget,
+) -> Budgeted<Vec<Formula>, (usize, Vec<Formula>)> {
+    let mut gauge = budget.gauge();
+    stage_formulas_gauged(p, m, &mut gauge)
+        .map_err(|(stage, fs, stop)| stop.with_partial((stage, fs)))
+}
+
+/// Budgeted form of [`stage_ucq`]: the unfolding is charged as in
+/// [`stage_formulas_with_budget`]; the flattening to a UCQ happens only
+/// once the unfolding completed. The exhaustion partial is the index of
+/// the last fully-unfolded stage. The outer `Result` reports (rare)
+/// flattening failures, exactly like [`stage_ucq`].
+pub fn stage_ucq_with_budget(
+    p: &Program,
+    idb: usize,
+    m: usize,
+    budget: &Budget,
+) -> Result<Budgeted<Ucq, usize>, String> {
+    let mut gauge = budget.gauge();
+    match stage_formulas_gauged(p, m, &mut gauge) {
+        Ok(mut fs) => Ok(ucq_of_existential_positive(&fs.swap_remove(idb), p.edb()).map(Ok)?),
+        Err((stage, _, stop)) => Ok(Err(stop.with_partial(stage))),
+    }
+}
+
+/// The gauge-threaded DP behind the budgeted and unbudgeted unfoldings.
+/// On exhaustion returns the last completed stage index, its formulas,
+/// and the stop provenance.
+fn stage_formulas_gauged(
+    p: &Program,
+    m: usize,
+    gauge: &mut Gauge,
+) -> Result<Vec<Formula>, (usize, Vec<Formula>, Stop)> {
+    let mut prev: Vec<Formula> = (0..p.idbs().len()).map(|_| Formula::bottom()).collect();
+    for done in 0..m {
+        if let Err(stop) = gauge.check() {
+            return Err((done, prev, stop));
+        }
+        let mut next = Vec::with_capacity(p.idbs().len());
+        for i in 0..p.idbs().len() {
+            if let Err(stop) = gauge.tick(1) {
+                return Err((done, prev, stop));
+            }
+            next.push(stage_step(p, i, &prev));
+        }
+        prev = next;
+    }
+    Ok(prev)
 }
 
 /// One unfolding step for one IDB given the previous stage's formulas.

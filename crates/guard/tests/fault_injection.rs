@@ -1,0 +1,155 @@
+//! Fault-injection harness for the workspace's robustness guarantees.
+//!
+//! Installs [`hp_guard::fault::FaultPlan`]s and checks, against the sharded
+//! Datalog evaluator (the workspace's only multi-threaded exponential
+//! construction):
+//!
+//! * a forced worker panic never hangs or poisons the evaluation — it is
+//!   recovered sequentially, recorded as a diagnostic, and the result is
+//!   bit-identical to the naive reference evaluator;
+//! * a forced fuel exhaustion at a fixed point yields the same
+//!   deterministic partial every time;
+//! * resuming an exhausted run with a larger budget reaches the same
+//!   fixpoint as an uninterrupted run, for randomized injection points.
+//!
+//! The fault plan is process-global, so every test serializes through
+//! [`hp_guard::fault::exclusive`].
+
+use hp_datalog::{gallery, EvalConfig, Program};
+use hp_guard::{fault, Budget};
+use hp_structures::generators::{directed_path, random_digraph};
+use hp_structures::Structure;
+
+/// A config that forces the parallel sharded path even on small inputs,
+/// so the worker injection site is actually exercised.
+fn parallel_cfg() -> EvalConfig {
+    EvalConfig::new().with_threads(4).with_parallel_min_seed(0)
+}
+
+fn tc_instance() -> (Program, Structure) {
+    (gallery::transitive_closure(), directed_path(24))
+}
+
+#[test]
+fn forced_worker_panic_recovers_and_matches_reference() {
+    let _serial = fault::exclusive();
+    fault::clear();
+    let (p, a) = tc_instance();
+    let reference = p.evaluate_reference(&a);
+
+    fault::install(fault::FaultPlan {
+        exhaust_at: None,
+        panic_at: Some(("datalog.worker".to_string(), 0)),
+    });
+    let r = p.evaluate_with(&a, &parallel_cfg());
+    assert!(
+        r.diagnostics.iter().any(|d| d.contains("panicked")),
+        "recovery must be recorded: {:?}",
+        r.diagnostics
+    );
+    assert!(r.converged);
+    assert_eq!(
+        r.relations, reference.relations,
+        "sequential recovery must be bit-identical to the reference"
+    );
+
+    // The trigger disarmed itself: the next run is clean.
+    let clean = p.evaluate_with(&a, &parallel_cfg());
+    assert!(clean.diagnostics.is_empty(), "no lingering fault state");
+    assert_eq!(clean.relations, reference.relations);
+    fault::clear();
+}
+
+#[test]
+fn worker_panic_at_any_item_is_isolated() {
+    let _serial = fault::exclusive();
+    fault::clear();
+    let (p, a) = tc_instance();
+    let reference = p.evaluate_reference(&a);
+    for item in 0..4u64 {
+        fault::install(fault::FaultPlan {
+            exhaust_at: None,
+            panic_at: Some(("datalog.worker".to_string(), item)),
+        });
+        let r = p.evaluate_with(&a, &parallel_cfg());
+        assert!(r.converged, "item {item}: evaluation must complete");
+        assert_eq!(r.relations, reference.relations, "item {item}");
+    }
+    fault::clear();
+}
+
+#[test]
+fn forced_exhaustion_yields_deterministic_partial() {
+    let _serial = fault::exclusive();
+    fault::clear();
+    let (p, a) = tc_instance();
+    let cfg = EvalConfig::new();
+    let run = || {
+        fault::install(fault::FaultPlan {
+            exhaust_at: Some(40),
+            panic_at: None,
+        });
+        p.evaluate_budgeted(&a, &cfg, &Budget::unlimited())
+            .expect_err("forced exhaustion must stop an unlimited run")
+    };
+    let first = run().partial;
+    let second = run().partial;
+    assert_eq!(first.partial.stages, second.partial.stages);
+    assert_eq!(first.partial.relations, second.partial.relations);
+    assert_eq!(first.fuel_spent(), second.fuel_spent());
+    assert!(!first.partial.converged);
+
+    // Resuming the deterministic partial with no further faults reaches
+    // the true fixpoint.
+    fault::clear();
+    let resumed = p
+        .resume_budgeted(&a, &cfg, first, &Budget::unlimited())
+        .expect("an unlimited, un-faulted resume finishes");
+    let reference = p.evaluate_reference(&a);
+    assert!(resumed.converged);
+    assert_eq!(resumed.relations, reference.relations);
+}
+
+#[test]
+fn randomized_exhaustion_points_never_hang_or_poison() {
+    let _serial = fault::exclusive();
+    fault::clear();
+    let cfg = EvalConfig::new();
+    for seed in 0..6u64 {
+        let a = random_digraph(7, 13, seed);
+        let p = gallery::transitive_closure();
+        let reference = p.evaluate_reference(&a);
+        // A spread of injection points, including some past the total
+        // spend (where the run just finishes).
+        for at in [1u64, 2, 3, 5, 8, 13, 21, 34, 55, 10_000] {
+            fault::install(fault::FaultPlan {
+                exhaust_at: Some(at),
+                panic_at: None,
+            });
+            match p.evaluate_budgeted(&a, &cfg, &Budget::unlimited()) {
+                Ok(r) => {
+                    assert!(r.converged, "seed {seed} at {at}");
+                    assert_eq!(r.relations, reference.relations, "seed {seed} at {at}");
+                }
+                Err(e) => {
+                    // The partial is a genuine stage prefix, and resuming
+                    // (trigger now disarmed) lands on the same fixpoint.
+                    let cp = e.partial;
+                    assert!(!cp.partial.converged);
+                    let resumed = p
+                        .resume_budgeted(&a, &cfg, cp, &Budget::unlimited())
+                        .expect("resume after a disarmed fault finishes");
+                    assert_eq!(
+                        resumed.relations, reference.relations,
+                        "seed {seed} at {at}"
+                    );
+                }
+            }
+            // No poisoned state: a clean follow-up run converges quietly.
+            fault::clear();
+            let clean = p.evaluate_with(&a, &EvalConfig::new());
+            assert!(clean.diagnostics.is_empty());
+            assert_eq!(clean.relations, reference.relations);
+        }
+    }
+}

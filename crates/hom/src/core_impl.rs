@@ -5,6 +5,7 @@
 //! substructure of **B**. Every finite structure has a core, unique up to
 //! isomorphism, and is homomorphically equivalent to it.
 
+use hp_guard::{Budget, Budgeted, Gauge, Stop};
 use hp_structures::{BitSet, Elem, Structure};
 
 use crate::search::HomSearch;
@@ -40,6 +41,25 @@ pub fn is_core(a: &Structure) -> bool {
     a.elements().all(|e| retract_avoiding(a, e).is_none())
 }
 
+/// Budgeted [`is_core`]: one shared budget across all the per-element
+/// retract searches (each charging one fuel unit per search node). An
+/// `Ok(bool)` answer is exact; exhaustion means the remaining retract
+/// searches never ran, so nothing was decided and the partial is `()`.
+pub fn is_core_with_budget(a: &Structure, budget: &Budget) -> Budgeted<bool, ()> {
+    let mut gauge = budget.gauge();
+    for e in a.elements() {
+        match HomSearch::new(a, a)
+            .forbid_value(e)
+            .solve_gauged(&mut gauge)
+        {
+            Ok(Some(_)) => return Ok(false),
+            Ok(None) => {}
+            Err(stop) => return Err(stop.with_partial(())),
+        }
+    }
+    Ok(true)
+}
+
 /// Compute the core of `a` (unique up to isomorphism), with the retraction
 /// map from `a` onto it.
 ///
@@ -48,6 +68,32 @@ pub fn is_core(a: &Structure) -> bool {
 /// element can be avoided. Each round removes at least one element, so at
 /// most `|A|` rounds run; each round is a homomorphism search.
 pub fn core_of(a: &Structure) -> Core {
+    let mut gauge = Budget::unlimited().gauge();
+    match core_of_gauged(a, &mut gauge) {
+        Ok(core) => core,
+        Err(_) => unreachable!("an unlimited budget cannot exhaust"),
+    }
+}
+
+/// Budgeted [`core_of`]: the retract searches charge one shared budget
+/// (one fuel unit per search node). On exhaustion the partial is the
+/// **partially folded core** — still a genuine retract of `a` with a valid
+/// retraction map, homomorphically equivalent to `a`, just possibly not
+/// minimal. Resuming is as simple as calling [`core_of_with_budget`] again
+/// on `partial.structure` and composing the retractions.
+// The Err variant is deliberately heavy: exhaustion carries the partially
+// folded core so the caller keeps the work already done.
+#[allow(clippy::result_large_err)]
+pub fn core_of_with_budget(a: &Structure, budget: &Budget) -> Budgeted<Core, Core> {
+    let mut gauge = budget.gauge();
+    core_of_gauged(a, &mut gauge).map_err(|(partial, stop)| stop.with_partial(partial))
+}
+
+/// The gauge-threaded fold loop behind [`core_of`] and
+/// [`core_of_with_budget`]. On exhaustion returns the fold state reached
+/// so far as a [`Core`] (a valid retract, possibly not minimal).
+#[allow(clippy::result_large_err)]
+fn core_of_gauged(a: &Structure, gauge: &mut Gauge) -> Result<Core, (Core, Stop)> {
     let mut current = a.clone();
     // retraction[i] = current element that original element i maps to,
     // expressed in current's numbering.
@@ -56,7 +102,23 @@ pub fn core_of(a: &Structure) -> Core {
     let mut old_of_new: Vec<Elem> = (0..a.universe_size()).map(Elem::from).collect();
     'outer: loop {
         for e in current.elements() {
-            if let Some(h) = retract_avoiding(&current, e) {
+            let found = match HomSearch::new(&current, &current)
+                .forbid_value(e)
+                .solve_gauged(gauge)
+            {
+                Ok(h) => h,
+                Err(stop) => {
+                    return Err((
+                        Core {
+                            structure: current,
+                            retraction,
+                            old_of_new,
+                        },
+                        stop,
+                    ))
+                }
+            };
+            if let Some(h) = found {
                 // Iterate h to an idempotent power: folding maps compose,
                 // so h^(2^j) shrinks the image to the h-recurrent elements
                 // in O(log n) squarings — collapsing what would otherwise
@@ -109,11 +171,11 @@ pub fn core_of(a: &Structure) -> Core {
         &retraction.iter().map(|e| Elem(e.0)).collect::<Vec<_>>(),
         &current
     ));
-    Core {
+    Ok(Core {
         structure: current,
         retraction,
         old_of_new,
-    }
+    })
 }
 
 #[cfg(test)]

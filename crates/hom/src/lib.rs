@@ -34,9 +34,11 @@ mod core_impl;
 mod iso;
 mod search;
 
-pub use core_impl::{core_of, is_core, retract_avoiding, Core};
+pub use core_impl::{
+    core_of, core_of_with_budget, is_core, is_core_with_budget, retract_avoiding, Core,
+};
 pub use iso::{
     are_homomorphically_equivalent, are_isomorphic, are_isomorphic_pointed, canonical_invariant,
     endomorphism_count, is_rigid,
 };
-pub use search::{all_homs, find_hom, hom_exists, HomSearch};
+pub use search::{all_homs, find_hom, hom_exists, HomError, HomSearch};

@@ -1,6 +1,37 @@
 //! The homomorphism CSP solver.
 
+use std::fmt;
+
+use hp_guard::{Budget, Budgeted, Gauge, Stop};
 use hp_structures::{BitSet, Elem, Structure, SymbolId};
+
+/// Typed error for setting up a homomorphism search from user-supplied
+/// structures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HomError {
+    /// The source and target structures interpret different vocabularies —
+    /// no map between their universes can be a homomorphism.
+    VocabularyMismatch {
+        /// The source structure's vocabulary, rendered for the message.
+        source: String,
+        /// The target structure's vocabulary, rendered for the message.
+        target: String,
+    },
+}
+
+impl fmt::Display for HomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HomError::VocabularyMismatch { source, target } => write!(
+                f,
+                "homomorphism across vocabularies: source interprets {source}, \
+                 target interprets {target}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HomError {}
 
 /// One tuple constraint of the source structure: the images of `vars` must
 /// form a tuple of `sym` in the target.
@@ -44,9 +75,22 @@ impl<'a> HomSearch<'a> {
     ///
     /// # Panics
     /// Panics when the two structures have different vocabularies — asking
-    /// for a homomorphism across vocabularies is a programming error.
+    /// for a homomorphism across vocabularies is a programming error. Use
+    /// [`HomSearch::try_new`] when the structures come from user input.
     pub fn new(a: &'a Structure, b: &'a Structure) -> Self {
-        assert_eq!(a.vocab(), b.vocab(), "homomorphism across vocabularies");
+        Self::try_new(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`HomSearch::new`]: reports a typed
+    /// [`HomError::VocabularyMismatch`] instead of panicking, for
+    /// structures that come from user input.
+    pub fn try_new(a: &'a Structure, b: &'a Structure) -> Result<Self, HomError> {
+        if a.vocab() != b.vocab() {
+            return Err(HomError::VocabularyMismatch {
+                source: format!("{:?}", a.vocab()),
+                target: format!("{:?}", b.vocab()),
+            });
+        }
         let n = a.universe_size();
         let m = b.universe_size();
         let mut constraints = Vec::new();
@@ -63,7 +107,7 @@ impl<'a> HomSearch<'a> {
                 constraints.push(Constraint { sym, vars });
             }
         }
-        HomSearch {
+        Ok(HomSearch {
             a,
             b,
             domains: vec![BitSet::full(m); n],
@@ -74,7 +118,7 @@ impl<'a> HomSearch<'a> {
             embedding: false,
             inconsistent: n > 0 && m == 0,
             propagation: true,
-        }
+        })
     }
 
     /// Force `h(x) = y`.
@@ -172,29 +216,93 @@ impl<'a> HomSearch<'a> {
         n
     }
 
+    /// Budgeted [`HomSearch::solve`]: the backtracking search charges one
+    /// fuel unit per search node. On exhaustion the search was
+    /// *inconclusive* — `None` was not proven, so no meaningful partial
+    /// exists and the [`hp_guard::Exhausted`] carries `()`.
+    pub fn solve_with_budget(&self, budget: &Budget) -> Budgeted<Option<Vec<Elem>>, ()> {
+        let mut found = None;
+        let mut gauge = budget.gauge();
+        match self.run_gauged(1, &mut gauge, &mut |h| found = Some(h.to_vec())) {
+            Ok(()) => Ok(found),
+            Err(stop) => Err(stop.with_partial(())),
+        }
+    }
+
+    /// Budgeted [`HomSearch::exists`]: `Ok(bool)` is exact; exhaustion
+    /// means the search space was not exhausted and carries no partial.
+    pub fn exists_with_budget(&self, budget: &Budget) -> Budgeted<bool, ()> {
+        self.solve_with_budget(budget).map(|h| h.is_some())
+    }
+
+    /// Budgeted [`HomSearch::enumerate`]: on exhaustion the partial is the
+    /// (complete and correct, but possibly not exhaustive) list of
+    /// homomorphisms found before the stop.
+    pub fn enumerate_with_budget(&self, limit: usize, budget: &Budget) -> Budgeted<Vec<Vec<Elem>>> {
+        let mut out = Vec::new();
+        let mut gauge = budget.gauge();
+        match self.run_gauged(limit, &mut gauge, &mut |h| out.push(h.to_vec())) {
+            Ok(()) => Ok(out),
+            Err(stop) => Err(stop.with_partial(out)),
+        }
+    }
+
+    /// Budgeted [`HomSearch::count`]: on exhaustion the partial is the
+    /// number of homomorphisms found before the stop (a lower bound).
+    pub fn count_with_budget(&self, limit: usize, budget: &Budget) -> Budgeted<usize> {
+        let mut n = 0;
+        let mut gauge = budget.gauge();
+        match self.run_gauged(limit, &mut gauge, &mut |_| n += 1) {
+            Ok(()) => Ok(n),
+            Err(stop) => Err(stop.with_partial(n)),
+        }
+    }
+
+    /// Find one homomorphism charging an existing gauge — lets multi-search
+    /// algorithms (the core computation, pebble games) share one budget
+    /// across their whole sequence of searches.
+    pub(crate) fn solve_gauged(&self, gauge: &mut Gauge) -> Result<Option<Vec<Elem>>, Stop> {
+        let mut found = None;
+        self.run_gauged(1, gauge, &mut |h| found = Some(h.to_vec()))?;
+        Ok(found)
+    }
+
     fn run(&self, limit: usize, on_solution: &mut dyn FnMut(&[Elem])) {
+        let mut gauge = Budget::unlimited().gauge();
+        match self.run_gauged(limit, &mut gauge, on_solution) {
+            Ok(()) => (),
+            Err(_) => unreachable!("an unlimited budget cannot exhaust"),
+        }
+    }
+
+    fn run_gauged(
+        &self,
+        limit: usize,
+        gauge: &mut Gauge,
+        on_solution: &mut dyn FnMut(&[Elem]),
+    ) -> Result<(), Stop> {
         if limit == 0 || self.inconsistent {
-            return;
+            return Ok(());
         }
         if self.surjective && self.a.universe_size() < self.b.universe_size() {
-            return;
+            return Ok(());
         }
         if self.injective && self.a.universe_size() > self.b.universe_size() {
-            return;
+            return Ok(());
         }
         if self.domains.iter().any(BitSet::is_empty) {
-            return;
+            return Ok(());
         }
         let mut domains = self.domains.clone();
         // Initial propagation over every constraint.
         if self.propagation {
             let all: Vec<u32> = (0..self.constraints.len() as u32).collect();
             if !self.propagate(&mut domains, all) {
-                return;
+                return Ok(());
             }
         }
         let mut remaining = limit;
-        self.search(&mut domains, &mut remaining, on_solution);
+        self.search(&mut domains, &mut remaining, gauge, on_solution)
     }
 
     /// Generalized arc consistency over the tuple constraints in `queue`,
@@ -261,11 +369,14 @@ impl<'a> HomSearch<'a> {
         &self,
         domains: &mut [BitSet],
         remaining: &mut usize,
+        gauge: &mut Gauge,
         on_solution: &mut dyn FnMut(&[Elem]),
-    ) {
+    ) -> Result<(), Stop> {
         if *remaining == 0 {
-            return;
+            return Ok(());
         }
+        // One fuel unit per search node, charged before expanding it.
+        gauge.tick(1)?;
         // Surjectivity pruning: every uncovered target value must still
         // appear in some domain.
         if self.surjective {
@@ -275,7 +386,7 @@ impl<'a> HomSearch<'a> {
                 covered.union_with(d);
             }
             if covered.len() < m {
-                return;
+                return Ok(());
             }
         }
         // MRV: pick the unassigned variable with the smallest domain > 1.
@@ -297,7 +408,7 @@ impl<'a> HomSearch<'a> {
                 let mut seen = BitSet::new(self.b.universe_size());
                 for e in &h {
                     if !seen.insert(e.index()) {
-                        return;
+                        return Ok(());
                     }
                 }
             }
@@ -307,19 +418,19 @@ impl<'a> HomSearch<'a> {
                     seen.insert(e.index());
                 }
                 if seen.len() < self.b.universe_size() {
-                    return;
+                    return Ok(());
                 }
             }
             if !self.propagation && !self.a.is_homomorphism(&h, self.b) {
-                return;
+                return Ok(());
             }
             if self.embedding && !reflects(self.a, self.b, &h) {
-                return;
+                return Ok(());
             }
             debug_assert!(self.a.is_homomorphism(&h, self.b));
             *remaining -= 1;
             on_solution(&h);
-            return;
+            return Ok(());
         };
         // Value ordering: prefer values already used by decided variables —
         // this biases the search toward *folding* maps, which is what the
@@ -354,12 +465,13 @@ impl<'a> HomSearch<'a> {
                 self.var_constraints[var].clone()
             };
             if !self.propagation || self.propagate(&mut child, affected) {
-                self.search(&mut child, remaining, on_solution);
+                self.search(&mut child, remaining, gauge, on_solution)?;
                 if *remaining == 0 {
-                    return;
+                    return Ok(());
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -546,6 +658,62 @@ mod tests {
         assert!(!HomSearch::new(&directed_path(2), &directed_path(3))
             .surjective()
             .exists());
+    }
+
+    #[test]
+    fn try_new_reports_vocabulary_mismatch() {
+        let a = Structure::new(Vocabulary::digraph(), 2);
+        let b = Structure::new(Vocabulary::from_pairs([("R", 3)]), 2);
+        let err = HomSearch::try_new(&a, &b).err().expect("mismatch detected");
+        assert!(matches!(err, HomError::VocabularyMismatch { .. }));
+        assert!(err.to_string().contains("across vocabularies"));
+        assert!(HomSearch::try_new(&a, &a).is_ok());
+    }
+
+    #[test]
+    fn budgeted_search_matches_unbudgeted_when_fuel_suffices() {
+        use hp_guard::Budget;
+        let p = directed_path(4);
+        let c = directed_cycle(3);
+        let s = HomSearch::new(&p, &c);
+        let solved = s.solve_with_budget(&Budget::unlimited()).unwrap();
+        assert_eq!(solved, s.solve());
+        assert_eq!(
+            s.enumerate_with_budget(usize::MAX, &Budget::unlimited())
+                .unwrap(),
+            s.enumerate(usize::MAX)
+        );
+        assert_eq!(
+            s.count_with_budget(usize::MAX, &Budget::unlimited())
+                .unwrap(),
+            s.count(usize::MAX)
+        );
+        assert!(s.exists_with_budget(&Budget::fuel(1_000_000)).unwrap());
+    }
+
+    #[test]
+    fn exhausted_enumeration_carries_partial_lower_bound() {
+        use hp_guard::{Budget, Resource};
+        // Homs of an edgeless pair into K3: 9 total; a tiny budget finds
+        // some prefix of them deterministically.
+        let a = Structure::new(Vocabulary::digraph(), 2);
+        let b = complete_digraph(3);
+        let s = HomSearch::new(&a, &b);
+        let all = s.enumerate(usize::MAX);
+        assert_eq!(all.len(), 9);
+        let e = s
+            .enumerate_with_budget(usize::MAX, &Budget::fuel(4))
+            .expect_err("4 nodes cannot visit all 9 solutions");
+        assert_eq!(e.resource, Resource::Fuel);
+        assert!(e.partial.len() < 9);
+        // The partial is a prefix of the deterministic full enumeration.
+        assert_eq!(e.partial[..], all[..e.partial.len()]);
+        // Deterministic for a fixed injection point.
+        let e2 = s
+            .enumerate_with_budget(usize::MAX, &Budget::fuel(4))
+            .unwrap_err();
+        assert_eq!(e.partial, e2.partial);
+        assert_eq!(e.spent, e2.spent);
     }
 
     #[test]

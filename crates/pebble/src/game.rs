@@ -2,6 +2,7 @@
 
 use std::collections::BTreeSet;
 
+use hp_guard::{Budget, Budgeted, Gauge, Stop};
 use hp_structures::{Elem, Structure};
 
 /// A partial map from A's universe to B's, as sorted `(a, b)` pairs with
@@ -40,6 +41,35 @@ fn is_partial_hom(a: &Structure, b: &Structure, h: &PartialHom) -> bool {
 /// `O(Σ_{i≤k} C(|A|,i)·|B|^i)` candidates — and is pruned to a fixpoint.
 /// Fine for the small k (2, 3) the paper's §7 examples use.
 pub fn winning_family(a: &Structure, b: &Structure, k: usize) -> BTreeSet<PartialHom> {
+    let mut gauge = Budget::unlimited().gauge();
+    winning_family_gauged(a, b, k, &mut gauge)
+        .unwrap_or_else(|_| unreachable!("an unlimited budget cannot exhaust"))
+}
+
+/// Budgeted [`winning_family`]: both the candidate enumeration and the
+/// greatest-fixpoint pruning charge one fuel unit per partial map examined.
+///
+/// On exhaustion the partial is the family **as of the stopping point**.
+/// Once enumeration has completed the family only shrinks toward the
+/// greatest fixpoint, so the partial is then a superset of the true winning
+/// family (a missing position is definitively dead); if exhaustion hits
+/// during enumeration the snapshot is incomplete in both directions.
+pub fn winning_family_with_budget(
+    a: &Structure,
+    b: &Structure,
+    k: usize,
+    budget: &Budget,
+) -> Budgeted<BTreeSet<PartialHom>, BTreeSet<PartialHom>> {
+    let mut gauge = budget.gauge();
+    winning_family_gauged(a, b, k, &mut gauge).map_err(|(fam, stop)| stop.with_partial(fam))
+}
+
+fn winning_family_gauged(
+    a: &Structure,
+    b: &Structure,
+    k: usize,
+    gauge: &mut Gauge,
+) -> Result<BTreeSet<PartialHom>, (BTreeSet<PartialHom>, Stop)> {
     assert!(k >= 1, "the game needs at least one pebble");
     // Enumerate all partial homs with |dom| ≤ k.
     let mut family: BTreeSet<PartialHom> = BTreeSet::new();
@@ -47,10 +77,15 @@ pub fn winning_family(a: &Structure, b: &Structure, k: usize) -> BTreeSet<Partia
     let mut frontier: Vec<PartialHom> = vec![Vec::new()];
     for _ in 0..k {
         let mut next = Vec::new();
-        for h in &frontier {
+        let mut stopped: Option<Stop> = None;
+        'extend: for h in &frontier {
             let start = h.last().map_or(0, |&(x, _)| x.0 + 1);
             for x in start..a.universe_size() as u32 {
                 for y in 0..b.universe_size() as u32 {
+                    if let Err(stop) = gauge.tick(1) {
+                        stopped = Some(stop);
+                        break 'extend;
+                    }
                     let mut h2 = h.clone();
                     h2.push((Elem(x), Elem(y)));
                     if is_partial_hom(a, b, &h2) && family.insert(h2.clone()) {
@@ -58,6 +93,9 @@ pub fn winning_family(a: &Structure, b: &Structure, k: usize) -> BTreeSet<Partia
                     }
                 }
             }
+        }
+        if let Some(stop) = stopped {
+            return Err((family, stop));
         }
         frontier = next;
     }
@@ -71,7 +109,12 @@ pub fn winning_family(a: &Structure, b: &Structure, k: usize) -> BTreeSet<Partia
     // Greatest-fixpoint pruning.
     loop {
         let mut remove: Vec<PartialHom> = Vec::new();
+        let mut stopped: Option<Stop> = None;
         for h in &family {
+            if let Err(stop) = gauge.tick(1) {
+                stopped = Some(stop);
+                break;
+            }
             // (a) Closure under subfunctions: all immediate restrictions
             // must be present.
             let mut dead = false;
@@ -109,6 +152,9 @@ pub fn winning_family(a: &Structure, b: &Structure, k: usize) -> BTreeSet<Partia
                 remove.push(h.clone());
             }
         }
+        if let Some(stop) = stopped {
+            return Err((family, stop));
+        }
         if remove.is_empty() {
             break;
         }
@@ -116,7 +162,7 @@ pub fn winning_family(a: &Structure, b: &Structure, k: usize) -> BTreeSet<Partia
             family.remove(&h);
         }
     }
-    family
+    Ok(family)
 }
 
 /// Does the Duplicator win the existential k-pebble game on (A, B)?
@@ -132,6 +178,29 @@ pub fn duplicator_wins(a: &Structure, b: &Structure, k: usize) -> bool {
         return false;
     }
     winning_family(a, b, k).contains(&Vec::new())
+}
+
+/// Budgeted [`duplicator_wins`]: the underlying winning-family computation
+/// charges the given budget. On exhaustion no winner has been established —
+/// the partial is `()` (the pruning had not reached its fixpoint, so the
+/// surviving empty map proves nothing either way).
+pub fn duplicator_wins_with_budget(
+    a: &Structure,
+    b: &Structure,
+    k: usize,
+    budget: &Budget,
+) -> Budgeted<bool, ()> {
+    if a.universe_size() == 0 {
+        return Ok(true);
+    }
+    if b.universe_size() == 0 {
+        return Ok(false);
+    }
+    let mut gauge = budget.gauge();
+    match winning_family_gauged(a, b, k, &mut gauge) {
+        Ok(fam) => Ok(fam.contains(&Vec::new())),
+        Err((_, stop)) => Err(stop.with_partial(())),
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +389,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn budgeted_game_matches_unbudgeted_and_exhausts() {
+        use hp_guard::Resource;
+        let c3 = directed_cycle(3);
+        let b = directed_cycle(4);
+        assert_eq!(
+            duplicator_wins_with_budget(&c3, &b, 2, &Budget::unlimited()).unwrap(),
+            duplicator_wins(&c3, &b, 2)
+        );
+        assert_eq!(
+            winning_family_with_budget(&c3, &b, 2, &Budget::unlimited()).unwrap(),
+            winning_family(&c3, &b, 2)
+        );
+        let e = duplicator_wins_with_budget(&c3, &b, 2, &Budget::fuel(3))
+            .expect_err("three fuel units cannot enumerate the 2-pebble positions");
+        assert_eq!(e.resource, Resource::Fuel);
+        // The family snapshot at exhaustion is a best-effort partial.
+        let e = winning_family_with_budget(&c3, &b, 2, &Budget::fuel(3))
+            .expect_err("same budget, same stop");
+        assert!(e.partial.len() <= winning_family(&c3, &b, 2).len() + 1);
+    }
+
+    #[test]
+    fn empty_structure_shortcuts_ignore_budget() {
+        let v = Vocabulary::digraph();
+        let empty = Structure::new(v, 0);
+        let one = directed_path(1);
+        // Decided before any fuel is spent.
+        assert!(duplicator_wins_with_budget(&empty, &one, 2, &Budget::fuel(0)).unwrap());
+        assert!(!duplicator_wins_with_budget(&one, &empty, 2, &Budget::fuel(0)).unwrap());
     }
 
     use hp_structures::Structure;

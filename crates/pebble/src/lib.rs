@@ -36,4 +36,7 @@
 
 mod game;
 
-pub use game::{duplicator_wins, winning_family, PartialHom};
+pub use game::{
+    duplicator_wins, duplicator_wins_with_budget, winning_family, winning_family_with_budget,
+    PartialHom,
+};

@@ -109,6 +109,26 @@ pub fn enumeration_tuple_space(vocab: &Vocabulary, n: usize) -> usize {
 /// Panics when the tuple space exceeds 24 candidate tuples (16.7M
 /// structures) — pre-check with [`enumeration_tuple_space`].
 pub fn for_each_structure(vocab: &Vocabulary, n: usize, mut f: impl FnMut(Structure)) {
+    let exhaustive: Option<std::convert::Infallible> = try_for_each_structure(vocab, n, |s| {
+        f(s);
+        std::ops::ControlFlow::Continue(())
+    });
+    debug_assert!(exhaustive.is_none());
+}
+
+/// Early-exit variant of [`for_each_structure`]: the callback returns
+/// [`ControlFlow`](std::ops::ControlFlow); `Break` stops the enumeration and
+/// its payload is returned (so callers can thread a budget stop — or any
+/// other reason to abandon the sweep — through). `None` means the sweep
+/// was exhaustive.
+///
+/// # Panics
+/// Same feasibility cap as [`for_each_structure`].
+pub fn try_for_each_structure<B>(
+    vocab: &Vocabulary,
+    n: usize,
+    mut f: impl FnMut(Structure) -> std::ops::ControlFlow<B>,
+) -> Option<B> {
     let mut all_tuples: Vec<(usize, Vec<u32>)> = Vec::new();
     for (id, sym) in vocab.iter() {
         if n == 0 && sym.arity > 0 {
@@ -151,8 +171,11 @@ pub fn for_each_structure(vocab: &Vocabulary, n: usize, mut f: impl FnMut(Struct
                 s.add_tuple_ids(*sym, tup).expect("generated tuple valid");
             }
         }
-        f(s);
+        if let std::ops::ControlFlow::Break(b) = f(s) {
+            return Some(b);
+        }
     }
+    None
 }
 
 #[cfg(test)]
@@ -224,6 +247,26 @@ mod tests {
         let mut c = 0;
         for_each_structure(&v, 1, |_| c += 1);
         assert_eq!(c, 4);
+    }
+
+    #[test]
+    fn try_for_each_structure_breaks_early() {
+        let mut seen = 0u32;
+        let out = try_for_each_structure(&Vocabulary::digraph(), 2, |_| {
+            seen += 1;
+            if seen == 5 {
+                std::ops::ControlFlow::Break("stopped")
+            } else {
+                std::ops::ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(out, Some("stopped"));
+        assert_eq!(seen, 5);
+        // Exhaustive sweep returns None.
+        let none: Option<()> = try_for_each_structure(&Vocabulary::digraph(), 1, |_| {
+            std::ops::ControlFlow::Continue(())
+        });
+        assert_eq!(none, None);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Treewidth via elimination orderings: heuristics, exact branch-and-bound,
 //! and lower bounds.
 
+use hp_guard::{Budget, Budgeted, Gauge, Stop};
 use hp_structures::{BitSet, Graph};
 
 use crate::decomposition::TreeDecomposition;
@@ -180,14 +181,24 @@ pub fn degeneracy(g: &Graph) -> usize {
 /// Exponential; intended for graphs up to ~25 vertices (canonical structures
 /// of `CQ^k` formulas, minor gadgets, small random models).
 pub fn treewidth_exact(g: &Graph) -> usize {
+    treewidth_exact_with_budget(g, &Budget::unlimited())
+        .unwrap_or_else(|_| unreachable!("an unlimited budget cannot exhaust"))
+}
+
+/// Budgeted [`treewidth_exact`]: the branch-and-bound charges one fuel
+/// unit per search node. On exhaustion the partial is the **treewidth
+/// bracket** `(lower, upper)` established so far — `lower` from
+/// degeneracy, `upper` from the heuristics improved by every completed
+/// branch — so an interrupted run still reports rigorous bounds.
+pub fn treewidth_exact_with_budget(g: &Graph, budget: &Budget) -> Budgeted<usize, (usize, usize)> {
     let n = g.vertex_count();
     if n == 0 {
-        return 0;
+        return Ok(0);
     }
     let (mut ub, _) = treewidth_upper_bound(g);
     let lb = degeneracy(g);
     if lb >= ub {
-        return ub;
+        return Ok(ub);
     }
     let mut adj: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
     for (u, v) in g.edges() {
@@ -195,19 +206,27 @@ pub fn treewidth_exact(g: &Graph) -> usize {
         adj[v as usize].insert(u as usize);
     }
     let alive = BitSet::full(n);
-    fn bb(adj: &mut Vec<BitSet>, alive: &BitSet, width_so_far: usize, ub: &mut usize, lb: usize) {
+    fn bb(
+        adj: &mut Vec<BitSet>,
+        alive: &BitSet,
+        width_so_far: usize,
+        ub: &mut usize,
+        lb: usize,
+        gauge: &mut Gauge,
+    ) -> Result<(), Stop> {
+        gauge.tick(1)?;
         if width_so_far >= *ub {
-            return;
+            return Ok(());
         }
         let live: Vec<usize> = alive.iter().collect();
         if live.len() <= 1 {
             *ub = (*ub).min(width_so_far);
-            return;
+            return Ok(());
         }
         // If everything alive fits under width_so_far as one clique bag:
         if live.len() - 1 <= width_so_far {
             *ub = (*ub).min(width_so_far);
-            return;
+            return Ok(());
         }
         // Simplicial shortcut: a vertex whose alive neighborhood is a clique
         // can always be eliminated first, without loss.
@@ -220,12 +239,11 @@ pub fn treewidth_exact(g: &Graph) -> usize {
             if is_clique {
                 let w = width_so_far.max(nbrs.len());
                 if w >= *ub {
-                    return;
+                    return Ok(());
                 }
                 let mut alive2 = alive.clone();
                 alive2.remove(v);
-                bb(adj, &alive2, w, ub, lb);
-                return;
+                return bb(adj, &alive2, w, ub, lb, gauge);
             }
         }
         // Branch on each alive vertex.
@@ -248,18 +266,23 @@ pub fn treewidth_exact(g: &Graph) -> usize {
             }
             let mut alive2 = alive.clone();
             alive2.remove(v);
-            bb(adj, &alive2, w, ub, lb);
+            let branch = bb(adj, &alive2, w, ub, lb, gauge);
             for (a, b) in added {
                 adj[a].remove(b);
                 adj[b].remove(a);
             }
+            branch?;
             if *ub <= lb {
-                return;
+                return Ok(());
             }
         }
+        Ok(())
     }
-    bb(&mut adj, &alive, 0, &mut ub, lb);
-    ub
+    let mut gauge = budget.gauge();
+    match bb(&mut adj, &alive, 0, &mut ub, lb, &mut gauge) {
+        Ok(()) => Ok(ub),
+        Err(stop) => Err(stop.with_partial((lb, ub))),
+    }
 }
 
 #[cfg(test)]
@@ -505,5 +528,23 @@ mod witness_tests {
             td.validate(&g).unwrap();
             assert_eq!(td.width(), w);
         }
+    }
+
+    #[test]
+    fn budgeted_exact_treewidth_brackets_on_exhaustion() {
+        let g = grid(4, 4); // treewidth 4, nontrivial branch-and-bound
+        let exact = treewidth_exact(&g);
+        assert_eq!(
+            treewidth_exact_with_budget(&g, &Budget::unlimited()).unwrap(),
+            exact
+        );
+        let e = treewidth_exact_with_budget(&g, &Budget::fuel(1))
+            .expect_err("one search node cannot close a 4x4 grid");
+        assert_eq!(e.resource, hp_guard::Resource::Fuel);
+        let (lb, ub) = e.partial;
+        assert!(
+            lb <= exact && exact <= ub,
+            "bracket [{lb}, {ub}] vs {exact}"
+        );
     }
 }

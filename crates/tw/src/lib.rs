@@ -38,3 +38,4 @@ pub mod sunflower;
 
 pub use decomposition::TreeDecomposition;
 pub use minor::MinorWitness;
+pub use scattered::ScatteredError;

@@ -10,11 +10,38 @@
 //! contain the forbidden minor after all (mirroring the proofs, which
 //! derive a `K_k` minor whenever the construction stalls).
 
+use hp_guard::{Budget, Budgeted, Gauge, Stop};
 use hp_structures::{BitSet, Graph, Neighborhoods};
 
 use crate::decomposition::TreeDecomposition;
 use crate::minor::MinorWitness;
-use crate::sunflower::find_sunflower;
+use crate::sunflower::{find_sunflower_gauged, Sunflower};
+
+/// A user-facing parameter error from the §5 constructions (the internal
+/// invariants stay as `expect`s; these are the inputs a caller can get
+/// wrong).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScatteredError {
+    /// The excluded-minor order `k` must be at least 2 — excluding `K_0`
+    /// or `K_1` is vacuous and the constructions' `k − 1` arithmetic
+    /// underflows.
+    MinorOrderTooSmall {
+        /// The rejected order.
+        k: usize,
+    },
+}
+
+impl std::fmt::Display for ScatteredError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScatteredError::MinorOrderTooSmall { k } => {
+                write!(f, "excluded-minor order k = {k} is too small (need k >= 2)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScatteredError {}
 
 /// The outcome of a deletion-based extraction: the deleted set `B` and a
 /// d-scattered set `S` of `G − B`, **expressed in the original graph's
@@ -106,14 +133,42 @@ pub fn bounded_treewidth(
     d: usize,
     m: usize,
 ) -> Option<ScatteredSet> {
+    let mut gauge = Budget::unlimited().gauge();
+    bounded_treewidth_gauged(g, td, d, m, &mut gauge)
+        .unwrap_or_else(|_| unreachable!("an unlimited budget cannot exhaust"))
+}
+
+/// Budgeted [`bounded_treewidth`]: one shared budget across the Case 1
+/// component scan and the Case 2 sunflower search (one fuel unit per tree
+/// node / per live sunflower set examined). Exhaustion means the
+/// extraction was cut short with nothing decided (the partial is `()`).
+pub fn bounded_treewidth_with_budget(
+    g: &Graph,
+    td: &TreeDecomposition,
+    d: usize,
+    m: usize,
+    budget: &Budget,
+) -> Budgeted<Option<ScatteredSet>, ()> {
+    let mut gauge = budget.gauge();
+    bounded_treewidth_gauged(g, td, d, m, &mut gauge).map_err(|stop| stop.with_partial(()))
+}
+
+fn bounded_treewidth_gauged(
+    g: &Graph,
+    td: &TreeDecomposition,
+    d: usize,
+    m: usize,
+    gauge: &mut Gauge,
+) -> Result<Option<ScatteredSet>, Stop> {
     let td = td.normalized();
     if m == 0 {
-        return Some(ScatteredSet {
+        return Ok(Some(ScatteredSet {
             deleted: vec![],
             set: vec![],
-        });
+        }));
     }
     // ---- Case 1: high-degree tree node.
+    gauge.tick(1 + td.len() as u64)?;
     let adj = td.tree_adjacency();
     if let Some(v) = (0..td.len()).max_by_key(|&v| adj[v].len()) {
         if adj[v].len() >= m {
@@ -130,7 +185,7 @@ pub fn bounded_treewidth(
                     .collect();
                 let out = ScatteredSet { deleted, set };
                 debug_assert!(out.verify(g, d).is_ok());
-                return Some(out);
+                return Ok(Some(out));
             }
         }
     }
@@ -138,7 +193,10 @@ pub fn bounded_treewidth(
     let path = td.longest_tree_path();
     let family: Vec<Vec<u32>> = path.iter().map(|&i| td.bags()[i].clone()).collect();
     let p = crate::bounds::lemma_4_2_petals(d, m);
-    let sf = find_sunflower(&family, p)?;
+    let sf: Sunflower = match find_sunflower_gauged(&family, p, gauge)? {
+        Some(sf) => sf,
+        None => return Ok(None),
+    };
     // Petals in path order.
     let mut petals = sf.petals.clone();
     petals.sort_unstable();
@@ -156,11 +214,11 @@ pub fn bounded_treewidth(
         i += 2 * d + 1;
     }
     if set.len() < m {
-        return None;
+        return Ok(None);
     }
     let out = ScatteredSet { deleted: core, set };
     debug_assert!(out.verify(g, d).is_ok(), "Claim 4.3 violated");
-    Some(out)
+    Ok(Some(out))
 }
 
 /// The outcome of the §5 constructions: either the promised sets, or an
@@ -194,13 +252,45 @@ pub enum MinorFreeOutcome {
 ///   `K_{k−1,k−1}` and hence a `K_k` minor: we return the bipartite clique
 ///   witness instead.
 pub fn bipartite_step(g: &Graph, side_a: &BitSet, k: usize, m: usize) -> MinorFreeOutcome {
-    assert!(k >= 2, "K_1 exclusion is vacuous");
+    try_bipartite_step(g, side_a, k, m).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`bipartite_step`]: rejects `k < 2` as a typed
+/// [`ScatteredError`] instead of asserting.
+pub fn try_bipartite_step(
+    g: &Graph,
+    side_a: &BitSet,
+    k: usize,
+    m: usize,
+) -> Result<MinorFreeOutcome, ScatteredError> {
+    if k < 2 {
+        return Err(ScatteredError::MinorOrderTooSmall { k });
+    }
+    let mut gauge = Budget::unlimited().gauge();
+    Ok(bipartite_step_gauged(g, side_a, k, m, &mut gauge)
+        .unwrap_or_else(|_| unreachable!("an unlimited budget cannot exhaust")))
+}
+
+/// The absorption loop of Lemma 5.2 with a gauge: charges one fuel unit
+/// per surviving `A`-vertex each round. On exhaustion returns the best
+/// scattered set recorded so far (if any round completed) with the stop.
+fn bipartite_step_gauged(
+    g: &Graph,
+    side_a: &BitSet,
+    k: usize,
+    m: usize,
+    gauge: &mut Gauge,
+) -> Result<MinorFreeOutcome, (Option<ScatteredSet>, Stop)> {
+    debug_assert!(k >= 2, "callers validate k (try_bipartite_step)");
     let mut a_cur: Vec<u32> = side_a.iter().map(|v| v as u32).collect();
     let mut b_prime: Vec<u32> = Vec::new();
     // The largest 1-scattered set seen over all absorption rounds, with the
     // B′ it was scattered under.
     let mut best_found: Option<ScatteredSet> = None;
     loop {
+        if let Err(stop) = gauge.tick(1 + a_cur.len() as u64) {
+            return Err((best_found, stop));
+        }
         // Case 1: greedy 1-scattered subset of a_cur in H − B'.
         let mut chosen: Vec<u32> = Vec::new();
         let mut blocked = BitSet::new(g.vertex_count());
@@ -226,7 +316,7 @@ pub fn bipartite_step(g: &Graph, side_a: &BitSet, k: usize, m: usize) -> MinorFr
                 deleted: b_prime,
                 set: chosen,
             };
-            return MinorFreeOutcome::Scattered(out);
+            return Ok(MinorFreeOutcome::Scattered(out));
         }
         if best_found
             .as_ref()
@@ -265,12 +355,16 @@ pub fn bipartite_step(g: &Graph, side_a: &BitSet, k: usize, m: usize) -> MinorFr
                     set: a_cur,
                 });
             }
-            return MinorFreeOutcome::Scattered(best_found.expect("recorded"));
+            return Ok(MinorFreeOutcome::Scattered(best_found.expect(
+                "invariant: best_found is recorded before the first absorption",
+            )));
         };
         if cnt < 2 || a_cur.len() < 2 {
             // Cannot shrink usefully; return the best set seen (the caller
             // checks sizes against the paper bound).
-            return MinorFreeOutcome::Scattered(best_found.expect("recorded"));
+            return Ok(MinorFreeOutcome::Scattered(best_found.expect(
+                "invariant: best_found is recorded before the first absorption",
+            )));
         }
         b_prime.push(z);
         a_cur.retain(|&a| g.has_edge(a, z));
@@ -286,7 +380,7 @@ pub fn bipartite_step(g: &Graph, side_a: &BitSet, k: usize, m: usize) -> MinorFr
             patches.push(vec![a_cur[k - 2]]);
             let w = MinorWitness { patches };
             debug_assert!(w.verify(g).is_ok(), "K_{{k-1,k-1}} contraction failed");
-            return MinorFreeOutcome::Minor(w);
+            return Ok(MinorFreeOutcome::Minor(w));
         }
     }
 }
@@ -306,12 +400,85 @@ pub fn bipartite_step(g: &Graph, side_a: &BitSet, k: usize, m: usize) -> MinorFr
 ///   neighbors goes through [`bipartite_step`], upgrading `I` to an
 ///   (i+1)-scattered set after deleting `B′ ⊆ Z`.
 pub fn excluded_minor(g: &Graph, k: usize, d: usize, m: usize) -> MinorFreeOutcome {
-    assert!(k >= 2);
+    try_excluded_minor(g, k, d, m).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`excluded_minor`]: rejects `k < 2` as a typed
+/// [`ScatteredError`] instead of asserting.
+pub fn try_excluded_minor(
+    g: &Graph,
+    k: usize,
+    d: usize,
+    m: usize,
+) -> Result<MinorFreeOutcome, ScatteredError> {
+    if k < 2 {
+        return Err(ScatteredError::MinorOrderTooSmall { k });
+    }
+    let mut gauge = Budget::unlimited().gauge();
+    Ok(excluded_minor_gauged(g, k, d, m, &mut gauge)
+        .unwrap_or_else(|_| unreachable!("an unlimited budget cannot exhaust")))
+}
+
+/// Budgeted [`excluded_minor`]: the stage iteration and its inner
+/// bipartite absorption loops charge one shared budget (a fuel unit per
+/// surviving vertex per round). On exhaustion the partial is the
+/// extraction's progress so far, **downgraded to a valid answer**: the
+/// accumulated deletion set `Z` with the largest d-scattered subset of the
+/// current survivors (so `partial.verify(g, d)` always holds), possibly
+/// smaller than the `m` a completed run would reach.
+pub fn excluded_minor_with_budget(
+    g: &Graph,
+    k: usize,
+    d: usize,
+    m: usize,
+    budget: &Budget,
+) -> Result<Budgeted<MinorFreeOutcome, ScatteredSet>, ScatteredError> {
+    if k < 2 {
+        return Err(ScatteredError::MinorOrderTooSmall { k });
+    }
+    let mut gauge = budget.gauge();
+    Ok(excluded_minor_gauged(g, k, d, m, &mut gauge)
+        .map_err(|(partial, stop)| stop.with_partial(partial)))
+}
+
+fn excluded_minor_gauged(
+    g: &Graph,
+    k: usize,
+    d: usize,
+    m: usize,
+    gauge: &mut Gauge,
+) -> Result<MinorFreeOutcome, (ScatteredSet, Stop)> {
     let n = g.vertex_count();
     let mut z: Vec<u32> = Vec::new();
     let mut s: Vec<u32> = g.vertices().collect();
     for stage in 0..d {
         let i = stage; // S is currently i-scattered in G − Z.
+                       // Progress downgraded to a d-scattered answer, for exhaustion
+                       // partials at this stage.
+        let partial_now = |z: &[u32], s: &[u32]| {
+            let removed: BitSet = BitSet::from_indices(n, z.iter().map(|&v| v as usize));
+            let (h, old_of_new) = g.minus(&removed);
+            let mut new_of_old = vec![u32::MAX; n];
+            for (new, &old) in old_of_new.iter().enumerate() {
+                new_of_old[old as usize] = new as u32;
+            }
+            let s_h: Vec<u32> = s
+                .iter()
+                .map(|&v| new_of_old[v as usize])
+                .filter(|&v| v != u32::MAX)
+                .collect();
+            let set = filter_d_scattered(&h, &s_h, d)
+                .into_iter()
+                .map(|u| old_of_new[u as usize])
+                .collect();
+            ScatteredSet {
+                deleted: z.to_vec(),
+                set,
+            }
+        };
+        if let Err(stop) = gauge.tick(1 + s.len() as u64) {
+            return Err((partial_now(&z, &s), stop));
+        }
         let removed: BitSet = BitSet::from_indices(n, z.iter().map(|&v| v as usize));
         let (h, old_of_new) = g.minus(&removed);
         let mut new_of_old = vec![u32::MAX; n];
@@ -356,7 +523,10 @@ pub fn excluded_minor(g: &Graph, k: usize, d: usize, m: usize) -> MinorFreeOutco
                 .into_iter()
                 .map(|u| old_of_new[u as usize])
                 .collect();
-            return MinorFreeOutcome::Scattered(ScatteredSet { deleted: z, set });
+            return Ok(MinorFreeOutcome::Scattered(ScatteredSet {
+                deleted: z,
+                set,
+            }));
         }
         // Bipartite graph: A = kept (as neighborhood super-vertices),
         // B = outside neighbors of those neighborhoods. Build it explicitly
@@ -378,7 +548,11 @@ pub fn excluded_minor(g: &Graph, k: usize, d: usize, m: usize) -> MinorFreeOutco
         // Intermediate stages keep as many survivors as possible; only
         // the final stage may stop at the target m.
         let stage_target = if stage + 1 == d { m } else { usize::MAX };
-        match bipartite_step(&bip, &a_side, k, stage_target) {
+        let step = match bipartite_step_gauged(&bip, &a_side, k, stage_target, gauge) {
+            Ok(step) => step,
+            Err((_, stop)) => return Err((partial_now(&z, &s), stop)),
+        };
+        match step {
             MinorFreeOutcome::Scattered(ss) => {
                 // Map back: deleted B' are h-vertices → original ids.
                 for &b in &ss.deleted {
@@ -392,7 +566,7 @@ pub fn excluded_minor(g: &Graph, k: usize, d: usize, m: usize) -> MinorFreeOutco
                     // hoods of k−1 survivors (+ their centers), paired with
                     // the Z elements via the matching contraction.
                     if let Some(w) = closing_minor_witness(g, &z, &s, i + 1, k) {
-                        return MinorFreeOutcome::Minor(w);
+                        return Ok(MinorFreeOutcome::Minor(w));
                     }
                     // Couldn't assemble the witness (can happen when Z
                     // accumulated across stages without full adjacency —
@@ -420,7 +594,7 @@ pub fn excluded_minor(g: &Graph, k: usize, d: usize, m: usize) -> MinorFreeOutco
                 }
                 let w2 = MinorWitness { patches };
                 if w2.verify(g).is_ok() {
-                    return MinorFreeOutcome::Minor(w2);
+                    return Ok(MinorFreeOutcome::Minor(w2));
                 }
                 // Witness didn't survive translation (greedy drift): stop
                 // with the largest d-scattered subset of the survivors.
@@ -428,14 +602,20 @@ pub fn excluded_minor(g: &Graph, k: usize, d: usize, m: usize) -> MinorFreeOutco
                     .into_iter()
                     .map(|u| old_of_new[u as usize])
                     .collect();
-                return MinorFreeOutcome::Scattered(ScatteredSet { deleted: z, set });
+                return Ok(MinorFreeOutcome::Scattered(ScatteredSet {
+                    deleted: z,
+                    set,
+                }));
             }
         }
     }
     if s.len() > m {
         s.truncate(m);
     }
-    MinorFreeOutcome::Scattered(ScatteredSet { deleted: z, set: s })
+    Ok(MinorFreeOutcome::Scattered(ScatteredSet {
+        deleted: z,
+        set: s,
+    }))
 }
 
 /// Greedily filter `candidates` down to a d-scattered subset of `g`.
@@ -717,5 +897,55 @@ mod tests {
         // (None is acceptable for small m only if the sunflower misses —
         // assert it actually succeeded:)
         assert!(bounded_treewidth(&g, &td, 1, 3).is_some());
+    }
+
+    #[test]
+    fn try_fns_reject_small_minor_order() {
+        let g = grid(4, 4);
+        let a: BitSet = BitSet::from_indices(16, 0..4);
+        let e = try_bipartite_step(&g, &a, 1, 2).expect_err("k = 1 is malformed");
+        assert_eq!(e, ScatteredError::MinorOrderTooSmall { k: 1 });
+        assert!(e.to_string().contains("k = 1"));
+        assert!(try_excluded_minor(&g, 0, 1, 2).is_err());
+        assert!(excluded_minor_with_budget(&g, 1, 1, 2, &Budget::unlimited()).is_err());
+    }
+
+    #[test]
+    fn budgeted_bounded_treewidth_matches_unbudgeted() {
+        let g = path(100);
+        let bags: Vec<Vec<u32>> = (0..99).map(|i| vec![i as u32, i as u32 + 1]).collect();
+        let edges: Vec<(usize, usize)> = (1..99).map(|i| (i - 1, i)).collect();
+        let td = TreeDecomposition::new(bags, edges);
+        let full = bounded_treewidth(&g, &td, 2, 6);
+        assert_eq!(
+            bounded_treewidth_with_budget(&g, &td, 2, 6, &Budget::unlimited()).unwrap(),
+            full
+        );
+        let e = bounded_treewidth_with_budget(&g, &td, 2, 6, &Budget::fuel(1))
+            .expect_err("one fuel unit cannot scan the decomposition");
+        assert_eq!(e.resource, hp_guard::Resource::Fuel);
+    }
+
+    #[test]
+    fn budgeted_excluded_minor_partial_is_valid_scattered_set() {
+        let g = grid(12, 12);
+        // Unlimited budget agrees with the unbudgeted extraction.
+        match excluded_minor_with_budget(&g, 5, 1, 6, &Budget::unlimited()).unwrap() {
+            Ok(MinorFreeOutcome::Scattered(ss)) => ss.verify(&g, 1).unwrap(),
+            other => panic!("expected scattered outcome, got {other:?}"),
+        }
+        // Starved budgets at every small fuel level: the run either finishes
+        // or yields a partial that is itself a valid 1-scattered answer.
+        let mut exhausted_at_least_once = false;
+        for fuel in [1u64, 10, 50, 200, 1000] {
+            match excluded_minor_with_budget(&g, 5, 1, 6, &Budget::fuel(fuel)).unwrap() {
+                Ok(_) => {}
+                Err(e) => {
+                    exhausted_at_least_once = true;
+                    e.partial.verify(&g, 1).unwrap();
+                }
+            }
+        }
+        assert!(exhausted_at_least_once, "tiny fuel must exhaust on a grid");
     }
 }

@@ -8,6 +8,8 @@
 
 use std::collections::BTreeSet;
 
+use hp_guard::{Budget, Budgeted, Gauge, Stop};
+
 /// A sunflower found in a family of sets.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Sunflower {
@@ -55,14 +57,41 @@ impl Sunflower {
 /// ≤ `k`; may also succeed far below that bound, which is exactly what the
 /// E4 experiment measures).
 pub fn find_sunflower(family: &[Vec<u32>], p: usize) -> Option<Sunflower> {
+    let mut gauge = Budget::unlimited().gauge();
+    find_sunflower_gauged(family, p, &mut gauge)
+        .unwrap_or_else(|_| unreachable!("an unlimited budget cannot exhaust"))
+}
+
+/// Budgeted [`find_sunflower`]: charges one fuel unit per live set
+/// examined in each recursion level of the constructive proof. An
+/// `Ok(Some(..))`/`Ok(None)` answer is exactly what [`find_sunflower`]
+/// would return; exhaustion means the search was cut short and nothing
+/// was decided (the partial is `()`).
+pub fn find_sunflower_with_budget(
+    family: &[Vec<u32>],
+    p: usize,
+    budget: &Budget,
+) -> Budgeted<Option<Sunflower>, ()> {
+    let mut gauge = budget.gauge();
+    find_sunflower_gauged(family, p, &mut gauge).map_err(|stop| stop.with_partial(()))
+}
+
+/// Gauge-threaded entry shared by [`find_sunflower`],
+/// [`find_sunflower_with_budget`], and the scattered-set extractions that
+/// run sunflower searches under one shared budget.
+pub(crate) fn find_sunflower_gauged(
+    family: &[Vec<u32>],
+    p: usize,
+    gauge: &mut Gauge,
+) -> Result<Option<Sunflower>, Stop> {
     if p == 0 {
-        return Some(Sunflower {
+        return Ok(Some(Sunflower {
             petals: vec![],
             core: vec![],
-        });
+        }));
     }
     let indices: Vec<usize> = (0..family.len()).collect();
-    find_rec(family, &indices, p, &mut Vec::new())
+    find_rec(family, &indices, p, &mut Vec::new(), gauge)
 }
 
 fn find_rec(
@@ -70,7 +99,9 @@ fn find_rec(
     live: &[usize],
     p: usize,
     core: &mut Vec<u32>,
-) -> Option<Sunflower> {
+    gauge: &mut Gauge,
+) -> Result<Option<Sunflower>, Stop> {
+    gauge.tick(1 + live.len() as u64)?;
     // Greedy maximal disjoint subfamily (over elements not in `core` —
     // callers have already removed core elements from consideration by
     // filtering; here we compute disjointness of the residual sets).
@@ -97,7 +128,7 @@ fn find_rec(
             core: core.clone(),
         };
         debug_assert!(sf.verify(family).is_ok());
-        return Some(sf);
+        return Ok(Some(sf));
     }
     if used.is_empty() {
         // All residual sets are empty: every live set equals the core, so
@@ -109,9 +140,9 @@ fn find_rec(
                 core: core.clone(),
             };
             debug_assert!(sf.verify(family).is_ok());
-            return Some(sf);
+            return Ok(Some(sf));
         }
-        return None;
+        return Ok(None);
     }
     // Find the most popular element of the union among live residual sets.
     let mut best: Option<(u32, usize)> = None;
@@ -121,14 +152,14 @@ fn find_rec(
             best = Some((x, cnt));
         }
     }
-    let (x, _) = best.expect("non-empty union");
+    let (x, _) = best.expect("invariant: used is non-empty, so some element was counted");
     let next: Vec<usize> = live
         .iter()
         .copied()
         .filter(|&i| residual(i).contains(&x))
         .collect();
     core.push(x);
-    let out = find_rec(family, &next, p, core);
+    let out = find_rec(family, &next, p, core, gauge);
     core.pop();
     out
 }
@@ -196,6 +227,20 @@ mod tests {
         ];
         let sf = find_sunflower(&fam, 3).unwrap();
         sf.verify(&fam).unwrap();
+    }
+
+    #[test]
+    fn budgeted_search_matches_and_exhausts() {
+        use hp_guard::Resource;
+        let fam = vec![vec![9, 1], vec![9, 2], vec![9, 3], vec![9, 4]];
+        let full = find_sunflower(&fam, 4);
+        assert_eq!(
+            find_sunflower_with_budget(&fam, 4, &Budget::unlimited()).unwrap(),
+            full
+        );
+        let e = find_sunflower_with_budget(&fam, 4, &Budget::fuel(1))
+            .expect_err("one fuel unit cannot scan four sets");
+        assert_eq!(e.resource, Resource::Fuel);
     }
 
     #[test]

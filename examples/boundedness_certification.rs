@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use hp_preservation::datalog::{
-    certify_boundedness, gallery, stage_probe, BoundednessBudget, BoundednessVerdict, Program,
+    certify_boundedness, gallery, stage_probe, BoundednessVerdict, Program,
 };
 use hp_preservation::prelude::*;
 
@@ -43,16 +43,18 @@ fn main() {
         ),
         ("bounded reach h=3", gallery::bounded_reach(3), Vec::new()),
     ];
-    let budget = BoundednessBudget::stages(4);
+    // Default wall-clock budget so a pathological input degrades to a
+    // diagnostic instead of hanging the example.
+    let max_stage = 4;
+    let budget = Budget::wall_clock(std::time::Duration::from_secs(30));
     println!(
-        "| program | probe stages on P2..P9 | certificate (budget: {} stages) | time |",
-        budget.max_stage
+        "| program | probe stages on P2..P9 | certificate (budget: {max_stage} stages) | time |"
     );
     println!("|---|---|---|---|");
     for (name, p, structures) in &programs {
         let probe = probe_column(p, structures);
         let t0 = Instant::now();
-        let verdict = certify_boundedness(p, &budget).unwrap();
+        let verdict = certify_boundedness(p, max_stage, &budget).unwrap();
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let cell = match verdict {
             BoundednessVerdict::Certified {
@@ -67,9 +69,12 @@ fn main() {
             }
             BoundednessVerdict::BudgetExhausted {
                 next_stage,
+                resource,
+                fuel_spent,
                 elapsed,
             } => format!(
-                "budget exhausted before stage {next_stage} ({} ms)",
+                "{resource} budget exhausted before stage {next_stage} \
+                 ({fuel_spent} fuel, {} ms)",
                 elapsed.as_millis()
             ),
         };
@@ -78,8 +83,8 @@ fn main() {
 
     // Budget-hit demonstration: the same search under a zero wall-clock
     // budget stops before deciding anything.
-    let strict = BoundednessBudget::stages(4).with_time_limit(std::time::Duration::ZERO);
-    match certify_boundedness(&gallery::transitive_closure(), &strict).unwrap() {
+    let strict = Budget::wall_clock(std::time::Duration::ZERO);
+    match certify_boundedness(&gallery::transitive_closure(), 4, &strict).unwrap() {
         BoundednessVerdict::BudgetExhausted { next_stage, .. } => println!(
             "\nzero wall-clock budget on transitive closure: stopped before stage \
              {next_stage}, no verdict (HP014 reports this as a note, not a warning)"

@@ -33,8 +33,22 @@ fn main() {
         ("random DAG", generators::random_dag(7, 12, 2)),
         ("self-loop", generators::self_loop()),
     ];
+    // Default wall-clock budget: a pathological target degrades to a
+    // printed diagnostic instead of hanging the demo.
+    let budget = Budget::wall_clock(std::time::Duration::from_secs(30));
     for (name, b) in &rows {
-        let game = duplicator_wins(&c3, b, 2);
+        let game = match hp_preservation::pebble::duplicator_wins_with_budget(&c3, b, 2, &budget) {
+            Ok(winner) => winner,
+            Err(e) => {
+                println!(
+                    "{name:>22}: {} budget exhausted after {} ms ({} fuel) — skipping",
+                    e.resource,
+                    e.elapsed.as_millis(),
+                    e.spent
+                );
+                continue;
+            }
+        };
         let cyclic = !cycle_query.evaluate(b).relations[goal].is_empty();
         println!(
             "{name:>22} {:>8} {:>12} {cyclic:>10}",

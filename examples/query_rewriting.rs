@@ -64,8 +64,25 @@ fn main() {
             sample.len()
         );
         // 2. Enumerate minimal models (the effective bound: here size ≤ 3
-        //    for the digraph vocabulary keeps enumeration exhaustive).
-        let rw = rewrite_to_ucq(&q, &vocab, 3).unwrap();
+        //    for the digraph vocabulary keeps enumeration exhaustive), under
+        //    a default wall-clock budget so a pathological input degrades
+        //    to a sound partial UCQ instead of hanging the demo.
+        let budget = Budget::wall_clock(std::time::Duration::from_secs(30));
+        let rw = match rewrite_to_ucq_with_budget(&q, &vocab, 3, &budget) {
+            Ok(rw) => rw,
+            Err(e) => {
+                println!(
+                    "  {} budget exhausted after {} ms ({} fuel spent); \
+                     continuing with the partial UCQ — a sound under-approximation \
+                     over the {} minimal model(s) found so far",
+                    e.resource,
+                    e.elapsed.as_millis(),
+                    e.spent,
+                    e.partial.minimal_models.len()
+                );
+                e.partial
+            }
+        };
         println!(
             "  minimal models (≤ 3 elements): {}",
             rw.minimal_models.len()

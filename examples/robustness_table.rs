@@ -1,0 +1,105 @@
+//! The Robustness table of EXPERIMENTS.md: for each Datalog gallery
+//! program, the fuel a full fixpoint costs, what a half-fuel budget leaves
+//! behind (stage prefix + partial tuple counts), and a check that resuming
+//! the starved run reaches the exact fixpoint.
+//!
+//! ```sh
+//! cargo run --release --example robustness_table
+//! ```
+
+use hp_preservation::datalog::{gallery, EvalConfig, Program};
+use hp_preservation::prelude::*;
+
+/// Smallest fuel limit that lets `p` run to its fixpoint on `a`
+/// (exponential probe + binary search; fuel stops are deterministic, so
+/// this is well-defined).
+fn fuel_to_fixpoint(p: &Program, a: &Structure, cfg: &EvalConfig) -> u64 {
+    let mut hi = 1u64;
+    while p.evaluate_budgeted(a, cfg, &Budget::fuel(hi)).is_err() {
+        hi *= 2;
+    }
+    let mut lo = hi / 2; // exclusive lower bound (or 0)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if p.evaluate_budgeted(a, cfg, &Budget::fuel(mid)).is_ok() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+fn tuples(rels: &[hp_preservation::datalog::IdbRelation]) -> usize {
+    rels.iter().map(|r| r.len()).sum()
+}
+
+fn main() {
+    let cfg = EvalConfig::new();
+    let a = generators::random_digraph(12, 30, 7);
+    // bounded_reach speaks {E/2, M/1}: same edges, elements 0–2 marked.
+    let mut a_marked = Structure::new(Vocabulary::from_pairs([("E", 2), ("M", 1)]), 12);
+    for t in a.relation(0usize.into()).iter() {
+        let _ = a_marked.add_tuple_ids(0, &[t[0].index() as u32, t[1].index() as u32]);
+    }
+    for v in 0..3u32 {
+        let _ = a_marked.add_tuple_ids(1, &[v]);
+    }
+    let programs: Vec<(&str, Program, Structure)> = vec![
+        (
+            "transitive closure",
+            gallery::transitive_closure(),
+            a.clone(),
+        ),
+        ("cycle detection", gallery::cycle_detection(), a.clone()),
+        ("same generation", gallery::same_generation(), a.clone()),
+        ("two-hop (nonrecursive)", gallery::two_hop(), a.clone()),
+        (
+            "absorbed recursion",
+            gallery::absorbed_recursion(),
+            a.clone(),
+        ),
+        ("bounded reach h=3", gallery::bounded_reach(3), a_marked),
+    ];
+    println!("input: random digraph, 12 vertices, 30 edge draws (seed 7)\n");
+    println!("| program | fuel to fixpoint | stages | at 0.5× fuel | resume reaches fixpoint |");
+    println!("|---|---|---|---|---|");
+    for (name, p, a) in &programs {
+        let full = p.evaluate(a);
+        let f = fuel_to_fixpoint(p, a, &cfg);
+        let half = f / 2;
+        let (half_cell, resume_cell) = if half == 0 {
+            ("—".to_string(), "—".to_string())
+        } else {
+            match p.evaluate_budgeted(a, &cfg, &Budget::fuel(half)) {
+                Ok(_) => ("completes".to_string(), "—".to_string()),
+                Err(e) => {
+                    let cp = e.partial;
+                    let cell = format!(
+                        "stage {} of {}, {} of {} tuples",
+                        cp.partial.stages,
+                        full.stages,
+                        tuples(&cp.partial.relations),
+                        tuples(&full.relations)
+                    );
+                    let resumed = p
+                        .resume_budgeted(a, &cfg, cp, &Budget::unlimited())
+                        .expect("unlimited resume finishes");
+                    let ok = resumed.relations == full.relations && resumed.stages == full.stages;
+                    (
+                        cell,
+                        if ok {
+                            "✓".to_string()
+                        } else {
+                            "✗".to_string()
+                        },
+                    )
+                }
+            }
+        };
+        println!(
+            "| {name} | {f} | {} | {half_cell} | {resume_cell} |",
+            full.stages
+        );
+    }
+}

@@ -73,11 +73,14 @@ fn main() {
         "{:>10} {:>4} {:>4} {:>5} {:>6} {:>22}",
         "grid", "d", "m", "|Z|", "|S|", "paper bound"
     );
+    // A default wall-clock budget: on exhaustion the extraction still
+    // returns a valid (possibly smaller) scattered set, which we report.
+    let budget = Budget::wall_clock(std::time::Duration::from_secs(30));
     for (side, d, m) in [(8usize, 1usize, 4usize), (12, 1, 6), (16, 2, 4)] {
         let g = generators::grid(side, side);
         let bound = bounds::theorem_5_3(5, d, m);
-        match scattered::excluded_minor(&g, 5, d, m) {
-            scattered::MinorFreeOutcome::Scattered(s) => {
+        match scattered::excluded_minor_with_budget(&g, 5, d, m, &budget).expect("k = 5 is valid") {
+            Ok(scattered::MinorFreeOutcome::Scattered(s)) => {
                 s.verify(&g, d).unwrap();
                 println!(
                     "{:>10} {d:>4} {m:>4} {:>5} {:>6} {:>22}",
@@ -87,8 +90,19 @@ fn main() {
                     format_bound(bound)
                 );
             }
-            scattered::MinorFreeOutcome::Minor(w) => {
+            Ok(scattered::MinorFreeOutcome::Minor(w)) => {
                 println!("  unexpected minor witness of order {}", w.order());
+            }
+            Err(e) => {
+                e.partial.verify(&g, d).unwrap();
+                println!(
+                    "  {}x{side}: {} budget exhausted after {} ms — partial \
+                     {d}-scattered set of {} vertex(es) (still verified)",
+                    side,
+                    e.resource,
+                    e.elapsed.as_millis(),
+                    e.partial.set.len()
+                );
             }
         }
     }
