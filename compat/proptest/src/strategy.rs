@@ -26,6 +26,17 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Generate a value, then generate from a strategy built from it —
+    /// for dependent inputs (e.g. an arity, then tuples of that arity).
+    fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        U: Strategy,
+        F: Fn(Self::Value) -> U,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Type-erase into a cheaply clonable boxed strategy.
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -114,6 +125,21 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     type Value = U;
     fn generate(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let dependent = (self.f)(self.inner.generate(rng));
+        dependent.generate(rng)
     }
 }
 

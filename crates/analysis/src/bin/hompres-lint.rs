@@ -24,6 +24,9 @@
 //!   --fix             rewrite .dl FILEs in place: remove dead rules
 //!                     (HP007) and duplicate rules (HP013); certified to
 //!                     preserve the goal fixpoint, and idempotent
+//!   --fix=check       dry run: print a unified diff of what --fix would
+//!                     rewrite, touch nothing, and exit non-zero when
+//!                     changes are pending (for CI)
 //! ```
 //!
 //! Exit status: 0 when no input produced an error (or, with
@@ -33,8 +36,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use hp_analysis::{
-    fix_source, lint_datalog_source_with, lint_formula_source, parse_vocab_spec, Analyzer,
-    Diagnostics, Severity,
+    fix_check_source, fix_source, lint_datalog_source_with, lint_formula_source, parse_vocab_spec,
+    Analyzer, Diagnostics, Severity,
 };
 use hp_datalog::gallery;
 use hp_guard::Budget;
@@ -44,6 +47,15 @@ use hp_structures::Vocabulary;
 enum Format {
     Text,
     Json,
+}
+
+/// What `--fix` should do with the pending rewrites.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FixMode {
+    /// Rewrite the files in place.
+    Apply,
+    /// Print a unified diff and exit non-zero when changes are pending.
+    Check,
 }
 
 struct Options {
@@ -56,7 +68,7 @@ struct Options {
     max_stage: usize,
     budget_ms: u64,
     fuel: u64,
-    fix: bool,
+    fix: Option<FixMode>,
     edb: Option<Vocabulary>,
     files: Vec<String>,
 }
@@ -64,7 +76,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: hompres-lint [--gallery] [--edb SPEC] [--deny-warnings] [--quiet] \
      [--list-passes] [--format text|json] [--boundedness] [--max-stage N] \
-     [--budget-ms N] [--fuel N] [--fix] [FILE...]"
+     [--budget-ms N] [--fuel N] [--fix | --fix=check] [FILE...]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -78,7 +90,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         max_stage: 4,
         budget_ms: 5000,
         fuel: 0,
-        fix: false,
+        fix: None,
         edb: None,
         files: Vec::new(),
     };
@@ -90,7 +102,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--quiet" => o.quiet = true,
             "--list-passes" => o.list_passes = true,
             "--boundedness" => o.boundedness = true,
-            "--fix" => o.fix = true,
+            "--fix" => o.fix = Some(FixMode::Apply),
+            "--fix=check" => o.fix = Some(FixMode::Check),
             "--format" => {
                 i += 1;
                 o.format = match args.get(i).map(String::as_str) {
@@ -126,10 +139,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         i += 1;
     }
-    if o.fix && o.gallery {
+    if o.fix.is_some() && o.gallery {
         return Err("--fix works on FILEs, not --gallery (gallery programs are built in)".into());
     }
-    if o.fix && o.files.iter().any(|f| f.ends_with(".fo")) {
+    if o.fix.is_some() && o.files.iter().any(|f| f.ends_with(".fo")) {
         return Err("--fix applies to Datalog files only, not .fo formulas".into());
     }
     if !o.gallery && !o.list_passes && o.files.is_empty() {
@@ -242,6 +255,86 @@ fn fix_file(path: &str, o: &Options, json: &mut Vec<String>) -> bool {
     false
 }
 
+/// Quote and escape a string per RFC 8259 (for the JSON diff field).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `--fix=check`: report what the certified rewrites would change without
+/// touching the file. Returns whether the run fails the build — a parse
+/// or I/O error, or pending changes (so CI can gate on a clean tree).
+fn check_file(path: &str, o: &Options, json: &mut Vec<String>) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hompres-lint: cannot read {path}: {e}");
+            return true;
+        }
+    };
+    let out = match fix_check_source(&text, o.edb.as_ref(), path) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("hompres-lint: cannot fix {path}: {e}");
+            return true;
+        }
+    };
+    match o.format {
+        Format::Text => {
+            if !o.quiet && out.changed {
+                print!("{}", out.diff);
+            }
+            println!(
+                "{path}: {}",
+                if out.changed {
+                    format!(
+                        "{} rule{} pending (run --fix to apply)",
+                        out.removed.len(),
+                        if out.removed.len() == 1 { "" } else { "s" }
+                    )
+                } else {
+                    "clean".to_string()
+                }
+            );
+        }
+        Format::Json => {
+            let items: Vec<String> = out
+                .removed
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"rule\": {}, \"line\": {}, \"head\": \"{}\", \"code\": \"{}\"}}",
+                        r.rule,
+                        r.line.map_or("null".to_string(), |l| l.to_string()),
+                        r.head,
+                        r.code
+                    )
+                })
+                .collect();
+            json.push(format!(
+                "{{\"input\": \"{path}\", \"changed\": {}, \"removed\": [{}], \"diff\": {}}}",
+                out.changed,
+                items.join(", "),
+                json_string(&out.diff)
+            ));
+        }
+    }
+    out.changed
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let o = match parse_args(&args) {
@@ -276,8 +369,11 @@ fn main() -> ExitCode {
     let mut json: Vec<String> = Vec::new();
 
     for path in &o.files {
-        if o.fix {
-            failed |= fix_file(path, &o, &mut json);
+        if let Some(mode) = o.fix {
+            failed |= match mode {
+                FixMode::Apply => fix_file(path, &o, &mut json),
+                FixMode::Check => check_file(path, &o, &mut json),
+            };
             continue;
         }
         let text = match std::fs::read_to_string(path) {

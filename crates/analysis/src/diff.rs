@@ -1,0 +1,185 @@
+//! A small unified-diff renderer for `hompres-lint --fix=check`.
+//!
+//! Produces the standard `--- a/…` / `+++ b/…` / `@@ -l,c +l,c @@` format
+//! with three lines of context, computed from a line-level LCS. The
+//! inputs the fixer deals in are small Datalog sources, so the quadratic
+//! table is never a concern. The rendering is line-based: a missing
+//! trailing newline is rendered as if present.
+
+/// One line-level edit in the diff script.
+enum Op<'a> {
+    Keep(&'a str),
+    Del(&'a str),
+    Add(&'a str),
+}
+
+/// Minimal edit script between two line slices via a longest-common-
+/// subsequence table.
+fn edit_script<'a>(old: &[&'a str], new: &[&'a str]) -> Vec<Op<'a>> {
+    let n = old.len();
+    let m = new.len();
+    // lcs[i][j] = LCS length of old[i..] and new[j..].
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if old[i] == new[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::with_capacity(n.max(m));
+    while i < n && j < m {
+        if old[i] == new[j] {
+            out.push(Op::Keep(old[i]));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            out.push(Op::Del(old[i]));
+            i += 1;
+        } else {
+            out.push(Op::Add(new[j]));
+            j += 1;
+        }
+    }
+    out.extend(old[i..].iter().map(|l| Op::Del(l)));
+    out.extend(new[j..].iter().map(|l| Op::Add(l)));
+    out
+}
+
+/// Render a unified diff from `old` to `new`, labelled `a/path` and
+/// `b/path`. Returns the empty string when the texts are equal.
+pub fn unified_diff(old: &str, new: &str, path: &str) -> String {
+    if old == new {
+        return String::new();
+    }
+    const CTX: usize = 3;
+    let old_lines: Vec<&str> = old.lines().collect();
+    let new_lines: Vec<&str> = new.lines().collect();
+    let ops = edit_script(&old_lines, &new_lines);
+
+    // Group changed op indices into hunks: changes whose context windows
+    // would touch or overlap share one hunk.
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        if matches!(op, Op::Keep(_)) {
+            continue;
+        }
+        match groups.last_mut() {
+            Some(g) if i <= g.1 + 2 * CTX + 1 => g.1 = i,
+            _ => groups.push((i, i)),
+        }
+    }
+
+    let mut out = format!("--- a/{path}\n+++ b/{path}\n");
+    // Running 1-based line numbers at the *start* of each op index.
+    let mut old_at = vec![1usize; ops.len() + 1];
+    let mut new_at = vec![1usize; ops.len() + 1];
+    for (i, op) in ops.iter().enumerate() {
+        let (dold, dnew) = match op {
+            Op::Keep(_) => (1, 1),
+            Op::Del(_) => (1, 0),
+            Op::Add(_) => (0, 1),
+        };
+        old_at[i + 1] = old_at[i] + dold;
+        new_at[i + 1] = new_at[i] + dnew;
+    }
+
+    for (gs, ge) in groups {
+        let start = gs.saturating_sub(CTX);
+        let end = (ge + CTX + 1).min(ops.len());
+        let (mut old_len, mut new_len) = (0usize, 0usize);
+        let mut body = String::new();
+        for op in &ops[start..end] {
+            match op {
+                Op::Keep(l) => {
+                    old_len += 1;
+                    new_len += 1;
+                    body.push(' ');
+                    body.push_str(l);
+                }
+                Op::Del(l) => {
+                    old_len += 1;
+                    body.push('-');
+                    body.push_str(l);
+                }
+                Op::Add(l) => {
+                    new_len += 1;
+                    body.push('+');
+                    body.push_str(l);
+                }
+            }
+            body.push('\n');
+        }
+        // Unified convention: a zero-length side reports the line *before*
+        // the hunk.
+        let old_start = if old_len == 0 {
+            old_at[start] - 1
+        } else {
+            old_at[start]
+        };
+        let new_start = if new_len == 0 {
+            new_at[start] - 1
+        } else {
+            new_at[start]
+        };
+        out.push_str(&format!(
+            "@@ -{old_start},{old_len} +{new_start},{new_len} @@\n"
+        ));
+        out.push_str(&body);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_texts_diff_empty() {
+        assert_eq!(unified_diff("a\nb\n", "a\nb\n", "f.dl"), "");
+    }
+
+    #[test]
+    fn single_deletion_renders_with_context() {
+        let old = "one\ntwo\nthree\nfour\nfive\n";
+        let new = "one\ntwo\nfour\nfive\n";
+        let d = unified_diff(old, new, "f.dl");
+        assert!(d.starts_with("--- a/f.dl\n+++ b/f.dl\n"), "{d}");
+        assert!(d.contains("@@ -1,5 +1,4 @@\n"), "{d}");
+        assert!(d.contains("-three\n"), "{d}");
+        assert!(d.contains(" two\n"), "{d}");
+        let adds = d
+            .lines()
+            .any(|l| l.starts_with('+') && !l.starts_with("+++"));
+        assert!(!adds, "pure deletion adds nothing: {d}");
+    }
+
+    #[test]
+    fn distant_changes_get_separate_hunks() {
+        let old: String = (0..30).map(|i| format!("l{i}\n")).collect();
+        let new = old.replace("l2\n", "x2\n").replace("l27\n", "x27\n");
+        let d = unified_diff(&old, &new, "f.dl");
+        assert_eq!(d.matches("@@ -").count(), 2, "{d}");
+        assert!(d.contains("-l2\n+x2\n"), "{d}");
+        assert!(d.contains("-l27\n+x27\n"), "{d}");
+    }
+
+    #[test]
+    fn nearby_changes_share_one_hunk() {
+        let old: String = (0..10).map(|i| format!("l{i}\n")).collect();
+        let new = old.replace("l3\n", "").replace("l6\n", "");
+        let d = unified_diff(&old, &new, "f.dl");
+        assert_eq!(d.matches("@@ -").count(), 1, "{d}");
+        assert!(d.contains("-l3\n"), "{d}");
+        assert!(d.contains("-l6\n"), "{d}");
+    }
+
+    #[test]
+    fn emptied_file_reports_zero_length_new_side() {
+        let d = unified_diff("a\nb\n", "", "f.dl");
+        assert!(d.contains("@@ -1,2 +0,0 @@\n"), "{d}");
+    }
+}

@@ -206,6 +206,42 @@ pub fn fix_program(p: &Program) -> ProgramFix {
     }
 }
 
+/// Result of [`fix_check_source`]: what `--fix` would do, without
+/// touching the file.
+#[derive(Clone, Debug)]
+pub struct FixCheck {
+    /// True when `--fix` would rewrite the file.
+    pub changed: bool,
+    /// Unified diff from the current text to the fixed text, labelled
+    /// with `path`. Empty when the file is clean.
+    pub diff: String,
+    /// Rules `--fix` would remove, in ascending original index.
+    pub removed: Vec<RemovedRule>,
+}
+
+/// Dry-run form of [`fix_source`] (the engine behind `--fix=check`):
+/// computes the same certified rewrite but returns a unified diff of the
+/// pending changes instead of the rewritten text. `path` labels the diff
+/// headers. Errors exactly when [`fix_source`] errors.
+pub fn fix_check_source(
+    text: &str,
+    default: Option<&Vocabulary>,
+    path: &str,
+) -> Result<FixCheck, String> {
+    let out = fix_source(text, default)?;
+    let changed = out.changed();
+    let diff = if changed {
+        crate::diff::unified_diff(text, &out.fixed, path)
+    } else {
+        String::new()
+    };
+    Ok(FixCheck {
+        changed,
+        diff,
+        removed: out.removed,
+    })
+}
+
 /// Apply all certified rewrites to a Datalog source text, in place.
 ///
 /// The vocabulary resolves exactly as in [`crate::lint`]: `# edb:`

@@ -44,6 +44,7 @@ pub mod dataflow;
 pub mod datalog_passes;
 pub mod dce;
 pub mod diag;
+pub mod diff;
 pub mod facts;
 pub mod fix;
 pub mod formula;
@@ -57,8 +58,11 @@ pub use dataflow::{
 };
 pub use dce::{eliminate_dead_rules, DeadRuleElimination};
 pub use diag::{Code, Diagnostic, Diagnostics, Severity, Span};
+pub use diff::unified_diff;
 pub use facts::ProgramFacts;
-pub use fix::{fix_program, fix_source, FixOutcome, ProgramFix, RemovedRule};
+pub use fix::{
+    fix_check_source, fix_program, fix_source, FixCheck, FixOutcome, ProgramFix, RemovedRule,
+};
 pub use formula::{analyze_formula, analyze_formula_source};
 pub use lint::{
     lint_datalog_source, lint_datalog_source_with, lint_formula_source, parse_vocab_spec,

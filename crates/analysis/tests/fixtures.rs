@@ -11,6 +11,11 @@
 //! # expect-not: HP015        — code must not be reported at all
 //! # expect-warn: HP014       — code must be reported as warning/error
 //! # expect-no-warn: HP014    — code must not reach warning severity
+//! # expect-fix-check: changed|clean
+//!                            — `--fix=check` must report pending
+//!                              changes (resp. a clean file)
+//! # expect-fix-diff: TEXT    — the `--fix=check` unified diff must
+//!                              contain TEXT (implies changed)
 //! ```
 //!
 //! Fixtures are linted with the boundedness pass enabled (stage cap 4,
@@ -19,7 +24,7 @@
 
 use std::path::{Path, PathBuf};
 
-use hp_analysis::{lint_datalog_source_with, Analyzer, Code, Severity};
+use hp_analysis::{fix_check_source, lint_datalog_source_with, Analyzer, Code, Severity};
 use hp_guard::Budget;
 
 fn fixture_root() -> PathBuf {
@@ -55,6 +60,11 @@ struct Expectations {
     absent: Vec<Code>,
     warns: Vec<Code>,
     no_warns: Vec<Code>,
+    /// `Some(true)` = `--fix=check` must report pending changes,
+    /// `Some(false)` = must report clean.
+    fix_check: Option<bool>,
+    /// Substrings the `--fix=check` unified diff must contain.
+    fix_diff: Vec<String>,
 }
 
 fn parse_expectations(text: &str) -> Expectations {
@@ -63,6 +73,8 @@ fn parse_expectations(text: &str) -> Expectations {
         absent: Vec::new(),
         warns: Vec::new(),
         no_warns: Vec::new(),
+        fix_check: None,
+        fix_diff: Vec::new(),
     };
     for line in text.lines() {
         let t = line.trim();
@@ -75,6 +87,14 @@ fn parse_expectations(text: &str) -> Expectations {
             e.warns.extend(parse_codes(rest));
         } else if let Some(rest) = t.strip_prefix("# expect-not:") {
             e.absent.extend(parse_codes(rest));
+        } else if let Some(rest) = t.strip_prefix("# expect-fix-check:") {
+            e.fix_check = match rest.trim() {
+                "changed" => Some(true),
+                "clean" => Some(false),
+                other => panic!("bad expect-fix-check value {other:?}"),
+            };
+        } else if let Some(rest) = t.strip_prefix("# expect-fix-diff:") {
+            e.fix_diff.push(rest.trim().to_string());
         } else if let Some(rest) = t.strip_prefix("# expect:") {
             e.present.extend(parse_codes(rest));
         }
@@ -124,6 +144,68 @@ fn every_dl_fixture_meets_its_expect_headers() {
         checked += total;
     }
     assert!(checked >= 20, "suspiciously few expectations: {checked}");
+}
+
+/// `--fix=check` expectations: fixtures with an `# expect-fix-check:`
+/// header pin the dry-run verdict, and `# expect-fix-diff:` headers pin
+/// the unified-diff output format (so the terminal and JSON renderers,
+/// which both embed the same diff text, stay in sync with the fixtures).
+#[test]
+fn fix_check_headers_hold() {
+    let mut paths = Vec::new();
+    dl_fixtures(&fixture_root(), &mut paths);
+    paths.sort();
+    let (mut changed_seen, mut clean_seen) = (0usize, 0usize);
+    for path in &paths {
+        let name = path.display().to_string();
+        let text = std::fs::read_to_string(path).expect("fixture readable");
+        let e = parse_expectations(&text);
+        let (Some(want_changed), diff_subs) = (e.fix_check, &e.fix_diff) else {
+            assert!(
+                e.fix_diff.is_empty(),
+                "{name}: expect-fix-diff without expect-fix-check"
+            );
+            continue;
+        };
+        let out = fix_check_source(&text, None, &name).expect("fixture parses");
+        assert_eq!(
+            out.changed, want_changed,
+            "{name}: --fix=check verdict mismatch\n{}",
+            out.diff
+        );
+        if want_changed {
+            changed_seen += 1;
+            // The diff carries the standard unified headers for this file.
+            assert!(
+                out.diff
+                    .starts_with(&format!("--- a/{name}\n+++ b/{name}\n")),
+                "{name}: diff headers malformed:\n{}",
+                out.diff
+            );
+            assert!(
+                !out.removed.is_empty(),
+                "{name}: changed but nothing removed"
+            );
+        } else {
+            clean_seen += 1;
+            assert!(
+                out.diff.is_empty(),
+                "{name}: clean file with non-empty diff"
+            );
+            assert!(out.removed.is_empty(), "{name}: clean file with removals");
+        }
+        for sub in diff_subs {
+            assert!(
+                out.diff.contains(sub),
+                "{name}: diff lacks {sub:?}:\n{}",
+                out.diff
+            );
+        }
+    }
+    assert!(
+        changed_seen >= 2 && clean_seen >= 1,
+        "fix-check coverage too thin: {changed_seen} changed, {clean_seen} clean"
+    );
 }
 
 /// The new codes each keep a positive and a negative fixture: some file

@@ -136,7 +136,7 @@ fn bench_scale(c: &mut Criterion) {
         ),
     ];
     let reach = reach_program();
-    let reach_inputs: Vec<Structure> = [100usize, 1_000, 10_000]
+    let reach_inputs: Vec<Structure> = [100usize, 1_000, 10_000, 100_000]
         .iter()
         .map(|&n| random_reach_structure(n, 4 * n, 0xE5CA1E))
         .collect();
@@ -149,16 +149,28 @@ fn bench_scale(c: &mut Criterion) {
     for (family, p, inputs) in all {
         for a in &inputs {
             let n = a.universe_size();
-            let expect = p.evaluate_reference(a);
-            assert_eq!(p.evaluate(a).relations, expect.relations, "{family}/{n}");
-            assert_eq!(
-                p.evaluate_with(a, &sharded).relations,
-                expect.relations,
-                "{family}/{n}"
-            );
-            g.bench_with_input(BenchmarkId::new(format!("{family}_seed"), n), &n, |b, _| {
-                b.iter(|| std::hint::black_box(p.evaluate_reference(a).relations[0].len()))
-            });
+            // The scan-join reference is quadratic in practice; above 10⁴
+            // elements only the indexed and sharded engines run (their
+            // agreement at that scale is covered by the differential suite
+            // and the 10⁴ assertion here).
+            if n <= 10_000 {
+                let expect = p.evaluate_reference(a);
+                assert_eq!(p.evaluate(a).relations, expect.relations, "{family}/{n}");
+                assert_eq!(
+                    p.evaluate_with(a, &sharded).relations,
+                    expect.relations,
+                    "{family}/{n}"
+                );
+                g.bench_with_input(BenchmarkId::new(format!("{family}_seed"), n), &n, |b, _| {
+                    b.iter(|| std::hint::black_box(p.evaluate_reference(a).relations[0].len()))
+                });
+            } else {
+                assert_eq!(
+                    p.evaluate_with(a, &sharded).relations,
+                    p.evaluate(a).relations,
+                    "{family}/{n}"
+                );
+            }
             g.bench_with_input(
                 BenchmarkId::new(format!("{family}_indexed"), n),
                 &n,

@@ -63,7 +63,7 @@ pub fn validate_bounded_outcome<'a>(
         let fix = p.evaluate(a);
         for (i, u) in ucqs.iter().enumerate() {
             let mut expected: Vec<Vec<hp_structures::Elem>> =
-                fix.relations[i].iter().cloned().collect();
+                fix.relations[i].iter().map(|t| t.to_vec()).collect();
             expected.sort();
             let got = u.answers(a);
             if got != expected {

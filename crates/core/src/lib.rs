@@ -88,6 +88,6 @@ pub mod prelude {
     pub use hp_hom::{are_homomorphically_equivalent, are_isomorphic, core_of, hom_exists};
     pub use hp_logic::{parse_formula, Cq, CqkFormula, Formula, Ucq};
     pub use hp_pebble::duplicator_wins;
-    pub use hp_structures::{generators, Elem, Graph, Structure, Vocabulary};
+    pub use hp_structures::{generators, Elem, Graph, Relation, Structure, TupleStore, Vocabulary};
     pub use hp_tw::{decomposition::TreeDecomposition, elimination, minor, scattered};
 }

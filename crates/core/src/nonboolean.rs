@@ -75,21 +75,18 @@ pub fn minimize_pointed(q: &dyn NaryQuery, a: &Structure, point: &[Elem]) -> Poi
     let mut cur = a.clone();
     let mut pt: Vec<Elem> = point.to_vec();
     'outer: loop {
-        // Tuple deletions.
-        let tuples: Vec<(hp_structures::SymbolId, Vec<Elem>)> = cur
-            .relations()
-            .flat_map(|(sym, rel)| {
-                rel.iter()
-                    .map(move |t| (sym, t.to_vec()))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        for (sym, t) in tuples {
-            let mut w = cur.clone();
-            w.remove_tuple(sym, &t);
-            if q.holds_with(&w, &pt) {
-                cur = w;
-                continue 'outer;
+        // Tuple deletions: iterate rows by index, borrowing each candidate
+        // row straight from `cur`'s arena while the mutated clone is built.
+        let rel_sizes: Vec<(hp_structures::SymbolId, usize)> =
+            cur.relations().map(|(sym, rel)| (sym, rel.len())).collect();
+        for (sym, n) in rel_sizes {
+            for ti in 0..n {
+                let mut w = cur.clone();
+                w.remove_tuple(sym, cur.relation(sym).tuple(ti));
+                if q.holds_with(&w, &pt) {
+                    cur = w;
+                    continue 'outer;
+                }
             }
         }
         // Element deletions (not the point).
@@ -263,7 +260,7 @@ impl NaryQuery for DatalogNaryQuery {
     fn answers(&self, a: &Structure) -> Vec<Vec<Elem>> {
         self.program.evaluate(a).relations[self.idb]
             .iter()
-            .cloned()
+            .map(|t| t.to_vec())
             .collect()
     }
 }

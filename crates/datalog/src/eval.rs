@@ -16,20 +16,24 @@
 //!   in an ordered set, so the result — relations *and* stage counts — is
 //!   bit-identical to the sequential evaluator for every thread count.
 
-use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use hp_guard::{Budget, Budgeted, Gauge, GaugeState};
-use hp_structures::{Elem, Structure};
+use hp_structures::{Elem, Relation, Structure, TupleStore};
 
 use crate::ast::{PredRef, Program};
 use crate::index::IndexPool;
 use crate::plan::{JoinStep, ProgramPlan, RulePlan};
 
-/// An IDB relation instance: a set of tuples.
-pub type IdbRelation = BTreeSet<Vec<Elem>>;
+/// An IDB relation instance: a columnar, sorted set of tuples.
+///
+/// Since the arena-backed store landed this is [`hp_structures::Relation`]
+/// itself — the evaluator's accumulated IDBs, deltas, and checkpoints share
+/// one physical representation with EDB relations, and the per-round
+/// delta-merge is a sorted-run merge instead of per-tuple set inserts.
+pub type IdbRelation = Relation;
 
 /// Configuration for [`Program::evaluate_with`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -191,7 +195,7 @@ struct JoinCtx<'a> {
     a: &'a Structure,
     idb: &'a [IdbRelation],
     delta: &'a [IdbRelation],
-    pool: &'a IndexPool,
+    pool: &'a IndexPool<'a>,
 }
 
 /// A resumable snapshot of a budgeted semi-naive evaluation, returned as
@@ -224,6 +228,14 @@ impl EvalCheckpoint {
 }
 
 impl Program {
+    /// Fresh all-empty IDB relations with the program's arities (stage Φ⁰).
+    pub(crate) fn empty_idbs(&self) -> Vec<IdbRelation> {
+        self.idbs()
+            .iter()
+            .map(|&(_, arity)| Relation::new(arity))
+            .collect()
+    }
+
     /// One application of the simultaneous monotone operator Φ (§2.3).
     pub fn apply_operator(&self, a: &Structure, idb: &[IdbRelation]) -> Vec<IdbRelation> {
         self.apply_operator_with(&ProgramPlan::new(self), a, idb)
@@ -234,7 +246,7 @@ impl Program {
     /// within the cap — a capped prefix no longer masquerades as `Φ^{m₀}`.
     pub fn stages(&self, a: &Structure, max_stages: usize) -> StageSequence {
         let plan = ProgramPlan::new(self);
-        let mut stages = vec![vec![BTreeSet::new(); self.idbs().len()]];
+        let mut stages = vec![self.empty_idbs()];
         let mut converged = false;
         for _ in 0..max_stages {
             let cur = stages.last().expect("non-empty");
@@ -360,8 +372,8 @@ impl Program {
                 // Round 0: every rule against the empty IDBs (EDB-only
                 // derivations and empty-body facts). Everything derived is
                 // new.
-                let idb: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
-                let mut delta: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
+                let idb: Vec<IdbRelation> = self.empty_idbs();
+                let mut delta: Vec<IdbRelation> = self.empty_idbs();
                 let items: Vec<WorkItem> = (0..plan.rules.len())
                     .flat_map(|ri| (0..chunks).map(move |c| (ri, None, (c, chunks))))
                     .collect();
@@ -378,8 +390,8 @@ impl Program {
                     degraded = true;
                     diagnostics.push(recovery_note(0));
                 }
-                for (h, out) in results {
-                    delta[h].extend(out);
+                for (h, out) in &results {
+                    delta[*h].merge_store(out);
                 }
                 let derived: u64 = delta.iter().map(|d| d.len() as u64).sum();
                 if let Err(stop) = gauge.tick(1 + derived) {
@@ -403,7 +415,7 @@ impl Program {
             stages += 1;
             pool.absorb(&plan, &delta);
             for (acc, d) in idb.iter_mut().zip(&delta) {
-                acc.extend(d.iter().cloned());
+                acc.merge(d);
             }
             // One work item per (rule, IDB body atom, delta shard): the
             // standard semi-naive split, sharded for the pool.
@@ -423,7 +435,7 @@ impl Program {
                 delta: &delta,
                 pool: &pool,
             };
-            let delta_tuples: usize = delta.iter().map(BTreeSet::len).sum();
+            let delta_tuples: usize = delta.iter().map(Relation::len).sum();
             let w = if degraded {
                 1
             } else {
@@ -434,13 +446,12 @@ impl Program {
                 degraded = true;
                 diagnostics.push(recovery_note(stages));
             }
-            let mut next_delta: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
-            for (h, out) in results {
-                for t in out {
-                    if !idb[h].contains(&t) {
-                        next_delta[h].insert(t);
-                    }
-                }
+            // New facts = (round output) \ (accumulated IDB): a galloping
+            // sorted-set difference, then one sorted-run merge per head.
+            let mut next_delta: Vec<IdbRelation> = self.empty_idbs();
+            for (h, out) in &results {
+                let fresh = out.difference(idb[*h].store());
+                next_delta[*h].merge_store(&fresh);
             }
             delta = next_delta;
             let derived: u64 = delta.iter().map(|d| d.len() as u64).sum();
@@ -490,11 +501,14 @@ fn run_round(
     ctx: &JoinCtx<'_>,
     items: &[WorkItem],
     workers: usize,
-) -> (Vec<(usize, IdbRelation)>, bool) {
-    let run_one = |&(ri, delta_atom, chunk): &WorkItem| -> (usize, IdbRelation) {
+) -> (Vec<(usize, TupleStore)>, bool) {
+    let run_one = |&(ri, delta_atom, chunk): &WorkItem| -> (usize, TupleStore) {
         let rp = &plan.rules[ri];
-        let mut out = IdbRelation::new();
+        // Derivations land in the store's pending delta (no per-tuple
+        // ordering work); one seal per item sorts and dedups them.
+        let mut out = TupleStore::new(rp.head_args.len());
         run_item(ctx, rp, delta_atom, chunk, &mut out);
+        out.seal();
         (rp.head, out)
     };
     if workers <= 1 || items.len() <= 1 {
@@ -506,12 +520,12 @@ fn run_round(
     // is deterministic by construction.
     let cursor = AtomicUsize::new(0);
     let panicked = AtomicBool::new(false);
-    let collected: Mutex<Vec<(usize, (usize, IdbRelation))>> =
+    let collected: Mutex<Vec<(usize, (usize, TupleStore))>> =
         Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|s| {
         for _ in 0..workers.min(items.len()) {
             s.spawn(|| {
-                let mut local: Vec<(usize, (usize, IdbRelation))> = Vec::new();
+                let mut local: Vec<(usize, (usize, TupleStore))> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
@@ -560,7 +574,7 @@ fn run_item(
     rp: &RulePlan,
     delta_atom: Option<usize>,
     chunk: (usize, usize),
-    out: &mut IdbRelation,
+    out: &mut TupleStore,
 ) {
     let steps = match delta_atom {
         None => &rp.seed_order,
@@ -581,11 +595,11 @@ fn join(
     chunk: (usize, usize),
     depth: usize,
     asg: &mut Vec<Elem>,
-    out: &mut IdbRelation,
+    out: &mut TupleStore,
 ) {
     if depth == steps.len() {
-        let tuple: Vec<Elem> = rp.head_args.iter().map(|&s| asg[s]).collect();
-        out.insert(tuple);
+        // Duplicates are fine here: the item's seal dedups in one pass.
+        out.push_with(|buf| buf.extend(rp.head_args.iter().map(|&s| asg[s])));
         return;
     }
     let step = &steps[depth];
@@ -639,7 +653,7 @@ fn advance(
     chunk: (usize, usize),
     depth: usize,
     asg: &mut Vec<Elem>,
-    out: &mut IdbRelation,
+    out: &mut TupleStore,
     t: &[Elem],
     check_bound: bool,
 ) {
@@ -680,8 +694,8 @@ mod tests {
     fn tc_on_path() {
         let r = tc().evaluate(&directed_path(5));
         assert_eq!(r.idb("T").unwrap().len(), 10);
-        assert!(r.idb("T").unwrap().contains(&vec![Elem(0), Elem(4)]));
-        assert!(!r.idb("T").unwrap().contains(&vec![Elem(4), Elem(0)]));
+        assert!(r.idb("T").unwrap().contains(&[Elem(0), Elem(4)]));
+        assert!(!r.idb("T").unwrap().contains(&[Elem(4), Elem(0)]));
         assert!(r.idb("U").is_none());
         assert!(r.converged);
     }
@@ -797,7 +811,7 @@ mod tests {
         a.add_tuple_ids(0, &[1, 1]).unwrap();
         let r = p.evaluate(&a);
         assert_eq!(r.idb("L").unwrap().len(), 1);
-        assert!(r.idb("L").unwrap().contains(&vec![Elem(1)]));
+        assert!(r.idb("L").unwrap().contains(&[Elem(1)]));
     }
 
     #[test]

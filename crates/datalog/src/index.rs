@@ -7,61 +7,126 @@
 //! indexes grow **incrementally** — each delta round folds exactly the
 //! newly derived tuples in, so maintaining them costs `O(Σ|Δ|)` over the
 //! whole fixpoint instead of `O(rounds × |IDB|)` rebuilds.
+//!
+//! Since the columnar [`TupleStore`](hp_structures::TupleStore) landed, an
+//! index's hash map holds **row ids** (`u32`) instead of owned tuple
+//! vectors: EDB ids point straight into the input structure's sealed arena
+//! (zero copies), IDB ids into a flat append-only arena the index owns —
+//! stable across rounds because absorbed rows are never reordered, unlike
+//! the accumulated relations whose sorted runs shift on every merge.
 
 use std::collections::HashMap;
 
-use hp_structures::{Elem, Structure};
+use hp_structures::{Elem, Relation, Structure};
 
 use crate::ast::PredRef;
 use crate::eval::IdbRelation;
 use crate::plan::ProgramPlan;
 
-/// A hash index over one relation: key = the tuple projected to
-/// `key_positions`, value = every tuple with that key.
+/// Where a [`TupleIndex`]'s row ids point.
 #[derive(Clone, Debug)]
-pub(crate) struct TupleIndex {
-    key_positions: Vec<usize>,
-    map: HashMap<Vec<Elem>, Vec<Vec<Elem>>>,
+enum Arena<'a> {
+    /// EDB: rows live in the structure's relation; ids are sorted-run
+    /// indexes into its arena.
+    Edb(&'a Relation),
+    /// IDB: rows are appended here, one `arity`-stride row per absorbed
+    /// tuple, in absorption order.
+    Idb { arity: usize, data: Vec<Elem> },
 }
 
-impl TupleIndex {
-    fn new(key_positions: Vec<usize>) -> TupleIndex {
+/// A hash index over one relation: key = the tuple projected to
+/// `key_positions`, value = the row ids of every tuple with that key.
+#[derive(Clone, Debug)]
+pub(crate) struct TupleIndex<'a> {
+    key_positions: Vec<usize>,
+    arena: Arena<'a>,
+    map: HashMap<Vec<Elem>, Vec<u32>>,
+}
+
+impl<'a> TupleIndex<'a> {
+    fn new(key_positions: Vec<usize>, arena: Arena<'a>) -> TupleIndex<'a> {
         TupleIndex {
             key_positions,
+            arena,
             map: HashMap::new(),
         }
     }
 
-    fn insert(&mut self, t: &[Elem]) {
+    /// Record `row_id` under the key projected from `t` (EDB arenas only
+    /// need this; the row already lives in the structure).
+    fn insert_id(&mut self, t: &[Elem], row_id: u32) {
         let key: Vec<Elem> = self.key_positions.iter().map(|&p| t[p]).collect();
-        self.map.entry(key).or_default().push(t.to_vec());
+        self.map.entry(key).or_default().push(row_id);
     }
 
-    /// All tuples whose projection to the key positions equals `key`.
-    pub fn probe(&self, key: &[Elem]) -> &[Vec<Elem>] {
-        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    /// Append `t` to the owned IDB arena and record its fresh row id.
+    fn absorb_row(&mut self, t: &[Elem]) {
+        let Arena::Idb { arity, data } = &mut self.arena else {
+            unreachable!("absorb_row on an EDB index");
+        };
+        debug_assert_eq!(t.len(), *arity);
+        let row_id = data.len().checked_div(*arity).unwrap_or(0) as u32;
+        data.extend_from_slice(t);
+        let key: Vec<Elem> = self.key_positions.iter().map(|&p| t[p]).collect();
+        self.map.entry(key).or_default().push(row_id);
+    }
+
+    #[inline]
+    fn resolve(&self, row_id: u32) -> &[Elem] {
+        match &self.arena {
+            Arena::Edb(rel) => rel.tuple(row_id as usize),
+            Arena::Idb { arity, data } => {
+                let i = row_id as usize;
+                &data[i * arity..(i + 1) * arity]
+            }
+        }
+    }
+
+    /// All tuples whose projection to the key positions equals `key`, as
+    /// zero-copy rows resolved from the backing arena, in insertion order.
+    pub fn probe<'s>(&'s self, key: &[Elem]) -> impl Iterator<Item = &'s [Elem]> {
+        let ids: &[u32] = self.map.get(key).map(Vec::as_slice).unwrap_or(&[]);
+        ids.iter().map(move |&id| self.resolve(id))
     }
 }
 
 /// All indexes one evaluation needs, aligned with
-/// [`ProgramPlan::index_specs`].
-pub(crate) struct IndexPool {
-    indexes: Vec<TupleIndex>,
+/// [`ProgramPlan::index_specs`]. Borrows the input structure for the
+/// lifetime of the evaluation so EDB indexes can point into its arenas.
+pub(crate) struct IndexPool<'a> {
+    indexes: Vec<TupleIndex<'a>>,
 }
 
-impl IndexPool {
+impl<'a> IndexPool<'a> {
     /// Build the pool: EDB indexes are filled from the input structure,
     /// IDB indexes start empty (mirroring the empty stage Φ⁰).
-    pub fn new(plan: &ProgramPlan, a: &Structure) -> IndexPool {
-        let mut indexes: Vec<TupleIndex> = plan
+    pub fn new(plan: &ProgramPlan, a: &'a Structure) -> IndexPool<'a> {
+        let mut indexes: Vec<TupleIndex<'a>> = plan
             .index_specs
             .iter()
-            .map(|s| TupleIndex::new(s.key_positions.clone()))
+            .map(|s| {
+                let arena = match s.pred {
+                    PredRef::Edb(sym) => Arena::Edb(a.relation(sym)),
+                    PredRef::Idb(_) => Arena::Idb {
+                        arity: 0, // patched by the fill loop below
+                        data: Vec::new(),
+                    },
+                };
+                TupleIndex::new(s.key_positions.clone(), arena)
+            })
             .collect();
         for (idx, spec) in plan.index_specs.iter().enumerate() {
-            if let PredRef::Edb(sym) = spec.pred {
-                for t in a.relation(sym).iter() {
-                    indexes[idx].insert(t);
+            match spec.pred {
+                PredRef::Edb(sym) => {
+                    for (i, t) in a.relation(sym).iter().enumerate() {
+                        indexes[idx].insert_id(t, i as u32);
+                    }
+                }
+                PredRef::Idb(i) => {
+                    indexes[idx].arena = Arena::Idb {
+                        arity: plan.idb_arities[i],
+                        data: Vec::new(),
+                    };
                 }
             }
         }
@@ -74,15 +139,15 @@ impl IndexPool {
     pub fn absorb(&mut self, plan: &ProgramPlan, delta: &[IdbRelation]) {
         for (idx, spec) in plan.index_specs.iter().enumerate() {
             if let PredRef::Idb(i) = spec.pred {
-                for t in &delta[i] {
-                    self.indexes[idx].insert(t);
+                for t in delta[i].iter() {
+                    self.indexes[idx].absorb_row(t);
                 }
             }
         }
     }
 
     /// The index for spec `idx`.
-    pub fn get(&self, idx: usize) -> &TupleIndex {
+    pub fn get(&self, idx: usize) -> &TupleIndex<'a> {
         &self.indexes[idx]
     }
 }
@@ -93,7 +158,6 @@ mod tests {
     use crate::ast::Program;
     use hp_structures::generators::directed_path;
     use hp_structures::Vocabulary;
-    use std::collections::BTreeSet;
 
     #[test]
     fn edb_index_probes_by_position() {
@@ -112,9 +176,9 @@ mod tests {
             .iter()
             .position(|s| matches!(s.pred, PredRef::Edb(_)) && s.key_positions == vec![1])
             .expect("E indexed on position 1");
-        let hits = pool.get(spec).probe(&[Elem(2)]);
-        assert_eq!(hits, [vec![Elem(1), Elem(2)]]);
-        assert!(pool.get(spec).probe(&[Elem(0)]).is_empty());
+        let hits: Vec<&[Elem]> = pool.get(spec).probe(&[Elem(2)]).collect();
+        assert_eq!(hits, [&[Elem(1), Elem(2)][..]]);
+        assert!(pool.get(spec).probe(&[Elem(0)]).next().is_none());
     }
 
     #[test]
@@ -132,15 +196,15 @@ mod tests {
             .iter()
             .position(|s| matches!(s.pred, PredRef::Idb(0)))
             .expect("T is indexed (nonlinear rule)");
-        assert!(pool.get(spec).probe(&[Elem(1)]).is_empty());
-        let mut delta: Vec<IdbRelation> = vec![BTreeSet::new()];
-        delta[0].insert(vec![Elem(0), Elem(1)]);
+        assert!(pool.get(spec).probe(&[Elem(1)]).next().is_none());
+        let mut delta: Vec<IdbRelation> = vec![Relation::new(2)];
+        delta[0].insert(&[Elem(0), Elem(1)]);
         pool.absorb(&plan, &delta);
         delta[0].clear();
-        delta[0].insert(vec![Elem(2), Elem(1)]);
+        delta[0].insert(&[Elem(2), Elem(1)]);
         pool.absorb(&plan, &delta);
         let key = plan.index_specs[spec].key_positions.clone();
         let probe_key = if key == vec![0] { Elem(0) } else { Elem(1) };
-        assert!(!pool.get(spec).probe(&[probe_key]).is_empty());
+        assert!(pool.get(spec).probe(&[probe_key]).next().is_some());
     }
 }

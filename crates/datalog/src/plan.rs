@@ -90,6 +90,9 @@ pub(crate) struct ProgramPlan {
     pub rules: Vec<RulePlan>,
     /// Interned index-key specs referenced by [`JoinStep::index`].
     pub index_specs: Vec<IndexSpec>,
+    /// IDB arities, aligned with [`Program::idbs`] — the row strides the
+    /// index pool's owned arenas use.
+    pub idb_arities: Vec<usize>,
 }
 
 impl ProgramPlan {
@@ -101,7 +104,11 @@ impl ProgramPlan {
             .iter()
             .map(|r| RulePlan::new(r, &mut index_specs))
             .collect();
-        ProgramPlan { rules, index_specs }
+        ProgramPlan {
+            rules,
+            index_specs,
+            idb_arities: p.idbs().iter().map(|&(_, a)| a).collect(),
+        }
     }
 }
 

@@ -15,22 +15,21 @@
 //! [`ProgramPlan`] dense variable numbering — `rule.variables()` and its
 //! binary-search closure are no longer rebuilt per `rule_matches` call.
 
-use std::collections::BTreeSet;
-
-use hp_structures::{Elem, Structure};
+use hp_structures::{Elem, Structure, TupleStore};
 
 use crate::ast::{PredRef, Program};
 use crate::eval::{FixpointResult, IdbRelation};
 use crate::plan::{ProgramPlan, RulePlan};
 
-/// All satisfying substitutions of a rule body, by exhaustive scans.
+/// All satisfying substitutions of a rule body, by exhaustive scans,
+/// pushed (unsorted, possibly duplicated) into `out` — the caller seals.
 /// `delta`, when set, restricts body atom `di` to the delta relations.
 pub(crate) fn scan_matches(
     rp: &RulePlan,
     a: &Structure,
     idb: &[IdbRelation],
     delta: Option<(&[IdbRelation], usize)>,
-    out: &mut IdbRelation,
+    out: &mut TupleStore,
 ) {
     // Order body atoms: delta atom first when present (cheap seed), source
     // order otherwise — exactly the seed evaluator's behaviour.
@@ -51,15 +50,16 @@ fn scan_join(
     order: &[usize],
     depth: usize,
     asg: &mut Vec<Option<Elem>>,
-    out: &mut IdbRelation,
+    out: &mut TupleStore,
 ) {
     if depth == order.len() {
-        let tuple: Vec<Elem> = rp
-            .head_args
-            .iter()
-            .map(|&s| asg[s].expect("safe rule binds head vars"))
-            .collect();
-        out.insert(tuple);
+        out.push_with(|buf| {
+            buf.extend(
+                rp.head_args
+                    .iter()
+                    .map(|&s| asg[s].expect("safe rule binds head vars")),
+            )
+        });
         return;
     }
     let ai = order[depth];
@@ -93,7 +93,7 @@ fn scan_try(
     order: &[usize],
     depth: usize,
     asg: &mut Vec<Option<Elem>>,
-    out: &mut IdbRelation,
+    out: &mut TupleStore,
     t: &[Elem],
 ) {
     let atom = &rp.atoms[order[depth]];
@@ -129,11 +129,12 @@ impl Program {
         a: &Structure,
         idb: &[IdbRelation],
     ) -> Vec<IdbRelation> {
-        let mut next: Vec<IdbRelation> = vec![BTreeSet::new(); self.idbs().len()];
+        let mut next: Vec<IdbRelation> = self.empty_idbs();
         for rp in &plan.rules {
-            let mut out = BTreeSet::new();
+            let mut out = TupleStore::new(rp.head_args.len());
             scan_matches(rp, a, idb, None, &mut out);
-            next[rp.head].extend(out);
+            out.seal();
+            next[rp.head].merge_store(&out);
         }
         next
     }
@@ -148,34 +149,31 @@ impl Program {
     /// replaced. Always runs to the least fixpoint.
     pub fn evaluate_reference(&self, a: &Structure) -> FixpointResult {
         let plan = ProgramPlan::new(self);
-        let n_idb = self.idbs().len();
-        let mut idb: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
-        let mut delta: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
+        let mut idb: Vec<IdbRelation> = self.empty_idbs();
+        let mut delta: Vec<IdbRelation> = self.empty_idbs();
         // Round 0: rules evaluated on empty IDBs (EDB-only derivations and
         // empty-body facts).
         for rp in &plan.rules {
-            let mut out = BTreeSet::new();
+            let mut out = TupleStore::new(rp.head_args.len());
             scan_matches(rp, a, &idb, None, &mut out);
-            delta[rp.head].extend(out);
+            out.seal();
+            delta[rp.head].merge_store(&out);
         }
         let mut stages = 0;
         while delta.iter().any(|d| !d.is_empty()) {
             stages += 1;
             for (acc, d) in idb.iter_mut().zip(&delta) {
-                acc.extend(d.iter().cloned());
+                acc.merge(d);
             }
-            let mut next_delta: Vec<IdbRelation> = vec![BTreeSet::new(); n_idb];
+            let mut next_delta: Vec<IdbRelation> = self.empty_idbs();
             for rp in &plan.rules {
                 // For each IDB body atom, run with that atom restricted to
                 // the delta (standard semi-naive split).
                 for &bi in &rp.idb_atoms {
-                    let mut out = BTreeSet::new();
+                    let mut out = TupleStore::new(rp.head_args.len());
                     scan_matches(rp, a, &idb, Some((&delta, bi)), &mut out);
-                    for t in out {
-                        if !idb[rp.head].contains(&t) {
-                            next_delta[rp.head].insert(t);
-                        }
-                    }
+                    out.seal();
+                    next_delta[rp.head].merge_store(&out.difference(idb[rp.head].store()));
                 }
             }
             delta = next_delta;

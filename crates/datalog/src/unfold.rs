@@ -213,7 +213,7 @@ pub fn stages_agree(p: &Program, a: &hp_structures::Structure, m: usize) -> Resu
     for (stage_idx, rels) in stages.iter().enumerate() {
         for (idb, rel) in rels.iter().enumerate().take(p.idbs().len()) {
             let u = stage_ucq(p, idb, stage_idx)?;
-            let mut expected: Vec<Vec<Elem>> = rel.iter().cloned().collect();
+            let mut expected: Vec<Vec<Elem>> = rel.iter().map(|t| t.to_vec()).collect();
             expected.sort();
             let got = u.answers(a);
             if got != expected {

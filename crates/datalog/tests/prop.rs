@@ -108,7 +108,7 @@ proptest! {
         prop_assert!(certified_bounded_at(&p, 1).unwrap());
         let u = stage_ucq(&p, 0, 1).unwrap();
         let fix = p.evaluate(&a);
-        let mut expected: Vec<_> = fix.relations[0].iter().cloned().collect();
+        let mut expected: Vec<_> = fix.relations[0].iter().map(|t| t.to_vec()).collect();
         expected.sort();
         prop_assert_eq!(u.answers(&a), expected);
     }

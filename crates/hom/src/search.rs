@@ -34,10 +34,12 @@ impl fmt::Display for HomError {
 impl std::error::Error for HomError {}
 
 /// One tuple constraint of the source structure: the images of `vars` must
-/// form a tuple of `sym` in the target.
-struct Constraint {
+/// form a tuple of `sym` in the target. The variable row is borrowed
+/// straight out of the source structure's tuple arena — setting up a
+/// search copies no tuples.
+struct Constraint<'a> {
     sym: SymbolId,
-    vars: Vec<u32>,
+    vars: &'a [Elem],
 }
 
 /// A configurable homomorphism search from a source structure `A` into a
@@ -61,7 +63,7 @@ pub struct HomSearch<'a> {
     a: &'a Structure,
     b: &'a Structure,
     domains: Vec<BitSet>,
-    constraints: Vec<Constraint>,
+    constraints: Vec<Constraint<'a>>,
     var_constraints: Vec<Vec<u32>>,
     injective: bool,
     surjective: bool,
@@ -98,13 +100,12 @@ impl<'a> HomSearch<'a> {
         for (sym, rel) in a.relations() {
             for t in rel.iter() {
                 let ci = constraints.len() as u32;
-                let vars: Vec<u32> = t.iter().map(|e| e.0).collect();
-                for &v in &vars {
-                    if !var_constraints[v as usize].contains(&ci) {
-                        var_constraints[v as usize].push(ci);
+                for &v in t {
+                    if !var_constraints[v.index()].contains(&ci) {
+                        var_constraints[v.index()].push(ci);
                     }
                 }
-                constraints.push(Constraint { sym, vars });
+                constraints.push(Constraint { sym, vars: t });
             }
         }
         Ok(HomSearch {
@@ -324,7 +325,7 @@ impl<'a> HomSearch<'a> {
             let mut any = false;
             'tuples: for u in rel.iter() {
                 for j in 0..r {
-                    if !domains[c.vars[j] as usize].contains(u[j].index()) {
+                    if !domains[c.vars[j].index()].contains(u[j].index()) {
                         continue 'tuples;
                     }
                     // Repeated source variables must receive equal values.
@@ -345,7 +346,7 @@ impl<'a> HomSearch<'a> {
                 return false;
             }
             for (j, sup) in support.iter().enumerate().take(r) {
-                let var = c.vars[j] as usize;
+                let var = c.vars[j].index();
                 let before = domains[var].len();
                 domains[var].intersect_with(sup);
                 let after = domains[var].len();

@@ -123,11 +123,13 @@ pub fn random_digraph(n: usize, m: usize, seed: u64) -> Structure {
     if n == 0 {
         return s;
     }
+    let mut edges: Vec<Elem> = Vec::with_capacity(2 * m);
     for _ in 0..m {
-        let u = r.gen_range(0..n) as u32;
-        let v = r.gen_range(0..n) as u32;
-        let _ = s.add_tuple_ids(0, &[u, v]);
+        edges.push(Elem(r.gen_range(0..n) as u32));
+        edges.push(Elem(r.gen_range(0..n) as u32));
     }
+    s.extend_tuples(0usize.into(), edges.chunks_exact(2))
+        .expect("generated edges in range");
     s
 }
 
@@ -141,11 +143,15 @@ pub fn random_dag(n: usize, m: usize, seed: u64) -> Structure {
     if n < 2 {
         return s;
     }
+    let mut edges: Vec<Elem> = Vec::with_capacity(2 * m);
     for _ in 0..m {
         let i = r.gen_range(0..n - 1);
         let j = r.gen_range(i + 1..n);
-        let _ = s.add_tuple_ids(0, &[perm[i], perm[j]]);
+        edges.push(Elem(perm[i]));
+        edges.push(Elem(perm[j]));
     }
+    s.extend_tuples(0usize.into(), edges.chunks_exact(2))
+        .expect("generated edges in range");
     s
 }
 
@@ -159,18 +165,19 @@ pub fn random_structure(vocab: &Vocabulary, n: usize, p: f64, seed: u64) -> Stru
     if n == 0 {
         return s;
     }
-    let mut buf: Vec<Elem> = Vec::new();
+    let mut flat: Vec<Elem> = Vec::new();
     for (id, sym) in vocab.iter() {
+        flat.clear();
+        let mut rows = 0usize;
         let total = (n as f64).powi(sym.arity as i32);
         let expected = (total * p).min(1_000_000.0);
-        let count = if total <= 4096.0 {
+        if total <= 4096.0 {
             // Dense sampling: enumerate all tuples.
             let mut idx = vec![0usize; sym.arity];
             loop {
                 if r.gen_bool(p) {
-                    buf.clear();
-                    buf.extend(idx.iter().map(|&i| Elem::from(i)));
-                    s.add_tuple(id, &buf).unwrap();
+                    flat.extend(idx.iter().map(|&i| Elem::from(i)));
+                    rows += 1;
                 }
                 // Increment multi-index.
                 let mut pos = sym.arity;
@@ -193,16 +200,19 @@ pub fn random_structure(vocab: &Vocabulary, n: usize, p: f64, seed: u64) -> Stru
                     break;
                 }
             }
-            continue;
         } else {
-            expected.round() as usize
-        };
-        for _ in 0..count {
-            buf.clear();
-            for _ in 0..sym.arity {
-                buf.push(Elem::from(r.gen_range(0..n)));
+            for _ in 0..expected.round() as usize {
+                for _ in 0..sym.arity {
+                    flat.push(Elem::from(r.gen_range(0..n)));
+                }
+                rows += 1;
             }
-            let _ = s.add_tuple(id, &buf);
+        }
+        if sym.arity == 0 {
+            s.extend_tuples(id, (0..rows).map(|_| [].as_slice()))
+                .unwrap();
+        } else {
+            s.extend_tuples(id, flat.chunks_exact(sym.arity)).unwrap();
         }
     }
     s

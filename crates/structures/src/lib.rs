@@ -51,6 +51,7 @@ mod gaifman;
 mod graph;
 mod graph_algo;
 mod ops;
+mod store;
 mod structure;
 mod vocab;
 
@@ -62,5 +63,6 @@ pub use error::StructureError;
 pub use gaifman::{is_d_scattered, Neighborhoods};
 pub use graph::Graph;
 pub use ops::identity_map;
+pub use store::{Rows, TupleStore};
 pub use structure::{Relation, Structure, StructureBuilder};
 pub use vocab::{Symbol, SymbolId, Vocabulary, VocabularyBuilder};

@@ -20,19 +20,22 @@ impl Structure {
             new_of_old[old.index()] = new as u32;
         }
         let mut out = Structure::new(self.vocab().clone(), old_of_new.len());
-        let mut buf: Vec<Elem> = Vec::new();
+        let mut buf: Vec<Vec<Elem>> = Vec::new();
         for (id, rel) in self.relations() {
+            buf.clear();
             'tuples: for t in rel.iter() {
-                buf.clear();
+                let mut mapped = Vec::with_capacity(t.len());
                 for &e in t {
                     let n = new_of_old[e.index()];
                     if n == u32::MAX {
                         continue 'tuples;
                     }
-                    buf.push(Elem(n));
+                    mapped.push(Elem(n));
                 }
-                out.add_tuple(id, &buf).expect("induced tuple valid");
+                buf.push(mapped);
             }
+            out.extend_tuples(id, buf.drain(..))
+                .expect("induced tuples valid");
         }
         (out, old_of_new)
     }
@@ -56,17 +59,16 @@ impl Structure {
             self.universe_size() + other.universe_size(),
         );
         for (id, rel) in self.relations() {
-            for t in rel.iter() {
-                out.add_tuple(id, t).expect("left tuple valid");
-            }
+            out.extend_tuples(id, rel.iter())
+                .expect("left tuples valid");
         }
-        let mut buf: Vec<Elem> = Vec::new();
         for (id, rel) in other.relations() {
-            for t in rel.iter() {
-                buf.clear();
-                buf.extend(t.iter().map(|&e| Elem(e.0 + shift)));
-                out.add_tuple(id, &buf).expect("right tuple valid");
-            }
+            out.extend_tuples(
+                id,
+                rel.iter()
+                    .map(|t| t.iter().map(|&e| Elem(e.0 + shift)).collect::<Vec<_>>()),
+            )
+            .expect("right tuples valid");
         }
         Ok(out)
     }
@@ -88,13 +90,13 @@ impl Structure {
             "map image exceeds target universe"
         );
         let mut out = Structure::new(self.vocab().clone(), target_universe);
-        let mut buf: Vec<Elem> = Vec::new();
         for (id, rel) in self.relations() {
-            for t in rel.iter() {
-                buf.clear();
-                buf.extend(t.iter().map(|&e| map[e.index()]));
-                out.add_tuple(id, &buf).expect("image tuple valid");
-            }
+            out.extend_tuples(
+                id,
+                rel.iter()
+                    .map(|t| t.iter().map(|&e| map[e.index()]).collect::<Vec<_>>()),
+            )
+            .expect("image tuples valid");
         }
         out
     }

@@ -1,0 +1,547 @@
+//! Columnar tuple storage: a flat arena of [`Elem`]s with arity-stride rows.
+//!
+//! [`TupleStore`] is the single physical representation behind
+//! [`Relation`](crate::Relation) and the evaluator's IDB relations. It keeps
+//! tuples in two regions backed by flat `Vec<Elem>` arenas:
+//!
+//! * a **sorted run** — rows in lexicographic order, deduplicated — over
+//!   which all set operations run by binary search and galloping merges, and
+//! * a **pending delta** — rows appended in arrival order, possibly
+//!   duplicated — which batches inserts so a bulk load costs one sort and
+//!   one merge instead of `n` shifting array inserts.
+//!
+//! [`seal`](TupleStore::seal) folds the pending delta into the sorted run
+//! (sort + dedup + one galloping merge). Every read (`contains`, `iter`,
+//! equality, hashing) is defined over the *sealed* content; `contains`
+//! additionally scans the pending region so unsealed stores still answer
+//! membership correctly.
+//!
+//! Rows are addressed by index: row `i` of an arity-`k` store is
+//! `data[i*k .. (i+1)*k]`, handed out as a zero-copy `&[Elem]`. Arity-0
+//! relations (nullary predicates) are supported: the arena stays empty and
+//! only the explicit row counters distinguish `{}` from `{()}`.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::elem::Elem;
+
+/// A set of same-arity tuples in columnar (struct-of-rows) layout.
+///
+/// See the module docs for the layout. Invariants:
+///
+/// * `data.len() == rows * arity` and `pending.len() == pending_rows * arity`;
+/// * rows `0..rows` of `data` are lexicographically sorted and distinct;
+/// * `pending` is unordered and may contain duplicates (of itself or of the
+///   sorted run) until [`seal`](TupleStore::seal) is called.
+///
+/// Equality and hashing require a sealed store (checked with
+/// `debug_assert`); [`Relation`](crate::Relation) maintains "sealed after
+/// every `&mut` method returns" so its comparisons are always canonical.
+#[derive(Clone)]
+pub struct TupleStore {
+    arity: usize,
+    /// Number of rows in the sorted run.
+    rows: usize,
+    /// Sorted-run arena: `rows * arity` elements.
+    data: Vec<Elem>,
+    /// Number of rows in the pending delta.
+    pending_rows: usize,
+    /// Pending arena: `pending_rows * arity` elements, insertion order.
+    pending: Vec<Elem>,
+}
+
+impl TupleStore {
+    /// An empty store of the given arity.
+    pub fn new(arity: usize) -> Self {
+        TupleStore {
+            arity,
+            rows: 0,
+            data: Vec::new(),
+            pending_rows: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// An empty store with arena capacity reserved for `rows` sealed rows.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        TupleStore {
+            arity,
+            rows: 0,
+            data: Vec::with_capacity(rows * arity),
+            pending_rows: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The arity (row stride) of the store.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows in the sorted run. Call [`seal`](TupleStore::seal)
+    /// first for an exact count when pending rows exist.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when both the sorted run and the pending delta are empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 && self.pending_rows == 0
+    }
+
+    /// Number of buffered (not yet sealed) rows, duplicates included.
+    #[inline]
+    pub fn pending_len(&self) -> usize {
+        self.pending_rows
+    }
+
+    /// True when there is no pending delta.
+    #[inline]
+    pub fn is_sealed(&self) -> bool {
+        self.pending_rows == 0
+    }
+
+    /// The `i`-th row of the sorted run, as a zero-copy slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Elem] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterate the sorted run in lexicographic order (zero-copy).
+    pub fn iter(&self) -> Rows<'_> {
+        Rows {
+            data: &self.data,
+            arity: self.arity,
+            front: 0,
+            back: self.rows,
+        }
+    }
+
+    /// Append a row to the pending delta (no ordering or dedup work).
+    #[inline]
+    pub fn push(&mut self, t: &[Elem]) {
+        debug_assert_eq!(t.len(), self.arity);
+        self.pending.extend_from_slice(t);
+        self.pending_rows += 1;
+    }
+
+    /// Append one pending row by writing its elements straight into the
+    /// arena — the zero-copy emit path for join outputs. `fill` must append
+    /// exactly `arity` elements.
+    #[inline]
+    pub fn push_with(&mut self, fill: impl FnOnce(&mut Vec<Elem>)) {
+        #[cfg(debug_assertions)]
+        let before = self.pending.len();
+        fill(&mut self.pending);
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(self.pending.len() - before, self.arity);
+        self.pending_rows += 1;
+    }
+
+    /// Fold the pending delta into the sorted run: sort the pending rows,
+    /// drop duplicates, and merge with the existing run in one galloping
+    /// pass. Idempotent; a no-op when already sealed.
+    pub fn seal(&mut self) {
+        if self.pending_rows == 0 {
+            return;
+        }
+        let k = self.arity;
+        if k == 0 {
+            // The only possible row is `()`; sealing collapses to "present".
+            self.rows = 1;
+            self.pending_rows = 0;
+            self.pending.clear();
+            return;
+        }
+        // Sort row *indices* so the arena itself is never permuted.
+        let pend = std::mem::take(&mut self.pending);
+        let mut idx: Vec<u32> = (0..self.pending_rows as u32).collect();
+        idx.sort_unstable_by(|&i, &j| {
+            let (i, j) = (i as usize, j as usize);
+            pend[i * k..(i + 1) * k].cmp(&pend[j * k..(j + 1) * k])
+        });
+        idx.dedup_by(|a, b| {
+            let (a, b) = (*a as usize, *b as usize);
+            pend[a * k..(a + 1) * k] == pend[b * k..(b + 1) * k]
+        });
+        let mut out: Vec<Elem> = Vec::with_capacity(self.data.len() + idx.len() * k);
+        let mut out_rows = 0usize;
+        let mut di = 0usize; // row cursor into the sorted run
+        for &pi in &idx {
+            let pi = pi as usize;
+            let prow = &pend[pi * k..(pi + 1) * k];
+            let hi = self.lower_bound_from(di, prow);
+            out.extend_from_slice(&self.data[di * k..hi * k]);
+            out_rows += hi - di;
+            di = hi;
+            if di < self.rows && self.row(di) == prow {
+                di += 1; // duplicate across the boundary: keep one copy
+            }
+            out.extend_from_slice(prow);
+            out_rows += 1;
+        }
+        out.extend_from_slice(&self.data[di * k..]);
+        out_rows += self.rows - di;
+        self.data = out;
+        self.rows = out_rows;
+        self.pending_rows = 0;
+        self.pending.clear();
+    }
+
+    /// Membership test: binary search in the sorted run plus a linear scan
+    /// of the pending delta.
+    pub fn contains(&self, t: &[Elem]) -> bool {
+        debug_assert_eq!(t.len(), self.arity);
+        let i = self.lower_bound_from(0, t);
+        if i < self.rows && self.row(i) == t {
+            return true;
+        }
+        if self.pending_rows > 0 {
+            if self.arity == 0 {
+                return true;
+            }
+            let k = self.arity;
+            return self.pending.chunks_exact(k).any(|row| row == t);
+        }
+        false
+    }
+
+    /// Insert a single row into the sorted run (sealing first if needed).
+    /// Returns true when the row was not already present. Prefer batching
+    /// through [`push`](TupleStore::push)/[`seal`](TupleStore::seal) — a
+    /// sorted-position insert shifts the arena tail.
+    pub fn insert(&mut self, t: &[Elem]) -> bool {
+        debug_assert_eq!(t.len(), self.arity);
+        self.seal();
+        let i = self.lower_bound_from(0, t);
+        if i < self.rows && self.row(i) == t {
+            return false;
+        }
+        let k = self.arity;
+        self.data.splice(i * k..i * k, t.iter().copied());
+        self.rows += 1;
+        true
+    }
+
+    /// Remove a row (sealing first if needed). Returns true if present.
+    pub fn remove(&mut self, t: &[Elem]) -> bool {
+        debug_assert_eq!(t.len(), self.arity);
+        self.seal();
+        let i = self.lower_bound_from(0, t);
+        if i < self.rows && self.row(i) == t {
+            let k = self.arity;
+            self.data.drain(i * k..(i + 1) * k);
+            self.rows -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Set-union `other` (sealed) into `self` (sealed): one galloping merge
+    /// that copies whole runs with `extend_from_slice`.
+    pub fn merge(&mut self, other: &TupleStore) {
+        debug_assert_eq!(self.arity, other.arity);
+        debug_assert!(self.is_sealed() && other.is_sealed());
+        if other.rows == 0 {
+            return;
+        }
+        if self.rows == 0 {
+            self.data.clear();
+            self.data.extend_from_slice(&other.data);
+            self.rows = other.rows;
+            return;
+        }
+        let k = self.arity;
+        if k > 0 && self.row(self.rows - 1) < other.row(0) {
+            // Disjoint append — the common shape for monotone loads.
+            self.data.extend_from_slice(&other.data);
+            self.rows += other.rows;
+            return;
+        }
+        let mut out: Vec<Elem> = Vec::with_capacity(self.data.len() + other.data.len());
+        let mut out_rows = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.rows && j < other.rows {
+            let hi = self.lower_bound_from(i, other.row(j));
+            out.extend_from_slice(&self.data[i * k..hi * k]);
+            out_rows += hi - i;
+            i = hi;
+            if i >= self.rows {
+                break;
+            }
+            let oj = other.lower_bound_from(j, self.row(i));
+            out.extend_from_slice(&other.data[j * k..oj * k]);
+            out_rows += oj - j;
+            j = oj;
+            if j < other.rows && other.row(j) == self.row(i) {
+                out.extend_from_slice(self.row(i));
+                out_rows += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&self.data[i * k..]);
+        out_rows += self.rows - i;
+        out.extend_from_slice(&other.data[j * k..]);
+        out_rows += other.rows - j;
+        self.data = out;
+        self.rows = out_rows;
+    }
+
+    /// Rows of `self` (sealed) absent from `other` (sealed), as a new
+    /// sealed store. Gallops through `other` so a small `self` against a
+    /// large `other` costs `O(|self| · log |other|)`.
+    pub fn difference(&self, other: &TupleStore) -> TupleStore {
+        debug_assert_eq!(self.arity, other.arity);
+        debug_assert!(self.is_sealed() && other.is_sealed());
+        let k = self.arity;
+        let mut out = TupleStore::new(k);
+        let mut j = 0usize;
+        for i in 0..self.rows {
+            let r = self.row(i);
+            j = other.lower_bound_from(j, r);
+            if j < other.rows && other.row(j) == r {
+                j += 1;
+                continue;
+            }
+            out.data.extend_from_slice(r);
+            out.rows += 1;
+        }
+        out
+    }
+
+    /// True when every sealed row of `self` is a row of `other` (both
+    /// sealed). Galloping merge scan.
+    pub fn is_subset(&self, other: &TupleStore) -> bool {
+        debug_assert_eq!(self.arity, other.arity);
+        debug_assert!(self.is_sealed() && other.is_sealed());
+        if self.rows > other.rows {
+            return false;
+        }
+        let mut j = 0usize;
+        for i in 0..self.rows {
+            let r = self.row(i);
+            j = other.lower_bound_from(j, r);
+            if j >= other.rows || other.row(j) != r {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+
+    /// Drop all rows (sealed and pending), keeping the arena allocations.
+    pub fn clear(&mut self) {
+        self.rows = 0;
+        self.data.clear();
+        self.pending_rows = 0;
+        self.pending.clear();
+    }
+
+    /// Bytes of heap the arenas hold (capacity, not just length) — the
+    /// store's contribution to peak memory. `#![forbid(unsafe_code)]` rules
+    /// out a counting allocator, so footprint reporting is analytic.
+    pub fn heap_bytes(&self) -> usize {
+        (self.data.capacity() + self.pending.capacity()) * std::mem::size_of::<Elem>()
+    }
+
+    /// First sorted-run row index `>= t`, searching only `from..rows`.
+    /// Exponential gallop then binary search, so repeated calls with an
+    /// advancing `from` cursor (merges, subset scans) stay near-linear.
+    fn lower_bound_from(&self, from: usize, t: &[Elem]) -> usize {
+        let k = self.arity;
+        let row = |i: usize| &self.data[i * k..(i + 1) * k];
+        if from >= self.rows || row(from) >= t {
+            return from;
+        }
+        // Invariant: row(lo) < t.
+        let mut lo = from;
+        let mut step = 1usize;
+        while lo + step < self.rows && row(lo + step) < t {
+            lo += step;
+            step <<= 1;
+        }
+        let mut hi = (lo + step).min(self.rows);
+        // row(hi) >= t or hi == rows; binary search in (lo, hi].
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if row(mid) < t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+}
+
+/// Zero-copy iterator over the sorted rows of a [`TupleStore`].
+#[derive(Clone)]
+pub struct Rows<'a> {
+    data: &'a [Elem],
+    arity: usize,
+    front: usize,
+    back: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [Elem];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [Elem]> {
+        if self.front >= self.back {
+            return None;
+        }
+        let i = self.front;
+        self.front += 1;
+        Some(&self.data[i * self.arity..(i + 1) * self.arity])
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl DoubleEndedIterator for Rows<'_> {
+    #[inline]
+    fn next_back(&mut self) -> Option<Self::Item> {
+        if self.front >= self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(&self.data[self.back * self.arity..(self.back + 1) * self.arity])
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+impl PartialEq for TupleStore {
+    fn eq(&self, other: &Self) -> bool {
+        debug_assert!(self.is_sealed() && other.is_sealed());
+        self.arity == other.arity && self.rows == other.rows && self.data == other.data
+    }
+}
+
+impl Eq for TupleStore {}
+
+impl Hash for TupleStore {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        debug_assert!(self.is_sealed());
+        self.arity.hash(state);
+        self.rows.hash(state);
+        self.data.hash(state);
+    }
+}
+
+impl fmt::Debug for TupleStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_of(s: &TupleStore) -> Vec<Vec<u32>> {
+        s.iter().map(|r| r.iter().map(|e| e.0).collect()).collect()
+    }
+
+    #[test]
+    fn push_seal_sorts_and_dedups() {
+        let mut s = TupleStore::new(2);
+        for t in [[2u32, 0], [0, 1], [0, 0], [0, 1], [2, 0]] {
+            s.push(&[Elem(t[0]), Elem(t[1])]);
+        }
+        assert!(!s.is_sealed());
+        assert!(s.contains(&[Elem(2), Elem(0)])); // pending scan
+        s.seal();
+        assert_eq!(rows_of(&s), vec![vec![0, 0], vec![0, 1], vec![2, 0]]);
+    }
+
+    #[test]
+    fn dedup_across_sorted_pending_boundary() {
+        let mut s = TupleStore::new(1);
+        s.insert(&[Elem(3)]);
+        s.insert(&[Elem(7)]);
+        s.push(&[Elem(7)]);
+        s.push(&[Elem(1)]);
+        s.seal();
+        assert_eq!(rows_of(&s), vec![vec![1], vec![3], vec![7]]);
+    }
+
+    #[test]
+    fn merge_and_difference() {
+        let mut a = TupleStore::new(1);
+        let mut b = TupleStore::new(1);
+        for i in [1u32, 3, 5] {
+            a.insert(&[Elem(i)]);
+        }
+        for i in [2u32, 3, 9] {
+            b.insert(&[Elem(i)]);
+        }
+        let d = a.difference(&b);
+        assert_eq!(rows_of(&d), vec![vec![1], vec![5]]);
+        a.merge(&b);
+        assert_eq!(
+            rows_of(&a),
+            vec![vec![1], vec![2], vec![3], vec![5], vec![9]]
+        );
+        assert!(d.is_subset(&a));
+        assert!(!a.is_subset(&d));
+    }
+
+    #[test]
+    fn arity_zero_store() {
+        let mut s = TupleStore::new(0);
+        assert!(!s.contains(&[]));
+        s.push(&[]);
+        assert!(s.contains(&[]));
+        s.push(&[]);
+        s.seal();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.row(0), &[] as &[Elem]);
+        let empty = TupleStore::new(0);
+        assert!(empty.is_subset(&s));
+        assert!(!s.is_subset(&empty));
+        assert_eq!(s.difference(&empty).len(), 1);
+        assert_eq!(s.difference(&s).len(), 0);
+        let mut t = TupleStore::new(0);
+        t.merge(&s);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut s = TupleStore::new(2);
+        assert!(s.insert(&[Elem(1), Elem(2)]));
+        assert!(!s.insert(&[Elem(1), Elem(2)]));
+        assert!(s.insert(&[Elem(0), Elem(9)]));
+        assert!(s.remove(&[Elem(1), Elem(2)]));
+        assert!(!s.remove(&[Elem(1), Elem(2)]));
+        assert_eq!(rows_of(&s), vec![vec![0, 9]]);
+    }
+
+    #[test]
+    fn empty_merges() {
+        let mut a = TupleStore::new(2);
+        let b = TupleStore::new(2);
+        a.merge(&b);
+        assert!(a.is_empty());
+        a.insert(&[Elem(4), Elem(4)]);
+        a.merge(&b);
+        assert_eq!(a.len(), 1);
+        let mut c = TupleStore::new(2);
+        c.merge(&a);
+        assert_eq!(c.len(), 1);
+        assert_eq!(a, c);
+    }
+}

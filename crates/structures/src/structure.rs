@@ -4,109 +4,155 @@ use std::fmt;
 
 use crate::elem::Elem;
 use crate::error::StructureError;
+use crate::store::TupleStore;
 use crate::vocab::{SymbolId, Vocabulary};
 
 /// The interpretation of one relation symbol: a set of tuples.
 ///
-/// Tuples are kept sorted lexicographically and deduplicated, so relation
-/// equality is structural equality and membership is a binary search.
+/// Backed by a columnar [`TupleStore`] (flat `Vec<Elem>` arena with
+/// arity-stride rows), kept **sealed** — sorted lexicographically and
+/// deduplicated — after every `&mut self` method returns. Relation equality
+/// is therefore structural equality, membership is a binary search, and
+/// iteration hands out zero-copy `&[Elem]` rows in lexicographic order.
+///
+/// For bulk loads use [`extend_tuples`](Relation::extend_tuples), which
+/// buffers into the store's pending delta and seals once, instead of n
+/// shifting [`insert`](Relation::insert)s.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Relation {
-    arity: usize,
-    tuples: Vec<Box<[Elem]>>,
+    store: TupleStore,
 }
 
 impl Relation {
     /// An empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
         Relation {
-            arity,
-            tuples: Vec::new(),
+            store: TupleStore::new(arity),
         }
+    }
+
+    /// Wrap a [`TupleStore`], sealing it so the canonical-order invariant
+    /// holds.
+    pub fn from_store(mut store: TupleStore) -> Self {
+        store.seal();
+        Relation { store }
+    }
+
+    /// The backing columnar store (always sealed).
+    #[inline]
+    pub fn store(&self) -> &TupleStore {
+        &self.store
     }
 
     /// The arity of the relation.
     #[inline]
     pub fn arity(&self) -> usize {
-        self.arity
+        self.store.arity()
     }
 
     /// Number of tuples.
     #[inline]
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.store.len()
     }
 
     /// True when the relation is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.store.is_empty()
     }
 
     /// Membership test (binary search).
     pub fn contains(&self, t: &[Elem]) -> bool {
-        debug_assert_eq!(t.len(), self.arity);
-        self.tuples
-            .binary_search_by(|probe| probe.as_ref().cmp(t))
-            .is_ok()
+        self.store.contains(t)
     }
 
     /// Insert a tuple, keeping sort order. Returns true if newly inserted.
     pub fn insert(&mut self, t: &[Elem]) -> bool {
-        debug_assert_eq!(t.len(), self.arity);
-        match self.tuples.binary_search_by(|probe| probe.as_ref().cmp(t)) {
-            Ok(_) => false,
-            Err(pos) => {
-                self.tuples.insert(pos, t.to_vec().into_boxed_slice());
-                true
-            }
+        self.store.insert(t)
+    }
+
+    /// Bulk-insert: buffer every tuple into the pending delta, then sort,
+    /// dedup, and merge **once**. Returns the number of newly inserted
+    /// tuples. This is the O((n+m)·log m) path generators and builders use
+    /// in place of m shifting inserts.
+    pub fn extend_tuples<I, T>(&mut self, tuples: I) -> usize
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[Elem]>,
+    {
+        let before = self.store.len();
+        for t in tuples {
+            self.store.push(t.as_ref());
         }
+        self.store.seal();
+        self.store.len() - before
+    }
+
+    /// Set-union `other` into `self` via one sorted-run merge. Returns the
+    /// number of newly inserted tuples.
+    pub fn merge(&mut self, other: &Relation) -> usize {
+        self.merge_store(other.store())
+    }
+
+    /// Set-union a sealed [`TupleStore`] into `self` (the evaluator's
+    /// delta-merge). Returns the number of newly inserted tuples.
+    pub fn merge_store(&mut self, other: &TupleStore) -> usize {
+        let before = self.store.len();
+        self.store.merge(other);
+        self.store.len() - before
+    }
+
+    /// Tuples of `self` absent from `other`, as a sealed store (the
+    /// evaluator's new-facts filter).
+    pub fn difference(&self, other: &Relation) -> TupleStore {
+        self.store.difference(other.store())
     }
 
     /// Remove a tuple. Returns true if it was present.
     pub fn remove(&mut self, t: &[Elem]) -> bool {
-        match self.tuples.binary_search_by(|probe| probe.as_ref().cmp(t)) {
-            Ok(pos) => {
-                self.tuples.remove(pos);
-                true
-            }
-            Err(_) => false,
-        }
+        self.store.remove(t)
     }
 
-    /// Iterate over the tuples in lexicographic order.
-    pub fn iter(&self) -> impl Iterator<Item = &[Elem]> {
-        self.tuples.iter().map(|t| t.as_ref())
+    /// Drop all tuples, keeping the arena allocation.
+    pub fn clear(&mut self) {
+        self.store.clear()
+    }
+
+    /// Iterate over the tuples in lexicographic order (zero-copy rows).
+    pub fn iter(&self) -> crate::store::Rows<'_> {
+        self.store.iter()
     }
 
     /// The `i`-th tuple in lexicographic order.
     pub fn tuple(&self, i: usize) -> &[Elem] {
-        &self.tuples[i]
+        self.store.row(i)
     }
 
     /// True when every tuple of `self` is a tuple of `other`.
     pub fn is_subset(&self, other: &Relation) -> bool {
-        debug_assert_eq!(self.arity, other.arity);
-        // Both sorted: merge scan.
-        let mut j = 0;
-        for t in &self.tuples {
-            while j < other.tuples.len() && other.tuples[j].as_ref() < t.as_ref() {
-                j += 1;
-            }
-            if j >= other.tuples.len() || other.tuples[j].as_ref() != t.as_ref() {
-                return false;
-            }
-            j += 1;
-        }
-        true
+        self.store.is_subset(other.store())
+    }
+
+    /// Heap bytes held by the backing arena (see
+    /// [`TupleStore::heap_bytes`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.store.heap_bytes()
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a [Elem];
+    type IntoIter = crate::store::Rows<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
     }
 }
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set()
-            .entries(self.tuples.iter().map(|t| t.as_ref()))
-            .finish()
+        fmt::Debug::fmt(&self.store, f)
     }
 }
 
@@ -138,8 +184,11 @@ impl Structure {
 
     /// Start building a structure with bulk tuple loading.
     pub fn builder(vocab: Vocabulary, universe: usize) -> StructureBuilder {
+        let buffers = vocab.iter().map(|_| (Vec::new(), 0)).collect();
         StructureBuilder {
-            inner: Structure::new(vocab, universe),
+            vocab,
+            universe,
+            buffers,
         }
     }
 
@@ -179,6 +228,12 @@ impl Structure {
         self.relations.iter().map(Relation::len).sum()
     }
 
+    /// Heap bytes held by all relation arenas (see
+    /// [`Relation::heap_bytes`]); the universe itself stores nothing.
+    pub fn heap_bytes(&self) -> usize {
+        self.relations.iter().map(Relation::heap_bytes).sum()
+    }
+
     /// Add a tuple to a relation, validating arity and range.
     pub fn add_tuple(&mut self, sym: SymbolId, t: &[Elem]) -> Result<bool, StructureError> {
         let arity = self.vocab.arity(sym);
@@ -204,6 +259,46 @@ impl Structure {
     pub fn add_tuple_ids(&mut self, sym: usize, t: &[u32]) -> Result<bool, StructureError> {
         let elems: Vec<Elem> = t.iter().map(|&v| Elem(v)).collect();
         self.add_tuple(SymbolId::from(sym), &elems)
+    }
+
+    /// Bulk-add tuples to one relation, validating each, with a single
+    /// sort+dedup+merge at the end ([`Relation::extend_tuples`]). Returns the
+    /// number of newly inserted tuples. On error nothing is inserted.
+    pub fn extend_tuples<I, T>(&mut self, sym: SymbolId, tuples: I) -> Result<usize, StructureError>
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[Elem]>,
+    {
+        let arity = self.vocab.arity(sym);
+        let mut buf: Vec<Elem> = Vec::new();
+        let mut count = 0usize;
+        for t in tuples {
+            let t = t.as_ref();
+            if t.len() != arity {
+                return Err(StructureError::ArityMismatch {
+                    symbol: self.vocab.symbol(sym).name.clone(),
+                    expected: arity,
+                    got: t.len(),
+                });
+            }
+            for &e in t {
+                if e.index() >= self.universe {
+                    return Err(StructureError::ElementOutOfRange {
+                        element: e.0,
+                        universe: self.universe,
+                    });
+                }
+            }
+            buf.extend_from_slice(t);
+            count += 1;
+        }
+        let rel = &mut self.relations[sym.index()];
+        if arity == 0 {
+            // Nullary tuples leave `buf` empty; `chunks_exact(0)` is
+            // undefined, so feed the counted empty rows directly.
+            return Ok(rel.extend_tuples((0..count).map(|_| [].as_slice())));
+        }
+        Ok(rel.extend_tuples(buf.chunks_exact(arity)))
     }
 
     /// Remove a tuple from a relation. Returns true if it was present.
@@ -250,25 +345,54 @@ impl fmt::Debug for Structure {
     }
 }
 
-/// Bulk builder for [`Structure`] — identical to mutating a fresh structure,
-/// provided for fluent construction in tests and generators.
+/// Bulk builder for [`Structure`] — semantically identical to mutating a
+/// fresh structure tuple-by-tuple, but tuples are buffered per symbol and
+/// sealed with **one** sort+dedup+merge per relation in
+/// [`build`](StructureBuilder::build), so an
+/// n-tuple load is O(n log n) instead of the O(n²) of n sorted inserts.
 pub struct StructureBuilder {
-    inner: Structure,
+    vocab: Vocabulary,
+    universe: usize,
+    /// Per-symbol flat tuple buffers plus explicit row counts (the count
+    /// cannot be recovered from buffer length for nullary symbols).
+    buffers: Vec<(Vec<Elem>, usize)>,
 }
 
 impl StructureBuilder {
     /// Add a tuple by raw ids (panics on arity/range errors — builder misuse
     /// is a programming error).
     pub fn tuple(mut self, sym: usize, t: &[u32]) -> Self {
-        self.inner
-            .add_tuple_ids(sym, t)
-            .expect("invalid tuple in StructureBuilder");
+        let arity = self.vocab.arity(SymbolId::from(sym));
+        assert_eq!(
+            t.len(),
+            arity,
+            "invalid tuple in StructureBuilder: arity mismatch for symbol {sym}"
+        );
+        for &v in t {
+            assert!(
+                (v as usize) < self.universe,
+                "invalid tuple in StructureBuilder: element {v} out of range"
+            );
+        }
+        let (buf, rows) = &mut self.buffers[sym];
+        buf.extend(t.iter().map(|&v| Elem(v)));
+        *rows += 1;
         self
     }
 
-    /// Finish building.
+    /// Finish building: seal each buffered relation in one batch.
     pub fn build(self) -> Structure {
-        self.inner
+        let mut inner = Structure::new(self.vocab, self.universe);
+        for (sym, (buf, rows)) in self.buffers.into_iter().enumerate() {
+            let arity = inner.vocab.arity(SymbolId::from(sym));
+            let rel = &mut inner.relations[sym];
+            if arity == 0 {
+                rel.extend_tuples((0..rows).map(|_| [].as_slice()));
+            } else {
+                rel.extend_tuples(buf.chunks_exact(arity));
+            }
+        }
+        inner
     }
 }
 

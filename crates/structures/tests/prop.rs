@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-use hp_structures::{generators, BitSet, Elem, Structure, SymbolId, Vocabulary};
+use hp_structures::{
+    generators, BitSet, Elem, Relation, Structure, SymbolId, TupleStore, Vocabulary,
+};
 
 proptest! {
     /// BitSet agrees with a BTreeSet model under arbitrary op sequences.
@@ -49,6 +51,99 @@ proptest! {
         prop_assert_eq!(sa.is_subset(&union), true);
         prop_assert_eq!(inter.is_subset(&sa), true);
         prop_assert_eq!(sa.is_disjoint(&sb), a.is_disjoint(&b));
+    }
+}
+
+/// Random tuples of a fixed arity over a small element range.
+fn tuples_strategy(k: usize, count: usize) -> impl Strategy<Value = Vec<Vec<Elem>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..6).prop_map(Elem), k..=k),
+        0..count,
+    )
+}
+
+proptest! {
+    /// The columnar store agrees with a `BTreeSet<Vec<Elem>>` model on
+    /// contains, length, sorted iteration order, merge, difference, and
+    /// subset — across arities 0..=3 and with seals interleaved at random
+    /// points so the sorted-run/pending boundary is exercised (duplicates
+    /// may straddle it).
+    #[test]
+    fn tuple_store_matches_model(
+        input in (0usize..=3).prop_flat_map(|k| (
+            Just(k),
+            tuples_strategy(k, 40),
+            tuples_strategy(k, 40),
+            prop::collection::vec(any::<bool>(), 40..41),
+        ))
+    ) {
+        let (k, xs, ys, seals) = input;
+        let mut s = TupleStore::new(k);
+        let mut model: BTreeSet<Vec<Elem>> = BTreeSet::new();
+        for (i, t) in xs.iter().enumerate() {
+            s.push(t);
+            model.insert(t.clone());
+            if seals[i] {
+                s.seal();
+            }
+        }
+        s.seal();
+        prop_assert_eq!(s.len(), model.len());
+        let got: Vec<Vec<Elem>> = s.iter().map(<[Elem]>::to_vec).collect();
+        let want: Vec<Vec<Elem>> = model.iter().cloned().collect();
+        prop_assert_eq!(got, want, "sorted iteration order");
+        for t in &ys {
+            prop_assert_eq!(s.contains(t), model.contains(t));
+        }
+
+        let mut o = TupleStore::new(k);
+        let mut omodel: BTreeSet<Vec<Elem>> = BTreeSet::new();
+        for t in &ys {
+            o.push(t);
+            omodel.insert(t.clone());
+        }
+        o.seal();
+
+        let mut u = s.clone();
+        u.merge(&o);
+        let union: Vec<Vec<Elem>> = model.union(&omodel).cloned().collect();
+        prop_assert_eq!(u.iter().map(<[Elem]>::to_vec).collect::<Vec<_>>(), union);
+
+        let d = s.difference(&o);
+        let diff: Vec<Vec<Elem>> = model.difference(&omodel).cloned().collect();
+        prop_assert_eq!(d.iter().map(<[Elem]>::to_vec).collect::<Vec<_>>(), diff);
+
+        prop_assert!(s.is_subset(&u));
+        prop_assert!(d.is_subset(&s));
+        prop_assert_eq!(s.is_subset(&o), model.is_subset(&omodel));
+        // Empty stores merge/difference as identities.
+        let empty = TupleStore::new(k);
+        let mut e2 = s.clone();
+        e2.merge(&empty);
+        prop_assert_eq!(&e2, &s);
+        prop_assert_eq!(s.difference(&empty).len(), s.len());
+        prop_assert!(empty.is_subset(&s));
+    }
+
+    /// `Relation` (the always-sealed wrapper) agrees with the model under
+    /// arbitrary insert/remove/contains sequences.
+    #[test]
+    fn relation_ops_match_model(
+        ops in prop::collection::vec((0usize..3, (0u32..5, 0u32..5)), 0..120)
+    ) {
+        let mut r = Relation::new(2);
+        let mut model: BTreeSet<Vec<Elem>> = BTreeSet::new();
+        for (op, (a, b)) in ops {
+            let t = vec![Elem(a), Elem(b)];
+            match op {
+                0 => prop_assert_eq!(r.insert(&t), model.insert(t)),
+                1 => prop_assert_eq!(r.remove(&t), model.remove(&t)),
+                _ => prop_assert_eq!(r.contains(&t), model.contains(&t)),
+            }
+        }
+        prop_assert_eq!(r.len(), model.len());
+        let got: Vec<Vec<Elem>> = r.iter().map(<[Elem]>::to_vec).collect();
+        prop_assert_eq!(got, model.iter().cloned().collect::<Vec<_>>());
     }
 }
 

@@ -208,7 +208,7 @@ fn hp_datalog_stage_check(p: &Program, a: &Structure) {
     for (m, rels) in stages.iter().enumerate() {
         let u = hp_preservation::datalog::stage_ucq(p, 0, m).unwrap();
         let got: BTreeSet<Vec<Elem>> = u.answers(a).into_iter().collect();
-        let want: BTreeSet<Vec<Elem>> = rels[0].iter().cloned().collect();
+        let want: BTreeSet<Vec<Elem>> = rels[0].iter().map(|t| t.to_vec()).collect();
         assert_eq!(got, want, "stage {m}");
     }
 }
