@@ -17,13 +17,23 @@
 //!   --boundedness     opt in to the HP014 budgeted boundedness
 //!                     certification (Theorem 7.5)
 //!   --max-stage N     HP014 stage cap (default 4)
-//!   --budget-ms N     HP014 wall-clock budget in milliseconds
+//!   --budget-ms N     wall-clock budget in milliseconds for the
+//!                     budgeted checks — HP014 and the semantic pass
 //!                     (default 5000; 0 means unlimited)
-//!   --fuel N          HP014 fuel budget: equivalence tests attempted
-//!                     (default unlimited; 0 means unlimited)
+//!   --fuel N          fuel budget for the budgeted checks: containment
+//!                     and equivalence tests attempted (default
+//!                     unlimited; 0 means unlimited)
+//!   --no-semantic     skip the semantic containment checks
+//!                     (HP017–HP020); syntactic pipeline only
+//!   --core-key        also print each input's canonical-core key — the
+//!                     answer-cache identity of the goal query, stable
+//!                     across renaming, redundancy, and disjunct order
+//!                     (null for recursive or goal-less programs)
 //!   --fix             rewrite .dl FILEs in place: remove dead rules
-//!                     (HP007) and duplicate rules (HP013); certified to
-//!                     preserve the goal fixpoint, and idempotent
+//!                     (HP007), duplicates (HP013), never-firing rules
+//!                     (HP015), subsumed rules (HP018), and redundant
+//!                     body atoms (HP017); certified to preserve the
+//!                     goal fixpoint, and idempotent
 //!   --fix=check       dry run: print a unified diff of what --fix would
 //!                     rewrite, touch nothing, and exit non-zero when
 //!                     changes are pending (for CI)
@@ -36,8 +46,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use hp_analysis::{
-    fix_check_source, fix_source, lint_datalog_source_with, lint_formula_source, parse_vocab_spec,
-    Analyzer, Diagnostics, Severity,
+    datalog_core_key, fix_check_source, fix_source, formula_core_key, lint_datalog_source_with,
+    lint_formula_source_with, parse_vocab_spec, Analyzer, Diagnostics, Severity,
 };
 use hp_datalog::gallery;
 use hp_guard::Budget;
@@ -65,6 +75,8 @@ struct Options {
     list_passes: bool,
     format: Format,
     boundedness: bool,
+    no_semantic: bool,
+    core_key: bool,
     max_stage: usize,
     budget_ms: u64,
     fuel: u64,
@@ -75,8 +87,9 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: hompres-lint [--gallery] [--edb SPEC] [--deny-warnings] [--quiet] \
-     [--list-passes] [--format text|json] [--boundedness] [--max-stage N] \
-     [--budget-ms N] [--fuel N] [--fix | --fix=check] [FILE...]"
+     [--list-passes] [--format text|json] [--boundedness] [--no-semantic] \
+     [--core-key] [--max-stage N] [--budget-ms N] [--fuel N] \
+     [--fix | --fix=check] [FILE...]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -87,6 +100,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         list_passes: false,
         format: Format::Text,
         boundedness: false,
+        no_semantic: false,
+        core_key: false,
         max_stage: 4,
         budget_ms: 5000,
         fuel: 0,
@@ -102,6 +117,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--quiet" => o.quiet = true,
             "--list-passes" => o.list_passes = true,
             "--boundedness" => o.boundedness = true,
+            "--no-semantic" => o.no_semantic = true,
+            "--core-key" => o.core_key = true,
             "--fix" => o.fix = Some(FixMode::Apply),
             "--fix=check" => o.fix = Some(FixMode::Check),
             "--format" => {
@@ -145,6 +162,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if o.fix.is_some() && o.files.iter().any(|f| f.ends_with(".fo")) {
         return Err("--fix applies to Datalog files only, not .fo formulas".into());
     }
+    if o.core_key && o.fix.is_some() {
+        return Err("--core-key does not combine with --fix".into());
+    }
+    if o.core_key && o.gallery {
+        return Err("--core-key works on FILEs, not --gallery".into());
+    }
     if !o.gallery && !o.list_passes && o.files.is_empty() {
         return Err("no inputs (give FILEs or --gallery)".to_string());
     }
@@ -165,10 +188,13 @@ fn budget(o: &Options) -> Budget {
 }
 
 /// Report one input's diagnostics; returns whether it fails the build.
+/// `core_key` is a pre-rendered `"core_key": …` JSON field (and its text
+/// form) when `--core-key` is active.
 fn report(
     name: &str,
     source: Option<&str>,
     ds: &Diagnostics,
+    core_key: Option<&CoreKeyLine>,
     o: &Options,
     json: &mut Vec<String>,
 ) -> bool {
@@ -177,11 +203,58 @@ fn report(
             if !o.quiet && !ds.is_empty() {
                 print!("{}", ds.render(name, source));
             }
+            if let Some(k) = core_key {
+                println!("{name}: core-key {}", k.text);
+            }
             println!("{name}: {}", ds.totals());
         }
-        Format::Json => json.push(ds.to_json(name)),
+        Format::Json => {
+            let mut obj = ds.to_json(name);
+            if let Some(k) = core_key {
+                // Splice the key in as the first field of the object.
+                obj = obj.replacen('{', &format!("{{\"core_key\": {}, ", k.json), 1);
+            }
+            json.push(obj);
+        }
     }
     ds.has_errors() || (o.deny_warnings && ds.count(Severity::Warning) > 0)
+}
+
+/// One input's canonical-core key, rendered for both output formats.
+struct CoreKeyLine {
+    text: String,
+    json: String,
+}
+
+/// Compute the `--core-key` line for one input under the shared budget.
+fn core_key_line(path: &str, text: &str, o: &Options) -> CoreKeyLine {
+    let r = if path.ends_with(".fo") {
+        formula_core_key(text, o.edb.as_ref(), &budget(o))
+    } else {
+        datalog_core_key(text, o.edb.as_ref(), &budget(o))
+    };
+    match r {
+        Ok(Ok(Some(k))) => CoreKeyLine {
+            text: k.to_string(),
+            json: format!("\"{k}\""),
+        },
+        Ok(Ok(None)) => CoreKeyLine {
+            text: "none (recursive, goal-less, or not existential-positive)".to_string(),
+            json: "null".to_string(),
+        },
+        Ok(Err(e)) => CoreKeyLine {
+            text: format!(
+                "not computed ({} budget exhausted; rerun with more)",
+                e.resource
+            ),
+            json: "null".to_string(),
+        },
+        Err(_) => CoreKeyLine {
+            // The parse error itself is already reported by the lint run.
+            text: "none (input does not parse)".to_string(),
+            json: "null".to_string(),
+        },
+    }
 }
 
 /// Apply the certified rewrites to one file in place; returns whether the
@@ -217,14 +290,27 @@ fn fix_file(path: &str, o: &Options, json: &mut Vec<String>) -> bool {
                         r.rule, r.head, r.code
                     );
                 }
+                for a in &out.removed_atoms {
+                    let at = a.line.map_or(String::new(), |l| format!(":{l}"));
+                    println!(
+                        "{path}{at}: removed atom {} ({}) of rule {} [{}]",
+                        a.atom, a.text, a.rule, a.code
+                    );
+                }
             }
             println!(
                 "{path}: {}",
                 if out.changed() {
                     format!(
-                        "fixed ({} rule{} removed)",
+                        "fixed ({} rule{}, {} atom{} removed)",
                         out.removed.len(),
-                        if out.removed.len() == 1 { "" } else { "s" }
+                        if out.removed.len() == 1 { "" } else { "s" },
+                        out.removed_atoms.len(),
+                        if out.removed_atoms.len() == 1 {
+                            ""
+                        } else {
+                            "s"
+                        }
                     )
                 } else {
                     "clean".to_string()
@@ -232,27 +318,52 @@ fn fix_file(path: &str, o: &Options, json: &mut Vec<String>) -> bool {
             );
         }
         Format::Json => {
-            let items: Vec<String> = out
-                .removed
-                .iter()
-                .map(|r| {
-                    format!(
-                        "{{\"rule\": {}, \"line\": {}, \"head\": \"{}\", \"code\": \"{}\"}}",
-                        r.rule,
-                        r.line.map_or("null".to_string(), |l| l.to_string()),
-                        r.head,
-                        r.code
-                    )
-                })
-                .collect();
             json.push(format!(
-                "{{\"input\": \"{path}\", \"changed\": {}, \"removed\": [{}]}}",
+                "{{\"input\": \"{path}\", \"changed\": {}, \"removed\": [{}], \
+                 \"removed_atoms\": [{}]}}",
                 out.changed(),
-                items.join(", ")
+                removed_rules_json(&out.removed),
+                removed_atoms_json(&out.removed_atoms)
             ));
         }
     }
     false
+}
+
+/// Render the removed-rule records as a JSON array body.
+fn removed_rules_json(removed: &[hp_analysis::RemovedRule]) -> String {
+    let items: Vec<String> = removed
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"rule\": {}, \"line\": {}, \"head\": \"{}\", \"code\": \"{}\"}}",
+                r.rule,
+                r.line.map_or("null".to_string(), |l| l.to_string()),
+                r.head,
+                r.code
+            )
+        })
+        .collect();
+    items.join(", ")
+}
+
+/// Render the removed-atom records as a JSON array body.
+fn removed_atoms_json(removed: &[hp_analysis::RemovedAtom]) -> String {
+    let items: Vec<String> = removed
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"rule\": {}, \"atom\": {}, \"line\": {}, \"text\": {}, \
+                 \"code\": \"{}\"}}",
+                a.rule,
+                a.atom,
+                a.line.map_or("null".to_string(), |l| l.to_string()),
+                json_string(&a.text),
+                a.code
+            )
+        })
+        .collect();
+    items.join(", ")
 }
 
 /// Quote and escape a string per RFC 8259 (for the JSON diff field).
@@ -301,9 +412,15 @@ fn check_file(path: &str, o: &Options, json: &mut Vec<String>) -> bool {
                 "{path}: {}",
                 if out.changed {
                     format!(
-                        "{} rule{} pending (run --fix to apply)",
+                        "{} rule{} and {} atom{} pending (run --fix to apply)",
                         out.removed.len(),
-                        if out.removed.len() == 1 { "" } else { "s" }
+                        if out.removed.len() == 1 { "" } else { "s" },
+                        out.removed_atoms.len(),
+                        if out.removed_atoms.len() == 1 {
+                            ""
+                        } else {
+                            "s"
+                        }
                     )
                 } else {
                     "clean".to_string()
@@ -311,23 +428,12 @@ fn check_file(path: &str, o: &Options, json: &mut Vec<String>) -> bool {
             );
         }
         Format::Json => {
-            let items: Vec<String> = out
-                .removed
-                .iter()
-                .map(|r| {
-                    format!(
-                        "{{\"rule\": {}, \"line\": {}, \"head\": \"{}\", \"code\": \"{}\"}}",
-                        r.rule,
-                        r.line.map_or("null".to_string(), |l| l.to_string()),
-                        r.head,
-                        r.code
-                    )
-                })
-                .collect();
             json.push(format!(
-                "{{\"input\": \"{path}\", \"changed\": {}, \"removed\": [{}], \"diff\": {}}}",
+                "{{\"input\": \"{path}\", \"changed\": {}, \"removed\": [{}], \
+                 \"removed_atoms\": [{}], \"diff\": {}}}",
                 out.changed,
-                items.join(", "),
+                removed_rules_json(&out.removed),
+                removed_atoms_json(&out.removed_atoms),
                 json_string(&out.diff)
             ));
         }
@@ -351,8 +457,10 @@ fn main() -> ExitCode {
 
     let analyzer = if o.boundedness {
         Analyzer::with_boundedness(o.max_stage, budget(&o))
+    } else if o.no_semantic {
+        Analyzer::syntactic_pipeline()
     } else {
-        Analyzer::default_pipeline()
+        Analyzer::with_semantic_budget(budget(&o))
     };
 
     if o.list_passes {
@@ -385,11 +493,12 @@ fn main() -> ExitCode {
             }
         };
         let ds = if path.ends_with(".fo") {
-            lint_formula_source(&text, o.edb.as_ref())
+            lint_formula_source_with(&text, o.edb.as_ref(), &budget(&o))
         } else {
             lint_datalog_source_with(&text, o.edb.as_ref(), &analyzer)
         };
-        failed |= report(path, Some(&text), &ds, &o, &mut json);
+        let key = o.core_key.then(|| core_key_line(path, &text, &o));
+        failed |= report(path, Some(&text), &ds, key.as_ref(), &o, &mut json);
     }
 
     if o.gallery {
@@ -404,7 +513,7 @@ fn main() -> ExitCode {
         ];
         for (name, p) in programs {
             let ds = analyzer.analyze_program(&p);
-            failed |= report(name, None, &ds, &o, &mut json);
+            failed |= report(name, None, &ds, None, &o, &mut json);
         }
     }
 

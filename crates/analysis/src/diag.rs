@@ -53,11 +53,26 @@ pub enum Code {
     /// Per-SCC recursion-width classification of the predicate dependency
     /// graph (refines the whole-program HP008 class).
     Hp016,
+    /// Redundant body atom: the rule body folds onto itself without the
+    /// atom (Chandra–Merlin core minimization), so deleting it never
+    /// changes the rule's derivations.
+    Hp017,
+    /// Subsumed rule / UCQ disjunct: another rule (disjunct) for the same
+    /// head is contained in this one, so this one derives nothing new.
+    Hp018,
+    /// Two nonrecursive IDB predicates compute homomorphically equivalent
+    /// queries (identical canonical cores).
+    Hp019,
+    /// Cross join: the canonical structure of a rule body splits into
+    /// connected components not linked through head variables.
+    Hp020,
+    /// Inline `# eval:` expectation failed (or is malformed).
+    Hp021,
 }
 
 impl Code {
     /// Every code, in numeric order (for the documentation table).
-    pub const ALL: [Code; 16] = [
+    pub const ALL: [Code; 21] = [
         Code::Hp001,
         Code::Hp002,
         Code::Hp003,
@@ -74,6 +89,11 @@ impl Code {
         Code::Hp014,
         Code::Hp015,
         Code::Hp016,
+        Code::Hp017,
+        Code::Hp018,
+        Code::Hp019,
+        Code::Hp020,
+        Code::Hp021,
     ];
 
     /// The stable textual form, e.g. `"HP004"`.
@@ -95,6 +115,11 @@ impl Code {
             Code::Hp014 => "HP014",
             Code::Hp015 => "HP015",
             Code::Hp016 => "HP016",
+            Code::Hp017 => "HP017",
+            Code::Hp018 => "HP018",
+            Code::Hp019 => "HP019",
+            Code::Hp020 => "HP020",
+            Code::Hp021 => "HP021",
         }
     }
 
@@ -117,6 +142,11 @@ impl Code {
             Code::Hp014 => "certified bounded — UCQ-equivalent (Thm 7.5), recursion unnecessary",
             Code::Hp015 => "IDB is guaranteed empty on every input",
             Code::Hp016 => "per-SCC recursion width",
+            Code::Hp017 => "redundant body atom (folds away under core minimization)",
+            Code::Hp018 => "subsumed rule or UCQ disjunct",
+            Code::Hp019 => "homomorphically equivalent queries in one file",
+            Code::Hp020 => "cross join: body components unlinked by head variables",
+            Code::Hp021 => "inline eval expectation failed",
         }
     }
 
@@ -129,6 +159,8 @@ impl Code {
             }
             Code::Hp008 | Code::Hp009 | Code::Hp012 | Code::Hp016 => Severity::Note,
             Code::Hp010 | Code::Hp011 => Severity::Error,
+            Code::Hp017 | Code::Hp018 | Code::Hp019 | Code::Hp020 => Severity::Warning,
+            Code::Hp021 => Severity::Error,
         }
     }
 
@@ -191,6 +223,9 @@ pub struct Span {
     pub col: Option<usize>,
     /// 0-based rule index, for Datalog inputs.
     pub rule: Option<usize>,
+    /// 0-based body-atom index within the rule, for atom-level findings
+    /// (HP017).
+    pub atom: Option<usize>,
 }
 
 impl Span {
@@ -198,6 +233,15 @@ impl Span {
     pub fn rule(rule: usize) -> Span {
         Span {
             rule: Some(rule),
+            ..Span::default()
+        }
+    }
+
+    /// A span pointing at one body atom of a rule.
+    pub fn rule_atom(rule: usize, atom: usize) -> Span {
+        Span {
+            rule: Some(rule),
+            atom: Some(atom),
             ..Span::default()
         }
     }
@@ -217,6 +261,7 @@ impl From<DatalogSpan> for Span {
             line: s.line,
             col: None,
             rule: s.rule,
+            atom: None,
         }
     }
 }
@@ -264,6 +309,7 @@ impl Diagnostic {
                 line: Some(line),
                 col: Some(col),
                 rule: None,
+                atom: None,
             },
         )
     }
@@ -275,13 +321,14 @@ impl Diagnostic {
         let opt = |v: Option<usize>| v.map_or("null".to_string(), |n| n.to_string());
         format!(
             "{{\"code\": \"{}\", \"severity\": \"{}\", \"message\": {}, \
-             \"line\": {}, \"col\": {}, \"rule\": {}}}",
+             \"line\": {}, \"col\": {}, \"rule\": {}, \"atom\": {}}}",
             self.code,
             self.severity.label(),
             json_string(&self.message),
             opt(self.span.line),
             opt(self.span.col),
-            opt(self.span.rule)
+            opt(self.span.rule),
+            opt(self.span.atom)
         )
     }
 }
@@ -382,10 +429,11 @@ impl Diagnostics {
         self.items.iter().any(|d| d.code == code)
     }
 
-    /// Sort by (line, rule, code) so output order follows the source.
+    /// Sort by (line, rule, atom, code) so output order follows the
+    /// source.
     pub fn sort(&mut self) {
         self.items
-            .sort_by_key(|d| (d.span.line, d.span.rule, d.code));
+            .sort_by_key(|d| (d.span.line, d.span.rule, d.span.atom, d.code));
     }
 
     /// Render for a terminal. `source` (when available) supplies the
@@ -501,6 +549,7 @@ mod tests {
                 line: Some(3),
                 col: None,
                 rule: Some(2),
+                atom: None,
             },
         ));
         let j = ds.to_json("dir/it's.dl");
@@ -518,8 +567,8 @@ mod tests {
     #[test]
     fn codes_are_stable_strings() {
         assert_eq!(Code::Hp001.as_str(), "HP001");
-        assert_eq!(Code::Hp016.as_str(), "HP016");
-        assert_eq!(Code::ALL.len(), 16);
+        assert_eq!(Code::Hp021.as_str(), "HP021");
+        assert_eq!(Code::ALL.len(), 21);
         for (i, c) in Code::ALL.iter().enumerate() {
             assert_eq!(c.as_str(), format!("HP{:03}", i + 1));
         }
@@ -564,6 +613,7 @@ mod tests {
                 line: Some(2),
                 col: None,
                 rule: Some(1),
+                atom: None,
             },
         ));
         let r = ds.render("demo.dl", Some("T(x,y) :- E(x,y).\nT(x,q) :- E(x,x)."));

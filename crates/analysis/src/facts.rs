@@ -85,6 +85,15 @@ impl ProgramFacts {
             line: self.rule_lines.get(ri).copied().flatten(),
             col: None,
             rule: Some(ri),
+            atom: None,
+        }
+    }
+
+    /// The span for body atom `ai` of rule `ri`.
+    pub fn rule_atom_span(&self, ri: usize, ai: usize) -> Span {
+        Span {
+            atom: Some(ai),
+            ..self.rule_span(ri)
         }
     }
 

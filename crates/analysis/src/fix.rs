@@ -1,6 +1,6 @@
 //! The certified rewrite engine behind `hompres-lint --fix`.
 //!
-//! Three rewrites, each of which provably preserves the goal's
+//! Five rewrites, each of which provably preserves the goal's
 //! least-fixpoint relation on **every** input structure (and, for
 //! programs without a designated goal, every IDB's relation):
 //!
@@ -10,44 +10,90 @@
 //! - **duplicate-rule removal** (discharges HP013): Datalog has set
 //!   semantics, so a rule syntactically identical to an earlier kept rule
 //!   contributes nothing;
-//! - **goal-unreachable-predicate pruning** (discharges HP006): once dead
-//!   rules are gone, IDB predicates the goal does not depend on have no
-//!   rules left; [`fix_program`] drops them from the IDB list entirely
-//!   (remapping indices), and [`fix_source`] drops them with their rules.
+//! - **never-firing-rule removal** (discharges HP015): a rule whose body
+//!   mentions a guaranteed-empty IDB can never fire on any input. By the
+//!   exactness of [`possibly_nonempty`], every rule whose *head* is a
+//!   guaranteed-empty IDB also mentions one in its body, so the empty
+//!   predicate's rules and its uses disappear together. Applied only when
+//!   a goal is designated and itself possibly nonempty, so the rewrite
+//!   can never orphan the goal designation;
+//! - **subsumed-rule removal** (discharges HP018): a rule contained, as a
+//!   conjunctive query over the combined EDB ∪ IDB vocabulary, in another
+//!   rule for the same head derives nothing that rule does not (the
+//!   containment treats IDBs as opaque relations, so the argument holds
+//!   at every fixpoint stage, even under recursion). The semantic scan's
+//!   keep-earliest tie-break guarantees one representative of every
+//!   equivalence class survives;
+//! - **redundant-atom deletion** (discharges HP017): a body atom onto
+//!   which the rest of the body folds (core minimization, §6.2) can be
+//!   deleted without changing the rule's derivations; the per-rule flag
+//!   sets computed by [`semantic_scan`] are greedily chained, hence
+//!   jointly removable.
 //!
 //! The rewrites are *certified* in two senses: the proofs above are
-//! mechanical consequences of monotonicity (derivation trees only use
-//! rules for predicates the root depends on), and `tests/properties.rs`
-//! differential-tests every rewrite against the independent
+//! mechanical consequences of monotonicity and the Chandra–Merlin
+//! theorem, and `tests/properties.rs` differential-tests every rewrite
+//! against the independent
 //! [`evaluate_reference`](hp_datalog::Program::evaluate_reference) oracle
 //! on random programs and random EDB structures.
 //!
-//! One pass reaches a fixpoint: removing a dead or duplicate rule never
-//! makes another rule newly dead (relevance is computed from kept heads,
-//! which don't change) or newly duplicated. [`fix_source`] is therefore
-//! idempotent — running it on its own output changes nothing — and the CI
-//! exercises exactly that on the gallery fixtures.
+//! Unlike the pre-HP017 engine, one pass is **not** a fixpoint: deleting
+//! redundant atoms can turn hom-equivalent rules into syntactic
+//! duplicates, and removing a subsumed rule can make a predicate
+//! goal-irrelevant. The engine therefore runs **rounds** — rule-level
+//! removals (HP007, HP013, HP015), then subsumed rules (HP018), then
+//! redundant atoms (HP017) — re-deriving the analysis from the rewritten
+//! program after each batch, until no rewrite fires. Every round strictly
+//! decreases the rule or atom count, so termination is immediate, and the
+//! final output is a fixpoint: [`fix_source`] is byte-idempotent —
+//! running it on its own output changes nothing — and the CI exercises
+//! exactly that on the fixtures.
+//!
+//! Because later rounds re-parse the rewritten text, the `rule` indices
+//! and `line` numbers in [`RemovedRule`] / [`RemovedAtom`] records refer
+//! to the intermediate program of the round that removed them (first
+//! round = original input).
 
-use hp_datalog::{rule_byte_ranges, PredRef, Program, Rule};
+use std::collections::BTreeSet;
+
+use hp_datalog::{body_atom_byte_ranges, rule_byte_ranges, PredRef, Program, Rule};
+use hp_guard::Budget;
 use hp_structures::Vocabulary;
 
-use crate::dataflow::relevant_preds;
+use crate::dataflow::{possibly_nonempty, relevant_preds};
 use crate::diag::Code;
 use crate::facts::ProgramFacts;
-use crate::lint::{find_pragma, parse_vocab_spec};
+use crate::lint::{blank_comments, find_pragma, parse_vocab_spec};
 use crate::pdg::Pdg;
+use crate::semantic::semantic_scan;
 
 /// One rule deleted by a certified rewrite.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RemovedRule {
-    /// Index of the rule in the original program (rule order = source
-    /// order).
+    /// Index of the rule in the program of the round that removed it
+    /// (rule order = source order; first round = original input).
     pub rule: usize,
     /// 1-based source line of the rule, when known.
     pub line: Option<usize>,
     /// Head predicate name, for messages.
     pub head: String,
-    /// The diagnostic the removal discharges (HP007 or HP013).
+    /// The diagnostic the removal discharges (HP007, HP013, HP015, or
+    /// HP018).
+    pub code: Code,
+}
+
+/// One redundant body atom deleted by the HP017 rewrite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemovedAtom {
+    /// Index of the rule in the program of the round that removed it.
+    pub rule: usize,
+    /// Index of the atom within that rule's body.
+    pub atom: usize,
+    /// 1-based source line of the rule, when known.
+    pub line: Option<usize>,
+    /// The atom as displayed, e.g. `E(x,z)`.
+    pub text: String,
+    /// Always [`Code::Hp017`] today; recorded for forward compatibility.
     pub code: Code,
 }
 
@@ -58,8 +104,11 @@ pub struct ProgramFix {
     /// The fixed program. Its goal designation (pragma or default name)
     /// is carried over from the input.
     pub program: Program,
-    /// Rules removed, in ascending original index.
+    /// Rules removed, in removal order (ascending index within each
+    /// round).
     pub removed: Vec<RemovedRule>,
+    /// Redundant body atoms deleted, in removal order.
+    pub removed_atoms: Vec<RemovedAtom>,
     /// Names of IDB predicates pruned from the program (each had no
     /// live rules and was unreachable from the goal).
     pub pruned_idbs: Vec<String>,
@@ -68,7 +117,7 @@ pub struct ProgramFix {
 impl ProgramFix {
     /// Did any rewrite fire?
     pub fn changed(&self) -> bool {
-        !self.removed.is_empty() || !self.pruned_idbs.is_empty()
+        !self.removed.is_empty() || !self.removed_atoms.is_empty() || !self.pruned_idbs.is_empty()
     }
 }
 
@@ -77,24 +126,28 @@ impl ProgramFix {
 #[derive(Clone, Debug)]
 pub struct FixOutcome {
     /// The fixed source. Comments, pragmas, and all kept rules survive
-    /// byte-for-byte; only removed rules (and lines they leave entirely
-    /// blank) are deleted.
+    /// byte-for-byte; only removed rules and atoms (and lines they leave
+    /// entirely blank) are deleted.
     pub fixed: String,
-    /// Rules removed, in ascending original index.
+    /// Rules removed, in removal order (ascending index within each
+    /// round).
     pub removed: Vec<RemovedRule>,
+    /// Redundant body atoms deleted, in removal order.
+    pub removed_atoms: Vec<RemovedAtom>,
 }
 
 impl FixOutcome {
     /// Did any rewrite fire?
     pub fn changed(&self) -> bool {
-        !self.removed.is_empty()
+        !self.removed.is_empty() || !self.removed_atoms.is_empty()
     }
 }
 
-/// Decide, per rule, whether a certified rewrite removes it and which
-/// diagnostic that discharges. Dead rules are marked first; duplicates
-/// are then detected among the *kept* rules only, so the surviving copy
-/// of a duplicated rule is always the earliest kept one.
+/// Decide, per rule, whether a rule-level certified rewrite removes it
+/// and which diagnostic that discharges. Dead rules are marked first,
+/// then never-firing rules (HP015, under the goal gate), then duplicates
+/// among the *kept* rules only, so the surviving copy of a duplicated
+/// rule is always the earliest kept one.
 fn removal_plan(facts: &ProgramFacts, pdg: &Pdg) -> Vec<Option<Code>> {
     let n = facts.rules.len();
     let mut plan: Vec<Option<Code>> = vec![None; n];
@@ -104,6 +157,25 @@ fn removal_plan(facts: &ProgramFacts, pdg: &Pdg) -> Vec<Option<Code>> {
                 if h < rel.len() && !rel[h] {
                     plan[ri] = Some(Code::Hp007);
                 }
+            }
+        }
+    }
+    // HP015: rules that mention a guaranteed-empty IDB can never fire.
+    // Gated on a designated, possibly-nonempty goal: then at least one
+    // rule per live predicate survives and the goal is never orphaned.
+    let nonempty = possibly_nonempty(facts, pdg);
+    let gate = facts.goal.map(|g| nonempty[g]).unwrap_or(false);
+    if gate {
+        for (ri, r) in facts.rules.iter().enumerate() {
+            if plan[ri].is_some() {
+                continue;
+            }
+            let mentions_empty = r.body.iter().any(|a| match a.pred {
+                PredRef::Idb(i) => i < nonempty.len() && !nonempty[i],
+                PredRef::Edb(_) => false,
+            });
+            if mentions_empty {
+                plan[ri] = Some(Code::Hp015);
             }
         }
     }
@@ -136,20 +208,111 @@ fn removed_of_plan(facts: &ProgramFacts, plan: &[Option<Code>]) -> Vec<RemovedRu
         .collect()
 }
 
-/// Apply all certified rewrites to a validated program.
+/// Rules flagged HP018 (subsumed) by the semantic scan, and body atoms
+/// flagged HP017 (redundant), from one unbudgeted scan. The fix engine
+/// runs unbudgeted by design: a certified rewrite must be deterministic
+/// and complete, never truncated by a lint-time budget.
+fn semantic_plan(facts: &ProgramFacts) -> (BTreeSet<usize>, Vec<(usize, usize)>) {
+    let findings =
+        semantic_scan(facts, &Budget::unlimited()).expect("an unlimited budget cannot exhaust");
+    let mut subsumed = BTreeSet::new();
+    let mut redundant = Vec::new();
+    for d in findings {
+        match (d.code, d.span.rule, d.span.atom) {
+            (Code::Hp018, Some(ri), _) => {
+                subsumed.insert(ri);
+            }
+            (Code::Hp017, Some(ri), Some(ai)) => redundant.push((ri, ai)),
+            _ => {}
+        }
+    }
+    (subsumed, redundant)
+}
+
+/// One round of rule-level decisions for the current program: either a
+/// batch of whole-rule removals, or a batch of atom deletions, or done.
+enum RoundPlan {
+    Rules(Vec<Option<Code>>),
+    Atoms(Vec<(usize, usize)>),
+    Done,
+}
+
+fn round_plan(facts: &ProgramFacts) -> RoundPlan {
+    let pdg = Pdg::new(facts);
+    let plan = removal_plan(facts, &pdg);
+    if plan.iter().any(Option::is_some) {
+        return RoundPlan::Rules(plan);
+    }
+    let (subsumed, redundant) = semantic_plan(facts);
+    if !subsumed.is_empty() {
+        let mut plan = vec![None; facts.rules.len()];
+        for ri in subsumed {
+            plan[ri] = Some(Code::Hp018);
+        }
+        return RoundPlan::Rules(plan);
+    }
+    if !redundant.is_empty() {
+        return RoundPlan::Atoms(redundant);
+    }
+    RoundPlan::Done
+}
+
+/// Render a body atom for removal records, e.g. `E(x,z)`.
+fn atom_display(facts: &ProgramFacts, ri: usize, ai: usize) -> String {
+    let a = &facts.rules[ri].body[ai];
+    let args: Vec<String> = a.args.iter().map(|&v| facts.var_name(v)).collect();
+    format!("{}({})", facts.pred_name(a.pred), args.join(","))
+}
+
+fn removed_atoms_of(facts: &ProgramFacts, atoms: &[(usize, usize)]) -> Vec<RemovedAtom> {
+    atoms
+        .iter()
+        .map(|&(ri, ai)| RemovedAtom {
+            rule: ri,
+            atom: ai,
+            line: facts.rule_lines.get(ri).copied().flatten(),
+            text: atom_display(facts, ri, ai),
+            code: Code::Hp017,
+        })
+        .collect()
+}
+
+/// Apply all certified rewrites to a validated program, to a fixpoint.
 ///
 /// The returned program computes the same relation for the goal (for
 /// goal-less programs: for every IDB) as `p` on every input structure.
 /// IDB indices may shift when predicates are pruned; look predicates up
 /// by name in the result.
 pub fn fix_program(p: &Program) -> ProgramFix {
-    let facts = ProgramFacts::of_program(p);
-    let pdg = Pdg::new(&facts);
-    let plan = removal_plan(&facts, &pdg);
-    let removed = removed_of_plan(&facts, &plan);
+    let mut program = p.clone();
+    let mut removed: Vec<RemovedRule> = Vec::new();
+    let mut removed_atoms: Vec<RemovedAtom> = Vec::new();
+    // Every round deletes at least one rule or atom, so this bound is
+    // never reached; it is a defensive cap, not a correctness device.
+    let cap = p.rules().iter().map(|r| r.body.len() + 1).sum::<usize>() + 1;
+    for _ in 0..cap {
+        let facts = ProgramFacts::of_program(&program);
+        match round_plan(&facts) {
+            RoundPlan::Rules(plan) => {
+                removed.extend(removed_of_plan(&facts, &plan));
+                let kept: Vec<usize> = (0..facts.rules.len())
+                    .filter(|&ri| plan[ri].is_none())
+                    .collect();
+                program = rebuild(&facts, &kept, &[]);
+            }
+            RoundPlan::Atoms(atoms) => {
+                removed_atoms.extend(removed_atoms_of(&facts, &atoms));
+                let kept: Vec<usize> = (0..facts.rules.len()).collect();
+                program = rebuild(&facts, &kept, &atoms);
+            }
+            RoundPlan::Done => break,
+        }
+    }
 
-    // Which IDBs survive: all of them without a goal, otherwise exactly
-    // the goal-relevant ones (kept rules can only mention those).
+    // Final cleanup: prune IDB predicates the goal does not depend on
+    // (they have no live rules left).
+    let facts = ProgramFacts::of_program(&program);
+    let pdg = Pdg::new(&facts);
     let keep_idb: Vec<bool> = match relevant_preds(&facts, &pdg) {
         Some(rel) => rel,
         None => vec![true; facts.idbs.len()],
@@ -165,7 +328,6 @@ pub fn fix_program(p: &Program) -> ProgramFix {
             pruned_idbs.push(name.clone());
         }
     }
-
     let remap_ref = |pr: PredRef| match pr {
         PredRef::Edb(s) => PredRef::Edb(s),
         PredRef::Idb(i) => PredRef::Idb(remap[i].expect("kept rules only mention kept IDBs")),
@@ -173,9 +335,6 @@ pub fn fix_program(p: &Program) -> ProgramFix {
     let mut kept_rules: Vec<Rule> = Vec::new();
     let mut kept_lines: Vec<Option<usize>> = Vec::new();
     for (ri, r) in facts.rules.iter().enumerate() {
-        if plan[ri].is_some() {
-            continue;
-        }
         let mut r = r.clone();
         r.head.pred = remap_ref(r.head.pred);
         for a in &mut r.body {
@@ -184,7 +343,6 @@ pub fn fix_program(p: &Program) -> ProgramFix {
         kept_rules.push(r);
         kept_lines.push(facts.rule_lines.get(ri).copied().flatten());
     }
-
     let program = Program::new_with_lines(
         facts.edb.clone(),
         kept_idbs,
@@ -192,7 +350,7 @@ pub fn fix_program(p: &Program) -> ProgramFix {
         facts.var_names.clone(),
         kept_lines,
     )
-    .expect("kept rules of a valid program remain valid");
+    .expect("rewritten rules of a valid program remain valid");
     let program = match facts.goal {
         Some(g) => program
             .with_goal(&facts.idbs[g].0)
@@ -202,7 +360,43 @@ pub fn fix_program(p: &Program) -> ProgramFix {
     ProgramFix {
         program,
         removed,
+        removed_atoms,
         pruned_idbs,
+    }
+}
+
+/// Rebuild a program keeping the rules in `kept` (by index), minus the
+/// body atoms listed in `drop_atoms`. IDB indices are unchanged.
+fn rebuild(facts: &ProgramFacts, kept: &[usize], drop_atoms: &[(usize, usize)]) -> Program {
+    let mut rules: Vec<Rule> = Vec::new();
+    let mut lines: Vec<Option<usize>> = Vec::new();
+    for &ri in kept {
+        let mut r = facts.rules[ri].clone();
+        let mut dropped: Vec<usize> = drop_atoms
+            .iter()
+            .filter(|&&(dri, _)| dri == ri)
+            .map(|&(_, ai)| ai)
+            .collect();
+        dropped.sort_unstable();
+        for &ai in dropped.iter().rev() {
+            r.body.remove(ai);
+        }
+        rules.push(r);
+        lines.push(facts.rule_lines.get(ri).copied().flatten());
+    }
+    let program = Program::new_with_lines(
+        facts.edb.clone(),
+        facts.idbs.clone(),
+        rules,
+        facts.var_names.clone(),
+        lines,
+    )
+    .expect("certified rewrites keep the program valid");
+    match facts.goal {
+        Some(g) => program
+            .with_goal(&facts.idbs[g].0)
+            .expect("the goal predicate survives every certified rewrite"),
+        None => program,
     }
 }
 
@@ -215,8 +409,10 @@ pub struct FixCheck {
     /// Unified diff from the current text to the fixed text, labelled
     /// with `path`. Empty when the file is clean.
     pub diff: String,
-    /// Rules `--fix` would remove, in ascending original index.
+    /// Rules `--fix` would remove, in removal order.
     pub removed: Vec<RemovedRule>,
+    /// Redundant body atoms `--fix` would delete, in removal order.
+    pub removed_atoms: Vec<RemovedAtom>,
 }
 
 /// Dry-run form of [`fix_source`] (the engine behind `--fix=check`):
@@ -239,38 +435,68 @@ pub fn fix_check_source(
         changed,
         diff,
         removed: out.removed,
+        removed_atoms: out.removed_atoms,
     })
 }
 
-/// Apply all certified rewrites to a Datalog source text, in place.
+/// Apply all certified rewrites to a Datalog source text, in place, to a
+/// fixpoint.
 ///
 /// The vocabulary resolves exactly as in [`crate::lint`]: `# edb:`
 /// pragma, then `default`, then the digraph vocabulary `{E/2}`. Returns
 /// an error (instead of a partial fix) when the text does not parse —
 /// `--fix` never touches a file it cannot fully analyze.
 ///
-/// The rewrite deletes the byte ranges of removed rules (via
-/// [`rule_byte_ranges`]) and then drops any line left with nothing but
-/// whitespace; comments, pragmas, and kept rules are preserved
-/// byte-for-byte, so the output is stable under re-fixing.
+/// Each round deletes the byte ranges of removed rules (via
+/// [`rule_byte_ranges`]) or removed atoms with their separating commas
+/// (via [`body_atom_byte_ranges`]) and then drops any line left with
+/// nothing but whitespace; comments, pragmas, and kept rules are
+/// preserved byte-for-byte, so the output is stable under re-fixing
+/// (byte-idempotent).
 pub fn fix_source(text: &str, default: Option<&Vocabulary>) -> Result<FixOutcome, String> {
     let vocab = match find_pragma(text) {
         Some((line, spec)) => parse_vocab_spec(spec)
             .map_err(|e| format!("bad vocabulary pragma on line {line}: {e}"))?,
         None => default.cloned().unwrap_or_else(Vocabulary::digraph),
     };
-    let program = Program::parse(text, &vocab).map_err(|e| e.to_string())?;
-    let facts = ProgramFacts::of_program(&program);
-    let pdg = Pdg::new(&facts);
-    let plan = removal_plan(&facts, &pdg);
-    let removed = removed_of_plan(&facts, &plan);
-    if removed.is_empty() {
-        return Ok(FixOutcome {
-            fixed: text.to_string(),
-            removed,
-        });
+    let mut current = text.to_string();
+    let mut removed: Vec<RemovedRule> = Vec::new();
+    let mut removed_atoms: Vec<RemovedAtom> = Vec::new();
+    let cap = text.len() + 2; // defensive; rounds strictly shrink the program
+    for round in 0..cap {
+        let program = Program::parse(&current, &vocab).map_err(|e| {
+            if round == 0 {
+                e.to_string()
+            } else {
+                format!("internal error: rewritten text no longer parses: {e}")
+            }
+        })?;
+        let facts = ProgramFacts::of_program(&program);
+        match round_plan(&facts) {
+            RoundPlan::Rules(plan) => {
+                removed.extend(removed_of_plan(&facts, &plan));
+                current = remove_rules_textually(&current, &facts, &plan)?;
+            }
+            RoundPlan::Atoms(atoms) => {
+                removed_atoms.extend(removed_atoms_of(&facts, &atoms));
+                current = remove_atoms_textually(&current, &facts, &atoms)?;
+            }
+            RoundPlan::Done => break,
+        }
     }
+    Ok(FixOutcome {
+        fixed: current,
+        removed,
+        removed_atoms,
+    })
+}
 
+/// Delete the byte ranges of the rules marked in `plan`.
+fn remove_rules_textually(
+    text: &str,
+    facts: &ProgramFacts,
+    plan: &[Option<Code>],
+) -> Result<String, String> {
     let ranges = rule_byte_ranges(text);
     if ranges.len() != facts.rules.len() {
         return Err(format!(
@@ -285,8 +511,73 @@ pub fn fix_source(text: &str, default: Option<&Vocabulary>) -> Result<FixOutcome
             mask[range.clone()].fill(true);
         }
     }
-    // Drop lines a removal leaves entirely blank (but keep lines that
-    // retain a comment or another rule).
+    Ok(apply_mask(text, mask))
+}
+
+/// Delete the byte ranges of the atoms in `atoms`, together with the
+/// comma that separated each from its neighbours: the comma in the gap
+/// after atom `i` goes exactly when atom `i+1` goes or every atom up to
+/// and including `i` goes — so the survivors remain properly
+/// comma-separated.
+fn remove_atoms_textually(
+    text: &str,
+    facts: &ProgramFacts,
+    atoms: &[(usize, usize)],
+) -> Result<String, String> {
+    let ranges = body_atom_byte_ranges(text);
+    if ranges.len() != facts.rules.len() {
+        return Err(format!(
+            "internal error: {} body spans for {} rules",
+            ranges.len(),
+            facts.rules.len()
+        ));
+    }
+    // Comments may contain commas; search the comment-blanked shadow.
+    let shadow = blank_comments(text).into_bytes();
+    let mut mask = vec![false; text.len()];
+    let mut by_rule: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); facts.rules.len()];
+    for &(ri, ai) in atoms {
+        by_rule[ri].insert(ai);
+    }
+    for (ri, drop) in by_rule.iter().enumerate() {
+        if drop.is_empty() {
+            continue;
+        }
+        let spans = &ranges[ri];
+        if spans.len() != facts.rules[ri].body.len() {
+            return Err(format!(
+                "internal error: {} atom spans for {} body atoms in rule {ri}",
+                spans.len(),
+                facts.rules[ri].body.len()
+            ));
+        }
+        for &ai in drop {
+            mask[spans[ai].clone()].fill(true);
+        }
+        for gap in 0..spans.len().saturating_sub(1) {
+            let kill = drop.contains(&(gap + 1)) || (0..=gap).all(|k| drop.contains(&k));
+            if !kill {
+                continue;
+            }
+            let lo = spans[gap].end;
+            let hi = spans[gap + 1].start;
+            match (lo..hi).find(|&b| shadow[b] == b',') {
+                Some(b) => mask[b] = true,
+                None => {
+                    return Err(format!(
+                        "internal error: no comma between atoms {gap} and {} of rule {ri}",
+                        gap + 1
+                    ));
+                }
+            }
+        }
+    }
+    Ok(apply_mask(text, mask))
+}
+
+/// Drop the masked bytes; a line a removal leaves entirely blank goes
+/// with them (but lines retaining a comment or another rule stay).
+fn apply_mask(text: &str, mut mask: Vec<bool>) -> String {
     let mut pos = 0;
     for line in text.split_inclusive('\n') {
         let end = pos + line.len();
@@ -299,7 +590,7 @@ pub fn fix_source(text: &str, default: Option<&Vocabulary>) -> Result<FixOutcome
         }
         pos = end;
     }
-    // Reassemble the kept byte runs. Rule ranges and line ranges are both
+    // Reassemble the kept byte runs. Rule, atom, and line ranges are all
     // char-aligned, so every run boundary is a char boundary.
     let mut fixed = String::with_capacity(text.len());
     let mut run_start = None;
@@ -316,7 +607,7 @@ pub fn fix_source(text: &str, default: Option<&Vocabulary>) -> Result<FixOutcome
     if let Some(s) = run_start {
         fixed.push_str(&text[s..]);
     }
-    Ok(FixOutcome { fixed, removed })
+    fixed
 }
 
 #[cfg(test)]
@@ -442,5 +733,145 @@ mod tests {
         assert!(out.fixed.contains("    T(z,y)."));
         let after = Program::parse(&out.fixed, &Vocabulary::digraph()).unwrap();
         assert_eq!(after.rules().len(), 3);
+    }
+
+    #[test]
+    fn redundant_atom_is_deleted_with_its_comma() {
+        let text = "T(x,y) :- E(x,y), E(x,z).\nGoal() :- T(x,x).\n";
+        let out = fix_source(text, None).unwrap();
+        assert!(out.changed());
+        assert_eq!(out.removed_atoms.len(), 1);
+        assert_eq!(
+            (out.removed_atoms[0].rule, out.removed_atoms[0].atom),
+            (0, 1)
+        );
+        assert_eq!(out.removed_atoms[0].text, "E(x,z)");
+        assert_eq!(out.removed_atoms[0].code, Code::Hp017);
+        assert!(!out.fixed.contains("E(x,z)"), "{}", out.fixed);
+        // The separating comma went with the atom.
+        assert_eq!(out.fixed.lines().next().unwrap(), "T(x,y) :- E(x,y) .");
+        let after = Program::parse(&out.fixed, &Vocabulary::digraph()).unwrap();
+        assert_eq!(after.rules()[0].body.len(), 1);
+        // Byte-idempotent.
+        let again = fix_source(&out.fixed, None).unwrap();
+        assert!(!again.changed());
+        assert_eq!(again.fixed, out.fixed);
+    }
+
+    #[test]
+    fn leading_atom_removal_keeps_survivors_comma_separated() {
+        // E(y,y) (atom 0) folds onto E(y,z)… no — here the redundant atom
+        // is E(u,v): it folds onto E(x,y) without touching head vars.
+        let text = "T(x,y) :- E(u,v), E(x,y).\nGoal() :- T(x,x).\n";
+        let out = fix_source(text, None).unwrap();
+        assert_eq!(out.removed_atoms.len(), 1);
+        assert_eq!(out.removed_atoms[0].atom, 0);
+        let after = Program::parse(&out.fixed, &Vocabulary::digraph()).unwrap();
+        assert_eq!(after.rules()[0].body.len(), 1);
+        let again = fix_source(&out.fixed, None).unwrap();
+        assert_eq!(again.fixed, out.fixed);
+    }
+
+    #[test]
+    fn subsumed_rule_is_removed() {
+        let text = "T(x,y) :- E(x,y).\nT(x,y) :- E(x,y), E(y,y).\nGoal() :- T(x,x).\n";
+        let out = fix_source(text, None).unwrap();
+        assert_eq!(out.removed.len(), 1);
+        assert_eq!(out.removed[0].code, Code::Hp018);
+        assert_eq!(out.removed[0].rule, 1);
+        let before = Program::parse(text, &Vocabulary::digraph()).unwrap();
+        let after = Program::parse(&out.fixed, &Vocabulary::digraph()).unwrap();
+        assert_eq!(after.rules().len(), 2);
+        for a in [generators::directed_cycle(3), generators::directed_path(4)] {
+            assert_eq!(
+                before.evaluate(&a).idb("Goal"),
+                after.evaluate(&a).idb("Goal")
+            );
+        }
+    }
+
+    #[test]
+    fn renamed_duplicate_is_removed_via_subsumption() {
+        let text = "T(x,y) :- E(x,y).\nT(a,b) :- E(a,b).\nGoal() :- T(x,x).\n";
+        let out = fix_source(text, None).unwrap();
+        assert_eq!(out.removed.len(), 1);
+        assert_eq!(out.removed[0].code, Code::Hp018);
+        assert!(out.fixed.contains("T(x,y)"));
+        assert!(!out.fixed.contains("T(a,b)"));
+    }
+
+    #[test]
+    fn never_firing_rules_are_removed_and_empty_idb_pruned() {
+        let text = "T(x,y) :- E(x,y).\nP(x) :- E(x,y), P(y).\n\
+                    Goal() :- P(x).\nGoal() :- T(x,x).\n";
+        let out = fix_source(text, None).unwrap();
+        let hp15: Vec<&RemovedRule> = out
+            .removed
+            .iter()
+            .filter(|r| r.code == Code::Hp015)
+            .collect();
+        assert_eq!(hp15.len(), 2, "{:?}", out.removed);
+        assert!(!out.fixed.contains("P("), "{}", out.fixed);
+        let before = Program::parse(text, &Vocabulary::digraph()).unwrap();
+        let after = Program::parse(&out.fixed, &Vocabulary::digraph()).unwrap();
+        assert!(after.idb_index("P").is_none());
+        for a in [generators::directed_cycle(3), generators::directed_path(4)] {
+            assert_eq!(
+                before.evaluate(&a).idb("Goal"),
+                after.evaluate(&a).idb("Goal")
+            );
+        }
+    }
+
+    #[test]
+    fn empty_goal_blocks_hp015_fix() {
+        // The goal itself can never fire; fixing would orphan it, so the
+        // engine leaves the file alone.
+        let text = "P(x) :- E(x,y), P(y).\nGoal() :- P(x).\n";
+        let out = fix_source(text, None).unwrap();
+        assert!(!out.changed(), "{:?} {:?}", out.removed, out.removed_atoms);
+    }
+
+    #[test]
+    fn rounds_cascade_atom_deletion_into_duplicate_removal() {
+        // Rule 1 is both redundant-atom-carrying and subsumed by rule 0;
+        // whichever rewrite fires first, the rounds converge on two clean
+        // rules and the goal fixpoint is untouched.
+        let text = "T(x,y) :- E(x,y).\nT(x,y) :- E(x,y), E(x,z).\nGoal() :- T(x,x).\n";
+        let out = fix_source(text, None).unwrap();
+        let after = Program::parse(&out.fixed, &Vocabulary::digraph()).unwrap();
+        assert_eq!(after.rules().len(), 2, "{}", out.fixed);
+        let before = Program::parse(text, &Vocabulary::digraph()).unwrap();
+        for a in [generators::directed_cycle(3), generators::directed_path(4)] {
+            assert_eq!(
+                before.evaluate(&a).idb("Goal"),
+                after.evaluate(&a).idb("Goal")
+            );
+        }
+        let again = fix_source(&out.fixed, None).unwrap();
+        assert!(!again.changed());
+        assert_eq!(again.fixed, out.fixed);
+    }
+
+    #[test]
+    fn fix_program_mirrors_source_rewrites() {
+        let text = "T(x,y) :- E(x,y), E(x,z).\nT(x,y) :- E(x,y), E(y,y).\n\
+                    Goal() :- T(x,x).\n";
+        let p = Program::parse(text, &Vocabulary::digraph()).unwrap();
+        let fix = fix_program(&p);
+        assert!(fix.changed());
+        let out = fix_source(text, None).unwrap();
+        let from_text = Program::parse(&out.fixed, &Vocabulary::digraph()).unwrap();
+        assert_eq!(fix.program.rules().len(), from_text.rules().len());
+        for a in [generators::directed_cycle(3), generators::directed_path(5)] {
+            assert_eq!(
+                fix.program.evaluate(&a).idb("Goal"),
+                from_text.evaluate(&a).idb("Goal")
+            );
+            assert_eq!(
+                fix.program.evaluate(&a).idb("Goal"),
+                p.evaluate(&a).idb("Goal")
+            );
+        }
     }
 }

@@ -4,18 +4,34 @@
 //! The headline check is syntactic existential-positivity (HP010): by
 //! Theorem 2.2 an ∃⁺FO sentence is preserved under homomorphisms, so a
 //! formula failing the check loses the paper's guarantee. Existential-
-//! positive formulas are additionally lowered to their UCQ form and each
-//! disjunct's canonical structure gets a treewidth upper bound (HP012) —
-//! the quantity Theorem 4.4 and §7 trade against the variable budget.
+//! positive formulas are additionally lowered to their UCQ form, where
+//! each disjunct's canonical structure gets a treewidth upper bound
+//! (HP012) — the quantity Theorem 4.4 and §7 trade against the variable
+//! budget — and the semantic lints run: a disjunct contained in another
+//! contributes nothing to the union (HP018, the Sagiv–Yannakakis
+//! criterion), and a disjunct whose canonical structure is disconnected
+//! is a Cartesian product (HP020).
+//!
+//! The semantic lints charge an [`hp_guard::Budget`]; exhaustion degrades
+//! to a note (the findings already emitted stay sound), mirroring
+//! [`crate::semantic`].
 
+use hp_guard::{Budget, Gauge, Stop};
 use hp_logic::{parse_formula, ucq_of_existential_positive, Cq, Formula};
 use hp_structures::Vocabulary;
 use hp_tw::elimination::treewidth_upper_bound;
 
-use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+use crate::diag::{Code, Diagnostic, Diagnostics, Severity, Span};
 
-/// Analyze a parsed formula against a vocabulary.
+/// Analyze a parsed formula against a vocabulary with no resource limit.
 pub fn analyze_formula(f: &Formula, vocab: &Vocabulary) -> Diagnostics {
+    analyze_formula_with(f, vocab, &Budget::unlimited())
+}
+
+/// Analyze a parsed formula against a vocabulary. The semantic checks
+/// (HP018 disjunct subsumption, HP020 cross joins) charge `budget`; on
+/// exhaustion they stop with a note and every prior finding stands.
+pub fn analyze_formula_with(f: &Formula, vocab: &Vocabulary, budget: &Budget) -> Diagnostics {
     let mut out = Diagnostics::new();
     if !f.is_existential_positive() {
         let offenders = offending_connectives(f);
@@ -40,6 +56,7 @@ pub fn analyze_formula(f: &Formula, vocab: &Vocabulary) -> Diagnostics {
         ),
         Span::default(),
     ));
+    let mut disjuncts: Vec<Cq> = Vec::new();
     if f.is_conjunctive() {
         if let Ok(cq) = Cq::from_formula(f, vocab) {
             let (w, _) = treewidth_upper_bound(&cq.canonical().gaifman_graph());
@@ -53,6 +70,7 @@ pub fn analyze_formula(f: &Formula, vocab: &Vocabulary) -> Diagnostics {
                 ),
                 Span::default(),
             ));
+            disjuncts.push(cq);
         }
     } else if let Ok(ucq) = ucq_of_existential_positive(f, vocab) {
         let w = ucq
@@ -71,16 +89,129 @@ pub fn analyze_formula(f: &Formula, vocab: &Vocabulary) -> Diagnostics {
             ),
             Span::default(),
         ));
+        disjuncts.extend(ucq.disjuncts().iter().cloned());
+    }
+    let mut gauge = budget.gauge();
+    if let Err(stop) = semantic_checks(&disjuncts, &mut gauge, &mut out) {
+        out.push(Diagnostic {
+            code: Code::Hp018,
+            severity: Severity::Note,
+            message: format!(
+                "semantic analysis stopped ({} budget exhausted, {} fuel spent); \
+                 findings so far are sound — rerun with a larger budget for the rest",
+                stop.resource, stop.spent
+            ),
+            span: Span::default(),
+        });
     }
     out
 }
 
-/// Parse `text` and analyze the result; parse errors become HP011
-/// diagnostics with line/column positions.
+/// The budget-gauged semantic lints over the formula's disjuncts.
+fn semantic_checks(disjuncts: &[Cq], gauge: &mut Gauge, out: &mut Diagnostics) -> Result<(), Stop> {
+    // HP020: a disjunct whose canonical structure is disconnected (on the
+    // elements that occur in some tuple) multiplies variable-disjoint
+    // subqueries — a Cartesian product.
+    for (i, d) in disjuncts.iter().enumerate() {
+        gauge.tick(1)?;
+        let c = occupied_components(d);
+        if c >= 2 {
+            let what = if disjuncts.len() == 1 {
+                "query".to_string()
+            } else {
+                format!("disjunct {i}")
+            };
+            out.push(Diagnostic::new(
+                Code::Hp020,
+                format!(
+                    "{what} is a cross join: {c} variable-disjoint components multiply \
+                     independently (Cartesian product); join them on a shared variable"
+                ),
+                Span::default(),
+            ));
+        }
+    }
+    // HP018: disjunct i is subsumed by an unflagged disjunct j when
+    // i ⊑ j; on mutual containment only the later disjunct is flagged
+    // (keep-earliest), so one representative always survives.
+    let mut flagged = vec![false; disjuncts.len()];
+    for i in 0..disjuncts.len() {
+        for j in 0..disjuncts.len() {
+            if i == j || flagged[j] {
+                continue;
+            }
+            gauge.tick(1)?;
+            if disjuncts[i].is_contained_in_gauged(&disjuncts[j], gauge)?
+                && (j < i || !disjuncts[j].is_contained_in_gauged(&disjuncts[i], gauge)?)
+            {
+                flagged[i] = true;
+                out.push(Diagnostic::new(
+                    Code::Hp018,
+                    format!(
+                        "disjunct {i} is subsumed by disjunct {j} and contributes nothing \
+                         to the union (Sagiv–Yannakakis); drop it"
+                    ),
+                    Span::default(),
+                ));
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Connected components of a CQ's canonical structure, counted over the
+/// elements that occur in at least one tuple (isolated quantified
+/// variables and 0-ary atoms are not join factors).
+fn occupied_components(cq: &Cq) -> usize {
+    let s = cq.canonical();
+    let n = s.universe_size();
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut occupied = vec![false; n];
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (_, rel) in s.relations() {
+        for row in rel.iter() {
+            for &e in row {
+                occupied[e.index()] = true;
+            }
+            for w in row.windows(2) {
+                let (a, b) = (
+                    find(&mut parent, w[0].index()),
+                    find(&mut parent, w[1].index()),
+                );
+                parent[a] = b;
+            }
+        }
+    }
+    (0..n)
+        .filter(|&e| occupied[e])
+        .map(|e| find(&mut parent, e))
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
+}
+
+/// Parse `text` and analyze the result with no resource limit; parse
+/// errors become HP011 diagnostics with line/column positions.
 pub fn analyze_formula_source(text: &str, vocab: &Vocabulary) -> (Option<Formula>, Diagnostics) {
+    analyze_formula_source_with(text, vocab, &Budget::unlimited())
+}
+
+/// Parse `text` and analyze the result under `budget` (see
+/// [`analyze_formula_with`]).
+pub fn analyze_formula_source_with(
+    text: &str,
+    vocab: &Vocabulary,
+    budget: &Budget,
+) -> (Option<Formula>, Diagnostics) {
     match parse_formula(text, vocab) {
         Ok((f, _)) => {
-            let ds = analyze_formula(&f, vocab);
+            let ds = analyze_formula_with(&f, vocab, budget);
             (Some(f), ds)
         }
         Err(e) => {
@@ -178,7 +309,7 @@ mod tests {
     #[test]
     fn hp012_bounds_ucq_disjuncts() {
         let (f, _) = parse_formula(
-            "(exists x. E(x,x)) | (exists x. exists y. E(x,y) & E(y,x))",
+            "(exists x. E(x,x)) | (exists x. exists y. exists z. (E(x,y) & E(y,z) & E(z,x)))",
             &v(),
         )
         .unwrap();
@@ -204,5 +335,86 @@ mod tests {
         let (f, ds) = analyze_formula_source("exists x. E(x,x)", &v());
         assert!(f.is_some());
         assert!(!ds.contains(Code::Hp011));
+    }
+
+    // --- HP018 on UCQ disjuncts ---
+
+    #[test]
+    fn hp018_flags_subsumed_disjunct() {
+        // The 2-cycle query maps homomorphically onto a self-loop, so
+        // every self-loop structure already satisfies the 2-cycle
+        // disjunct: disjunct 0 adds nothing to the union.
+        let (f, _) = parse_formula(
+            "(exists x. E(x,x)) | (exists x. exists y. (E(x,y) & E(y,x)))",
+            &v(),
+        )
+        .unwrap();
+        let ds = analyze_formula(&f, &v());
+        let d = ds.iter().find(|d| d.code == Code::Hp018).unwrap();
+        assert!(
+            d.message.contains("disjunct 0 is subsumed by disjunct 1"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn hp018_keeps_earliest_of_equivalent_disjuncts() {
+        let (f, _) = parse_formula(
+            "(exists x. exists y. E(x,y)) | (exists u. exists v. E(u,v))",
+            &v(),
+        )
+        .unwrap();
+        let ds = analyze_formula(&f, &v());
+        let hits: Vec<&Diagnostic> = ds.iter().filter(|d| d.code == Code::Hp018).collect();
+        assert_eq!(hits.len(), 1, "{}", ds.render("t", None));
+        assert!(hits[0].message.contains("disjunct 1 is subsumed"));
+    }
+
+    #[test]
+    fn hp018_silent_on_incomparable_disjuncts() {
+        let (f, _) = parse_formula(
+            "(exists x. exists y. (E(x,y) & E(y,x))) | \
+             (exists x. exists y. exists z. (E(x,y) & E(y,z) & E(z,x)))",
+            &v(),
+        )
+        .unwrap();
+        let ds = analyze_formula(&f, &v());
+        assert!(!ds.contains(Code::Hp018), "{}", ds.render("t", None));
+    }
+
+    // --- HP020 on formulas ---
+
+    #[test]
+    fn hp020_flags_disconnected_cq() {
+        let (f, _) = parse_formula("exists x. exists y. (E(x,x) & E(y,y))", &v()).unwrap();
+        let ds = analyze_formula(&f, &v());
+        let d = ds.iter().find(|d| d.code == Code::Hp020).unwrap();
+        assert!(d.message.contains("cross join"), "{}", d.message);
+    }
+
+    #[test]
+    fn hp020_silent_on_connected_cq() {
+        let (f, _) = parse_formula("exists x. exists y. (E(x,y) & E(y,x))", &v()).unwrap();
+        let ds = analyze_formula(&f, &v());
+        assert!(!ds.contains(Code::Hp020));
+    }
+
+    // --- budget exhaustion ---
+
+    #[test]
+    fn formula_budget_exhaustion_is_a_note() {
+        let (f, _) = parse_formula(
+            "(exists x. E(x,x)) | (exists x. exists y. (E(x,y) & E(y,x)))",
+            &v(),
+        )
+        .unwrap();
+        let ds = analyze_formula_with(&f, &v(), &hp_guard::Budget::fuel(1));
+        assert!(!ds.has_errors());
+        let note = ds
+            .iter()
+            .find(|d| d.severity == Severity::Note && d.message.contains("budget exhausted"))
+            .expect("exhaustion note");
+        assert!(note.message.contains("sound"), "{}", note.message);
     }
 }

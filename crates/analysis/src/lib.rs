@@ -51,6 +51,7 @@ pub mod formula;
 pub mod lint;
 pub mod pass;
 pub mod pdg;
+pub mod semantic;
 
 pub use dataflow::{
     possibly_nonempty, relevant_preds, solve, stage_bounds, DataflowAnalysis, Direction,
@@ -61,11 +62,19 @@ pub use diag::{Code, Diagnostic, Diagnostics, Severity, Span};
 pub use diff::unified_diff;
 pub use facts::ProgramFacts;
 pub use fix::{
-    fix_check_source, fix_program, fix_source, FixCheck, FixOutcome, ProgramFix, RemovedRule,
+    fix_check_source, fix_program, fix_source, FixCheck, FixOutcome, ProgramFix, RemovedAtom,
+    RemovedRule,
 };
-pub use formula::{analyze_formula, analyze_formula_source};
+pub use formula::{
+    analyze_formula, analyze_formula_source, analyze_formula_source_with, analyze_formula_with,
+};
+pub use hp_logic::CanonicalCoreKey;
 pub use lint::{
-    lint_datalog_source, lint_datalog_source_with, lint_formula_source, parse_vocab_spec,
+    datalog_core_key, formula_core_key, lint_datalog_source, lint_datalog_source_with,
+    lint_formula_source, lint_formula_source_with, parse_vocab_spec,
 };
 pub use pass::{Analyzer, Pass};
 pub use pdg::Pdg;
+pub use semantic::{
+    goal_core_key, resume_semantic_scan, semantic_scan, SemanticCheckpoint, SemanticPass,
+};

@@ -12,12 +12,30 @@
 //! `# edb:`); their comment lines are blanked out — not removed — before
 //! parsing, so byte offsets in parse errors still map to the original
 //! source.
+//!
+//! Datalog files may additionally carry executable `# eval:` pragmas —
+//! inline differential test cases checked on every lint run:
+//!
+//! ```text
+//! # eval: E(0,1), E(1,2) => T(0,2), !T(2,0), Goal
+//! ```
+//!
+//! The left side lists EDB facts over natural-number constants; the
+//! right side lists expectations about the least fixpoint: `T(0,2)` must
+//! be derived, `!T(2,0)` must not be, bare `Goal` must be nonempty and
+//! `!Goal` empty. A failed expectation is an HP021 error pinned to the
+//! pragma line.
 
-use hp_structures::Vocabulary;
+use hp_guard::{Budget, Budgeted};
+use hp_logic::{parse_formula, ucq_of_existential_positive, CanonicalCoreKey};
+use hp_structures::{Elem, Structure, Vocabulary};
+
+use hp_datalog::Program;
 
 use crate::diag::{Code, Diagnostic, Diagnostics, Span};
-use crate::formula::analyze_formula_source;
+use crate::formula::analyze_formula_source_with;
 use crate::pass::Analyzer;
+use crate::semantic::goal_core_key;
 
 /// Parse a vocabulary spec like `E/2, M/1`.
 pub fn parse_vocab_spec(spec: &str) -> Result<Vocabulary, String> {
@@ -100,14 +118,328 @@ pub fn lint_datalog_source_with(
     if out.has_errors() {
         return out;
     }
-    let (_, ds) = analyzer.analyze_source(text, &vocab);
+    let (p, ds) = analyzer.analyze_source(text, &vocab);
     out.extend_from(ds);
+    // `# eval:` pragmas only make sense against a program that parsed.
+    if let Some(p) = p {
+        run_eval_pragmas(text, &p, &mut out);
+        out.sort();
+    }
     out
+}
+
+/// All `# eval:` pragma lines in `text`, with their 1-based line numbers.
+fn find_eval_pragmas(text: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        for prefix in ["# eval:", "#eval:"] {
+            if let Some(rest) = t.strip_prefix(prefix) {
+                out.push((i + 1, rest.trim()));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Split on commas at paren depth 0, trimming and dropping empty parts.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out.into_iter()
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+/// Parse `Name(c1,…,cn)` with natural-number constants; `args` is `None`
+/// for a bare `Name` (an emptiness expectation, not a tuple).
+fn parse_eval_atom(part: &str) -> Result<(&str, Option<Vec<u32>>), String> {
+    let part = part.trim();
+    let (name, args) = match part.split_once('(') {
+        None => (part, None),
+        Some((name, rest)) => {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("missing `)` in {part:?}"))?;
+            let mut args = Vec::new();
+            for a in inner.split(',') {
+                let a = a.trim();
+                if a.is_empty() && inner.trim().is_empty() {
+                    break; // 0-ary atom `Name()`
+                }
+                args.push(a.parse::<u32>().map_err(|_| {
+                    format!("bad constant {a:?} in {part:?} (want a natural number)")
+                })?);
+            }
+            (name.trim(), Some(args))
+        }
+    };
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(format!("bad predicate name {name:?} in {part:?}"));
+    }
+    Ok((name, args))
+}
+
+/// One parsed `# eval:` expectation: predicate, negation flag, and either
+/// a concrete tuple or an (non)emptiness claim.
+struct Expectation<'a> {
+    negated: bool,
+    pred: &'a str,
+    tuple: Option<Vec<u32>>,
+}
+
+/// Check every `# eval:` pragma of `text` against `p`'s least fixpoint,
+/// pushing an HP021 error per malformed pragma or failed expectation.
+fn run_eval_pragmas(text: &str, p: &Program, out: &mut Diagnostics) {
+    for (line, spec) in find_eval_pragmas(text) {
+        let err = |out: &mut Diagnostics, msg: String| {
+            out.push(Diagnostic::new(Code::Hp021, msg, Span::line(line)));
+        };
+        let Some((lhs, rhs)) = spec.split_once("=>") else {
+            err(
+                out,
+                "malformed eval pragma: missing `=>` between facts and expectations".to_string(),
+            );
+            continue;
+        };
+        // Parse both sides before building the structure: the universe is
+        // sized by the largest constant mentioned anywhere in the pragma.
+        let mut facts: Vec<(&str, Vec<u32>)> = Vec::new();
+        let mut expectations: Vec<Expectation> = Vec::new();
+        let mut max_const: u32 = 0;
+        let mut bad = false;
+        for part in split_top_level(lhs) {
+            match parse_eval_atom(part) {
+                Ok((name, Some(args))) => {
+                    max_const = max_const.max(args.iter().copied().max().unwrap_or(0));
+                    facts.push((name, args));
+                }
+                Ok((name, None)) => {
+                    err(
+                        out,
+                        format!("malformed eval pragma: fact {name:?} needs an argument list"),
+                    );
+                    bad = true;
+                }
+                Err(msg) => {
+                    err(out, format!("malformed eval pragma: {msg}"));
+                    bad = true;
+                }
+            }
+        }
+        for part in split_top_level(rhs) {
+            let (negated, part) = match part.strip_prefix('!') {
+                Some(rest) => (true, rest.trim()),
+                None => (false, part),
+            };
+            match parse_eval_atom(part) {
+                Ok((pred, tuple)) => {
+                    if let Some(t) = &tuple {
+                        max_const = max_const.max(t.iter().copied().max().unwrap_or(0));
+                    }
+                    expectations.push(Expectation {
+                        negated,
+                        pred,
+                        tuple,
+                    });
+                }
+                Err(msg) => {
+                    err(out, format!("malformed eval pragma: {msg}"));
+                    bad = true;
+                }
+            }
+        }
+        if bad {
+            continue;
+        }
+        if expectations.is_empty() {
+            err(
+                out,
+                "malformed eval pragma: no expectations on the right of `=>`".to_string(),
+            );
+            continue;
+        }
+        let mut a = Structure::new(p.edb().clone(), max_const as usize + 1);
+        let mut ok = true;
+        for (name, args) in &facts {
+            let Some(sym) = p.edb().lookup(name) else {
+                err(
+                    out,
+                    format!("eval pragma names unknown EDB predicate {name:?}"),
+                );
+                ok = false;
+                continue;
+            };
+            if let Err(e) = a.add_tuple_ids(sym.index(), args) {
+                err(out, format!("eval pragma fact {name}{args:?}: {e}"));
+                ok = false;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let result = p.evaluate(&a);
+        for e in &expectations {
+            let Some(rel) = result.idb(e.pred) else {
+                err(
+                    out,
+                    format!("eval pragma names unknown IDB predicate {:?}", e.pred),
+                );
+                continue;
+            };
+            match (&e.tuple, e.negated) {
+                (Some(t), negated) => {
+                    if t.len() != rel.arity() {
+                        err(
+                            out,
+                            format!(
+                                "eval pragma tuple for {} has {} constants but the \
+                                 predicate has arity {}",
+                                e.pred,
+                                t.len(),
+                                rel.arity()
+                            ),
+                        );
+                        continue;
+                    }
+                    let elems: Vec<Elem> = t.iter().map(|&c| Elem(c)).collect();
+                    let derived = rel.contains(&elems);
+                    if derived == negated {
+                        let args = t.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+                        err(
+                            out,
+                            if negated {
+                                format!(
+                                    "eval expectation failed: {}({args}) is derived but \
+                                     should not be",
+                                    e.pred
+                                )
+                            } else {
+                                format!(
+                                    "eval expectation failed: {}({args}) should be derived \
+                                     but is not",
+                                    e.pred
+                                )
+                            },
+                        );
+                    }
+                }
+                (None, false) => {
+                    if rel.is_empty() {
+                        err(
+                            out,
+                            format!(
+                                "eval expectation failed: {} should be nonempty but is empty",
+                                e.pred
+                            ),
+                        );
+                    }
+                }
+                (None, true) => {
+                    if !rel.is_empty() {
+                        err(
+                            out,
+                            format!(
+                                "eval expectation failed: {} should be empty but has \
+                                 {} tuple{}",
+                                e.pred,
+                                rel.len(),
+                                if rel.len() == 1 { "" } else { "s" }
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Resolve the vocabulary as the linter would, but make a malformed
+/// pragma a hard error (the core-key entry points have no diagnostics
+/// channel to degrade into).
+fn resolve_vocab_strict(text: &str, default: Option<&Vocabulary>) -> Result<Vocabulary, String> {
+    match find_pragma(text) {
+        Some((line, spec)) => parse_vocab_spec(spec)
+            .map_err(|msg| format!("bad vocabulary pragma on line {line}: {msg}")),
+        None => Ok(default.cloned().unwrap_or_else(Vocabulary::digraph)),
+    }
+}
+
+/// The canonical-core key of a Datalog source's goal query, for use as an
+/// answer-cache key: two sources get the same key exactly when their
+/// goal UCQs are homomorphically equivalent (same core up to
+/// isomorphism). Returns
+///
+/// - `Err(msg)` when the source does not parse (or has a bad pragma),
+/// - `Ok(Ok(None))` when no key exists — the program is recursive or has
+///   no designated goal,
+/// - `Ok(Ok(Some(key)))` on success, and
+/// - `Ok(Err(exhausted))` when `budget` ran out mid-computation; resume
+///   by rerunning with a larger budget.
+pub fn datalog_core_key(
+    text: &str,
+    default: Option<&Vocabulary>,
+    budget: &Budget,
+) -> Result<Budgeted<Option<CanonicalCoreKey>, ()>, String> {
+    let vocab = resolve_vocab_strict(text, default)?;
+    let p = Program::parse(text, &vocab).map_err(|e| e.to_string())?;
+    Ok(goal_core_key(&p, budget))
+}
+
+/// The canonical-core key of an existential-positive formula source, with
+/// the same contract as [`datalog_core_key`]; `Ok(Ok(None))` means the
+/// formula is not existential-positive (no UCQ form, hence no key).
+pub fn formula_core_key(
+    text: &str,
+    default: Option<&Vocabulary>,
+    budget: &Budget,
+) -> Result<Budgeted<Option<CanonicalCoreKey>, ()>, String> {
+    let vocab = resolve_vocab_strict(text, default)?;
+    let blanked = blank_comments(text);
+    if blanked.trim().is_empty() {
+        return Err("no formula found (file is empty or all comments)".to_string());
+    }
+    let (f, _) = parse_formula(&blanked, &vocab).map_err(|e| format!("parse error: {e}"))?;
+    if !f.is_existential_positive() {
+        return Ok(Ok(None));
+    }
+    let ucq = ucq_of_existential_positive(&f, &vocab)?;
+    let mut gauge = budget.gauge();
+    Ok(ucq
+        .canonical_core_key_gauged(&mut gauge)
+        .map(Some)
+        .map_err(|s| s.with_partial(())))
 }
 
 /// Lint a formula source text. `#` comments are blanked (offset-
 /// preserving) before parsing; the vocabulary resolves as for Datalog.
 pub fn lint_formula_source(text: &str, default: Option<&Vocabulary>) -> Diagnostics {
+    lint_formula_source_with(text, default, &Budget::unlimited())
+}
+
+/// Like [`lint_formula_source`], but the semantic checks (HP018/HP020 on
+/// the formula's disjuncts) charge `budget` and degrade to a note on
+/// exhaustion.
+pub fn lint_formula_source_with(
+    text: &str,
+    default: Option<&Vocabulary>,
+    budget: &Budget,
+) -> Diagnostics {
     let mut out = Diagnostics::new();
     let vocab = resolve_vocab(text, default, &mut out);
     if out.has_errors() {
@@ -122,14 +454,14 @@ pub fn lint_formula_source(text: &str, default: Option<&Vocabulary>) -> Diagnost
         ));
         return out;
     }
-    let (_, ds) = analyze_formula_source(&blanked, &vocab);
+    let (_, ds) = analyze_formula_source_with(&blanked, &vocab, budget);
     out.extend_from(ds);
     out
 }
 
 /// Replace every `#`-to-end-of-line comment with spaces, keeping byte
 /// offsets (and hence error line/column positions) identical.
-fn blank_comments(text: &str) -> String {
+pub(crate) fn blank_comments(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for (i, line) in text.split('\n').enumerate() {
         if i > 0 {
@@ -207,6 +539,184 @@ mod tests {
     fn empty_formula_file_is_reported() {
         let ds = lint_formula_source("# vocab: E/2\n# nothing here\n", None);
         assert!(ds.contains(Code::Hp011));
+    }
+
+    // --- `# eval:` pragmas ---
+
+    const TC: &str = "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\n";
+
+    #[test]
+    fn eval_pragma_passes_on_correct_expectations() {
+        let src = format!("# eval: E(0,1), E(1,2) => T(0,2), !T(2,0), T\n{TC}");
+        let ds = lint_datalog_source(&src, None);
+        assert!(!ds.contains(Code::Hp021), "{}", ds.render("t", None));
+    }
+
+    #[test]
+    fn eval_pragma_reports_failed_membership() {
+        let src = format!("# eval: E(0,1) => T(1,0)\n{TC}");
+        let ds = lint_datalog_source(&src, None);
+        let d = ds.iter().find(|d| d.code == Code::Hp021).unwrap();
+        assert!(
+            d.message.contains("T(1,0) should be derived but is not"),
+            "{}",
+            d.message
+        );
+        assert_eq!(d.span.line, Some(1));
+        assert!(ds.has_errors());
+    }
+
+    #[test]
+    fn eval_pragma_reports_unexpected_tuple_and_nonemptiness() {
+        let src = format!("# eval: E(0,0) => !T(0,0), !T\n{TC}");
+        let ds = lint_datalog_source(&src, None);
+        let msgs: Vec<&str> = ds
+            .iter()
+            .filter(|d| d.code == Code::Hp021)
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(msgs.len(), 2, "{msgs:?}");
+        assert!(msgs[0].contains("T(0,0) is derived but should not be"));
+        assert!(msgs[1].contains("T should be empty but has 1 tuple"));
+    }
+
+    #[test]
+    fn eval_pragma_checks_emptiness_with_no_facts() {
+        // An empty left side is allowed: evaluate on a 1-element empty
+        // structure and expect nothing derivable.
+        let src = format!("# eval: => !T\n{TC}");
+        let ds = lint_datalog_source(&src, None);
+        assert!(!ds.contains(Code::Hp021), "{}", ds.render("t", None));
+    }
+
+    #[test]
+    fn malformed_eval_pragmas_are_hp021() {
+        for (spec, needle) in [
+            ("# eval: E(0,1)", "missing `=>`"),
+            ("# eval: E(0,1) =>", "no expectations"),
+            ("# eval: E(x,1) => T", "bad constant"),
+            ("# eval: E(0,1 => T", "missing `)`"),
+            ("# eval: E => T", "needs an argument list"),
+            ("# eval: Q(0,1) => T", "unknown EDB predicate"),
+            ("# eval: E(0,1) => Missing(0,1)", "unknown IDB predicate"),
+            ("# eval: E(0,1) => T(0)", "arity"),
+            ("# eval: E(0,1,2) => T", "eval pragma fact"),
+        ] {
+            let src = format!("{spec}\n{TC}");
+            let ds = lint_datalog_source(&src, None);
+            let hit = ds
+                .iter()
+                .any(|d| d.code == Code::Hp021 && d.message.contains(needle));
+            assert!(
+                hit,
+                "spec {spec:?}: wanted {needle:?} in\n{}",
+                ds.render("t", None)
+            );
+        }
+    }
+
+    #[test]
+    fn eval_pragmas_are_skipped_when_parse_fails() {
+        let ds = lint_datalog_source("# eval: E(0,1) => T(1,0)\nT(x,y) :- E(x,y", None);
+        assert!(!ds.contains(Code::Hp021));
+        assert!(ds.has_errors()); // the parse error itself
+    }
+
+    // --- core-key entry points ---
+
+    #[test]
+    fn datalog_core_key_is_stable_under_renaming() {
+        let b = hp_guard::Budget::unlimited();
+        let k1 = datalog_core_key("T(x,z) :- E(x,y), E(y,z).\nGoal() :- T(a,a).", None, &b)
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        let k2 = datalog_core_key("T(u,w) :- E(u,v), E(v,w).\nGoal() :- T(q,q).", None, &b)
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn datalog_core_key_is_none_for_recursive_programs() {
+        let b = hp_guard::Budget::unlimited();
+        let k = datalog_core_key(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\nGoal() :- T(x,x).",
+            None,
+            &b,
+        )
+        .unwrap()
+        .unwrap();
+        assert!(k.is_none());
+    }
+
+    #[test]
+    fn datalog_core_key_surfaces_parse_errors() {
+        let b = hp_guard::Budget::unlimited();
+        assert!(datalog_core_key("T(x,y) :- E(x,y", None, &b).is_err());
+    }
+
+    #[test]
+    fn formula_core_key_matches_equivalent_datalog_goal() {
+        let b = hp_guard::Budget::unlimited();
+        let kf = formula_core_key("exists x. exists y. (E(x,y) & E(y,x))", None, &b)
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        let kd = datalog_core_key("Goal() :- E(x,y), E(y,x).", None, &b)
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        assert_eq!(kf, kd);
+    }
+
+    #[test]
+    fn formula_core_key_is_none_for_non_positive_formulas() {
+        let b = hp_guard::Budget::unlimited();
+        let k = formula_core_key("forall x. E(x,x)", None, &b)
+            .unwrap()
+            .unwrap();
+        assert!(k.is_none());
+    }
+
+    #[test]
+    fn formula_core_key_collapses_subsumed_disjuncts() {
+        let b = hp_guard::Budget::unlimited();
+        let k1 = formula_core_key(
+            "(exists x. E(x,x)) | (exists x. exists y. (E(x,y) & E(y,x)))",
+            None,
+            &b,
+        )
+        .unwrap()
+        .unwrap()
+        .unwrap();
+        // The self-loop disjunct is contained in the 2-cycle disjunct, so
+        // the union collapses to the 2-cycle query alone.
+        let k2 = formula_core_key("exists x. exists y. (E(x,y) & E(y,x))", None, &b)
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn core_key_budget_exhaustion_is_resumable_by_retry() {
+        let k = datalog_core_key(
+            "Goal() :- E(x,y), E(y,z), E(z,x).",
+            None,
+            &hp_guard::Budget::fuel(1),
+        )
+        .unwrap();
+        assert!(k.is_err(), "fuel(1) must exhaust");
+        let full = datalog_core_key(
+            "Goal() :- E(x,y), E(y,z), E(z,x).",
+            None,
+            &hp_guard::Budget::unlimited(),
+        )
+        .unwrap()
+        .unwrap();
+        assert!(full.is_some());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use hp_structures::Vocabulary;
 
 use crate::diag::{Code, Diagnostic, Diagnostics};
 use crate::facts::ProgramFacts;
+use crate::semantic::SemanticPass;
 
 /// A single static-analysis pass. Passes are stateless: they read the
 /// facts and append diagnostics.
@@ -30,12 +31,11 @@ impl Analyzer {
         Analyzer::default()
     }
 
-    /// The full default pipeline: validation (HP002–HP005), hygiene
+    /// The syntactic pipeline: validation (HP002–HP005), hygiene
     /// (HP006, HP007, HP013, HP015), and classification notes (HP008,
-    /// HP009, HP012, HP016), in that order. The budgeted boundedness
-    /// check (HP014) is **not** included — opt in with
-    /// [`Analyzer::with_boundedness`].
-    pub fn default_pipeline() -> Analyzer {
+    /// HP009, HP012, HP016), in that order — everything except the
+    /// containment-based semantic checks of [`SemanticPass`].
+    pub fn syntactic_pipeline() -> Analyzer {
         use crate::datalog_passes::*;
         Analyzer::new()
             .with_pass(Box::new(HeadPass))
@@ -49,6 +49,22 @@ impl Analyzer {
             .with_pass(Box::new(SccWidthPass))
             .with_pass(Box::new(VarCountPass))
             .with_pass(Box::new(RuleTreewidthPass))
+    }
+
+    /// The full default pipeline: [`syntactic_pipeline`]
+    /// (Analyzer::syntactic_pipeline) followed by the semantic
+    /// containment checks (HP017–HP020, unlimited budget). The budgeted
+    /// boundedness check (HP014) is **not** included — opt in with
+    /// [`Analyzer::with_boundedness`].
+    pub fn default_pipeline() -> Analyzer {
+        Analyzer::syntactic_pipeline().with_pass(Box::new(SemanticPass::default()))
+    }
+
+    /// The syntactic pipeline plus the semantic checks under an explicit
+    /// resource budget; on exhaustion the semantic pass degrades to a
+    /// note and every finding already made stands.
+    pub fn with_semantic_budget(budget: hp_guard::Budget) -> Analyzer {
+        Analyzer::syntactic_pipeline().with_pass(Box::new(SemanticPass::new(budget)))
     }
 
     /// The default pipeline plus the opt-in budgeted boundedness
@@ -132,11 +148,22 @@ mod tests {
             Code::Hp013,
             Code::Hp015,
             Code::Hp016,
+            Code::Hp017,
+            Code::Hp018,
+            Code::Hp019,
+            Code::Hp020,
         ] {
             assert!(covered.contains(&c), "no pass emits {c}");
         }
-        // HP014 is opt-in, not part of the default pipeline.
+        // HP014 is opt-in, not part of the default pipeline, and the
+        // syntactic pipeline stops short of the semantic codes.
         assert!(!covered.contains(&Code::Hp014));
+        let syn: Vec<Code> = Analyzer::syntactic_pipeline()
+            .passes()
+            .flat_map(|p| p.codes().iter().copied())
+            .collect();
+        assert!(!syn.contains(&Code::Hp017));
+        assert!(!syn.contains(&Code::Hp020));
         let b = Analyzer::with_boundedness(2, hp_guard::Budget::unlimited());
         let covered: Vec<Code> = b.passes().flat_map(|p| p.codes().iter().copied()).collect();
         assert!(covered.contains(&Code::Hp014));
@@ -150,7 +177,6 @@ mod tests {
             ("reach_leaf", gallery::reach_leaf()),
             ("same_generation", gallery::same_generation()),
             ("two_hop", gallery::two_hop()),
-            ("absorbed_recursion", gallery::absorbed_recursion()),
             ("bounded_reach_3", gallery::bounded_reach(3)),
         ];
         let a = Analyzer::default_pipeline();
@@ -164,6 +190,20 @@ mod tests {
                 ds.render(name, None)
             );
         }
+        // `absorbed_recursion` exists precisely because its recursive rule
+        // is absorbed by the base rule — the semantic subsumption check is
+        // expected to see through it.
+        let ds = a.analyze_program(&gallery::absorbed_recursion());
+        assert!(
+            !ds.has_errors(),
+            "{}",
+            ds.render("absorbed_recursion", None)
+        );
+        assert!(
+            ds.contains(Code::Hp018),
+            "{}",
+            ds.render("absorbed_recursion", None)
+        );
     }
 
     #[test]

@@ -1,0 +1,849 @@
+//! Semantic query analysis: core-based rule minimization, containment
+//! lints, and the canonical-core key.
+//!
+//! The syntactic passes ([`crate::datalog_passes`]) never look *inside* a
+//! rule body. This module does, through the Chandra–Merlin lens
+//! (Theorem 2.1): every rule body is the canonical conjunctive query of a
+//! structure over the combined EDB ∪ IDB vocabulary, with the head
+//! arguments as free positions. CQ containment, core minimization
+//! (§6.2), and canonical labelling then yield four semantic lints:
+//!
+//! - **HP017 redundant atom** — the body folds onto itself without the
+//!   atom, so deleting it preserves the rule's derivations *on every
+//!   input and at every fixpoint stage* (the containment is over the
+//!   combined vocabulary, treating IDBs as opaque relations, so it holds
+//!   for arbitrary IDB values — valid even in recursive programs);
+//! - **HP018 subsumed rule** — another rule for the same head contains
+//!   this one, so this one derives nothing new (same stage-wise
+//!   argument);
+//! - **HP019 equivalent queries** — in a nonrecursive program, two IDB
+//!   predicates whose unfolded UCQs are homomorphically equivalent
+//!   (identical canonical cores);
+//! - **HP020 cross join** — the body's variable-sharing graph is
+//!   disconnected, so variable-disjoint atom groups multiply
+//!   independently (a Cartesian product, usually a bug and always a
+//!   blow-up risk).
+//!
+//! Every check charges an [`hp_guard`] budget. Exhaustion is graceful:
+//! the scan stops at a deterministic item boundary, reports the findings
+//! confirmed so far (never a wrong verdict), and hands back a
+//! [`SemanticCheckpoint`] from which [`resume_semantic_scan`] continues
+//! under the exact-resume law — fuel `f1` then a resume with `f2` lands
+//! in the same state as one uninterrupted run with `f1 + f2`.
+//!
+//! [`goal_core_key`] exposes the cache identity: the canonical-core key
+//! of the goal's unfolded UCQ, stable across runs, machines, variable
+//! renamings, redundant atoms, and disjunct order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hp_datalog::{stage_ucq, DatalogAtom, PredRef, Program, Rule};
+use hp_guard::{Budget, Budgeted, Gauge, GaugeState, Stop};
+use hp_logic::{CanonicalCoreKey, Cq};
+use hp_structures::{Elem, Structure, Vocabulary};
+
+use crate::datalog_passes::{recursion_class, RecursionClass};
+use crate::diag::{Code, Diagnostic, Diagnostics, Severity};
+use crate::facts::ProgramFacts;
+use crate::pass::Pass;
+
+/// One unit of semantic work. The item list is a deterministic function
+/// of the program, which is what makes checkpoints exact: a resumed scan
+/// rebuilds the same list and continues at the recorded index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Item {
+    /// HP020 on rule `ri`.
+    CrossJoin(usize),
+    /// HP017 on body atom `ai` of rule `ri`.
+    Redundant(usize, usize),
+    /// HP018 on rule `ri`.
+    Subsumed(usize),
+    /// HP019 on the IDB pair `(i, j)`, `i < j`.
+    Equivalent(usize, usize),
+}
+
+impl Item {
+    fn code(self) -> Code {
+        match self {
+            Item::CrossJoin(_) => Code::Hp020,
+            Item::Redundant(_, _) => Code::Hp017,
+            Item::Subsumed(_) => Code::Hp018,
+            Item::Equivalent(_, _) => Code::Hp019,
+        }
+    }
+
+    fn describe(self, facts: &ProgramFacts) -> String {
+        match self {
+            Item::CrossJoin(ri) => format!("cross-join check on rule {ri}"),
+            Item::Redundant(ri, ai) => format!("redundancy check on atom {ai} of rule {ri}"),
+            Item::Subsumed(ri) => format!("subsumption check on rule {ri}"),
+            Item::Equivalent(i, j) => format!(
+                "equivalence check on {} and {}",
+                facts.idbs.get(i).map(|(n, _)| n.as_str()).unwrap_or("?"),
+                facts.idbs.get(j).map(|(n, _)| n.as_str()).unwrap_or("?"),
+            ),
+        }
+    }
+}
+
+/// The deterministic item list: per-rule cross-join checks, per-atom
+/// redundancy checks, per-rule subsumption checks, then (nonrecursive
+/// programs only) per-IDB-pair equivalence checks.
+fn items_of(facts: &ProgramFacts, nonrecursive: bool) -> Vec<Item> {
+    let mut items = Vec::new();
+    for ri in 0..facts.rules.len() {
+        items.push(Item::CrossJoin(ri));
+    }
+    for (ri, r) in facts.rules.iter().enumerate() {
+        for ai in 0..r.body.len() {
+            items.push(Item::Redundant(ri, ai));
+        }
+    }
+    for ri in 0..facts.rules.len() {
+        items.push(Item::Subsumed(ri));
+    }
+    if nonrecursive {
+        for i in 0..facts.idbs.len() {
+            for j in i + 1..facts.idbs.len() {
+                if facts.idbs[i].1 == facts.idbs[j].1 {
+                    items.push(Item::Equivalent(i, j));
+                }
+            }
+        }
+    }
+    items
+}
+
+/// A paused semantic scan: how far it got, the fuel position **at the
+/// start of the interrupted item**, and the findings confirmed so far.
+///
+/// Resuming re-executes the interrupted item from scratch with the
+/// recorded fuel position, which is exactly what an uninterrupted run
+/// with the combined fuel would have done — the exact-resume law at item
+/// granularity.
+#[derive(Clone, Debug)]
+pub struct SemanticCheckpoint {
+    next_item: usize,
+    gauge: GaugeState,
+    findings: Vec<Diagnostic>,
+}
+
+impl SemanticCheckpoint {
+    /// Findings confirmed before the budget ran out. Every one is final:
+    /// exhaustion can truncate the list, never corrupt it.
+    pub fn findings(&self) -> &[Diagnostic] {
+        &self.findings
+    }
+
+    /// The fuel position to hand to [`Budget::resume`].
+    pub fn gauge(&self) -> GaugeState {
+        self.gauge
+    }
+
+    /// How many checks completed.
+    pub fn items_done(&self) -> usize {
+        self.next_item
+    }
+}
+
+/// The combined EDB ∪ IDB vocabulary rule bodies are interpreted over.
+/// IDB symbols are prefixed `idb:` — EDB names are `[A-Za-z0-9_]+`, so
+/// the prefix cannot collide even when an IDB shadows an EDB name.
+fn combined_vocab(facts: &ProgramFacts) -> Vocabulary {
+    let mut pairs: Vec<(String, usize)> = facts
+        .edb
+        .iter()
+        .map(|(_, s)| (s.name.clone(), s.arity))
+        .collect();
+    for (n, a) in &facts.idbs {
+        pairs.push((format!("idb:{n}"), *a));
+    }
+    Vocabulary::from_pairs(pairs.iter().map(|(n, a)| (n.as_str(), *a)))
+}
+
+/// The combined-vocabulary symbol index of a predicate reference.
+fn symbol_index(facts: &ProgramFacts, vocab: &Vocabulary, pred: PredRef) -> Option<usize> {
+    let name = match pred {
+        PredRef::Edb(s) => facts.edb.symbol(s).name.clone(),
+        PredRef::Idb(i) => format!("idb:{}", facts.idbs.get(i)?.0),
+    };
+    vocab.lookup(&name).map(|s| s.index())
+}
+
+/// Build the conjunctive query of a rule fragment: canonical structure
+/// with one element per distinct variable of `head_args` ∪ `body`, one
+/// tuple per body atom, free positions = the head arguments. Charges one
+/// fuel unit per tuple. `None` when the fragment does not resolve (bad
+/// arity or predicate in raw facts).
+fn fragment_cq(
+    facts: &ProgramFacts,
+    vocab: &Vocabulary,
+    head_args: &[u32],
+    body: &[&DatalogAtom],
+    gauge: &mut Gauge,
+) -> Result<Option<Cq>, Stop> {
+    let mut vars: BTreeSet<u32> = head_args.iter().copied().collect();
+    for a in body {
+        vars.extend(a.args.iter().copied());
+    }
+    let id: BTreeMap<u32, u32> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let mut s = Structure::new(vocab.clone(), vars.len());
+    for a in body {
+        gauge.tick(1)?;
+        let Some(sym) = symbol_index(facts, vocab, a.pred) else {
+            return Ok(None);
+        };
+        let args: Vec<u32> = a.args.iter().map(|v| id[v]).collect();
+        if s.add_tuple_ids(sym, &args).is_err() {
+            return Ok(None);
+        }
+    }
+    let free: Vec<Elem> = head_args.iter().map(|v| Elem(id[v])).collect();
+    Ok(Some(Cq::with_free(&s, &free)))
+}
+
+/// The whole-rule CQ: body atoms as the body, head arguments free.
+fn rule_cq(
+    facts: &ProgramFacts,
+    vocab: &Vocabulary,
+    rule: &Rule,
+    gauge: &mut Gauge,
+) -> Result<Option<Cq>, Stop> {
+    let body: Vec<&DatalogAtom> = rule.body.iter().collect();
+    fragment_cq(facts, vocab, &rule.head.args, &body, gauge)
+}
+
+/// Number of connected components of the variable-sharing graph on the
+/// body atoms that carry at least one variable (0-ary guard atoms are
+/// scale factors 0 or 1, never a product blow-up, and are ignored).
+fn body_components(rule: &Rule) -> usize {
+    let atoms: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !a.args.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    let mut parent: Vec<usize> = (0..atoms.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut owner: BTreeMap<u32, usize> = BTreeMap::new();
+    for (ai, &orig) in atoms.iter().enumerate() {
+        for &v in &rule.body[orig].args {
+            match owner.get(&v) {
+                Some(&other) => {
+                    let (a, b) = (find(&mut parent, ai), find(&mut parent, other));
+                    parent[a] = b;
+                }
+                None => {
+                    owner.insert(v, ai);
+                }
+            }
+        }
+    }
+    (0..atoms.len())
+        .map(|i| find(&mut parent, i))
+        .collect::<BTreeSet<_>>()
+        .len()
+}
+
+/// Render a body atom for messages, e.g. `E(x,z)`.
+fn atom_text(facts: &ProgramFacts, a: &DatalogAtom) -> String {
+    let args: Vec<String> = a.args.iter().map(|&v| facts.var_name(v)).collect();
+    format!("{}({})", facts.pred_name(a.pred), args.join(","))
+}
+
+/// Scan context built once per (re)entry; a deterministic function of
+/// the facts, so scans and resumes agree on it.
+struct Ctx {
+    vocab: Vocabulary,
+    program: Option<Program>,
+    nonrecursive: bool,
+}
+
+impl Ctx {
+    fn new(facts: &ProgramFacts) -> Ctx {
+        let program = Program::new(
+            facts.edb.clone(),
+            facts.idbs.clone(),
+            facts.rules.clone(),
+            facts.var_names.clone(),
+        )
+        .ok()
+        .and_then(|p| match facts.goal {
+            Some(g) => p.with_goal(&facts.idbs[g].0).ok(),
+            None => Some(p),
+        });
+        Ctx {
+            vocab: combined_vocab(facts),
+            program,
+            nonrecursive: recursion_class(facts) == RecursionClass::Nonrecursive,
+        }
+    }
+}
+
+/// Body-atom indices of rule `ri` already flagged HP017 in `findings`.
+fn flagged_atoms(findings: &[Diagnostic], ri: usize) -> BTreeSet<usize> {
+    findings
+        .iter()
+        .filter(|d| d.code == Code::Hp017 && d.span.rule == Some(ri))
+        .filter_map(|d| d.span.atom)
+        .collect()
+}
+
+/// Rule indices already flagged HP018 in `findings`.
+fn flagged_rules(findings: &[Diagnostic]) -> BTreeSet<usize> {
+    findings
+        .iter()
+        .filter(|d| d.code == Code::Hp018)
+        .filter_map(|d| d.span.rule)
+        .collect()
+}
+
+/// Run one item, appending at most one finding. Deterministic; every
+/// nontrivial step charges `gauge`.
+fn run_item(
+    facts: &ProgramFacts,
+    ctx: &Ctx,
+    item: Item,
+    findings: &mut Vec<Diagnostic>,
+    gauge: &mut Gauge,
+) -> Result<(), Stop> {
+    match item {
+        Item::CrossJoin(ri) => {
+            gauge.tick(1)?;
+            let rule = &facts.rules[ri];
+            let c = body_components(rule);
+            if c >= 2 {
+                findings.push(Diagnostic::new(
+                    Code::Hp020,
+                    format!(
+                        "rule body is a cross join: {c} variable-disjoint atom groups \
+                         multiply independently (Cartesian product); join them on a \
+                         shared variable or split the rule"
+                    ),
+                    facts.rule_span(ri),
+                ));
+            }
+        }
+        Item::Redundant(ri, ai) => {
+            gauge.tick(1)?;
+            let rule = &facts.rules[ri];
+            let flagged = flagged_atoms(findings, ri);
+            // Base body: the atoms not already flagged this scan — the
+            // set that remains when the flagged ones are deleted, so the
+            // per-rule flag set is jointly removable.
+            let base: Vec<usize> = (0..rule.body.len())
+                .filter(|k| !flagged.contains(k))
+                .collect();
+            if !base.contains(&ai) || base.len() < 2 {
+                return Ok(()); // deleting the last atom would unmake the rule
+            }
+            let minus: Vec<usize> = base.iter().copied().filter(|&k| k != ai).collect();
+            // Deleting the atom must not unbind a head variable (the
+            // rewritten rule must stay safe).
+            let bound: BTreeSet<u32> = minus
+                .iter()
+                .flat_map(|&k| rule.body[k].args.iter().copied())
+                .collect();
+            if rule.head.args.iter().any(|v| !bound.contains(v)) {
+                return Ok(());
+            }
+            let full_atoms: Vec<&DatalogAtom> = base.iter().map(|&k| &rule.body[k]).collect();
+            let minus_atoms: Vec<&DatalogAtom> = minus.iter().map(|&k| &rule.body[k]).collect();
+            let (Some(full), Some(minus)) = (
+                fragment_cq(facts, &ctx.vocab, &rule.head.args, &full_atoms, gauge)?,
+                fragment_cq(facts, &ctx.vocab, &rule.head.args, &minus_atoms, gauge)?,
+            ) else {
+                return Ok(());
+            };
+            // `full ⊑ minus` always (fewer atoms, weaker body); the atom
+            // is redundant exactly when the converse holds too.
+            if minus.is_contained_in_gauged(&full, gauge)? {
+                findings.push(Diagnostic::new(
+                    Code::Hp017,
+                    format!(
+                        "body atom {} is redundant: the body folds onto itself without it \
+                         (core minimization, §6.2); deleting it preserves every derivation",
+                        atom_text(facts, &rule.body[ai]),
+                    ),
+                    facts.rule_atom_span(ri, ai),
+                ));
+            }
+        }
+        Item::Subsumed(ri) => {
+            let rule = &facts.rules[ri];
+            let skip = flagged_rules(findings);
+            if skip.contains(&ri) {
+                return Ok(());
+            }
+            let Some(ci) = rule_cq(facts, &ctx.vocab, rule, gauge)? else {
+                return Ok(());
+            };
+            for (rj, other) in facts.rules.iter().enumerate() {
+                gauge.tick(1)?;
+                if rj == ri || skip.contains(&rj) || other.head.pred != rule.head.pred {
+                    continue;
+                }
+                if *other == *rule {
+                    continue; // exact duplicates are HP013's finding
+                }
+                let Some(cj) = rule_cq(facts, &ctx.vocab, other, gauge)? else {
+                    continue;
+                };
+                // Keep-earliest tie-break: on mutual containment, only
+                // the later rule is flagged, so one copy always survives.
+                if ci.is_contained_in_gauged(&cj, gauge)?
+                    && (rj < ri || !cj.is_contained_in_gauged(&ci, gauge)?)
+                {
+                    findings.push(Diagnostic::new(
+                        Code::Hp018,
+                        format!(
+                            "rule is subsumed by rule {rj}{}: everything it derives for {} \
+                             that rule already derives, on every input and at every \
+                             fixpoint stage",
+                            other_line(facts, rj),
+                            facts.pred_name(rule.head.pred),
+                        ),
+                        facts.rule_span(ri),
+                    ));
+                    return Ok(());
+                }
+            }
+        }
+        Item::Equivalent(i, j) => {
+            gauge.tick(1)?;
+            let Some(p) = &ctx.program else {
+                return Ok(());
+            };
+            let m = facts.idbs.len();
+            let (Ok(ui), Ok(uj)) = (stage_ucq(p, i, m), stage_ucq(p, j, m)) else {
+                return Ok(());
+            };
+            gauge.tick((ui.len() + uj.len()) as u64)?;
+            if ui.is_equivalent_to_gauged(&uj, gauge)? {
+                let span = facts
+                    .rules
+                    .iter()
+                    .position(|r| r.head.pred == PredRef::Idb(j))
+                    .map(|ri| facts.rule_span(ri))
+                    .unwrap_or_default();
+                findings.push(Diagnostic::new(
+                    Code::Hp019,
+                    format!(
+                        "IDB predicates {} and {} compute homomorphically equivalent \
+                         queries (identical canonical cores); one can replace the other",
+                        facts.idbs[i].0, facts.idbs[j].0,
+                    ),
+                    span,
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `" (line N)"` when rule `rj`'s source line is known.
+fn other_line(facts: &ProgramFacts, rj: usize) -> String {
+    facts
+        .rule_lines
+        .get(rj)
+        .copied()
+        .flatten()
+        .map(|l| format!(" (line {l})"))
+        .unwrap_or_default()
+}
+
+fn scan_from(
+    facts: &ProgramFacts,
+    start: usize,
+    mut findings: Vec<Diagnostic>,
+    mut gauge: Gauge,
+) -> Budgeted<Vec<Diagnostic>, SemanticCheckpoint> {
+    let ctx = Ctx::new(facts);
+    if ctx.program.is_none() {
+        // Raw facts that fail validation already carry HP003–HP005
+        // errors; semantic claims about an invalid program are void.
+        return Ok(findings);
+    }
+    let items = items_of(facts, ctx.nonrecursive);
+    for (idx, &item) in items.iter().enumerate().skip(start) {
+        // Snapshot *before* the item: a resume re-runs the interrupted
+        // item from this exact fuel position, tick-for-tick what an
+        // uninterrupted larger-budget run would have done.
+        let at_start = gauge.state();
+        if let Err(stop) = run_item(facts, &ctx, item, &mut findings, &mut gauge) {
+            return Err(stop.with_partial(SemanticCheckpoint {
+                next_item: idx,
+                gauge: at_start,
+                findings,
+            }));
+        }
+    }
+    Ok(findings)
+}
+
+/// Run the full semantic scan under `budget`. On exhaustion the
+/// [`Exhausted::partial`] is a [`SemanticCheckpoint`]: sound findings so
+/// far plus the exact position to [`resume_semantic_scan`] from.
+#[allow(clippy::result_large_err)]
+pub fn semantic_scan(
+    facts: &ProgramFacts,
+    budget: &Budget,
+) -> Budgeted<Vec<Diagnostic>, SemanticCheckpoint> {
+    scan_from(facts, 0, Vec::new(), budget.gauge())
+}
+
+/// Continue a scan from a checkpoint with a fresh allowance. Under the
+/// exact-resume law, `semantic_scan` with fuel `f1` followed by a resume
+/// with fuel `f2` produces exactly the findings of one `semantic_scan`
+/// with fuel `f1 + f2`.
+#[allow(clippy::result_large_err)]
+pub fn resume_semantic_scan(
+    facts: &ProgramFacts,
+    checkpoint: SemanticCheckpoint,
+    budget: &Budget,
+) -> Budgeted<Vec<Diagnostic>, SemanticCheckpoint> {
+    let gauge = budget.resume(checkpoint.gauge);
+    scan_from(facts, checkpoint.next_item, checkpoint.findings, gauge)
+}
+
+/// The [`Pass`] wrapper: run the scan under this pass's budget; on
+/// exhaustion report the sound prefix of findings plus a note (never an
+/// error, never a wrong verdict) naming the check that was in flight.
+pub struct SemanticPass {
+    budget: Budget,
+}
+
+impl SemanticPass {
+    /// A semantic pass charging the given budget.
+    pub fn new(budget: Budget) -> SemanticPass {
+        SemanticPass { budget }
+    }
+}
+
+impl Default for SemanticPass {
+    /// Unlimited budget: rule bodies are small in practice, and the
+    /// library default must be deterministic. The `hompres-lint` binary
+    /// passes its `--budget-ms` / `--fuel` budget instead.
+    fn default() -> SemanticPass {
+        SemanticPass::new(Budget::unlimited())
+    }
+}
+
+impl Pass for SemanticPass {
+    fn name(&self) -> &'static str {
+        "semantic"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp017, Code::Hp018, Code::Hp019, Code::Hp020]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        match semantic_scan(facts, &self.budget) {
+            Ok(findings) => {
+                for d in findings {
+                    out.push(d);
+                }
+            }
+            Err(ex) => {
+                let items = items_of(
+                    facts,
+                    recursion_class(facts) == RecursionClass::Nonrecursive,
+                );
+                let in_flight = items[ex.partial.next_item];
+                for d in ex.partial.findings.iter().cloned() {
+                    out.push(d);
+                }
+                out.push(Diagnostic {
+                    code: in_flight.code(),
+                    severity: Severity::Note,
+                    message: format!(
+                        "semantic analysis stopped at the {} ({} of {} checks done; \
+                         {} budget exhausted, {} fuel spent); findings so far are sound — \
+                         rerun with a larger budget for the rest",
+                        in_flight.describe(facts),
+                        ex.partial.next_item,
+                        items.len(),
+                        ex.resource,
+                        ex.spent,
+                    ),
+                    span: crate::diag::Span::default(),
+                });
+            }
+        }
+    }
+}
+
+/// The canonical-core key of the program's goal query: the unfolded UCQ
+/// of the goal in a **nonrecursive** program, minimized to its
+/// irredundant core union and canonically labelled. `None` for programs
+/// with no designated goal or with recursion (a recursive goal is not a
+/// UCQ; Theorem 7.5 boundedness certification is the escape hatch).
+///
+/// The key is what an answer cache should index on: programs equal up to
+/// variable renaming, rule order, redundant atoms, and subsumed rules or
+/// disjuncts map to the same key (Chandra–Merlin + §6.2 core uniqueness).
+#[allow(clippy::result_large_err)]
+pub fn goal_core_key(p: &Program, budget: &Budget) -> Budgeted<Option<CanonicalCoreKey>, ()> {
+    let facts = ProgramFacts::of_program(p);
+    if recursion_class(&facts) != RecursionClass::Nonrecursive {
+        return Ok(None);
+    }
+    let Some(g) = p.goal_index() else {
+        return Ok(None);
+    };
+    let mut gauge = budget.gauge();
+    let ucq = match stage_ucq(p, g, p.idbs().len()) {
+        Ok(u) => u,
+        Err(_) => return Ok(None),
+    };
+    gauge
+        .tick(ucq.len() as u64)
+        .map_err(|s| s.with_partial(()))?;
+    ucq.canonical_core_key_gauged(&mut gauge)
+        .map(Some)
+        .map_err(|s| s.with_partial(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_structures::Vocabulary;
+
+    fn facts_of(text: &str) -> ProgramFacts {
+        let p = Program::parse(text, &Vocabulary::digraph()).unwrap();
+        ProgramFacts::of_program(&p)
+    }
+
+    fn scan(text: &str) -> Vec<Diagnostic> {
+        semantic_scan(&facts_of(text), &Budget::unlimited()).unwrap()
+    }
+
+    fn codes(ds: &[Diagnostic]) -> Vec<Code> {
+        ds.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn redundant_atom_is_flagged_with_its_index() {
+        // E(x,z) folds onto E(x,y) via z ↦ y; the converse deletion is
+        // not redundant (E(x,y) binds nothing else? it does — y is only
+        // in E(x,y)… but both atoms fold mutually; greedy keeps earliest
+        // viable flag order deterministic).
+        let ds = scan("T(x,y) :- E(x,y), E(x,z).\nGoal() :- T(x,x).");
+        let hits: Vec<&Diagnostic> = ds.iter().filter(|d| d.code == Code::Hp017).collect();
+        assert_eq!(hits.len(), 1, "{ds:?}");
+        assert_eq!(hits[0].span.rule, Some(0));
+        // E(x,z) (atom 1) is the redundant one: deleting atom 0 would
+        // unbind head variable y.
+        assert_eq!(hits[0].span.atom, Some(1));
+        assert!(hits[0].message.contains("E(x,z)"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn boolean_rule_redundancy_respects_last_atom_guard() {
+        // A single-atom body is never flagged, even when the head is
+        // 0-ary (deleting the last atom would unmake the rule).
+        let ds = scan("T(x,y) :- E(x,y).\nGoal() :- T(x,x).");
+        assert!(!codes(&ds).contains(&Code::Hp017), "{ds:?}");
+    }
+
+    #[test]
+    fn necessary_atoms_are_not_flagged() {
+        let ds = scan("T(x,z) :- E(x,y), E(y,z).\nGoal() :- T(x,x).");
+        assert!(!codes(&ds).contains(&Code::Hp017), "{ds:?}");
+    }
+
+    #[test]
+    fn idb_atoms_stay_opaque_in_recursive_programs() {
+        // The paper's transitive closure: nothing is redundant or
+        // subsumed even though T ⊇ E semantically — rule-level
+        // containment treats T as opaque, which is what keeps the lint
+        // sound at every fixpoint stage.
+        let ds = scan("T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).");
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn subsumed_rule_is_flagged_and_earliest_survives() {
+        let ds = scan("T(x,y) :- E(x,y).\nT(x,y) :- E(x,y), E(y,y).\nGoal() :- T(x,x).");
+        let hits: Vec<&Diagnostic> = ds.iter().filter(|d| d.code == Code::Hp018).collect();
+        assert_eq!(hits.len(), 1, "{ds:?}");
+        assert_eq!(hits[0].span.rule, Some(1));
+        assert!(hits[0].message.contains("subsumed by rule 0"));
+    }
+
+    #[test]
+    fn equivalent_rules_flag_only_the_later() {
+        // Mutually containing (α-equivalent) rules: keep-earliest.
+        let ds = scan("T(x,y) :- E(x,y).\nT(a,b) :- E(a,b).");
+        // The second is also a HP013-style duplicate after variable
+        // renaming — but not syntactically identical, so HP018 owns it.
+        let hits: Vec<&Diagnostic> = ds.iter().filter(|d| d.code == Code::Hp018).collect();
+        assert_eq!(hits.len(), 1, "{ds:?}");
+        assert_eq!(hits[0].span.rule, Some(1));
+    }
+
+    #[test]
+    fn exact_duplicates_are_left_to_hp013() {
+        let ds = scan("T(x,y) :- E(x,y).\nT(x,y) :- E(x,y).");
+        assert!(!codes(&ds).contains(&Code::Hp018), "{ds:?}");
+    }
+
+    #[test]
+    fn cross_join_is_flagged() {
+        let ds = scan("Big(x,y) :- E(x,x), E(y,y).\nGoal() :- Big(x,y).");
+        let hits: Vec<&Diagnostic> = ds.iter().filter(|d| d.code == Code::Hp020).collect();
+        assert_eq!(hits.len(), 1, "{ds:?}");
+        assert_eq!(hits[0].span.rule, Some(0));
+        assert!(hits[0].message.contains("2 variable-disjoint"));
+    }
+
+    #[test]
+    fn connected_bodies_are_not_cross_joins() {
+        let ds = scan("T(x,z) :- E(x,y), E(y,z).\nGoal() :- T(x,x).");
+        assert!(!codes(&ds).contains(&Code::Hp020), "{ds:?}");
+    }
+
+    #[test]
+    fn equivalent_idbs_are_flagged_in_nonrecursive_programs() {
+        let text = "P(x,z) :- E(x,y), E(y,z).\nQ(a,c) :- E(a,b), E(b,c).\n\
+                    Goal() :- P(x,x), Q(x,x).";
+        let ds = scan(text);
+        let hits: Vec<&Diagnostic> = ds.iter().filter(|d| d.code == Code::Hp019).collect();
+        assert_eq!(hits.len(), 1, "{ds:?}");
+        assert!(hits[0].message.contains('P') && hits[0].message.contains('Q'));
+    }
+
+    #[test]
+    fn distinct_idbs_are_not_flagged() {
+        let text = "P(x,z) :- E(x,y), E(y,z).\nQ(a,b) :- E(a,b).\nGoal() :- P(x,x), Q(x,x).";
+        let ds = scan(text);
+        assert!(!codes(&ds).contains(&Code::Hp019), "{ds:?}");
+    }
+
+    #[test]
+    fn recursive_programs_skip_equivalence_items() {
+        // P and Q are both transitive closure, but the program is
+        // recursive, so no HP019 items exist at all.
+        let text = "P(x,y) :- E(x,y).\nP(x,y) :- E(x,z), P(z,y).\n\
+                    Q(x,y) :- E(x,y).\nQ(x,y) :- E(x,z), Q(z,y).";
+        let ds = scan(text);
+        assert!(!codes(&ds).contains(&Code::Hp019), "{ds:?}");
+    }
+
+    #[test]
+    fn exhaustion_truncates_but_never_corrupts() {
+        let facts = facts_of("T(x,y) :- E(x,y), E(x,z).\nGoal() :- T(x,x).");
+        let full = semantic_scan(&facts, &Budget::unlimited()).unwrap();
+        assert!(!full.is_empty());
+        let ex = semantic_scan(&facts, &Budget::fuel(1)).unwrap_err();
+        // The partial findings are a prefix of the full findings.
+        assert!(ex.partial.findings.len() <= full.len());
+        for (a, b) in ex.partial.findings.iter().zip(full.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn resume_law_is_exact() {
+        let facts = facts_of(
+            "T(x,y) :- E(x,y), E(x,z).\nT(x,y) :- E(x,y), E(y,y), E(x,w).\n\
+             P(a,c) :- E(a,b), E(b,c).\nQ(u,w) :- E(u,v), E(v,w).\n\
+             Goal() :- T(x,x), P(x,x), Q(x,x).",
+        );
+        let oneshot_total = {
+            let mut g = Budget::unlimited().gauge();
+            let items = items_of(&facts, true);
+            let ctx = Ctx::new(&facts);
+            let mut fs = Vec::new();
+            for &it in &items {
+                run_item(&facts, &ctx, it, &mut fs, &mut g).unwrap();
+            }
+            g.spent()
+        };
+        assert!(oneshot_total > 4, "test premise: the scan costs real fuel");
+        for f1 in [1, 3, oneshot_total / 2, oneshot_total - 1] {
+            let ex = match semantic_scan(&facts, &Budget::fuel(f1)) {
+                Err(ex) => ex,
+                Ok(_) => panic!("fuel {f1} must exhaust"),
+            };
+            let resumed =
+                resume_semantic_scan(&facts, ex.partial, &Budget::fuel(oneshot_total)).unwrap();
+            let oneshot = semantic_scan(&facts, &Budget::fuel(f1 + oneshot_total)).unwrap();
+            assert_eq!(resumed, oneshot, "resume at fuel {f1} diverged");
+        }
+    }
+
+    #[test]
+    fn pass_reports_exhaustion_as_note() {
+        let facts = facts_of("T(x,y) :- E(x,y), E(x,z).\nGoal() :- T(x,x).");
+        let mut out = Diagnostics::new();
+        SemanticPass::new(Budget::fuel(1)).run(&facts, &mut out);
+        assert_eq!(out.count(Severity::Note), 1, "{}", out.render("t", None));
+        assert!(!out.has_errors());
+        let note = out.iter().find(|d| d.severity == Severity::Note).unwrap();
+        assert!(
+            note.message.contains("budget exhausted"),
+            "{}",
+            note.message
+        );
+        assert!(note.message.contains("sound"), "{}", note.message);
+    }
+
+    #[test]
+    fn goal_core_key_is_renaming_and_redundancy_invariant() {
+        let b = Budget::unlimited();
+        let parse = |t: &str| Program::parse(t, &Vocabulary::digraph()).unwrap();
+        let k1 = goal_core_key(&parse("T(x,z) :- E(x,y), E(y,z).\nGoal() :- T(x,x)."), &b)
+            .unwrap()
+            .unwrap();
+        // Renamed variables, a redundant atom, and a subsumed extra rule.
+        let k2 = goal_core_key(
+            &parse(
+                "T(a,c) :- E(a,b), E(b,c), E(a,d).\nT(a,c) :- E(a,b), E(b,c), E(c,c).\n\
+                 Goal() :- T(u,u).",
+            ),
+            &b,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(k1, k2);
+        // A genuinely different query gets a different key.
+        let k3 = goal_core_key(&parse("T(x,y) :- E(x,y).\nGoal() :- T(x,x)."), &b)
+            .unwrap()
+            .unwrap();
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn goal_core_key_is_none_for_recursion_and_goalless_programs() {
+        let b = Budget::unlimited();
+        let p = Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\nGoal() :- T(x,x).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        assert_eq!(goal_core_key(&p, &b).unwrap(), None);
+        let q = Program::parse("T(x,y) :- E(x,y).", &Vocabulary::digraph()).unwrap();
+        assert_eq!(goal_core_key(&q, &b).unwrap(), None);
+    }
+
+    #[test]
+    fn goal_core_key_exhausts_gracefully() {
+        let p = Program::parse(
+            "T(x,z) :- E(x,y), E(y,z).\nGoal() :- T(x,x).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        assert!(goal_core_key(&p, &Budget::fuel(1)).is_err());
+    }
+}

@@ -183,7 +183,7 @@ fn fix_check_headers_hold() {
                 out.diff
             );
             assert!(
-                !out.removed.is_empty(),
+                !out.removed.is_empty() || !out.removed_atoms.is_empty(),
                 "{name}: changed but nothing removed"
             );
         } else {
@@ -193,6 +193,10 @@ fn fix_check_headers_hold() {
                 "{name}: clean file with non-empty diff"
             );
             assert!(out.removed.is_empty(), "{name}: clean file with removals");
+            assert!(
+                out.removed_atoms.is_empty(),
+                "{name}: clean file with atom removals"
+            );
         }
         for sub in diff_subs {
             assert!(
@@ -218,7 +222,16 @@ fn new_codes_have_positive_and_negative_fixtures() {
         .iter()
         .map(|p| parse_expectations(&std::fs::read_to_string(p).expect("fixture readable")))
         .collect();
-    for c in [Code::Hp014, Code::Hp015, Code::Hp016] {
+    for c in [
+        Code::Hp014,
+        Code::Hp015,
+        Code::Hp016,
+        Code::Hp017,
+        Code::Hp018,
+        Code::Hp019,
+        Code::Hp020,
+        Code::Hp021,
+    ] {
         assert!(
             all.iter()
                 .any(|e| e.present.contains(&c) || e.warns.contains(&c)),
@@ -230,4 +243,29 @@ fn new_codes_have_positive_and_negative_fixtures() {
             "no negative fixture for {c}"
         );
     }
+}
+
+/// Budget exhaustion on a committed fixture degrades to a note — never a
+/// wrong verdict, never an error — and an unlimited rerun completes the
+/// scan and makes the finding.
+#[test]
+fn semantic_budget_exhaustion_degrades_to_note() {
+    let path = fixture_root().join("warn/subsumed_rule.dl");
+    let text = std::fs::read_to_string(path).expect("fixture readable");
+    let tiny = Analyzer::with_semantic_budget(Budget::fuel(1));
+    let ds = lint_datalog_source_with(&text, None, &tiny);
+    assert!(!ds.has_errors(), "{}", ds.render("tiny", Some(&text)));
+    assert!(
+        ds.iter()
+            .any(|d| d.severity == Severity::Note && d.message.contains("budget exhausted")),
+        "{}",
+        ds.render("tiny", Some(&text))
+    );
+    let full = Analyzer::with_semantic_budget(Budget::unlimited());
+    let ds = lint_datalog_source_with(&text, None, &full);
+    assert!(
+        ds.contains(Code::Hp018),
+        "{}",
+        ds.render("full", Some(&text))
+    );
 }

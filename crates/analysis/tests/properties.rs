@@ -18,9 +18,13 @@ use hp_structures::{Elem, Structure, Vocabulary};
 use proptest::prelude::*;
 
 /// A pool of rules over the digraph EDB with IDBs `T/2`, `U/1`, `V/1`,
-/// `Goal/0`. Subsets of the pool (always including a Goal rule) form
-/// valid programs with varied dependency structure: some subsets make
-/// `U`/`V` feed the goal, others leave them dead.
+/// `W/1`, `Goal/0`. Subsets of the pool (always including a Goal rule)
+/// form valid programs with varied dependency structure: some subsets
+/// make `U`/`V` feed the goal, others leave them dead. The tail of the
+/// pool feeds the semantic rewrites: rule 9 carries a redundant body
+/// atom (HP017), rule 10 is semantically subsumed by rule 0 (HP018),
+/// rule 11 is a renamed duplicate of rule 3 (HP018), and rules 12/13
+/// build a provably-empty `W` that reaches the goal (HP015).
 fn rule_pool() -> Vec<&'static str> {
     vec![
         "T(x,y) :- E(x,y).",
@@ -32,7 +36,20 @@ fn rule_pool() -> Vec<&'static str> {
         "V(x) :- U(x), T(x,x).",
         "Goal() :- T(x,x).",
         "Goal() :- U(x), V(x).",
+        "T(x,y) :- E(x,y), E(x,w).",
+        "T(x,y) :- E(x,y), E(y,y).",
+        "U(u) :- T(u,u).",
+        "W(x) :- E(x,w), W(w).",
+        "Goal() :- W(x).",
     ]
+}
+
+/// The `Goal() :- W(x).` rule needs `W`'s defining rule in scope, or the
+/// parser reads `W` as an unknown EDB symbol.
+fn close_under_w(chosen: &mut Vec<usize>) {
+    if chosen.contains(&13) && !chosen.contains(&12) {
+        chosen.push(12);
+    }
 }
 
 /// Assemble a program text from pool indices (deduplicated, ordered).
@@ -43,6 +60,7 @@ fn program_from_indices(picks: &[usize]) -> Program {
     let pool = rule_pool();
     let mut chosen: Vec<usize> = picks.iter().map(|&i| i % pool.len()).collect();
     chosen.extend([0, 3, 5, 7]);
+    close_under_w(&mut chosen);
     chosen.sort_unstable();
     chosen.dedup();
     let text: String = chosen
@@ -58,8 +76,10 @@ fn program_from_indices(picks: &[usize]) -> Program {
 /// needs to see.
 fn program_text_from_indices(picks: &[usize]) -> String {
     let pool = rule_pool();
+    let mut chosen: Vec<usize> = picks.iter().map(|&i| i % pool.len()).collect();
+    close_under_w(&mut chosen);
     let mut lines: Vec<&str> = vec![pool[0], pool[3], pool[5], pool[7]];
-    lines.extend(picks.iter().map(|&i| pool[i % pool.len()]));
+    lines.extend(chosen.iter().map(|&i| pool[i]));
     lines.join("\n")
 }
 
@@ -118,11 +138,13 @@ proptest! {
 
     /// `fix_program` is certified: the fixed program computes the same
     /// goal relation as the original on arbitrary EDB structures, under
-    /// the independent reference evaluator. Fixing is also complete
-    /// (no HP006/HP007/HP013 remain) and idempotent.
+    /// the independent reference evaluator — including the semantic
+    /// rewrites (HP015 never-firing rules, HP017 redundant atoms, HP018
+    /// subsumed rules). Fixing is also complete (no
+    /// HP006/HP007/HP013/HP017/HP018 remain) and idempotent.
     #[test]
     fn fix_program_preserves_goal_fixpoint_against_reference(
-        picks in prop::collection::vec(0usize..9, 0..8),
+        picks in prop::collection::vec(0usize..14, 0..8),
         edges in prop::collection::vec((0u8..6, 0u8..6), 0..14),
         n in 1usize..6,
     ) {
@@ -135,7 +157,7 @@ proptest! {
         prop_assert_eq!(before.idb("Goal"), after.idb("Goal"));
         // The fixed program is clean of everything the rewrites discharge.
         let ds = Analyzer::default_pipeline().analyze_program(&fix.program);
-        for c in [Code::Hp006, Code::Hp007, Code::Hp013] {
+        for c in [Code::Hp006, Code::Hp007, Code::Hp013, Code::Hp017, Code::Hp018] {
             prop_assert!(!ds.contains(c), "{}", ds.render("fixed", None));
         }
         // Idempotent: a second fix has nothing left to do.
@@ -148,7 +170,7 @@ proptest! {
     /// fixed text is the identity.
     #[test]
     fn fix_source_is_certified_and_idempotent(
-        picks in prop::collection::vec(0usize..9, 0..8),
+        picks in prop::collection::vec(0usize..14, 0..8),
         edges in prop::collection::vec((0u8..6, 0u8..6), 0..14),
         n in 1usize..6,
     ) {
@@ -161,12 +183,17 @@ proptest! {
         let before = p.evaluate_reference(&a);
         let after = q.evaluate_reference(&a);
         prop_assert_eq!(before.idb("Goal"), after.idb("Goal"));
-        // Source-level and AST-level fixing remove the same rules for the
-        // same reasons.
+        // Source-level and AST-level fixing remove the same rules and the
+        // same body atoms for the same reasons.
         let fixp = fix_program(&p);
         let by_source: Vec<(usize, Code)> = out.removed.iter().map(|r| (r.rule, r.code)).collect();
         let by_ast: Vec<(usize, Code)> = fixp.removed.iter().map(|r| (r.rule, r.code)).collect();
         prop_assert_eq!(by_source, by_ast);
+        let atoms_source: Vec<(usize, usize)> =
+            out.removed_atoms.iter().map(|a| (a.rule, a.atom)).collect();
+        let atoms_ast: Vec<(usize, usize)> =
+            fixp.removed_atoms.iter().map(|a| (a.rule, a.atom)).collect();
+        prop_assert_eq!(atoms_source, atoms_ast);
         // Idempotent on the text level, byte for byte.
         let again = fix_source(&out.fixed, Some(&vocab)).unwrap();
         prop_assert!(!again.changed());

@@ -9,8 +9,10 @@
 //! `R(y) :- R(x), E(x,y).` over `{E/2, S/1}`, `n = m/4` elements,
 //! xorshift64* edge stream seeded with `0xE5CA1E`, element 0 marked.
 //!
-//! Usage: `columnar_scale [MAX_EXP]` — rows for 10³ … 10^MAX_EXP edges
-//! (default 6; CI passes 5 to keep the smoke run short).
+//! Usage: `columnar_scale [MAX_EXP] [--json PATH]` — rows for
+//! 10³ … 10^MAX_EXP edges (default 6; CI passes 5 to keep the smoke run
+//! short). With `--json PATH` a machine-readable snapshot (the committed
+//! `BENCH_scale.json`) is written alongside the table.
 //!
 //! The "boxed" column is the analytic footprint of the seed
 //! representation (`BTreeSet<Vec<Elem>>`, counted as one 24-byte
@@ -63,11 +65,18 @@ fn boxed_bytes(rows: usize, arity: usize) -> usize {
 }
 
 fn main() {
-    let max_exp: u32 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("MAX_EXP must be a small integer"))
-        .unwrap_or(6);
+    let mut max_exp: u32 = 6;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            json_path = Some(args.next().expect("--json needs a PATH"));
+        } else {
+            max_exp = a.parse().expect("MAX_EXP must be a small integer");
+        }
+    }
     assert!((3..=7).contains(&max_exp), "MAX_EXP must be in 3..=7");
+    let mut json_rows: Vec<String> = Vec::new();
     let p = reach_program();
     println!(
         "{:>9} {:>9} {:>10} {:>10} {:>10} {:>9} {:>12} {:>12}",
@@ -121,5 +130,27 @@ fn main() {
             arena,
             boxed
         );
+        json_rows.push(format!(
+            "    {{\"edges\": {m}, \"n\": {n}, \"load_ms\": {load_ms:.3}, \
+             \"eval_ms\": {eval_ms:.3}, \"ref_ms\": {}, \"reached\": {}, \
+             \"arena_bytes\": {arena}, \"boxed_bytes\": {boxed}}}",
+            if ref_ms == "-" {
+                "null".to_string()
+            } else {
+                ref_ms.clone()
+            },
+            fix.relations[0].len()
+        ));
+    }
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"bench\": \"columnar_scale\",\n  \"workload\": \
+             \"single-source reachability, xorshift64* edges, n = m/4\",\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write BENCH json");
+        println!("wrote {path}");
     }
 }

@@ -5,8 +5,10 @@
 //! under homomorphisms, minimal models are cores (§6.2) and, when finitely
 //! many, their canonical queries assemble the equivalent UCQ (Theorem 3.1).
 
+use std::collections::BTreeMap;
+
 use hp_guard::{Budget, Budgeted};
-use hp_hom::{are_isomorphic, canonical_invariant};
+use hp_hom::{are_isomorphic, canonical_form};
 use hp_structures::{Structure, Vocabulary};
 
 use crate::query::BooleanQuery;
@@ -41,9 +43,16 @@ pub fn minimize_model(q: &dyn BooleanQuery, a: &Structure) -> Structure {
 }
 
 /// A collection of pairwise non-isomorphic minimal models.
+///
+/// Deduplication is bucketed by the complete canonical-form key
+/// ([`hp_hom::canonical_form`]): isomorphic structures always land in the
+/// same bucket, and only a 128-bit hash collision can put non-isomorphic
+/// structures together — the explicit [`are_isomorphic`] confirmation
+/// inside a bucket keeps the set exact even then.
 #[derive(Debug, Default)]
 pub struct MinimalModels {
     models: Vec<Structure>,
+    by_key: BTreeMap<u128, Vec<usize>>,
 }
 
 impl MinimalModels {
@@ -64,12 +73,12 @@ impl MinimalModels {
 
     /// Insert up to isomorphism. Returns true when new.
     pub fn insert(&mut self, m: Structure) -> bool {
-        let inv = canonical_invariant(&m);
-        for old in &self.models {
-            if canonical_invariant(old) == inv && are_isomorphic(old, &m) {
-                return false;
-            }
+        let key = canonical_form(&m).key();
+        let bucket = self.by_key.entry(key).or_default();
+        if bucket.iter().any(|&i| are_isomorphic(&self.models[i], &m)) {
+            return false;
         }
+        bucket.push(self.models.len());
         self.models.push(m);
         true
     }

@@ -59,7 +59,7 @@ pub use bounded::{
 };
 pub use error::{DatalogError, DatalogErrorKind, DatalogSpan};
 pub use eval::{EvalCheckpoint, EvalConfig, FixpointResult, IdbRelation, StageSequence};
-pub use parser::rule_byte_ranges;
+pub use parser::{body_atom_byte_ranges, rule_byte_ranges};
 pub use unfold::{
     stage_formula, stage_formulas, stage_formulas_with_budget, stage_ucq, stage_ucq_with_budget,
     stages_agree,

@@ -185,6 +185,83 @@ pub fn rule_byte_ranges(text: &str) -> Vec<std::ops::Range<usize>> {
     out
 }
 
+/// Byte ranges of the **body atoms** of each rule, in rule order: entry
+/// `i` lists, for `Program::rules()[i]`, one range per body atom in body
+/// order (facts get an empty list). Each range starts at the atom's first
+/// non-whitespace code byte and ends just past its last — separating
+/// commas, comments, and surrounding whitespace are not covered. Tracks
+/// the parser's own chunking (same comment, `:-`, top-level-comma, and
+/// `.` handling), so the ranges line up with [`Program`] indices whenever
+/// the text parses. This is the hook `hompres-lint --fix` uses to delete
+/// exactly the text of one redundant atom.
+pub fn body_atom_byte_ranges(text: &str) -> Vec<Vec<std::ops::Range<usize>>> {
+    let mut out = Vec::new();
+    let mut atoms: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut in_body = false;
+    let mut depth = 0usize;
+    let mut start: Option<usize> = None;
+    let mut end = 0usize;
+    let mut rule_started = false;
+    let mut pos = 0usize;
+    for raw_line in text.split_inclusive('\n') {
+        let code_len = raw_line.find('#').unwrap_or(raw_line.len());
+        let mut it = raw_line[..code_len].char_indices().peekable();
+        while let Some((off, c)) = it.next() {
+            let at = pos + off;
+            match c {
+                // `.` terminates the chunk unconditionally, exactly like
+                // the splitter in `split_rules`.
+                '.' => {
+                    if let Some(s) = start.take() {
+                        atoms.push(s..end);
+                    }
+                    if rule_started {
+                        out.push(std::mem::take(&mut atoms));
+                    }
+                    atoms.clear();
+                    in_body = false;
+                    depth = 0;
+                    rule_started = false;
+                }
+                ':' if !in_body && matches!(it.peek(), Some((_, '-'))) => {
+                    it.next();
+                    in_body = true;
+                }
+                ',' if in_body && depth == 0 => {
+                    if let Some(s) = start.take() {
+                        atoms.push(s..end);
+                    }
+                }
+                _ => {
+                    match c {
+                        '(' => depth += 1,
+                        ')' => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                    if !c.is_whitespace() {
+                        rule_started = true;
+                        if in_body {
+                            if start.is_none() {
+                                start = Some(at);
+                            }
+                            end = at + c.len_utf8();
+                        }
+                    }
+                }
+            }
+        }
+        pos += raw_line.len();
+    }
+    // The parser accepts a final chunk without a terminating `.`.
+    if let Some(s) = start.take() {
+        atoms.push(s..end);
+    }
+    if rule_started {
+        out.push(atoms);
+    }
+    out
+}
+
 /// First pass: strip comments, split into rule chunks on `.`, remembering
 /// the 1-based line each chunk starts on.
 fn split_rules(text: &str) -> Result<Vec<RawRule>, DatalogError> {
@@ -387,6 +464,33 @@ mod tests {
         let p = parse_program(text, &Vocabulary::digraph()).unwrap();
         assert_eq!(p.rule_line(0), Some(1));
         assert_eq!(p.rule_line(1), Some(2));
+    }
+
+    #[test]
+    fn body_atom_ranges_cover_exactly_the_atom_text() {
+        let text = "# tc\nT(x,y) :- E(x,y).\nT(x,y) :-\n    E(x,z), # hop\n    T(z,y).\nFlag().";
+        let ranges = body_atom_byte_ranges(text);
+        assert_eq!(ranges.len(), 3);
+        let texts: Vec<Vec<&str>> = ranges
+            .iter()
+            .map(|r| r.iter().map(|a| &text[a.clone()]).collect())
+            .collect();
+        assert_eq!(texts[0], ["E(x,y)"]);
+        assert_eq!(texts[1], ["E(x,z)", "T(z,y)"]);
+        assert!(texts[2].is_empty());
+    }
+
+    #[test]
+    fn body_atom_ranges_align_with_parsed_rules() {
+        let text = "# goal: Goal\nT(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\nGoal() :- T(x,x)";
+        let p = parse_program(text, &Vocabulary::digraph()).unwrap();
+        let ranges = body_atom_byte_ranges(text);
+        assert_eq!(ranges.len(), p.rules().len());
+        for (ri, rule) in p.rules().iter().enumerate() {
+            assert_eq!(ranges[ri].len(), rule.body.len(), "rule {ri}");
+        }
+        // Final chunk without a `.` still yields its atom.
+        assert_eq!(&text[ranges[2][0].clone()], "T(x,x)");
     }
 
     #[test]

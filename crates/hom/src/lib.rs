@@ -30,10 +30,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canon;
 mod core_impl;
 mod iso;
 mod search;
 
+pub use canon::{
+    canonical_form, canonical_form_pointed, canonical_form_pointed_gauged,
+    canonical_form_pointed_with_budget, CanonicalForm,
+};
 pub use core_impl::{
     core_of, core_of_with_budget, is_core, is_core_with_budget, retract_avoiding, Core,
 };

@@ -260,9 +260,9 @@ impl<'a> HomSearch<'a> {
     }
 
     /// Find one homomorphism charging an existing gauge — lets multi-search
-    /// algorithms (the core computation, pebble games) share one budget
-    /// across their whole sequence of searches.
-    pub(crate) fn solve_gauged(&self, gauge: &mut Gauge) -> Result<Option<Vec<Elem>>, Stop> {
+    /// algorithms (the core computation, CQ containment sweeps, pebble
+    /// games) share one budget across their whole sequence of searches.
+    pub fn solve_gauged(&self, gauge: &mut Gauge) -> Result<Option<Vec<Elem>>, Stop> {
         let mut found = None;
         self.run_gauged(1, gauge, &mut |h| found = Some(h.to_vec()))?;
         Ok(found)

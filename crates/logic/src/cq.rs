@@ -2,9 +2,11 @@
 
 use hp_structures::{BitSet, Elem, Structure, Vocabulary};
 
-use hp_hom::HomSearch;
+use hp_guard::{Budget, Gauge, Stop};
+use hp_hom::{canonical_form_pointed_gauged, HomSearch};
 
 use crate::ast::{Atom, Formula, Var};
+use crate::key::CanonicalCoreKey;
 
 /// A conjunctive query in **canonical-structure form**: a finite structure
 /// `D` (the canonical structure / tableau) plus a list of distinguished
@@ -182,11 +184,40 @@ impl Cq {
         self.is_contained_in(other) && other.is_contained_in(self)
     }
 
+    /// [`is_contained_in`](Cq::is_contained_in) charging an existing
+    /// gauge, for budgeted containment sweeps over many query pairs.
+    pub fn is_contained_in_gauged(&self, other: &Cq, gauge: &mut Gauge) -> Result<bool, Stop> {
+        if self.free.len() != other.free.len() {
+            return Ok(false);
+        }
+        let mut s = HomSearch::new(&other.canonical, &self.canonical);
+        for (i, &fe) in other.free.iter().enumerate() {
+            s = s.pin(fe, self.free[i]);
+        }
+        Ok(s.solve_gauged(gauge)?.is_some())
+    }
+
+    /// Gauged logical equivalence (containment both ways on one budget).
+    pub fn is_equivalent_to_gauged(&self, other: &Cq, gauge: &mut Gauge) -> Result<bool, Stop> {
+        Ok(self.is_contained_in_gauged(other, gauge)?
+            && other.is_contained_in_gauged(self, gauge)?)
+    }
+
     /// Minimize the query: compute the core of the canonical structure
     /// **relative to the free elements** (they must stay fixed). The result
     /// is the unique (up to isomorphism) minimal equivalent CQ — the
     /// Chandra–Merlin optimal implementation.
     pub fn minimize(&self) -> Cq {
+        let mut gauge = Budget::unlimited().gauge();
+        match self.minimize_gauged(&mut gauge) {
+            Ok(q) => q,
+            Err(_) => unreachable!("an unlimited budget cannot exhaust"),
+        }
+    }
+
+    /// [`minimize`](Cq::minimize) charging an existing gauge. Exhaustion
+    /// aborts mid-fold; no partial is returned (re-run with more fuel).
+    pub fn minimize_gauged(&self, gauge: &mut Gauge) -> Result<Cq, Stop> {
         let mut current = self.canonical.clone();
         let mut free = self.free.clone();
         'outer: loop {
@@ -198,7 +229,7 @@ impl Cq {
                 for &fe in &free {
                     s = s.pin(fe, fe);
                 }
-                if let Some(h) = s.solve() {
+                if let Some(h) = s.solve_gauged(gauge)? {
                     let mut image = BitSet::new(current.universe_size());
                     for &v in &h {
                         image.insert(v.index());
@@ -218,10 +249,31 @@ impl Cq {
             }
             break;
         }
-        Cq {
+        Ok(Cq {
             canonical: current,
             free,
+        })
+    }
+
+    /// The stable [`CanonicalCoreKey`] of this query: minimize to the core
+    /// (unique up to isomorphism), canonically label the pointed core, and
+    /// hash the certificate. Logically equivalent CQs — in particular any
+    /// two presentations differing by variable renaming or redundant atoms
+    /// — get the identical key.
+    pub fn canonical_core_key(&self) -> CanonicalCoreKey {
+        let mut gauge = Budget::unlimited().gauge();
+        match self.canonical_core_key_gauged(&mut gauge) {
+            Ok(k) => k,
+            Err(_) => unreachable!("an unlimited budget cannot exhaust"),
         }
+    }
+
+    /// [`canonical_core_key`](Cq::canonical_core_key) charging an existing
+    /// gauge: both the core fold and the canonical labelling draw from it.
+    pub fn canonical_core_key_gauged(&self, gauge: &mut Gauge) -> Result<CanonicalCoreKey, Stop> {
+        let m = self.minimize_gauged(gauge)?;
+        let form = canonical_form_pointed_gauged(&m.canonical, &m.free, gauge)?;
+        Ok(CanonicalCoreKey::of_form(&form))
     }
 }
 
@@ -441,6 +493,68 @@ mod tests {
         // hom(C3, C6), which fails; and hom(C6, C3) holds so q_{C3} ⊑ q_{C6}.
         assert!(c3.is_contained_in(&c6));
         assert!(!c6.is_contained_in(&c3));
+    }
+
+    #[test]
+    fn core_keys_identify_equivalent_queries() {
+        let v = Vocabulary::digraph();
+        // q1: E(x0,x1) ∧ E(x0,x2) with x0,x1 free — x2 folds into x1.
+        let q1 = Cq::with_free(
+            Cq::from_formula(&Formula::And(vec![edge(0, 1), edge(0, 2)]), &v)
+                .unwrap()
+                .canonical(),
+            &[Elem(0), Elem(1)],
+        );
+        // q2: same query already minimized, with renamed variables.
+        let q2 = Cq::with_free(
+            Cq::from_formula(&edge(5, 9), &v).unwrap().canonical(),
+            &[Elem(0), Elem(1)],
+        );
+        assert!(q1.is_equivalent_to(&q2));
+        assert_eq!(q1.canonical_core_key(), q2.canonical_core_key());
+        // edge(1,0) numbers its elements in the other order, so this is
+        // the same query under a different element numbering.
+        let q3 = Cq::with_free(
+            Cq::from_formula(&edge(1, 0), &v).unwrap().canonical(),
+            &[Elem(0), Elem(1)],
+        );
+        assert!(q2.is_equivalent_to(&q3), "renumbered presentation");
+        assert_eq!(q2.canonical_core_key(), q3.canonical_core_key());
+        // The genuinely reversed query (answers (a,b) with E(b,a)) differs.
+        let q4 = Cq::with_free(
+            Cq::from_formula(&edge(0, 1), &v).unwrap().canonical(),
+            &[Elem(1), Elem(0)],
+        );
+        assert!(!q2.is_equivalent_to(&q4));
+        assert_ne!(q2.canonical_core_key(), q4.canonical_core_key());
+    }
+
+    #[test]
+    fn core_key_ignores_boolean_redundancy() {
+        // Boolean: C6 and C3 ⊕ C3... not equivalent. But "path of length 2
+        // with a detour" ≡ "path of length 2".
+        let mut s = directed_path(3).disjoint_union(&directed_path(2)).unwrap();
+        s.add_tuple_ids(0, &[3, 4]).unwrap();
+        let q = Cq::canonical_query(&s);
+        let p = Cq::canonical_query(&directed_path(3));
+        assert_eq!(q.canonical_core_key(), p.canonical_core_key());
+        assert_ne!(
+            p.canonical_core_key(),
+            Cq::canonical_query(&directed_path(2)).canonical_core_key()
+        );
+    }
+
+    #[test]
+    fn gauged_variants_agree_and_exhaust() {
+        use hp_guard::Budget;
+        let q3 = Cq::canonical_query(&directed_path(4));
+        let q2 = Cq::canonical_query(&directed_path(3));
+        let mut g = Budget::unlimited().gauge();
+        assert!(q3.is_contained_in_gauged(&q2, &mut g).unwrap());
+        assert!(!q2.is_contained_in_gauged(&q3, &mut g).unwrap());
+        assert!(!q2.is_equivalent_to_gauged(&q3, &mut g).unwrap());
+        let mut tiny = Budget::fuel(1).gauge();
+        assert!(q3.canonical_core_key_gauged(&mut tiny).is_err());
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Stable canonical-core keys: the answer-cache identity of a query.
+//!
+//! Two CQs (or UCQs) that are logically equivalent — in particular, equal
+//! up to variable renaming, redundant atoms, or disjunct subsumption —
+//! minimize to isomorphic cores (Chandra–Merlin, §6.2), and isomorphic
+//! pointed structures get identical canonical certificates
+//! ([`hp_hom::canonical_form_pointed`]). Hashing that certificate yields a
+//! key that is *stable across runs and machines*: no pointer values, no
+//! randomized hashers, no iteration-order dependence.
+//!
+//! The key is 128 bits of FNV-1a over the certificate, so distinct cores
+//! collide only with hash-collision probability. Exact consumers (an
+//! answer cache that must never serve a wrong entry) should treat a key
+//! hit as a candidate and confirm with `is_equivalent_to`.
+
+use std::fmt;
+
+use hp_hom::CanonicalForm;
+
+/// A 128-bit canonical-core key. Equal for logically equivalent queries;
+/// distinct (modulo hash collisions) otherwise.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CanonicalCoreKey(u128);
+
+impl CanonicalCoreKey {
+    /// Key of a canonical form (certificate hash).
+    pub fn of_form(form: &CanonicalForm) -> CanonicalCoreKey {
+        CanonicalCoreKey(form.key())
+    }
+
+    /// Combine per-disjunct keys into a UCQ key: order-insensitive (keys
+    /// are sorted first) and arity-tagged, so `⊥` of different arities and
+    /// unions differing only in disjunct order keep sensible identities.
+    pub fn combine(arity: usize, keys: &[CanonicalCoreKey]) -> CanonicalCoreKey {
+        let mut sorted: Vec<u128> = keys.iter().map(|k| k.0).collect();
+        sorted.sort_unstable();
+        let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        let mut absorb = |word: u128| {
+            for b in word.to_le_bytes() {
+                h ^= b as u128;
+                h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+            }
+        };
+        absorb(arity as u128);
+        absorb(sorted.len() as u128);
+        for k in sorted {
+            absorb(k);
+        }
+        CanonicalCoreKey(h)
+    }
+
+    /// The raw 128-bit value.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Display for CanonicalCoreKey {
+    /// Rendered as `ck` + 32 lowercase hex digits — the format embedded in
+    /// `--format json` output and intended for cache-key strings.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ck{:032x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        let k = CanonicalCoreKey(0xabc);
+        let s = k.to_string();
+        assert_eq!(s.len(), 2 + 32);
+        assert!(s.starts_with("ck"));
+        assert!(s.ends_with("abc"));
+    }
+
+    #[test]
+    fn combine_is_order_insensitive_and_arity_tagged() {
+        let a = CanonicalCoreKey(17);
+        let b = CanonicalCoreKey(99);
+        assert_eq!(
+            CanonicalCoreKey::combine(2, &[a, b]),
+            CanonicalCoreKey::combine(2, &[b, a])
+        );
+        assert_ne!(
+            CanonicalCoreKey::combine(1, &[a, b]),
+            CanonicalCoreKey::combine(2, &[a, b])
+        );
+        assert_ne!(
+            CanonicalCoreKey::combine(2, &[a]),
+            CanonicalCoreKey::combine(2, &[a, b])
+        );
+    }
+}

@@ -41,6 +41,7 @@ mod cqk;
 mod display;
 mod ef;
 mod eval;
+mod key;
 mod locality;
 mod parser;
 mod ucq;
@@ -49,6 +50,7 @@ pub use ast::{Atom, Formula, Var};
 pub use cq::Cq;
 pub use cqk::{cqk_from_decomposition, path_cq2, CqkFormula, ParseTreeDecomposition};
 pub use ef::{duplicator_wins_ef, fo_inexpressibility_witness};
+pub use key::CanonicalCoreKey;
 pub use locality::{hanf_equivalent, NeighborhoodSpectrum};
 pub use parser::{parse_formula, ParseError};
 pub use ucq::{ucq_of_existential_positive, Ucq};

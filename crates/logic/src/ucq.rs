@@ -1,9 +1,12 @@
 //! Unions of conjunctive queries (select-project-join-union queries).
 
+use hp_guard::{Budget, Gauge, Stop};
 use hp_structures::{Elem, Structure, Vocabulary};
 
 use crate::ast::{Atom, Formula, Var};
 use crate::cq::Cq;
+use crate::key::CanonicalCoreKey;
+use hp_hom::canonical_form_pointed_gauged;
 
 /// A union of conjunctive queries `q₁ ∨ ⋯ ∨ q_m`, all of the same arity.
 ///
@@ -108,11 +111,47 @@ impl Ucq {
         self.is_contained_in(other) && other.is_contained_in(self)
     }
 
+    /// Gauged Sagiv–Yannakakis containment: every per-disjunct-pair
+    /// homomorphism search charges the shared gauge.
+    pub fn is_contained_in_gauged(&self, other: &Ucq, gauge: &mut Gauge) -> Result<bool, Stop> {
+        for d in &self.disjuncts {
+            let mut covered = false;
+            for e in &other.disjuncts {
+                if d.is_contained_in_gauged(e, gauge)? {
+                    covered = true;
+                    break;
+                }
+            }
+            if !covered {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Gauged logical equivalence.
+    pub fn is_equivalent_to_gauged(&self, other: &Ucq, gauge: &mut Gauge) -> Result<bool, Stop> {
+        Ok(self.is_contained_in_gauged(other, gauge)?
+            && other.is_contained_in_gauged(self, gauge)?)
+    }
+
     /// Minimize: minimize every disjunct to its core form and drop disjuncts
     /// contained in another kept disjunct. The result is equivalent and
     /// irredundant.
     pub fn minimize(&self) -> Ucq {
-        let cores: Vec<Cq> = self.disjuncts.iter().map(Cq::minimize).collect();
+        let mut gauge = Budget::unlimited().gauge();
+        match self.minimize_gauged(&mut gauge) {
+            Ok(u) => u,
+            Err(_) => unreachable!("an unlimited budget cannot exhaust"),
+        }
+    }
+
+    /// [`minimize`](Ucq::minimize) charging an existing gauge.
+    pub fn minimize_gauged(&self, gauge: &mut Gauge) -> Result<Ucq, Stop> {
+        let mut cores: Vec<Cq> = Vec::with_capacity(self.disjuncts.len());
+        for d in &self.disjuncts {
+            cores.push(d.minimize_gauged(gauge)?);
+        }
         let mut kept: Vec<Cq> = Vec::new();
         'outer: for (i, q) in cores.iter().enumerate() {
             // Drop q if it is contained in a kept disjunct, or in a later
@@ -121,21 +160,45 @@ impl Ucq {
             // stable rule: keep q unless contained in some kept one or some
             // strictly later one).
             for k in &kept {
-                if q.is_contained_in(k) {
+                if q.is_contained_in_gauged(k, gauge)? {
                     continue 'outer;
                 }
             }
             for later in cores.iter().skip(i + 1) {
-                if q.is_contained_in(later) {
+                if q.is_contained_in_gauged(later, gauge)? {
                     continue 'outer;
                 }
             }
             kept.push(q.clone());
         }
-        Ucq {
+        Ok(Ucq {
             disjuncts: kept,
             arity: self.arity,
+        })
+    }
+
+    /// The stable [`CanonicalCoreKey`] of the union: minimize to the
+    /// irredundant union of cores (unique up to isomorphism of disjuncts),
+    /// key each pointed core, and combine order-insensitively. Logically
+    /// equivalent UCQs get the identical key.
+    pub fn canonical_core_key(&self) -> CanonicalCoreKey {
+        let mut gauge = Budget::unlimited().gauge();
+        match self.canonical_core_key_gauged(&mut gauge) {
+            Ok(k) => k,
+            Err(_) => unreachable!("an unlimited budget cannot exhaust"),
         }
+    }
+
+    /// [`canonical_core_key`](Ucq::canonical_core_key) charging an
+    /// existing gauge.
+    pub fn canonical_core_key_gauged(&self, gauge: &mut Gauge) -> Result<CanonicalCoreKey, Stop> {
+        let m = self.minimize_gauged(gauge)?;
+        let mut keys: Vec<CanonicalCoreKey> = Vec::with_capacity(m.disjuncts.len());
+        for d in &m.disjuncts {
+            let form = canonical_form_pointed_gauged(d.canonical(), d.free(), gauge)?;
+            keys.push(CanonicalCoreKey::of_form(&form));
+        }
+        Ok(CanonicalCoreKey::combine(self.arity, &keys))
     }
 
     /// Render as an existential-positive formula (disjunction of prenex
@@ -452,6 +515,40 @@ mod tests {
         // Cross-check against FO answers.
         let fo = f.answers(&b);
         assert_eq!(ans, fo);
+    }
+
+    #[test]
+    fn ucq_core_keys_are_stable_under_presentation() {
+        // Disjunct order and subsumed disjuncts don't change the key.
+        let a = Ucq::new(vec![path_q(1), path_q(3)]);
+        let b = Ucq::new(vec![
+            path_q(3),
+            path_q(1),
+            Cq::canonical_query(&self_loop()),
+        ]);
+        assert!(a.is_equivalent_to(&b));
+        assert_eq!(a.canonical_core_key(), b.canonical_core_key());
+        // Incomparable unions differ.
+        let c = Ucq::new(vec![
+            Cq::canonical_query(&directed_cycle(2)),
+            Cq::canonical_query(&directed_cycle(3)),
+        ]);
+        assert_ne!(a.canonical_core_key(), c.canonical_core_key());
+        // Both unions collapse to {path_q(1)}: longer paths and the loop
+        // are contained in "has an edge".
+        assert_eq!(a.minimize().len(), 1);
+    }
+
+    #[test]
+    fn gauged_ucq_containment_matches_unbudgeted() {
+        use hp_guard::Budget;
+        let a = Ucq::new(vec![path_q(3)]);
+        let b = Ucq::new(vec![path_q(1), path_q(2)]);
+        let mut g = Budget::unlimited().gauge();
+        assert!(a.is_contained_in_gauged(&b, &mut g).unwrap());
+        assert!(!b.is_contained_in_gauged(&a, &mut g).unwrap());
+        let mut tiny = Budget::fuel(1).gauge();
+        assert!(b.canonical_core_key_gauged(&mut tiny).is_err());
     }
 
     #[test]
