@@ -51,8 +51,8 @@ impl Analyzer {
             .with_pass(Box::new(RuleTreewidthPass))
     }
 
-    /// The full default pipeline: [`syntactic_pipeline`]
-    /// (Analyzer::syntactic_pipeline) followed by the semantic
+    /// The full default pipeline: [`Analyzer::syntactic_pipeline`]
+    /// followed by the semantic
     /// containment checks (HP017–HP020, unlimited budget). The budgeted
     /// boundedness check (HP014) is **not** included — opt in with
     /// [`Analyzer::with_boundedness`].

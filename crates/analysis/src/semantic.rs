@@ -493,7 +493,8 @@ fn scan_from(
 }
 
 /// Run the full semantic scan under `budget`. On exhaustion the
-/// [`Exhausted::partial`] is a [`SemanticCheckpoint`]: sound findings so
+/// [`hp_guard::Exhausted::partial`] is a [`SemanticCheckpoint`]: sound
+/// findings so
 /// far plus the exact position to [`resume_semantic_scan`] from.
 #[allow(clippy::result_large_err)]
 pub fn semantic_scan(

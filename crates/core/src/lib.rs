@@ -83,7 +83,7 @@ pub mod prelude {
         theorem_7_4_finite_subset, theorem_7_4_finite_subset_with_budget, VcqkQuery,
     };
     pub use hp_analysis::{Analyzer, Code, Diagnostics};
-    pub use hp_datalog::{EvalConfig, Program};
+    pub use hp_datalog::{EdbDelta, EvalConfig, MaterializedDb, Program};
     pub use hp_guard::{Budget, Budgeted, Exhausted, Interrupt, Resource};
     pub use hp_hom::{are_homomorphically_equivalent, are_isomorphic, core_of, hom_exists};
     pub use hp_logic::{parse_formula, Cq, CqkFormula, Formula, Ucq};

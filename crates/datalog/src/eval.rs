@@ -20,12 +20,71 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use std::fmt;
+
 use hp_guard::{Budget, Budgeted, Gauge, GaugeState};
-use hp_structures::{Elem, Relation, Structure, TupleStore};
+use hp_structures::{Elem, Relation, Structure, StructureError, TupleStore};
 
 use crate::ast::{PredRef, Program};
 use crate::index::IndexPool;
 use crate::plan::{JoinStep, ProgramPlan, RulePlan};
+
+/// User-reachable misuse of the evaluation APIs, reported as a typed error
+/// instead of a panic.
+///
+/// The resumable entry points ([`Program::resume_budgeted`], the
+/// incremental-maintenance APIs on [`crate::MaterializedDb`]) accept state
+/// produced by earlier calls; handing them state from a *different* program
+/// or database is a caller bug that the library can detect cheaply, so it
+/// refuses with a descriptive error rather than corrupting the computation
+/// or asserting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// A checkpoint was handed to a program it did not come from (IDB
+    /// count, names, or arities disagree).
+    CheckpointMismatch {
+        /// What disagreed between the checkpoint and the program.
+        detail: String,
+    },
+    /// A materialized database was handed to a program it was not built
+    /// from, or its vocabulary disagrees with the update batch.
+    ProgramMismatch {
+        /// What disagreed between the database and the program.
+        detail: String,
+    },
+    /// An update batch contained invalid tuples (arity or element range).
+    Structure(StructureError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::CheckpointMismatch { detail } => {
+                write!(f, "checkpoint does not match this program: {detail}")
+            }
+            EvalError::ProgramMismatch { detail } => {
+                write!(f, "database does not match this program: {detail}")
+            }
+            EvalError::Structure(e) => write!(f, "invalid update batch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Structure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StructureError> for EvalError {
+    fn from(e: StructureError) -> Self {
+        EvalError::Structure(e)
+    }
+}
 
 /// An IDB relation instance: a columnar, sorted set of tuples.
 ///
@@ -90,7 +149,7 @@ impl EvalConfig {
         self
     }
 
-    fn worker_count(&self) -> usize {
+    pub(crate) fn worker_count(&self) -> usize {
         match self.threads {
             0 => std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -299,10 +358,13 @@ impl Program {
 
     /// Continue an exhausted [`Program::evaluate_budgeted`] run from its
     /// checkpoint with a fresh allowance. The checkpoint must come from
-    /// the same program and structure. Fuel accounting is cumulative
-    /// (`budget`'s fuel is added on top of the prior limit), so a run
-    /// split as `f1` then `f2` stops at exactly the same rounds — and
-    /// reaches the same fixpoint — as a single `f1 + f2` run.
+    /// the same program and structure; a checkpoint whose IDB shape
+    /// (count, names, or arities) disagrees with this program is rejected
+    /// with [`EvalError::CheckpointMismatch`] instead of corrupting the
+    /// resumed run. Fuel accounting is cumulative (`budget`'s fuel is
+    /// added on top of the prior limit), so a run split as `f1` then `f2`
+    /// stops at exactly the same rounds — and reaches the same fixpoint —
+    /// as a single `f1 + f2` run.
     #[allow(clippy::result_large_err)]
     pub fn resume_budgeted(
         &self,
@@ -310,9 +372,43 @@ impl Program {
         cfg: &EvalConfig,
         checkpoint: EvalCheckpoint,
         budget: &Budget,
-    ) -> Budgeted<FixpointResult, EvalCheckpoint> {
+    ) -> Result<Budgeted<FixpointResult, EvalCheckpoint>, EvalError> {
+        self.check_checkpoint(&checkpoint)?;
         let gauge = budget.resume(checkpoint.fuel);
-        self.fixpoint(a, cfg, gauge, Some(checkpoint))
+        Ok(self.fixpoint(a, cfg, gauge, Some(checkpoint)))
+    }
+
+    /// Validate that a checkpoint's IDB shape matches this program.
+    fn check_checkpoint(&self, cp: &EvalCheckpoint) -> Result<(), EvalError> {
+        let idbs = self.idbs();
+        if cp.partial.relations.len() != idbs.len() {
+            return Err(EvalError::CheckpointMismatch {
+                detail: format!(
+                    "checkpoint has {} IDB relations, program has {}",
+                    cp.partial.relations.len(),
+                    idbs.len()
+                ),
+            });
+        }
+        for (i, (name, arity)) in idbs.iter().enumerate() {
+            if cp.partial.idb_names[i] != *name {
+                return Err(EvalError::CheckpointMismatch {
+                    detail: format!(
+                        "IDB {i} is named {:?} in the checkpoint but {name:?} in the program",
+                        cp.partial.idb_names[i]
+                    ),
+                });
+            }
+            if cp.partial.relations[i].arity() != *arity {
+                return Err(EvalError::CheckpointMismatch {
+                    detail: format!(
+                        "IDB {name:?} has arity {} in the checkpoint but {arity} in the program",
+                        cp.partial.relations[i].arity()
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The shared semi-naive engine behind the budgeted and unbudgeted
@@ -355,11 +451,9 @@ impl Program {
         };
         let (mut idb, mut delta, mut stages) = match resume {
             Some(cp) => {
-                assert_eq!(
-                    cp.partial.relations.len(),
-                    n_idb,
-                    "resume requires a checkpoint from the same program"
-                );
+                // Shape validation happened in `check_checkpoint` before the
+                // public entry points reached this engine.
+                debug_assert_eq!(cp.partial.relations.len(), n_idb);
                 // The fresh indexes must already contain the merged IDB
                 // tuples; the pending delta is absorbed by the loop below
                 // exactly as in an uninterrupted run.
@@ -884,10 +978,57 @@ mod tests {
         }
         let r = p
             .resume_budgeted(&a, &cfg, e.partial, &Budget::unlimited())
+            .expect("checkpoint comes from this program")
             .expect("unlimited resume reaches the fixpoint");
         assert_eq!(r.relations, full.relations);
         assert_eq!(r.stages, full.stages);
         assert!(r.converged);
+    }
+
+    #[test]
+    fn foreign_checkpoint_is_a_typed_error() {
+        // A checkpoint from one program handed to another must come back as
+        // `EvalError::CheckpointMismatch`, not a panic or a corrupted run.
+        let p = tc();
+        let a = directed_path(8);
+        let cfg = EvalConfig::new();
+        let e = p
+            .evaluate_budgeted(&a, &cfg, &Budget::fuel(3))
+            .expect_err("3 fuel cannot finish TC on a 7-edge path");
+
+        // Different IDB count.
+        let two_idbs =
+            Program::parse("T(x,y) :- E(x,y).\nU(x) :- T(x,x).", &Vocabulary::digraph()).unwrap();
+        let err = two_idbs
+            .resume_budgeted(&a, &cfg, e.partial.clone(), &Budget::unlimited())
+            .expect_err("IDB count differs");
+        assert!(matches!(err, EvalError::CheckpointMismatch { .. }), "{err}");
+
+        // Same count, different IDB name.
+        let renamed = Program::parse(
+            "U(x,y) :- E(x,y).\nU(x,y) :- E(x,z), U(z,y).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let err = renamed
+            .resume_budgeted(&a, &cfg, e.partial.clone(), &Budget::unlimited())
+            .expect_err("IDB name differs");
+        assert!(matches!(err, EvalError::CheckpointMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+
+        // Same count and name, different arity.
+        let unary = Program::parse("T(x) :- E(x,x).", &Vocabulary::digraph()).unwrap();
+        let err = unary
+            .resume_budgeted(&a, &cfg, e.partial.clone(), &Budget::unlimited())
+            .expect_err("IDB arity differs");
+        assert!(matches!(err, EvalError::CheckpointMismatch { .. }), "{err}");
+
+        // The same checkpoint still resumes cleanly on its own program.
+        let r = p
+            .resume_budgeted(&a, &cfg, e.partial, &Budget::unlimited())
+            .expect("own checkpoint matches")
+            .expect("unlimited resume finishes");
+        assert_eq!(r.relations, p.evaluate(&a).relations);
     }
 
     #[test]
@@ -902,7 +1043,9 @@ mod tests {
                 let straight = p.evaluate_budgeted(&a, &cfg, &Budget::fuel(f1 + f2));
                 let split = match p.evaluate_budgeted(&a, &cfg, &Budget::fuel(f1)) {
                     Ok(r) => Ok(r),
-                    Err(e) => p.resume_budgeted(&a, &cfg, e.partial, &Budget::fuel(f2)),
+                    Err(e) => p
+                        .resume_budgeted(&a, &cfg, e.partial, &Budget::fuel(f2))
+                        .expect("checkpoint comes from this program"),
                 };
                 match (straight, split) {
                     (Ok(s), Ok(t)) => {

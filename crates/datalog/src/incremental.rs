@@ -1,0 +1,1986 @@
+//! Incremental view maintenance on EDB updates.
+//!
+//! A [`MaterializedDb`] keeps a program's least fixpoint materialized next
+//! to its input structure. [`Program::evaluate_incremental`] then folds a
+//! batch of EDB insertions and deletions into that fixpoint without
+//! recomputing it from scratch:
+//!
+//! * **non-recursive strata** (singleton SCCs of the predicate dependency
+//!   graph without a self-loop) are maintained by the *counting* algorithm —
+//!   a per-tuple derivation count is stored beside the relation's
+//!   [`TupleStore`] run in a [`CountedStore`], and a signed, telescoped
+//!   delta-join pass adjusts the counts: a tuple leaves the relation exactly
+//!   when its count reaches zero;
+//! * **recursive SCCs** are maintained by *DRed* (delete and re-derive):
+//!   an over-approximation of the deleted tuples is propagated to a
+//!   fixpoint, every over-deleted tuple with a surviving alternative
+//!   derivation is revived, and insertions run as a warm-started semi-naive
+//!   fixpoint over the repaired state.
+//!
+//! Strata come from a condensation of the program's IDB dependency graph
+//! (Tarjan, topologically ordered). Delta joins reuse the join-order
+//! machinery of [`crate::plan`] — each rule gets one seeded order per body
+//! occurrence plus a fully-prebound rederivation order — and probe permuted
+//! sorted copies of the committed stores ([`TupleStore::prefix_range`])
+//! instead of per-evaluation hash maps, because the committed stores
+//! persist across update batches.
+//!
+//! Maintenance is budgeted and resumable under the same law as
+//! [`Program::resume_budgeted`]: the gauge is charged at SCC boundaries, an
+//! exhausted run returns an [`IncCheckpoint`] (the database keeps the
+//! already-committed strata and refuses further updates until resumed), and
+//! resuming with fuel `f2` after exhausting `f1` lands at exactly the state
+//! of a single `f1 + f2` run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use hp_guard::{Budget, Budgeted, Gauge, GaugeState};
+use hp_structures::{
+    CountedStore, Elem, Relation, Structure, StructureError, SymbolId, TupleStore, Vocabulary,
+};
+
+use crate::ast::{PredRef, Program};
+use crate::eval::{EvalConfig, EvalError, FixpointResult};
+use crate::plan::{plan_steps, plan_steps_prebound, AtomPlan, IndexSpec, JoinStep, RulePlan};
+
+// ---------------------------------------------------------------------------
+// Update batches
+// ---------------------------------------------------------------------------
+
+/// A batch of EDB tuples to insert or delete, one [`TupleStore`] per
+/// vocabulary symbol. Build two of these (insertions and deletions) and hand
+/// them to [`Program::evaluate_incremental`].
+///
+/// Batch semantics: a tuple listed in both the insertion and the deletion
+/// batch is **kept** (insertions win); inserting a present tuple and
+/// deleting an absent one are no-ops.
+#[derive(Clone, Debug)]
+pub struct EdbDelta {
+    vocab: Vocabulary,
+    stores: Vec<TupleStore>,
+}
+
+impl EdbDelta {
+    /// An empty batch over `vocab`.
+    pub fn new(vocab: &Vocabulary) -> EdbDelta {
+        EdbDelta {
+            vocab: vocab.clone(),
+            stores: vocab
+                .iter()
+                .map(|(_, s)| TupleStore::new(s.arity))
+                .collect(),
+        }
+    }
+
+    /// Add one tuple for symbol `sym`.
+    ///
+    /// # Panics
+    ///
+    /// If `t.len()` differs from the symbol's arity. Element range is
+    /// checked later, against the target database's universe, by
+    /// [`Program::evaluate_incremental`].
+    pub fn push(&mut self, sym: SymbolId, t: &[Elem]) {
+        assert_eq!(
+            t.len(),
+            self.vocab.arity(sym),
+            "tuple arity does not match symbol {}",
+            self.vocab.symbol(sym).name
+        );
+        self.stores[sym.index()].push(t);
+    }
+
+    /// Add one tuple by raw element ids — convenience for tests and
+    /// examples.
+    ///
+    /// # Panics
+    ///
+    /// As [`EdbDelta::push`].
+    pub fn push_ids(&mut self, sym: usize, t: &[u32]) {
+        let row: Vec<Elem> = t.iter().map(|&e| Elem(e)).collect();
+        self.push(SymbolId::from(sym), &row);
+    }
+
+    /// True when no tuple was added to any symbol.
+    pub fn is_empty(&self) -> bool {
+        self.stores.iter().all(|s| s.is_empty())
+    }
+
+    /// Total number of tuples in the batch (duplicates included).
+    pub fn len(&self) -> usize {
+        self.stores.iter().map(|s| s.len() + s.pending_len()).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance plan: SCC condensation + per-rule join orders
+// ---------------------------------------------------------------------------
+
+/// One strongly connected component of the IDB dependency graph.
+#[derive(Clone, Debug)]
+struct SccInfo {
+    /// Member IDB indices, ascending.
+    members: Vec<usize>,
+    /// True when the component is recursive (more than one member, or a
+    /// self-loop) and must be maintained by DRed instead of counting.
+    recursive: bool,
+}
+
+/// One rule, pre-planned for maintenance: the dense slotting of
+/// [`RulePlan`], plus one seeded join order per body occurrence (the
+/// signed-delta work items) and a fully head-prebound rederivation order.
+#[derive(Clone, Debug)]
+struct MaintRule {
+    head: usize,
+    head_args: Vec<usize>,
+    /// `(later, earlier)` head argument positions carrying the same
+    /// variable: a concrete head tuple must agree on them before its slots
+    /// can be prebound.
+    head_repeats: Vec<(usize, usize)>,
+    var_count: usize,
+    atoms: Vec<AtomPlan>,
+    /// Naive order over all atoms — used to (re)build derivation counts.
+    full_order: Vec<JoinStep>,
+    /// Order seeded by body occurrence `i` scanning a delta, one per atom.
+    seeded_orders: Vec<Vec<JoinStep>>,
+    /// Order with every head variable prebound — the DRed rederivation
+    /// probe for one concrete head tuple.
+    rederive_order: Vec<JoinStep>,
+}
+
+/// Per-program maintenance metadata, built once per [`MaterializedDb`].
+#[derive(Clone, Debug)]
+struct MaintPlan {
+    rules: Vec<MaintRule>,
+    specs: Vec<IndexSpec>,
+    rules_by_head: Vec<Vec<usize>>,
+    /// Condensation of the IDB dependency graph, topologically ordered
+    /// (producers before consumers).
+    sccs: Vec<SccInfo>,
+    /// SCC id of each IDB.
+    scc_of: Vec<usize>,
+}
+
+impl MaintPlan {
+    fn new(p: &Program) -> MaintPlan {
+        let n_idb = p.idbs().len();
+        let mut specs: Vec<IndexSpec> = Vec::new();
+        let mut rules: Vec<MaintRule> = Vec::new();
+        let mut rules_by_head: Vec<Vec<usize>> = vec![Vec::new(); n_idb];
+        for (ri, rule) in p.rules().iter().enumerate() {
+            // Reuse the dense slotting; the seed/delta orders interned into
+            // `throwaway` are not needed for maintenance.
+            let mut throwaway = Vec::new();
+            let rp = RulePlan::new(rule, &mut throwaway);
+            let mut head_repeats = Vec::new();
+            for (i, &s) in rp.head_args.iter().enumerate() {
+                if let Some(j) = rp.head_args[..i].iter().position(|&t| t == s) {
+                    head_repeats.push((i, j));
+                }
+            }
+            let full_order = plan_steps(&rp.atoms, rp.var_count, None, &mut specs);
+            let seeded_orders = (0..rp.atoms.len())
+                .map(|ai| plan_steps(&rp.atoms, rp.var_count, Some(ai), &mut specs))
+                .collect();
+            let mut prebound = vec![false; rp.var_count];
+            for &s in &rp.head_args {
+                prebound[s] = true;
+            }
+            let rederive_order =
+                plan_steps_prebound(&rp.atoms, rp.var_count, &prebound, &mut specs);
+            rules_by_head[rp.head].push(ri);
+            rules.push(MaintRule {
+                head: rp.head,
+                head_args: rp.head_args,
+                head_repeats,
+                var_count: rp.var_count,
+                atoms: rp.atoms,
+                full_order,
+                seeded_orders,
+                rederive_order,
+            });
+        }
+        let (sccs, scc_of) = condense(n_idb, &idb_dependencies(p));
+        MaintPlan {
+            rules,
+            specs,
+            rules_by_head,
+            sccs,
+            scc_of,
+        }
+    }
+}
+
+/// Adjacency of the IDB dependency graph: an edge `b → h` for every rule
+/// with head `h` and an IDB body atom `b` (producers point at consumers).
+fn idb_dependencies(p: &Program) -> Vec<Vec<usize>> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); p.idbs().len()];
+    for rule in p.rules() {
+        let PredRef::Idb(h) = rule.head.pred else {
+            unreachable!("validated: rule heads are IDB atoms")
+        };
+        for atom in &rule.body {
+            if let PredRef::Idb(b) = atom.pred {
+                if !adj[b].contains(&h) {
+                    adj[b].push(h);
+                }
+            }
+        }
+    }
+    adj
+}
+
+/// Iterative Tarjan condensation. Components come out in topological order
+/// of the condensation (with edges producer → consumer, producers first),
+/// which is exactly the order maintenance must process strata in.
+fn condense(n: usize, adj: &[Vec<usize>]) -> (Vec<SccInfo>, Vec<usize>) {
+    const UNSEEN: usize = usize::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    for start in 0..n {
+        if index[start] != UNSEEN {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(frame) = call.last_mut() {
+            let v = frame.0;
+            if frame.1 == 0 {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if frame.1 < adj[v].len() {
+                let w = adj[v][frame.1];
+                frame.1 += 1;
+                if index[w] == UNSEEN {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack holds the root");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps.push(comp);
+                }
+                call.pop();
+                if let Some(parent) = call.last_mut() {
+                    low[parent.0] = low[parent.0].min(low[v]);
+                }
+            }
+        }
+    }
+    // Tarjan pops sinks first; reversed, producers come first.
+    comps.reverse();
+    let mut scc_of = vec![0usize; n];
+    let sccs: Vec<SccInfo> = comps
+        .into_iter()
+        .enumerate()
+        .map(|(id, members)| {
+            for &m in &members {
+                scc_of[m] = id;
+            }
+            let recursive = members.len() > 1 || members.iter().any(|&m| adj[m].contains(&m));
+            SccInfo { members, recursive }
+        })
+        .collect();
+    (sccs, scc_of)
+}
+
+// ---------------------------------------------------------------------------
+// Secondary indexes: permuted sorted copies of the committed stores
+// ---------------------------------------------------------------------------
+
+/// A persistent index for one [`IndexSpec`]: a sorted [`TupleStore`] whose
+/// rows are the committed relation's rows **permuted** so the key columns
+/// come first; a probe is then [`TupleStore::prefix_range`]. Unlike the
+/// per-evaluation hash pool of [`crate::index`], these survive across
+/// update batches and are maintained by sorted-run batch merge/difference.
+#[derive(Clone, Debug)]
+struct SecondaryIndex {
+    arity: usize,
+    /// `perm[k]` = original column stored at permuted position `k` (key
+    /// columns first, remaining columns ascending).
+    perm: Vec<usize>,
+    /// `pos_of[i]` = permuted position of original column `i`.
+    pos_of: Vec<usize>,
+    store: TupleStore,
+}
+
+impl SecondaryIndex {
+    fn new(spec: &IndexSpec, arity: usize) -> SecondaryIndex {
+        let mut perm = spec.key_positions.clone();
+        for i in 0..arity {
+            if !perm.contains(&i) {
+                perm.push(i);
+            }
+        }
+        let mut pos_of = vec![0usize; arity];
+        for (k, &i) in perm.iter().enumerate() {
+            pos_of[i] = k;
+        }
+        SecondaryIndex {
+            arity,
+            perm,
+            pos_of,
+            store: TupleStore::new(arity),
+        }
+    }
+
+    fn permuted(&self, rows: &TupleStore) -> TupleStore {
+        let mut out = TupleStore::with_capacity(self.arity, rows.len());
+        for t in rows.iter() {
+            out.push_with(|buf| buf.extend(self.perm.iter().map(|&i| t[i])));
+        }
+        out.seal();
+        out
+    }
+
+    /// Recover the original column order of a permuted candidate row.
+    fn unpermute_into(&self, row: &[Elem], out: &mut Vec<Elem>) {
+        out.clear();
+        out.extend((0..self.arity).map(|i| row[self.pos_of[i]]));
+    }
+
+    fn insert_batch(&mut self, rows: &TupleStore) {
+        if rows.is_empty() {
+            return;
+        }
+        let p = self.permuted(rows);
+        self.store.merge(&p);
+    }
+
+    fn remove_batch(&mut self, rows: &TupleStore) {
+        if rows.is_empty() {
+            return;
+        }
+        let p = self.permuted(rows);
+        self.store = self.store.difference(&p);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The materialized database
+// ---------------------------------------------------------------------------
+
+/// A program's input structure together with its materialized least
+/// fixpoint, derivation counts for the non-recursive strata, and the
+/// persistent secondary indexes the maintenance joins probe.
+///
+/// Build one with [`MaterializedDb::new`], then apply update batches with
+/// [`Program::evaluate_incremental`]. The database owns the structure; read
+/// access goes through [`MaterializedDb::structure`] and
+/// [`MaterializedDb::idb`].
+#[derive(Clone, Debug)]
+pub struct MaterializedDb {
+    program: Program,
+    plan: MaintPlan,
+    structure: Structure,
+    idb: Vec<Relation>,
+    /// Derivation counts, `Some` exactly for non-recursive singleton SCCs.
+    counts: Vec<Option<CountedStore>>,
+    /// Derivation depths, `Some` exactly for members of recursive SCCs:
+    /// every tuple has a derivation whose in-SCC supporters all carry
+    /// strictly smaller depths. DRed's deletion phase uses them to only
+    /// cascade past tuples with no shallower alternative support.
+    depths: Vec<Option<DepthMap>>,
+    /// Monotone upper bound over every assigned depth; fresh and revived
+    /// tuples get depths above it, keeping the invariant without renumbering.
+    depth_clock: u64,
+    indexes: Vec<SecondaryIndex>,
+    /// True while a budget-exhausted maintenance run awaits
+    /// [`Program::resume_incremental`]; fresh updates are refused until
+    /// then.
+    in_flight: bool,
+}
+
+impl MaterializedDb {
+    /// Evaluate `program` on `structure` and materialize the result for
+    /// incremental maintenance, with the default [`EvalConfig`].
+    pub fn new(program: &Program, structure: Structure) -> Result<MaterializedDb, EvalError> {
+        MaterializedDb::new_with(program, structure, &EvalConfig::new())
+    }
+
+    /// As [`MaterializedDb::new`] with an explicit configuration.
+    pub fn new_with(
+        program: &Program,
+        structure: Structure,
+        cfg: &EvalConfig,
+    ) -> Result<MaterializedDb, EvalError> {
+        if structure.vocab() != program.edb() {
+            return Err(EvalError::ProgramMismatch {
+                detail: "structure vocabulary differs from the program's EDB".to_string(),
+            });
+        }
+        let full = program.evaluate_with(&structure, cfg);
+        let plan = MaintPlan::new(program);
+        let idb = full.relations;
+        let indexes: Vec<SecondaryIndex> = plan
+            .specs
+            .iter()
+            .map(|spec| {
+                let (arity, committed) = match spec.pred {
+                    PredRef::Edb(sym) => {
+                        (program.edb().arity(sym), structure.relation(sym).store())
+                    }
+                    PredRef::Idb(i) => (program.idbs()[i].1, idb[i].store()),
+                };
+                let mut ix = SecondaryIndex::new(spec, arity);
+                ix.insert_batch(committed);
+                ix
+            })
+            .collect();
+        let mut counts: Vec<Option<CountedStore>> = (0..idb.len()).map(|_| None).collect();
+        let mut depths: Vec<Option<DepthMap>> = (0..idb.len()).map(|_| None).collect();
+        let mut depth_clock = 0u64;
+        {
+            let deltas = Deltas::empty(program);
+            let ctx = Ctx {
+                plan: &plan,
+                structure: &structure,
+                idb: &idb,
+                indexes: &indexes,
+                deltas: &deltas,
+                overlay: None,
+                gate: None,
+            };
+            for (si, scc) in plan.sccs.iter().enumerate() {
+                if scc.recursive {
+                    depth_clock = depth_clock.max(build_depths(
+                        &ctx,
+                        si,
+                        |p| program.idbs()[p].1,
+                        &mut depths,
+                    ));
+                } else {
+                    let p = scc.members[0];
+                    counts[p] = Some(build_counts(&ctx, p, program.idbs()[p].1));
+                }
+            }
+        }
+        Ok(MaterializedDb {
+            program: program.clone(),
+            plan,
+            structure,
+            idb,
+            counts,
+            depths,
+            depth_clock,
+            indexes,
+            in_flight: false,
+        })
+    }
+
+    /// The current input structure (reflecting every committed batch).
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// The materialized relation of IDB `i`.
+    pub fn idb(&self, i: usize) -> &Relation {
+        &self.idb[i]
+    }
+
+    /// All materialized IDB relations, aligned with
+    /// [`Program::idbs`](crate::Program::idbs).
+    pub fn relations(&self) -> &[Relation] {
+        &self.idb
+    }
+
+    /// True while an exhausted maintenance run awaits
+    /// [`Program::resume_incremental`].
+    pub fn is_in_flight(&self) -> bool {
+        self.in_flight
+    }
+}
+
+/// Rebuild the derivation counts for non-recursive IDB `p` from the
+/// committed relations: one full (all-`New`) enumeration per rule, one
+/// count unit per satisfying assignment.
+fn build_counts(ctx: &Ctx<'_>, p: usize, arity: usize) -> CountedStore {
+    let mut cs = CountedStore::new(arity);
+    let mut head = Vec::with_capacity(arity);
+    for &ri in &ctx.plan.rules_by_head[p] {
+        let mr = &ctx.plan.rules[ri];
+        let views = vec![View::New; mr.atoms.len()];
+        let mut asg = vec![Elem(0); mr.var_count];
+        let mut scratch = Vec::new();
+        mjoin(
+            ctx,
+            mr,
+            &mr.full_order,
+            &views,
+            0,
+            &mut asg,
+            &mut scratch,
+            &mut |a| {
+                head.clear();
+                head.extend(mr.head_args.iter().map(|&s| a[s]));
+                cs.push(&head, 1);
+                true
+            },
+        );
+    }
+    let delta = cs.apply();
+    debug_assert!(delta.removed.is_empty());
+    debug_assert_eq!(delta.inserted.len(), ctx.idb[p].len());
+    cs
+}
+
+/// Assign derivation depths to every tuple of recursive SCC `scc` by
+/// replaying its semi-naive stages over the committed relations: stage-`r`
+/// tuples derive from stage-`< r` members (read as `Cur` through a
+/// shadow-everything / reveal-known overlay) and committed externals.
+/// Returns the number of stages, an upper bound on every assigned depth.
+fn build_depths(
+    ctx: &Ctx<'_>,
+    scc: usize,
+    arity_of: impl Fn(usize) -> usize,
+    depths: &mut [Option<DepthMap>],
+) -> u64 {
+    let members = &ctx.plan.sccs[scc].members;
+    let n_idb = ctx.idb.len();
+    let removed: Vec<TupleStore> = (0..n_idb)
+        .map(|p| {
+            if is_member(ctx.plan, PredRef::Idb(p), scc) {
+                ctx.idb[p].store().clone()
+            } else {
+                TupleStore::new(arity_of(p))
+            }
+        })
+        .collect();
+    let mut known: Vec<Relation> = (0..n_idb).map(|p| Relation::new(arity_of(p))).collect();
+    let added: Vec<Relation> = (0..n_idb).map(|p| Relation::new(arity_of(p))).collect();
+    let mut frontier: Vec<TupleStore> = (0..n_idb).map(|p| TupleStore::new(arity_of(p))).collect();
+    for &p in members {
+        depths[p] = Some(DepthMap::new());
+    }
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        let mut cand: Vec<TupleStore> = (0..n_idb).map(|p| TupleStore::new(arity_of(p))).collect();
+        {
+            let rctx = Ctx {
+                plan: ctx.plan,
+                structure: ctx.structure,
+                idb: ctx.idb,
+                indexes: ctx.indexes,
+                deltas: ctx.deltas,
+                overlay: Some(Overlay {
+                    removed: &removed,
+                    revived: &known,
+                    added: &added,
+                }),
+                gate: None,
+            };
+            for &p in members {
+                for &ri in &ctx.plan.rules_by_head[p] {
+                    let mr = &ctx.plan.rules[ri];
+                    let views = scc_views(ctx.plan, mr, scc, View::New);
+                    let mut head = Vec::with_capacity(arity_of(p));
+                    if round == 1 {
+                        let mut asg = vec![Elem(0); mr.var_count];
+                        let mut scratch = Vec::new();
+                        mjoin(
+                            &rctx,
+                            mr,
+                            &mr.full_order,
+                            &views,
+                            0,
+                            &mut asg,
+                            &mut scratch,
+                            &mut |a| {
+                                head.clear();
+                                head.extend(mr.head_args.iter().map(|&s| a[s]));
+                                cand[p].push(&head);
+                                true
+                            },
+                        );
+                    } else {
+                        for ai in 0..mr.atoms.len() {
+                            let PredRef::Idb(q) = mr.atoms[ai].pred else {
+                                continue;
+                            };
+                            if ctx.plan.scc_of[q] != scc || frontier[q].is_empty() {
+                                continue;
+                            }
+                            run_seeded(
+                                &rctx,
+                                mr,
+                                &mr.seeded_orders[ai],
+                                &views,
+                                &frontier[q],
+                                &mut |asg| {
+                                    head.clear();
+                                    head.extend(mr.head_args.iter().map(|&s| asg[s]));
+                                    cand[p].push(&head);
+                                    true
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let mut any = false;
+        for &p in members {
+            cand[p].seal();
+            let fresh = cand[p].difference(known[p].store());
+            let map = depths[p].as_mut().expect("member map was just created");
+            for t in fresh.iter() {
+                map.insert(t.into(), round);
+            }
+            known[p].merge_store(&fresh);
+            any = any || !fresh.is_empty();
+            frontier[p] = fresh;
+        }
+        if !any {
+            break;
+        }
+    }
+    for &p in members {
+        debug_assert_eq!(
+            known[p].len(),
+            ctx.idb[p].len(),
+            "depth replay must reconstruct the fixpoint"
+        );
+    }
+    round
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+/// A resumable snapshot of a budget-exhausted incremental maintenance run,
+/// returned as the `partial` of [`Program::evaluate_incremental_budgeted`] /
+/// [`Program::resume_incremental`].
+///
+/// The snapshot is taken at a **stratum boundary**: every SCC before
+/// `next_scc` is fully committed to the database, none after it has been
+/// touched, and the recorded per-predicate deltas let later strata
+/// reconstruct their pre-update views. Resuming with fuel `f2` after
+/// exhausting `f1` lands at exactly the state of a single `f1 + f2` run.
+#[derive(Clone, Debug)]
+pub struct IncCheckpoint {
+    next_scc: usize,
+    edb_plus: Vec<TupleStore>,
+    edb_minus: Vec<TupleStore>,
+    idb_plus: Vec<TupleStore>,
+    idb_minus: Vec<TupleStore>,
+    stages: usize,
+    fuel: GaugeState,
+}
+
+impl IncCheckpoint {
+    /// Cumulative fuel charged when the snapshot was taken, across all runs
+    /// of a resume chain.
+    pub fn fuel_spent(&self) -> u64 {
+        self.fuel.spent
+    }
+
+    /// Number of strata already committed to the database.
+    pub fn committed_strata(&self) -> usize {
+        self.next_scc
+    }
+
+    /// Maintenance rounds performed so far.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join driver
+// ---------------------------------------------------------------------------
+
+/// Which state of a relation an atom occurrence reads during maintenance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum View {
+    /// Post-update committed state (EDB after the batch, lower strata after
+    /// their maintenance).
+    New,
+    /// Pre-update state, reconstructed as `committed ∖ plus ∪ minus` from
+    /// the recorded per-predicate deltas.
+    Old,
+    /// Mid-DRed state of an SCC member: committed rows that are not
+    /// over-deleted (or were revived), plus the rows added so far.
+    Cur,
+    /// Tuples present both before and after the batch: `committed ∖ plus`.
+    /// Used by the deletion-phase support check, whose witnesses must not
+    /// lean on tuples this batch inserted (insertions are re-played by the
+    /// insertion phase, which revives anything the check over-deleted).
+    Stable,
+}
+
+/// Per-tuple derivation depths of one recursive SCC's members, keyed by the
+/// tuple's row. Any assignment where every alive tuple has a derivation
+/// whose in-SCC supporters all carry strictly smaller depths works; the
+/// maintenance code keeps that invariant with a monotone clock.
+type DepthMap = HashMap<Box<[Elem]>, u64>;
+
+/// Depth filter applied on top of a `Cur` view during the deletion-phase
+/// support check: an SCC-member candidate only counts as support when its
+/// recorded depth is strictly below the examined tuple's depth. Kills then
+/// propagate strictly depth-upward, so a kept tuple's witness can only be
+/// invalidated by a later kill that re-triggers its examination — no
+/// under-deletion.
+struct DepthGate<'a> {
+    depths: &'a [Option<DepthMap>],
+    limit: u64,
+}
+
+impl DepthGate<'_> {
+    /// May row `t` of member predicate `p` support the examined tuple?
+    /// Unknown rows get depth `∞`, i.e. never support (safe: at worst an
+    /// over-deletion, which the rederive phase revives).
+    fn admits(&self, p: usize, t: &[Elem]) -> bool {
+        self.depths[p]
+            .as_ref()
+            .and_then(|m| m.get(t))
+            .is_some_and(|&d| d < self.limit)
+    }
+}
+
+/// Per-predicate effective deltas of one maintenance run: what actually
+/// changed in the EDB, and what each already-processed stratum's
+/// maintenance changed in its IDB.
+struct Deltas {
+    edb_plus: Vec<TupleStore>,
+    edb_minus: Vec<TupleStore>,
+    idb_plus: Vec<TupleStore>,
+    idb_minus: Vec<TupleStore>,
+}
+
+impl Deltas {
+    fn empty(p: &Program) -> Deltas {
+        let edb: Vec<TupleStore> = p
+            .edb()
+            .iter()
+            .map(|(_, s)| TupleStore::new(s.arity))
+            .collect();
+        let idb: Vec<TupleStore> = p.idbs().iter().map(|&(_, a)| TupleStore::new(a)).collect();
+        Deltas {
+            edb_plus: edb.clone(),
+            edb_minus: edb,
+            idb_plus: idb.clone(),
+            idb_minus: idb,
+        }
+    }
+
+    fn plus(&self, pred: PredRef) -> &TupleStore {
+        match pred {
+            PredRef::Edb(sym) => &self.edb_plus[sym.index()],
+            PredRef::Idb(i) => &self.idb_plus[i],
+        }
+    }
+
+    fn minus(&self, pred: PredRef) -> &TupleStore {
+        match pred {
+            PredRef::Edb(sym) => &self.edb_minus[sym.index()],
+            PredRef::Idb(i) => &self.idb_minus[i],
+        }
+    }
+}
+
+/// The in-progress DRed state of one recursive SCC, overlaid on the
+/// committed relations to form the `Cur` view. All three vectors are
+/// indexed by IDB id; non-members stay empty.
+struct Overlay<'a> {
+    /// The deletion over-approximation `D`.
+    removed: &'a [TupleStore],
+    /// Over-deleted tuples with a surviving alternative derivation.
+    revived: &'a [Relation],
+    /// Tuples added by the insertion phase.
+    added: &'a [Relation],
+}
+
+/// Shared read-only state for one maintenance round's join items.
+struct Ctx<'a> {
+    plan: &'a MaintPlan,
+    structure: &'a Structure,
+    idb: &'a [Relation],
+    indexes: &'a [SecondaryIndex],
+    deltas: &'a Deltas,
+    overlay: Option<Overlay<'a>>,
+    gate: Option<DepthGate<'a>>,
+}
+
+impl Ctx<'_> {
+    fn committed(&self, pred: PredRef) -> &TupleStore {
+        match pred {
+            PredRef::Edb(sym) => self.structure.relation(sym).store(),
+            PredRef::Idb(i) => self.idb[i].store(),
+        }
+    }
+}
+
+/// A candidate row for one join step: either an original-order tuple (from
+/// a delta or overlay scan) or a permuted secondary-index row read through
+/// the index's position map.
+#[derive(Clone, Copy)]
+struct Cand<'t> {
+    row: &'t [Elem],
+    map: Option<&'t [usize]>,
+}
+
+impl Cand<'_> {
+    #[inline]
+    fn at(&self, i: usize) -> Elem {
+        match self.map {
+            Some(m) => self.row[m[i]],
+            None => self.row[i],
+        }
+    }
+}
+
+/// Check a candidate against step `depth` and, on a match, bind its fresh
+/// slots and recurse. Returns `false` iff `emit` asked to stop.
+#[allow(clippy::too_many_arguments)]
+fn accept(
+    ctx: &Ctx<'_>,
+    mr: &MaintRule,
+    steps: &[JoinStep],
+    views: &[View],
+    depth: usize,
+    asg: &mut [Elem],
+    scratch: &mut Vec<Elem>,
+    emit: &mut dyn FnMut(&[Elem]) -> bool,
+    cand: Cand<'_>,
+    check_bound: bool,
+) -> bool {
+    let step = &steps[depth];
+    if check_bound {
+        for &(i, s) in &step.bound {
+            if cand.at(i) != asg[s] {
+                return true;
+            }
+        }
+    }
+    for &(i, j) in &step.repeats {
+        if cand.at(i) != cand.at(j) {
+            return true;
+        }
+    }
+    for &(i, s) in &step.binds {
+        asg[s] = cand.at(i);
+    }
+    mjoin(ctx, mr, steps, views, depth + 1, asg, scratch, emit)
+}
+
+/// The maintenance join core: enumerate every extension of `asg` through
+/// `steps[depth..]`, reading each atom in the state its [`View`] names, and
+/// call `emit` per complete assignment. Returns `false` iff `emit` stopped
+/// the enumeration.
+#[allow(clippy::too_many_arguments)]
+fn mjoin(
+    ctx: &Ctx<'_>,
+    mr: &MaintRule,
+    steps: &[JoinStep],
+    views: &[View],
+    depth: usize,
+    asg: &mut [Elem],
+    scratch: &mut Vec<Elem>,
+    emit: &mut dyn FnMut(&[Elem]) -> bool,
+) -> bool {
+    if depth == steps.len() {
+        return emit(asg);
+    }
+    let step = &steps[depth];
+    let atom = &mr.atoms[step.atom];
+    let view = views[step.atom];
+    if let Some(si) = step.index {
+        let sidx = &ctx.indexes[si];
+        let mut key: Vec<Elem> = Vec::with_capacity(step.bound.len());
+        key.extend(step.bound.iter().map(|&(_, s)| asg[s]));
+        let range = sidx.store.prefix_range(&key);
+        let map = Some(sidx.pos_of.as_slice());
+        match view {
+            View::New => {
+                for r in range {
+                    let cand = Cand {
+                        row: sidx.store.row(r),
+                        map,
+                    };
+                    if !accept(
+                        ctx, mr, steps, views, depth, asg, scratch, emit, cand, false,
+                    ) {
+                        return false;
+                    }
+                }
+            }
+            View::Old => {
+                let plus = ctx.deltas.plus(atom.pred);
+                for r in range {
+                    let row = sidx.store.row(r);
+                    if !plus.is_empty() {
+                        sidx.unpermute_into(row, scratch);
+                        if plus.contains(scratch) {
+                            continue;
+                        }
+                    }
+                    let cand = Cand { row, map };
+                    if !accept(
+                        ctx, mr, steps, views, depth, asg, scratch, emit, cand, false,
+                    ) {
+                        return false;
+                    }
+                }
+                for t in ctx.deltas.minus(atom.pred).iter() {
+                    let cand = Cand { row: t, map: None };
+                    if !accept(ctx, mr, steps, views, depth, asg, scratch, emit, cand, true) {
+                        return false;
+                    }
+                }
+            }
+            View::Cur => {
+                let ov = ctx.overlay.as_ref().expect("Cur view requires an overlay");
+                let PredRef::Idb(p) = atom.pred else {
+                    unreachable!("Cur views are only assigned to SCC members")
+                };
+                for r in range {
+                    let row = sidx.store.row(r);
+                    if !ov.removed[p].is_empty() || ctx.gate.is_some() {
+                        sidx.unpermute_into(row, scratch);
+                        if !ov.removed[p].is_empty()
+                            && ov.removed[p].contains(scratch)
+                            && !ov.revived[p].contains(scratch)
+                        {
+                            continue;
+                        }
+                        if let Some(g) = &ctx.gate {
+                            if !g.admits(p, scratch) {
+                                continue;
+                            }
+                        }
+                    }
+                    let cand = Cand { row, map };
+                    if !accept(
+                        ctx, mr, steps, views, depth, asg, scratch, emit, cand, false,
+                    ) {
+                        return false;
+                    }
+                }
+                for t in ov.added[p].iter() {
+                    if ctx.gate.as_ref().is_some_and(|g| !g.admits(p, t)) {
+                        continue;
+                    }
+                    let cand = Cand { row: t, map: None };
+                    if !accept(ctx, mr, steps, views, depth, asg, scratch, emit, cand, true) {
+                        return false;
+                    }
+                }
+            }
+            View::Stable => {
+                let plus = ctx.deltas.plus(atom.pred);
+                for r in range {
+                    let row = sidx.store.row(r);
+                    if !plus.is_empty() {
+                        sidx.unpermute_into(row, scratch);
+                        if plus.contains(scratch) {
+                            continue;
+                        }
+                    }
+                    let cand = Cand { row, map };
+                    if !accept(
+                        ctx, mr, steps, views, depth, asg, scratch, emit, cand, false,
+                    ) {
+                        return false;
+                    }
+                }
+            }
+        }
+    } else {
+        // Unindexed step: scan the whole view, checking any bound positions
+        // per candidate.
+        match view {
+            View::New => {
+                for t in ctx.committed(atom.pred).iter() {
+                    let cand = Cand { row: t, map: None };
+                    if !accept(ctx, mr, steps, views, depth, asg, scratch, emit, cand, true) {
+                        return false;
+                    }
+                }
+            }
+            View::Old => {
+                let plus = ctx.deltas.plus(atom.pred);
+                for t in ctx.committed(atom.pred).iter() {
+                    if !plus.is_empty() && plus.contains(t) {
+                        continue;
+                    }
+                    let cand = Cand { row: t, map: None };
+                    if !accept(ctx, mr, steps, views, depth, asg, scratch, emit, cand, true) {
+                        return false;
+                    }
+                }
+                for t in ctx.deltas.minus(atom.pred).iter() {
+                    let cand = Cand { row: t, map: None };
+                    if !accept(ctx, mr, steps, views, depth, asg, scratch, emit, cand, true) {
+                        return false;
+                    }
+                }
+            }
+            View::Cur => {
+                let ov = ctx.overlay.as_ref().expect("Cur view requires an overlay");
+                let PredRef::Idb(p) = atom.pred else {
+                    unreachable!("Cur views are only assigned to SCC members")
+                };
+                for t in ctx.committed(atom.pred).iter() {
+                    if !ov.removed[p].is_empty()
+                        && ov.removed[p].contains(t)
+                        && !ov.revived[p].contains(t)
+                    {
+                        continue;
+                    }
+                    if ctx.gate.as_ref().is_some_and(|g| !g.admits(p, t)) {
+                        continue;
+                    }
+                    let cand = Cand { row: t, map: None };
+                    if !accept(ctx, mr, steps, views, depth, asg, scratch, emit, cand, true) {
+                        return false;
+                    }
+                }
+                for t in ov.added[p].iter() {
+                    if ctx.gate.as_ref().is_some_and(|g| !g.admits(p, t)) {
+                        continue;
+                    }
+                    let cand = Cand { row: t, map: None };
+                    if !accept(ctx, mr, steps, views, depth, asg, scratch, emit, cand, true) {
+                        return false;
+                    }
+                }
+            }
+            View::Stable => {
+                let plus = ctx.deltas.plus(atom.pred);
+                for t in ctx.committed(atom.pred).iter() {
+                    if !plus.is_empty() && plus.contains(t) {
+                        continue;
+                    }
+                    let cand = Cand { row: t, map: None };
+                    if !accept(ctx, mr, steps, views, depth, asg, scratch, emit, cand, true) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Run one seeded join item: scan `seeds` as the delta occupying
+/// `steps[0]`, extend through the remaining steps, and call `emit` per
+/// satisfying assignment.
+fn run_seeded(
+    ctx: &Ctx<'_>,
+    mr: &MaintRule,
+    steps: &[JoinStep],
+    views: &[View],
+    seeds: &TupleStore,
+    emit: &mut dyn FnMut(&[Elem]) -> bool,
+) {
+    let step0 = &steps[0];
+    debug_assert!(step0.bound.is_empty(), "seed step binds first");
+    let mut asg = vec![Elem(0); mr.var_count];
+    let mut scratch = Vec::new();
+    'seeds: for t in seeds.iter() {
+        for &(i, j) in &step0.repeats {
+            if t[i] != t[j] {
+                continue 'seeds;
+            }
+        }
+        for &(i, s) in &step0.binds {
+            asg[s] = t[i];
+        }
+        if !mjoin(ctx, mr, steps, views, 1, &mut asg, &mut scratch, emit) {
+            return;
+        }
+    }
+}
+
+/// True when the over-deleted head tuple `t` of IDB `p` has a surviving
+/// derivation: some rule body matches with SCC members read as `Cur`
+/// (excluding `t` itself unless revived) and everything else as `New`.
+fn rederives(ctx: &Ctx<'_>, scc: usize, p: usize, t: &[Elem]) -> bool {
+    rederives_with(ctx, scc, p, t, View::New)
+}
+
+/// As [`rederives`], reading non-member atoms in the given view. The
+/// deletion-phase support check passes [`View::Stable`] (and sets the
+/// context's depth gate), so its witnesses use only pre-existing external
+/// tuples and strictly shallower members.
+fn rederives_with(ctx: &Ctx<'_>, scc: usize, p: usize, t: &[Elem], external: View) -> bool {
+    for &ri in &ctx.plan.rules_by_head[p] {
+        let mr = &ctx.plan.rules[ri];
+        if mr.head_repeats.iter().any(|&(i, j)| t[i] != t[j]) {
+            continue;
+        }
+        let views = scc_views(ctx.plan, mr, scc, external);
+        let mut asg = vec![Elem(0); mr.var_count];
+        for (i, &s) in mr.head_args.iter().enumerate() {
+            asg[s] = t[i];
+        }
+        let mut found = false;
+        let mut scratch = Vec::new();
+        mjoin(
+            ctx,
+            mr,
+            &mr.rederive_order,
+            &views,
+            0,
+            &mut asg,
+            &mut scratch,
+            &mut |_| {
+                found = true;
+                false
+            },
+        );
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+/// Views for a rule during DRed: SCC members read `Cur`, everything else
+/// reads `external`.
+fn scc_views(plan: &MaintPlan, mr: &MaintRule, scc: usize, external: View) -> Vec<View> {
+    mr.atoms
+        .iter()
+        .map(|a| match a.pred {
+            PredRef::Idb(q) if plan.scc_of[q] == scc => View::Cur,
+            _ => external,
+        })
+        .collect()
+}
+
+fn is_member(plan: &MaintPlan, pred: PredRef, scc: usize) -> bool {
+    matches!(pred, PredRef::Idb(q) if plan.scc_of[q] == scc)
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic parallel map
+// ---------------------------------------------------------------------------
+
+/// Map `f` over `0..n` on up to `workers` scoped threads. Results come back
+/// in index order regardless of scheduling, so every fold over them is
+/// deterministic; `workers <= 1` (the default config) runs inline.
+fn par_map<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                results.lock().expect("no worker panicked").push((i, r));
+            });
+        }
+    });
+    let mut v = results.into_inner().expect("no worker panicked");
+    v.sort_unstable_by_key(|&(i, _)| i);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance engine
+// ---------------------------------------------------------------------------
+
+/// Apply the update batch to the EDB: compute effective per-symbol deltas
+/// against the committed structure, mutate it, and keep the EDB secondary
+/// indexes in sync. Validates every inserted tuple **before** any mutation
+/// so a bad batch leaves the database untouched.
+fn commit_edb(
+    db: &mut MaterializedDb,
+    plus: &EdbDelta,
+    minus: &EdbDelta,
+) -> Result<Deltas, EvalError> {
+    let mut deltas = Deltas::empty(&db.program);
+    let universe = db.structure.universe_size();
+    let n_sym = db.program.edb().len();
+    let mut plus_sealed: Vec<TupleStore> = Vec::with_capacity(n_sym);
+    let mut minus_sealed: Vec<TupleStore> = Vec::with_capacity(n_sym);
+    for i in 0..n_sym {
+        let mut p = plus.stores[i].clone();
+        p.seal();
+        for t in p.iter() {
+            for &e in t {
+                if e.index() >= universe {
+                    return Err(EvalError::Structure(StructureError::ElementOutOfRange {
+                        element: e.0,
+                        universe,
+                    }));
+                }
+            }
+        }
+        let mut m = minus.stores[i].clone();
+        m.seal();
+        plus_sealed.push(p);
+        minus_sealed.push(m);
+    }
+    for i in 0..n_sym {
+        let sym = SymbolId::from(i);
+        if plus_sealed[i].is_empty() && minus_sealed[i].is_empty() {
+            continue;
+        }
+        let (eff_plus, eff_minus) = {
+            let committed = db.structure.relation(sym).store();
+            // Insertions win over same-batch deletions; already-present
+            // insertions and absent deletions are no-ops.
+            let eff_plus = plus_sealed[i].difference(committed);
+            let eff_minus = minus_sealed[i]
+                .difference(&plus_sealed[i])
+                .intersection(committed);
+            (eff_plus, eff_minus)
+        };
+        db.structure
+            .extend_tuples(sym, eff_plus.iter())
+            .map_err(EvalError::Structure)?;
+        db.structure.remove_tuples(sym, &eff_minus);
+        for (si, spec) in db.plan.specs.iter().enumerate() {
+            if spec.pred == PredRef::Edb(sym) {
+                db.indexes[si].remove_batch(&eff_minus);
+                db.indexes[si].insert_batch(&eff_plus);
+            }
+        }
+        deltas.edb_plus[i] = eff_plus;
+        deltas.edb_minus[i] = eff_minus;
+    }
+    Ok(deltas)
+}
+
+/// Maintain one non-recursive singleton stratum by counting: one signed,
+/// telescoped delta pass per `(rule, body occurrence)` with a non-empty
+/// delta, folded into the stratum's [`CountedStore`]. Returns
+/// `(rounds, changed_tuples)`.
+fn counting_scc(
+    db: &mut MaterializedDb,
+    workers: usize,
+    deltas: &mut Deltas,
+    p: usize,
+) -> (usize, usize) {
+    let arity = db.idb[p].arity();
+    let mut items: Vec<(usize, usize)> = Vec::new();
+    for &ri in &db.plan.rules_by_head[p] {
+        let mr = &db.plan.rules[ri];
+        for ai in 0..mr.atoms.len() {
+            let pred = mr.atoms[ai].pred;
+            if !deltas.plus(pred).is_empty() || !deltas.minus(pred).is_empty() {
+                items.push((ri, ai));
+            }
+        }
+    }
+    if items.is_empty() {
+        return (0, 0);
+    }
+    let stores: Vec<CountedStore> = {
+        let ctx = Ctx {
+            plan: &db.plan,
+            structure: &db.structure,
+            idb: &db.idb,
+            indexes: &db.indexes,
+            deltas,
+            overlay: None,
+            gate: None,
+        };
+        par_map(workers, items.len(), |ix| {
+            let (ri, ai) = items[ix];
+            let mr = &ctx.plan.rules[ri];
+            // Telescoped views: occurrences before the seed read the
+            // post-update state, occurrences after it the pre-update state,
+            // so summing the signed items is exactly New − Old at the
+            // derivation-count level.
+            let views: Vec<View> = (0..mr.atoms.len())
+                .map(|j| if j < ai { View::New } else { View::Old })
+                .collect();
+            let steps = &mr.seeded_orders[ai];
+            let pred = mr.atoms[ai].pred;
+            let mut out = CountedStore::new(arity);
+            let mut head = Vec::with_capacity(arity);
+            for (seeds, sign) in [(ctx.deltas.minus(pred), -1i64), (ctx.deltas.plus(pred), 1)] {
+                run_seeded(&ctx, mr, steps, &views, seeds, &mut |asg| {
+                    head.clear();
+                    head.extend(mr.head_args.iter().map(|&s| asg[s]));
+                    out.push(&head, sign);
+                    true
+                });
+            }
+            out
+        })
+    };
+    let counts = db.counts[p]
+        .as_mut()
+        .expect("non-recursive strata carry counts");
+    for s in stores {
+        counts.absorb_pending(s);
+    }
+    let delta = counts.apply();
+    let changed = delta.inserted.len() + delta.removed.len();
+    db.idb[p].remove_tuples(&delta.removed);
+    db.idb[p].merge_store(&delta.inserted);
+    for (si, spec) in db.plan.specs.iter().enumerate() {
+        if spec.pred == PredRef::Idb(p) {
+            db.indexes[si].remove_batch(&delta.removed);
+            db.indexes[si].insert_batch(&delta.inserted);
+        }
+    }
+    deltas.idb_minus[p] = delta.removed;
+    deltas.idb_plus[p] = delta.inserted;
+    (1, changed)
+}
+
+/// Maintain one recursive SCC by DRed. Returns `(rounds, changed_tuples)`.
+fn dred_scc(
+    db: &mut MaterializedDb,
+    workers: usize,
+    deltas: &mut Deltas,
+    scc: usize,
+) -> (usize, usize) {
+    let n_idb = db.idb.len();
+    let members: Vec<usize> = db.plan.sccs[scc].members.clone();
+    let arity_of = |p: usize| db.idb[p].arity();
+    let mut removed: Vec<TupleStore> = (0..n_idb).map(|p| TupleStore::new(arity_of(p))).collect();
+    let mut revived: Vec<Relation> = (0..n_idb).map(|p| Relation::new(arity_of(p))).collect();
+    let mut added: Vec<Relation> = (0..n_idb).map(|p| Relation::new(arity_of(p))).collect();
+    let mut rounds = 0usize;
+    let mut clock = db.depth_clock;
+
+    // Phase A: propagate a deletion over-approximation `D` to a fixpoint.
+    // Round 0 is seeded by the external deletions (EDB and lower strata);
+    // later rounds by the tuples newly admitted to `D`, with every other
+    // occurrence reading the pre-update state. A candidate only enters `D`
+    // if it has no surviving support from strictly shallower members and
+    // stable externals — kills propagate strictly depth-upward, so a kept
+    // tuple is re-examined whenever a witness supporter dies later, and the
+    // cascade stays local when alternative derivations abound.
+    let mut frontier: Vec<TupleStore> = (0..n_idb).map(|p| TupleStore::new(arity_of(p))).collect();
+    let mut first = true;
+    loop {
+        let mut items: Vec<(usize, usize)> = Vec::new();
+        for &p in &members {
+            for &ri in &db.plan.rules_by_head[p] {
+                let mr = &db.plan.rules[ri];
+                for ai in 0..mr.atoms.len() {
+                    let pred = mr.atoms[ai].pred;
+                    let seeded = if first {
+                        !is_member(&db.plan, pred, scc) && !deltas.minus(pred).is_empty()
+                    } else {
+                        matches!(pred, PredRef::Idb(q) if db.plan.scc_of[q] == scc
+                            && !frontier[q].is_empty())
+                    };
+                    if seeded {
+                        items.push((ri, ai));
+                    }
+                }
+            }
+        }
+        if items.is_empty() {
+            break;
+        }
+        rounds += 1;
+        let outs: Vec<TupleStore> = {
+            let ctx = Ctx {
+                plan: &db.plan,
+                structure: &db.structure,
+                idb: &db.idb,
+                indexes: &db.indexes,
+                deltas,
+                overlay: None,
+                gate: None,
+            };
+            let removed_ref = &removed;
+            let frontier_ref = &frontier;
+            par_map(workers, items.len(), |ix| {
+                let (ri, ai) = items[ix];
+                let mr = &ctx.plan.rules[ri];
+                let h = mr.head;
+                let views = vec![View::Old; mr.atoms.len()];
+                let pred = mr.atoms[ai].pred;
+                let seeds: &TupleStore = if first {
+                    ctx.deltas.minus(pred)
+                } else {
+                    let PredRef::Idb(q) = pred else {
+                        unreachable!()
+                    };
+                    &frontier_ref[q]
+                };
+                let mut out = TupleStore::new(arity_of(h));
+                let mut head = Vec::with_capacity(arity_of(h));
+                run_seeded(&ctx, mr, &mr.seeded_orders[ai], &views, seeds, &mut |asg| {
+                    head.clear();
+                    head.extend(mr.head_args.iter().map(|&s| asg[s]));
+                    if ctx.idb[h].contains(&head) && !removed_ref[h].contains(&head) {
+                        out.push(&head);
+                    }
+                    true
+                });
+                out.seal();
+                out
+            })
+        };
+        let mut cand: Vec<TupleStore> = (0..n_idb).map(|p| TupleStore::new(arity_of(p))).collect();
+        for (ix, out) in outs.into_iter().enumerate() {
+            let h = db.plan.rules[items[ix].0].head;
+            cand[h].merge(&out);
+        }
+        let mut cands: Vec<(usize, Vec<Elem>)> = Vec::new();
+        for &p in &members {
+            for t in cand[p].difference(&removed[p]).iter() {
+                cands.push((p, t.to_vec()));
+            }
+        }
+        let supported: Vec<bool> = {
+            let plan = &db.plan;
+            let structure = &db.structure;
+            let idb = &db.idb;
+            let indexes = &db.indexes;
+            let depths = &db.depths;
+            let dref: &Deltas = deltas;
+            let removed_ref = &removed;
+            let revived_ref = &revived;
+            let added_ref = &added;
+            let cands_ref = &cands;
+            par_map(workers, cands.len(), |i| {
+                let (p, t) = &cands_ref[i];
+                let limit = depths[*p]
+                    .as_ref()
+                    .and_then(|m| m.get(t.as_slice()))
+                    .copied()
+                    .unwrap_or(0);
+                let gctx = Ctx {
+                    plan,
+                    structure,
+                    idb,
+                    indexes,
+                    deltas: dref,
+                    overlay: Some(Overlay {
+                        removed: removed_ref,
+                        revived: revived_ref,
+                        added: added_ref,
+                    }),
+                    gate: Some(DepthGate { depths, limit }),
+                };
+                rederives_with(&gctx, scc, *p, t, View::Stable)
+            })
+        };
+        let mut kills: Vec<TupleStore> = (0..n_idb).map(|p| TupleStore::new(arity_of(p))).collect();
+        for (i, (p, t)) in cands.iter().enumerate() {
+            if !supported[i] {
+                kills[*p].push(t);
+            }
+        }
+        let mut any = false;
+        for &p in &members {
+            kills[p].seal();
+            any = any || !kills[p].is_empty();
+            removed[p].merge(&kills[p]);
+            frontier[p] = std::mem::replace(&mut kills[p], TupleStore::new(0));
+        }
+        first = false;
+        if !any {
+            break;
+        }
+    }
+
+    // Phase B: revive every over-deleted tuple with a surviving alternative
+    // derivation; revivals can support further revivals, so iterate.
+    loop {
+        let mut cands: Vec<(usize, Vec<Elem>)> = Vec::new();
+        for &p in &members {
+            for t in removed[p].difference(revived[p].store()).iter() {
+                cands.push((p, t.to_vec()));
+            }
+        }
+        if cands.is_empty() {
+            break;
+        }
+        rounds += 1;
+        let hits: Vec<bool> = {
+            let ctx = Ctx {
+                plan: &db.plan,
+                structure: &db.structure,
+                idb: &db.idb,
+                indexes: &db.indexes,
+                deltas,
+                overlay: Some(Overlay {
+                    removed: &removed,
+                    revived: &revived,
+                    added: &added,
+                }),
+                gate: None,
+            };
+            par_map(workers, cands.len(), |i| {
+                rederives(&ctx, scc, cands[i].0, &cands[i].1)
+            })
+        };
+        let mut any = false;
+        clock += 1;
+        for (i, hit) in hits.iter().enumerate() {
+            if *hit {
+                let (p, t) = &cands[i];
+                revived[*p].insert(t);
+                db.depths[*p]
+                    .as_mut()
+                    .expect("recursive members carry depths")
+                    .insert(t.as_slice().into(), clock);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+
+    // Phase C: warm-started semi-naive insertion over the repaired state.
+    // Round 0 is seeded by the external insertions; later rounds by the
+    // SCC tuples that became true last round (fresh or revived).
+    let mut frontier: Vec<TupleStore> = (0..n_idb).map(|p| TupleStore::new(arity_of(p))).collect();
+    let mut first = true;
+    loop {
+        let mut items: Vec<(usize, usize)> = Vec::new();
+        for &p in &members {
+            for &ri in &db.plan.rules_by_head[p] {
+                let mr = &db.plan.rules[ri];
+                for ai in 0..mr.atoms.len() {
+                    let pred = mr.atoms[ai].pred;
+                    let seeded = if first {
+                        !is_member(&db.plan, pred, scc) && !deltas.plus(pred).is_empty()
+                    } else {
+                        matches!(pred, PredRef::Idb(q) if db.plan.scc_of[q] == scc
+                            && !frontier[q].is_empty())
+                    };
+                    if seeded {
+                        items.push((ri, ai));
+                    }
+                }
+            }
+        }
+        if items.is_empty() {
+            break;
+        }
+        rounds += 1;
+        let outs: Vec<TupleStore> = {
+            let ctx = Ctx {
+                plan: &db.plan,
+                structure: &db.structure,
+                idb: &db.idb,
+                indexes: &db.indexes,
+                deltas,
+                overlay: Some(Overlay {
+                    removed: &removed,
+                    revived: &revived,
+                    added: &added,
+                }),
+                gate: None,
+            };
+            let frontier_ref = &frontier;
+            par_map(workers, items.len(), |ix| {
+                let (ri, ai) = items[ix];
+                let mr = &ctx.plan.rules[ri];
+                let h = mr.head;
+                let views = scc_views(ctx.plan, mr, scc, View::New);
+                let pred = mr.atoms[ai].pred;
+                let seeds: &TupleStore = if first {
+                    ctx.deltas.plus(pred)
+                } else {
+                    let PredRef::Idb(q) = pred else {
+                        unreachable!()
+                    };
+                    &frontier_ref[q]
+                };
+                let mut out = TupleStore::new(arity_of(h));
+                let mut head = Vec::with_capacity(arity_of(h));
+                run_seeded(&ctx, mr, &mr.seeded_orders[ai], &views, seeds, &mut |asg| {
+                    head.clear();
+                    head.extend(mr.head_args.iter().map(|&s| asg[s]));
+                    out.push(&head);
+                    true
+                });
+                out.seal();
+                out
+            })
+        };
+        let mut cand: Vec<TupleStore> = (0..n_idb).map(|p| TupleStore::new(arity_of(p))).collect();
+        for (ix, out) in outs.into_iter().enumerate() {
+            let h = db.plan.rules[items[ix].0].head;
+            cand[h].merge(&out);
+        }
+        let mut any = false;
+        clock += 1;
+        for &p in &members {
+            let mut fresh = TupleStore::new(arity_of(p));
+            let mut revive = TupleStore::new(arity_of(p));
+            for t in cand[p].iter() {
+                if added[p].contains(t) {
+                    continue;
+                }
+                if db.idb[p].contains(t) {
+                    if removed[p].contains(t) && !revived[p].contains(t) {
+                        revive.push(t);
+                    }
+                } else {
+                    fresh.push(t);
+                }
+            }
+            fresh.seal();
+            revive.seal();
+            let map = db.depths[p]
+                .as_mut()
+                .expect("recursive members carry depths");
+            for t in fresh.iter().chain(revive.iter()) {
+                map.insert(t.into(), clock);
+            }
+            added[p].merge_store(&fresh);
+            revived[p].merge_store(&revive);
+            let mut next = fresh;
+            next.merge(&revive);
+            any = any || !next.is_empty();
+            frontier[p] = next;
+        }
+        first = false;
+        if !any {
+            break;
+        }
+    }
+
+    // Commit: the confirmed deletions are `D ∖ revived`, the insertions are
+    // the fresh tuples; both are recorded as this stratum's deltas for the
+    // consumers downstream.
+    let mut changed = 0usize;
+    for &p in &members {
+        let final_minus = removed[p].difference(revived[p].store());
+        let final_plus = added[p].store().clone();
+        changed += final_minus.len() + final_plus.len();
+        let map = db.depths[p]
+            .as_mut()
+            .expect("recursive members carry depths");
+        for t in final_minus.iter() {
+            map.remove(t);
+        }
+        db.idb[p].remove_tuples(&final_minus);
+        db.idb[p].merge_store(&final_plus);
+        for (si, spec) in db.plan.specs.iter().enumerate() {
+            if spec.pred == PredRef::Idb(p) {
+                db.indexes[si].remove_batch(&final_minus);
+                db.indexes[si].insert_batch(&final_plus);
+            }
+        }
+        deltas.idb_minus[p] = final_minus;
+        deltas.idb_plus[p] = final_plus;
+    }
+    db.depth_clock = clock;
+    (rounds, changed)
+}
+
+/// Run maintenance from stratum `first_scc` on, charging the gauge at SCC
+/// boundaries: a `check` before each stratum and a `tick` of
+/// `1 + changed_tuples` after it commits, mirroring the per-round charge of
+/// the full evaluator.
+// The large Err variant is the point of the budgeted API: exhaustion
+// carries a full checkpoint so callers can resume (same as eval.rs).
+#[allow(clippy::result_large_err)]
+fn maintain(
+    db: &mut MaterializedDb,
+    cfg: &EvalConfig,
+    mut gauge: Gauge,
+    mut deltas: Deltas,
+    first_scc: usize,
+    mut stages: usize,
+) -> Budgeted<FixpointResult, IncCheckpoint> {
+    let workers = cfg.worker_count();
+    let n_scc = db.plan.sccs.len();
+    for si in first_scc..n_scc {
+        if let Err(stop) = gauge.check() {
+            db.in_flight = true;
+            return Err(stop.with_partial(checkpoint(si, &deltas, stages, &gauge)));
+        }
+        let (rounds, changed) = if db.plan.sccs[si].recursive {
+            dred_scc(db, workers, &mut deltas, si)
+        } else {
+            counting_scc(db, workers, &mut deltas, db.plan.sccs[si].members[0])
+        };
+        stages += rounds;
+        if let Err(stop) = gauge.tick(1 + changed as u64) {
+            db.in_flight = true;
+            return Err(stop.with_partial(checkpoint(si + 1, &deltas, stages, &gauge)));
+        }
+    }
+    db.in_flight = false;
+    Ok(FixpointResult {
+        idb_names: db.program.idbs().iter().map(|(n, _)| n.clone()).collect(),
+        goal: db.program.goal_index(),
+        relations: db.idb.clone(),
+        stages,
+        converged: true,
+        diagnostics: Vec::new(),
+    })
+}
+
+fn checkpoint(next_scc: usize, deltas: &Deltas, stages: usize, gauge: &Gauge) -> IncCheckpoint {
+    IncCheckpoint {
+        next_scc,
+        edb_plus: deltas.edb_plus.clone(),
+        edb_minus: deltas.edb_minus.clone(),
+        idb_plus: deltas.idb_plus.clone(),
+        idb_minus: deltas.idb_minus.clone(),
+        stages,
+        fuel: gauge.state(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+impl Program {
+    /// Fold an EDB update batch into a materialized database and return the
+    /// maintained fixpoint — bit-identical relations to a from-scratch
+    /// [`Program::evaluate`] on the updated structure.
+    ///
+    /// [`FixpointResult::stages`] counts *maintenance rounds* (delta
+    /// passes across all strata), not the full evaluator's Φ rounds; an
+    /// update nothing depends on reports 0 stages.
+    pub fn evaluate_incremental(
+        &self,
+        db: &mut MaterializedDb,
+        plus: &EdbDelta,
+        minus: &EdbDelta,
+    ) -> Result<FixpointResult, EvalError> {
+        self.evaluate_incremental_with(db, plus, minus, &EvalConfig::new())
+    }
+
+    /// As [`Program::evaluate_incremental`] with an explicit configuration
+    /// (worker threads for the per-round delta items; results are
+    /// bit-identical for every thread count).
+    pub fn evaluate_incremental_with(
+        &self,
+        db: &mut MaterializedDb,
+        plus: &EdbDelta,
+        minus: &EdbDelta,
+        cfg: &EvalConfig,
+    ) -> Result<FixpointResult, EvalError> {
+        self.evaluate_incremental_budgeted(db, plus, minus, cfg, &Budget::unlimited())
+            .map(|r| r.expect("unlimited budgets cannot exhaust"))
+    }
+
+    /// Budgeted incremental maintenance. On exhaustion the returned
+    /// [`IncCheckpoint`] snapshots the run at a stratum boundary — already
+    /// maintained strata stay committed in `db`, which refuses further
+    /// update batches until [`Program::resume_incremental`] completes the
+    /// run. The resume law of [`Program::resume_budgeted`] holds: fuel `f1`
+    /// then `f2` is indistinguishable from a single `f1 + f2` run.
+    pub fn evaluate_incremental_budgeted(
+        &self,
+        db: &mut MaterializedDb,
+        plus: &EdbDelta,
+        minus: &EdbDelta,
+        cfg: &EvalConfig,
+        budget: &Budget,
+    ) -> Result<Budgeted<FixpointResult, IncCheckpoint>, EvalError> {
+        self.check_db(db)?;
+        if db.in_flight {
+            return Err(EvalError::ProgramMismatch {
+                detail: "maintenance is in progress on this database; resume it first".to_string(),
+            });
+        }
+        if plus.vocab != *self.edb() || minus.vocab != *self.edb() {
+            return Err(EvalError::ProgramMismatch {
+                detail: "update batch vocabulary differs from the program's EDB".to_string(),
+            });
+        }
+        let deltas = commit_edb(db, plus, minus)?;
+        Ok(maintain(db, cfg, budget.gauge(), deltas, 0, 0))
+    }
+
+    /// Resume a budget-exhausted maintenance run from its checkpoint,
+    /// continuing at the first unmaintained stratum with cumulative fuel
+    /// accounting.
+    pub fn resume_incremental(
+        &self,
+        db: &mut MaterializedDb,
+        checkpoint: IncCheckpoint,
+        cfg: &EvalConfig,
+        budget: &Budget,
+    ) -> Result<Budgeted<FixpointResult, IncCheckpoint>, EvalError> {
+        self.check_db(db)?;
+        if !db.in_flight {
+            return Err(EvalError::CheckpointMismatch {
+                detail: "no maintenance run is in progress on this database".to_string(),
+            });
+        }
+        if checkpoint.next_scc > db.plan.sccs.len()
+            || checkpoint.edb_plus.len() != self.edb().len()
+            || checkpoint.idb_plus.len() != self.idbs().len()
+        {
+            return Err(EvalError::CheckpointMismatch {
+                detail: "checkpoint shape does not match this program".to_string(),
+            });
+        }
+        let deltas = Deltas {
+            edb_plus: checkpoint.edb_plus,
+            edb_minus: checkpoint.edb_minus,
+            idb_plus: checkpoint.idb_plus,
+            idb_minus: checkpoint.idb_minus,
+        };
+        let gauge = budget.resume(checkpoint.fuel);
+        Ok(maintain(
+            db,
+            cfg,
+            gauge,
+            deltas,
+            checkpoint.next_scc,
+            checkpoint.stages,
+        ))
+    }
+
+    /// Cheap identity check: was `db` built for (a clone of) this program?
+    fn check_db(&self, db: &MaterializedDb) -> Result<(), EvalError> {
+        if self.edb() != db.program.edb()
+            || self.idbs() != db.program.idbs()
+            || self.rules() != db.program.rules()
+        {
+            return Err(EvalError::ProgramMismatch {
+                detail: "materialized database was built for a different program".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gallery;
+    use hp_structures::generators::directed_path;
+
+    fn delta_pair(vocab: &Vocabulary) -> (EdbDelta, EdbDelta) {
+        (EdbDelta::new(vocab), EdbDelta::new(vocab))
+    }
+
+    #[test]
+    fn single_edge_insert_matches_full_eval() {
+        let p = gallery::transitive_closure();
+        let a = directed_path(5);
+        let mut db = MaterializedDb::new(&p, a.clone()).unwrap();
+        let (mut plus, minus) = delta_pair(p.edb());
+        plus.push_ids(0, &[4, 0]); // close the cycle
+        let r = p.evaluate_incremental(&mut db, &plus, &minus).unwrap();
+        let mut b = a;
+        let _ = b.add_tuple_ids(0, &[4, 0]);
+        let full = p.evaluate(&b);
+        assert_eq!(r.relations, full.relations);
+        assert_eq!(db.relations(), &full.relations[..]);
+    }
+
+    #[test]
+    fn single_edge_delete_matches_full_eval() {
+        let p = gallery::transitive_closure();
+        let a = directed_path(6);
+        let mut db = MaterializedDb::new(&p, a.clone()).unwrap();
+        let (plus, mut minus) = delta_pair(p.edb());
+        minus.push_ids(0, &[2, 3]); // cut the path in the middle
+        let r = p.evaluate_incremental(&mut db, &plus, &minus).unwrap();
+        let mut b = a;
+        assert!(b.remove_tuple(SymbolId::from(0usize), &[Elem(2), Elem(3)]));
+        let full = p.evaluate(&b);
+        assert_eq!(r.relations, full.relations);
+    }
+
+    #[test]
+    fn delete_then_reinsert_restores_everything() {
+        let p = gallery::transitive_closure();
+        let a = directed_path(6);
+        let mut db = MaterializedDb::new(&p, a.clone()).unwrap();
+        let before: Vec<Relation> = db.relations().to_vec();
+        let (plus0, mut minus0) = delta_pair(p.edb());
+        minus0.push_ids(0, &[3, 4]);
+        p.evaluate_incremental(&mut db, &plus0, &minus0).unwrap();
+        let (mut plus1, minus1) = delta_pair(p.edb());
+        plus1.push_ids(0, &[3, 4]);
+        let r = p.evaluate_incremental(&mut db, &plus1, &minus1).unwrap();
+        assert_eq!(r.relations, before);
+        assert_eq!(db.structure().relation(SymbolId::from(0usize)).len(), 5);
+    }
+
+    #[test]
+    fn nonrecursive_counting_keeps_multiply_derived_tuples() {
+        // two_hop is non-recursive: H(x,y) has one derivation per length-2
+        // path. Deleting one of two parallel mid-edges must keep the pair.
+        let p = gallery::two_hop();
+        let mut a = Structure::new(Vocabulary::digraph(), 4);
+        for (u, v) in [(0u32, 1), (0, 2), (1, 3), (2, 3)] {
+            let _ = a.add_tuple_ids(0, &[u, v]);
+        }
+        let mut db = MaterializedDb::new(&p, a.clone()).unwrap();
+        let (plus, mut minus) = delta_pair(p.edb());
+        minus.push_ids(0, &[1, 3]);
+        let r = p.evaluate_incremental(&mut db, &plus, &minus).unwrap();
+        // (0,3) survives via 0→2→3.
+        assert!(r.relations[0].contains(&[Elem(0), Elem(3)]));
+        let mut b = a;
+        assert!(b.remove_tuple(SymbolId::from(0usize), &[Elem(1), Elem(3)]));
+        assert_eq!(r.relations, p.evaluate(&b).relations);
+    }
+
+    #[test]
+    fn noop_batch_reports_zero_stages() {
+        let p = gallery::transitive_closure();
+        let a = directed_path(4);
+        let mut db = MaterializedDb::new(&p, a).unwrap();
+        let (mut plus, mut minus) = delta_pair(p.edb());
+        plus.push_ids(0, &[0, 1]); // already present
+        minus.push_ids(0, &[3, 0]); // absent
+        let r = p.evaluate_incremental(&mut db, &plus, &minus).unwrap();
+        assert_eq!(r.stages, 0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn mismatched_database_is_a_typed_error() {
+        let p = gallery::transitive_closure();
+        let q = gallery::cycle_detection();
+        let mut db = MaterializedDb::new(&p, directed_path(3)).unwrap();
+        let (plus, minus) = delta_pair(q.edb());
+        let err = q.evaluate_incremental(&mut db, &plus, &minus).unwrap_err();
+        assert!(matches!(err, EvalError::ProgramMismatch { .. }));
+    }
+
+    #[test]
+    fn out_of_range_insert_is_rejected_before_mutation() {
+        let p = gallery::transitive_closure();
+        let a = directed_path(3);
+        let mut db = MaterializedDb::new(&p, a.clone()).unwrap();
+        let (mut plus, minus) = delta_pair(p.edb());
+        plus.push_ids(0, &[0, 99]);
+        let err = p.evaluate_incremental(&mut db, &plus, &minus).unwrap_err();
+        assert!(matches!(err, EvalError::Structure(_)));
+        // Untouched: a follow-up no-op batch still matches full eval.
+        let (plus2, minus2) = delta_pair(p.edb());
+        let r = p.evaluate_incremental(&mut db, &plus2, &minus2).unwrap();
+        assert_eq!(r.relations, p.evaluate(&a).relations);
+    }
+}

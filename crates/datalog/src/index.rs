@@ -65,7 +65,8 @@ impl<'a> TupleIndex<'a> {
             unreachable!("absorb_row on an EDB index");
         };
         debug_assert_eq!(t.len(), *arity);
-        let row_id = data.len().checked_div(*arity).unwrap_or(0) as u32;
+        let rows = data.len().checked_div(*arity).unwrap_or(0);
+        let row_id = u32::try_from(rows).expect("IDB index arena exceeds u32::MAX rows");
         data.extend_from_slice(t);
         let key: Vec<Elem> = self.key_positions.iter().map(|&p| t[p]).collect();
         self.map.entry(key).or_default().push(row_id);
@@ -119,7 +120,8 @@ impl<'a> IndexPool<'a> {
             match spec.pred {
                 PredRef::Edb(sym) => {
                     for (i, t) in a.relation(sym).iter().enumerate() {
-                        indexes[idx].insert_id(t, i as u32);
+                        let id = u32::try_from(i).expect("EDB relation exceeds u32::MAX rows");
+                        indexes[idx].insert_id(t, id);
                     }
                 }
                 PredRef::Idb(i) => {

@@ -46,6 +46,7 @@ mod bounded;
 mod error;
 mod eval;
 pub mod gallery;
+mod incremental;
 mod index;
 mod parser;
 mod plan;
@@ -58,7 +59,8 @@ pub use bounded::{
     BoundednessProbe, BoundednessVerdict,
 };
 pub use error::{DatalogError, DatalogErrorKind, DatalogSpan};
-pub use eval::{EvalCheckpoint, EvalConfig, FixpointResult, IdbRelation, StageSequence};
+pub use eval::{EvalCheckpoint, EvalConfig, EvalError, FixpointResult, IdbRelation, StageSequence};
+pub use incremental::{EdbDelta, IncCheckpoint, MaterializedDb};
 pub use parser::{body_atom_byte_ranges, rule_byte_ranges};
 pub use unfold::{
     stage_formula, stage_formulas, stage_formulas_with_budget, stage_ucq, stage_ucq_with_budget,

@@ -113,7 +113,11 @@ impl ProgramPlan {
 }
 
 impl RulePlan {
-    fn new(rule: &Rule, specs: &mut Vec<IndexSpec>) -> RulePlan {
+    /// Build the plan for one rule, interning index specs into `specs`.
+    /// Also used by the incremental-maintenance planner, which reuses the
+    /// dense slotting and then derives its own orders with
+    /// [`plan_steps`]/[`plan_steps_prebound`].
+    pub(crate) fn new(rule: &Rule, specs: &mut Vec<IndexSpec>) -> RulePlan {
         let vars: Vec<u32> = rule.variables().into_iter().collect();
         let slot = |v: u32| vars.binary_search(&v).expect("rule variable");
         let atoms: Vec<AtomPlan> = rule
@@ -155,15 +159,42 @@ impl RulePlan {
 
 /// Choose a greedy join order seeded by `seed` (the delta atom, scanned
 /// first) and derive the per-step classification and index specs.
-fn plan_steps(
+pub(crate) fn plan_steps(
     atoms: &[AtomPlan],
     var_count: usize,
     seed: Option<usize>,
     specs: &mut Vec<IndexSpec>,
 ) -> Vec<JoinStep> {
+    plan_steps_inner(atoms, var_count, seed, &[], specs)
+}
+
+/// Like [`plan_steps`], but with some variable slots *prebound* before the
+/// first step — the rederivation orders of DRed start from a fully bound
+/// head tuple, so every step can be answered by an index probe on its
+/// prebound-or-earlier-bound positions.
+pub(crate) fn plan_steps_prebound(
+    atoms: &[AtomPlan],
+    var_count: usize,
+    prebound: &[bool],
+    specs: &mut Vec<IndexSpec>,
+) -> Vec<JoinStep> {
+    plan_steps_inner(atoms, var_count, None, prebound, specs)
+}
+
+fn plan_steps_inner(
+    atoms: &[AtomPlan],
+    var_count: usize,
+    seed: Option<usize>,
+    prebound: &[bool],
+    specs: &mut Vec<IndexSpec>,
+) -> Vec<JoinStep> {
+    debug_assert!(prebound.is_empty() || prebound.len() == var_count);
     let mut order: Vec<usize> = Vec::new();
     let mut used = vec![false; atoms.len()];
     let mut bound_var = vec![false; var_count];
+    for (v, &b) in prebound.iter().enumerate() {
+        bound_var[v] = b;
+    }
     if let Some(s) = seed {
         used[s] = true;
         order.push(s);
@@ -191,6 +222,9 @@ fn plan_steps(
     }
     // Derive the step classifications along the chosen order.
     let mut bound_var = vec![false; var_count];
+    for (v, &b) in prebound.iter().enumerate() {
+        bound_var[v] = b;
+    }
     order
         .iter()
         .map(|&ai| {

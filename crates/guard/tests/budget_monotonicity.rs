@@ -61,7 +61,9 @@ proptest! {
         let single = p.evaluate_budgeted(&a, &cfg, &Budget::fuel(f1 + f2));
         let split = match p.evaluate_budgeted(&a, &cfg, &Budget::fuel(f1)) {
             Ok(done) => Ok(done), // finished within f1: extra fuel changes nothing
-            Err(e) => p.resume_budgeted(&a, &cfg, e.partial, &Budget::fuel(f2)),
+            Err(e) => p
+                .resume_budgeted(&a, &cfg, e.partial, &Budget::fuel(f2))
+                .expect("checkpoint comes from this program"),
         };
         prop_assert_eq!(state(split), state(single));
     }

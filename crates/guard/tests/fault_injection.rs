@@ -104,6 +104,7 @@ fn forced_exhaustion_yields_deterministic_partial() {
     fault::clear();
     let resumed = p
         .resume_budgeted(&a, &cfg, first, &Budget::unlimited())
+        .expect("checkpoint comes from this program")
         .expect("an unlimited, un-faulted resume finishes");
     let reference = p.evaluate_reference(&a);
     assert!(resumed.converged);
@@ -138,6 +139,7 @@ fn randomized_exhaustion_points_never_hang_or_poison() {
                     assert!(!cp.partial.converged);
                     let resumed = p
                         .resume_budgeted(&a, &cfg, cp, &Budget::unlimited())
+                        .expect("checkpoint comes from this program")
                         .expect("resume after a disarmed fault finishes");
                     assert_eq!(
                         resumed.relations, reference.relations,
@@ -150,6 +152,123 @@ fn randomized_exhaustion_points_never_hang_or_poison() {
             let clean = p.evaluate_with(&a, &EvalConfig::new());
             assert!(clean.diagnostics.is_empty());
             assert_eq!(clean.relations, reference.relations);
+        }
+    }
+}
+
+/// Forced fuel exhaustion mid-maintenance: the incremental engine stops at
+/// a stratum boundary with a resumable checkpoint, and resuming (trigger
+/// disarmed) lands on exactly the state a full re-evaluation computes.
+#[test]
+fn forced_exhaustion_during_incremental_maintenance_resumes_exactly() {
+    use hp_datalog::{EdbDelta, MaterializedDb};
+
+    let _serial = fault::exclusive();
+    fault::clear();
+    let p = gallery::cycle_detection();
+    let a = directed_path(12);
+    let cfg = EvalConfig::new();
+    let mut db = MaterializedDb::new(&p, a.clone()).expect("vocab matches");
+
+    // Delete an edge below the recursive derivations, then force the gauge
+    // to trip at the first stratum boundary.
+    let mut minus = EdbDelta::new(p.edb());
+    minus.push_ids(0, &[5, 6]);
+    let plus = EdbDelta::new(p.edb());
+    fault::install(fault::FaultPlan {
+        exhaust_at: Some(1),
+        panic_at: None,
+    });
+    let exhausted = p
+        .evaluate_incremental_budgeted(&mut db, &plus, &minus, &cfg, &Budget::unlimited())
+        .expect("valid batch")
+        .expect_err("forced exhaustion must stop an unlimited run");
+    assert!(db.is_in_flight());
+    assert_eq!(
+        exhausted.partial.committed_strata(),
+        1,
+        "stopped at the first boundary"
+    );
+
+    fault::clear();
+    let resumed = p
+        .resume_incremental(&mut db, exhausted.partial, &cfg, &Budget::unlimited())
+        .expect("checkpoint comes from this run")
+        .expect("an unlimited, un-faulted resume finishes");
+    assert!(!db.is_in_flight());
+
+    let mut b = a;
+    assert!(b.remove_tuple(0usize.into(), &[5u32.into(), 6u32.into()]));
+    let reference = p.evaluate(&b);
+    assert_eq!(resumed.relations, reference.relations);
+    assert_eq!(db.relations(), &reference.relations[..]);
+}
+
+/// Randomized injection points across a stream of incremental updates:
+/// whatever boundary the forced exhaustion lands on, resuming reaches the
+/// same fixpoint as full re-evaluation, and the database is never poisoned.
+#[test]
+fn randomized_exhaustion_points_in_maintenance_never_poison() {
+    use hp_datalog::{EdbDelta, MaterializedDb};
+
+    let _serial = fault::exclusive();
+    fault::clear();
+    let p = gallery::cycle_detection();
+    let cfg = EvalConfig::new();
+    for seed in 0..4u64 {
+        let a = random_digraph(8, 16, seed);
+        for at in [1u64, 2, 3, 5, 8, 10_000] {
+            let mut db = MaterializedDb::new(&p, a.clone()).expect("vocab matches");
+            let mut b = a.clone();
+            // One deletion, one insertion — both touch the recursive stratum.
+            let mut minus = EdbDelta::new(p.edb());
+            minus.push_ids(0, &[(seed % 8) as u32, ((seed + 1) % 8) as u32]);
+            let mut plus = EdbDelta::new(p.edb());
+            plus.push_ids(0, &[((seed + 2) % 8) as u32, (seed % 8) as u32]);
+            if !b.contains_tuple(
+                0usize.into(),
+                &[(((seed + 2) % 8) as u32).into(), ((seed % 8) as u32).into()],
+            ) {
+                let _ = b.add_tuple_ids(0, &[((seed + 2) % 8) as u32, (seed % 8) as u32]);
+            }
+            b.remove_tuple(
+                0usize.into(),
+                &[((seed % 8) as u32).into(), (((seed + 1) % 8) as u32).into()],
+            );
+            let reference = p.evaluate(&b);
+
+            fault::install(fault::FaultPlan {
+                exhaust_at: Some(at),
+                panic_at: None,
+            });
+            match p
+                .evaluate_incremental_budgeted(&mut db, &plus, &minus, &cfg, &Budget::unlimited())
+                .expect("valid batch")
+            {
+                Ok(r) => {
+                    assert_eq!(r.relations, reference.relations, "seed {seed} at {at}");
+                }
+                Err(e) => {
+                    assert!(db.is_in_flight());
+                    fault::clear();
+                    let resumed = p
+                        .resume_incremental(&mut db, e.partial, &cfg, &Budget::unlimited())
+                        .expect("checkpoint comes from this run")
+                        .expect("resume after a disarmed fault finishes");
+                    assert_eq!(
+                        resumed.relations, reference.relations,
+                        "seed {seed} at {at}"
+                    );
+                }
+            }
+            fault::clear();
+            // No poisoned state: a follow-up no-op batch changes nothing.
+            let empty = EdbDelta::new(p.edb());
+            let clean = p
+                .evaluate_incremental(&mut db, &empty, &empty)
+                .expect("no-op batch");
+            assert_eq!(clean.relations, reference.relations, "seed {seed} at {at}");
+            assert_eq!(clean.stages, 0);
         }
     }
 }

@@ -1,0 +1,309 @@
+//! Counted tuple storage for incremental view maintenance.
+//!
+//! [`CountedStore`] pairs each distinct tuple with a signed derivation
+//! count. It is the bookkeeping structure behind counting-based maintenance
+//! of non-recursive Datalog strata: every rule derivation contributes `+1`,
+//! every retracted derivation `-1`, and a tuple is *in* the view exactly
+//! while its total count is positive. Like [`TupleStore`], it keeps a
+//! sorted committed run plus an unsorted pending delta so a maintenance
+//! round batches all its signed derivations and pays one sort + merge in
+//! [`apply`](CountedStore::apply), which also reports the set-level
+//! insertions and deletions (count transitions through zero) as sealed
+//! [`TupleStore`]s ready to feed the next stratum.
+
+use crate::elem::Elem;
+use crate::store::TupleStore;
+
+/// A multiset of same-arity tuples: sorted distinct rows with signed
+/// derivation counts, plus a pending delta of `(row, ±count)` pairs.
+///
+/// Invariants:
+///
+/// * committed rows are lexicographically sorted and distinct, with
+///   `counts[i] > 0` the derivation count of row `i`;
+/// * `data.len() == counts.len() * arity` and
+///   `pending.len() == pending_counts.len() * arity`;
+/// * the pending region is unordered and may repeat rows (with any signs)
+///   until [`apply`](CountedStore::apply) folds it in.
+#[derive(Clone, Debug)]
+pub struct CountedStore {
+    arity: usize,
+    /// Committed arena: `counts.len() * arity` elements, sorted rows.
+    data: Vec<Elem>,
+    /// Per-committed-row derivation counts, all positive.
+    counts: Vec<i64>,
+    /// Pending arena: `pending_counts.len() * arity` elements.
+    pending: Vec<Elem>,
+    /// Signed count deltas for the pending rows.
+    pending_counts: Vec<i64>,
+}
+
+/// The set-level effect of one [`CountedStore::apply`]: tuples whose count
+/// rose from zero and tuples whose count fell to zero. Both stores are
+/// sealed and sorted.
+#[derive(Clone, Debug)]
+pub struct CountedDelta {
+    /// Tuples newly in the view (count went `0 → positive`).
+    pub inserted: TupleStore,
+    /// Tuples no longer in the view (count went `positive → 0`).
+    pub removed: TupleStore,
+}
+
+impl CountedDelta {
+    /// True when the apply changed no set-level membership.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.removed.is_empty()
+    }
+}
+
+impl CountedStore {
+    /// An empty counted store of the given arity.
+    pub fn new(arity: usize) -> Self {
+        CountedStore {
+            arity,
+            data: Vec::new(),
+            counts: Vec::new(),
+            pending: Vec::new(),
+            pending_counts: Vec::new(),
+        }
+    }
+
+    /// The arity (row stride) of the store.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of committed distinct rows (the current view size).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when there are no committed rows and no pending deltas.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty() && self.pending_counts.is_empty()
+    }
+
+    /// Buffer a signed derivation-count delta for `t` (no ordering work).
+    #[inline]
+    pub fn push(&mut self, t: &[Elem], delta: i64) {
+        debug_assert_eq!(t.len(), self.arity);
+        self.pending.extend_from_slice(t);
+        self.pending_counts.push(delta);
+    }
+
+    /// The committed derivation count of `t` (0 when absent). Pending
+    /// deltas are not visible until [`apply`](CountedStore::apply).
+    pub fn count(&self, t: &[Elem]) -> i64 {
+        debug_assert_eq!(t.len(), self.arity);
+        let k = self.arity;
+        if k == 0 {
+            return self.counts.first().copied().unwrap_or(0);
+        }
+        let rows = self.counts.len();
+        let row = |i: usize| &self.data[i * k..(i + 1) * k];
+        let (mut lo, mut hi) = (0usize, rows);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if row(mid) < t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < rows && row(lo) == t {
+            self.counts[lo]
+        } else {
+            0
+        }
+    }
+
+    /// Iterate the committed `(row, count)` pairs in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Elem], i64)> + '_ {
+        let k = self.arity;
+        self.counts.iter().enumerate().map(move |(i, &c)| {
+            let row: &[Elem] = &self.data[i * k..(i + 1) * k];
+            (row, c)
+        })
+    }
+
+    /// Move every pending delta of `other` into this store's pending
+    /// region. This is the fold step when maintenance rounds accumulate
+    /// per-worker counted deltas: workers fill fresh stores, the owner
+    /// absorbs them in a deterministic order.
+    pub fn absorb_pending(&mut self, other: CountedStore) {
+        debug_assert_eq!(self.arity, other.arity);
+        debug_assert!(
+            other.counts.is_empty(),
+            "absorb_pending takes delta-only stores"
+        );
+        self.pending.extend_from_slice(&other.pending);
+        self.pending_counts.extend_from_slice(&other.pending_counts);
+    }
+
+    /// Fold the pending deltas into the committed run and report the
+    /// set-level changes.
+    ///
+    /// Equal pending rows are grouped and their signed deltas summed; the
+    /// grouped deltas then merge with the committed run. Transitions:
+    /// a row whose total becomes positive from absent is **inserted**, one
+    /// whose total reaches zero from present is **removed**, and a pending
+    /// row whose total cancels to zero without ever being committed is
+    /// transient and leaves no trace. Totals are clamped at zero — a
+    /// negative total would mean retracting a derivation that was never
+    /// counted, which the maintenance algebra never produces
+    /// (`debug_assert`ed).
+    pub fn apply(&mut self) -> CountedDelta {
+        let k = self.arity;
+        let mut delta = CountedDelta {
+            inserted: TupleStore::new(k),
+            removed: TupleStore::new(k),
+        };
+        if self.pending_counts.is_empty() {
+            return delta;
+        }
+        let pend = std::mem::take(&mut self.pending);
+        let pend_counts = std::mem::take(&mut self.pending_counts);
+        // Sort pending row indices; equal rows become adjacent groups.
+        let mut idx: Vec<usize> = (0..pend_counts.len()).collect();
+        idx.sort_unstable_by(|&i, &j| pend[i * k..(i + 1) * k].cmp(&pend[j * k..(j + 1) * k]));
+
+        let old_data = std::mem::take(&mut self.data);
+        let old_counts = std::mem::take(&mut self.counts);
+        let old_rows = old_counts.len();
+        let old_row = |i: usize| &old_data[i * k..(i + 1) * k];
+        self.data.reserve(old_data.len());
+        self.counts.reserve(old_rows);
+
+        let mut di = 0usize; // cursor into the old committed run
+        let mut gi = 0usize; // cursor into the sorted pending indices
+        while gi < idx.len() {
+            let grow = &pend[idx[gi] * k..(idx[gi] + 1) * k];
+            // Copy committed rows strictly before this pending group.
+            while di < old_rows && old_row(di) < grow {
+                self.data.extend_from_slice(old_row(di));
+                self.counts.push(old_counts[di]);
+                di += 1;
+            }
+            // Sum the signed deltas of the whole equal-row group.
+            let mut sum = 0i64;
+            while gi < idx.len() && &pend[idx[gi] * k..(idx[gi] + 1) * k] == grow {
+                sum += pend_counts[idx[gi]];
+                gi += 1;
+            }
+            let existed = di < old_rows && old_row(di) == grow;
+            let base = if existed { old_counts[di] } else { 0 };
+            if existed {
+                di += 1;
+            }
+            let total = base + sum;
+            debug_assert!(total >= 0, "derivation count under-run for {grow:?}");
+            let total = total.max(0);
+            if total > 0 {
+                self.data.extend_from_slice(grow);
+                self.counts.push(total);
+                if !existed {
+                    delta.inserted.push(grow);
+                }
+            } else if existed {
+                delta.removed.push(grow);
+            }
+        }
+        // Tail of the committed run.
+        while di < old_rows {
+            self.data.extend_from_slice(old_row(di));
+            self.counts.push(old_counts[di]);
+            di += 1;
+        }
+        // Groups were visited in sorted order, so these seals are cheap
+        // in-order merges into empty runs.
+        delta.inserted.seal();
+        delta.removed.seal();
+        delta
+    }
+
+    /// Bytes of heap held by the arenas and count vectors (capacity, not
+    /// length) — analytic footprint reporting, matching
+    /// [`TupleStore::heap_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        (self.data.capacity() + self.pending.capacity()) * std::mem::size_of::<Elem>()
+            + (self.counts.capacity() + self.pending_counts.capacity()) * std::mem::size_of::<i64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_of(s: &TupleStore) -> Vec<Vec<u32>> {
+        s.iter().map(|r| r.iter().map(|e| e.0).collect()).collect()
+    }
+
+    #[test]
+    fn counts_accumulate_and_transition() {
+        let mut c = CountedStore::new(1);
+        c.push(&[Elem(3)], 1);
+        c.push(&[Elem(3)], 1);
+        c.push(&[Elem(5)], 1);
+        let d = c.apply();
+        assert_eq!(rows_of(&d.inserted), vec![vec![3], vec![5]]);
+        assert!(d.removed.is_empty());
+        assert_eq!(c.count(&[Elem(3)]), 2);
+        assert_eq!(c.count(&[Elem(5)]), 1);
+
+        // One retraction of a doubly-derived tuple: count drops, set stays.
+        c.push(&[Elem(3)], -1);
+        c.push(&[Elem(5)], -1);
+        let d = c.apply();
+        assert!(d.inserted.is_empty());
+        assert_eq!(rows_of(&d.removed), vec![vec![5]]);
+        assert_eq!(c.count(&[Elem(3)]), 1);
+        assert_eq!(c.count(&[Elem(5)]), 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn transient_rows_leave_no_trace() {
+        let mut c = CountedStore::new(2);
+        c.push(&[Elem(1), Elem(2)], 1);
+        c.push(&[Elem(1), Elem(2)], -1);
+        let d = c.apply();
+        assert!(d.is_empty());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn arity_zero_counts() {
+        let mut c = CountedStore::new(0);
+        assert_eq!(c.count(&[]), 0);
+        c.push(&[], 1);
+        c.push(&[], 1);
+        let d = c.apply();
+        assert_eq!(d.inserted.len(), 1);
+        assert_eq!(c.count(&[]), 2);
+        c.push(&[], -2);
+        let d = c.apply();
+        assert_eq!(d.removed.len(), 1);
+        assert_eq!(c.count(&[]), 0);
+    }
+
+    #[test]
+    fn absorb_pending_merges_worker_deltas() {
+        let mut owner = CountedStore::new(1);
+        let mut w1 = CountedStore::new(1);
+        let mut w2 = CountedStore::new(1);
+        w1.push(&[Elem(1)], 1);
+        w2.push(&[Elem(1)], 1);
+        w2.push(&[Elem(2)], -1);
+        owner.push(&[Elem(2)], 1);
+        owner.apply();
+        owner.absorb_pending(w1);
+        owner.absorb_pending(w2);
+        let d = owner.apply();
+        assert_eq!(rows_of(&d.inserted), vec![vec![1]]);
+        assert_eq!(rows_of(&d.removed), vec![vec![2]]);
+        assert_eq!(owner.count(&[Elem(1)]), 2);
+    }
+}

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod bitset;
+mod counted;
 mod elem;
 mod error;
 mod fmt;
@@ -58,6 +59,7 @@ mod vocab;
 pub mod generators;
 
 pub use bitset::BitSet;
+pub use counted::{CountedDelta, CountedStore};
 pub use elem::Elem;
 pub use error::StructureError;
 pub use gaifman::{is_d_scattered, Neighborhoods};

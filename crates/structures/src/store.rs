@@ -16,6 +16,16 @@
 //! additionally scans the pending region so unsealed stores still answer
 //! membership correctly.
 //!
+//! Mutating single-row operations ([`insert`](TupleStore::insert),
+//! [`remove`](TupleStore::remove)) seal first, so a tuple that only exists
+//! in the pending delta is still removable. The binary set operations
+//! ([`merge`](TupleStore::merge), [`difference`](TupleStore::difference),
+//! [`intersection`](TupleStore::intersection),
+//! [`is_subset`](TupleStore::is_subset)) and the probe primitives
+//! ([`prefix_range`](TupleStore::prefix_range)) require *both* operands to
+//! be sealed — enforced with `debug_assert` — because they gallop over the
+//! sorted runs only.
+//!
 //! Rows are addressed by index: row `i` of an arity-`k` store is
 //! `data[i*k .. (i+1)*k]`, handed out as a zero-copy `&[Elem]`. Arity-0
 //! relations (nullary predicates) are supported: the arena stays empty and
@@ -146,7 +156,18 @@ impl TupleStore {
     /// Fold the pending delta into the sorted run: sort the pending rows,
     /// drop duplicates, and merge with the existing run in one galloping
     /// pass. Idempotent; a no-op when already sealed.
+    ///
+    /// Pending row indices are sorted through a `Vec<u32>` to halve the
+    /// scratch footprint of the common case; a pending count that does not
+    /// fit in `u32` (≥ 2³² buffered rows) automatically takes an equivalent
+    /// `usize`-indexed path instead of silently truncating.
     pub fn seal(&mut self) {
+        self.seal_impl(self.pending_rows > u32::MAX as usize);
+    }
+
+    /// The seal body, with the index-width decision made explicit so the
+    /// wide path is unit-testable on small data.
+    fn seal_impl(&mut self, wide: bool) {
         if self.pending_rows == 0 {
             return;
         }
@@ -160,20 +181,38 @@ impl TupleStore {
         }
         // Sort row *indices* so the arena itself is never permuted.
         let pend = std::mem::take(&mut self.pending);
-        let mut idx: Vec<u32> = (0..self.pending_rows as u32).collect();
-        idx.sort_unstable_by(|&i, &j| {
-            let (i, j) = (i as usize, j as usize);
-            pend[i * k..(i + 1) * k].cmp(&pend[j * k..(j + 1) * k])
-        });
-        idx.dedup_by(|a, b| {
-            let (a, b) = (*a as usize, *b as usize);
-            pend[a * k..(a + 1) * k] == pend[b * k..(b + 1) * k]
-        });
+        if wide {
+            let idx: Vec<usize> =
+                sort_dedup_rows((0..self.pending_rows).collect(), |i| i, &pend, k);
+            self.merge_sorted_pending(&pend, &idx, |i| i);
+        } else {
+            debug_assert!(self.pending_rows <= u32::MAX as usize);
+            let idx: Vec<u32> = sort_dedup_rows(
+                (0..self.pending_rows as u32).collect(),
+                |i| i as usize,
+                &pend,
+                k,
+            );
+            self.merge_sorted_pending(&pend, &idx, |i| i as usize);
+        }
+        self.pending_rows = 0;
+        self.pending.clear();
+    }
+
+    /// Merge sorted, distinct pending row indices (`idx` into `pend`) with
+    /// the existing sorted run, deduplicating across the boundary.
+    fn merge_sorted_pending<I: Copy>(
+        &mut self,
+        pend: &[Elem],
+        idx: &[I],
+        to_usize: impl Fn(I) -> usize,
+    ) {
+        let k = self.arity;
         let mut out: Vec<Elem> = Vec::with_capacity(self.data.len() + idx.len() * k);
         let mut out_rows = 0usize;
         let mut di = 0usize; // row cursor into the sorted run
-        for &pi in &idx {
-            let pi = pi as usize;
+        for &pi in idx {
+            let pi = to_usize(pi);
             let prow = &pend[pi * k..(pi + 1) * k];
             let hi = self.lower_bound_from(di, prow);
             out.extend_from_slice(&self.data[di * k..hi * k]);
@@ -189,8 +228,6 @@ impl TupleStore {
         out_rows += self.rows - di;
         self.data = out;
         self.rows = out_rows;
-        self.pending_rows = 0;
-        self.pending.clear();
     }
 
     /// Membership test: binary search in the sorted run plus a linear scan
@@ -316,6 +353,70 @@ impl TupleStore {
         out
     }
 
+    /// Rows present in both `self` and `other` (both sealed), as a new
+    /// sealed store. Gallops the larger operand from the smaller one so the
+    /// cost is `O(min · log max)`.
+    pub fn intersection(&self, other: &TupleStore) -> TupleStore {
+        debug_assert_eq!(self.arity, other.arity);
+        debug_assert!(self.is_sealed() && other.is_sealed());
+        let (small, large) = if self.rows <= other.rows {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = TupleStore::new(self.arity);
+        let mut j = 0usize;
+        for i in 0..small.rows {
+            let r = small.row(i);
+            j = large.lower_bound_from(j, r);
+            if j < large.rows && large.row(j) == r {
+                out.data.extend_from_slice(r);
+                out.rows += 1;
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// The contiguous range of sorted-run row indices whose first
+    /// `prefix.len()` elements equal `prefix` (sealed stores only). Two
+    /// binary searches; an empty prefix selects every row. This is the probe
+    /// primitive behind permuted secondary indexes: sort a copy of the store
+    /// with the key columns first, then `prefix_range(key)` is the matching
+    /// row set.
+    pub fn prefix_range(&self, prefix: &[Elem]) -> std::ops::Range<usize> {
+        debug_assert!(self.is_sealed());
+        debug_assert!(prefix.len() <= self.arity);
+        let p = prefix.len();
+        if p == 0 {
+            return 0..self.rows;
+        }
+        let k = self.arity;
+        let key = |i: usize| &self.data[i * k..i * k + p];
+        // First row whose prefix is >= `prefix`.
+        let (mut lo, mut hi) = (0usize, self.rows);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if key(mid) < prefix {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let start = lo;
+        // First row whose prefix is > `prefix`.
+        let mut hi = self.rows;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if key(mid) <= prefix {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        start..lo
+    }
+
     /// True when every sealed row of `self` is a row of `other` (both
     /// sealed). Galloping merge scan.
     pub fn is_subset(&self, other: &TupleStore) -> bool {
@@ -379,6 +480,27 @@ impl TupleStore {
         }
         hi
     }
+}
+
+/// Sort row indices `idx` by the rows they address in the arity-`k` arena
+/// `pend`, then drop indices of duplicate rows. Generic over the index type
+/// so `seal` can use `u32` scratch in the common case and `usize` when the
+/// pending count exceeds `u32::MAX`.
+fn sort_dedup_rows<I: Copy>(
+    mut idx: Vec<I>,
+    to_usize: impl Fn(I) -> usize,
+    pend: &[Elem],
+    k: usize,
+) -> Vec<I> {
+    idx.sort_unstable_by(|&i, &j| {
+        let (i, j) = (to_usize(i), to_usize(j));
+        pend[i * k..(i + 1) * k].cmp(&pend[j * k..(j + 1) * k])
+    });
+    idx.dedup_by(|a, b| {
+        let (a, b) = (to_usize(*a), to_usize(*b));
+        pend[a * k..(a + 1) * k] == pend[b * k..(b + 1) * k]
+    });
+    idx
 }
 
 /// Zero-copy iterator over the sorted rows of a [`TupleStore`].
@@ -528,6 +650,64 @@ mod tests {
         assert!(s.remove(&[Elem(1), Elem(2)]));
         assert!(!s.remove(&[Elem(1), Elem(2)]));
         assert_eq!(rows_of(&s), vec![vec![0, 9]]);
+    }
+
+    #[test]
+    fn wide_seal_path_matches_narrow() {
+        // Exercise the usize-indexed seal path (taken automatically only
+        // when pending_rows > u32::MAX) on small data and check it agrees
+        // with the default u32 path.
+        let tuples = [[2u32, 0], [0, 1], [0, 0], [0, 1], [2, 0], [1, 9]];
+        let mut narrow = TupleStore::new(2);
+        let mut wide = TupleStore::new(2);
+        for s in [&mut narrow, &mut wide] {
+            s.insert(&[Elem(0), Elem(1)]);
+            s.insert(&[Elem(5), Elem(5)]);
+            for t in tuples {
+                s.push(&[Elem(t[0]), Elem(t[1])]);
+            }
+        }
+        narrow.seal_impl(false);
+        wide.seal_impl(true);
+        assert!(wide.is_sealed());
+        assert_eq!(narrow, wide);
+        assert_eq!(
+            rows_of(&wide),
+            vec![vec![0, 0], vec![0, 1], vec![1, 9], vec![2, 0], vec![5, 5]]
+        );
+    }
+
+    #[test]
+    fn intersection_gallops_both_ways() {
+        let mut a = TupleStore::new(1);
+        let mut b = TupleStore::new(1);
+        for i in [1u32, 3, 5, 7] {
+            a.insert(&[Elem(i)]);
+        }
+        for i in [0u32, 3, 4, 7, 9, 11] {
+            b.insert(&[Elem(i)]);
+        }
+        assert_eq!(rows_of(&a.intersection(&b)), vec![vec![3], vec![7]]);
+        assert_eq!(a.intersection(&b), b.intersection(&a));
+        let empty = TupleStore::new(1);
+        assert!(a.intersection(&empty).is_empty());
+        assert!(empty.intersection(&a).is_empty());
+    }
+
+    #[test]
+    fn prefix_range_selects_matching_rows() {
+        let mut s = TupleStore::new(2);
+        for t in [[0u32, 3], [1, 0], [1, 2], [1, 7], [2, 2]] {
+            s.insert(&[Elem(t[0]), Elem(t[1])]);
+        }
+        assert_eq!(s.prefix_range(&[]), 0..5);
+        assert_eq!(s.prefix_range(&[Elem(1)]), 1..4);
+        assert_eq!(s.prefix_range(&[Elem(0)]), 0..1);
+        assert_eq!(s.prefix_range(&[Elem(2)]), 4..5);
+        assert_eq!(s.prefix_range(&[Elem(3)]), 5..5);
+        let r = s.prefix_range(&[Elem(1), Elem(2)]);
+        assert_eq!(r, 2..3);
+        assert_eq!(s.row(2), &[Elem(1), Elem(2)]);
     }
 
     #[test]

@@ -114,6 +114,15 @@ impl Relation {
         self.store.remove(t)
     }
 
+    /// Bulk-remove: drop every tuple of the sealed store `other` in one
+    /// galloping [`TupleStore::difference`] pass. Returns the number of
+    /// tuples actually removed.
+    pub fn remove_tuples(&mut self, other: &TupleStore) -> usize {
+        let before = self.store.len();
+        self.store = self.store.difference(other);
+        before - self.store.len()
+    }
+
     /// Drop all tuples, keeping the arena allocation.
     pub fn clear(&mut self) {
         self.store.clear()
@@ -304,6 +313,14 @@ impl Structure {
     /// Remove a tuple from a relation. Returns true if it was present.
     pub fn remove_tuple(&mut self, sym: SymbolId, t: &[Elem]) -> bool {
         self.relations[sym.index()].remove(t)
+    }
+
+    /// Bulk-remove a sealed batch of tuples from one relation (the EDB
+    /// delete path of incremental maintenance). Returns the number of
+    /// tuples actually removed.
+    pub fn remove_tuples(&mut self, sym: SymbolId, tuples: &TupleStore) -> usize {
+        debug_assert_eq!(tuples.arity(), self.vocab.arity(sym));
+        self.relations[sym.index()].remove_tuples(tuples)
     }
 
     /// Membership test.

@@ -125,6 +125,139 @@ proptest! {
         prop_assert!(empty.is_subset(&s));
     }
 
+    /// Interleaved insert/remove/seal sequences on the raw store agree with
+    /// the model — in particular a tuple that only exists in the *pending*
+    /// delta must still be removable (`remove` seals first), and removals
+    /// followed by re-pushes of the same tuple must round-trip.
+    #[test]
+    fn tuple_store_interleaved_ops_match_model(
+        input in (1usize..=3).prop_flat_map(|k| (
+            Just(k),
+            prop::collection::vec(
+                (0usize..4, prop::collection::vec((0u32..5).prop_map(Elem), k..=k)),
+                0..160,
+            ),
+        ))
+    ) {
+        let (k, ops) = input;
+        let mut s = TupleStore::new(k);
+        let mut model: BTreeSet<Vec<Elem>> = BTreeSet::new();
+        for (op, t) in ops {
+            match op {
+                0 => {
+                    // Buffered insert: lands in the pending delta only.
+                    s.push(&t);
+                    model.insert(t);
+                }
+                1 => {
+                    prop_assert_eq!(s.remove(&t), model.remove(&t), "remove divergence");
+                }
+                2 => {
+                    prop_assert_eq!(s.contains(&t), model.contains(&t), "contains divergence");
+                }
+                _ => s.seal(),
+            }
+        }
+        s.seal();
+        prop_assert_eq!(s.len(), model.len());
+        let got: Vec<Vec<Elem>> = s.iter().map(<[Elem]>::to_vec).collect();
+        prop_assert_eq!(got, model.iter().cloned().collect::<Vec<_>>());
+    }
+
+    /// `prefix_range` and `intersection` agree with brute-force models.
+    #[test]
+    fn prefix_range_and_intersection_match_model(
+        xs in tuples_strategy(2, 40),
+        ys in tuples_strategy(2, 40),
+        probe in (0u32..6).prop_map(Elem),
+    ) {
+        let mut s = TupleStore::new(2);
+        let mut model: BTreeSet<Vec<Elem>> = BTreeSet::new();
+        for t in &xs {
+            s.push(t);
+            model.insert(t.clone());
+        }
+        s.seal();
+        let r = s.prefix_range(&[probe]);
+        let want: Vec<Vec<Elem>> =
+            model.iter().filter(|t| t[0] == probe).cloned().collect();
+        let got: Vec<Vec<Elem>> = r.map(|i| s.row(i).to_vec()).collect();
+        prop_assert_eq!(got, want, "prefix_range");
+        prop_assert_eq!(s.prefix_range(&[]), 0..s.len());
+
+        let mut o = TupleStore::new(2);
+        let mut omodel: BTreeSet<Vec<Elem>> = BTreeSet::new();
+        for t in &ys {
+            o.push(t);
+            omodel.insert(t.clone());
+        }
+        o.seal();
+        let inter: Vec<Vec<Elem>> = model.intersection(&omodel).cloned().collect();
+        let got: Vec<Vec<Elem>> =
+            s.intersection(&o).iter().map(<[Elem]>::to_vec).collect();
+        prop_assert_eq!(got, inter, "intersection");
+    }
+
+    /// `CountedStore` agrees with a `BTreeMap<tuple, i64>` multiset model:
+    /// after each `apply`, per-tuple counts match and the reported
+    /// inserted/removed stores are exactly the set-level membership
+    /// transitions.
+    #[test]
+    fn counted_store_matches_model(
+        input in (0usize..=2).prop_flat_map(|k| (
+            Just(k),
+            prop::collection::vec(
+                (prop::collection::vec((0u32..4).prop_map(Elem), k..=k), any::<bool>()),
+                0..120,
+            ),
+            prop::collection::vec(any::<bool>(), 120..121),
+        ))
+    ) {
+        use std::collections::BTreeMap;
+        let (k, pushes, applies) = input;
+        let mut c = hp_structures::CountedStore::new(k);
+        let mut model: BTreeMap<Vec<Elem>, i64> = BTreeMap::new();
+        let mut buffered: Vec<(Vec<Elem>, i64)> = Vec::new();
+        for (i, (t, _)) in pushes.iter().enumerate() {
+            // Keep model counts non-negative: only retract what the model
+            // (committed + buffered) currently holds, mirroring how the
+            // maintenance algebra only retracts counted derivations.
+            let cur = model.get(t).copied().unwrap_or(0)
+                + buffered.iter().filter(|(b, _)| b == t).map(|(_, d)| d).sum::<i64>();
+            let delta = if pushes[i].1 && cur > 0 { -1 } else { 1 };
+            c.push(t, delta);
+            buffered.push((t.clone(), delta));
+            if applies[i] {
+                let before: BTreeSet<Vec<Elem>> = model.keys().cloned().collect();
+                for (b, d) in buffered.drain(..) {
+                    let e = model.entry(b).or_insert(0);
+                    *e += d;
+                }
+                model.retain(|_, v| *v > 0);
+                let after: BTreeSet<Vec<Elem>> = model.keys().cloned().collect();
+                let d = c.apply();
+                let ins: Vec<Vec<Elem>> =
+                    d.inserted.iter().map(<[Elem]>::to_vec).collect();
+                let rem: Vec<Vec<Elem>> =
+                    d.removed.iter().map(<[Elem]>::to_vec).collect();
+                prop_assert_eq!(
+                    ins,
+                    after.difference(&before).cloned().collect::<Vec<_>>(),
+                    "inserted transitions"
+                );
+                prop_assert_eq!(
+                    rem,
+                    before.difference(&after).cloned().collect::<Vec<_>>(),
+                    "removed transitions"
+                );
+                prop_assert_eq!(c.len(), model.len());
+                for (t, &n) in &model {
+                    prop_assert_eq!(c.count(t), n, "count mismatch");
+                }
+            }
+        }
+    }
+
     /// `Relation` (the always-sealed wrapper) agrees with the model under
     /// arbitrary insert/remove/contains sequences.
     #[test]

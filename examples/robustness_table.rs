@@ -84,6 +84,7 @@ fn main() {
                     );
                     let resumed = p
                         .resume_budgeted(a, &cfg, cp, &Budget::unlimited())
+                        .expect("checkpoint comes from this program")
                         .expect("unlimited resume finishes");
                     let ok = resumed.relations == full.relations && resumed.stages == full.stages;
                     (
