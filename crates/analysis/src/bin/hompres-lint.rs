@@ -510,6 +510,9 @@ fn main() -> ExitCode {
             ("gallery::two_hop", gallery::two_hop()),
             ("gallery::absorbed_recursion", gallery::absorbed_recursion()),
             ("gallery::bounded_reach(3)", gallery::bounded_reach(3)),
+            ("gallery::non_reachability", gallery::non_reachability()),
+            ("gallery::set_difference", gallery::set_difference()),
+            ("gallery::win_move(2)", gallery::win_move(2)),
         ];
         for (name, p) in programs {
             let ds = analyzer.analyze_program(&p);

@@ -159,11 +159,15 @@ impl DataflowAnalysis for Relevance {
 
 /// Forward derivability analysis: a predicate is *possibly nonempty* when
 /// some EDB structure makes its relation nonempty. A rule derives its
-/// head as soon as every IDB predicate in its body is possibly nonempty
-/// (EDB atoms are satisfiable by a suitably rich input; on the 1-element
-/// structure with all EDB relations full, possibility and actuality
-/// coincide, so the analysis is exact). Predicates that end up `false`
-/// are **guaranteed empty on every input** — the HP015 warning.
+/// head as soon as every **positive** IDB predicate in its body is
+/// possibly nonempty (EDB atoms are satisfiable by a suitably rich input;
+/// on the 1-element structure with all EDB relations full, possibility
+/// and actuality coincide, so the analysis is exact for positive
+/// programs). Negated literals are skipped: a `not Q(..)` guard is
+/// satisfied by making `Q`'s supporting facts absent, so it never forces
+/// emptiness — under negation the analysis is a sound
+/// over-approximation. Predicates that end up `false` are **guaranteed
+/// empty on every input** — the HP015 warning.
 pub struct PossiblyNonempty;
 
 impl DataflowAnalysis for PossiblyNonempty {
@@ -191,8 +195,9 @@ impl DataflowAnalysis for PossiblyNonempty {
         values: &[bool],
     ) -> bool {
         rule.body.iter().all(|a| match a.pred {
-            PredRef::Idb(q) => q < values.len() && values[q],
-            PredRef::Edb(_) => true,
+            PredRef::Idb(q) if !a.negated => q < values.len() && values[q],
+            // Negated guards (and EDB atoms) never block derivability.
+            _ => true,
         })
     }
 }
@@ -284,6 +289,105 @@ impl DataflowAnalysis for StageDepth {
         }
         StageBound::Finite(worst + 1)
     }
+}
+
+/// A stratum bound: `Finite(s)` means the predicate sits in stratum `s`
+/// of the stratified semantics (its negation depth); [`Divergent`] is the
+/// lattice top, reached exactly when the predicate lies on or downstream
+/// of a cycle through a negated edge — i.e. the program is
+/// unstratifiable.
+///
+/// [`Divergent`]: StratumBound::Divergent
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StratumBound {
+    /// Stratum (negation depth) of the predicate.
+    Finite(usize),
+    /// No finite stratum: a negative cycle feeds this predicate.
+    Divergent,
+}
+
+impl StratumBound {
+    /// The finite stratum, if any.
+    pub fn finite(self) -> Option<usize> {
+        match self {
+            StratumBound::Finite(s) => Some(s),
+            StratumBound::Divergent => None,
+        }
+    }
+}
+
+impl JoinSemiLattice for StratumBound {
+    fn join(&mut self, other: &StratumBound) -> bool {
+        let joined = match (*self, *other) {
+            (StratumBound::Divergent, _) | (_, StratumBound::Divergent) => StratumBound::Divergent,
+            (StratumBound::Finite(a), StratumBound::Finite(b)) => StratumBound::Finite(a.max(b)),
+        };
+        let grew = joined != *self;
+        *self = joined;
+        grew
+    }
+}
+
+/// Forward stratum accounting: `stratum(h) = max` over body IDB atoms `q`
+/// of `stratum(q) + 1` if the occurrence is negated, else `stratum(q)`.
+/// A finite stratum can never reach the number of IDB predicates, so the
+/// lattice is capped there: hitting the cap means the value climbed
+/// around a cycle through a negated edge, and the predicate joins to
+/// [`StratumBound::Divergent`] — the dataflow rendering of the
+/// Apt–Blair–Walker stratifiability test. Negated **EDB** guards add no
+/// dependency and never bump a stratum.
+pub struct StratumDepth;
+
+impl DataflowAnalysis for StratumDepth {
+    type Value = StratumBound;
+
+    fn name(&self) -> &'static str {
+        "stratum-depth"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn init(&self, _facts: &ProgramFacts, _pdg: &Pdg, _pred: usize) -> StratumBound {
+        StratumBound::Finite(0)
+    }
+
+    fn transfer(
+        &self,
+        facts: &ProgramFacts,
+        _pdg: &Pdg,
+        _ri: usize,
+        rule: &Rule,
+        _target: usize,
+        values: &[StratumBound],
+    ) -> StratumBound {
+        let cap = facts.idbs.len();
+        let mut worst = 0usize;
+        for a in &rule.body {
+            if let PredRef::Idb(q) = a.pred {
+                if q >= values.len() {
+                    continue;
+                }
+                match values[q] {
+                    StratumBound::Finite(s) => {
+                        worst = worst.max(s + usize::from(a.negated));
+                    }
+                    StratumBound::Divergent => return StratumBound::Divergent,
+                }
+            }
+        }
+        if worst >= cap {
+            StratumBound::Divergent
+        } else {
+            StratumBound::Finite(worst)
+        }
+    }
+}
+
+/// Convenience: per-predicate stratum bounds.
+pub fn stratum_bounds(facts: &ProgramFacts, pdg: &Pdg) -> Vec<StratumBound> {
+    solve(&StratumDepth, facts, pdg)
 }
 
 /// Convenience: the set of relevant predicates (goal demand), or `None`
@@ -385,6 +489,70 @@ mod tests {
         assert_eq!(b[0], StageBound::Unbounded);
         // Downstream of a recursive predicate: still unbounded.
         assert_eq!(b[1], StageBound::Unbounded);
+    }
+
+    #[test]
+    fn stratum_bounds_match_program_strata() {
+        use hp_datalog::gallery;
+        for p in [
+            gallery::non_reachability(),
+            gallery::set_difference(),
+            gallery::win_move(2),
+            gallery::transitive_closure(),
+        ] {
+            let f = ProgramFacts::of_program(&p);
+            let g = Pdg::new(&f);
+            let got: Vec<Option<usize>> = stratum_bounds(&f, &g)
+                .into_iter()
+                .map(StratumBound::finite)
+                .collect();
+            let want: Vec<Option<usize>> = p.strata().iter().map(|&s| Some(s)).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn negative_cycle_diverges() {
+        // Win negates itself: Program::parse rejects it, so raw facts.
+        use hp_datalog::{DatalogAtom, Rule};
+        let v = Vocabulary::from_pairs([("Move", 2)]);
+        let m = v.lookup("Move").unwrap();
+        let f = ProgramFacts::from_parts(
+            v,
+            vec![("Win".to_string(), 1), ("Top".to_string(), 1)],
+            vec![
+                Rule {
+                    head: DatalogAtom::positive(PredRef::Idb(0), vec![0]),
+                    body: vec![
+                        DatalogAtom::positive(PredRef::Edb(m), vec![0, 1]),
+                        DatalogAtom {
+                            pred: PredRef::Idb(0),
+                            args: vec![1],
+                            negated: true,
+                        },
+                    ],
+                },
+                // Top reads Win positively: divergence propagates.
+                Rule {
+                    head: DatalogAtom::positive(PredRef::Idb(1), vec![0]),
+                    body: vec![DatalogAtom::positive(PredRef::Idb(0), vec![0])],
+                },
+            ],
+            vec!["x".to_string(), "y".to_string()],
+        );
+        let g = Pdg::new(&f);
+        let b = stratum_bounds(&f, &g);
+        assert_eq!(b[0], StratumBound::Divergent);
+        assert_eq!(b[1], StratumBound::Divergent);
+    }
+
+    #[test]
+    fn negated_guard_does_not_force_emptiness() {
+        use hp_datalog::gallery;
+        // Lose0 is guarded by `not Escape0`; both are possibly nonempty.
+        let f = ProgramFacts::of_program(&gallery::win_move(1));
+        let g = Pdg::new(&f);
+        assert!(possibly_nonempty(&f, &g).iter().all(|&b| b));
     }
 
     #[test]

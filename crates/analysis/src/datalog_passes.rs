@@ -21,7 +21,7 @@ use hp_guard::Budget;
 use hp_structures::Graph;
 use hp_tw::elimination::treewidth_upper_bound;
 
-use crate::dataflow::{possibly_nonempty, relevant_preds};
+use crate::dataflow::{possibly_nonempty, relevant_preds, stratum_bounds};
 use crate::diag::{Code, Diagnostic, Diagnostics, Severity};
 use crate::facts::ProgramFacts;
 use crate::pass::Pass;
@@ -54,7 +54,9 @@ impl Pass for HeadPass {
 }
 
 /// HP004: range restriction (§2.3) — every head variable must occur in
-/// the body.
+/// a **positive** body atom. A variable that appears only under a
+/// negation is not bound to anything: `not R(x,y)` restricts bindings,
+/// it never produces them.
 pub struct SafetyPass;
 
 impl Pass for SafetyPass {
@@ -66,8 +68,18 @@ impl Pass for SafetyPass {
     }
     fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
         for (ri, r) in facts.rules.iter().enumerate() {
-            let body_vars: BTreeSet<u32> =
-                r.body.iter().flat_map(|a| a.args.iter().copied()).collect();
+            let body_vars: BTreeSet<u32> = r
+                .body
+                .iter()
+                .filter(|a| !a.negated)
+                .flat_map(|a| a.args.iter().copied())
+                .collect();
+            let negated_vars: BTreeSet<u32> = r
+                .body
+                .iter()
+                .filter(|a| a.negated)
+                .flat_map(|a| a.args.iter().copied())
+                .collect();
             let unbound: Vec<String> = r
                 .head
                 .args
@@ -76,18 +88,163 @@ impl Pass for SafetyPass {
                 .map(|&v| facts.var_name(v))
                 .collect();
             if !unbound.is_empty() {
+                let only_negated = r
+                    .head
+                    .args
+                    .iter()
+                    .filter(|v| !body_vars.contains(v))
+                    .all(|v| negated_vars.contains(v));
                 out.push(Diagnostic::new(
                     Code::Hp004,
                     format!(
-                        "unsafe rule: head variable{} {} not bound in the body \
-                         (range restriction, §2.3)",
+                        "unsafe rule: head variable{} {} not bound by any positive body \
+                         atom (range restriction, §2.3){}",
                         if unbound.len() == 1 { "" } else { "s" },
-                        unbound.join(", ")
+                        unbound.join(", "),
+                        if only_negated {
+                            " — a negated literal restricts bindings, it never produces them"
+                        } else {
+                            ""
+                        }
                     ),
                     facts.rule_span(ri),
                 ));
             }
         }
+    }
+}
+
+/// HP022/HP023/HP024: polarity-aware stratification analysis.
+///
+/// HP023 is the negation-safety check (every variable of a negated
+/// literal must be bound by a positive body atom; heads must not be
+/// negated). HP022 fires when an IDB predicate depends on itself through
+/// a negated occurrence — equivalently, when the
+/// [`StratumDepth`](crate::dataflow::StratumDepth) dataflow analysis
+/// diverges — in which case the stratified semantics is undefined and
+/// `Program::parse` / evaluation refuse the program. On stratifiable
+/// programs with negation, HP024 reports the stratification depth and
+/// the per-stratum predicate layering (refining HP008/HP016, which
+/// classify only the positive dependency structure).
+pub struct StratificationPass;
+
+impl Pass for StratificationPass {
+    fn name(&self) -> &'static str {
+        "stratification"
+    }
+    fn codes(&self) -> &'static [Code] {
+        &[Code::Hp022, Code::Hp023, Code::Hp024]
+    }
+    fn run(&self, facts: &ProgramFacts, out: &mut Diagnostics) {
+        let mut any_negation = false;
+        for (ri, r) in facts.rules.iter().enumerate() {
+            if r.head.negated {
+                any_negation = true;
+                out.push(Diagnostic::new(
+                    Code::Hp023,
+                    format!(
+                        "rule head {} is negated; negation is only allowed on body literals",
+                        facts.pred_name(r.head.pred)
+                    ),
+                    facts.rule_span(ri),
+                ));
+            }
+            let pos_vars: BTreeSet<u32> = r
+                .body
+                .iter()
+                .filter(|a| !a.negated)
+                .flat_map(|a| a.args.iter().copied())
+                .collect();
+            for (ai, a) in r.body.iter().enumerate() {
+                if !a.negated {
+                    continue;
+                }
+                any_negation = true;
+                let unbound: Vec<String> = a
+                    .args
+                    .iter()
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .filter(|v| !pos_vars.contains(v))
+                    .map(|&v| facts.var_name(v))
+                    .collect();
+                if !unbound.is_empty() {
+                    out.push(Diagnostic::new(
+                        Code::Hp023,
+                        format!(
+                            "unsafe negation: variable{} {} of negated atom {} not bound \
+                             by any positive body atom",
+                            if unbound.len() == 1 { "" } else { "s" },
+                            unbound.join(", "),
+                            facts.pred_name(a.pred),
+                        ),
+                        facts.rule_atom_span(ri, ai),
+                    ));
+                }
+            }
+        }
+        if !any_negation {
+            // Positive programs are trivially stratified (one stratum);
+            // stay silent rather than restating HP008.
+            return;
+        }
+        let pdg = Pdg::new(facts);
+        // HP022: a negated edge inside a strongly connected component.
+        // Report at each rule carrying such an edge.
+        let mut unstratifiable = false;
+        for (ri, r) in facts.rules.iter().enumerate() {
+            let PredRef::Idb(h) = r.head.pred else {
+                continue;
+            };
+            if h >= facts.idbs.len() {
+                continue;
+            }
+            for a in &r.body {
+                if let PredRef::Idb(q) = a.pred {
+                    if a.negated && q < facts.idbs.len() && pdg.scc_of(q) == pdg.scc_of(h) {
+                        unstratifiable = true;
+                        out.push(Diagnostic::new(
+                            Code::Hp022,
+                            format!(
+                                "program is not stratifiable: {} depends on itself through \
+                                 a negated occurrence of {} — the stratified semantics is \
+                                 undefined and evaluation refuses the program",
+                                facts.pred_name(r.head.pred),
+                                facts.pred_name(a.pred),
+                            ),
+                            facts.rule_span(ri),
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+        let bounds = stratum_bounds(facts, &pdg);
+        if unstratifiable || bounds.iter().any(|b| b.finite().is_none()) {
+            return;
+        }
+        // HP024: stratum report for stratifiable programs with negation.
+        let strata: Vec<usize> = bounds.iter().map(|b| b.finite().expect("finite")).collect();
+        let depth = strata.iter().copied().max().unwrap_or(0) + 1;
+        let mut layers: Vec<Vec<&str>> = vec![Vec::new(); depth];
+        for (i, &s) in strata.iter().enumerate() {
+            layers[s].push(facts.idbs[i].0.as_str());
+        }
+        let layout: Vec<String> = layers
+            .iter()
+            .enumerate()
+            .map(|(s, names)| format!("stratum {s} = {{{}}}", names.join(", ")))
+            .collect();
+        out.push(Diagnostic::new(
+            Code::Hp024,
+            format!(
+                "stratified negation with {depth} strat{}: {} — each stratum is evaluated \
+                 to its fixpoint before the next reads its negated guards",
+                if depth == 1 { "um" } else { "a" },
+                layout.join("; "),
+            ),
+            crate::diag::Span::default(),
+        ));
     }
 }
 
@@ -163,9 +320,12 @@ impl Pass for UnusedIdbPass {
 }
 
 /// HP007: a rule whose head the goal does not (transitively) depend on
-/// cannot change the goal relation — positive Datalog is monotone, and no
-/// derivation of the goal can use such a rule. These rules can be removed
-/// by [`crate::dce::eliminate_dead_rules`] or `hompres-lint --fix`
+/// cannot change the goal relation — no derivation of the goal can use
+/// such a rule. The demand analysis follows negated dependency edges
+/// too: under stratified negation a goal can depend on a predicate
+/// *only* through negated guards, and such predicates (and their rules)
+/// are still live. These rules can be removed by
+/// [`crate::dce::eliminate_dead_rules`] or `hompres-lint --fix`
 /// ([`crate::fix`]) without changing the goal's fixpoint. The relevant
 /// set comes from the same demand analysis as HP006.
 pub struct DeadRulePass;
@@ -220,11 +380,25 @@ impl Pass for EmptinessPass {
         let nonempty = possibly_nonempty(facts, &pdg);
         for (i, (name, _)) in facts.idbs.iter().enumerate() {
             if !nonempty[i] {
+                let used_negated = facts.rules.iter().any(|r| {
+                    r.body
+                        .iter()
+                        .any(|a| a.negated && a.pred == PredRef::Idb(i))
+                });
                 out.push(Diagnostic::new(
                     Code::Hp015,
                     format!(
                         "IDB {name} is empty on every input structure: its rules have \
-                         no derivable base case"
+                         no derivable base case{}",
+                        if used_negated {
+                            format!(
+                                " — negated occurrences (`not {name}(..)`) are vacuously \
+                                 true guards, so removing them is sound but removing the \
+                                 rules they guard is not"
+                            )
+                        } else {
+                            String::new()
+                        }
                     ),
                     crate::diag::Span::default(),
                 ));
@@ -603,10 +777,12 @@ mod tests {
                 head: DatalogAtom {
                     pred: PredRef::Idb(0),
                     args: vec![0, 1],
+                    negated: false,
                 },
                 body: vec![DatalogAtom {
                     pred: PredRef::Edb(e),
                     args: vec![0, 0],
+                    negated: false,
                 }],
             }],
             vec!["x".to_string(), "y".to_string()],
@@ -636,10 +812,12 @@ mod tests {
                 head: DatalogAtom {
                     pred: PredRef::Edb(e),
                     args: vec![0, 1],
+                    negated: false,
                 },
                 body: vec![DatalogAtom {
                     pred: PredRef::Edb(e),
                     args: vec![0, 1],
+                    negated: false,
                 }],
             }],
             vec!["x".to_string(), "y".to_string()],
@@ -666,10 +844,12 @@ mod tests {
                 head: DatalogAtom {
                     pred: PredRef::Idb(0),
                     args: vec![0],
+                    negated: false,
                 },
                 body: vec![DatalogAtom {
                     pred: PredRef::Edb(e),
                     args: vec![0, 1, 1],
+                    negated: false,
                 }],
             }],
             vec!["x".to_string(), "y".to_string()],

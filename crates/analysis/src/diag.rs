@@ -68,11 +68,22 @@ pub enum Code {
     Hp020,
     /// Inline `# eval:` expectation failed (or is malformed).
     Hp021,
+    /// Program is not stratifiable: an IDB predicate depends on itself
+    /// through a negated occurrence, so the stratified semantics is
+    /// undefined and evaluation refuses the program.
+    Hp022,
+    /// Unsafe negation: a variable of a negated body literal is not bound
+    /// by any positive body atom (negation range restriction).
+    Hp023,
+    /// Stratum report: the stratification depth and the per-stratum
+    /// predicate layering of a program with negation (refines
+    /// HP008/HP016, which classify the positive dependency structure).
+    Hp024,
 }
 
 impl Code {
     /// Every code, in numeric order (for the documentation table).
-    pub const ALL: [Code; 21] = [
+    pub const ALL: [Code; 24] = [
         Code::Hp001,
         Code::Hp002,
         Code::Hp003,
@@ -94,6 +105,9 @@ impl Code {
         Code::Hp019,
         Code::Hp020,
         Code::Hp021,
+        Code::Hp022,
+        Code::Hp023,
+        Code::Hp024,
     ];
 
     /// The stable textual form, e.g. `"HP004"`.
@@ -120,6 +134,9 @@ impl Code {
             Code::Hp019 => "HP019",
             Code::Hp020 => "HP020",
             Code::Hp021 => "HP021",
+            Code::Hp022 => "HP022",
+            Code::Hp023 => "HP023",
+            Code::Hp024 => "HP024",
         }
     }
 
@@ -147,6 +164,9 @@ impl Code {
             Code::Hp019 => "homomorphically equivalent queries in one file",
             Code::Hp020 => "cross join: body components unlinked by head variables",
             Code::Hp021 => "inline eval expectation failed",
+            Code::Hp022 => "unstratifiable: cycle through negation",
+            Code::Hp023 => "unsafe negation (negated variable unbound by positive atoms)",
+            Code::Hp024 => "stratum report (stratification depth and layering)",
         }
     }
 
@@ -160,7 +180,8 @@ impl Code {
             Code::Hp008 | Code::Hp009 | Code::Hp012 | Code::Hp016 => Severity::Note,
             Code::Hp010 | Code::Hp011 => Severity::Error,
             Code::Hp017 | Code::Hp018 | Code::Hp019 | Code::Hp020 => Severity::Warning,
-            Code::Hp021 => Severity::Error,
+            Code::Hp021 | Code::Hp022 | Code::Hp023 => Severity::Error,
+            Code::Hp024 => Severity::Note,
         }
     }
 
@@ -180,6 +201,10 @@ impl Code {
             DatalogErrorKind::BadGoalPragma { .. } | DatalogErrorKind::UnknownGoal { .. } => {
                 Code::Hp001
             }
+            DatalogErrorKind::UnstratifiableNegation { .. } => Code::Hp022,
+            // A negated head is a (negation-)safety violation like an
+            // unbound negated variable: both break range restriction.
+            DatalogErrorKind::NegatedHead | DatalogErrorKind::UnsafeNegation { .. } => Code::Hp023,
         }
     }
 }
@@ -567,8 +592,8 @@ mod tests {
     #[test]
     fn codes_are_stable_strings() {
         assert_eq!(Code::Hp001.as_str(), "HP001");
-        assert_eq!(Code::Hp021.as_str(), "HP021");
-        assert_eq!(Code::ALL.len(), 21);
+        assert_eq!(Code::Hp024.as_str(), "HP024");
+        assert_eq!(Code::ALL.len(), 24);
         for (i, c) in Code::ALL.iter().enumerate() {
             assert_eq!(c.as_str(), format!("HP{:03}", i + 1));
         }

@@ -11,12 +11,20 @@
 //!   semantics, so a rule syntactically identical to an earlier kept rule
 //!   contributes nothing;
 //! - **never-firing-rule removal** (discharges HP015): a rule whose body
-//!   mentions a guaranteed-empty IDB can never fire on any input. By the
-//!   exactness of [`possibly_nonempty`], every rule whose *head* is a
-//!   guaranteed-empty IDB also mentions one in its body, so the empty
-//!   predicate's rules and its uses disappear together. Applied only when
-//!   a goal is designated and itself possibly nonempty, so the rewrite
-//!   can never orphan the goal designation;
+//!   **positively** mentions a guaranteed-empty IDB can never fire on any
+//!   input. Negated guards are the opposite polarity: `not P(x)` over an
+//!   empty `P` is vacuously true, so a rule guarded by a negated empty
+//!   IDB fires freely and is never removed on that account. By the
+//!   fixpoint definition of [`possibly_nonempty`], every rule whose
+//!   *head* is a guaranteed-empty IDB also positively mentions one in
+//!   its body, so an empty predicate's own rules and its positive uses
+//!   disappear together. Predicates that occur **negated** anywhere are
+//!   exempt from this removal entirely: their `not P(x)` guards survive
+//!   (vacuously true), and since IDB-hood is inferred from rule heads,
+//!   `P` keeps its (inert) defining rules as the anchor those guards
+//!   resolve against. Applied only when a goal is designated and itself
+//!   possibly nonempty, so the rewrite can never orphan the goal
+//!   designation;
 //! - **subsumed-rule removal** (discharges HP018): a rule contained, as a
 //!   conjunctive query over the combined EDB ∪ IDB vocabulary, in another
 //!   rule for the same head derives nothing that rule does not (the
@@ -160,18 +168,36 @@ fn removal_plan(facts: &ProgramFacts, pdg: &Pdg) -> Vec<Option<Code>> {
             }
         }
     }
-    // HP015: rules that mention a guaranteed-empty IDB can never fire.
-    // Gated on a designated, possibly-nonempty goal: then at least one
-    // rule per live predicate survives and the goal is never orphaned.
+    // HP015: rules that *positively* mention a guaranteed-empty IDB can
+    // never fire. Polarity matters twice over: `not P(x)` over an empty
+    // `P` is vacuously TRUE — a rule guarded only by negated empty IDBs
+    // fires freely, so such guards never justify removal — and a
+    // predicate that occurs negated anywhere must keep its defining
+    // rules even when they are inert, because IDB-hood is inferred from
+    // rule heads and deleting the last definition would orphan the
+    // surviving `not P(x)` guard. Gated on a designated,
+    // possibly-nonempty goal: then at least one rule per live predicate
+    // survives and the goal is never orphaned.
     let nonempty = possibly_nonempty(facts, pdg);
     let gate = facts.goal.map(|g| nonempty[g]).unwrap_or(false);
     if gate {
+        let negated_idbs: BTreeSet<usize> = facts
+            .rules
+            .iter()
+            .flat_map(|r| r.body.iter())
+            .filter(|a| a.negated)
+            .filter_map(|a| match a.pred {
+                PredRef::Idb(i) => Some(i),
+                PredRef::Edb(_) => None,
+            })
+            .collect();
         for (ri, r) in facts.rules.iter().enumerate() {
-            if plan[ri].is_some() {
+            let exempt = matches!(r.head.pred, PredRef::Idb(h) if negated_idbs.contains(&h));
+            if plan[ri].is_some() || exempt {
                 continue;
             }
             let mentions_empty = r.body.iter().any(|a| match a.pred {
-                PredRef::Idb(i) => i < nonempty.len() && !nonempty[i],
+                PredRef::Idb(i) => !a.negated && i < nonempty.len() && !nonempty[i],
                 PredRef::Edb(_) => false,
             });
             if mentions_empty {
@@ -821,6 +847,57 @@ mod tests {
                 after.evaluate(&a).idb("Goal")
             );
         }
+    }
+
+    #[test]
+    fn negated_empty_guard_is_never_a_dead_rule() {
+        // P is guaranteed empty. The positive guard `P(y)` makes Dead's
+        // rule never fire (HP015, removed); the negated guard `not P(x)`
+        // is vacuously TRUE over an empty P — Live's rule fires freely
+        // and must survive, and P (negated-referenced) must keep its
+        // inert defining rule so the guard still resolves.
+        let text = "P(x) :- E(x,y), P(y).\nDead(x) :- E(x,y), P(y).\n\
+                    Live(x) :- E(x,x), not P(x).\nGoal() :- Live(x).\nGoal() :- Dead(x).\n";
+        let out = fix_source(text, None).unwrap();
+        assert!(out.changed());
+        assert!(out.fixed.contains("not P(x)"), "{}", out.fixed);
+        assert!(out.fixed.contains("P(x) :- E(x,y), P(y)."), "{}", out.fixed);
+        assert!(!out.fixed.contains("Dead"), "{}", out.fixed);
+        let before = Program::parse(text, &Vocabulary::digraph()).unwrap();
+        let after = Program::parse(&out.fixed, &Vocabulary::digraph()).unwrap();
+        // directed_cycle(1) has the self-loop E(0,0), so Goal is derivable
+        // — but only through the vacuous negated guard.
+        for a in [
+            generators::directed_cycle(1),
+            generators::directed_cycle(3),
+            generators::directed_path(4),
+        ] {
+            assert_eq!(
+                before.evaluate(&a).idb("Goal"),
+                after.evaluate(&a).idb("Goal")
+            );
+        }
+        // Byte-idempotent on the negated program too.
+        let again = fix_source(&out.fixed, None).unwrap();
+        assert!(
+            !again.changed(),
+            "{:?} {:?}",
+            again.removed,
+            again.removed_atoms
+        );
+        assert_eq!(again.fixed, out.fixed);
+    }
+
+    #[test]
+    fn negated_rules_survive_fix_untouched() {
+        // A stratified program with no removable rule: the fix engine
+        // must leave every byte alone (no CQ rewrite may misread `not`).
+        let text = "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\n\
+                    NonReach(x,y) :- T(x,x), T(y,y), not T(x,y).\n\
+                    Goal() :- NonReach(x,y).\n";
+        let out = fix_source(text, None).unwrap();
+        assert!(!out.changed(), "{:?} {:?}", out.removed, out.removed_atoms);
+        assert_eq!(out.fixed, text);
     }
 
     #[test]

@@ -616,6 +616,39 @@ mod tests {
     }
 
     #[test]
+    fn eval_pragma_exercises_stratified_negation() {
+        // Non-reachability: the fixpoint under test is the stratified
+        // one, so `# eval:` doubles as an inline differential test for
+        // negated programs.
+        let neg = "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\n\
+                   V(x) :- E(x,y).\nV(y) :- E(x,y).\n\
+                   NR(x,y) :- V(x), V(y), not T(x,y).\n";
+        let src = format!("# eval: E(0,1), E(1,2) => NR(2,0), !NR(0,2), NR\n{neg}");
+        let ds = lint_datalog_source(&src, None);
+        assert!(!ds.contains(Code::Hp021), "{}", ds.render("t", None));
+        // And a genuinely wrong expectation on the negated stratum fails.
+        let src = format!("# eval: E(0,1), E(1,2) => NR(0,2)\n{neg}");
+        let ds = lint_datalog_source(&src, None);
+        let d = ds.iter().find(|d| d.code == Code::Hp021).unwrap();
+        assert!(
+            d.message.contains("NR(0,2) should be derived but is not"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn unstratifiable_source_reports_hp022_and_skips_eval() {
+        // The negative cycle is rejected at parse/validation time, so the
+        // eval pragma never runs and HP022 carries the rule's span.
+        let src = "# eval: E(0,1) => P\nP(x) :- E(x,y), not P(y).";
+        let ds = lint_datalog_source(src, None);
+        assert!(ds.contains(Code::Hp022), "{}", ds.render("t", None));
+        assert!(!ds.contains(Code::Hp021));
+        assert!(ds.has_errors());
+    }
+
+    #[test]
     fn eval_pragmas_are_skipped_when_parse_fails() {
         let ds = lint_datalog_source("# eval: E(0,1) => T(1,0)\nT(x,y) :- E(x,y", None);
         assert!(!ds.contains(Code::Hp021));

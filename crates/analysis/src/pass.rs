@@ -31,16 +31,18 @@ impl Analyzer {
         Analyzer::default()
     }
 
-    /// The syntactic pipeline: validation (HP002–HP005), hygiene
+    /// The syntactic pipeline: validation (HP002–HP005, plus the
+    /// negation-safety and stratifiability checks HP022/HP023), hygiene
     /// (HP006, HP007, HP013, HP015), and classification notes (HP008,
-    /// HP009, HP012, HP016), in that order — everything except the
-    /// containment-based semantic checks of [`SemanticPass`].
+    /// HP009, HP012, HP016, HP024), in that order — everything except
+    /// the containment-based semantic checks of [`SemanticPass`].
     pub fn syntactic_pipeline() -> Analyzer {
         use crate::datalog_passes::*;
         Analyzer::new()
             .with_pass(Box::new(HeadPass))
             .with_pass(Box::new(SafetyPass))
             .with_pass(Box::new(ArityPass))
+            .with_pass(Box::new(StratificationPass))
             .with_pass(Box::new(UnusedIdbPass))
             .with_pass(Box::new(DeadRulePass))
             .with_pass(Box::new(DuplicateRulePass))
@@ -152,6 +154,9 @@ mod tests {
             Code::Hp018,
             Code::Hp019,
             Code::Hp020,
+            Code::Hp022,
+            Code::Hp023,
+            Code::Hp024,
         ] {
             assert!(covered.contains(&c), "no pass emits {c}");
         }
@@ -178,6 +183,9 @@ mod tests {
             ("same_generation", gallery::same_generation()),
             ("two_hop", gallery::two_hop()),
             ("bounded_reach_3", gallery::bounded_reach(3)),
+            ("non_reachability", gallery::non_reachability()),
+            ("set_difference", gallery::set_difference()),
+            ("win_move_2", gallery::win_move(2)),
         ];
         let a = Analyzer::default_pipeline();
         for (name, p) in progs {

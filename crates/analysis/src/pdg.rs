@@ -22,8 +22,15 @@ use crate::facts::ProgramFacts;
 /// and the SCC condensation precomputed.
 #[derive(Clone, Debug)]
 pub struct Pdg {
-    /// `deps[h]` = IDB indices occurring in bodies of rules with head `h`.
+    /// `deps[h]` = IDB indices occurring in bodies of rules with head `h`
+    /// (positive *and* negated occurrences — a negated guard is still a
+    /// dependency, both for demand and for evaluation order).
     deps: Vec<BTreeSet<usize>>,
+    /// `neg_deps[h]` ⊆ `deps[h]` = IDB indices with a **negated**
+    /// occurrence in some body of a rule with head `h`. Edge polarity is
+    /// what stratification is about: a program is stratifiable iff no
+    /// strongly connected component contains a negative edge.
+    neg_deps: Vec<BTreeSet<usize>>,
     /// Reverse edges: `dependents[q]` = heads whose rules mention `q`.
     dependents: Vec<BTreeSet<usize>>,
     /// `rules_of[h]` = indices of rules whose head is IDB `h`.
@@ -45,6 +52,7 @@ impl Pdg {
     pub fn new(facts: &ProgramFacts) -> Pdg {
         let n = facts.idbs.len();
         let mut deps = vec![BTreeSet::new(); n];
+        let mut neg_deps = vec![BTreeSet::new(); n];
         let mut dependents = vec![BTreeSet::new(); n];
         let mut rules_of = vec![Vec::new(); n];
         let mut rules_using = vec![Vec::new(); n];
@@ -61,6 +69,9 @@ impl Pdg {
                 if let PredRef::Idb(q) = a.pred {
                     if q < n {
                         deps[h].insert(q);
+                        if a.negated {
+                            neg_deps[h].insert(q);
+                        }
                         dependents[q].insert(h);
                         used_here.insert(q);
                     }
@@ -73,6 +84,7 @@ impl Pdg {
         let (scc_of, sccs) = tarjan_sccs(&deps);
         Pdg {
             deps,
+            neg_deps,
             dependents,
             rules_of,
             rules_using,
@@ -89,6 +101,27 @@ impl Pdg {
     /// IDB predicates the given predicate's rules depend on.
     pub fn deps(&self, p: usize) -> &BTreeSet<usize> {
         &self.deps[p]
+    }
+
+    /// IDB predicates with a **negated** occurrence in the bodies of
+    /// `p`'s rules (a subset of [`deps`](Pdg::deps)).
+    pub fn neg_deps(&self, p: usize) -> &BTreeSet<usize> {
+        &self.neg_deps[p]
+    }
+
+    /// True when some rule body negates an IDB predicate (negated EDB
+    /// guards carry no dependency edge and do not count).
+    pub fn has_negative_edge(&self) -> bool {
+        self.neg_deps.iter().any(|s| !s.is_empty())
+    }
+
+    /// True when SCC `s` contains a negative edge — i.e. some member's
+    /// rules negate another member (or itself). A program is
+    /// stratifiable iff **no** SCC has one (Apt–Blair–Walker).
+    pub fn scc_has_negative_edge(&self, s: usize) -> bool {
+        self.sccs[s]
+            .iter()
+            .any(|&p| self.neg_deps[p].iter().any(|&q| self.scc_of[q] == s))
     }
 
     /// IDB predicates whose rules mention `p` in a body.
@@ -331,6 +364,49 @@ mod tests {
         assert_eq!(g.rules_using(0), &[1, 2]);
         assert!(g.rules_using(1).is_empty());
         assert_eq!(g.dependents(0), &BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn polarity_tracked_on_edges() {
+        let f = ProgramFacts::of_program(&gallery::non_reachability());
+        let g = Pdg::new(&f);
+        let (t, nr) = (0, 1);
+        assert!(g.has_negative_edge());
+        assert!(g.deps(nr).contains(&t), "negated dep still a dep");
+        assert_eq!(g.neg_deps(nr), &BTreeSet::from([t]));
+        assert!(g.neg_deps(t).is_empty());
+        // Both SCCs are negative-edge-free: the program is stratifiable.
+        assert!((0..g.scc_count()).all(|s| !g.scc_has_negative_edge(s)));
+        // A negated EDB guard adds no edge at all.
+        let f = ProgramFacts::of_program(&gallery::set_difference());
+        assert!(!Pdg::new(&f).has_negative_edge());
+    }
+
+    #[test]
+    fn negative_edge_inside_scc_detected() {
+        // Unstratifiable win/move: Win negates itself. Program::parse
+        // rejects it, so build raw facts by hand.
+        use hp_datalog::{DatalogAtom, Rule};
+        let v = Vocabulary::from_pairs([("Move", 2)]);
+        let m = v.lookup("Move").unwrap();
+        let f = ProgramFacts::from_parts(
+            v,
+            vec![("Win".to_string(), 1)],
+            vec![Rule {
+                head: DatalogAtom::positive(PredRef::Idb(0), vec![0]),
+                body: vec![
+                    DatalogAtom::positive(PredRef::Edb(m), vec![0, 1]),
+                    DatalogAtom {
+                        pred: PredRef::Idb(0),
+                        args: vec![1],
+                        negated: true,
+                    },
+                ],
+            }],
+            vec!["x".to_string(), "y".to_string()],
+        );
+        let g = Pdg::new(&f);
+        assert!(g.scc_has_negative_edge(g.scc_of(0)));
     }
 
     #[test]

@@ -18,11 +18,20 @@
 //!   argument);
 //! - **HP019 equivalent queries** — in a nonrecursive program, two IDB
 //!   predicates whose unfolded UCQs are homomorphically equivalent
-//!   (identical canonical cores);
+//!   (identical canonical cores). The pairwise check is keyed on per-IDB
+//!   [`CanonicalCoreKey`]s: each predicate is unfolded and canonically
+//!   labelled once, and a pair pays for the homomorphism check only when
+//!   the two 128-bit keys collide — distinct keys certify inequivalence;
 //! - **HP020 cross join** — the body's variable-sharing graph is
 //!   disconnected, so variable-disjoint atom groups multiply
 //!   independently (a Cartesian product, usually a bug and always a
 //!   blow-up risk).
+//!
+//! Rules carrying a negated literal are outside the Chandra–Merlin
+//! fragment — their bodies are not conjunctive queries — so the scan
+//! skips them (and never uses a negated rule as a subsumption witness)
+//! rather than misread `not R(x)` as `R(x)`. The stratification-aware
+//! lints for negation live in [`crate::datalog_passes`] (HP022–HP024).
 //!
 //! Every check charges an [`hp_guard`] budget. Exhaustion is graceful:
 //! the scan stops at a deterministic item boundary, reports the findings
@@ -58,6 +67,8 @@ enum Item {
     Redundant(usize, usize),
     /// HP018 on rule `ri`.
     Subsumed(usize),
+    /// Canonical-core key of IDB `i`'s unfolded UCQ (feeds HP019).
+    CoreKey(usize),
     /// HP019 on the IDB pair `(i, j)`, `i < j`.
     Equivalent(usize, usize),
 }
@@ -68,41 +79,72 @@ impl Item {
             Item::CrossJoin(_) => Code::Hp020,
             Item::Redundant(_, _) => Code::Hp017,
             Item::Subsumed(_) => Code::Hp018,
-            Item::Equivalent(_, _) => Code::Hp019,
+            Item::CoreKey(_) | Item::Equivalent(_, _) => Code::Hp019,
         }
     }
 
     fn describe(self, facts: &ProgramFacts) -> String {
+        let name = |i: usize| facts.idbs.get(i).map(|(n, _)| n.as_str()).unwrap_or("?");
         match self {
             Item::CrossJoin(ri) => format!("cross-join check on rule {ri}"),
             Item::Redundant(ri, ai) => format!("redundancy check on atom {ai} of rule {ri}"),
             Item::Subsumed(ri) => format!("subsumption check on rule {ri}"),
-            Item::Equivalent(i, j) => format!(
-                "equivalence check on {} and {}",
-                facts.idbs.get(i).map(|(n, _)| n.as_str()).unwrap_or("?"),
-                facts.idbs.get(j).map(|(n, _)| n.as_str()).unwrap_or("?"),
-            ),
+            Item::CoreKey(i) => format!("canonical-core key of {}", name(i)),
+            Item::Equivalent(i, j) => {
+                format!("equivalence check on {} and {}", name(i), name(j))
+            }
         }
     }
 }
 
+/// True when the rule carries a negated literal: its body is not a
+/// conjunctive query, so the Chandra–Merlin containment machinery does
+/// not apply and the CQ-based items (HP017/HP018/HP020) skip it.
+fn has_negation(r: &Rule) -> bool {
+    r.head.negated || r.body.iter().any(|a| a.negated)
+}
+
 /// The deterministic item list: per-rule cross-join checks, per-atom
 /// redundancy checks, per-rule subsumption checks, then (nonrecursive
-/// programs only) per-IDB-pair equivalence checks.
+/// programs only) per-IDB core keys followed by per-pair equivalence
+/// checks. Rules with negated literals get no CQ items; for positive
+/// programs the list is exactly what it was before negation existed.
 fn items_of(facts: &ProgramFacts, nonrecursive: bool) -> Vec<Item> {
     let mut items = Vec::new();
-    for ri in 0..facts.rules.len() {
-        items.push(Item::CrossJoin(ri));
+    for (ri, r) in facts.rules.iter().enumerate() {
+        if !has_negation(r) {
+            items.push(Item::CrossJoin(ri));
+        }
     }
     for (ri, r) in facts.rules.iter().enumerate() {
+        if has_negation(r) {
+            continue;
+        }
         for ai in 0..r.body.len() {
             items.push(Item::Redundant(ri, ai));
         }
     }
-    for ri in 0..facts.rules.len() {
-        items.push(Item::Subsumed(ri));
+    for (ri, r) in facts.rules.iter().enumerate() {
+        if !has_negation(r) {
+            items.push(Item::Subsumed(ri));
+        }
     }
     if nonrecursive {
+        // Key the pairwise hom-equivalence on per-IDB canonical-core
+        // keys: one unfolding + canonical labelling per predicate (the
+        // CoreKey items), then each pair is a 128-bit comparison —
+        // distinct keys are definitely inequivalent, and only equal keys
+        // (hash collisions included) pay for the authoritative
+        // homomorphism check. This replaces the all-pairs unfolding that
+        // made HP019 a quadratic cost cliff.
+        let paired: Vec<bool> = (0..facts.idbs.len())
+            .map(|i| (0..facts.idbs.len()).any(|j| j != i && facts.idbs[i].1 == facts.idbs[j].1))
+            .collect();
+        for (i, &p) in paired.iter().enumerate() {
+            if p {
+                items.push(Item::CoreKey(i));
+            }
+        }
         for i in 0..facts.idbs.len() {
             for j in i + 1..facts.idbs.len() {
                 if facts.idbs[i].1 == facts.idbs[j].1 {
@@ -126,6 +168,11 @@ pub struct SemanticCheckpoint {
     next_item: usize,
     gauge: GaugeState,
     findings: Vec<Diagnostic>,
+    /// Canonical-core keys computed by completed [`Item::CoreKey`] items
+    /// (`None` when the IDB's unfolding failed, e.g. under negation).
+    /// Part of the checkpoint so a resumed scan compares exactly the keys
+    /// the one-shot scan would have — the resume law covers the memo.
+    core_keys: BTreeMap<usize, Option<CanonicalCoreKey>>,
 }
 
 impl SemanticCheckpoint {
@@ -309,13 +356,14 @@ fn flagged_rules(findings: &[Diagnostic]) -> BTreeSet<usize> {
         .collect()
 }
 
-/// Run one item, appending at most one finding. Deterministic; every
-/// nontrivial step charges `gauge`.
+/// Run one item, appending at most one finding and/or recording a core
+/// key in `keys`. Deterministic; every nontrivial step charges `gauge`.
 fn run_item(
     facts: &ProgramFacts,
     ctx: &Ctx,
     item: Item,
     findings: &mut Vec<Diagnostic>,
+    keys: &mut BTreeMap<usize, Option<CanonicalCoreKey>>,
     gauge: &mut Gauge,
 ) -> Result<(), Stop> {
     match item {
@@ -394,6 +442,11 @@ fn run_item(
                 if rj == ri || skip.contains(&rj) || other.head.pred != rule.head.pred {
                     continue;
                 }
+                if has_negation(other) {
+                    // A negated body is not a CQ; treating its literals as
+                    // positive would fabricate a subsumption witness.
+                    continue;
+                }
                 if *other == *rule {
                     continue; // exact duplicates are HP013's finding
                 }
@@ -420,11 +473,44 @@ fn run_item(
                 }
             }
         }
+        Item::CoreKey(i) => {
+            gauge.tick(1)?;
+            let Some(p) = &ctx.program else {
+                return Ok(());
+            };
+            // Unfold once per IDB and canonically label the core union;
+            // every Equivalent item involving `i` reads this key instead
+            // of redoing the unfolding. `None` (unfolding failed, e.g. a
+            // negated rule in the support) makes every pair with `i`
+            // inconclusive, and inconclusive never flags.
+            let key = match stage_ucq(p, i, facts.idbs.len()) {
+                Ok(u) => {
+                    gauge.tick(u.len() as u64)?;
+                    Some(u.canonical_core_key_gauged(gauge)?)
+                }
+                Err(_) => None,
+            };
+            keys.insert(i, key);
+        }
         Item::Equivalent(i, j) => {
             gauge.tick(1)?;
             let Some(p) = &ctx.program else {
                 return Ok(());
             };
+            let (Some(&ki), Some(&kj)) = (keys.get(&i), keys.get(&j)) else {
+                return Ok(()); // raw facts: CoreKey items never ran
+            };
+            let (Some(ki), Some(kj)) = (ki, kj) else {
+                return Ok(()); // unfolding failed for one side
+            };
+            // Canonical-core keys agree on every pair of equivalent
+            // queries, so distinct keys certify inequivalence — the
+            // common case costs one comparison, no homomorphisms.
+            if ki != kj {
+                return Ok(());
+            }
+            // Equal keys are only evidence (a 128-bit hash can collide):
+            // confirm with the authoritative hom-equivalence check.
             let m = facts.idbs.len();
             let (Ok(ui), Ok(uj)) = (stage_ucq(p, i, m), stage_ucq(p, j, m)) else {
                 return Ok(());
@@ -467,6 +553,7 @@ fn scan_from(
     facts: &ProgramFacts,
     start: usize,
     mut findings: Vec<Diagnostic>,
+    mut core_keys: BTreeMap<usize, Option<CanonicalCoreKey>>,
     mut gauge: Gauge,
 ) -> Budgeted<Vec<Diagnostic>, SemanticCheckpoint> {
     let ctx = Ctx::new(facts);
@@ -479,13 +566,16 @@ fn scan_from(
     for (idx, &item) in items.iter().enumerate().skip(start) {
         // Snapshot *before* the item: a resume re-runs the interrupted
         // item from this exact fuel position, tick-for-tick what an
-        // uninterrupted larger-budget run would have done.
+        // uninterrupted larger-budget run would have done. Core keys are
+        // only recorded when their item completes, so the checkpointed
+        // memo is exactly what the one-shot scan had at this point.
         let at_start = gauge.state();
-        if let Err(stop) = run_item(facts, &ctx, item, &mut findings, &mut gauge) {
+        if let Err(stop) = run_item(facts, &ctx, item, &mut findings, &mut core_keys, &mut gauge) {
             return Err(stop.with_partial(SemanticCheckpoint {
                 next_item: idx,
                 gauge: at_start,
                 findings,
+                core_keys,
             }));
         }
     }
@@ -501,7 +591,7 @@ pub fn semantic_scan(
     facts: &ProgramFacts,
     budget: &Budget,
 ) -> Budgeted<Vec<Diagnostic>, SemanticCheckpoint> {
-    scan_from(facts, 0, Vec::new(), budget.gauge())
+    scan_from(facts, 0, Vec::new(), BTreeMap::new(), budget.gauge())
 }
 
 /// Continue a scan from a checkpoint with a fresh allowance. Under the
@@ -515,7 +605,13 @@ pub fn resume_semantic_scan(
     budget: &Budget,
 ) -> Budgeted<Vec<Diagnostic>, SemanticCheckpoint> {
     let gauge = budget.resume(checkpoint.gauge);
-    scan_from(facts, checkpoint.next_item, checkpoint.findings, gauge)
+    scan_from(
+        facts,
+        checkpoint.next_item,
+        checkpoint.findings,
+        checkpoint.core_keys,
+        gauge,
+    )
 }
 
 /// The [`Pass`] wrapper: run the scan under this pass's budget; on
@@ -742,6 +838,47 @@ mod tests {
     }
 
     #[test]
+    fn negated_rules_are_outside_the_cq_lints() {
+        // Without the gate, `not E(y,x)` read as `E(y,x)` would make the
+        // second rule look subsumed by the first and `not E(x,z)` look
+        // like a redundant atom. Negation must make these rules opaque.
+        let ds = scan(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,y), not E(y,x).\n\
+             S(x,y) :- E(x,y), not E(x,z), E(z,y).",
+        );
+        for d in &ds {
+            assert!(
+                !matches!(d.code, Code::Hp017 | Code::Hp018 | Code::Hp020),
+                "{ds:?}"
+            );
+        }
+        // And a negated rule is never used as a subsumption *witness*:
+        // read positively, rule 0 would subsume rule 1 here.
+        let ds = scan("T(x,y) :- E(x,y), not E(y,x).\nT(x,y) :- E(x,y), E(y,x).");
+        assert!(!codes(&ds).contains(&Code::Hp018), "{ds:?}");
+    }
+
+    #[test]
+    fn core_keys_gate_the_equivalence_check() {
+        // Three same-arity IDBs: P ≡ Q (flagged via key collision +
+        // confirmation), R distinct (rejected by key comparison alone).
+        let facts = facts_of(
+            "P(x,z) :- E(x,y), E(y,z).\nQ(a,c) :- E(a,b), E(b,c).\n\
+             R(a,b) :- E(a,b).\nGoal() :- P(x,x), Q(x,x), R(x,x).",
+        );
+        let items = items_of(&facts, true);
+        let n_keys = items
+            .iter()
+            .filter(|i| matches!(i, Item::CoreKey(_)))
+            .count();
+        assert_eq!(n_keys, 3, "one key item per paired IDB: {items:?}");
+        let ds = semantic_scan(&facts, &Budget::unlimited()).unwrap();
+        let hits: Vec<&Diagnostic> = ds.iter().filter(|d| d.code == Code::Hp019).collect();
+        assert_eq!(hits.len(), 1, "{ds:?}");
+        assert!(hits[0].message.contains('P') && hits[0].message.contains('Q'));
+    }
+
+    #[test]
     fn exhaustion_truncates_but_never_corrupts() {
         let facts = facts_of("T(x,y) :- E(x,y), E(x,z).\nGoal() :- T(x,x).");
         let full = semantic_scan(&facts, &Budget::unlimited()).unwrap();
@@ -766,8 +903,9 @@ mod tests {
             let items = items_of(&facts, true);
             let ctx = Ctx::new(&facts);
             let mut fs = Vec::new();
+            let mut ks = BTreeMap::new();
             for &it in &items {
-                run_item(&facts, &ctx, it, &mut fs, &mut g).unwrap();
+                run_item(&facts, &ctx, it, &mut fs, &mut ks, &mut g).unwrap();
             }
             g.spent()
         };

@@ -231,6 +231,9 @@ fn new_codes_have_positive_and_negative_fixtures() {
         Code::Hp019,
         Code::Hp020,
         Code::Hp021,
+        Code::Hp022,
+        Code::Hp023,
+        Code::Hp024,
     ] {
         assert!(
             all.iter()

@@ -83,6 +83,57 @@ fn program_text_from_indices(picks: &[usize]) -> String {
     lines.join("\n")
 }
 
+/// A pool of **stratified negation** rules over the digraph EDB. Every
+/// subset is stratifiable (negation only points at `T` and `W`, which
+/// never depend on the negating predicates) and safe (negated variables
+/// are always positively bound). The tail mixes in the rewrite triggers:
+/// rule 9 a redundant atom (HP017), rule 10 a subsumed rule (HP018),
+/// rule 11 a dead helper (HP007), rules 12/13 a provably-empty `W` used
+/// positively (HP015 removes), and rules 14/15 the same `W` used
+/// *negated* (vacuous guard — the fix engine must keep both the guard
+/// and W's inert definition).
+fn negation_rule_pool() -> Vec<&'static str> {
+    vec![
+        "T(x,y) :- E(x,y).",
+        "T(x,y) :- E(x,z), T(z,y).",
+        "V(x) :- E(x,y).",
+        "V(y) :- E(x,y).",
+        "NR(x,y) :- V(x), V(y), not T(x,y).",
+        "S(x) :- V(x), not T(x,x).",
+        "S(x) :- E(x,x).",
+        "Goal() :- NR(x,y).",
+        "Goal() :- S(x).",
+        "T(x,y) :- E(x,y), E(x,w).",
+        "T(x,y) :- E(x,y), E(y,y).",
+        "Dead2(x) :- T(x,x).",
+        "W(x) :- E(x,w), W(w).",
+        "Goal() :- W(x), NR(x,x).",
+        "U(x) :- V(x), not W(x).",
+        "Goal() :- U(x).",
+    ]
+}
+
+/// Assemble a stratified-negation program text: the defining rules for
+/// `T`, `V`, `NR` and the first Goal rule are always present; picks add
+/// more (duplicates kept — HP013 needs them), closed so every referenced
+/// IDB has a defining rule in scope.
+fn negation_text_from_indices(picks: &[usize]) -> String {
+    let pool = negation_rule_pool();
+    let mut chosen: Vec<usize> = picks.iter().map(|&i| i % pool.len()).collect();
+    if chosen.contains(&8) && !chosen.contains(&6) {
+        chosen.push(5); // `Goal() :- S(x).` needs S defined
+    }
+    if chosen.contains(&15) && !chosen.contains(&14) {
+        chosen.push(14); // `Goal() :- U(x).` needs U defined
+    }
+    if (chosen.contains(&13) || chosen.contains(&14)) && !chosen.contains(&12) {
+        chosen.push(12); // any use of W needs W defined
+    }
+    let mut lines: Vec<&str> = vec![pool[0], pool[2], pool[4], pool[7]];
+    lines.extend(chosen.iter().map(|&i| pool[i]));
+    lines.join("\n")
+}
+
 /// A digraph structure from a list of (u, v) byte pairs on `n` elements.
 fn structure_from_edges(n: usize, edges: &[(u8, u8)]) -> Structure {
     let vocab = Vocabulary::digraph();
@@ -200,6 +251,41 @@ proptest! {
         prop_assert_eq!(&again.fixed, &out.fixed);
     }
 
+    /// The fix engine is certified **under stratified negation**: on
+    /// random stratified programs with negated guards, both fix levels
+    /// preserve the goal's stratified fixpoint (differentially against
+    /// the reference oracle), agree with each other, never misread a
+    /// negated literal as positive, and stay byte-idempotent.
+    #[test]
+    fn fix_is_certified_on_stratified_negation_programs(
+        picks in prop::collection::vec(0usize..16, 0..8),
+        edges in prop::collection::vec((0u8..6, 0u8..6), 0..14),
+        n in 1usize..6,
+    ) {
+        let text = negation_text_from_indices(&picks);
+        let vocab = Vocabulary::digraph();
+        let p = Program::parse(&text, &vocab).expect("pool subsets are stratifiable");
+        let out = fix_source(&text, Some(&vocab)).expect("pool text parses");
+        let q = Program::parse(&out.fixed, &vocab).expect("fixed text parses");
+        let a = structure_from_edges(n, &edges);
+        let before = p.evaluate_reference(&a);
+        let after = q.evaluate_reference(&a);
+        prop_assert_eq!(before.idb("Goal"), after.idb("Goal"));
+        // Source- and AST-level fixing agree rule-for-rule.
+        let fixp = fix_program(&p);
+        let by_source: Vec<(usize, Code)> = out.removed.iter().map(|r| (r.rule, r.code)).collect();
+        let by_ast: Vec<(usize, Code)> = fixp.removed.iter().map(|r| (r.rule, r.code)).collect();
+        prop_assert_eq!(by_source, by_ast);
+        // A negated guard is never deleted as a "redundant atom".
+        for ra in &out.removed_atoms {
+            prop_assert!(!ra.text.starts_with("not "), "removed negated atom {:?}", ra);
+        }
+        // Byte-idempotent on negated programs too.
+        let again = fix_source(&out.fixed, Some(&vocab)).unwrap();
+        prop_assert!(!again.changed());
+        prop_assert_eq!(&again.fixed, &out.fixed);
+    }
+
     /// Programs rejected by `Program::new` map to the matching HP code:
     /// whatever structured error the constructor reports, the analyzer
     /// reports the same code as an Error at the same rule.
@@ -228,10 +314,12 @@ proptest! {
                     // Head args drawn from {0,1}; body args from {2,3,...}
                     // with overlap only at 0 — so unsafe heads happen.
                     args: (0..hn as u32).collect(),
+                    negated: false,
                 },
                 body: vec![DatalogAtom {
                     pred: pred_of(bp),
                     args: (0..bn as u32).collect(),
+                    negated: false,
                 }],
             })
             .collect();

@@ -52,6 +52,26 @@ fn random_reach_structure(n: usize, m: usize, seed: u64) -> Structure {
     a
 }
 
+/// Random DAG move graph over `{Move/2, Pos/1}` for the stratified
+/// `win_move` family: every element a position, `m` draws of a move
+/// oriented low → high id (well-founded game).
+fn random_game_structure(n: usize, m: usize, seed: u64) -> Structure {
+    let v = Vocabulary::from_pairs([("Move", 2), ("Pos", 1)]);
+    let mut rng = XorShift(seed | 1);
+    let mut a = Structure::new(v, n);
+    for x in 0..n as u32 {
+        a.add_tuple_ids(1, &[x]).unwrap();
+    }
+    for _ in 0..m {
+        let u = (rng.next() % n as u64) as u32;
+        let w = (rng.next() % n as u64) as u32;
+        if u != w {
+            let _ = a.add_tuple_ids(0, &[u.min(w), u.max(w)]);
+        }
+    }
+    a
+}
+
 fn tables() {
     let p = tc();
     println!("\n[E11] transitive-closure stage counts grow with diameter (unbounded)");
@@ -111,8 +131,9 @@ fn bench_evaluation(c: &mut Criterion) {
 
 /// E-scale: the seed scan evaluator vs. the indexed engine vs. sharded
 /// parallel rounds, on path/cycle/random-digraph families from 10² to 10⁴
-/// elements. All three paths are verified to produce identical relations
-/// before timing.
+/// elements plus the stratified `win_move(2)` game family on random DAG
+/// move graphs. All three paths are verified to produce identical
+/// relations before timing.
 fn bench_scale(c: &mut Criterion) {
     let sharded = EvalConfig::new().with_threads(4);
     let mut g = c.benchmark_group("datalog_scale");
@@ -140,10 +161,20 @@ fn bench_scale(c: &mut Criterion) {
         .iter()
         .map(|&n| random_reach_structure(n, 4 * n, 0xE5CA1E))
         .collect();
+    // Stratified-negation family: win_move(2) evaluates eight strata in
+    // order, reading each stratum's negated guards as membership probes
+    // against the sealed lower layer. The generic loop below also gives
+    // it the seed-oracle agreement assertion and all three engine rows.
+    let wm = hp_preservation::datalog::gallery::win_move(2);
+    let wm_inputs: Vec<Structure> = [1_000usize, 10_000]
+        .iter()
+        .map(|&n| random_game_structure(n, 2 * n, 0x5712A7))
+        .collect();
     let all: Vec<(&str, &Program, Vec<Structure>)> = tc_families
         .iter()
         .map(|(name, f)| (*name, &tc, f.clone()))
         .chain(std::iter::once(("random_reach", &reach, reach_inputs)))
+        .chain(std::iter::once(("win_move2", &wm, wm_inputs)))
         .collect();
 
     for (family, p, inputs) in all {

@@ -14,6 +14,12 @@
 //! short). With `--json PATH` a machine-readable snapshot (the committed
 //! `BENCH_scale.json`) is written alongside the table.
 //!
+//! A second table runs the stratified-negation family: `win_move(2)`
+//! (eight strata of game-value approximation over `{Move/2, Pos/1}`) on
+//! random DAG move graphs of 10³–10⁵ positions, timing the stratum-
+//! ordered engine at 1/2/4 threads — asserted bit-identical — and the
+//! scan-join reference oracle at the sizes where it is feasible.
+//!
 //! The "boxed" column is the analytic footprint of the seed
 //! representation (`BTreeSet<Vec<Elem>>`, counted as one 24-byte
 //! `(ptr, len, cap)` header plus a separate `arity × 4`-byte heap buffer
@@ -23,6 +29,7 @@
 
 use std::time::Instant;
 
+use hp_preservation::datalog::gallery;
 use hp_preservation::prelude::*;
 
 /// Deterministic xorshift64* stream, identical to the bench harness.
@@ -62,6 +69,27 @@ fn random_reach_structure(n: usize, m: usize, seed: u64) -> Structure {
 /// boxed-tuple representation.
 fn boxed_bytes(rows: usize, arity: usize) -> usize {
     rows * (24 + 4 * arity)
+}
+
+/// Random DAG move graph over `{Move/2, Pos/1}`: every element is a
+/// position and each of `m` draws adds a move oriented low → high id, so
+/// the game is well-founded and `win_move(k)`'s top layer is the exact
+/// value on positions within `k` moves of a sink.
+fn random_game_structure(n: usize, m: usize, seed: u64) -> Structure {
+    let v = Vocabulary::from_pairs([("Move", 2), ("Pos", 1)]);
+    let mut rng = XorShift(seed | 1);
+    let mut b = Structure::builder(v, n);
+    for x in 0..n as u32 {
+        b = b.tuple(1, &[x]);
+    }
+    for _ in 0..m {
+        let u = (rng.next() % n as u64) as u32;
+        let w = (rng.next() % n as u64) as u32;
+        if u != w {
+            b = b.tuple(0, &[u.min(w), u.max(w)]);
+        }
+    }
+    b.build()
 }
 
 fn main() {
@@ -143,12 +171,84 @@ fn main() {
         ));
     }
 
+    // Stratified-negation family: win_move(2) — eight strata, each
+    // evaluated to its fixpoint before the next reads its negated guards
+    // as membership probes against the sealed store.
+    let wm = gallery::win_move(2);
+    let t2 = EvalConfig::new().with_threads(2);
+    let t4 = EvalConfig::new().with_threads(4);
+    let mut wm_rows: Vec<String> = Vec::new();
+    println!("\nwin_move(2): stratified negation (8 strata), random DAG move graphs, m = 2n");
+    println!(
+        "{:>9} {:>9} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "positions", "moves", "eval1_ms", "eval2_ms", "eval4_ms", "ref_ms", "lose_top"
+    );
+    for exp in 3..=max_exp.min(5) {
+        let n = 10usize.pow(exp);
+        let m = 2 * n;
+        let a = random_game_structure(n, m, 0x5712A7);
+
+        let t0 = Instant::now();
+        let fix = wm.evaluate(&a);
+        let eval1_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let fix2 = wm.evaluate_with(&a, &t2);
+        let eval2_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let t3 = Instant::now();
+        let fix4 = wm.evaluate_with(&a, &t4);
+        let eval4_ms = t3.elapsed().as_secs_f64() * 1e3;
+
+        // Stratified evaluation is deterministic: the sharded engines
+        // must agree bit-for-bit with the single-threaded run.
+        assert_eq!(
+            fix2.relations, fix.relations,
+            "2-thread run diverged at n={n}"
+        );
+        assert_eq!(
+            fix4.relations, fix.relations,
+            "4-thread run diverged at n={n}"
+        );
+
+        let ref_ms = if n <= 10_000 {
+            let t5 = Instant::now();
+            let r = wm.evaluate_reference(&a);
+            assert_eq!(r.relations, fix.relations, "oracle disagrees at n={n}");
+            format!("{:.1}", t5.elapsed().as_secs_f64() * 1e3)
+        } else {
+            "-".to_string()
+        };
+
+        let lose_top = fix.relations.last().expect("win_move has IDBs").len();
+        println!(
+            "{n:>9} {m:>9} {eval1_ms:>10.1} {eval2_ms:>10.1} {eval4_ms:>10.1} {ref_ms:>10} {lose_top:>9}"
+        );
+        wm_rows.push(format!(
+            "    {{\"positions\": {n}, \"moves\": {m}, \"eval1_ms\": {eval1_ms:.3}, \
+             \"eval2_ms\": {eval2_ms:.3}, \"eval4_ms\": {eval4_ms:.3}, \"ref_ms\": {}, \
+             \"lose_top\": {lose_top}}}",
+            if ref_ms == "-" {
+                "null".to_string()
+            } else {
+                ref_ms.clone()
+            }
+        ));
+    }
+
     if let Some(path) = json_path {
         let json = format!(
             "{{\n  \"bench\": \"columnar_scale\",\n  \"workload\": \
              \"single-source reachability, xorshift64* edges, n = m/4\",\n  \
-             \"rows\": [\n{}\n  ]\n}}\n",
-            json_rows.join(",\n")
+             \"rows\": [\n{}\n  ],\n  \"win_move\": {{\n    \"workload\": \
+             \"win_move(2), 8 strata, random DAG move graphs, m = 2n\",\n    \
+             \"rows\": [\n{}\n    ]\n  }}\n}}\n",
+            json_rows.join(",\n"),
+            wm_rows
+                .iter()
+                .map(|r| format!("  {r}"))
+                .collect::<Vec<_>>()
+                .join(",\n")
         );
         std::fs::write(&path, json).expect("write BENCH json");
         println!("wrote {path}");

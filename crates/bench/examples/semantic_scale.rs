@@ -13,12 +13,16 @@
 //! `~2n` elements.
 //!
 //! Usage: `semantic_scale [MAX_RULES] [--json PATH]` — rows for chain
-//! lengths 4, 8, … up to `MAX_RULES` (default 32; CI passes 16 to keep
-//! the smoke run short — the pairwise hom-equivalence check HP019 is
-//! quadratic in the number of IDBs with unfoldings that grow with chain
-//! length, so each doubling costs roughly 30×). With `--json PATH` a
-//! machine-readable snapshot (the committed `BENCH_semantic.json`) is
-//! written alongside the table.
+//! lengths 4, 8, … up to `MAX_RULES` (default 64; CI passes 16 to keep
+//! the smoke run short). The pairwise hom-equivalence check HP019 is
+//! key-first: every same-arity IDB gets one canonical-core key up front
+//! and a pair runs the authoritative hom check only when the keys
+//! collide, so all-distinct chains (like this family) pay the quadratic
+//! pair stage as `u128` compares. Cost is dominated by computing each
+//! IDB's unfolded core once — a doubling costs roughly 15–17×, down
+//! from roughly 30× when every pair ran the hom check. With
+//! `--json PATH` a machine-readable snapshot (the committed
+//! `BENCH_semantic.json`) is written alongside the table.
 
 use std::time::Instant;
 
@@ -86,7 +90,7 @@ fn measure(n: usize) -> Row {
 }
 
 fn main() {
-    let mut max_rules: usize = 32;
+    let mut max_rules: usize = 64;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {

@@ -18,13 +18,27 @@ pub enum PredRef {
 
 /// An atom in a rule: predicate applied to variables (no constants — the
 /// paper's Datalog is constant-free; constants are simulated by unary EDB
-/// marks when needed).
+/// marks when needed). Body atoms may be negated (`not R(x,y)`); heads
+/// never are.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DatalogAtom {
     /// The predicate.
     pub pred: PredRef,
     /// Argument variables.
     pub args: Vec<u32>,
+    /// True for a negated body literal `not R(..)`.
+    pub negated: bool,
+}
+
+impl DatalogAtom {
+    /// A positive atom.
+    pub fn positive(pred: PredRef, args: Vec<u32>) -> DatalogAtom {
+        DatalogAtom {
+            pred,
+            args,
+            negated: false,
+        }
+    }
 }
 
 /// A rule `H ← B₁, …, B_m`. The head must be an IDB atom.
@@ -47,15 +61,39 @@ impl Rule {
         out
     }
 
-    /// True when every head variable occurs in the body (range
-    /// restriction / safety). Zero-arity heads are always safe.
-    pub fn is_safe(&self) -> bool {
-        let body_vars: BTreeSet<u32> = self
-            .body
+    /// The variables bound by positive body atoms — the only variables a
+    /// head or a negated literal may legally use.
+    pub fn positive_body_vars(&self) -> BTreeSet<u32> {
+        self.body
             .iter()
+            .filter(|a| !a.negated)
             .flat_map(|a| a.args.iter().copied())
-            .collect();
+            .collect()
+    }
+
+    /// True when every head variable occurs in a **positive** body atom
+    /// (range restriction / safety). Zero-arity heads are always safe.
+    /// For purely positive rules this is the classical §2.3 condition.
+    pub fn is_safe(&self) -> bool {
+        let body_vars = self.positive_body_vars();
         self.head.args.iter().all(|v| body_vars.contains(v))
+    }
+
+    /// The first variable of a negated body literal that no positive body
+    /// atom binds, if any — the witness for an unsafe negation.
+    pub fn unsafe_negation_var(&self) -> Option<u32> {
+        let bound = self.positive_body_vars();
+        self.body
+            .iter()
+            .filter(|a| a.negated)
+            .flat_map(|a| a.args.iter())
+            .find(|v| !bound.contains(v))
+            .copied()
+    }
+
+    /// True when the rule body contains a negated literal.
+    pub fn has_negation(&self) -> bool {
+        self.body.iter().any(|a| a.negated)
     }
 }
 
@@ -73,6 +111,11 @@ pub struct Program {
     /// `# goal: Name` pragma when parsed from text, otherwise the IDB
     /// named [`DEFAULT_GOAL_NAME`] by convention.
     goal: Option<usize>,
+    /// Stratum of each IDB (aligned with `idbs`). A purely positive
+    /// program has every IDB in stratum 0; each negated dependency bumps
+    /// the dependent's stratum by one. Computed (and stratifiability
+    /// enforced) at construction.
+    strata: Vec<usize>,
 }
 
 /// The IDB name treated as the goal when no `# goal:` pragma designates
@@ -104,13 +147,14 @@ impl Program {
     ) -> Result<Program, DatalogError> {
         assert_eq!(rules.len(), rule_lines.len(), "rule_lines misaligned");
         let goal = idbs.iter().position(|(n, _)| n == DEFAULT_GOAL_NAME);
-        let p = Program {
+        let mut p = Program {
             edb,
             idbs,
             rules,
             var_names,
             rule_lines,
             goal,
+            strata: Vec::new(),
         };
         for (ri, r) in p.rules.iter().enumerate() {
             let span = DatalogSpan {
@@ -120,9 +164,11 @@ impl Program {
             if !matches!(r.head.pred, PredRef::Idb(_)) {
                 return Err(DatalogError::new(DatalogErrorKind::HeadNotIdb, span));
             }
+            if r.head.negated {
+                return Err(DatalogError::new(DatalogErrorKind::NegatedHead, span));
+            }
             if !r.is_safe() {
-                let body_vars: BTreeSet<u32> =
-                    r.body.iter().flat_map(|a| a.args.iter().copied()).collect();
+                let body_vars = r.positive_body_vars();
                 let unbound = r
                     .head
                     .args
@@ -134,6 +180,12 @@ impl Program {
                     DatalogErrorKind::UnsafeRule {
                         var: p.var_name(unbound),
                     },
+                    span,
+                ));
+            }
+            if let Some(v) = r.unsafe_negation_var() {
+                return Err(DatalogError::new(
+                    DatalogErrorKind::UnsafeNegation { var: p.var_name(v) },
                     span,
                 ));
             }
@@ -151,7 +203,93 @@ impl Program {
                 }
             }
         }
+        p.strata = p.compute_strata()?;
         Ok(p)
+    }
+
+    /// Stratify the program: assign each IDB its negation depth, the
+    /// least `s` such that every positive dependency sits in a stratum
+    /// `≤ s` and every negated dependency in a stratum `< s`. Errors with
+    /// [`DatalogErrorKind::UnstratifiableNegation`] (spanned at the rule
+    /// holding the offending negated literal) when a dependency cycle
+    /// passes through a negative edge.
+    fn compute_strata(&self) -> Result<Vec<usize>, DatalogError> {
+        let n = self.idbs.len();
+        let mut strata = vec![0usize; n];
+        if !self.rules.iter().any(Rule::has_negation) {
+            return Ok(strata); // positive program: single stratum 0
+        }
+        // Fixpoint of stratum(h) = max over body IDB atoms q of
+        // stratum(q) + [q negated]. Diverges (stratum ≥ n) exactly when a
+        // cycle passes through a negative edge.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for r in &self.rules {
+                let PredRef::Idb(h) = r.head.pred else {
+                    continue;
+                };
+                for a in &r.body {
+                    let PredRef::Idb(q) = a.pred else { continue };
+                    let need = strata[q] + usize::from(a.negated);
+                    if strata[h] < need {
+                        strata[h] = need;
+                        changed = true;
+                    }
+                }
+            }
+            if strata.iter().any(|&s| s >= n) {
+                // Point the error at a rule whose negated literal closes a
+                // cycle: head h with negated body IDB q where q transitively
+                // depends on h.
+                for (ri, r) in self.rules.iter().enumerate() {
+                    let PredRef::Idb(h) = r.head.pred else {
+                        continue;
+                    };
+                    for a in r.body.iter().filter(|a| a.negated) {
+                        let PredRef::Idb(q) = a.pred else { continue };
+                        if self.idb_depends_on(q, h) {
+                            return Err(DatalogError::new(
+                                DatalogErrorKind::UnstratifiableNegation {
+                                    pred: self.idbs[h].0.clone(),
+                                    via: self.idbs[q].0.clone(),
+                                },
+                                DatalogSpan {
+                                    line: self.rule_lines[ri],
+                                    rule: Some(ri),
+                                },
+                            ));
+                        }
+                    }
+                }
+                unreachable!("divergent strata without a negative cycle");
+            }
+        }
+        Ok(strata)
+    }
+
+    /// True when IDB `from` depends on IDB `to` through zero or more
+    /// dependency edges (either polarity).
+    fn idb_depends_on(&self, from: usize, to: usize) -> bool {
+        let mut seen = vec![false; self.idbs.len()];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(p) = stack.pop() {
+            if p == to {
+                return true;
+            }
+            for r in self.rules.iter().filter(|r| r.head.pred == PredRef::Idb(p)) {
+                for a in &r.body {
+                    if let PredRef::Idb(q) = a.pred {
+                        if !seen[q] {
+                            seen[q] = true;
+                            stack.push(q);
+                        }
+                    }
+                }
+            }
+        }
+        false
     }
 
     /// Parse a program text (grammar documented in the crate-level docs;
@@ -258,6 +396,37 @@ impl Program {
             .iter()
             .filter(move |r| r.head.pred == PredRef::Idb(idb))
     }
+
+    /// True when any rule body contains a negated literal. Positive
+    /// programs take every code path they took before negation existed.
+    pub fn has_negation(&self) -> bool {
+        self.rules.iter().any(Rule::has_negation)
+    }
+
+    /// Stratum of IDB `i` (its negation depth). All zero for positive
+    /// programs.
+    pub fn stratum_of(&self, i: usize) -> usize {
+        self.strata[i]
+    }
+
+    /// Stratum of each IDB, aligned with [`Program::idbs`].
+    pub fn strata(&self) -> &[usize] {
+        &self.strata
+    }
+
+    /// Number of strata (`1 + max stratum`; `1` for positive programs,
+    /// including programs with no IDBs at all).
+    pub fn num_strata(&self) -> usize {
+        self.strata.iter().copied().max().unwrap_or(0) + 1
+    }
+
+    /// Stratum a rule belongs to: the stratum of its head predicate.
+    pub fn rule_stratum(&self, ri: usize) -> usize {
+        match self.rules[ri].head.pred {
+            PredRef::Idb(i) => self.strata[i],
+            PredRef::Edb(_) => 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -341,5 +510,96 @@ mod tests {
         let p = Program::parse("Goal() :- E(x,x).", &Vocabulary::digraph()).unwrap();
         assert_eq!(p.idbs(), &[("Goal".to_string(), 0)]);
         assert!(p.rules()[0].is_safe());
+    }
+
+    #[test]
+    fn positive_programs_are_single_stratum() {
+        let p = tc();
+        assert!(!p.has_negation());
+        assert_eq!(p.strata(), &[0]);
+        assert_eq!(p.num_strata(), 1);
+        assert_eq!(p.rule_stratum(0), 0);
+    }
+
+    #[test]
+    fn strata_follow_negation_depth() {
+        let v = Vocabulary::from_pairs([("E", 2), ("Node", 1)]);
+        let p = Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\n\
+             NR(x,y) :- Node(x), Node(y), not T(x,y).\nGoal() :- NR(x,x).",
+            &v,
+        )
+        .unwrap();
+        assert!(p.has_negation());
+        assert_eq!(p.stratum_of(p.idb_index("T").unwrap()), 0);
+        assert_eq!(p.stratum_of(p.idb_index("NR").unwrap()), 1);
+        // Goal depends on NR only positively: same stratum.
+        assert_eq!(p.stratum_of(p.idb_index("Goal").unwrap()), 1);
+        assert_eq!(p.num_strata(), 2);
+    }
+
+    #[test]
+    fn negated_edb_guard_stays_in_stratum_zero() {
+        let v = Vocabulary::from_pairs([("R", 2), ("S", 2)]);
+        let p = Program::parse("D(x,y) :- R(x,y), not S(x,y).", &v).unwrap();
+        assert!(p.has_negation());
+        assert_eq!(p.strata(), &[0]);
+        assert_eq!(p.num_strata(), 1);
+    }
+
+    #[test]
+    fn unsafe_negation_rejected_with_witness() {
+        // y occurs only under the negation: not range-restricted.
+        let e = Program::parse("A(x) :- E(x,x), not E(x,y).", &Vocabulary::digraph()).unwrap_err();
+        assert!(
+            matches!(e.kind, DatalogErrorKind::UnsafeNegation { ref var } if var == "y"),
+            "{e}"
+        );
+        assert_eq!(e.span.rule, Some(0));
+        // A head variable bound only by a negated atom is plain-unsafe.
+        let e = Program::parse("A(y) :- E(x,x), not E(x,y).", &Vocabulary::digraph()).unwrap_err();
+        assert!(matches!(e.kind, DatalogErrorKind::UnsafeRule { .. }), "{e}");
+    }
+
+    #[test]
+    fn cycle_through_negation_is_rejected_with_span() {
+        // The naive win/lose game: Win depends negatively on itself.
+        let v = Vocabulary::from_pairs([("Move", 2)]);
+        let e = Program::parse("Win(x) :- Move(x,y), not Win(y).", &v).unwrap_err();
+        assert!(
+            matches!(
+                e.kind,
+                DatalogErrorKind::UnstratifiableNegation { ref pred, ref via }
+                    if pred == "Win" && via == "Win"
+            ),
+            "{e}"
+        );
+        assert_eq!(e.span.rule, Some(0));
+        assert_eq!(e.span.line, Some(1));
+        assert!(e.to_string().contains("not stratifiable"), "{e}");
+        // A longer cycle through a positive intermediary is also caught.
+        let e = Program::parse(
+            "P(x) :- E(x,y), not Q(y).\nQ(x) :- E(x,y), P(y).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(e.kind, DatalogErrorKind::UnstratifiableNegation { .. }),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn negation_within_scc_positive_edges_ok() {
+        // Negating a *lower* stratum inside a recursive definition is fine.
+        let v = Vocabulary::from_pairs([("E", 2), ("M", 1)]);
+        let p = Program::parse(
+            "Bad(x) :- M(x).\nReach(x) :- E(x,y), not Bad(x), M(y).\n\
+             Reach(x) :- E(x,y), Reach(y), not Bad(x).",
+            &v,
+        )
+        .unwrap();
+        assert_eq!(p.stratum_of(p.idb_index("Bad").unwrap()), 0);
+        assert_eq!(p.stratum_of(p.idb_index("Reach").unwrap()), 1);
     }
 }

@@ -91,6 +91,23 @@ pub enum DatalogErrorKind {
     },
     /// A rule's head predicate is not an IDB.
     HeadNotIdb,
+    /// A rule head was negated (`not H(..) :- ..`); negation is only
+    /// permitted on body literals.
+    NegatedHead,
+    /// A variable of a negated body atom is not bound by any positive
+    /// body atom (the safety condition for stratified negation).
+    UnsafeNegation {
+        /// Display name of the unbound variable.
+        var: String,
+    },
+    /// The program's predicate-dependency graph has a cycle through a
+    /// negative edge, so no stratification exists.
+    UnstratifiableNegation {
+        /// Name of the IDB predicate whose rule closes the cycle.
+        pred: String,
+        /// Name of the negated IDB predicate on the cycle.
+        via: String,
+    },
     /// A `# goal:` pragma did not name a single well-formed predicate.
     BadGoalPragma {
         /// The offending pragma payload.
@@ -161,6 +178,19 @@ impl fmt::Display for DatalogError {
                 write!(f, "unsafe rule (head variable {var} not in body)")
             }
             DatalogErrorKind::HeadNotIdb => write!(f, "head must be an IDB predicate"),
+            DatalogErrorKind::NegatedHead => {
+                write!(f, "negation is only allowed on body atoms, not the head")
+            }
+            DatalogErrorKind::UnsafeNegation { var } => write!(
+                f,
+                "unsafe negation (variable {var} of a negated atom is not bound \
+                 by any positive body atom)"
+            ),
+            DatalogErrorKind::UnstratifiableNegation { pred, via } => write!(
+                f,
+                "program is not stratifiable: {pred} depends on itself through \
+                 a negated occurrence of {via}"
+            ),
             DatalogErrorKind::BadGoalPragma { text } => {
                 write!(f, "bad goal pragma {text:?} (want `# goal: Name`)")
             }

@@ -55,6 +55,13 @@ pub enum EvalError {
     },
     /// An update batch contained invalid tuples (arity or element range).
     Structure(StructureError),
+    /// The requested operation does not support programs with negated
+    /// body literals (today: incremental view maintenance, whose
+    /// counting/DRed machinery is sound only for monotone programs).
+    NegationUnsupported {
+        /// The operation that was refused.
+        operation: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -67,6 +74,13 @@ impl fmt::Display for EvalError {
                 write!(f, "database does not match this program: {detail}")
             }
             EvalError::Structure(e) => write!(f, "invalid update batch: {e}"),
+            EvalError::NegationUnsupported { operation } => {
+                write!(
+                    f,
+                    "{operation} does not support stratified negation; \
+                     re-evaluate the program from scratch instead"
+                )
+            }
         }
     }
 }
@@ -274,6 +288,9 @@ pub struct EvalCheckpoint {
     /// [`FixpointResult::converged`] `false`.
     pub partial: FixpointResult,
     delta: Vec<IdbRelation>,
+    /// The stratum whose delta rounds were interrupted (always 0 for
+    /// positive programs).
+    stratum: usize,
     fuel: GaugeState,
 }
 
@@ -408,12 +425,30 @@ impl Program {
                 });
             }
         }
+        if cp.stratum >= self.num_strata() {
+            return Err(EvalError::CheckpointMismatch {
+                detail: format!(
+                    "checkpoint stopped in stratum {}, but the program has {} strata",
+                    cp.stratum,
+                    self.num_strata()
+                ),
+            });
+        }
         Ok(())
     }
 
     /// The shared semi-naive engine behind the budgeted and unbudgeted
-    /// entry points: delta rounds charged against `gauge`, optionally
-    /// continuing from a checkpoint taken at a round boundary.
+    /// entry points: stratum-ordered delta rounds charged against `gauge`,
+    /// optionally continuing from a checkpoint taken at a round boundary.
+    ///
+    /// Strata run in ascending order; within each stratum the engine is
+    /// the classical semi-naive loop over that stratum's rules, with
+    /// same-stratum positive IDB atoms as the delta seeds. A negated
+    /// literal only ever reads a strictly lower stratum, which is sealed
+    /// (its delta has drained) by the time the reading stratum starts, so
+    /// negation-as-complement is sound. Positive programs collapse to the
+    /// single stratum 0 and take exactly the pre-negation code path: same
+    /// rounds, same stage counts, same fuel tick sequence.
     #[allow(clippy::result_large_err)]
     fn fixpoint(
         &self,
@@ -426,6 +461,11 @@ impl Program {
         let workers = cfg.worker_count().max(1);
         let chunks = workers;
         let n_idb = self.idbs().len();
+        let idb_strata = self.strata();
+        let num_strata = self.num_strata();
+        let rule_strata: Vec<usize> = (0..plan.rules.len())
+            .map(|ri| self.rule_stratum(ri))
+            .collect();
         let mut pool = IndexPool::new(&plan, a);
         // A worker panic degrades the rest of the evaluation to the
         // calling thread; the diagnostics record every such recovery.
@@ -434,6 +474,7 @@ impl Program {
         let checkpoint = |idb: Vec<IdbRelation>,
                           delta: Vec<IdbRelation>,
                           stages: usize,
+                          stratum: usize,
                           diagnostics: Vec<String>,
                           fuel: GaugeState| {
             EvalCheckpoint {
@@ -446,10 +487,11 @@ impl Program {
                     diagnostics,
                 },
                 delta,
+                stratum,
                 fuel,
             }
         };
-        let (mut idb, mut delta, mut stages) = match resume {
+        let (mut idb, mut delta, mut stages, start_stratum, mut mid_stratum) = match resume {
             Some(cp) => {
                 // Shape validation happened in `check_checkpoint` before the
                 // public entry points reached this engine.
@@ -460,15 +502,27 @@ impl Program {
                 pool.absorb(&plan, &cp.partial.relations);
                 diagnostics = cp.partial.diagnostics;
                 degraded = !diagnostics.is_empty();
-                (cp.partial.relations, cp.delta, cp.partial.stages)
+                (
+                    cp.partial.relations,
+                    cp.delta,
+                    cp.partial.stages,
+                    cp.stratum,
+                    true,
+                )
             }
-            None => {
-                // Round 0: every rule against the empty IDBs (EDB-only
-                // derivations and empty-body facts). Everything derived is
-                // new.
-                let idb: Vec<IdbRelation> = self.empty_idbs();
-                let mut delta: Vec<IdbRelation> = self.empty_idbs();
+            None => (self.empty_idbs(), self.empty_idbs(), 0, 0, false),
+        };
+        let mut converged = true;
+        'strata: for s in start_stratum..num_strata {
+            // Round 0 of stratum `s`: every rule of the stratum against the
+            // IDBs accumulated so far (sealed lower strata; this stratum's
+            // own predicates are still empty, so everything derived is new).
+            // A resumed run re-enters its interrupted stratum directly at
+            // the delta loop, pending delta in hand.
+            if !std::mem::take(&mut mid_stratum) {
+                delta = self.empty_idbs();
                 let items: Vec<WorkItem> = (0..plan.rules.len())
+                    .filter(|&ri| rule_strata[ri] == s)
                     .flat_map(|ri| (0..chunks).map(move |c| (ri, None, (c, chunks))))
                     .collect();
                 let ctx = JoinCtx {
@@ -478,11 +532,15 @@ impl Program {
                     pool: &pool,
                 };
                 let edb_tuples: usize = a.relations().map(|(_, r)| r.len()).sum();
-                let w = round_workers(workers, cfg.parallel_min_seed, edb_tuples);
+                let w = if degraded {
+                    1
+                } else {
+                    round_workers(workers, cfg.parallel_min_seed, edb_tuples)
+                };
                 let (results, recovered) = run_round(&plan, &ctx, &items, w);
                 if recovered {
                     degraded = true;
-                    diagnostics.push(recovery_note(0));
+                    diagnostics.push(recovery_note(stages));
                 }
                 for (h, out) in &results {
                     delta[*h].merge_store(out);
@@ -490,70 +548,100 @@ impl Program {
                 let derived: u64 = delta.iter().map(|d| d.len() as u64).sum();
                 if let Err(stop) = gauge.tick(1 + derived) {
                     let fuel = stop.state();
-                    return Err(stop.with_partial(checkpoint(idb, delta, 0, diagnostics, fuel)));
+                    return Err(stop.with_partial(checkpoint(
+                        idb,
+                        delta,
+                        stages,
+                        s,
+                        diagnostics,
+                        fuel,
+                    )));
                 }
-                (idb, delta, 0)
             }
-        };
-        let converged = loop {
-            if delta.iter().all(|d| d.is_empty()) {
-                break true;
+            loop {
+                if delta.iter().all(|d| d.is_empty()) {
+                    break; // stratum sealed; move on to the next
+                }
+                if cfg.max_stages.is_some_and(|cap| stages >= cap) {
+                    converged = false;
+                    break 'strata;
+                }
+                if let Err(stop) = gauge.check() {
+                    let fuel = stop.state();
+                    return Err(stop.with_partial(checkpoint(
+                        idb,
+                        delta,
+                        stages,
+                        s,
+                        diagnostics,
+                        fuel,
+                    )));
+                }
+                stages += 1;
+                pool.absorb(&plan, &delta);
+                for (acc, d) in idb.iter_mut().zip(&delta) {
+                    acc.merge(d);
+                }
+                // One work item per (stratum rule, same-stratum positive IDB
+                // body atom, delta shard): the standard semi-naive split,
+                // sharded for the pool. Lower-stratum atoms have drained
+                // deltas and seed nothing.
+                let items: Vec<WorkItem> = plan
+                    .rules
+                    .iter()
+                    .enumerate()
+                    .filter(|&(ri, _)| rule_strata[ri] == s)
+                    .flat_map(|(ri, rp)| {
+                        rp.idb_atoms
+                            .iter()
+                            .filter(|&&bi| match rp.atoms[bi].pred {
+                                PredRef::Idb(p) => idb_strata[p] == s,
+                                PredRef::Edb(_) => false,
+                            })
+                            .flat_map(move |&bi| {
+                                (0..chunks).map(move |c| (ri, Some(bi), (c, chunks)))
+                            })
+                    })
+                    .collect();
+                let ctx = JoinCtx {
+                    a,
+                    idb: &idb,
+                    delta: &delta,
+                    pool: &pool,
+                };
+                let delta_tuples: usize = delta.iter().map(Relation::len).sum();
+                let w = if degraded {
+                    1
+                } else {
+                    round_workers(workers, cfg.parallel_min_seed, delta_tuples)
+                };
+                let (results, recovered) = run_round(&plan, &ctx, &items, w);
+                if recovered {
+                    degraded = true;
+                    diagnostics.push(recovery_note(stages));
+                }
+                // New facts = (round output) \ (accumulated IDB): a galloping
+                // sorted-set difference, then one sorted-run merge per head.
+                let mut next_delta: Vec<IdbRelation> = self.empty_idbs();
+                for (h, out) in &results {
+                    let fresh = out.difference(idb[*h].store());
+                    next_delta[*h].merge_store(&fresh);
+                }
+                delta = next_delta;
+                let derived: u64 = delta.iter().map(|d| d.len() as u64).sum();
+                if let Err(stop) = gauge.tick(1 + derived) {
+                    let fuel = stop.state();
+                    return Err(stop.with_partial(checkpoint(
+                        idb,
+                        delta,
+                        stages,
+                        s,
+                        diagnostics,
+                        fuel,
+                    )));
+                }
             }
-            if cfg.max_stages.is_some_and(|cap| stages >= cap) {
-                break false;
-            }
-            if let Err(stop) = gauge.check() {
-                let fuel = stop.state();
-                return Err(stop.with_partial(checkpoint(idb, delta, stages, diagnostics, fuel)));
-            }
-            stages += 1;
-            pool.absorb(&plan, &delta);
-            for (acc, d) in idb.iter_mut().zip(&delta) {
-                acc.merge(d);
-            }
-            // One work item per (rule, IDB body atom, delta shard): the
-            // standard semi-naive split, sharded for the pool.
-            let items: Vec<WorkItem> = plan
-                .rules
-                .iter()
-                .enumerate()
-                .flat_map(|(ri, rp)| {
-                    rp.idb_atoms
-                        .iter()
-                        .flat_map(move |&bi| (0..chunks).map(move |c| (ri, Some(bi), (c, chunks))))
-                })
-                .collect();
-            let ctx = JoinCtx {
-                a,
-                idb: &idb,
-                delta: &delta,
-                pool: &pool,
-            };
-            let delta_tuples: usize = delta.iter().map(Relation::len).sum();
-            let w = if degraded {
-                1
-            } else {
-                round_workers(workers, cfg.parallel_min_seed, delta_tuples)
-            };
-            let (results, recovered) = run_round(&plan, &ctx, &items, w);
-            if recovered {
-                degraded = true;
-                diagnostics.push(recovery_note(stages));
-            }
-            // New facts = (round output) \ (accumulated IDB): a galloping
-            // sorted-set difference, then one sorted-run merge per head.
-            let mut next_delta: Vec<IdbRelation> = self.empty_idbs();
-            for (h, out) in &results {
-                let fresh = out.difference(idb[*h].store());
-                next_delta[*h].merge_store(&fresh);
-            }
-            delta = next_delta;
-            let derived: u64 = delta.iter().map(|d| d.len() as u64).sum();
-            if let Err(stop) = gauge.tick(1 + derived) {
-                let fuel = stop.state();
-                return Err(stop.with_partial(checkpoint(idb, delta, stages, diagnostics, fuel)));
-            }
-        };
+        }
         Ok(FixpointResult {
             idb_names: self.idbs().iter().map(|(n, _)| n.clone()).collect(),
             goal: self.goal_index(),
@@ -697,6 +785,24 @@ fn join(
         return;
     }
     let step = &steps[depth];
+    let atom = &rp.atoms[step.atom];
+    if atom.negated {
+        // Negated guard: the plan schedules it only once every argument is
+        // bound, so the step is a single membership probe against the sealed
+        // relation — the point lookup of the sorted-store complement
+        // (`TupleStore::difference` restricted to one candidate). Negated
+        // IDB atoms live in strictly lower strata, whose deltas drained
+        // before this stratum started, so `ctx.idb` is their final value.
+        let key: Vec<Elem> = step.bound.iter().map(|&(_, s)| asg[s]).collect();
+        let present = match atom.pred {
+            PredRef::Edb(sym) => ctx.a.relation(sym).contains(&key),
+            PredRef::Idb(p) => ctx.idb[p].contains(&key),
+        };
+        if !present {
+            join(ctx, rp, steps, delta_atom, chunk, depth + 1, asg, out);
+        }
+        return;
+    }
     if let Some(spec) = step.index {
         // Hash probe on exactly the bound positions; candidates satisfy the
         // bound equalities by construction of the key.
@@ -710,7 +816,6 @@ fn join(
     // atom). The seed scan at depth 0 is the sharding point: each work item
     // visits only its residue class of the scan.
     let (shard, of) = if depth == 0 { chunk } else { (0, 1) };
-    let atom = &rp.atoms[step.atom];
     match atom.pred {
         PredRef::Edb(sym) => {
             for (i, t) in ctx.a.relation(sym).iter().enumerate() {

@@ -64,6 +64,57 @@ pub fn absorbed_recursion() -> Program {
     .expect("well-formed")
 }
 
+/// Non-reachability over `{E/2, Node/1}`: the complement of transitive
+/// closure, restricted to marked nodes — the sparse-class query of
+/// Dawar–Eleftheriadis. Two strata: `T` (positive, stratum 0), then
+/// `NonReach` behind the negated guard (stratum 1).
+pub fn non_reachability() -> Program {
+    let v = Vocabulary::from_pairs([("E", 2), ("Node", 1)]);
+    Program::parse(
+        "T(x,y) :- E(x,y).\n\
+         T(x,y) :- E(x,z), T(z,y).\n\
+         NonReach(x,y) :- Node(x), Node(y), not T(x,y).",
+        &v,
+    )
+    .expect("well-formed")
+}
+
+/// Set difference over `{R/2, S/2}`: `D = R \\ S` as one stratified rule
+/// with a negated EDB guard (a single stratum — negation of an EDB
+/// relation adds no dependency edge).
+pub fn set_difference() -> Program {
+    let v = Vocabulary::from_pairs([("R", 2), ("S", 2)]);
+    Program::parse("D(x,y) :- R(x,y), not S(x,y).", &v).expect("well-formed")
+}
+
+/// The win/lose game over `{Move/2, Pos/1}`, unrolled to `k` stratified
+/// layers. The natural `Win(x) :- Move(x,y), not Win(y)` is
+/// unstratifiable; the standard stratified rendering alternates layers:
+///
+/// - `Lose0(x)`: positions with no escape at all — approximated layer by
+///   layer via `Escape_i(x) :- Move(x,y), not Win_i(y)` and
+///   `Lose_{i+1}(x) :- Pos(x), not Escape_i(x)`;
+/// - `Win_{i+1}(x) :- Move(x,y), Lose_i(y)`.
+///
+/// Each layer adds two strata (`Lose_k` sits at negation depth `2k + 1`),
+/// so the program exercises a `2k + 2`-deep stratification; on DAG move
+/// graphs of depth `< k` the top layer is the exact game value.
+pub fn win_move(k: usize) -> Program {
+    let v = Vocabulary::from_pairs([("Move", 2), ("Pos", 1)]);
+    let mut text = String::new();
+    // Layer 0: no position is known winning yet, so every position with a
+    // move has an escape; positions with no move at all lose immediately.
+    text.push_str("Escape0(x) :- Move(x,y).\n");
+    text.push_str("Lose0(x) :- Pos(x), not Escape0(x).\n");
+    for i in 0..k {
+        let j = i + 1;
+        text.push_str(&format!("Win{j}(x) :- Move(x,y), Lose{i}(y).\n"));
+        text.push_str(&format!("Escape{j}(x) :- Move(x,y), not Win{j}(y).\n"));
+        text.push_str(&format!("Lose{j}(x) :- Pos(x), not Escape{j}(x).\n"));
+    }
+    Program::parse(&text, &v).expect("well-formed")
+}
+
 /// The unrolled "reach a marked element within `h` hops" program over
 /// `{E/2, M/1}` — bounded at stage 1 with `h+2` IDB rules, for boundedness
 /// sweeps.
@@ -136,5 +187,65 @@ mod tests {
     #[test]
     fn same_generation_is_unbounded() {
         assert_eq!(certified_boundedness(&same_generation(), 2).unwrap(), None);
+    }
+
+    #[test]
+    fn non_reachability_on_a_path() {
+        use hp_structures::{Elem, Structure};
+        let p = non_reachability();
+        // Path 0 -> 1 -> 2, all three nodes marked.
+        let mut s = Structure::new(p.edb().clone(), 3);
+        for (a, b) in [(0u32, 1u32), (1, 2)] {
+            s.add_tuple_ids(0, &[a, b]).unwrap();
+        }
+        for n in 0..3u32 {
+            s.add_tuple_ids(1, &[n]).unwrap();
+        }
+        let r = p.evaluate(&s);
+        let nr = &r.relations[p.idb_index("NonReach").unwrap()];
+        // Reachable pairs: (0,1), (0,2), (1,2); NonReach = 9 - 3.
+        assert_eq!(nr.len(), 6);
+        assert!(nr.contains(&[Elem(1), Elem(0)]));
+        assert!(nr.contains(&[Elem(0), Elem(0)]));
+        assert!(!nr.contains(&[Elem(0), Elem(2)]));
+    }
+
+    #[test]
+    fn set_difference_semantics() {
+        use hp_structures::{Elem, Structure};
+        let p = set_difference();
+        let mut s = Structure::new(p.edb().clone(), 4);
+        for (a, b) in [(0u32, 1u32), (1, 2), (2, 3)] {
+            s.add_tuple_ids(0, &[a, b]).unwrap();
+        }
+        s.add_tuple_ids(1, &[1, 2]).unwrap();
+        let r = p.evaluate(&s);
+        let d = &r.relations[p.idb_index("D").unwrap()];
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&[Elem(0), Elem(1)]) && d.contains(&[Elem(2), Elem(3)]));
+        assert!(!d.contains(&[Elem(1), Elem(2)]));
+    }
+
+    #[test]
+    fn win_move_solves_a_short_game() {
+        use hp_structures::{Elem, Structure};
+        // Chain game 0 -> 1 -> 2 -> 3: position 3 is moveless (lost),
+        // 2 wins (moves to 3), 1 loses (only move reaches a win), 0 wins.
+        let p = win_move(3);
+        assert_eq!(p.num_strata(), 2 * 3 + 2);
+        let mut s = Structure::new(p.edb().clone(), 4);
+        for (a, b) in [(0u32, 1u32), (1, 2), (2, 3)] {
+            s.add_tuple_ids(0, &[a, b]).unwrap();
+        }
+        for n in 0..4u32 {
+            s.add_tuple_ids(1, &[n]).unwrap();
+        }
+        let r = p.evaluate(&s);
+        let win = &r.relations[p.idb_index("Win3").unwrap()];
+        let lose = &r.relations[p.idb_index("Lose3").unwrap()];
+        assert!(win.contains(&[Elem(2)]) && win.contains(&[Elem(0)]));
+        assert!(!win.contains(&[Elem(1)]) && !win.contains(&[Elem(3)]));
+        assert!(lose.contains(&[Elem(3)]) && lose.contains(&[Elem(1)]));
+        assert!(!lose.contains(&[Elem(0)]) && !lose.contains(&[Elem(2)]));
     }
 }

@@ -422,6 +422,11 @@ impl MaterializedDb {
         structure: Structure,
         cfg: &EvalConfig,
     ) -> Result<MaterializedDb, EvalError> {
+        if program.has_negation() {
+            return Err(EvalError::NegationUnsupported {
+                operation: "incremental view maintenance".to_string(),
+            });
+        }
         if structure.vocab() != program.edb() {
             return Err(EvalError::ProgramMismatch {
                 detail: "structure vocabulary differs from the program's EDB".to_string(),
@@ -1801,6 +1806,11 @@ impl Program {
         cfg: &EvalConfig,
         budget: &Budget,
     ) -> Result<Budgeted<FixpointResult, IncCheckpoint>, EvalError> {
+        if self.has_negation() {
+            return Err(EvalError::NegationUnsupported {
+                operation: "incremental view maintenance".to_string(),
+            });
+        }
         self.check_db(db)?;
         if db.in_flight {
             return Err(EvalError::ProgramMismatch {

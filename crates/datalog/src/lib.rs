@@ -3,8 +3,13 @@
 //! A Datalog engine (§2.3) with everything §7 of Atserias–Dawar–Kolaitis
 //! needs:
 //!
-//! - positive Datalog programs with EDB/IDB predicates, a text parser, and
-//!   the **total-distinct-variable count** that defines k-Datalog;
+//! - Datalog programs with EDB/IDB predicates, a text parser, and the
+//!   **total-distinct-variable count** that defines k-Datalog;
+//! - **stratified negation**: `not R(x,y)` body literals, validated at
+//!   construction (negation safety and stratifiability are
+//!   [`DatalogError`]s, so every [`Program`] value is evaluable) and run
+//!   by stratum-ordered semi-naive evaluation — positive programs take
+//!   the single stratum 0 and behave exactly as before;
 //! - bottom-up evaluation: **naive** stages `Φ⁰, Φ¹, …` (the monotone
 //!   operator of §2.3, used for stage counting — with explicit convergence
 //!   reporting, see [`StageSequence`]) and **semi-naive** fixpoints driven

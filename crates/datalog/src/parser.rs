@@ -8,7 +8,10 @@
 //!
 //! Predicates occurring in some head are IDBs (declared implicitly, arity
 //! from first use); every other predicate must belong to the EDB
-//! vocabulary. `#` starts a comment. Each rule ends with `.`.
+//! vocabulary. `#` starts a comment. Each rule ends with `.`. A body
+//! literal may be negated with a `not` prefix (`D(x,y) :- R(x,y), not
+//! S(x,y).`); the resulting program must be stratifiable and every
+//! variable of a negated literal must be bound by a positive body atom.
 //!
 //! The parser tracks the 1-based source line on which each rule starts, so
 //! every [`DatalogError`] points back into the original text (comments and
@@ -73,6 +76,12 @@ pub(crate) fn parse_program(text: &str, edb: &Vocabulary) -> Result<Program, Dat
     // Pre-scan heads for IDB names.
     let mut head_names: Vec<String> = Vec::new();
     for r in &raw_rules {
+        if strip_not(&r.head).0 {
+            return Err(DatalogError::new(
+                DatalogErrorKind::NegatedHead,
+                DatalogSpan::line(r.line),
+            ));
+        }
         let (name, _) = split_atom(&r.head).map_err(|e| e.with_line(r.line))?;
         if !head_names.contains(&name) {
             head_names.push(name);
@@ -124,7 +133,11 @@ pub(crate) fn parse_program(text: &str, edb: &Vocabulary) -> Result<Program, Dat
                 }
             }
         };
-        Ok(DatalogAtom { pred, args })
+        Ok(DatalogAtom {
+            pred,
+            args,
+            negated: false,
+        })
     };
     for r in &raw_rules {
         let head =
@@ -132,10 +145,11 @@ pub(crate) fn parse_program(text: &str, edb: &Vocabulary) -> Result<Program, Dat
         let mut body = Vec::new();
         if let Some(b) = &r.body {
             for part in split_atoms(b).map_err(|e| e.with_line(r.line))? {
-                body.push(
-                    parse_atom(&part, &mut idbs, &mut var_names)
-                        .map_err(|e| e.with_line(r.line))?,
-                );
+                let (negated, atom_text) = strip_not(&part);
+                let mut atom = parse_atom(atom_text, &mut idbs, &mut var_names)
+                    .map_err(|e| e.with_line(r.line))?;
+                atom.negated = negated;
+                body.push(atom);
             }
         }
         rules.push(Rule { head, body });
@@ -303,6 +317,17 @@ fn split_rules(text: &str) -> Result<Vec<RawRule>, DatalogError> {
     }
     push_chunk(&cur, cur_line, &mut out);
     Ok(out)
+}
+
+/// Strip a leading `not` keyword from a literal. The keyword must be
+/// followed by whitespace, so a predicate legitimately named `not` (as in
+/// `not(x,y)`) is left alone.
+fn strip_not(s: &str) -> (bool, &str) {
+    let s = s.trim();
+    match s.strip_prefix("not") {
+        Some(rest) if rest.starts_with(char::is_whitespace) => (true, rest.trim_start()),
+        _ => (false, s),
+    }
 }
 
 /// Split `Name(a, b, c)` into the name and argument identifiers.

@@ -39,6 +39,10 @@ pub(crate) struct AtomPlan {
     pub pred: PredRef,
     /// Dense variable slot of each argument position.
     pub args: Vec<usize>,
+    /// True for a negated literal: the step is a membership *guard* —
+    /// scheduled only once every argument is bound, it filters rather than
+    /// binds, and it never seeds a delta order.
+    pub negated: bool,
 }
 
 /// One step of a join order: which atom to join next and how each of its
@@ -126,15 +130,19 @@ impl RulePlan {
             .map(|a| AtomPlan {
                 pred: a.pred,
                 args: a.args.iter().map(|&v| slot(v)).collect(),
+                negated: a.negated,
             })
             .collect();
         let PredRef::Idb(head) = rule.head.pred else {
             unreachable!("validated: rule heads are IDB atoms")
         };
+        // Only *positive* IDB atoms are semi-naive work items: a negated
+        // literal reads a sealed lower stratum, whose delta is empty by the
+        // time this rule's stratum runs.
         let idb_atoms: Vec<usize> = atoms
             .iter()
             .enumerate()
-            .filter(|(_, a)| matches!(a.pred, PredRef::Idb(_)))
+            .filter(|(_, a)| matches!(a.pred, PredRef::Idb(_)) && !a.negated)
             .map(|(i, _)| i)
             .collect();
         let seed_order = plan_steps(&atoms, vars.len(), None, specs);
@@ -203,12 +211,20 @@ fn plan_steps_inner(
         }
     }
     while order.len() < atoms.len() {
+        // A negated atom is eligible only once all of its variables are
+        // bound (guaranteed reachable: negation safety makes positive atoms
+        // bind every negated variable). Among eligible atoms positive ones
+        // win ties, so a scannable positive atom always opens the order
+        // when one exists.
         let next = (0..atoms.len())
-            .filter(|&ai| !used[ai])
+            .filter(|&ai| {
+                !used[ai] && (!atoms[ai].negated || atoms[ai].args.iter().all(|&s| bound_var[s]))
+            })
             .max_by_key(|&ai| {
                 let bound = atoms[ai].args.iter().filter(|&&s| bound_var[s]).count();
                 (
                     bound,
+                    !atoms[ai].negated,
                     matches!(atoms[ai].pred, PredRef::Edb(_)),
                     Reverse(ai),
                 )
@@ -245,11 +261,12 @@ fn plan_steps_inner(
                 bound_var[s] = true;
             }
             // The delta atom (always at depth 0) reads the per-round delta
-            // relation, which is scanned, never indexed; any other step with
-            // at least one bound position probes a hash index on exactly
-            // those positions.
+            // relation, which is scanned, never indexed; a negated guard is
+            // answered by a direct sorted-store membership probe, not an
+            // index; any other step with at least one bound position probes
+            // a hash index on exactly those positions.
             let reads_delta = seed == Some(ai);
-            let index = (!bound.is_empty() && !reads_delta)
+            let index = (!bound.is_empty() && !reads_delta && !atom.negated)
                 .then(|| intern(specs, atom.pred, bound.iter().map(|&(i, _)| i).collect()));
             JoinStep {
                 atom: ai,

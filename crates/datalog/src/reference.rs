@@ -31,12 +31,22 @@ pub(crate) fn scan_matches(
     delta: Option<(&[IdbRelation], usize)>,
     out: &mut TupleStore,
 ) {
-    // Order body atoms: delta atom first when present (cheap seed), source
-    // order otherwise — exactly the seed evaluator's behaviour.
-    let mut order: Vec<usize> = (0..rp.atoms.len()).collect();
+    // Order body atoms: positive atoms first — delta atom in front when
+    // present (cheap seed), source order otherwise, exactly the seed
+    // evaluator's behaviour — then the negated literals as trailing
+    // membership guards, by which point negation safety has bound every
+    // one of their variables.
+    let mut order: Vec<usize> = (0..rp.atoms.len())
+        .filter(|&i| !rp.atoms[i].negated)
+        .collect();
     if let Some((_, di)) = delta {
-        order.swap(0, di);
+        let pos = order
+            .iter()
+            .position(|&i| i == di)
+            .expect("delta atom is a positive IDB atom");
+        order.swap(0, pos);
     }
+    order.extend((0..rp.atoms.len()).filter(|&i| rp.atoms[i].negated));
     let mut asg: Vec<Option<Elem>> = vec![None; rp.var_count];
     scan_join(rp, a, idb, delta, &order, 0, &mut asg, out);
 }
@@ -64,6 +74,23 @@ fn scan_join(
     }
     let ai = order[depth];
     let atom = &rp.atoms[ai];
+    if atom.negated {
+        // Trailing guard: every argument is bound, so this is one
+        // membership probe against the sealed relation.
+        let key: Vec<Elem> = atom
+            .args
+            .iter()
+            .map(|&s| asg[s].expect("negation safety binds guard vars"))
+            .collect();
+        let present = match atom.pred {
+            PredRef::Edb(sym) => a.relation(sym).contains(&key),
+            PredRef::Idb(i) => idb[i].contains(&key),
+        };
+        if !present {
+            scan_join(rp, a, idb, delta, order, depth + 1, asg, out);
+        }
+        return;
+    }
     match atom.pred {
         PredRef::Edb(sym) => {
             for t in a.relation(sym).iter() {
@@ -149,34 +176,57 @@ impl Program {
     /// replaced. Always runs to the least fixpoint.
     pub fn evaluate_reference(&self, a: &Structure) -> FixpointResult {
         let plan = ProgramPlan::new(self);
+        let strata = self.strata();
         let mut idb: Vec<IdbRelation> = self.empty_idbs();
-        let mut delta: Vec<IdbRelation> = self.empty_idbs();
-        // Round 0: rules evaluated on empty IDBs (EDB-only derivations and
-        // empty-body facts).
-        for rp in &plan.rules {
-            let mut out = TupleStore::new(rp.head_args.len());
-            scan_matches(rp, a, &idb, None, &mut out);
-            out.seal();
-            delta[rp.head].merge_store(&out);
-        }
         let mut stages = 0;
-        while delta.iter().any(|d| !d.is_empty()) {
-            stages += 1;
-            for (acc, d) in idb.iter_mut().zip(&delta) {
-                acc.merge(d);
-            }
-            let mut next_delta: Vec<IdbRelation> = self.empty_idbs();
-            for rp in &plan.rules {
-                // For each IDB body atom, run with that atom restricted to
-                // the delta (standard semi-naive split).
-                for &bi in &rp.idb_atoms {
-                    let mut out = TupleStore::new(rp.head_args.len());
-                    scan_matches(rp, a, &idb, Some((&delta, bi)), &mut out);
-                    out.seal();
-                    next_delta[rp.head].merge_store(&out.difference(idb[rp.head].store()));
+        // Strata in ascending order, mirroring the indexed engine: within
+        // each stratum the classical semi-naive loop over that stratum's
+        // rules; negated literals read the sealed lower strata via the
+        // trailing guards in `scan_matches`. One stratum (and the exact
+        // pre-negation rounds) for positive programs.
+        for s in 0..self.num_strata() {
+            let mut delta: Vec<IdbRelation> = self.empty_idbs();
+            // Round 0 of the stratum: rules evaluated with this stratum's
+            // own predicates still empty (EDB-only derivations, empty-body
+            // facts, and joins over sealed lower strata).
+            for (ri, rp) in plan.rules.iter().enumerate() {
+                if self.rule_stratum(ri) != s {
+                    continue;
                 }
+                let mut out = TupleStore::new(rp.head_args.len());
+                scan_matches(rp, a, &idb, None, &mut out);
+                out.seal();
+                delta[rp.head].merge_store(&out);
             }
-            delta = next_delta;
+            while delta.iter().any(|d| !d.is_empty()) {
+                stages += 1;
+                for (acc, d) in idb.iter_mut().zip(&delta) {
+                    acc.merge(d);
+                }
+                let mut next_delta: Vec<IdbRelation> = self.empty_idbs();
+                for (ri, rp) in plan.rules.iter().enumerate() {
+                    if self.rule_stratum(ri) != s {
+                        continue;
+                    }
+                    // For each same-stratum positive IDB body atom, run with
+                    // that atom restricted to the delta (standard semi-naive
+                    // split); lower-stratum atoms have drained deltas.
+                    for &bi in &rp.idb_atoms {
+                        let in_stratum = match rp.atoms[bi].pred {
+                            PredRef::Idb(p) => strata[p] == s,
+                            PredRef::Edb(_) => false,
+                        };
+                        if !in_stratum {
+                            continue;
+                        }
+                        let mut out = TupleStore::new(rp.head_args.len());
+                        scan_matches(rp, a, &idb, Some((&delta, bi)), &mut out);
+                        out.seal();
+                        next_delta[rp.head].merge_store(&out.difference(idb[rp.head].store()));
+                    }
+                }
+                delta = next_delta;
+            }
         }
         FixpointResult {
             idb_names: self.idbs().iter().map(|(n, _)| n.clone()).collect(),

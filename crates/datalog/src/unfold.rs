@@ -78,6 +78,9 @@ pub fn stage_ucq_with_budget(
     m: usize,
     budget: &Budget,
 ) -> Result<Budgeted<Ucq, usize>, String> {
+    if p.has_negation() {
+        return Err("stage unfoldings are defined for positive programs only".to_string());
+    }
     let mut gauge = budget.gauge();
     match stage_formulas_gauged(p, m, &mut gauge) {
         Ok(mut fs) => Ok(ucq_of_existential_positive(&fs.swap_remove(idb), p.edb()).map(Ok)?),
@@ -93,6 +96,14 @@ fn stage_formulas_gauged(
     m: usize,
     gauge: &mut Gauge,
 ) -> Result<Vec<Formula>, (usize, Vec<Formula>, Stop)> {
+    // Theorem 7.1 is a statement about the positive-existential fragment;
+    // a negated literal has no existential-positive unfolding. Callers
+    // (the semantic pass, boundedness certification) gate on
+    // `Program::has_negation` before reaching here.
+    assert!(
+        !p.has_negation(),
+        "stage unfoldings are defined for positive programs only"
+    );
     let mut prev: Vec<Formula> = (0..p.idbs().len()).map(|_| Formula::bottom()).collect();
     for done in 0..m {
         if let Err(stop) = gauge.check() {
@@ -199,6 +210,9 @@ fn substitute_free(f: &Formula, args: &[u32], fresh: &mut u32) -> Formula {
 
 /// Free-standing form of [`Program::stage_ucq`].
 pub fn stage_ucq(p: &Program, idb: usize, m: usize) -> Result<Ucq, String> {
+    if p.has_negation() {
+        return Err("stage unfoldings are defined for positive programs only".to_string());
+    }
     let f = stage_formula(p, idb, m);
     ucq_of_existential_positive(&f, p.edb())
 }

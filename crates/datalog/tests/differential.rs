@@ -57,7 +57,11 @@ fn build_program(raw_rules: Vec<(usize, (u32, u32), Vec<RawAtom>)>) -> Program {
             } else {
                 PredRef::Idb(pred_choice - 1)
             };
-            body.push(DatalogAtom { pred, args });
+            body.push(DatalogAtom {
+                pred,
+                args,
+                negated: false,
+            });
         }
         body_vars.sort_unstable();
         body_vars.dedup();
@@ -76,6 +80,7 @@ fn build_program(raw_rules: Vec<(usize, (u32, u32), Vec<RawAtom>)>) -> Program {
             head: DatalogAtom {
                 pred: PredRef::Idb(head_idb),
                 args,
+                negated: false,
             },
             body,
         });
@@ -177,6 +182,144 @@ fn parallel_shards_agree_on_large_digraphs() {
                 let r = p.evaluate_with(&a, &cfg);
                 assert_eq!(r.relations, reference.relations, "threads {threads}");
                 assert_eq!(r.stages, reference.stages, "threads {threads}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stratified negation: the indexed engine at 1/2/4 threads vs the extended
+// scan-based reference oracle. The naive `stages` oracle is positive-only
+// (the operator is non-monotone under negation), so here the reference
+// evaluator *is* the oracle — an independent implementation with its own
+// stratum loop and trailing membership guards.
+// ---------------------------------------------------------------------------
+
+/// splitmix64 — a self-contained deterministic generator for the random
+/// EDB sweep (no external dependency, stable across platforms).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A random structure over an arbitrary vocabulary: `n` elements, and per
+/// relation `m` tuple draws (duplicates collapse). Unary relations are
+/// additionally biased to cover most of the universe so guards like
+/// `Node(x)` and `Pos(x)` have substance.
+fn random_edb(vocab: &Vocabulary, n: usize, m: usize, seed: u64) -> Structure {
+    let mut s = Structure::new(vocab.clone(), n);
+    let mut state = seed ^ 0xD1B5_4A32_D192_ED03;
+    for (sym, info) in vocab.iter() {
+        if info.arity == 1 {
+            for e in 0..n {
+                if !splitmix64(&mut state).is_multiple_of(4) {
+                    s.add_tuple_ids(sym.index(), &[e as u32]).unwrap();
+                }
+            }
+            continue;
+        }
+        for _ in 0..m {
+            let t: Vec<u32> = (0..info.arity)
+                .map(|_| (splitmix64(&mut state) % n as u64) as u32)
+                .collect();
+            s.add_tuple_ids(sym.index(), &t).unwrap();
+        }
+    }
+    s
+}
+
+/// The negation program gallery the random sweep runs over.
+fn negation_gallery() -> Vec<Program> {
+    vec![
+        hp_datalog::gallery::non_reachability(),
+        hp_datalog::gallery::set_difference(),
+        hp_datalog::gallery::win_move(1),
+        hp_datalog::gallery::win_move(2),
+        hp_datalog::gallery::win_move(3),
+        // Goal over the top of a two-stratum program: a positive join
+        // *after* a negated guard.
+        Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\n\
+             NR(x,y) :- Node(x), Node(y), not T(x,y).\nGoal() :- NR(x,x).",
+            &Vocabulary::from_pairs([("E", 2), ("Node", 1)]),
+        )
+        .unwrap(),
+    ]
+}
+
+/// ~128 random EDBs: every stratifiable negation gallery program evaluates
+/// bit-identically at 1/2/4 threads and matches the reference oracle —
+/// relations *and* stage counts.
+#[test]
+fn stratified_negation_differential_sweep() {
+    let programs = negation_gallery();
+    let mut edbs = 0usize;
+    for seed in 0..22u64 {
+        for p in &programs {
+            let n = 3 + (seed as usize % 5);
+            let m = 2 + (seed as usize * 3) % 12;
+            let a = random_edb(p.edb(), n, m, seed * 131 + 7);
+            edbs += 1;
+            let reference = p.evaluate_reference(&a);
+            assert!(reference.converged);
+            for threads in [1usize, 2, 4] {
+                let cfg = EvalConfig::new()
+                    .with_threads(threads)
+                    .with_parallel_min_seed(0);
+                let r = p.evaluate_with(&a, &cfg);
+                assert_eq!(
+                    r.relations, reference.relations,
+                    "seed {seed} threads {threads}"
+                );
+                assert_eq!(r.stages, reference.stages, "seed {seed} threads {threads}");
+                assert!(r.converged);
+            }
+        }
+    }
+    assert!(edbs >= 128, "sweep covered only {edbs} EDBs");
+}
+
+/// Budgeted evaluation of stratified programs obeys the exact resume law
+/// across stratum boundaries: fuel `f1` then `f2` lands bit-identically on
+/// a single `f1 + f2` run — relations, stage counts, pending delta, and
+/// fuel state.
+#[test]
+fn stratified_fuel_split_equals_straight_run() {
+    use hp_guard::Budget;
+    let p = hp_datalog::gallery::non_reachability();
+    let a = random_edb(p.edb(), 6, 10, 42);
+    let cfg = EvalConfig::new();
+    let full = p.evaluate(&a);
+    for f1 in 1..40u64 {
+        for f2 in [1u64, 3, 11, 500] {
+            let straight = p.evaluate_budgeted(&a, &cfg, &Budget::fuel(f1 + f2));
+            let split = match p.evaluate_budgeted(&a, &cfg, &Budget::fuel(f1)) {
+                Ok(r) => Ok(r),
+                Err(e) => p
+                    .resume_budgeted(&a, &cfg, e.partial, &Budget::fuel(f2))
+                    .expect("checkpoint comes from this program"),
+            };
+            match (straight, split) {
+                (Ok(s), Ok(t)) => {
+                    assert_eq!(s.relations, t.relations, "f1={f1} f2={f2}");
+                    assert_eq!(s.stages, t.stages, "f1={f1} f2={f2}");
+                    assert_eq!(s.relations, full.relations, "f1={f1} f2={f2}");
+                }
+                (Err(s), Err(t)) => {
+                    let (s, t) = (s.partial, t.partial);
+                    assert_eq!(s.partial.relations, t.partial.relations, "f1={f1} f2={f2}");
+                    assert_eq!(s.partial.stages, t.partial.stages, "f1={f1} f2={f2}");
+                    assert_eq!(s.fuel_spent(), t.fuel_spent(), "f1={f1} f2={f2}");
+                }
+                (s, t) => panic!(
+                    "split and straight disagree on exhaustion for f1={f1} f2={f2}: \
+                     straight ok={} split ok={}",
+                    s.is_ok(),
+                    t.is_ok()
+                ),
             }
         }
     }
