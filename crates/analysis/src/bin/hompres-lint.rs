@@ -39,6 +39,13 @@
 //!                     changes are pending (for CI)
 //! ```
 //!
+//! Inputs that earn an HP024 stratum note are additionally *profiled*:
+//! the program is evaluated on a deterministic 16-element probe
+//! structure and the note (and the JSON object's `strata` field) carries
+//! each stratum's measured rounds, derived tuples, fuel, and wall-clock
+//! cost, under the same `--budget-ms`/`--fuel` budget as the semantic
+//! checks.
+//!
 //! Exit status: 0 when no input produced an error (or, with
 //! `--deny-warnings`, a warning); 1 otherwise; 2 on usage errors.
 
@@ -46,8 +53,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use hp_analysis::{
-    datalog_core_key, fix_check_source, fix_source, formula_core_key, lint_datalog_source_with,
-    lint_formula_source_with, parse_vocab_spec, Analyzer, Diagnostics, Severity,
+    datalog_core_key, datalog_stratum_profile, fix_check_source, fix_source, formula_core_key,
+    lint_datalog_source_with, lint_formula_source_with, parse_vocab_spec, Analyzer, Code,
+    Diagnostics, Severity, StrataCost,
 };
 use hp_datalog::gallery;
 use hp_guard::Budget;
@@ -189,12 +197,14 @@ fn budget(o: &Options) -> Budget {
 
 /// Report one input's diagnostics; returns whether it fails the build.
 /// `core_key` is a pre-rendered `"core_key": …` JSON field (and its text
-/// form) when `--core-key` is active.
+/// form) when `--core-key` is active; `strata` is the measured
+/// per-stratum cost when the input carried an HP024 stratum note.
 fn report(
     name: &str,
     source: Option<&str>,
     ds: &Diagnostics,
     core_key: Option<&CoreKeyLine>,
+    strata: Option<&StrataCost>,
     o: &Options,
     json: &mut Vec<String>,
 ) -> bool {
@@ -210,6 +220,9 @@ fn report(
         }
         Format::Json => {
             let mut obj = ds.to_json(name);
+            if let Some(c) = strata {
+                obj = obj.replacen('{', &format!("{{\"strata\": {}, ", strata_json(c)), 1);
+            }
             if let Some(k) = core_key {
                 // Splice the key in as the first field of the object.
                 obj = obj.replacen('{', &format!("{{\"core_key\": {}, ", k.json), 1);
@@ -218,6 +231,63 @@ fn report(
         }
     }
     ds.has_errors() || (o.deny_warnings && ds.count(Severity::Warning) > 0)
+}
+
+/// Render a measured stratum profile as the suffix appended to the HP024
+/// note: cost per stratum on the deterministic probe structure.
+fn strata_text(c: &StrataCost) -> String {
+    let parts: Vec<String> = c
+        .costs
+        .iter()
+        .map(|s| {
+            format!(
+                "stratum {}: {} stages, {} tuples, {} fuel, {:.2} ms",
+                s.stratum,
+                s.stages,
+                s.derived,
+                s.fuel,
+                s.elapsed.as_secs_f64() * 1e3,
+            )
+        })
+        .collect();
+    let mut out = format!(
+        " — measured on the {}-element probe: {}",
+        c.universe,
+        parts.join("; ")
+    );
+    if let Some(resource) = &c.exhausted {
+        out.push_str(&format!(
+            " ({resource} budget exhausted before the remaining strata)"
+        ));
+    }
+    out
+}
+
+/// Render a measured stratum profile as the `"strata"` JSON field.
+fn strata_json(c: &StrataCost) -> String {
+    let costs: Vec<String> = c
+        .costs
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"stratum\": {}, \"stages\": {}, \"derived\": {}, \"fuel\": {}, \
+                 \"elapsed_ms\": {:.3}}}",
+                s.stratum,
+                s.stages,
+                s.derived,
+                s.fuel,
+                s.elapsed.as_secs_f64() * 1e3,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"universe\": {}, \"exhausted\": {}, \"costs\": [{}]}}",
+        c.universe,
+        c.exhausted
+            .as_deref()
+            .map_or("null".to_string(), json_string),
+        costs.join(", ")
+    )
 }
 
 /// One input's canonical-core key, rendered for both output formats.
@@ -492,13 +562,35 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let ds = if path.ends_with(".fo") {
+        let mut ds = if path.ends_with(".fo") {
             lint_formula_source_with(&text, o.edb.as_ref(), &budget(&o))
         } else {
             lint_datalog_source_with(&text, o.edb.as_ref(), &analyzer)
         };
+        // When the input earned an HP024 stratum note, measure each
+        // stratum's cost on the deterministic probe structure and append
+        // the numbers to the note (and the JSON object).
+        let strata = if ds.contains(Code::Hp024) {
+            match datalog_stratum_profile(&text, o.edb.as_ref(), &budget(&o)) {
+                Ok(Some(c)) => {
+                    ds.amend(Code::Hp024, &strata_text(&c));
+                    Some(c)
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
         let key = o.core_key.then(|| core_key_line(path, &text, &o));
-        failed |= report(path, Some(&text), &ds, key.as_ref(), &o, &mut json);
+        failed |= report(
+            path,
+            Some(&text),
+            &ds,
+            key.as_ref(),
+            strata.as_ref(),
+            &o,
+            &mut json,
+        );
     }
 
     if o.gallery {
@@ -516,7 +608,7 @@ fn main() -> ExitCode {
         ];
         for (name, p) in programs {
             let ds = analyzer.analyze_program(&p);
-            failed |= report(name, None, &ds, None, &o, &mut json);
+            failed |= report(name, None, &ds, None, None, &o, &mut json);
         }
     }
 

@@ -454,6 +454,20 @@ impl Diagnostics {
         self.items.iter().any(|d| d.code == code)
     }
 
+    /// Append `suffix` to the message of the first diagnostic carrying
+    /// `code`; returns whether one was found. Used by `hompres-lint` to
+    /// enrich a structural note with information only the driver has
+    /// (today: measured per-stratum cost on the HP024 stratum report).
+    pub fn amend(&mut self, code: Code, suffix: &str) -> bool {
+        match self.items.iter_mut().find(|d| d.code == code) {
+            Some(d) => {
+                d.message.push_str(suffix);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Sort by (line, rule, atom, code) so output order follows the
     /// source.
     pub fn sort(&mut self) {

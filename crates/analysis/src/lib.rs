@@ -70,8 +70,9 @@ pub use formula::{
 };
 pub use hp_logic::CanonicalCoreKey;
 pub use lint::{
-    datalog_core_key, formula_core_key, lint_datalog_source, lint_datalog_source_with,
-    lint_formula_source, lint_formula_source_with, parse_vocab_spec,
+    datalog_core_key, datalog_stratum_profile, formula_core_key, lint_datalog_source,
+    lint_datalog_source_with, lint_formula_source, lint_formula_source_with, parse_vocab_spec,
+    StrataCost, PROFILE_UNIVERSE,
 };
 pub use pass::{Analyzer, Pass};
 pub use pdg::Pdg;

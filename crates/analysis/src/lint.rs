@@ -401,6 +401,84 @@ pub fn datalog_core_key(
     Ok(goal_core_key(&p, budget))
 }
 
+/// Measured per-stratum evaluation cost of a Datalog source, for the
+/// `hompres-lint` HP024 stratum notes.
+#[derive(Clone, Debug)]
+pub struct StrataCost {
+    /// Universe size of the deterministic probe structure the program was
+    /// evaluated on.
+    pub universe: usize,
+    /// One entry per stratum entered, ascending.
+    pub costs: Vec<hp_datalog::StratumProfile>,
+    /// The exhausted resource when the budget stopped evaluation before
+    /// the fixpoint (the costs then cover only the completed prefix).
+    pub exhausted: Option<String>,
+}
+
+/// The deterministic probe structure stratum profiling evaluates on:
+/// `universe` elements, and for each EDB relation of arity `k` the
+/// "sliding window" tuples `(i, i+1, …, i+k-1)` without wraparound — a
+/// directed path for binary relations, everything for unary ones. Path
+/// reachability grows quadratically (`n(n-1)/2` tuples for transitive
+/// closure) but does not saturate, so recursive strata do measurable work
+/// *and* negated guards above them still admit derivations, while the
+/// whole evaluation stays interactive.
+fn probe_structure(vocab: &Vocabulary, universe: usize) -> Structure {
+    let mut s = Structure::new(vocab.clone(), universe);
+    for (sym, symbol) in vocab.iter() {
+        let k = symbol.arity;
+        if k == 0 {
+            continue;
+        }
+        for i in 0..universe.saturating_sub(k - 1) {
+            let t: Vec<Elem> = (0..k).map(|j| Elem((i + j) as u32)).collect();
+            let _ = s.add_tuple(sym, &t);
+        }
+    }
+    s
+}
+
+/// Number of probe elements [`datalog_stratum_profile`] evaluates over.
+pub const PROFILE_UNIVERSE: usize = 16;
+
+/// Measure per-stratum evaluation cost (rounds, derived tuples, fuel,
+/// wall-clock) of a Datalog source on the deterministic
+/// [`PROFILE_UNIVERSE`]-element probe structure. Returns
+///
+/// - `Err(msg)` when the source does not parse (or has a bad pragma),
+/// - `Ok(None)` when there is nothing to profile — the program has no
+///   negated literal, so HP024 stays silent and a stratum breakdown would
+///   restate the whole-fixpoint cost, and
+/// - `Ok(Some(cost))` otherwise; when `budget` ran out mid-evaluation
+///   `cost.exhausted` names the resource and the entries cover only the
+///   completed strata.
+pub fn datalog_stratum_profile(
+    text: &str,
+    default: Option<&Vocabulary>,
+    budget: &Budget,
+) -> Result<Option<StrataCost>, String> {
+    let vocab = resolve_vocab_strict(text, default)?;
+    let p = Program::parse(text, &vocab).map_err(|e| e.to_string())?;
+    let negated = p.rules().iter().any(|r| r.body.iter().any(|a| a.negated));
+    if !negated {
+        return Ok(None);
+    }
+    let probe = probe_structure(&vocab, PROFILE_UNIVERSE);
+    let cost = match p.evaluate_budgeted(&probe, &hp_datalog::EvalConfig::default(), budget) {
+        Ok(r) => StrataCost {
+            universe: PROFILE_UNIVERSE,
+            costs: r.profile,
+            exhausted: None,
+        },
+        Err(e) => StrataCost {
+            universe: PROFILE_UNIVERSE,
+            costs: e.partial.partial.profile,
+            exhausted: Some(e.resource.to_string()),
+        },
+    };
+    Ok(Some(cost))
+}
+
 /// The canonical-core key of an existential-positive formula source, with
 /// the same contract as [`datalog_core_key`]; `Ok(Ok(None))` means the
 /// formula is not existential-positive (no UCQ form, hence no key).
@@ -493,6 +571,54 @@ mod tests {
         assert!(parse_vocab_spec("E-2").is_err());
         assert!(parse_vocab_spec("").is_err());
         assert!(parse_vocab_spec("E/two").is_err());
+    }
+
+    #[test]
+    fn stratum_profile_measures_each_stratum() {
+        // Transitive closure below a negated guard: two strata, both with
+        // real work on the path probe (TC does not saturate a path, so
+        // the negated stratum still derives tuples).
+        let c = datalog_stratum_profile(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\n\
+             N(x,y) :- E(x,z), E(z,y), not T(x,y).\nGoal(x,y) :- N(x,y).",
+            None,
+            &Budget::unlimited(),
+        )
+        .unwrap()
+        .expect("negation implies a profile");
+        assert_eq!(c.universe, PROFILE_UNIVERSE);
+        assert!(c.exhausted.is_none());
+        let strata: Vec<usize> = c.costs.iter().map(|s| s.stratum).collect();
+        assert_eq!(strata, vec![0, 1]);
+        // Stratum 0 is the recursive TC: most of the derived tuples.
+        assert!(c.costs[0].derived > c.costs[1].derived);
+        assert!(c.costs.iter().all(|s| s.fuel > 0));
+    }
+
+    #[test]
+    fn stratum_profile_is_none_for_positive_programs() {
+        let c = datalog_stratum_profile(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).",
+            None,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert!(c.is_none());
+    }
+
+    #[test]
+    fn stratum_profile_reports_exhaustion_with_completed_prefix() {
+        let c = datalog_stratum_profile(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\n\
+             N(x,y) :- E(x,z), E(z,y), not T(x,y).",
+            None,
+            &Budget::fuel(1),
+        )
+        .unwrap()
+        .expect("negation implies a profile");
+        assert_eq!(c.exhausted.as_deref(), Some("fuel"));
+        // Fuel 1 dies inside stratum 0: no completed entries yet.
+        assert!(c.costs.is_empty());
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Closed-loop load generator behind the "Query service" table in
+//! EXPERIMENTS.md: `T` client threads drive a shared in-process
+//! [`QueryService`] as fast as it answers, over a 64-element random
+//! digraph, with the ISSUE-9 request mix:
+//!
+//! * 60% cacheable conjunctive queries from a pool of eight distinct
+//!   shapes (the steady-state cache-hit source),
+//! * 15% renamed duplicates of pool queries (hit via the canonical core),
+//! * 10% `no_cache` fresh evaluations (bit-identity spot checks ride on
+//!   the chaos suite; here they are the cache-miss floor),
+//! *  5% recursive transitive closure (cache bypass, the heavy tail),
+//! *  5% single-edge EDB updates (epoch churn: each one invalidates the
+//!    cache's older epochs) — flips of a fixed 32-edge churn pool, so the
+//!    graph's density stays bounded while epochs keep advancing,
+//! *  5% 1-fuel queries (budget partials, the degradation ladder).
+//!
+//! Admission depth is capped at 4, so the 8-thread row exercises the
+//! shed path under real contention. Per row the table reports throughput,
+//! p50/p99 latency, cache hit rate (hits + coalesced waits over full
+//! answers), and shed rate.
+//!
+//! Usage: `serve_scale [REQS_PER_ROW] [--json PATH]` — rows for 1, 2, 4,
+//! and 8 client threads (default 60000 requests per row ≈ 2.4 × 10⁵
+//! total; CI passes a smaller count for the smoke run). With `--json
+//! PATH` a machine-readable snapshot (the committed `BENCH_serve.json`)
+//! is written alongside the table.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use hp_preservation::prelude::*;
+use hp_serve::protocol::{parse_request, CacheOutcome, Response};
+use hp_serve::service::{QueryService, ServiceConfig};
+
+/// Deterministic xorshift64* stream, identical to the bench harness.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// 64 elements, 128 random edges over `{E/2}`.
+fn serve_structure() -> Structure {
+    let mut rng = XorShift(0xE5CA1E | 1);
+    let mut b = Structure::builder(Vocabulary::digraph(), 64);
+    for _ in 0..128 {
+        let u = (rng.next() % 64) as u32;
+        let w = (rng.next() % 64) as u32;
+        b = b.tuple(0, &[u, w]);
+    }
+    b.build()
+}
+
+/// The cacheable pool: eight distinct join shapes with distinct cores.
+const POOL: [&str; 8] = [
+    "Goal(x,y) :- E(x,y).",
+    "Goal(x) :- E(x,x).",
+    "Goal(x,z) :- E(x,y), E(y,z).",
+    "Goal(x) :- E(x,y), E(y,x).",
+    "Goal(y) :- E(x,y), E(y,z).",
+    "Goal(x,w) :- E(x,y), E(y,z), E(z,w).",
+    "Goal(x,y) :- E(x,y), E(x,x).",
+    "Goal(x) :- E(x,y), E(x,z), E(y,z).",
+];
+
+/// The same pool under a variable renaming: identical canonical cores.
+const POOL_RENAMED: [&str; 8] = [
+    "Goal(u,v) :- E(u,v).",
+    "Goal(u) :- E(u,u).",
+    "Goal(u,w) :- E(u,v), E(v,w).",
+    "Goal(u) :- E(u,v), E(v,u).",
+    "Goal(v) :- E(u,v), E(v,w).",
+    "Goal(u,s) :- E(u,v), E(v,w), E(w,s).",
+    "Goal(u,v) :- E(u,v), E(u,u).",
+    "Goal(u) :- E(u,v), E(u,w), E(v,w).",
+];
+
+const TC: &str = "T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).\\n# goal: T";
+
+/// Per-thread tallies, merged after the run.
+#[derive(Default)]
+struct Tally {
+    latencies_us: Vec<u64>,
+    answers: u64,
+    hits: u64,
+    sheds: u64,
+    partials: u64,
+    faults: u64,
+}
+
+fn client(svc: &QueryService, seed: u64, reqs: usize) -> Tally {
+    let mut rng = XorShift(seed | 1);
+    let mut t = Tally {
+        latencies_us: Vec::with_capacity(reqs),
+        ..Tally::default()
+    };
+    for _ in 0..reqs {
+        let roll = rng.next() % 100;
+        let line = match roll {
+            0..=59 => format!(
+                "{{\"op\":\"query\",\"program\":\"{}\"}}",
+                POOL[(rng.next() % 8) as usize]
+            ),
+            60..=74 => format!(
+                "{{\"op\":\"query\",\"program\":\"{}\"}}",
+                POOL_RENAMED[(rng.next() % 8) as usize]
+            ),
+            75..=84 => format!(
+                "{{\"op\":\"query\",\"program\":\"{}\",\"no_cache\":true}}",
+                POOL[(rng.next() % 8) as usize]
+            ),
+            85..=89 => format!("{{\"op\":\"query\",\"program\":\"{TC}\"}}"),
+            90..=94 => {
+                // Flip one churn-pool edge: density stays bounded, the
+                // epoch (and cache invalidation) still churns.
+                let i = rng.next() % 32;
+                let (u, w) = (i, (i * 7 + 13) % 64);
+                let verb = if rng.next().is_multiple_of(2) {
+                    "insert"
+                } else {
+                    "delete"
+                };
+                format!("{{\"op\":\"update\",\"{verb}\":{{\"E\":[[{u},{w}]]}}}}")
+            }
+            _ => format!(
+                "{{\"op\":\"query\",\"program\":\"{}\",\"fuel\":1}}",
+                POOL[(rng.next() % 8) as usize]
+            ),
+        };
+        let req = parse_request(&line).expect("bench request lines are well-formed");
+        let interrupt = Interrupt::new();
+        let t0 = Instant::now();
+        let resp = svc.handle(&req, &interrupt);
+        t.latencies_us.push(t0.elapsed().as_micros() as u64);
+        match resp {
+            Response::Answer { cache, .. } => {
+                t.answers += 1;
+                if matches!(cache, CacheOutcome::Hit | CacheOutcome::Coalesced) {
+                    t.hits += 1;
+                }
+            }
+            Response::Overloaded(_) => t.sheds += 1,
+            Response::Partial { .. } => t.partials += 1,
+            Response::Fault { .. } => t.faults += 1,
+            Response::Updated { .. } | Response::Stats { .. } => {}
+            other @ (Response::Error { .. } | Response::Bye) => {
+                panic!("unexpected response in bench loop: {other:?}")
+            }
+        }
+    }
+    t
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx] as f64 / 1e3
+}
+
+fn main() {
+    let mut reqs_per_row: usize = 60_000;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            json_path = Some(args.next().expect("--json needs a PATH"));
+        } else {
+            reqs_per_row = a.parse().expect("REQS_PER_ROW must be an integer");
+        }
+    }
+    assert!(reqs_per_row >= 8, "need at least one request per thread");
+
+    let mut json_rows: Vec<String> = Vec::new();
+    println!(
+        "{:>8} {:>9} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "threads", "requests", "req_per_s", "p50_ms", "p99_ms", "hit_rate", "sheds", "partials"
+    );
+    for &threads in &[1usize, 2, 4, 8] {
+        let svc = Arc::new(QueryService::new(
+            serve_structure(),
+            ServiceConfig {
+                max_depth: 4,
+                ..ServiceConfig::default()
+            },
+        ));
+        let per_thread = reqs_per_row / threads;
+        let next_seed = AtomicU64::new(0xBEEF);
+        let wall = Instant::now();
+        let tallies: Vec<Tally> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let svc = &svc;
+                    let seed = next_seed.fetch_add(0x9e37_79b9, Ordering::Relaxed);
+                    s.spawn(move || client(svc, seed, per_thread))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let elapsed = wall.elapsed().as_secs_f64();
+
+        let total: usize = per_thread * threads;
+        let mut latencies: Vec<u64> = tallies
+            .iter()
+            .flat_map(|t| t.latencies_us.clone())
+            .collect();
+        latencies.sort_unstable();
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        let answers: u64 = tallies.iter().map(|t| t.answers).sum();
+        let hits: u64 = tallies.iter().map(|t| t.hits).sum();
+        let sheds: u64 = tallies.iter().map(|t| t.sheds).sum();
+        let partials: u64 = tallies.iter().map(|t| t.partials).sum();
+        let faults: u64 = tallies.iter().map(|t| t.faults).sum();
+        assert_eq!(
+            faults, 0,
+            "no fault plan installed: the bench must be fault-free"
+        );
+        let rps = total as f64 / elapsed;
+        let hit_rate = if answers > 0 {
+            hits as f64 / answers as f64
+        } else {
+            0.0
+        };
+        let shed_rate = sheds as f64 / total as f64;
+        assert_eq!(svc.gate().depth(), 0, "admission permits must drain");
+
+        println!(
+            "{:>8} {:>9} {:>10.0} {:>9.3} {:>9.3} {:>8.1}% {:>9} {:>9}",
+            threads,
+            total,
+            rps,
+            p50,
+            p99,
+            hit_rate * 100.0,
+            sheds,
+            partials
+        );
+        json_rows.push(format!(
+            "    {{\"threads\": {threads}, \"requests\": {total}, \
+             \"req_per_s\": {rps:.0}, \"p50_ms\": {p50:.4}, \"p99_ms\": {p99:.4}, \
+             \"cache_hit_rate\": {hit_rate:.4}, \"shed_rate\": {shed_rate:.6}, \
+             \"sheds\": {sheds}, \"partials\": {partials}}}"
+        ));
+    }
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"bench\": \"serve_scale\",\n  \"workload\": \
+             \"closed-loop mixed request stream (60% pooled CQs, 15% renamed \
+             duplicates, 10% no_cache, 5% recursive TC, 5% EDB updates, 5% \
+             1-fuel partials) against an in-process QueryService, 64-element \
+             random digraph, admission depth 4\",\n  \
+             \"requests_per_row\": {reqs_per_row},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write BENCH json");
+        println!("wrote {path}");
+    }
+}

@@ -173,6 +173,30 @@ impl EvalConfig {
     }
 }
 
+/// Measured cost of one stratum of a semi-naive evaluation.
+///
+/// Recorded by the budgeted and unbudgeted fixpoint entry points, one
+/// entry per stratum *entered* (in ascending stratum order). Positive
+/// programs have a single entry for stratum 0. The oracle-simple
+/// reference evaluator and the incremental-maintenance path do not
+/// profile; their results carry an empty profile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StratumProfile {
+    /// The stratum index (ascending; 0 for positive programs).
+    pub stratum: usize,
+    /// Semi-naive delta rounds spent inside this stratum.
+    pub stages: usize,
+    /// Tuples derived by this stratum's rules (sum over rounds of the
+    /// round's new-delta sizes — the same count the fuel charge uses).
+    pub derived: u64,
+    /// Fuel charged against the gauge while this stratum ran
+    /// (`1 + derived` per round, matching the evaluator's tick schedule).
+    pub fuel: u64,
+    /// Wall-clock time spent inside this stratum. On a resumed run the
+    /// interrupted stratum's entry covers only the post-resume work.
+    pub elapsed: std::time::Duration,
+}
+
 /// The result of evaluating a program on a structure.
 #[derive(Clone, Debug)]
 pub struct FixpointResult {
@@ -192,6 +216,11 @@ pub struct FixpointResult {
     /// recomputed on the calling thread and evaluation continued
     /// single-threaded). Empty on a clean run.
     pub diagnostics: Vec<String>,
+    /// Per-stratum measured cost (rounds, derived tuples, fuel,
+    /// wall-clock), one entry per stratum entered. Empty for the
+    /// reference evaluator and the incremental-maintenance path, which
+    /// do not profile.
+    pub profile: Vec<StratumProfile>,
 }
 
 impl FixpointResult {
@@ -476,6 +505,7 @@ impl Program {
                           stages: usize,
                           stratum: usize,
                           diagnostics: Vec<String>,
+                          profile: Vec<StratumProfile>,
                           fuel: GaugeState| {
             EvalCheckpoint {
                 partial: FixpointResult {
@@ -485,12 +515,14 @@ impl Program {
                     stages,
                     converged: false,
                     diagnostics,
+                    profile,
                 },
                 delta,
                 stratum,
                 fuel,
             }
         };
+        let mut profile: Vec<StratumProfile> = Vec::new();
         let (mut idb, mut delta, mut stages, start_stratum, mut mid_stratum) = match resume {
             Some(cp) => {
                 // Shape validation happened in `check_checkpoint` before the
@@ -502,6 +534,9 @@ impl Program {
                 pool.absorb(&plan, &cp.partial.relations);
                 diagnostics = cp.partial.diagnostics;
                 degraded = !diagnostics.is_empty();
+                // Completed-strata costs survive the interruption; the
+                // resumed stratum's entry covers only post-resume work.
+                profile = cp.partial.profile;
                 (
                     cp.partial.relations,
                     cp.delta,
@@ -514,6 +549,10 @@ impl Program {
         };
         let mut converged = true;
         'strata: for s in start_stratum..num_strata {
+            let stratum_start = std::time::Instant::now();
+            let stratum_stages_entry = stages;
+            let stratum_fuel_entry = gauge.spent();
+            let mut stratum_derived: u64 = 0;
             // Round 0 of stratum `s`: every rule of the stratum against the
             // IDBs accumulated so far (sealed lower strata; this stratum's
             // own predicates are still empty, so everything derived is new).
@@ -546,6 +585,7 @@ impl Program {
                     delta[*h].merge_store(out);
                 }
                 let derived: u64 = delta.iter().map(|d| d.len() as u64).sum();
+                stratum_derived += derived;
                 if let Err(stop) = gauge.tick(1 + derived) {
                     let fuel = stop.state();
                     return Err(stop.with_partial(checkpoint(
@@ -554,6 +594,7 @@ impl Program {
                         stages,
                         s,
                         diagnostics,
+                        profile,
                         fuel,
                     )));
                 }
@@ -564,6 +605,13 @@ impl Program {
                 }
                 if cfg.max_stages.is_some_and(|cap| stages >= cap) {
                     converged = false;
+                    profile.push(StratumProfile {
+                        stratum: s,
+                        stages: stages - stratum_stages_entry,
+                        derived: stratum_derived,
+                        fuel: gauge.spent() - stratum_fuel_entry,
+                        elapsed: stratum_start.elapsed(),
+                    });
                     break 'strata;
                 }
                 if let Err(stop) = gauge.check() {
@@ -574,6 +622,7 @@ impl Program {
                         stages,
                         s,
                         diagnostics,
+                        profile,
                         fuel,
                     )));
                 }
@@ -629,6 +678,7 @@ impl Program {
                 }
                 delta = next_delta;
                 let derived: u64 = delta.iter().map(|d| d.len() as u64).sum();
+                stratum_derived += derived;
                 if let Err(stop) = gauge.tick(1 + derived) {
                     let fuel = stop.state();
                     return Err(stop.with_partial(checkpoint(
@@ -637,10 +687,18 @@ impl Program {
                         stages,
                         s,
                         diagnostics,
+                        profile,
                         fuel,
                     )));
                 }
             }
+            profile.push(StratumProfile {
+                stratum: s,
+                stages: stages - stratum_stages_entry,
+                derived: stratum_derived,
+                fuel: gauge.spent() - stratum_fuel_entry,
+                elapsed: stratum_start.elapsed(),
+            });
         }
         Ok(FixpointResult {
             idb_names: self.idbs().iter().map(|(n, _)| n.clone()).collect(),
@@ -649,6 +707,7 @@ impl Program {
             stages,
             converged,
             diagnostics,
+            profile,
         })
     }
 }
@@ -903,6 +962,36 @@ mod tests {
     fn tc_on_cycle_is_complete() {
         let r = tc().evaluate(&directed_cycle(4));
         assert_eq!(r.idb("T").unwrap().len(), 16);
+    }
+
+    #[test]
+    fn profile_covers_every_stratum_and_sums_to_totals() {
+        // Positive program: one entry for stratum 0.
+        let r = tc().evaluate(&directed_path(5));
+        assert_eq!(r.profile.len(), 1);
+        assert_eq!(r.profile[0].stratum, 0);
+        assert_eq!(r.profile[0].stages, r.stages);
+        assert_eq!(r.profile[0].derived, 10);
+
+        // Stratified negation: one entry per stratum, entries partition
+        // the stage count, and the fuel charges sum to the gauge's spend.
+        let p = Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).\nN(x,y) :- E(x,z), E(z,y), not T(x,y).\n\
+             Goal(x,y) :- N(x,y).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let r = p
+            .evaluate_budgeted(
+                &directed_path(5),
+                &EvalConfig::default(),
+                &Budget::unlimited(),
+            )
+            .unwrap();
+        assert_eq!(r.profile.len(), p.num_strata());
+        assert_eq!(r.profile.iter().map(|s| s.stages).sum::<usize>(), r.stages);
+        let strata: Vec<usize> = r.profile.iter().map(|s| s.stratum).collect();
+        assert_eq!(strata, (0..p.num_strata()).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1742,6 +1742,7 @@ fn maintain(
         stages,
         converged: true,
         diagnostics: Vec::new(),
+        profile: Vec::new(),
     })
 }
 

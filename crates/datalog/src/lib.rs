@@ -64,7 +64,10 @@ pub use bounded::{
     BoundednessProbe, BoundednessVerdict,
 };
 pub use error::{DatalogError, DatalogErrorKind, DatalogSpan};
-pub use eval::{EvalCheckpoint, EvalConfig, EvalError, FixpointResult, IdbRelation, StageSequence};
+pub use eval::{
+    EvalCheckpoint, EvalConfig, EvalError, FixpointResult, IdbRelation, StageSequence,
+    StratumProfile,
+};
 pub use incremental::{EdbDelta, IncCheckpoint, MaterializedDb};
 pub use parser::{body_atom_byte_ranges, rule_byte_ranges};
 pub use unfold::{

@@ -235,6 +235,7 @@ impl Program {
             stages,
             converged: true,
             diagnostics: Vec::new(),
+            profile: Vec::new(),
         }
     }
 }

@@ -441,6 +441,12 @@ pub mod fault {
         /// counter matches (e.g. `("datalog.worker", 3)` panics the
         /// worker processing item 3). Fires once, then disarms.
         pub panic_at: Option<(String, u64)>,
+        /// Panic at the named injection site on **every** call whose
+        /// counter lies in the inclusive `[lo, hi]` range, disarming only
+        /// once a call arrives past `hi`. Unlike [`panic_at`](Self::panic_at)
+        /// this defeats one-shot recovery paths (retry-once pipelines),
+        /// exercising the typed-fault surface behind them.
+        pub panic_span: Option<(String, u64, u64)>,
     }
 
     static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
@@ -482,7 +488,8 @@ pub mod fault {
     }
 
     /// Hook: should injection site `site` panic at call counter
-    /// `counter`? Disarms the trigger when it fires. Call as
+    /// `counter`? Disarms the trigger when it fires (one-shot
+    /// `panic_at`) or once the counter passes a `panic_span`. Call as
     /// `if hp_guard::fault::should_panic("site", i) { panic!(...) }`.
     pub fn should_panic(site: &str, counter: u64) -> bool {
         let mut g = plan();
@@ -493,6 +500,16 @@ pub mod fault {
             {
                 p.panic_at = None;
                 return true;
+            }
+            if let Some((s, lo, hi)) = p.panic_span.as_ref() {
+                if s == site {
+                    if (*lo..=*hi).contains(&counter) {
+                        return true;
+                    }
+                    if counter > *hi {
+                        p.panic_span = None;
+                    }
+                }
             }
         }
         false
@@ -607,6 +624,7 @@ mod tests {
         fault::install(fault::FaultPlan {
             exhaust_at: Some(3),
             panic_at: None,
+            panic_span: None,
         });
         let mut g = Budget::unlimited().gauge();
         g.tick(2).expect("below the injected point");
@@ -624,11 +642,33 @@ mod tests {
         fault::install(fault::FaultPlan {
             exhaust_at: None,
             panic_at: Some(("here".to_string(), 2)),
+            panic_span: None,
         });
         assert!(!fault::should_panic("here", 1));
         assert!(!fault::should_panic("elsewhere", 2));
         assert!(fault::should_panic("here", 2));
         assert!(!fault::should_panic("here", 2), "fires once then disarms");
+        fault::clear();
+    }
+
+    #[test]
+    fn injected_panic_span_fires_across_range_then_disarms() {
+        let _serial = fault::exclusive();
+        fault::install(fault::FaultPlan {
+            exhaust_at: None,
+            panic_at: None,
+            panic_span: Some(("worker".to_string(), 2, 3)),
+        });
+        assert!(!fault::should_panic("worker", 1));
+        assert!(fault::should_panic("worker", 2));
+        assert!(
+            fault::should_panic("worker", 2),
+            "span re-fires, unlike panic_at"
+        );
+        assert!(fault::should_panic("worker", 3));
+        assert!(!fault::should_panic("elsewhere", 2));
+        assert!(!fault::should_panic("worker", 4), "past the span: disarms");
+        assert!(!fault::should_panic("worker", 2), "disarmed for good");
         fault::clear();
     }
 }

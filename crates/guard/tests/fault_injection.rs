@@ -40,6 +40,7 @@ fn forced_worker_panic_recovers_and_matches_reference() {
     fault::install(fault::FaultPlan {
         exhaust_at: None,
         panic_at: Some(("datalog.worker".to_string(), 0)),
+        panic_span: None,
     });
     let r = p.evaluate_with(&a, &parallel_cfg());
     assert!(
@@ -70,6 +71,7 @@ fn worker_panic_at_any_item_is_isolated() {
         fault::install(fault::FaultPlan {
             exhaust_at: None,
             panic_at: Some(("datalog.worker".to_string(), item)),
+            panic_span: None,
         });
         let r = p.evaluate_with(&a, &parallel_cfg());
         assert!(r.converged, "item {item}: evaluation must complete");
@@ -88,6 +90,7 @@ fn forced_exhaustion_yields_deterministic_partial() {
         fault::install(fault::FaultPlan {
             exhaust_at: Some(40),
             panic_at: None,
+            panic_span: None,
         });
         p.evaluate_budgeted(&a, &cfg, &Budget::unlimited())
             .expect_err("forced exhaustion must stop an unlimited run")
@@ -126,6 +129,7 @@ fn randomized_exhaustion_points_never_hang_or_poison() {
             fault::install(fault::FaultPlan {
                 exhaust_at: Some(at),
                 panic_at: None,
+                panic_span: None,
             });
             match p.evaluate_budgeted(&a, &cfg, &Budget::unlimited()) {
                 Ok(r) => {
@@ -178,6 +182,7 @@ fn forced_exhaustion_during_incremental_maintenance_resumes_exactly() {
     fault::install(fault::FaultPlan {
         exhaust_at: Some(1),
         panic_at: None,
+        panic_span: None,
     });
     let exhausted = p
         .evaluate_incremental_budgeted(&mut db, &plus, &minus, &cfg, &Budget::unlimited())
@@ -240,6 +245,7 @@ fn randomized_exhaustion_points_in_maintenance_never_poison() {
             fault::install(fault::FaultPlan {
                 exhaust_at: Some(at),
                 panic_at: None,
+                panic_span: None,
             });
             match p
                 .evaluate_incremental_budgeted(&mut db, &plus, &minus, &cfg, &Budget::unlimited())

@@ -1,0 +1,155 @@
+//! `hompres-serve` — serve CQ/UCQ/Datalog queries over a Unix socket.
+//!
+//! ```text
+//! hompres-serve SOCKET_PATH [--vocab E/2,P/1] [--universe N] [--facts FILE]
+//!               [--max-depth N] [--default-timeout-ms N] [--default-fuel N]
+//! ```
+//!
+//! The seed database is `--universe` elements over `--vocab` (default:
+//! the digraph vocabulary `E/2` over 16 elements), optionally populated
+//! from `--facts`, a text file with one fact per line: `E 0 1`. Clients
+//! speak the line-delimited JSON protocol of `hp_serve::protocol`; any
+//! client can end the service with `{"op":"shutdown"}` (graceful drain).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use hp_serve::service::{QueryService, ServiceConfig};
+use hp_serve::Server;
+use hp_structures::{Elem, Structure, Vocabulary};
+
+struct Options {
+    socket: PathBuf,
+    vocab: Vocabulary,
+    universe: usize,
+    facts: Option<PathBuf>,
+    cfg: ServiceConfig,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hompres-serve SOCKET_PATH [--vocab E/2,P/1] [--universe N] [--facts FILE]\n\
+         \x20                 [--max-depth N] [--default-timeout-ms N] [--default-fuel N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_vocab(spec: &str) -> Result<Vocabulary, String> {
+    let mut pairs = Vec::new();
+    for part in spec.split(',') {
+        let (name, arity) = part
+            .split_once('/')
+            .ok_or_else(|| format!("bad vocab entry {part:?} (want NAME/ARITY)"))?;
+        let arity: usize = arity
+            .parse()
+            .map_err(|_| format!("bad arity in {part:?}"))?;
+        pairs.push((name.to_string(), arity));
+    }
+    Ok(Vocabulary::from_pairs(
+        pairs.iter().map(|(n, a)| (n.as_str(), *a)),
+    ))
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let socket = PathBuf::from(args.next().ok_or("missing SOCKET_PATH")?);
+    let mut opts = Options {
+        socket,
+        vocab: Vocabulary::digraph(),
+        universe: 16,
+        facts: None,
+        cfg: ServiceConfig::default(),
+    };
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--vocab" => opts.vocab = parse_vocab(&value()?)?,
+            "--universe" => {
+                opts.universe = value()?.parse().map_err(|_| "bad --universe")?;
+            }
+            "--facts" => opts.facts = Some(PathBuf::from(value()?)),
+            "--max-depth" => {
+                opts.cfg.max_depth = value()?.parse().map_err(|_| "bad --max-depth")?;
+            }
+            "--default-timeout-ms" => {
+                opts.cfg.default_timeout_ms =
+                    value()?.parse().map_err(|_| "bad --default-timeout-ms")?;
+            }
+            "--default-fuel" => {
+                opts.cfg.default_fuel = value()?.parse().map_err(|_| "bad --default-fuel")?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_facts(structure: &mut Structure, path: &PathBuf) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut n = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let name = parts.next().expect("non-empty line");
+        let sym = structure
+            .vocab()
+            .lookup(name)
+            .ok_or_else(|| format!("line {}: unknown relation {name:?}", lineno + 1))?;
+        let tuple: Vec<Elem> = parts
+            .map(|p| p.parse::<u32>().map(Elem))
+            .collect::<Result<_, _>>()
+            .map_err(|_| format!("line {}: bad element", lineno + 1))?;
+        structure
+            .add_tuple(sym, &tuple)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hompres-serve: {e}");
+            return usage();
+        }
+    };
+    let mut seed = Structure::new(opts.vocab.clone(), opts.universe);
+    if let Some(path) = &opts.facts {
+        match load_facts(&mut seed, path) {
+            Ok(n) => eprintln!("hompres-serve: loaded {n} facts from {}", path.display()),
+            Err(e) => {
+                eprintln!("hompres-serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let service = Arc::new(QueryService::new(seed, opts.cfg));
+    let server = match Server::bind(&opts.socket, service) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hompres-serve: bind {}: {e}", opts.socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "hompres-serve: listening on {} ({} relations, universe {})",
+        opts.socket.display(),
+        opts.vocab.len(),
+        opts.universe
+    );
+    // The accept loop runs until a client sends {"op":"shutdown"}; wait
+    // for it by joining through Server::shutdown's drain path. Blocking
+    // here (rather than installing a signal handler, which would need
+    // unsafe code the workspace forbids) keeps the drain logic in one
+    // place: the server thread.
+    server.wait();
+    eprintln!("hompres-serve: drained, bye");
+    ExitCode::SUCCESS
+}

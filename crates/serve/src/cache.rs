@@ -1,0 +1,338 @@
+//! The `(CanonicalCoreKey, epoch)`-keyed answer cache with single-flight
+//! deduplication.
+//!
+//! The key is the canonical-core hash from `hp-logic` (PR 6): two queries
+//! get the same key iff their canonical cores are isomorphic, i.e. they
+//! are homomorphically equivalent — the Chandra–Merlin argument the paper
+//! builds on. Pairing it with the epoch number means a hit is *provably*
+//! the same answer set as a fresh evaluation on that snapshot: equivalent
+//! query, identical database. Entries never go stale; they just stop
+//! being asked for once their epoch retires, and [`AnswerCache::retire_before`]
+//! drops them on publication.
+//!
+//! **Single-flight:** when N equivalent queries arrive concurrently, one
+//! becomes the *leader* (evaluates), the rest block on a condvar and
+//! receive the leader's answer. The leader's claim is an RAII
+//! [`LeaderGuard`]: if the leader panics or is shed mid-evaluation, the
+//! guard's `Drop` abandons the slot and wakes every follower, who then
+//! re-claim (one becomes the new leader). No follower can wait on a dead
+//! leader — chaos-suite property.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use hp_structures::Elem;
+
+/// A cached answer: the sorted answer rows for the goal predicate on one
+/// epoch, plus the evaluation cost that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedAnswer {
+    /// Answer rows, in the evaluator's deterministic order.
+    pub rows: Vec<Vec<Elem>>,
+    /// Fuel the original evaluation charged.
+    pub fuel_spent: u64,
+    /// Fixpoint stages the original evaluation took.
+    pub stages: usize,
+}
+
+enum Slot {
+    /// A leader holds the claim and is evaluating.
+    InFlight,
+    /// The answer is published.
+    Ready(Arc<CachedAnswer>),
+}
+
+/// Outcome of [`AnswerCache::claim`].
+pub enum Claim {
+    /// Cache hit: the answer is published for this (key, epoch).
+    /// `waited` is true when the caller blocked on an in-flight leader
+    /// (a *coalesced* request rather than a plain hit).
+    Hit {
+        /// The published answer.
+        answer: Arc<CachedAnswer>,
+        /// Whether this caller waited for a concurrent evaluation.
+        waited: bool,
+    },
+    /// This caller is the leader: evaluate, then [`LeaderGuard::publish`]
+    /// (or drop the guard to abandon, waking followers to re-claim).
+    Leader(LeaderGuard),
+    /// The follower waited `wait_for` without the leader publishing or
+    /// abandoning. The caller decides whether to retry or fail typed.
+    TimedOut,
+}
+
+#[derive(Default)]
+struct State {
+    slots: HashMap<(u128, u64), Slot>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    published: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// The shared answer cache. Cheap to clone.
+#[derive(Clone)]
+pub struct AnswerCache {
+    shared: Arc<Shared>,
+}
+
+impl Default for AnswerCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnswerCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        AnswerCache {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State::default()),
+                published: Condvar::new(),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Claim `(key, epoch)`: a published answer is a [`Claim::Hit`]; an
+    /// empty slot makes this caller the [`Claim::Leader`]; an in-flight
+    /// slot blocks up to `wait_for` for the leader to publish or abandon
+    /// (re-claiming on abandonment), returning [`Claim::TimedOut`] if
+    /// neither happens in time.
+    pub fn claim(&self, key: u128, epoch: u64, wait_for: Duration) -> Claim {
+        let deadline = std::time::Instant::now() + wait_for;
+        let mut waited = false;
+        let mut state = self.lock();
+        loop {
+            match state.slots.get(&(key, epoch)) {
+                Some(Slot::Ready(ans)) => {
+                    self.shared.hits.fetch_add(1, Ordering::Relaxed);
+                    return Claim::Hit {
+                        answer: ans.clone(),
+                        waited,
+                    };
+                }
+                Some(Slot::InFlight) => {
+                    self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                    waited = true;
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return Claim::TimedOut;
+                    }
+                    let (s, timeout) = self
+                        .shared
+                        .published
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    state = s;
+                    if timeout.timed_out() {
+                        // Re-check once: the publish may have raced the
+                        // timeout.
+                        if let Some(Slot::Ready(ans)) = state.slots.get(&(key, epoch)) {
+                            self.shared.hits.fetch_add(1, Ordering::Relaxed);
+                            return Claim::Hit {
+                                answer: ans.clone(),
+                                waited,
+                            };
+                        }
+                        return Claim::TimedOut;
+                    }
+                }
+                None => {
+                    self.shared.misses.fetch_add(1, Ordering::Relaxed);
+                    state.slots.insert((key, epoch), Slot::InFlight);
+                    return Claim::Leader(LeaderGuard {
+                        shared: self.shared.clone(),
+                        key,
+                        epoch,
+                        done: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// A non-blocking read of a published answer (no leader claim, no
+    /// statistics side effects beyond a hit count).
+    pub fn peek(&self, key: u128, epoch: u64) -> Option<Arc<CachedAnswer>> {
+        match self.lock().slots.get(&(key, epoch)) {
+            Some(Slot::Ready(ans)) => Some(ans.clone()),
+            _ => None,
+        }
+    }
+
+    /// Drop every entry for epochs older than `epoch` (called on publish;
+    /// pinned readers re-evaluate rather than consult retired entries).
+    pub fn retire_before(&self, epoch: u64) {
+        self.lock().slots.retain(|(_, e), _| *e >= epoch);
+    }
+
+    /// `(hits, misses, coalesced followers)` so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.shared.hits.load(Ordering::Relaxed),
+            self.shared.misses.load(Ordering::Relaxed),
+            self.shared.coalesced.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Entries currently resident (published + in flight).
+    pub fn len(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // The map is only touched under this lock and every mutation
+        // leaves it consistent, so a poisoned lock (leader panicked while
+        // holding it) is recoverable.
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The leader's claim on an in-flight slot. Publish the answer, or drop
+/// to abandon (followers wake and re-claim).
+pub struct LeaderGuard {
+    shared: Arc<Shared>,
+    key: u128,
+    epoch: u64,
+    done: bool,
+}
+
+impl LeaderGuard {
+    /// Publish the evaluated answer, waking all followers with a hit.
+    pub fn publish(mut self, answer: CachedAnswer) -> Arc<CachedAnswer> {
+        let ans = Arc::new(answer);
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state
+                .slots
+                .insert((self.key, self.epoch), Slot::Ready(ans.clone()));
+        }
+        self.done = true;
+        self.shared.published.notify_all();
+        ans
+    }
+}
+
+impl Drop for LeaderGuard {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // Abandon: clear the in-flight slot and wake followers so one of
+        // them becomes the new leader. Runs on panic unwind too.
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(Slot::InFlight) = state.slots.get(&(self.key, self.epoch)) {
+            state.slots.remove(&(self.key, self.epoch));
+        }
+        drop(state);
+        self.shared.published.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn ans(n: u32) -> CachedAnswer {
+        CachedAnswer {
+            rows: vec![vec![Elem(n)]],
+            fuel_spent: 1,
+            stages: 1,
+        }
+    }
+
+    #[test]
+    fn leader_publishes_followers_hit() {
+        let cache = AnswerCache::new();
+        let leader = match cache.claim(7, 0, Duration::from_secs(1)) {
+            Claim::Leader(g) => g,
+            _ => panic!("first claim leads"),
+        };
+
+        let c2 = cache.clone();
+        let follower = thread::spawn(move || match c2.claim(7, 0, Duration::from_secs(5)) {
+            Claim::Hit { answer, .. } => answer.rows.clone(),
+            _ => panic!("follower must receive the published answer"),
+        });
+
+        // Give the follower time to block, then publish.
+        thread::sleep(Duration::from_millis(20));
+        leader.publish(ans(42));
+        assert_eq!(follower.join().unwrap(), vec![vec![Elem(42)]]);
+
+        let (hits, misses, coalesced) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+        assert!(coalesced >= 1);
+    }
+
+    #[test]
+    fn abandoned_leader_wakes_followers_to_reclaim() {
+        let cache = AnswerCache::new();
+        let leader = match cache.claim(9, 3, Duration::from_secs(1)) {
+            Claim::Leader(g) => g,
+            _ => panic!("first claim leads"),
+        };
+
+        let c2 = cache.clone();
+        let follower = thread::spawn(move || c2.claim(9, 3, Duration::from_secs(5)));
+
+        thread::sleep(Duration::from_millis(20));
+        drop(leader); // abandon (stands in for a panicking worker)
+
+        match follower.join().unwrap() {
+            Claim::Leader(g) => {
+                g.publish(ans(1));
+            }
+            _ => panic!("follower re-claims leadership after abandonment"),
+        }
+        assert!(cache.peek(9, 3).is_some());
+    }
+
+    #[test]
+    fn distinct_epochs_are_distinct_entries_and_retire() {
+        let cache = AnswerCache::new();
+        for epoch in 0..3u64 {
+            match cache.claim(5, epoch, Duration::ZERO) {
+                Claim::Leader(g) => {
+                    g.publish(ans(epoch as u32));
+                }
+                _ => panic!("fresh (key, epoch) leads"),
+            }
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.peek(5, 0).unwrap().rows, vec![vec![Elem(0)]]);
+
+        cache.retire_before(2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.peek(5, 0).is_none());
+        assert!(cache.peek(5, 2).is_some());
+    }
+
+    #[test]
+    fn follower_times_out_on_stuck_leader() {
+        let cache = AnswerCache::new();
+        let _stuck = match cache.claim(1, 0, Duration::ZERO) {
+            Claim::Leader(g) => g,
+            _ => panic!("leads"),
+        };
+        match cache.claim(1, 0, Duration::from_millis(30)) {
+            Claim::TimedOut => {}
+            _ => panic!("follower must time out, not hang"),
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! `hp-serve` — the concurrent query service over the
+//! homomorphism-preservation workspace.
+//!
+//! The library turns the paper's machinery into a front door that
+//! survives production traffic:
+//!
+//! * [`epoch`] — snapshot isolation: immutable epochs behind `Arc`;
+//!   readers pin, the writer publishes, retirement is the refcount.
+//! * [`admission`] — bounded concurrency with typed [`Overloaded`]
+//!   shedding on queue depth or deadline debt.
+//! * [`cache`] — the `(CanonicalCoreKey, epoch)` answer cache with
+//!   single-flight dedup: N hom-equivalent queries cost one evaluation,
+//!   and a hit is *provably* the fresh answer (Chandra–Merlin cores).
+//! * [`service`] — the request pipeline: admission → hp-guard budget
+//!   (fuel + deadline + interrupt) → cache → epoch-pinned evaluation,
+//!   with one bounded retry around worker panics and a degradation
+//!   ladder of full answer → budget-partial with resume token → shed.
+//! * [`server`] — the line-delimited JSON protocol over a Unix socket,
+//!   with per-connection interrupts and graceful drain.
+//! * [`protocol`] / [`json`] — the wire format (hand-rolled RFC 8259;
+//!   the build container has no serde).
+//!
+//! Robustness claims are not aspirational: the chaos suite (tests under
+//! `tests/`, `--features fault-inject`) injects worker panics, forced
+//! exhaustion, writer failure, and connection drops across randomized
+//! schedules and asserts every request terminates typed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod epoch;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use admission::{AdmissionGate, AdmissionPermit, Overloaded};
+pub use cache::{AnswerCache, CachedAnswer, Claim, LeaderGuard};
+pub use epoch::{EpochStore, Snapshot, UpdateBatch, WriteError};
+pub use protocol::{parse_request, CacheOutcome, QueryRequest, Request, Response};
+pub use server::Server;
+pub use service::{QueryService, ServiceConfig};
