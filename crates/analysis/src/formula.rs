@@ -177,13 +177,13 @@ fn occupied_components(cq: &Cq) -> usize {
     }
     for (_, rel) in s.relations() {
         for row in rel.iter() {
-            for &e in row {
+            for e in row.iter() {
                 occupied[e.index()] = true;
             }
-            for w in row.windows(2) {
+            for i in 1..row.len() {
                 let (a, b) = (
-                    find(&mut parent, w[0].index()),
-                    find(&mut parent, w[1].index()),
+                    find(&mut parent, row.get(i - 1).index()),
+                    find(&mut parent, row.get(i).index()),
                 );
                 parent[a] = b;
             }

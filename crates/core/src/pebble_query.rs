@@ -152,7 +152,7 @@ pub fn spoiler_sentence(a: &Structure, k: usize, depth: usize) -> hp_logic::CqkF
         for (sym, rel) in a.relations() {
             'tuples: for t in rel.iter() {
                 let mut args = Vec::with_capacity(t.len());
-                for &e in t {
+                for e in t.iter() {
                     match slot_of(e) {
                         Some(s) => args.push(s),
                         None => continue 'tuples,

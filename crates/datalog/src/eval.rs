@@ -23,7 +23,7 @@ use std::sync::Mutex;
 use std::fmt;
 
 use hp_guard::{Budget, Budgeted, Gauge, GaugeState};
-use hp_structures::{Elem, Relation, Structure, StructureError, TupleStore};
+use hp_structures::{Elem, Relation, Row, Structure, StructureError, TupleStore};
 
 use crate::ast::{PredRef, Program};
 use crate::index::IndexPool;
@@ -531,7 +531,8 @@ impl Program {
                 // The fresh indexes must already contain the merged IDB
                 // tuples; the pending delta is absorbed by the loop below
                 // exactly as in an uninterrupted run.
-                pool.absorb(&plan, &cp.partial.relations);
+                pool.absorb(&plan, &cp.partial.relations)
+                    .unwrap_or_else(|e| panic!("{e}"));
                 diagnostics = cp.partial.diagnostics;
                 degraded = !diagnostics.is_empty();
                 // Completed-strata costs survive the interruption; the
@@ -627,7 +628,10 @@ impl Program {
                     )));
                 }
                 stages += 1;
-                pool.absorb(&plan, &delta);
+                // Row-id capacity exhaustion (> u32::MAX rows in one IDB
+                // index arena) is unrecoverable mid-fixpoint; surface the
+                // typed error loudly instead of wrapping.
+                pool.absorb(&plan, &delta).unwrap_or_else(|e| panic!("{e}"));
                 for (acc, d) in idb.iter_mut().zip(&delta) {
                     acc.merge(d);
                 }
@@ -903,7 +907,7 @@ fn join(
 /// is needed: the plan statically guarantees deeper steps only read slots
 /// bound on their prefix.
 #[allow(clippy::too_many_arguments)]
-fn advance(
+fn advance<R: Row>(
     ctx: &JoinCtx<'_>,
     rp: &RulePlan,
     steps: &[JoinStep],
@@ -912,24 +916,24 @@ fn advance(
     depth: usize,
     asg: &mut Vec<Elem>,
     out: &mut TupleStore,
-    t: &[Elem],
+    t: R,
     check_bound: bool,
 ) {
     let step = &steps[depth];
     if check_bound {
         for &(i, s) in &step.bound {
-            if t[i] != asg[s] {
+            if t.at(i) != asg[s] {
                 return;
             }
         }
     }
     for &(i, j) in &step.repeats {
-        if t[i] != t[j] {
+        if t.at(i) != t.at(j) {
             return;
         }
     }
     for &(i, s) in &step.binds {
-        asg[s] = t[i];
+        asg[s] = t.at(i);
     }
     join(ctx, rp, steps, delta_atom, chunk, depth + 1, asg, out);
 }

@@ -38,7 +38,8 @@ use std::sync::Mutex;
 
 use hp_guard::{Budget, Budgeted, Gauge, GaugeState};
 use hp_structures::{
-    CountedStore, Elem, Relation, Structure, StructureError, SymbolId, TupleStore, Vocabulary,
+    CountedStore, Elem, Relation, RowRef, Structure, StructureError, SymbolId, TupleStore,
+    Vocabulary,
 };
 
 use crate::ast::{PredRef, Program};
@@ -345,16 +346,16 @@ impl SecondaryIndex {
     fn permuted(&self, rows: &TupleStore) -> TupleStore {
         let mut out = TupleStore::with_capacity(self.arity, rows.len());
         for t in rows.iter() {
-            out.push_with(|buf| buf.extend(self.perm.iter().map(|&i| t[i])));
+            out.push_with(|buf| buf.extend(self.perm.iter().map(|&i| t.get(i))));
         }
         out.seal();
         out
     }
 
     /// Recover the original column order of a permuted candidate row.
-    fn unpermute_into(&self, row: &[Elem], out: &mut Vec<Elem>) {
+    fn unpermute_into(&self, row: RowRef<'_>, out: &mut Vec<Elem>) {
         out.clear();
-        out.extend((0..self.arity).map(|i| row[self.pos_of[i]]));
+        out.extend((0..self.arity).map(|i| row.get(self.pos_of[i])));
     }
 
     fn insert_batch(&mut self, rows: &TupleStore) {
@@ -648,7 +649,7 @@ fn build_depths(
             let fresh = cand[p].difference(known[p].store());
             let map = depths[p].as_mut().expect("member map was just created");
             for t in fresh.iter() {
-                map.insert(t.into(), round);
+                map.insert(t.to_vec().into(), round);
             }
             known[p].merge_store(&fresh);
             any = any || !fresh.is_empty();
@@ -760,6 +761,11 @@ impl DepthGate<'_> {
             .and_then(|m| m.get(t))
             .is_some_and(|&d| d < self.limit)
     }
+
+    /// [`DepthGate::admits`] for a decoded store row.
+    fn admits_row(&self, p: usize, t: RowRef<'_>) -> bool {
+        self.admits(p, &t.to_vec())
+    }
 }
 
 /// Per-predicate effective deltas of one maintenance run: what actually
@@ -835,12 +841,12 @@ impl Ctx<'_> {
     }
 }
 
-/// A candidate row for one join step: either an original-order tuple (from
-/// a delta or overlay scan) or a permuted secondary-index row read through
-/// the index's position map.
+/// A candidate row for one join step: either an original-order store row
+/// (from a delta or overlay scan) or a permuted secondary-index row read
+/// through the index's position map.
 #[derive(Clone, Copy)]
 struct Cand<'t> {
-    row: &'t [Elem],
+    row: RowRef<'t>,
     map: Option<&'t [usize]>,
 }
 
@@ -848,8 +854,8 @@ impl Cand<'_> {
     #[inline]
     fn at(&self, i: usize) -> Elem {
         match self.map {
-            Some(m) => self.row[m[i]],
-            None => self.row[i],
+            Some(m) => self.row.get(m[i]),
+            None => self.row.get(i),
         }
     }
 }
@@ -935,7 +941,7 @@ fn mjoin(
                     let row = sidx.store.row(r);
                     if !plus.is_empty() {
                         sidx.unpermute_into(row, scratch);
-                        if plus.contains(scratch) {
+                        if plus.contains(scratch.as_slice()) {
                             continue;
                         }
                     }
@@ -963,8 +969,8 @@ fn mjoin(
                     if !ov.removed[p].is_empty() || ctx.gate.is_some() {
                         sidx.unpermute_into(row, scratch);
                         if !ov.removed[p].is_empty()
-                            && ov.removed[p].contains(scratch)
-                            && !ov.revived[p].contains(scratch)
+                            && ov.removed[p].contains(scratch.as_slice())
+                            && !ov.revived[p].contains(scratch.as_slice())
                         {
                             continue;
                         }
@@ -982,7 +988,7 @@ fn mjoin(
                     }
                 }
                 for t in ov.added[p].iter() {
-                    if ctx.gate.as_ref().is_some_and(|g| !g.admits(p, t)) {
+                    if ctx.gate.as_ref().is_some_and(|g| !g.admits_row(p, t)) {
                         continue;
                     }
                     let cand = Cand { row: t, map: None };
@@ -997,7 +1003,7 @@ fn mjoin(
                     let row = sidx.store.row(r);
                     if !plus.is_empty() {
                         sidx.unpermute_into(row, scratch);
-                        if plus.contains(scratch) {
+                        if plus.contains(scratch.as_slice()) {
                             continue;
                         }
                     }
@@ -1052,7 +1058,7 @@ fn mjoin(
                     {
                         continue;
                     }
-                    if ctx.gate.as_ref().is_some_and(|g| !g.admits(p, t)) {
+                    if ctx.gate.as_ref().is_some_and(|g| !g.admits_row(p, t)) {
                         continue;
                     }
                     let cand = Cand { row: t, map: None };
@@ -1061,7 +1067,7 @@ fn mjoin(
                     }
                 }
                 for t in ov.added[p].iter() {
-                    if ctx.gate.as_ref().is_some_and(|g| !g.admits(p, t)) {
+                    if ctx.gate.as_ref().is_some_and(|g| !g.admits_row(p, t)) {
                         continue;
                     }
                     let cand = Cand { row: t, map: None };
@@ -1109,7 +1115,7 @@ fn run_seeded(
             }
         }
         for &(i, s) in &step0.binds {
-            asg[s] = t[i];
+            asg[s] = t.get(i);
         }
         if !mjoin(ctx, mr, steps, views, 1, &mut asg, &mut scratch, emit) {
             return;
@@ -1233,7 +1239,7 @@ fn commit_edb(
         let mut p = plus.stores[i].clone();
         p.seal();
         for t in p.iter() {
-            for &e in t {
+            for e in t.iter() {
                 if e.index() >= universe {
                     return Err(EvalError::Structure(StructureError::ElementOutOfRange {
                         element: e.0,
@@ -1657,7 +1663,7 @@ fn dred_scc(
                 .as_mut()
                 .expect("recursive members carry depths");
             for t in fresh.iter().chain(revive.iter()) {
-                map.insert(t.into(), clock);
+                map.insert(t.to_vec().into(), clock);
             }
             added[p].merge_store(&fresh);
             revived[p].merge_store(&revive);
@@ -1684,7 +1690,7 @@ fn dred_scc(
             .as_mut()
             .expect("recursive members carry depths");
         for t in final_minus.iter() {
-            map.remove(t);
+            map.remove(t.to_vec().as_slice());
         }
         db.idb[p].remove_tuples(&final_minus);
         db.idb[p].merge_store(&final_plus);

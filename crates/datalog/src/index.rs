@@ -1,151 +1,274 @@
-//! Per-predicate hash indexes keyed on bound argument positions.
+//! Per-predicate probe indexes keyed on bound argument positions.
 //!
 //! The [`ProgramPlan`](crate::plan::ProgramPlan) knows, statically, every
 //! `(predicate, bound positions)` combination the join orders probe. An
-//! [`IndexPool`] materializes one [`TupleIndex`] per such spec: EDB indexes
-//! are built once per evaluation (the input structure never changes), IDB
-//! indexes grow **incrementally** — each delta round folds exactly the
-//! newly derived tuples in, so maintaining them costs `O(Σ|Δ|)` over the
-//! whole fixpoint instead of `O(rounds × |IDB|)` rebuilds.
+//! [`IndexPool`] materializes one [`TupleIndex`] per such spec. With the
+//! column-plane [`TupleStore`](hp_structures::TupleStore) there are three
+//! shapes, picked per spec:
 //!
-//! Since the columnar [`TupleStore`](hp_structures::TupleStore) landed, an
-//! index's hash map holds **row ids** (`u32`) instead of owned tuple
-//! vectors: EDB ids point straight into the input structure's sealed arena
-//! (zero copies), IDB ids into a flat append-only arena the index owns —
-//! stable across rounds because absorbed rows are never reordered, unlike
-//! the accumulated relations whose sorted runs shift on every merge.
+//! - **Natural** (EDB, key positions are the prefix `0..k`): no index is
+//!   built at all. The relation's sealed store is already sorted
+//!   lexicographically, so a probe is
+//!   [`TupleStore::prefix_range`](hp_structures::TupleStore::prefix_range) —
+//!   a chunked galloping search over the leading column planes. Setup cost
+//!   is zero, which matters because the pool is rebuilt per evaluation.
+//! - **Permuted** (EDB, any other key positions): a sorted copy of the
+//!   relation with the key columns permuted to the front (remaining
+//!   columns keep their relative order, so rows sharing a key enumerate in
+//!   the same order the row-id hash index used to yield). One sort at
+//!   setup replaces per-row hash inserts; probes are again `prefix_range`.
+//! - **Idb**: a hash map from key to **row ids** (`u32`) into a flat
+//!   append-only arena the index owns — stable across rounds because
+//!   absorbed rows are never reordered, unlike the accumulated relations
+//!   whose sorted runs shift on every merge. IDB indexes grow
+//!   **incrementally**: each delta round folds exactly the newly derived
+//!   tuples in, so maintaining them costs `O(Σ|Δ|)` over the whole
+//!   fixpoint instead of `O(rounds × |IDB|)` rebuilds.
+//!
+//! Row ids are `u32`; an IDB arena that outgrows them reports a typed
+//! [`StructureError::CapacityExceeded`] instead of silently wrapping (the
+//! 10⁸-row audit: `2^32` rows of a binary IDB would already be a 32 GiB
+//! arena, but the failure must be loud, not a corrupted join).
 
 use std::collections::HashMap;
+use std::ops::Range;
 
-use hp_structures::{Elem, Relation, Structure};
+use hp_structures::{Elem, Relation, Row, RowRef, Structure, StructureError, TupleStore};
 
 use crate::ast::PredRef;
 use crate::eval::IdbRelation;
 use crate::plan::ProgramPlan;
 
-/// Where a [`TupleIndex`]'s row ids point.
+/// How a [`TupleIndex`] resolves probes.
 #[derive(Clone, Debug)]
 enum Arena<'a> {
-    /// EDB: rows live in the structure's relation; ids are sorted-run
-    /// indexes into its arena.
-    Edb(&'a Relation),
-    /// IDB: rows are appended here, one `arity`-stride row per absorbed
-    /// tuple, in absorption order.
-    Idb { arity: usize, data: Vec<Elem> },
+    /// EDB indexed on a positional prefix: probe the relation's own sealed
+    /// store, nothing materialized.
+    Natural(&'a Relation),
+    /// EDB indexed on non-prefix positions: a sorted permuted copy
+    /// (key columns moved to the front, remaining columns ascending).
+    Permuted {
+        /// `pos_of[i]` = permuted position of original column `i`.
+        pos_of: Vec<usize>,
+        store: TupleStore,
+    },
+    /// IDB: rows are appended to `data` (one `arity`-stride row per
+    /// absorbed tuple, in absorption order); `map` sends each key to the
+    /// row ids carrying it.
+    Idb {
+        arity: usize,
+        data: Vec<Elem>,
+        map: HashMap<Vec<Elem>, Vec<u32>>,
+    },
 }
 
-/// A hash index over one relation: key = the tuple projected to
-/// `key_positions`, value = the row ids of every tuple with that key.
+/// One candidate row handed out by a probe, in the atom's original column
+/// order regardless of how the backing index stores it.
+#[derive(Clone, Copy)]
+pub(crate) enum ResolvedRow<'a> {
+    /// A row of a sealed store already in original column order.
+    Direct(RowRef<'a>),
+    /// A permuted-index row read through the index's position map.
+    Permuted {
+        row: RowRef<'a>,
+        pos_of: &'a [usize],
+    },
+    /// A row of an IDB index's flat arena.
+    Slice(&'a [Elem]),
+}
+
+impl Row for ResolvedRow<'_> {
+    #[inline]
+    fn width(&self) -> usize {
+        match self {
+            ResolvedRow::Direct(r) => r.len(),
+            ResolvedRow::Permuted { pos_of, .. } => pos_of.len(),
+            ResolvedRow::Slice(s) => s.len(),
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize) -> Elem {
+        match self {
+            ResolvedRow::Direct(r) => r.get(i),
+            ResolvedRow::Permuted { row, pos_of } => row.get(pos_of[i]),
+            ResolvedRow::Slice(s) => s[i],
+        }
+    }
+}
+
+/// Iterator of one probe's candidate rows.
+pub(crate) enum ProbeIter<'a> {
+    Rows {
+        store: &'a TupleStore,
+        range: Range<usize>,
+    },
+    Permuted {
+        store: &'a TupleStore,
+        pos_of: &'a [usize],
+        range: Range<usize>,
+    },
+    Ids {
+        arity: usize,
+        data: &'a [Elem],
+        ids: std::slice::Iter<'a, u32>,
+    },
+}
+
+impl<'a> Iterator for ProbeIter<'a> {
+    type Item = ResolvedRow<'a>;
+
+    #[inline]
+    fn next(&mut self) -> Option<ResolvedRow<'a>> {
+        match self {
+            ProbeIter::Rows { store, range } => {
+                range.next().map(|r| ResolvedRow::Direct(store.row(r)))
+            }
+            ProbeIter::Permuted {
+                store,
+                pos_of,
+                range,
+            } => range.next().map(|r| ResolvedRow::Permuted {
+                row: store.row(r),
+                pos_of,
+            }),
+            ProbeIter::Ids { arity, data, ids } => ids.next().map(|&id| {
+                let i = id as usize;
+                ResolvedRow::Slice(&data[i * *arity..(i + 1) * *arity])
+            }),
+        }
+    }
+}
+
+/// A probe index over one relation for one key-position spec.
 #[derive(Clone, Debug)]
 pub(crate) struct TupleIndex<'a> {
     key_positions: Vec<usize>,
     arena: Arena<'a>,
-    map: HashMap<Vec<Elem>, Vec<u32>>,
 }
 
 impl<'a> TupleIndex<'a> {
-    fn new(key_positions: Vec<usize>, arena: Arena<'a>) -> TupleIndex<'a> {
-        TupleIndex {
-            key_positions,
-            arena,
-            map: HashMap::new(),
-        }
-    }
-
-    /// Record `row_id` under the key projected from `t` (EDB arenas only
-    /// need this; the row already lives in the structure).
-    fn insert_id(&mut self, t: &[Elem], row_id: u32) {
-        let key: Vec<Elem> = self.key_positions.iter().map(|&p| t[p]).collect();
-        self.map.entry(key).or_default().push(row_id);
-    }
-
-    /// Append `t` to the owned IDB arena and record its fresh row id.
-    fn absorb_row(&mut self, t: &[Elem]) {
-        let Arena::Idb { arity, data } = &mut self.arena else {
+    /// Append `t` to the owned IDB arena and record its fresh row id,
+    /// refusing (typed, not wrapping) once ids no longer fit in `u32`.
+    fn absorb_row(&mut self, t: RowRef<'_>) -> Result<(), StructureError> {
+        let Arena::Idb { arity, data, map } = &mut self.arena else {
             unreachable!("absorb_row on an EDB index");
         };
         debug_assert_eq!(t.len(), *arity);
         let rows = data.len().checked_div(*arity).unwrap_or(0);
-        let row_id = u32::try_from(rows).expect("IDB index arena exceeds u32::MAX rows");
-        data.extend_from_slice(t);
-        let key: Vec<Elem> = self.key_positions.iter().map(|&p| t[p]).collect();
-        self.map.entry(key).or_default().push(row_id);
+        let row_id = u32::try_from(rows).map_err(|_| StructureError::CapacityExceeded {
+            what: "IDB index row id",
+            requested: rows + 1,
+            limit: u32::MAX as usize,
+        })?;
+        t.append_to(data);
+        let key: Vec<Elem> = self.key_positions.iter().map(|&p| t.get(p)).collect();
+        map.entry(key).or_default().push(row_id);
+        Ok(())
     }
 
-    #[inline]
-    fn resolve(&self, row_id: u32) -> &[Elem] {
+    /// All tuples whose projection to the key positions equals `key`, in
+    /// original column order. EDB probes enumerate ascending store rows,
+    /// IDB probes absorption order — both match the row-id orders the
+    /// hash-only pool produced, and every consumer seals its output anyway.
+    pub fn probe<'s>(&'s self, key: &[Elem]) -> ProbeIter<'s> {
         match &self.arena {
-            Arena::Edb(rel) => rel.tuple(row_id as usize),
-            Arena::Idb { arity, data } => {
-                let i = row_id as usize;
-                &data[i * arity..(i + 1) * arity]
-            }
+            Arena::Natural(rel) => ProbeIter::Rows {
+                store: rel.store(),
+                range: rel.store().prefix_range(key),
+            },
+            Arena::Permuted { pos_of, store, .. } => ProbeIter::Permuted {
+                store,
+                pos_of,
+                range: store.prefix_range(key),
+            },
+            Arena::Idb { arity, data, map } => ProbeIter::Ids {
+                arity: *arity,
+                data,
+                ids: map.get(key).map(Vec::as_slice).unwrap_or(&[]).iter(),
+            },
         }
     }
+}
 
-    /// All tuples whose projection to the key positions equals `key`, as
-    /// zero-copy rows resolved from the backing arena, in insertion order.
-    pub fn probe<'s>(&'s self, key: &[Elem]) -> impl Iterator<Item = &'s [Elem]> {
-        let ids: &[u32] = self.map.get(key).map(Vec::as_slice).unwrap_or(&[]);
-        ids.iter().map(move |&id| self.resolve(id))
-    }
+/// True when `key_positions` is exactly the positional prefix `0..k`, i.e.
+/// the relation's own lexicographic order already serves the probe.
+fn is_prefix(key_positions: &[usize]) -> bool {
+    key_positions.iter().copied().eq(0..key_positions.len())
 }
 
 /// All indexes one evaluation needs, aligned with
 /// [`ProgramPlan::index_specs`]. Borrows the input structure for the
-/// lifetime of the evaluation so EDB indexes can point into its arenas.
+/// lifetime of the evaluation so EDB indexes can point into its planes.
 pub(crate) struct IndexPool<'a> {
     indexes: Vec<TupleIndex<'a>>,
 }
 
 impl<'a> IndexPool<'a> {
-    /// Build the pool: EDB indexes are filled from the input structure,
-    /// IDB indexes start empty (mirroring the empty stage Φ⁰).
+    /// Build the pool: prefix-keyed EDB specs borrow the relation as-is,
+    /// non-prefix EDB specs sort one permuted copy, IDB indexes start
+    /// empty (mirroring the empty stage Φ⁰).
     pub fn new(plan: &ProgramPlan, a: &'a Structure) -> IndexPool<'a> {
-        let mut indexes: Vec<TupleIndex<'a>> = plan
+        let indexes: Vec<TupleIndex<'a>> = plan
             .index_specs
             .iter()
             .map(|s| {
                 let arena = match s.pred {
-                    PredRef::Edb(sym) => Arena::Edb(a.relation(sym)),
-                    PredRef::Idb(_) => Arena::Idb {
-                        arity: 0, // patched by the fill loop below
-                        data: Vec::new(),
-                    },
-                };
-                TupleIndex::new(s.key_positions.clone(), arena)
-            })
-            .collect();
-        for (idx, spec) in plan.index_specs.iter().enumerate() {
-            match spec.pred {
-                PredRef::Edb(sym) => {
-                    for (i, t) in a.relation(sym).iter().enumerate() {
-                        let id = u32::try_from(i).expect("EDB relation exceeds u32::MAX rows");
-                        indexes[idx].insert_id(t, id);
+                    PredRef::Edb(sym) => {
+                        let rel = a.relation(sym);
+                        if is_prefix(&s.key_positions) {
+                            Arena::Natural(rel)
+                        } else {
+                            let arity = rel.arity();
+                            let mut perm = s.key_positions.clone();
+                            for i in 0..arity {
+                                if !perm.contains(&i) {
+                                    perm.push(i);
+                                }
+                            }
+                            let mut pos_of = vec![0usize; arity];
+                            for (k, &i) in perm.iter().enumerate() {
+                                pos_of[i] = k;
+                            }
+                            let mut store = TupleStore::with_capacity(arity, rel.len());
+                            for t in rel.iter() {
+                                store.push_with(|buf| buf.extend(perm.iter().map(|&i| t.get(i))));
+                            }
+                            store.seal();
+                            Arena::Permuted { pos_of, store }
+                        }
                     }
-                }
-                PredRef::Idb(i) => {
-                    indexes[idx].arena = Arena::Idb {
+                    PredRef::Idb(i) => Arena::Idb {
                         arity: plan.idb_arities[i],
                         data: Vec::new(),
-                    };
+                        map: HashMap::new(),
+                    },
+                };
+                TupleIndex {
+                    key_positions: s.key_positions.clone(),
+                    arena,
                 }
-            }
-        }
+            })
+            .collect();
         IndexPool { indexes }
     }
 
     /// Fold one round's newly derived tuples into the IDB indexes, which
     /// then mirror `idb ∪ delta`. Call exactly once per delta round, right
     /// when the delta is merged into the accumulated relations.
-    pub fn absorb(&mut self, plan: &ProgramPlan, delta: &[IdbRelation]) {
+    pub fn absorb(
+        &mut self,
+        plan: &ProgramPlan,
+        delta: &[IdbRelation],
+    ) -> Result<(), StructureError> {
         for (idx, spec) in plan.index_specs.iter().enumerate() {
             if let PredRef::Idb(i) = spec.pred {
                 for t in delta[i].iter() {
-                    self.indexes[idx].absorb_row(t);
+                    self.indexes[idx].absorb_row(t)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// The index for spec `idx`.
@@ -160,6 +283,10 @@ mod tests {
     use crate::ast::Program;
     use hp_structures::generators::directed_path;
     use hp_structures::Vocabulary;
+
+    fn collect(iter: ProbeIter<'_>) -> Vec<Vec<Elem>> {
+        iter.map(|t| t.to_elems()).collect()
+    }
 
     #[test]
     fn edb_index_probes_by_position() {
@@ -178,9 +305,64 @@ mod tests {
             .iter()
             .position(|s| matches!(s.pred, PredRef::Edb(_)) && s.key_positions == vec![1])
             .expect("E indexed on position 1");
-        let hits: Vec<&[Elem]> = pool.get(spec).probe(&[Elem(2)]).collect();
-        assert_eq!(hits, [&[Elem(1), Elem(2)][..]]);
+        let hits = collect(pool.get(spec).probe(&[Elem(2)]));
+        assert_eq!(hits, vec![vec![Elem(1), Elem(2)]]);
         assert!(pool.get(spec).probe(&[Elem(0)]).next().is_none());
+    }
+
+    #[test]
+    fn prefix_specs_probe_the_relation_directly() {
+        let p = Program::parse(
+            "R(y) :- S(x), E(x,y).\nR(y) :- R(x), E(x,y).",
+            &Vocabulary::from_pairs([("E", 2), ("S", 1)]),
+        )
+        .unwrap();
+        let plan = ProgramPlan::new(&p);
+        let mut a = hp_structures::Structure::new(p.edb().clone(), 4);
+        for i in 0..3u32 {
+            a.add_tuple_ids(0, &[i, i + 1]).unwrap();
+        }
+        a.add_tuple_ids(1, &[0]).unwrap();
+        let pool = IndexPool::new(&plan, &a);
+        let spec = plan
+            .index_specs
+            .iter()
+            .position(|s| matches!(s.pred, PredRef::Edb(_)) && s.key_positions == vec![0])
+            .expect("E indexed on position 0 (the linear chain probe)");
+        assert!(matches!(pool.get(spec).arena, Arena::Natural(_)));
+        let hits = collect(pool.get(spec).probe(&[Elem(2)]));
+        assert_eq!(hits, vec![vec![Elem(2), Elem(3)]]);
+    }
+
+    #[test]
+    fn permuted_rows_come_back_in_original_column_order() {
+        let p = Program::parse(
+            "T(x,y) :- E(x,y).\nT(x,y) :- E(x,z), T(z,y).",
+            &Vocabulary::digraph(),
+        )
+        .unwrap();
+        let plan = ProgramPlan::new(&p);
+        let mut a = directed_path(4);
+        a.add_tuple_ids(0, &[0, 2]).unwrap();
+        a.add_tuple_ids(0, &[3, 2]).unwrap();
+        let pool = IndexPool::new(&plan, &a);
+        let spec = plan
+            .index_specs
+            .iter()
+            .position(|s| matches!(s.pred, PredRef::Edb(_)) && s.key_positions == vec![1])
+            .expect("E indexed on position 1");
+        // Edges into 2: (0,2), (1,2), (3,2) — ascending by the remaining
+        // (source) column, exactly the relation's own row order restricted
+        // to the key, with every row decoded back to (src, dst).
+        let hits = collect(pool.get(spec).probe(&[Elem(2)]));
+        assert_eq!(
+            hits,
+            vec![
+                vec![Elem(0), Elem(2)],
+                vec![Elem(1), Elem(2)],
+                vec![Elem(3), Elem(2)],
+            ]
+        );
     }
 
     #[test]
@@ -201,12 +383,24 @@ mod tests {
         assert!(pool.get(spec).probe(&[Elem(1)]).next().is_none());
         let mut delta: Vec<IdbRelation> = vec![Relation::new(2)];
         delta[0].insert(&[Elem(0), Elem(1)]);
-        pool.absorb(&plan, &delta);
+        pool.absorb(&plan, &delta).unwrap();
         delta[0].clear();
         delta[0].insert(&[Elem(2), Elem(1)]);
-        pool.absorb(&plan, &delta);
+        pool.absorb(&plan, &delta).unwrap();
         let key = plan.index_specs[spec].key_positions.clone();
         let probe_key = if key == vec![0] { Elem(0) } else { Elem(1) };
         assert!(pool.get(spec).probe(&[probe_key]).next().is_some());
+    }
+
+    #[test]
+    fn capacity_error_formats_the_offending_count() {
+        let e = StructureError::CapacityExceeded {
+            what: "IDB index row id",
+            requested: 1 << 33,
+            limit: u32::MAX as usize,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("capacity exceeded"), "{msg}");
+        assert!(msg.contains("IDB index row id"), "{msg}");
     }
 }

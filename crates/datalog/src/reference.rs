@@ -15,7 +15,7 @@
 //! [`ProgramPlan`] dense variable numbering — `rule.variables()` and its
 //! binary-search closure are no longer rebuilt per `rule_matches` call.
 
-use hp_structures::{Elem, Structure, TupleStore};
+use hp_structures::{Elem, Row, Structure, TupleStore};
 
 use crate::ast::{PredRef, Program};
 use crate::eval::{FixpointResult, IdbRelation};
@@ -112,7 +112,7 @@ fn scan_join(
 /// Unify one candidate tuple against the current assignment, recursing on
 /// success and rolling the touched slots back afterwards.
 #[allow(clippy::too_many_arguments)]
-fn scan_try(
+fn scan_try<R: Row>(
     rp: &RulePlan,
     a: &Structure,
     idb: &[IdbRelation],
@@ -121,20 +121,20 @@ fn scan_try(
     depth: usize,
     asg: &mut Vec<Option<Elem>>,
     out: &mut TupleStore,
-    t: &[Elem],
+    t: R,
 ) {
     let atom = &rp.atoms[order[depth]];
     let mut touched: Vec<usize> = Vec::new();
     let mut ok = true;
     for (i, &s) in atom.args.iter().enumerate() {
         match asg[s] {
-            Some(e) if e == t[i] => {}
+            Some(e) if e == t.at(i) => {}
             Some(_) => {
                 ok = false;
                 break;
             }
             None => {
-                asg[s] = Some(t[i]);
+                asg[s] = Some(t.at(i));
                 touched.push(s);
             }
         }

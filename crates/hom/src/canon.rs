@@ -94,7 +94,7 @@ pub fn canonical_form_pointed_gauged(
     for (sym, rel) in a.relations() {
         for t in rel.iter() {
             let ti = tuples.len();
-            for (p, &e) in t.iter().enumerate() {
+            for (p, e) in t.iter().enumerate() {
                 occ[e.index()].push((sym.index(), ti, p));
             }
             tuples.push((sym.index(), t.to_vec()));
@@ -259,7 +259,7 @@ fn certificate_of(a: &Structure, points: &[Elem], perm: &[usize]) -> Vec<u64> {
         cert.push(rel.len() as u64);
         let mut rows: Vec<Vec<u64>> = rel
             .iter()
-            .map(|t| t.iter().map(|&e| perm[e.index()] as u64).collect())
+            .map(|t| t.iter().map(|e| perm[e.index()] as u64).collect())
             .collect();
         rows.sort_unstable();
         for r in rows {
@@ -334,7 +334,7 @@ mod tests {
         let mut s = Structure::new(a.vocab().clone(), a.universe_size());
         for (sym, rel) in a.relations() {
             for t in rel.iter() {
-                let m: Vec<u32> = t.iter().map(|&e| perm[e.index()]).collect();
+                let m: Vec<u32> = t.iter().map(|e| perm[e.index()]).collect();
                 s.add_tuple_ids(sym.index(), &m).unwrap();
             }
         }

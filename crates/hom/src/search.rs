@@ -3,7 +3,7 @@
 use std::fmt;
 
 use hp_guard::{Budget, Budgeted, Gauge, Stop};
-use hp_structures::{BitSet, Elem, Structure, SymbolId};
+use hp_structures::{BitSet, Elem, RowRef, Structure, SymbolId};
 
 /// Typed error for setting up a homomorphism search from user-supplied
 /// structures.
@@ -34,12 +34,12 @@ impl fmt::Display for HomError {
 impl std::error::Error for HomError {}
 
 /// One tuple constraint of the source structure: the images of `vars` must
-/// form a tuple of `sym` in the target. The variable row is borrowed
-/// straight out of the source structure's tuple arena — setting up a
-/// search copies no tuples.
+/// form a tuple of `sym` in the target. The variable row is a borrowed
+/// [`RowRef`] handle into the source structure's column planes — setting up
+/// a search copies no tuples.
 struct Constraint<'a> {
     sym: SymbolId,
-    vars: &'a [Elem],
+    vars: RowRef<'a>,
 }
 
 /// A configurable homomorphism search from a source structure `A` into a
@@ -100,7 +100,7 @@ impl<'a> HomSearch<'a> {
         for (sym, rel) in a.relations() {
             for t in rel.iter() {
                 let ci = constraints.len() as u32;
-                for &v in t {
+                for v in t.iter() {
                     if !var_constraints[v.index()].contains(&ci) {
                         var_constraints[v.index()].push(ci);
                     }
@@ -488,7 +488,7 @@ fn reflects(a: &Structure, b: &Structure, h: &[Elem]) -> bool {
     for (sym, rel) in b.relations() {
         'tuples: for u in rel.iter() {
             pre.clear();
-            for &y in u {
+            for y in u.iter() {
                 let x = inv[y.index()];
                 if x == u32::MAX {
                     continue 'tuples;

@@ -351,7 +351,7 @@ mod tests {
             for (_, rel) in cq.canonical().relations() {
                 for t in rel.iter() {
                     assert!(
-                        td.bags.iter().any(|b| t.iter().all(|e| b.contains(e))),
+                        td.bags.iter().any(|b| t.iter().all(|e| b.contains(&e))),
                         "tuple {t:?} not covered"
                     );
                 }

@@ -18,7 +18,7 @@ fn is_partial_hom(a: &Structure, b: &Structure, h: &PartialHom) -> bool {
     for (sym, rel) in a.relations() {
         'tuples: for t in rel.iter() {
             img.clear();
-            for &x in t {
+            for x in t.iter() {
                 match lookup(x) {
                     Some(y) => img.push(y),
                     None => continue 'tuples,

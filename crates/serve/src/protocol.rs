@@ -147,6 +147,10 @@ pub enum Response {
         shed: u64,
         /// Requests in flight right now.
         depth: u64,
+        /// Heap bytes held by the currently published snapshot's column
+        /// planes, dictionaries, and pending arenas (analytic
+        /// [`heap_bytes`](hp_structures::Structure::heap_bytes)).
+        snapshot_bytes: u64,
     },
     /// Shutdown acknowledged; the connection closes after this line.
     Bye,
@@ -304,6 +308,7 @@ impl Response {
                 admitted,
                 shed,
                 depth,
+                snapshot_bytes,
             } => Json::Obj(vec![
                 ("status".into(), Json::Str("ok".into())),
                 ("epoch".into(), Json::Num(*epoch as f64)),
@@ -313,6 +318,7 @@ impl Response {
                 ("admitted".into(), Json::Num(*admitted as f64)),
                 ("shed".into(), Json::Num(*shed as f64)),
                 ("depth".into(), Json::Num(*depth as f64)),
+                ("snapshot_bytes".into(), Json::Num(*snapshot_bytes as f64)),
             ]),
             Response::Bye => Json::Obj(vec![("status".into(), Json::Str("bye".into()))]),
         };

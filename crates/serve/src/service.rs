@@ -155,14 +155,16 @@ impl QueryService {
 
     fn handle_stats(&self) -> Response {
         let (cache_hits, cache_misses, coalesced) = self.cache.stats();
+        let snap = self.store.pin();
         Response::Stats {
-            epoch: self.store.current_epoch(),
+            epoch: snap.epoch,
             cache_hits,
             cache_misses,
             coalesced,
             admitted: self.gate.admitted_count(),
             shed: self.gate.shed_count(),
             depth: self.gate.depth(),
+            snapshot_bytes: snap.structure.heap_bytes() as u64,
         }
     }
 

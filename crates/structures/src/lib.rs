@@ -52,6 +52,7 @@ mod gaifman;
 mod graph;
 mod graph_algo;
 mod ops;
+mod row;
 mod store;
 mod structure;
 mod vocab;
@@ -65,6 +66,7 @@ pub use error::StructureError;
 pub use gaifman::{is_d_scattered, Neighborhoods};
 pub use graph::Graph;
 pub use ops::identity_map;
+pub use row::{Row, RowElems, RowRef};
 pub use store::{Rows, TupleStore};
 pub use structure::{Relation, Structure, StructureBuilder};
 pub use vocab::{Symbol, SymbolId, Vocabulary, VocabularyBuilder};

@@ -25,7 +25,7 @@ impl Structure {
             buf.clear();
             'tuples: for t in rel.iter() {
                 let mut mapped = Vec::with_capacity(t.len());
-                for &e in t {
+                for e in t.iter() {
                     let n = new_of_old[e.index()];
                     if n == u32::MAX {
                         continue 'tuples;
@@ -66,7 +66,7 @@ impl Structure {
             out.extend_tuples(
                 id,
                 rel.iter()
-                    .map(|t| t.iter().map(|&e| Elem(e.0 + shift)).collect::<Vec<_>>()),
+                    .map(|t| t.iter().map(|e| Elem(e.0 + shift)).collect::<Vec<_>>()),
             )
             .expect("right tuples valid");
         }
@@ -94,7 +94,7 @@ impl Structure {
             out.extend_tuples(
                 id,
                 rel.iter()
-                    .map(|t| t.iter().map(|&e| map[e.index()]).collect::<Vec<_>>()),
+                    .map(|t| t.iter().map(|e| map[e.index()]).collect::<Vec<_>>()),
             )
             .expect("image tuples valid");
         }
@@ -135,7 +135,7 @@ impl Structure {
         for (id, rel) in self.relations() {
             for t in rel.iter() {
                 buf.clear();
-                buf.extend(t.iter().map(|&e| map[e.index()]));
+                buf.extend(t.iter().map(|e| map[e.index()]));
                 if !other.contains_tuple(id, &buf) {
                     return false;
                 }
@@ -150,7 +150,7 @@ impl Structure {
         let mut used = BitSet::new(self.universe_size());
         for (_, rel) in self.relations() {
             for t in rel.iter() {
-                for &e in t {
+                for e in t.iter() {
                     used.insert(e.index());
                 }
             }
@@ -163,7 +163,7 @@ impl Structure {
         let mut used = BitSet::new(self.universe_size());
         for (_, rel) in self.relations() {
             for t in rel.iter() {
-                for &e in t {
+                for e in t.iter() {
                     used.insert(e.index());
                 }
             }

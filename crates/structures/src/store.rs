@@ -1,63 +1,318 @@
-//! Columnar tuple storage: a flat arena of [`Elem`]s with arity-stride rows.
+//! Column-plane tuple storage: dictionary-encoded SoA layout with chunked
+//! galloping kernels.
 //!
 //! [`TupleStore`] is the single physical representation behind
-//! [`Relation`](crate::Relation) and the evaluator's IDB relations. It keeps
-//! tuples in two regions backed by flat `Vec<Elem>` arenas:
+//! [`Relation`](crate::Relation) and the evaluator's IDB relations. Tuples
+//! live in a **structure-of-arrays** layout:
 //!
-//! * a **sorted run** — rows in lexicographic order, deduplicated — over
-//!   which all set operations run by binary search and galloping merges, and
-//! * a **pending delta** — rows appended in arrival order, possibly
-//!   duplicated — which batches inserts so a bulk load costs one sort and
-//!   one merge instead of `n` shifting array inserts.
+//! * a **per-store dictionary** — the sorted, distinct [`Elem`] values the
+//!   store has seen, so dense id `d` decodes as `dict[d]` and, because ids
+//!   are ranks, *id order equals element order*;
+//! * **column planes** — one `Vec<u32>` of dictionary ids per column, all
+//!   of length `rows`, holding the **sorted run**: rows in lexicographic
+//!   order, deduplicated, addressed by row index across the planes;
+//! * a **pending delta** — raw `Elem` rows appended in arrival order,
+//!   possibly duplicated, batching inserts so a bulk load costs one
+//!   sort + encode + merge instead of `n` shifting array inserts.
 //!
-//! [`seal`](TupleStore::seal) folds the pending delta into the sorted run
-//! (sort + dedup + one galloping merge). Every read (`contains`, `iter`,
+//! [`seal`](TupleStore::seal) folds the pending delta into the sorted run:
+//! it extends the dictionary with unseen values (remapping the planes when
+//! an insertion lands below the current maximum — appends keep ids stable),
+//! encodes the pending rows to ids, sorts them (`u32` values directly at
+//! arity 1, packed `u64` pairs at arity 2, an index sort above), and merges
+//! with the existing run column by column. Every read (`contains`, `iter`,
 //! equality, hashing) is defined over the *sealed* content; `contains`
 //! additionally scans the pending region so unsealed stores still answer
 //! membership correctly.
 //!
-//! Mutating single-row operations ([`insert`](TupleStore::insert),
-//! [`remove`](TupleStore::remove)) seal first, so a tuple that only exists
-//! in the pending delta is still removable. The binary set operations
-//! ([`merge`](TupleStore::merge), [`difference`](TupleStore::difference),
+//! The galloping kernels (`contains`, [`merge`](TupleStore::merge),
+//! [`difference`](TupleStore::difference),
 //! [`intersection`](TupleStore::intersection),
-//! [`is_subset`](TupleStore::is_subset)) and the probe primitives
-//! ([`prefix_range`](TupleStore::prefix_range)) require *both* operands to
-//! be sealed — enforced with `debug_assert` — because they gallop over the
-//! sorted runs only.
+//! [`prefix_range`](TupleStore::prefix_range)) run on the **lead plane
+//! first**: an exponential gallop plus binary search narrows to a window of
+//! at most 64 ids, which a branch-free `(id < target) as usize` counting
+//! loop — a shape LLVM autovectorizes — resolves; equal-lead groups then
+//! narrow column by column the same way. Cross-store operations never
+//! decode: a one-pass **translation table** maps each of the left store's
+//! ids to its rank in the right store's dictionary (plus an exact-hit
+//! flag), so mixed-dictionary comparisons stay integer compares.
 //!
-//! Rows are addressed by index: row `i` of an arity-`k` store is
-//! `data[i*k .. (i+1)*k]`, handed out as a zero-copy `&[Elem]`. Arity-0
-//! relations (nullary predicates) are supported: the arena stays empty and
-//! only the explicit row counters distinguish `{}` from `{()}`.
+//! Rows are addressed by index and handed out as [`RowRef`] — a `Copy`
+//! `(store, row)` handle that decodes on access (see [`crate::row`]).
+//! Arity-0 relations (nullary predicates) are supported: the planes stay
+//! empty and only the explicit row counters distinguish `{}` from `{()}`.
+//!
+//! After [`remove`](TupleStore::remove), the dictionary may retain entries
+//! no row references (there is no garbage collection); equality and
+//! hashing therefore compare *decoded* content, with a planes-only fast
+//! path when two stores share a dictionary.
 
+use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
 use crate::elem::Elem;
+use crate::row::{Row, RowRef};
 
-/// A set of same-arity tuples in columnar (struct-of-rows) layout.
+/// Window size below which galloping searches switch from binary halving
+/// to a branch-free counting scan over the id plane (autovectorizable).
+const CHUNK: usize = 64;
+
+/// First index in sorted `w` with `w[i] >= t`: binary halving to a
+/// `CHUNK`-wide window, then a branch-free count of smaller ids.
+#[inline]
+fn lb<T: Copy + Ord>(w: &[T], t: T) -> usize {
+    let (mut lo, mut hi) = (0usize, w.len());
+    while hi - lo > CHUNK {
+        let mid = lo + (hi - lo) / 2;
+        if w[mid] < t {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo + w[lo..hi].iter().map(|&v| (v < t) as usize).sum::<usize>()
+}
+
+/// First index in sorted `w` with `w[i] > t`.
+#[inline]
+fn ub<T: Copy + Ord>(w: &[T], t: T) -> usize {
+    let (mut lo, mut hi) = (0usize, w.len());
+    while hi - lo > CHUNK {
+        let mid = lo + (hi - lo) / 2;
+        if w[mid] <= t {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo + w[lo..hi].iter().map(|&v| (v <= t) as usize).sum::<usize>()
+}
+
+/// Like [`lb`], but with an exponential gallop from the front so repeated
+/// calls with an advancing cursor (merges, subset scans) stay near-linear.
+#[inline]
+fn gallop_lb<T: Copy + Ord>(w: &[T], t: T) -> usize {
+    if w.is_empty() || w[0] >= t {
+        return 0;
+    }
+    let mut lo = 0usize; // invariant: w[lo] < t
+    let mut step = 1usize;
+    while lo + step < w.len() && w[lo + step] < t {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step).min(w.len());
+    lo + 1 + lb(&w[lo + 1..hi], t)
+}
+
+/// Apply an optional monotone id remap (`None` is the identity).
+#[inline]
+fn remapped(map: Option<&[u32]>, v: u32) -> u32 {
+    match map {
+        Some(m) => m[v as usize],
+        None => v,
+    }
+}
+
+/// [`lb`] over ids viewed through an optional monotone remap.
+#[inline]
+fn lb_m(w: &[u32], t: u32, map: Option<&[u32]>) -> usize {
+    let Some(m) = map else { return lb(w, t) };
+    let (mut lo, mut hi) = (0usize, w.len());
+    while hi - lo > CHUNK {
+        let mid = lo + (hi - lo) / 2;
+        if m[w[mid] as usize] < t {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo + w[lo..hi]
+        .iter()
+        .map(|&v| (m[v as usize] < t) as usize)
+        .sum::<usize>()
+}
+
+/// [`ub`] over ids viewed through an optional monotone remap.
+#[inline]
+fn ub_m(w: &[u32], t: u32, map: Option<&[u32]>) -> usize {
+    let Some(m) = map else { return ub(w, t) };
+    let (mut lo, mut hi) = (0usize, w.len());
+    while hi - lo > CHUNK {
+        let mid = lo + (hi - lo) / 2;
+        if m[w[mid] as usize] <= t {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo + w[lo..hi]
+        .iter()
+        .map(|&v| (m[v as usize] <= t) as usize)
+        .sum::<usize>()
+}
+
+/// [`gallop_lb`] over ids viewed through an optional monotone remap.
+#[inline]
+fn gallop_lb_m(w: &[u32], t: u32, map: Option<&[u32]>) -> usize {
+    let Some(m) = map else { return gallop_lb(w, t) };
+    if w.is_empty() || m[w[0] as usize] >= t {
+        return 0;
+    }
+    let mut lo = 0usize;
+    let mut step = 1usize;
+    while lo + step < w.len() && m[w[lo + step] as usize] < t {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step).min(w.len());
+    lo + 1 + lb_m(&w[lo + 1..hi], t, map)
+}
+
+/// Set union of two sorted, distinct slices, galloping so sorted runs copy
+/// with `extend_from_slice`.
+fn union_sorted<T: Copy + Ord>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let hi = i + gallop_lb(&a[i..], b[j]);
+        out.extend_from_slice(&a[i..hi]);
+        i = hi;
+        if i >= a.len() {
+            break;
+        }
+        let oj = j + gallop_lb(&b[j..], a[i]);
+        out.extend_from_slice(&b[j..oj]);
+        j = oj;
+        if j < b.len() && b[j] == a[i] {
+            out.push(a[i]);
+            i += 1;
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Merge two sorted, distinct dictionaries. Returns the union plus the
+/// id remap for each input (`None` when that remap is the identity).
+fn union_dicts(a: &[Elem], b: &[Elem]) -> (Vec<Elem>, Option<Vec<u32>>, Option<Vec<u32>>) {
+    if a == b {
+        return (a.to_vec(), None, None);
+    }
+    let mut u: Vec<Elem> = Vec::with_capacity(a.len() + b.len());
+    let mut ra: Vec<u32> = Vec::with_capacity(a.len());
+    let mut rb: Vec<u32> = Vec::with_capacity(b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let v = if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
+            ra.push(u.len() as u32);
+            if j < b.len() && b[j] == a[i] {
+                rb.push(u.len() as u32);
+                j += 1;
+            }
+            let v = a[i];
+            i += 1;
+            v
+        } else {
+            rb.push(u.len() as u32);
+            let v = b[j];
+            j += 1;
+            v
+        };
+        u.push(v);
+    }
+    let ia = ra.iter().enumerate().all(|(x, &y)| x as u32 == y);
+    let ib = rb.iter().enumerate().all(|(x, &y)| x as u32 == y);
+    (
+        u,
+        if ia { None } else { Some(ra) },
+        if ib { None } else { Some(rb) },
+    )
+}
+
+/// For each id of the sorted dictionary `from`, its rank in `to` and
+/// whether the value is present there (`None` when the dictionaries are
+/// identical, i.e. the translation is the exact identity). Because both
+/// dictionaries are sorted, ranks are monotone, so translated ids compare
+/// exactly like the underlying element values.
+fn translation(from: &[Elem], to: &[Elem]) -> Option<Vec<(u32, bool)>> {
+    if from == to {
+        return None;
+    }
+    let mut tr = Vec::with_capacity(from.len());
+    let mut j = 0usize;
+    for &v in from {
+        j += gallop_lb(&to[j..], v);
+        tr.push((j as u32, j < to.len() && to[j] == v));
+    }
+    Some(tr)
+}
+
+/// Sort row indices `idx` by the rows they address in the arity-`k` id
+/// arena `enc`, then drop indices of duplicate rows. Generic over the
+/// index type so `seal` can use `u32` scratch in the common case and
+/// `usize` when the pending count exceeds `u32::MAX`.
+fn sort_dedup_rows<I: Copy>(
+    mut idx: Vec<I>,
+    to_usize: impl Fn(I) -> usize,
+    enc: &[u32],
+    k: usize,
+) -> Vec<I> {
+    idx.sort_unstable_by(|&i, &j| {
+        let (i, j) = (to_usize(i), to_usize(j));
+        enc[i * k..(i + 1) * k].cmp(&enc[j * k..(j + 1) * k])
+    });
+    idx.dedup_by(|a, b| {
+        let (a, b) = (to_usize(*a), to_usize(*b));
+        enc[a * k..(a + 1) * k] == enc[b * k..(b + 1) * k]
+    });
+    idx
+}
+
+/// Element → id encoder built once per `seal`: a direct-indexed table when
+/// the value range is dense relative to the dictionary, binary search on
+/// the sorted dictionary otherwise (sparse high values).
+enum Enc {
+    Table(Vec<u32>),
+    Search,
+}
+
+/// A set of same-arity tuples in dictionary-encoded column-plane layout.
 ///
 /// See the module docs for the layout. Invariants:
 ///
-/// * `data.len() == rows * arity` and `pending.len() == pending_rows * arity`;
-/// * rows `0..rows` of `data` are lexicographically sorted and distinct;
-/// * `pending` is unordered and may contain duplicates (of itself or of the
-///   sorted run) until [`seal`](TupleStore::seal) is called.
+/// * `dict` is sorted and distinct, so the dense id of a value is its rank
+///   and raw id comparisons within one store are element-order compares;
+/// * every plane has length `rows` and every stored id is `< dict.len()`
+///   (the dictionary may hold extra, unreferenced values after `remove`);
+/// * rows `0..rows` are lexicographically sorted and distinct;
+/// * `pending` holds `pending_rows * arity` raw elements in insertion
+///   order, possibly duplicated, until [`seal`](TupleStore::seal).
+///
+/// Dictionary ids cannot silently wrap: an id is a rank among distinct
+/// `u32` element values, so it always fits the `u32` plane cell. Row
+/// *counts* are `usize` throughout; only external consumers that compress
+/// row ids to `u32` (the evaluator's hash indexes) need a capacity check.
 ///
 /// Equality and hashing require a sealed store (checked with
-/// `debug_assert`); [`Relation`](crate::Relation) maintains "sealed after
-/// every `&mut` method returns" so its comparisons are always canonical.
+/// `debug_assert`) and compare decoded content;
+/// [`Relation`](crate::Relation) maintains "sealed after every `&mut`
+/// method returns" so its comparisons are always canonical.
 #[derive(Clone)]
 pub struct TupleStore {
     arity: usize,
     /// Number of rows in the sorted run.
     rows: usize,
-    /// Sorted-run arena: `rows * arity` elements.
-    data: Vec<Elem>,
+    /// Sorted distinct element values; dense id = rank.
+    dict: Vec<Elem>,
+    /// One id plane per column, each of length `rows`.
+    planes: Vec<Vec<u32>>,
     /// Number of rows in the pending delta.
     pending_rows: usize,
-    /// Pending arena: `pending_rows * arity` elements, insertion order.
+    /// Pending arena: `pending_rows * arity` raw elements, insertion order.
     pending: Vec<Elem>,
 }
 
@@ -67,24 +322,27 @@ impl TupleStore {
         TupleStore {
             arity,
             rows: 0,
-            data: Vec::new(),
+            dict: Vec::new(),
+            planes: vec![Vec::new(); arity],
             pending_rows: 0,
             pending: Vec::new(),
         }
     }
 
-    /// An empty store with arena capacity reserved for `rows` sealed rows.
+    /// An empty store with pending-delta capacity reserved for `rows`
+    /// buffered rows (the planes size themselves exactly at seal).
     pub fn with_capacity(arity: usize, rows: usize) -> Self {
         TupleStore {
             arity,
             rows: 0,
-            data: Vec::with_capacity(rows * arity),
+            dict: Vec::new(),
+            planes: vec![Vec::new(); arity],
             pending_rows: 0,
-            pending: Vec::new(),
+            pending: Vec::with_capacity(rows * arity),
         }
     }
 
-    /// The arity (row stride) of the store.
+    /// The arity (number of column planes) of the store.
     #[inline]
     pub fn arity(&self) -> usize {
         self.arity
@@ -115,18 +373,39 @@ impl TupleStore {
         self.pending_rows == 0
     }
 
-    /// The `i`-th row of the sorted run, as a zero-copy slice.
+    /// Number of distinct values the dictionary currently holds (including
+    /// entries orphaned by `remove`). Exposed for memory observability.
     #[inline]
-    pub fn row(&self, i: usize) -> &[Elem] {
-        debug_assert!(i < self.rows);
-        &self.data[i * self.arity..(i + 1) * self.arity]
+    pub fn dict_len(&self) -> usize {
+        self.dict.len()
     }
 
-    /// Iterate the sorted run in lexicographic order (zero-copy).
+    /// The `i`-th row of the sorted run, as a zero-copy decoding handle.
+    #[inline]
+    pub fn row(&self, i: usize) -> RowRef<'_> {
+        debug_assert!(i < self.rows);
+        RowRef {
+            store: self,
+            row: i,
+        }
+    }
+
+    /// Decode the cell at column `c`, row `i` of the sorted run.
+    #[inline]
+    pub(crate) fn cell(&self, c: usize, i: usize) -> Elem {
+        self.dict[self.planes[c][i] as usize]
+    }
+
+    /// Borrow the dictionary slot backing column `c`, row `i`.
+    #[inline]
+    pub(crate) fn cell_ref(&self, c: usize, i: usize) -> &Elem {
+        &self.dict[self.planes[c][i] as usize]
+    }
+
+    /// Iterate the sorted run in lexicographic order (zero-copy handles).
     pub fn iter(&self) -> Rows<'_> {
         Rows {
-            data: &self.data,
-            arity: self.arity,
+            store: self,
             front: 0,
             back: self.rows,
         }
@@ -134,15 +413,15 @@ impl TupleStore {
 
     /// Append a row to the pending delta (no ordering or dedup work).
     #[inline]
-    pub fn push(&mut self, t: &[Elem]) {
-        debug_assert_eq!(t.len(), self.arity);
-        self.pending.extend_from_slice(t);
+    pub fn push<R: Row>(&mut self, t: R) {
+        debug_assert_eq!(t.width(), self.arity);
+        t.append_to(&mut self.pending);
         self.pending_rows += 1;
     }
 
     /// Append one pending row by writing its elements straight into the
-    /// arena — the zero-copy emit path for join outputs. `fill` must append
-    /// exactly `arity` elements.
+    /// pending arena — the zero-copy emit path for join outputs. `fill`
+    /// must append exactly `arity` elements.
     #[inline]
     pub fn push_with(&mut self, fill: impl FnOnce(&mut Vec<Elem>)) {
         #[cfg(debug_assertions)]
@@ -153,14 +432,15 @@ impl TupleStore {
         self.pending_rows += 1;
     }
 
-    /// Fold the pending delta into the sorted run: sort the pending rows,
-    /// drop duplicates, and merge with the existing run in one galloping
-    /// pass. Idempotent; a no-op when already sealed.
+    /// Fold the pending delta into the sorted run: extend the dictionary,
+    /// encode, sort and dedup the pending rows, and merge with the
+    /// existing run column by column. Idempotent; a no-op when sealed.
     ///
-    /// Pending row indices are sorted through a `Vec<u32>` to halve the
-    /// scratch footprint of the common case; a pending count that does not
-    /// fit in `u32` (≥ 2³² buffered rows) automatically takes an equivalent
-    /// `usize`-indexed path instead of silently truncating.
+    /// Arity ≤ 2 sorts id values directly (packed `u64` pairs at arity 2);
+    /// wider rows sort through a `Vec<u32>` of row indices to halve the
+    /// scratch footprint of the common case — a pending count that does
+    /// not fit in `u32` (≥ 2³² buffered rows) automatically takes an
+    /// equivalent `usize`-indexed path instead of silently truncating.
     pub fn seal(&mut self) {
         self.seal_impl(self.pending_rows > u32::MAX as usize);
     }
@@ -179,71 +459,291 @@ impl TupleStore {
             self.pending.clear();
             return;
         }
-        // Sort row *indices* so the arena itself is never permuted.
         let pend = std::mem::take(&mut self.pending);
-        if wide {
-            let idx: Vec<usize> =
-                sort_dedup_rows((0..self.pending_rows).collect(), |i| i, &pend, k);
-            self.merge_sorted_pending(&pend, &idx, |i| i);
-        } else {
-            debug_assert!(self.pending_rows <= u32::MAX as usize);
-            let idx: Vec<u32> = sort_dedup_rows(
-                (0..self.pending_rows as u32).collect(),
-                |i| i as usize,
-                &pend,
-                k,
-            );
-            self.merge_sorted_pending(&pend, &idx, |i| i as usize);
-        }
+        let prows = self.pending_rows;
         self.pending_rows = 0;
-        self.pending.clear();
+        debug_assert_eq!(pend.len(), prows * k);
+        self.extend_dict(&pend);
+        let enc = self.encoder();
+        match k {
+            1 => self.seal_unary(&pend, &enc),
+            2 => self.seal_binary(&pend, prows, &enc),
+            _ => self.seal_wide_arity(&pend, prows, &enc, wide),
+        }
     }
 
-    /// Merge sorted, distinct pending row indices (`idx` into `pend`) with
-    /// the existing sorted run, deduplicating across the boundary.
-    fn merge_sorted_pending<I: Copy>(
-        &mut self,
-        pend: &[Elem],
-        idx: &[I],
-        to_usize: impl Fn(I) -> usize,
-    ) {
+    /// Grow the dictionary with the distinct pending values it has not
+    /// seen, remapping the planes when insertions land below the current
+    /// maximum (pure appends keep existing ids stable).
+    fn extend_dict(&mut self, pend: &[Elem]) {
+        let maxv = pend.iter().map(|e| e.index()).max().unwrap_or(0);
+        let words = maxv / 64 + 1;
+        let new_vals: Vec<Elem> = if words <= pend.len() + 1024 {
+            // Dense values: mark pending elements in a bitmap, clear the
+            // ones the dictionary already knows, scan out the rest sorted.
+            let mut bits = vec![0u64; words];
+            for e in pend {
+                bits[e.index() / 64] |= 1 << (e.index() % 64);
+            }
+            for d in &self.dict {
+                if d.index() <= maxv {
+                    bits[d.index() / 64] &= !(1 << (d.index() % 64));
+                }
+            }
+            let mut out = Vec::new();
+            for (w, &word) in bits.iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let b = word.trailing_zeros() as usize;
+                    out.push(Elem((w * 64 + b) as u32));
+                    word &= word - 1;
+                }
+            }
+            out
+        } else {
+            // Sparse values: sort-dedup, then subtract the dictionary.
+            let mut vals: Vec<u32> = pend.iter().map(|e| e.0).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            let mut out = Vec::new();
+            let mut j = 0usize;
+            for v in vals {
+                j += gallop_lb(&self.dict[j..], Elem(v));
+                if j >= self.dict.len() || self.dict[j] != Elem(v) {
+                    out.push(Elem(v));
+                }
+            }
+            out
+        };
+        self.absorb_new_vals(new_vals);
+    }
+
+    /// Merge sorted, distinct, previously-unseen values into the
+    /// dictionary, rewriting the planes when ids shift.
+    fn absorb_new_vals(&mut self, mut new_vals: Vec<Elem>) {
+        if new_vals.is_empty() {
+            return;
+        }
+        if self.dict.is_empty() {
+            self.dict = new_vals;
+            return;
+        }
+        if new_vals[0] > *self.dict.last().unwrap() {
+            self.dict.append(&mut new_vals);
+            return;
+        }
+        let (u, rs, _) = union_dicts(&self.dict, &new_vals);
+        if let Some(rs) = rs {
+            for p in &mut self.planes {
+                for v in p.iter_mut() {
+                    *v = rs[*v as usize];
+                }
+            }
+        }
+        self.dict = u;
+    }
+
+    /// Build the element → id encoder for the current dictionary.
+    fn encoder(&self) -> Enc {
+        match self.dict.last() {
+            None => Enc::Search,
+            Some(max) => {
+                let slots = max.index() + 1;
+                if slots <= 8 * self.dict.len() + 8192 {
+                    let mut t = vec![0u32; slots];
+                    for (i, d) in self.dict.iter().enumerate() {
+                        t[d.index()] = i as u32;
+                    }
+                    Enc::Table(t)
+                } else {
+                    Enc::Search
+                }
+            }
+        }
+    }
+
+    /// Encode one element through `enc`; the value must be in the
+    /// dictionary (guaranteed after [`extend_dict`](Self::extend_dict)).
+    #[inline]
+    fn encode(&self, enc: &Enc, e: Elem) -> u32 {
+        match enc {
+            Enc::Table(t) => t[e.index()],
+            Enc::Search => {
+                self.dict
+                    .binary_search(&e)
+                    .expect("pending element missing from dictionary") as u32
+            }
+        }
+    }
+
+    fn seal_unary(&mut self, pend: &[Elem], enc: &Enc) {
+        let mut ids: Vec<u32> = pend.iter().map(|&e| self.encode(enc, e)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if self.rows == 0 {
+            self.rows = ids.len();
+            self.planes[0] = ids;
+            return;
+        }
+        if *self.planes[0].last().unwrap() < ids[0] {
+            self.planes[0].extend_from_slice(&ids);
+            self.rows = self.planes[0].len();
+            return;
+        }
+        let u = union_sorted(&self.planes[0], &ids);
+        self.rows = u.len();
+        self.planes[0] = u;
+    }
+
+    fn seal_binary(&mut self, pend: &[Elem], prows: usize, enc: &Enc) {
+        let mut packed: Vec<u64> = (0..prows)
+            .map(|r| {
+                let a = self.encode(enc, pend[2 * r]) as u64;
+                let b = self.encode(enc, pend[2 * r + 1]) as u64;
+                (a << 32) | b
+            })
+            .collect();
+        packed.sort_unstable();
+        packed.dedup();
+        let merged: Vec<u64>;
+        let rows_packed: &[u64] = if self.rows == 0 {
+            &packed
+        } else {
+            let existing: Vec<u64> = (0..self.rows)
+                .map(|i| ((self.planes[0][i] as u64) << 32) | self.planes[1][i] as u64)
+                .collect();
+            merged = union_sorted(&existing, &packed);
+            &merged
+        };
+        self.rows = rows_packed.len();
+        let mut p0 = Vec::with_capacity(rows_packed.len());
+        let mut p1 = Vec::with_capacity(rows_packed.len());
+        for &p in rows_packed {
+            p0.push((p >> 32) as u32);
+            p1.push(p as u32);
+        }
+        self.planes[0] = p0;
+        self.planes[1] = p1;
+    }
+
+    fn seal_wide_arity(&mut self, pend: &[Elem], prows: usize, enc: &Enc, wide: bool) {
         let k = self.arity;
-        let mut out: Vec<Elem> = Vec::with_capacity(self.data.len() + idx.len() * k);
+        let encd: Vec<u32> = pend.iter().map(|&e| self.encode(enc, e)).collect();
+        let idx: Vec<usize> = if wide {
+            sort_dedup_rows((0..prows).collect(), |i| i, &encd, k)
+        } else {
+            debug_assert!(prows <= u32::MAX as usize);
+            sort_dedup_rows(
+                (0..prows as u32).collect::<Vec<u32>>(),
+                |i| i as usize,
+                &encd,
+                k,
+            )
+            .into_iter()
+            .map(|i| i as usize)
+            .collect()
+        };
+        let mut out: Vec<Vec<u32>> = (0..k)
+            .map(|_| Vec::with_capacity(self.rows + idx.len()))
+            .collect();
+        let mut di = 0usize;
         let mut out_rows = 0usize;
-        let mut di = 0usize; // row cursor into the sorted run
-        for &pi in idx {
-            let pi = to_usize(pi);
-            let prow = &pend[pi * k..(pi + 1) * k];
-            let hi = self.lower_bound_from(di, prow);
-            out.extend_from_slice(&self.data[di * k..hi * k]);
+        for &pi in &idx {
+            let prow = &encd[pi * k..(pi + 1) * k];
+            let hi = self.lower_bound_rows(di, prow, None);
+            for (o, p) in out.iter_mut().zip(&self.planes) {
+                o.extend_from_slice(&p[di..hi]);
+            }
             out_rows += hi - di;
             di = hi;
-            if di < self.rows && self.row(di) == prow {
+            if di < self.rows && (0..k).all(|c| self.planes[c][di] == prow[c]) {
                 di += 1; // duplicate across the boundary: keep one copy
             }
-            out.extend_from_slice(prow);
+            for c in 0..k {
+                out[c].push(prow[c]);
+            }
             out_rows += 1;
         }
-        out.extend_from_slice(&self.data[di * k..]);
+        for (o, p) in out.iter_mut().zip(&self.planes) {
+            o.extend_from_slice(&p[di..]);
+        }
         out_rows += self.rows - di;
-        self.data = out;
+        self.planes = out;
         self.rows = out_rows;
     }
 
-    /// Membership test: binary search in the sorted run plus a linear scan
-    /// of the pending delta.
-    pub fn contains(&self, t: &[Elem]) -> bool {
-        debug_assert_eq!(t.len(), self.arity);
-        let i = self.lower_bound_from(0, t);
-        if i < self.rows && self.row(i) == t {
-            return true;
+    /// First sorted-run row `>= target` (raw ids, or ids viewed through
+    /// `map`), searching only `from..rows`. Gallops the lead plane, then
+    /// narrows the equal-lead group column by column.
+    fn lower_bound_rows(&self, from: usize, target: &[u32], map: Option<&[u32]>) -> usize {
+        let k = self.arity;
+        let (mut lo, mut hi) = (from, self.rows);
+        for (c, &t) in target.iter().enumerate().take(k) {
+            let w = &self.planes[c][lo..hi];
+            let s = if c == 0 {
+                gallop_lb_m(w, t, map)
+            } else {
+                lb_m(w, t, map)
+            };
+            if s >= w.len() || remapped(map, w[s]) != t {
+                return lo + s;
+            }
+            if c + 1 == k {
+                return lo + s;
+            }
+            hi = lo + s + ub_m(&w[s..], t, map);
+            lo += s;
         }
-        if self.pending_rows > 0 {
-            if self.arity == 0 {
+        lo
+    }
+
+    /// Seek the row equal to the per-column targets, starting at `from`.
+    /// `targets(c)` yields the target id for column `c` plus an exact-hit
+    /// flag (false when the sought value is not in this store's
+    /// dictionary). Returns the lexicographic lower bound and whether the
+    /// row is present.
+    fn locate(&self, from: usize, targets: impl Fn(usize) -> (u32, bool)) -> (usize, bool) {
+        let k = self.arity;
+        debug_assert!(k > 0);
+        let (mut lo, mut hi) = (from, self.rows);
+        for c in 0..k {
+            let (t, exact) = targets(c);
+            let w = &self.planes[c][lo..hi];
+            let s = if c == 0 { gallop_lb(w, t) } else { lb(w, t) };
+            if !exact || s >= w.len() || w[s] != t {
+                return (lo + s, false);
+            }
+            if c + 1 == k {
+                return (lo + s, true);
+            }
+            hi = lo + s + ub(&w[s..], t);
+            lo += s;
+        }
+        (lo, true)
+    }
+
+    /// Membership test: chunked-galloping search of the sorted run plus a
+    /// linear scan of the pending delta.
+    pub fn contains<R: Row>(&self, t: R) -> bool {
+        debug_assert_eq!(t.width(), self.arity);
+        if self.arity == 0 {
+            return self.rows > 0 || self.pending_rows > 0;
+        }
+        if self.rows > 0 {
+            let (_, found) = self.locate(0, |c| match self.dict.binary_search(&t.at(c)) {
+                Ok(d) => (d as u32, true),
+                Err(d) => (d as u32, false),
+            });
+            if found {
                 return true;
             }
+        }
+        if self.pending_rows > 0 {
             let k = self.arity;
-            return self.pending.chunks_exact(k).any(|row| row == t);
+            return self
+                .pending
+                .chunks_exact(k)
+                .any(|row| (0..k).all(|c| row[c] == t.at(c)));
         }
         false
     }
@@ -251,278 +751,403 @@ impl TupleStore {
     /// Insert a single row into the sorted run (sealing first if needed).
     /// Returns true when the row was not already present. Prefer batching
     /// through [`push`](TupleStore::push)/[`seal`](TupleStore::seal) — a
-    /// sorted-position insert shifts the arena tail.
-    pub fn insert(&mut self, t: &[Elem]) -> bool {
-        debug_assert_eq!(t.len(), self.arity);
+    /// sorted-position insert shifts every plane's tail.
+    pub fn insert<R: Row>(&mut self, t: R) -> bool {
+        debug_assert_eq!(t.width(), self.arity);
         self.seal();
-        let i = self.lower_bound_from(0, t);
-        if i < self.rows && self.row(i) == t {
+        let k = self.arity;
+        if k == 0 {
+            if self.rows == 0 {
+                self.rows = 1;
+                return true;
+            }
             return false;
         }
-        let k = self.arity;
-        self.data.splice(i * k..i * k, t.iter().copied());
+        let mut missing: Vec<Elem> = Vec::new();
+        for c in 0..k {
+            if self.dict.binary_search(&t.at(c)).is_err() {
+                missing.push(t.at(c));
+            }
+        }
+        if !missing.is_empty() {
+            missing.sort_unstable();
+            missing.dedup();
+            self.absorb_new_vals(missing);
+        }
+        let ids: Vec<u32> = (0..k)
+            .map(|c| {
+                self.dict
+                    .binary_search(&t.at(c))
+                    .expect("value just added to dictionary") as u32
+            })
+            .collect();
+        let (pos, found) = self.locate(0, |c| (ids[c], true));
+        if found {
+            return false;
+        }
+        for (p, &id) in self.planes.iter_mut().zip(&ids) {
+            p.insert(pos, id);
+        }
         self.rows += 1;
         true
     }
 
     /// Remove a row (sealing first if needed). Returns true if present.
-    pub fn remove(&mut self, t: &[Elem]) -> bool {
-        debug_assert_eq!(t.len(), self.arity);
+    /// The removed row's values may remain in the dictionary unreferenced.
+    pub fn remove<R: Row>(&mut self, t: R) -> bool {
+        debug_assert_eq!(t.width(), self.arity);
         self.seal();
-        let i = self.lower_bound_from(0, t);
-        if i < self.rows && self.row(i) == t {
-            let k = self.arity;
-            self.data.drain(i * k..(i + 1) * k);
-            self.rows -= 1;
-            true
-        } else {
-            false
+        let k = self.arity;
+        if k == 0 {
+            if self.rows > 0 {
+                self.rows = 0;
+                return true;
+            }
+            return false;
         }
+        let mut ids = vec![0u32; k];
+        for (c, id) in ids.iter_mut().enumerate() {
+            match self.dict.binary_search(&t.at(c)) {
+                Ok(d) => *id = d as u32,
+                Err(_) => return false,
+            }
+        }
+        let (pos, found) = self.locate(0, |c| (ids[c], true));
+        if !found {
+            return false;
+        }
+        for c in 0..k {
+            self.planes[c].remove(pos);
+        }
+        self.rows -= 1;
+        true
     }
 
-    /// Set-union `other` (sealed) into `self` (sealed): one galloping merge
-    /// that copies whole runs with `extend_from_slice`.
+    /// Set-union `other` (sealed) into `self` (sealed): dictionary union
+    /// plus one galloping merge that copies whole runs per column. Remaps
+    /// are identities (pure slice copies) whenever one dictionary extends
+    /// the other at the tail — the common shape for fixpoint rounds.
     pub fn merge(&mut self, other: &TupleStore) {
         debug_assert_eq!(self.arity, other.arity);
         debug_assert!(self.is_sealed() && other.is_sealed());
+        let k = self.arity;
         if other.rows == 0 {
             return;
         }
+        if k == 0 {
+            self.rows = self.rows.max(other.rows);
+            return;
+        }
         if self.rows == 0 {
-            self.data.clear();
-            self.data.extend_from_slice(&other.data);
+            self.dict = other.dict.clone();
+            self.planes = other.planes.clone();
             self.rows = other.rows;
             return;
         }
-        let k = self.arity;
-        if k > 0 && self.row(self.rows - 1) < other.row(0) {
-            // Disjoint append — the common shape for monotone loads.
-            self.data.extend_from_slice(&other.data);
+        let (udict, rs, ro) = union_dicts(&self.dict, &other.dict);
+        if let Some(rs) = &rs {
+            for p in &mut self.planes {
+                for v in p.iter_mut() {
+                    *v = rs[*v as usize];
+                }
+            }
+        }
+        self.dict = udict;
+        let ro = ro.as_deref();
+        // Disjoint append — the common shape for monotone loads.
+        let disjoint = (0..k)
+            .find_map(|c| {
+                let a = self.planes[c][self.rows - 1];
+                let b = remapped(ro, other.planes[c][0]);
+                match a.cmp(&b) {
+                    Ordering::Less => Some(true),
+                    Ordering::Greater => Some(false),
+                    Ordering::Equal => None,
+                }
+            })
+            .unwrap_or(false);
+        if disjoint {
+            for c in 0..k {
+                match ro {
+                    Some(m) => {
+                        self.planes[c].extend(other.planes[c].iter().map(|&v| m[v as usize]))
+                    }
+                    None => self.planes[c].extend_from_slice(&other.planes[c]),
+                }
+            }
             self.rows += other.rows;
             return;
         }
-        let mut out: Vec<Elem> = Vec::with_capacity(self.data.len() + other.data.len());
-        let mut out_rows = 0usize;
+        let mut out: Vec<Vec<u32>> = (0..k)
+            .map(|_| Vec::with_capacity(self.rows + other.rows))
+            .collect();
+        let mut buf = vec![0u32; k];
         let (mut i, mut j) = (0usize, 0usize);
+        let mut out_rows = 0usize;
         while i < self.rows && j < other.rows {
-            let hi = self.lower_bound_from(i, other.row(j));
-            out.extend_from_slice(&self.data[i * k..hi * k]);
+            for (c, b) in buf.iter_mut().enumerate() {
+                *b = remapped(ro, other.planes[c][j]);
+            }
+            let hi = self.lower_bound_rows(i, &buf, None);
+            for (o, p) in out.iter_mut().zip(&self.planes) {
+                o.extend_from_slice(&p[i..hi]);
+            }
             out_rows += hi - i;
             i = hi;
             if i >= self.rows {
                 break;
             }
-            let oj = other.lower_bound_from(j, self.row(i));
-            out.extend_from_slice(&other.data[j * k..oj * k]);
+            for (c, b) in buf.iter_mut().enumerate() {
+                *b = self.planes[c][i];
+            }
+            let oj = other.lower_bound_rows(j, &buf, ro);
+            for (o, p) in out.iter_mut().zip(&other.planes) {
+                match ro {
+                    Some(m) => o.extend(p[j..oj].iter().map(|&v| m[v as usize])),
+                    None => o.extend_from_slice(&p[j..oj]),
+                }
+            }
             out_rows += oj - j;
             j = oj;
-            if j < other.rows && other.row(j) == self.row(i) {
-                out.extend_from_slice(self.row(i));
+            if j < other.rows
+                && (0..k).all(|c| remapped(ro, other.planes[c][j]) == self.planes[c][i])
+            {
+                for (o, p) in out.iter_mut().zip(&self.planes) {
+                    o.push(p[i]);
+                }
                 out_rows += 1;
                 i += 1;
                 j += 1;
             }
         }
-        out.extend_from_slice(&self.data[i * k..]);
+        for (o, p) in out.iter_mut().zip(&self.planes) {
+            o.extend_from_slice(&p[i..]);
+        }
         out_rows += self.rows - i;
-        out.extend_from_slice(&other.data[j * k..]);
+        for (o, p) in out.iter_mut().zip(&other.planes) {
+            match ro {
+                Some(m) => o.extend(p[j..].iter().map(|&v| m[v as usize])),
+                None => o.extend_from_slice(&p[j..]),
+            }
+        }
         out_rows += other.rows - j;
-        self.data = out;
+        self.planes = out;
         self.rows = out_rows;
     }
 
     /// Rows of `self` (sealed) absent from `other` (sealed), as a new
-    /// sealed store. Gallops through `other` so a small `self` against a
-    /// large `other` costs `O(|self| · log |other|)`.
+    /// sealed store sharing `self`'s dictionary. Gallops through `other`
+    /// via an id translation table so a small `self` against a large
+    /// `other` costs `O(|self| · log |other|)` with no decoding.
     pub fn difference(&self, other: &TupleStore) -> TupleStore {
         debug_assert_eq!(self.arity, other.arity);
         debug_assert!(self.is_sealed() && other.is_sealed());
         let k = self.arity;
         let mut out = TupleStore::new(k);
+        if k == 0 {
+            out.rows = usize::from(self.rows > 0 && other.rows == 0);
+            return out;
+        }
+        if self.rows == 0 {
+            return out;
+        }
+        if other.rows == 0 {
+            return self.clone();
+        }
+        let tr = translation(&self.dict, &other.dict);
+        out.dict = self.dict.clone();
         let mut j = 0usize;
         for i in 0..self.rows {
-            let r = self.row(i);
-            j = other.lower_bound_from(j, r);
-            if j < other.rows && other.row(j) == r {
+            let (nj, found) = other.locate(j, |c| {
+                let id = self.planes[c][i];
+                match &tr {
+                    Some(t) => t[id as usize],
+                    None => (id, true),
+                }
+            });
+            j = nj;
+            if found {
                 j += 1;
                 continue;
             }
-            out.data.extend_from_slice(r);
+            for c in 0..k {
+                out.planes[c].push(self.planes[c][i]);
+            }
             out.rows += 1;
         }
         out
     }
 
     /// Rows present in both `self` and `other` (both sealed), as a new
-    /// sealed store. Gallops the larger operand from the smaller one so the
-    /// cost is `O(min · log max)`.
+    /// sealed store sharing `self`'s dictionary. Gallops the larger
+    /// operand from the smaller one so the cost is `O(min · log max)`.
     pub fn intersection(&self, other: &TupleStore) -> TupleStore {
         debug_assert_eq!(self.arity, other.arity);
         debug_assert!(self.is_sealed() && other.is_sealed());
-        let (small, large) = if self.rows <= other.rows {
-            (self, other)
+        let k = self.arity;
+        let mut out = TupleStore::new(k);
+        if k == 0 {
+            out.rows = self.rows.min(other.rows);
+            return out;
+        }
+        if self.rows == 0 || other.rows == 0 {
+            return out;
+        }
+        out.dict = self.dict.clone();
+        if self.rows <= other.rows {
+            let tr = translation(&self.dict, &other.dict);
+            let mut j = 0usize;
+            for i in 0..self.rows {
+                let (nj, found) = other.locate(j, |c| {
+                    let id = self.planes[c][i];
+                    match &tr {
+                        Some(t) => t[id as usize],
+                        None => (id, true),
+                    }
+                });
+                j = nj;
+                if found {
+                    for c in 0..k {
+                        out.planes[c].push(self.planes[c][i]);
+                    }
+                    out.rows += 1;
+                    j += 1;
+                }
+            }
         } else {
-            (other, self)
-        };
-        let mut out = TupleStore::new(self.arity);
-        let mut j = 0usize;
-        for i in 0..small.rows {
-            let r = small.row(i);
-            j = large.lower_bound_from(j, r);
-            if j < large.rows && large.row(j) == r {
-                out.data.extend_from_slice(r);
-                out.rows += 1;
-                j += 1;
+            let tr = translation(&other.dict, &self.dict);
+            let mut i = 0usize;
+            for j in 0..other.rows {
+                let (ni, found) = self.locate(i, |c| {
+                    let id = other.planes[c][j];
+                    match &tr {
+                        Some(t) => t[id as usize],
+                        None => (id, true),
+                    }
+                });
+                i = ni;
+                if found {
+                    for c in 0..k {
+                        out.planes[c].push(self.planes[c][i]);
+                    }
+                    out.rows += 1;
+                    i += 1;
+                }
             }
         }
         out
     }
 
     /// The contiguous range of sorted-run row indices whose first
-    /// `prefix.len()` elements equal `prefix` (sealed stores only). Two
-    /// binary searches; an empty prefix selects every row. This is the probe
-    /// primitive behind permuted secondary indexes: sort a copy of the store
-    /// with the key columns first, then `prefix_range(key)` is the matching
-    /// row set.
+    /// `prefix.len()` elements equal `prefix` (sealed stores only). One
+    /// chunked binary search per prefix column, narrowing the equal group;
+    /// an empty prefix selects every row. This is the probe primitive
+    /// behind the evaluator's natural and permuted secondary indexes: an
+    /// EDB relation whose join key is a column prefix needs *no* index
+    /// build at all — `prefix_range(key)` is the matching row set.
     pub fn prefix_range(&self, prefix: &[Elem]) -> std::ops::Range<usize> {
         debug_assert!(self.is_sealed());
         debug_assert!(prefix.len() <= self.arity);
-        let p = prefix.len();
-        if p == 0 {
-            return 0..self.rows;
-        }
-        let k = self.arity;
-        let key = |i: usize| &self.data[i * k..i * k + p];
-        // First row whose prefix is >= `prefix`.
         let (mut lo, mut hi) = (0usize, self.rows);
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if key(mid) < prefix {
-                lo = mid + 1;
-            } else {
-                hi = mid;
+        for (c, v) in prefix.iter().enumerate() {
+            let w = &self.planes[c][lo..hi];
+            match self.dict.binary_search(v) {
+                Ok(d) => {
+                    let id = d as u32;
+                    let s = lb(w, id);
+                    if s >= w.len() || w[s] != id {
+                        return lo + s..lo + s;
+                    }
+                    hi = lo + s + ub(&w[s..], id);
+                    lo += s;
+                }
+                Err(d) => {
+                    let s = lb(w, d as u32);
+                    return lo + s..lo + s;
+                }
             }
         }
-        let start = lo;
-        // First row whose prefix is > `prefix`.
-        let mut hi = self.rows;
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if key(mid) <= prefix {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        start..lo
+        lo..hi
     }
 
     /// True when every sealed row of `self` is a row of `other` (both
-    /// sealed). Galloping merge scan.
+    /// sealed). Galloping merge scan over translated ids.
     pub fn is_subset(&self, other: &TupleStore) -> bool {
         debug_assert_eq!(self.arity, other.arity);
         debug_assert!(self.is_sealed() && other.is_sealed());
+        if self.arity == 0 {
+            return self.rows <= other.rows;
+        }
         if self.rows > other.rows {
             return false;
         }
+        if self.rows == 0 {
+            return true;
+        }
+        let tr = translation(&self.dict, &other.dict);
         let mut j = 0usize;
         for i in 0..self.rows {
-            let r = self.row(i);
-            j = other.lower_bound_from(j, r);
-            if j >= other.rows || other.row(j) != r {
+            let (nj, found) = other.locate(j, |c| {
+                let id = self.planes[c][i];
+                match &tr {
+                    Some(t) => t[id as usize],
+                    None => (id, true),
+                }
+            });
+            if !found {
                 return false;
             }
-            j += 1;
+            j = nj + 1;
         }
         true
     }
 
-    /// Drop all rows (sealed and pending), keeping the arena allocations.
+    /// Drop all rows (sealed and pending) and the dictionary, keeping the
+    /// allocations.
     pub fn clear(&mut self) {
         self.rows = 0;
-        self.data.clear();
+        for p in &mut self.planes {
+            p.clear();
+        }
+        self.dict.clear();
         self.pending_rows = 0;
         self.pending.clear();
     }
 
-    /// Bytes of heap the arenas hold (capacity, not just length) — the
-    /// store's contribution to peak memory. `#![forbid(unsafe_code)]` rules
-    /// out a counting allocator, so footprint reporting is analytic.
+    /// Bytes of heap held (capacity, not just length) across the id
+    /// planes, the dictionary, and the pending arena — the store's
+    /// contribution to peak memory. `#![forbid(unsafe_code)]` rules out a
+    /// counting allocator, so footprint reporting is analytic.
     pub fn heap_bytes(&self) -> usize {
-        (self.data.capacity() + self.pending.capacity()) * std::mem::size_of::<Elem>()
+        let planes: usize = self.planes.iter().map(Vec::capacity).sum();
+        planes * std::mem::size_of::<u32>()
+            + self.dict.capacity() * std::mem::size_of::<Elem>()
+            + self.pending.capacity() * std::mem::size_of::<Elem>()
     }
-
-    /// First sorted-run row index `>= t`, searching only `from..rows`.
-    /// Exponential gallop then binary search, so repeated calls with an
-    /// advancing `from` cursor (merges, subset scans) stay near-linear.
-    fn lower_bound_from(&self, from: usize, t: &[Elem]) -> usize {
-        let k = self.arity;
-        let row = |i: usize| &self.data[i * k..(i + 1) * k];
-        if from >= self.rows || row(from) >= t {
-            return from;
-        }
-        // Invariant: row(lo) < t.
-        let mut lo = from;
-        let mut step = 1usize;
-        while lo + step < self.rows && row(lo + step) < t {
-            lo += step;
-            step <<= 1;
-        }
-        let mut hi = (lo + step).min(self.rows);
-        // row(hi) >= t or hi == rows; binary search in (lo, hi].
-        while hi - lo > 1 {
-            let mid = lo + (hi - lo) / 2;
-            if row(mid) < t {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        hi
-    }
-}
-
-/// Sort row indices `idx` by the rows they address in the arity-`k` arena
-/// `pend`, then drop indices of duplicate rows. Generic over the index type
-/// so `seal` can use `u32` scratch in the common case and `usize` when the
-/// pending count exceeds `u32::MAX`.
-fn sort_dedup_rows<I: Copy>(
-    mut idx: Vec<I>,
-    to_usize: impl Fn(I) -> usize,
-    pend: &[Elem],
-    k: usize,
-) -> Vec<I> {
-    idx.sort_unstable_by(|&i, &j| {
-        let (i, j) = (to_usize(i), to_usize(j));
-        pend[i * k..(i + 1) * k].cmp(&pend[j * k..(j + 1) * k])
-    });
-    idx.dedup_by(|a, b| {
-        let (a, b) = (to_usize(*a), to_usize(*b));
-        pend[a * k..(a + 1) * k] == pend[b * k..(b + 1) * k]
-    });
-    idx
 }
 
 /// Zero-copy iterator over the sorted rows of a [`TupleStore`].
 #[derive(Clone)]
 pub struct Rows<'a> {
-    data: &'a [Elem],
-    arity: usize,
+    store: &'a TupleStore,
     front: usize,
     back: usize,
 }
 
 impl<'a> Iterator for Rows<'a> {
-    type Item = &'a [Elem];
+    type Item = RowRef<'a>;
 
     #[inline]
-    fn next(&mut self) -> Option<&'a [Elem]> {
+    fn next(&mut self) -> Option<RowRef<'a>> {
         if self.front >= self.back {
             return None;
         }
         let i = self.front;
         self.front += 1;
-        Some(&self.data[i * self.arity..(i + 1) * self.arity])
+        Some(RowRef {
+            store: self.store,
+            row: i,
+        })
     }
 
     #[inline]
@@ -539,7 +1164,10 @@ impl DoubleEndedIterator for Rows<'_> {
             return None;
         }
         self.back -= 1;
-        Some(&self.data[self.back * self.arity..(self.back + 1) * self.arity])
+        Some(RowRef {
+            store: self.store,
+            row: self.back,
+        })
     }
 }
 
@@ -548,7 +1176,19 @@ impl ExactSizeIterator for Rows<'_> {}
 impl PartialEq for TupleStore {
     fn eq(&self, other: &Self) -> bool {
         debug_assert!(self.is_sealed() && other.is_sealed());
-        self.arity == other.arity && self.rows == other.rows && self.data == other.data
+        if self.arity != other.arity || self.rows != other.rows {
+            return false;
+        }
+        if self.dict == other.dict {
+            return self.planes == other.planes;
+        }
+        // Dictionaries may differ (stale entries after `remove`): compare
+        // decoded content column by column.
+        (0..self.arity).all(|c| {
+            (0..self.rows).all(|i| {
+                self.dict[self.planes[c][i] as usize] == other.dict[other.planes[c][i] as usize]
+            })
+        })
     }
 }
 
@@ -559,7 +1199,13 @@ impl Hash for TupleStore {
         debug_assert!(self.is_sealed());
         self.arity.hash(state);
         self.rows.hash(state);
-        self.data.hash(state);
+        // Decode so two stores with equal content but different
+        // dictionaries (stale entries) hash alike, consistent with `Eq`.
+        for i in 0..self.rows {
+            for c in 0..self.arity {
+                self.dict[self.planes[c][i] as usize].hash(state);
+            }
+        }
     }
 }
 
@@ -630,7 +1276,7 @@ mod tests {
         s.push(&[]);
         s.seal();
         assert_eq!(s.len(), 1);
-        assert_eq!(s.row(0), &[] as &[Elem]);
+        assert_eq!(s.row(0).len(), 0);
         let empty = TupleStore::new(0);
         assert!(empty.is_subset(&s));
         assert!(!s.is_subset(&empty));
@@ -655,16 +1301,23 @@ mod tests {
     #[test]
     fn wide_seal_path_matches_narrow() {
         // Exercise the usize-indexed seal path (taken automatically only
-        // when pending_rows > u32::MAX) on small data and check it agrees
-        // with the default u32 path.
-        let tuples = [[2u32, 0], [0, 1], [0, 0], [0, 1], [2, 0], [1, 9]];
-        let mut narrow = TupleStore::new(2);
-        let mut wide = TupleStore::new(2);
+        // when pending_rows > u32::MAX) on small arity-3 data and check it
+        // agrees with the default u32 path.
+        let tuples = [
+            [2u32, 0, 5],
+            [0, 1, 1],
+            [0, 0, 4],
+            [0, 1, 1],
+            [2, 0, 5],
+            [1, 9, 0],
+        ];
+        let mut narrow = TupleStore::new(3);
+        let mut wide = TupleStore::new(3);
         for s in [&mut narrow, &mut wide] {
-            s.insert(&[Elem(0), Elem(1)]);
-            s.insert(&[Elem(5), Elem(5)]);
+            s.insert(&[Elem(0), Elem(1), Elem(1)]);
+            s.insert(&[Elem(5), Elem(5), Elem(5)]);
             for t in tuples {
-                s.push(&[Elem(t[0]), Elem(t[1])]);
+                s.push(&[Elem(t[0]), Elem(t[1]), Elem(t[2])]);
             }
         }
         narrow.seal_impl(false);
@@ -673,7 +1326,13 @@ mod tests {
         assert_eq!(narrow, wide);
         assert_eq!(
             rows_of(&wide),
-            vec![vec![0, 0], vec![0, 1], vec![1, 9], vec![2, 0], vec![5, 5]]
+            vec![
+                vec![0, 0, 4],
+                vec![0, 1, 1],
+                vec![1, 9, 0],
+                vec![2, 0, 5],
+                vec![5, 5, 5]
+            ]
         );
     }
 
@@ -723,5 +1382,132 @@ mod tests {
         c.merge(&a);
         assert_eq!(c.len(), 1);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn sparse_high_values_take_search_paths() {
+        // Values near u32::MAX force the sort-based dictionary collection
+        // and the binary-search encoder; mixing in small values exercises
+        // a non-append dictionary extension with plane remap.
+        let mut s = TupleStore::new(2);
+        s.push(&[Elem(u32::MAX), Elem(u32::MAX - 7)]);
+        s.push(&[Elem(3), Elem(u32::MAX)]);
+        s.seal();
+        assert_eq!(
+            rows_of(&s),
+            vec![vec![3, u32::MAX], vec![u32::MAX, u32::MAX - 7]]
+        );
+        // Second seal inserts a value *below* the existing maximum: ids
+        // must be remapped and previously sealed rows keep their content.
+        s.push(&[Elem(1), Elem(4)]);
+        s.seal();
+        assert_eq!(
+            rows_of(&s),
+            vec![vec![1, 4], vec![3, u32::MAX], vec![u32::MAX, u32::MAX - 7]]
+        );
+        assert!(s.contains(&[Elem(u32::MAX), Elem(u32::MAX - 7)]));
+        assert!(!s.contains(&[Elem(u32::MAX), Elem(4)]));
+        assert_eq!(s.prefix_range(&[Elem(u32::MAX)]), 2..3);
+    }
+
+    #[test]
+    fn cross_dictionary_set_ops_compare_by_value() {
+        // a and b have disjoint dictionaries except for one shared value.
+        let mut a = TupleStore::new(2);
+        let mut b = TupleStore::new(2);
+        for t in [[10u32, 20], [30, 40]] {
+            a.push(&[Elem(t[0]), Elem(t[1])]);
+        }
+        for t in [[10u32, 20], [15, 5]] {
+            b.push(&[Elem(t[0]), Elem(t[1])]);
+        }
+        a.seal();
+        b.seal();
+        let d = a.difference(&b);
+        assert_eq!(rows_of(&d), vec![vec![30, 40]]);
+        let i = a.intersection(&b);
+        assert_eq!(rows_of(&i), vec![vec![10, 20]]);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(rows_of(&m), vec![vec![10, 20], vec![15, 5], vec![30, 40]]);
+    }
+
+    #[test]
+    fn stale_dictionary_entries_do_not_break_equality() {
+        // `remove` leaves the removed values in the dictionary; a store
+        // that never saw them must still compare (and hash) equal.
+        let mut a = TupleStore::new(1);
+        for i in [1u32, 5, 9] {
+            a.insert(&[Elem(i)]);
+        }
+        a.remove(&[Elem(5)]);
+        let mut b = TupleStore::new(1);
+        for i in [1u32, 9] {
+            b.insert(&[Elem(i)]);
+        }
+        assert_eq!(a.dict_len(), 3);
+        assert_eq!(b.dict_len(), 2);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn chunked_galloping_crosses_window_boundaries() {
+        // More than CHUNK rows so the counting loop and the binary
+        // narrowing both run; verify probes against a naive model.
+        let n = 1000u32;
+        let mut s = TupleStore::new(2);
+        for i in (0..n).rev() {
+            s.push(&[Elem(i * 3), Elem(i % 7)]);
+        }
+        s.seal();
+        assert_eq!(s.len(), n as usize);
+        for i in 0..n {
+            assert!(s.contains(&[Elem(i * 3), Elem(i % 7)]));
+            assert!(!s.contains(&[Elem(i * 3 + 1), Elem(i % 7)]));
+            assert_eq!(
+                s.prefix_range(&[Elem(i * 3)]),
+                (i as usize)..(i as usize + 1)
+            );
+        }
+        let mut odd = TupleStore::new(2);
+        for i in (0..n).filter(|i| i % 2 == 1) {
+            odd.push(&[Elem(i * 3), Elem(i % 7)]);
+        }
+        odd.seal();
+        let even = s.difference(&odd);
+        assert_eq!(even.len(), 500);
+        assert_eq!(s.intersection(&odd).len(), 500);
+        assert!(odd.is_subset(&s));
+        let mut m = even.clone();
+        m.merge(&odd);
+        assert_eq!(m, s);
+    }
+
+    #[test]
+    fn dictionary_remap_is_stable_across_seals() {
+        // Interleave seals so each one lands new values below the current
+        // dictionary maximum, forcing repeated remaps.
+        let mut s = TupleStore::new(1);
+        let mut expect: Vec<u32> = Vec::new();
+        for round in 0..5u32 {
+            for i in 0..20u32 {
+                let v = 1000 - round * 100 + i;
+                s.push(&[Elem(v)]);
+                expect.push(v);
+            }
+            s.seal();
+        }
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(
+            rows_of(&s),
+            expect.iter().map(|&v| vec![v]).collect::<Vec<_>>()
+        );
     }
 }

@@ -4,16 +4,18 @@ use std::fmt;
 
 use crate::elem::Elem;
 use crate::error::StructureError;
+use crate::row::{Row, RowRef};
 use crate::store::TupleStore;
 use crate::vocab::{SymbolId, Vocabulary};
 
 /// The interpretation of one relation symbol: a set of tuples.
 ///
-/// Backed by a columnar [`TupleStore`] (flat `Vec<Elem>` arena with
-/// arity-stride rows), kept **sealed** — sorted lexicographically and
+/// Backed by a columnar [`TupleStore`] (dictionary-encoded id planes, one
+/// per column), kept **sealed** — sorted lexicographically and
 /// deduplicated — after every `&mut self` method returns. Relation equality
-/// is therefore structural equality, membership is a binary search, and
-/// iteration hands out zero-copy `&[Elem]` rows in lexicographic order.
+/// is therefore structural equality, membership is a chunked galloping
+/// search, and iteration hands out zero-copy [`RowRef`] handles in
+/// lexicographic order.
 ///
 /// For bulk loads use [`extend_tuples`](Relation::extend_tuples), which
 /// buffers into the store's pending delta and seals once, instead of n
@@ -62,13 +64,13 @@ impl Relation {
         self.store.is_empty()
     }
 
-    /// Membership test (binary search).
-    pub fn contains(&self, t: &[Elem]) -> bool {
+    /// Membership test (chunked galloping search).
+    pub fn contains<R: Row>(&self, t: R) -> bool {
         self.store.contains(t)
     }
 
     /// Insert a tuple, keeping sort order. Returns true if newly inserted.
-    pub fn insert(&mut self, t: &[Elem]) -> bool {
+    pub fn insert<R: Row>(&mut self, t: R) -> bool {
         self.store.insert(t)
     }
 
@@ -79,11 +81,11 @@ impl Relation {
     pub fn extend_tuples<I, T>(&mut self, tuples: I) -> usize
     where
         I: IntoIterator<Item = T>,
-        T: AsRef<[Elem]>,
+        T: Row,
     {
         let before = self.store.len();
         for t in tuples {
-            self.store.push(t.as_ref());
+            self.store.push(t);
         }
         self.store.seal();
         self.store.len() - before
@@ -110,7 +112,7 @@ impl Relation {
     }
 
     /// Remove a tuple. Returns true if it was present.
-    pub fn remove(&mut self, t: &[Elem]) -> bool {
+    pub fn remove<R: Row>(&mut self, t: R) -> bool {
         self.store.remove(t)
     }
 
@@ -134,7 +136,7 @@ impl Relation {
     }
 
     /// The `i`-th tuple in lexicographic order.
-    pub fn tuple(&self, i: usize) -> &[Elem] {
+    pub fn tuple(&self, i: usize) -> RowRef<'_> {
         self.store.row(i)
     }
 
@@ -151,7 +153,7 @@ impl Relation {
 }
 
 impl<'a> IntoIterator for &'a Relation {
-    type Item = &'a [Elem];
+    type Item = RowRef<'a>;
     type IntoIter = crate::store::Rows<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
@@ -244,16 +246,17 @@ impl Structure {
     }
 
     /// Add a tuple to a relation, validating arity and range.
-    pub fn add_tuple(&mut self, sym: SymbolId, t: &[Elem]) -> Result<bool, StructureError> {
+    pub fn add_tuple<R: Row>(&mut self, sym: SymbolId, t: R) -> Result<bool, StructureError> {
         let arity = self.vocab.arity(sym);
-        if t.len() != arity {
+        if t.width() != arity {
             return Err(StructureError::ArityMismatch {
                 symbol: self.vocab.symbol(sym).name.clone(),
                 expected: arity,
-                got: t.len(),
+                got: t.width(),
             });
         }
-        for &e in t {
+        for c in 0..arity {
+            let e = t.at(c);
             if e.index() >= self.universe {
                 return Err(StructureError::ElementOutOfRange {
                     element: e.0,
@@ -276,21 +279,21 @@ impl Structure {
     pub fn extend_tuples<I, T>(&mut self, sym: SymbolId, tuples: I) -> Result<usize, StructureError>
     where
         I: IntoIterator<Item = T>,
-        T: AsRef<[Elem]>,
+        T: Row,
     {
         let arity = self.vocab.arity(sym);
         let mut buf: Vec<Elem> = Vec::new();
         let mut count = 0usize;
         for t in tuples {
-            let t = t.as_ref();
-            if t.len() != arity {
+            if t.width() != arity {
                 return Err(StructureError::ArityMismatch {
                     symbol: self.vocab.symbol(sym).name.clone(),
                     expected: arity,
-                    got: t.len(),
+                    got: t.width(),
                 });
             }
-            for &e in t {
+            for c in 0..arity {
+                let e = t.at(c);
                 if e.index() >= self.universe {
                     return Err(StructureError::ElementOutOfRange {
                         element: e.0,
@@ -298,7 +301,7 @@ impl Structure {
                     });
                 }
             }
-            buf.extend_from_slice(t);
+            t.append_to(&mut buf);
             count += 1;
         }
         let rel = &mut self.relations[sym.index()];
@@ -311,7 +314,7 @@ impl Structure {
     }
 
     /// Remove a tuple from a relation. Returns true if it was present.
-    pub fn remove_tuple(&mut self, sym: SymbolId, t: &[Elem]) -> bool {
+    pub fn remove_tuple<R: Row>(&mut self, sym: SymbolId, t: R) -> bool {
         self.relations[sym.index()].remove(t)
     }
 
@@ -324,7 +327,7 @@ impl Structure {
     }
 
     /// Membership test.
-    pub fn contains_tuple(&self, sym: SymbolId, t: &[Elem]) -> bool {
+    pub fn contains_tuple<R: Row>(&self, sym: SymbolId, t: R) -> bool {
         self.relations[sym.index()].contains(t)
     }
 

@@ -89,7 +89,7 @@ proptest! {
         }
         s.seal();
         prop_assert_eq!(s.len(), model.len());
-        let got: Vec<Vec<Elem>> = s.iter().map(<[Elem]>::to_vec).collect();
+        let got: Vec<Vec<Elem>> = s.iter().map(|t| t.to_vec()).collect();
         let want: Vec<Vec<Elem>> = model.iter().cloned().collect();
         prop_assert_eq!(got, want, "sorted iteration order");
         for t in &ys {
@@ -107,11 +107,11 @@ proptest! {
         let mut u = s.clone();
         u.merge(&o);
         let union: Vec<Vec<Elem>> = model.union(&omodel).cloned().collect();
-        prop_assert_eq!(u.iter().map(<[Elem]>::to_vec).collect::<Vec<_>>(), union);
+        prop_assert_eq!(u.iter().map(|t| t.to_vec()).collect::<Vec<_>>(), union);
 
         let d = s.difference(&o);
         let diff: Vec<Vec<Elem>> = model.difference(&omodel).cloned().collect();
-        prop_assert_eq!(d.iter().map(<[Elem]>::to_vec).collect::<Vec<_>>(), diff);
+        prop_assert_eq!(d.iter().map(|t| t.to_vec()).collect::<Vec<_>>(), diff);
 
         prop_assert!(s.is_subset(&u));
         prop_assert!(d.is_subset(&s));
@@ -160,7 +160,7 @@ proptest! {
         }
         s.seal();
         prop_assert_eq!(s.len(), model.len());
-        let got: Vec<Vec<Elem>> = s.iter().map(<[Elem]>::to_vec).collect();
+        let got: Vec<Vec<Elem>> = s.iter().map(|t| t.to_vec()).collect();
         prop_assert_eq!(got, model.iter().cloned().collect::<Vec<_>>());
     }
 
@@ -194,7 +194,7 @@ proptest! {
         o.seal();
         let inter: Vec<Vec<Elem>> = model.intersection(&omodel).cloned().collect();
         let got: Vec<Vec<Elem>> =
-            s.intersection(&o).iter().map(<[Elem]>::to_vec).collect();
+            s.intersection(&o).iter().map(|t| t.to_vec()).collect();
         prop_assert_eq!(got, inter, "intersection");
     }
 
@@ -237,9 +237,9 @@ proptest! {
                 let after: BTreeSet<Vec<Elem>> = model.keys().cloned().collect();
                 let d = c.apply();
                 let ins: Vec<Vec<Elem>> =
-                    d.inserted.iter().map(<[Elem]>::to_vec).collect();
+                    d.inserted.iter().map(|t| t.to_vec()).collect();
                 let rem: Vec<Vec<Elem>> =
-                    d.removed.iter().map(<[Elem]>::to_vec).collect();
+                    d.removed.iter().map(|t| t.to_vec()).collect();
                 prop_assert_eq!(
                     ins,
                     after.difference(&before).cloned().collect::<Vec<_>>(),
@@ -275,8 +275,169 @@ proptest! {
             }
         }
         prop_assert_eq!(r.len(), model.len());
-        let got: Vec<Vec<Elem>> = r.iter().map(<[Elem]>::to_vec).collect();
+        let got: Vec<Vec<Elem>> = r.iter().map(|t| t.to_vec()).collect();
         prop_assert_eq!(got, model.iter().cloned().collect::<Vec<_>>());
+    }
+}
+
+/// Element values chosen to stress the store's dictionary: dense low ids,
+/// the extremes of the `u32` range, and isolated powers of two, so dense
+/// dictionary ids bear no resemblance to the element values they encode.
+fn sparse_elem() -> impl Strategy<Value = Elem> {
+    prop_oneof![
+        (0u32..4).prop_map(Elem),
+        Just(Elem(u32::MAX)),
+        Just(Elem(u32::MAX - 17)),
+        (2u32..30).prop_map(|i| Elem(1u32 << i)),
+    ]
+}
+
+proptest! {
+    /// Sparse, high element values round-trip through the dictionary: the
+    /// store agrees with the model on membership and sorted iteration, and
+    /// the dictionary holds exactly the distinct values in play.
+    #[test]
+    fn sparse_high_elem_values_roundtrip(
+        xs in prop::collection::vec(
+            (prop::collection::vec(sparse_elem(), 2..=2), any::<bool>()),
+            0..60,
+        ),
+    ) {
+        let mut s = TupleStore::new(2);
+        let mut model: BTreeSet<Vec<Elem>> = BTreeSet::new();
+        for (t, seal) in &xs {
+            s.push(t);
+            model.insert(t.clone());
+            if *seal {
+                s.seal();
+            }
+        }
+        s.seal();
+        prop_assert_eq!(s.len(), model.len());
+        let got: Vec<Vec<Elem>> = s.iter().map(|t| t.to_vec()).collect();
+        prop_assert_eq!(got, model.iter().cloned().collect::<Vec<_>>());
+        for t in &model {
+            prop_assert!(s.contains(t));
+        }
+        let distinct: BTreeSet<Elem> = model.iter().flatten().copied().collect();
+        prop_assert_eq!(s.dict_len(), distinct.len());
+    }
+
+    /// Sealing a batch whose values sort *below* existing dictionary
+    /// entries forces a dense-id remap of every already-sealed plane; rows
+    /// decoded before and after any number of such remaps must be
+    /// identical.
+    #[test]
+    fn dictionary_remap_stable_across_seals(
+        batches in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(sparse_elem(), 2..=2), 0..12),
+            1..6,
+        ),
+    ) {
+        let mut s = TupleStore::new(2);
+        let mut model: BTreeSet<Vec<Elem>> = BTreeSet::new();
+        for batch in &batches {
+            for t in batch {
+                s.push(t);
+                model.insert(t.clone());
+            }
+            s.seal();
+            // Everything inserted so far — including rows sealed under an
+            // older, smaller dictionary — still decodes to itself.
+            prop_assert_eq!(s.len(), model.len());
+            let got: Vec<Vec<Elem>> = s.iter().map(|t| t.to_vec()).collect();
+            prop_assert_eq!(got, model.iter().cloned().collect::<Vec<_>>());
+            for t in &model {
+                prop_assert!(s.contains(t), "lost {t:?} after remap");
+            }
+        }
+    }
+
+    /// Arity-0 stores (nullary relations hold at most the empty tuple)
+    /// agree with the model under insert/remove/seal interleavings, and
+    /// the set algebra degenerates correctly.
+    #[test]
+    fn arity_zero_store_matches_model(ops in prop::collection::vec(0usize..4, 0..40)) {
+        let empty: &[Elem] = &[];
+        let mut s = TupleStore::new(0);
+        let mut model: BTreeSet<Vec<Elem>> = BTreeSet::new();
+        for op in ops {
+            match op {
+                0 => {
+                    s.push(empty);
+                    model.insert(Vec::new());
+                }
+                1 => {
+                    prop_assert_eq!(s.remove(empty), model.remove(&Vec::new()));
+                }
+                2 => {
+                    prop_assert_eq!(s.contains(empty), model.contains(&Vec::new()));
+                }
+                _ => s.seal(),
+            }
+        }
+        s.seal();
+        prop_assert_eq!(s.len(), model.len());
+        let mut o = TupleStore::new(0);
+        o.seal();
+        prop_assert_eq!(s.difference(&o).len(), s.len());
+        prop_assert_eq!(s.intersection(&o).len(), 0);
+        let mut u = s.clone();
+        u.merge(&o);
+        prop_assert_eq!(u.len(), s.len());
+    }
+
+    /// Two stores driven by interleaved pushes and removes — removes
+    /// landing while rows are still buffered in the pending delta — with
+    /// `difference` checked against the model at random points mid-stream.
+    #[test]
+    fn interleaved_remove_and_difference_match_model(
+        input in (1usize..=2).prop_flat_map(|k| (
+            Just(k),
+            prop::collection::vec(
+                (0usize..5, prop::collection::vec((0u32..5).prop_map(Elem), k..=k)),
+                0..120,
+            ),
+        )),
+    ) {
+        let (k, ops) = input;
+        let mut s = TupleStore::new(k);
+        let mut o = TupleStore::new(k);
+        let mut ms: BTreeSet<Vec<Elem>> = BTreeSet::new();
+        let mut mo: BTreeSet<Vec<Elem>> = BTreeSet::new();
+        for (op, t) in ops {
+            match op {
+                0 => {
+                    s.push(&t);
+                    ms.insert(t);
+                }
+                1 => {
+                    o.push(&t);
+                    mo.insert(t);
+                }
+                2 => {
+                    prop_assert_eq!(s.remove(&t), ms.remove(&t), "remove from s");
+                }
+                3 => {
+                    prop_assert_eq!(o.remove(&t), mo.remove(&t), "remove from o");
+                }
+                _ => {
+                    s.seal();
+                    o.seal();
+                    let got: Vec<Vec<Elem>> =
+                        s.difference(&o).iter().map(|t| t.to_vec()).collect();
+                    prop_assert_eq!(
+                        got,
+                        ms.difference(&mo).cloned().collect::<Vec<_>>(),
+                        "mid-stream difference"
+                    );
+                }
+            }
+        }
+        s.seal();
+        o.seal();
+        let got: Vec<Vec<Elem>> = s.difference(&o).iter().map(|t| t.to_vec()).collect();
+        prop_assert_eq!(got, ms.difference(&mo).cloned().collect::<Vec<_>>());
     }
 }
 
